@@ -1,0 +1,28 @@
+# Convenience targets for the RegHD reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples reproduce clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Run every example end to end (a few minutes total).
+examples:
+	set -e; for f in examples/*.py; do echo "=== $$f ==="; $(PYTHON) $$f; done
+
+# Regenerate everything EXPERIMENTS.md quotes and capture the logs.
+reproduce:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+	@echo "benchmark tables written under benchmarks/results/"
+
+clean:
+	rm -rf .pytest_cache .benchmarks benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,78 @@
+"""Eqs. (3)-(4) — hypervector capacity: analytic model vs Monte-Carlo.
+
+Pins the paper's worked example (D = 100,000, T = 0.5, P = 10,000 gives a
+~5.7 % false-positive rate) and regenerates the capacity curve that
+motivates multi-model regression.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import save_result
+from repro.core import (
+    capacity,
+    empirical_false_positive_rate,
+    false_positive_probability,
+    true_positive_probability,
+)
+from repro.evaluation import render_table
+
+
+def test_capacity_paper_example(benchmark):
+    """The Sec.-2.3 worked example, analytically."""
+    result = benchmark(lambda: false_positive_probability(100_000, 10_000, 0.5))
+    assert result == pytest.approx(0.057, abs=0.001)
+
+
+def test_capacity_curve(benchmark):
+    """False-positive rate vs stored patterns, analytic and empirical."""
+    dim, threshold = 4000, 0.5
+    pattern_counts = (50, 100, 200, 400, 800, 1600)
+
+    def measure_all():
+        return {
+            p: empirical_false_positive_rate(
+                dim, p, threshold, n_queries=2000, seed=0
+            )
+            for p in pattern_counts
+        }
+
+    measured = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    rows = []
+    for p in pattern_counts:
+        rows.append(
+            {
+                "patterns": p,
+                "analytic_fp": false_positive_probability(dim, p, threshold),
+                "empirical_fp": measured[p],
+                "true_positive": true_positive_probability(dim, p, threshold),
+            }
+        )
+    rows.append(
+        {
+            "patterns": f"capacity@5.7%={capacity(dim, threshold, 0.057)}",
+            "analytic_fp": None,
+            "empirical_fp": None,
+            "true_positive": None,
+        }
+    )
+    table = render_table(
+        rows,
+        precision=4,
+        title=f"Capacity analysis — D={dim}, T={threshold} "
+        "(Eq. 4 vs Monte-Carlo)",
+    )
+    save_result("capacity", table)
+    print("\n" + table)
+
+    # Shape 1: analytic and empirical agree within Monte-Carlo error.
+    for row in rows[:-1]:
+        assert row["empirical_fp"] == pytest.approx(
+            row["analytic_fp"], abs=0.03
+        )
+    # Shape 2: the false-positive rate grows with the pattern count —
+    # the saturation that motivates multi-model RegHD.
+    fps = [r["analytic_fp"] for r in rows[:-1]]
+    assert fps == sorted(fps)

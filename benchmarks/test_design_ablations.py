@@ -1,0 +1,182 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+Four sweeps on one surrogate:
+
+* **encoder** — the Eq.-(1) nonlinear map vs a linear random projection vs
+  classic ID-level encoding: the nonlinearity is what lets a *linear*
+  HD-space model fit a nonlinear function (paper Sec. 2.2 / abstract).
+* **update weighting** — confidence-weighted Eq. (7) vs argmax vs the
+  literal uniform reading (which collapses all k models to one).
+* **batch size** — the paper's pure online update (batch 1) vs the
+  vectorised mini-batch used by default.
+* **softmax temperature** — the confidence-sharpness knob of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import BENCH_DIM, bench_config, save_result, standardized_split
+from repro import MultiModelRegHD
+from repro.encoding import IDLevelEncoder, NonlinearEncoder, RandomProjectionEncoder
+from repro.evaluation import render_table
+from repro.metrics import mean_squared_error
+
+DATASET = "airfoil"
+
+
+def _fit_mse(model, data) -> float:
+    X, y, Xte, yte = data
+    model.fit(X, y)
+    return mean_squared_error(yte, model.predict(Xte))
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, y, Xte, yte, n_features = standardized_split(DATASET)
+    return (X, y, Xte, yte), n_features
+
+
+def test_encoder_ablation(benchmark, data):
+    split, n = data
+    encoders = {
+        "nonlinear (Eq. 1)": lambda: NonlinearEncoder(n, BENCH_DIM, seed=0),
+        "linear projection": lambda: RandomProjectionEncoder(n, BENCH_DIM, seed=0),
+        "id-level": lambda: IDLevelEncoder(n, BENCH_DIM, seed=0, levels=32),
+    }
+
+    def run_all():
+        return {
+            label: _fit_mse(
+                MultiModelRegHD(n, bench_config(), encoder=make()), split
+            )
+            for label, make in encoders.items()
+        }
+
+    mses = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = render_table(
+        [{"encoder": k, "test_mse": v} for k, v in mses.items()],
+        precision=3,
+        title=f"Encoder ablation — {DATASET} surrogate, RegHD-8",
+    )
+    save_result("ablation_encoder", table)
+    print("\n" + table)
+
+    # The nonlinear encoder must beat the purely linear projection —
+    # a linear projection admits only linear fits of the raw features.
+    assert mses["nonlinear (Eq. 1)"] < mses["linear projection"]
+
+
+def test_update_weighting_ablation(benchmark, data):
+    split, n = data
+
+    def run_all():
+        return {
+            w: _fit_mse(
+                MultiModelRegHD(n, bench_config(update_weighting=w)), split
+            )
+            for w in ("confidence", "argmax", "uniform")
+        }
+
+    mses = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = render_table(
+        [{"weighting": k, "test_mse": v} for k, v in mses.items()],
+        precision=3,
+        title=f"Eq.-(7) update-weighting ablation — {DATASET}, RegHD-8",
+    )
+    save_result("ablation_update_weighting", table)
+    print("\n" + table)
+
+    # All three must learn; confidence/argmax should not be much worse
+    # than the degenerate uniform single-model-equivalent.
+    for label, mse in mses.items():
+        assert np.isfinite(mse), label
+    assert mses["confidence"] < mses["uniform"] * 1.3
+
+
+def test_batch_size_ablation(benchmark, data):
+    split, n = data
+    sizes = (1, 8, 32, 128)
+
+    def run_all():
+        return {
+            b: _fit_mse(MultiModelRegHD(n, bench_config(batch_size=b)), split)
+            for b in sizes
+        }
+
+    mses = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = render_table(
+        [{"batch_size": k, "test_mse": v} for k, v in mses.items()],
+        precision=3,
+        title=f"Batch-size ablation (1 = paper's pure online) — {DATASET}",
+    )
+    save_result("ablation_batch_size", table)
+    print("\n" + table)
+
+    # Mini-batching is a faithful approximation: within 35 % of online.
+    assert mses[32] < mses[1] * 1.35
+
+
+def test_encoder_scale_ablation(benchmark, data):
+    split, n = data
+    default = 1.0 / np.sqrt(n)
+    scales = {
+        "x0.25": 0.25 * default,
+        "x0.5": 0.5 * default,
+        "x1 (default)": default,
+        "x2": 2.0 * default,
+        "x4": 4.0 * default,
+    }
+
+    def run_all():
+        return {
+            label: _fit_mse(
+                MultiModelRegHD(
+                    n,
+                    bench_config(),
+                    encoder=NonlinearEncoder(n, BENCH_DIM, seed=0, scale=s),
+                ),
+                split,
+            )
+            for label, s in scales.items()
+        }
+
+    mses = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = render_table(
+        [{"scale": k, "test_mse": v} for k, v in mses.items()],
+        precision=3,
+        title=f"Encoder bandwidth (scale) ablation — {DATASET}",
+    )
+    save_result("ablation_encoder_scale", table)
+    print("\n" + table)
+
+    # The 1/sqrt(n) default must sit within 25 % of the sweep's best —
+    # the bandwidth heuristic the library ships is sane.
+    best = min(mses.values())
+    assert mses["x1 (default)"] < best * 1.25
+
+
+def test_softmax_temperature_ablation(benchmark, data):
+    split, n = data
+    temps = (1.0, 5.0, 20.0, 50.0, 200.0)
+
+    def run_all():
+        return {
+            t: _fit_mse(MultiModelRegHD(n, bench_config(softmax_temp=t)), split)
+            for t in temps
+        }
+
+    mses = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = render_table(
+        [{"softmax_temp": k, "test_mse": v} for k, v in mses.items()],
+        precision=3,
+        title=f"Softmax-temperature ablation — {DATASET}, RegHD-8",
+    )
+    save_result("ablation_softmax_temp", table)
+    print("\n" + table)
+
+    # Every temperature must produce a working model; the default (20)
+    # should sit at or near the best of the sweep.
+    best = min(mses.values())
+    assert mses[20.0] < best * 1.25

@@ -1,0 +1,86 @@
+"""Fig. 3 — (a) quality vs retraining iterations; (b) single vs multi-model.
+
+Fig. 3a: the per-epoch MSE curve of single-model RegHD falls and then
+plateaus under iterative retraining.  Fig. 3b: on a complex (regime-
+mixture) task at capacity-constrained dimensionality the multi-model
+variant clearly beats the single model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import save_result, standardized_split
+from repro import MultiModelRegHD, RegHDConfig, SingleModelRegHD
+from repro.core import ConvergencePolicy
+from repro.datasets import regime_mixture, train_test_split
+from repro.datasets.preprocessing import StandardScaler
+from repro.evaluation import render_table
+from repro.metrics import mean_squared_error
+
+
+def test_fig3a_iterative_learning(benchmark):
+    """Fig. 3a: training-MSE curve decreases, then plateaus."""
+    X, y, Xte, yte, n_features = standardized_split("airfoil")
+    conv = ConvergencePolicy(max_epochs=25, patience=25, tol=0.0)
+
+    def train():
+        return SingleModelRegHD(
+            n_features, dim=1000, seed=0, convergence=conv
+        ).fit(X, y, X_val=Xte, y_val=yte)
+
+    model = benchmark.pedantic(train, rounds=1, iterations=1)
+    curve = model.history_.val_curve()
+
+    rows = [
+        {"iteration": i + 1, "val_mse": float(v)} for i, v in enumerate(curve)
+    ]
+    table = render_table(
+        rows,
+        precision=2,
+        title="Fig. 3a — validation MSE vs retraining iteration "
+        "(single-model, airfoil surrogate; normalised target units)",
+    )
+    save_result("fig3a_iterative", table)
+    print("\n" + table)
+
+    # Shape: large early improvement, then plateau.
+    assert curve[-1] < curve[0] * 0.9
+    early_drop = curve[0] - curve[4]
+    late_drop = max(0.0, curve[-6] - curve[-1])
+    assert early_drop > late_drop
+
+
+def test_fig3b_single_vs_multi(benchmark):
+    """Fig. 3b: multi-model wins on a complex task."""
+    ds = regime_mixture(1200, 6, n_regimes=8, seed=3, noise=0.1)
+    split = train_test_split(ds, seed=0)
+    scaler = StandardScaler().fit(split.X_train)
+    X, Xte = scaler.transform(split.X_train), scaler.transform(split.X_test)
+    y, yte = split.y_train, split.y_test
+    conv = ConvergencePolicy(max_epochs=20, patience=4)
+    dim = 96  # capacity-constrained: the regime the paper's Fig. 3b probes
+
+    def train_multi():
+        return MultiModelRegHD(
+            6, RegHDConfig(dim=dim, n_models=8, seed=0, convergence=conv)
+        ).fit(X, y)
+
+    multi = benchmark.pedantic(train_multi, rounds=1, iterations=1)
+    single = SingleModelRegHD(6, dim=dim, seed=0, convergence=conv).fit(X, y)
+
+    mse_single = mean_squared_error(yte, single.predict(Xte))
+    mse_multi = mean_squared_error(yte, multi.predict(Xte))
+    table = render_table(
+        [
+            {"model": "single-model", "test_mse": mse_single},
+            {"model": "multi-model (k=8)", "test_mse": mse_multi},
+        ],
+        precision=4,
+        title=f"Fig. 3b — single vs multi-model on a complex task (D={dim})",
+    )
+    save_result("fig3b_single_vs_multi", table)
+    print("\n" + table)
+
+    assert mse_multi < mse_single

@@ -1,0 +1,78 @@
+"""Fig. 6 — regression quality with/without cluster quantisation.
+
+Compares integer clusters (cosine search), the paper's dual-copy framework
+(Hamming search + integer updates + per-epoch re-binarisation), and naive
+binarisation (binary-only storage that re-quantises after every update).
+The hard assertion is the paper's core claim: the framework matches
+integer clustering.  The naive row is printed for comparison; on these
+noise-dominated surrogates its penalty is milder than the paper's (cluster
+assignment has less leverage here), which EXPERIMENTS.md discusses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import bench_config, save_result, standardized_split
+from repro import MultiModelRegHD
+from repro.core import ClusterQuant
+from repro.evaluation import render_pivot
+from repro.metrics import mean_squared_error
+
+DATASETS = ("boston", "airfoil", "ccpp")
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def quant_rows():
+    rows = []
+    for dataset in DATASETS:
+        X, y, Xte, yte, n_features = standardized_split(dataset)
+        for cq in ClusterQuant:
+            mses = []
+            for seed in SEEDS:
+                model = MultiModelRegHD(
+                    n_features, bench_config(cluster_quant=cq, seed=seed)
+                )
+                model.fit(X, y)
+                mses.append(mean_squared_error(yte, model.predict(Xte)))
+            rows.append(
+                {
+                    "clusters": cq.value,
+                    "dataset": dataset,
+                    "mse": float(np.mean(mses)),
+                }
+            )
+    return rows
+
+
+def test_fig6_cluster_quantization(benchmark, quant_rows):
+    X, y, _, _, n_features = standardized_split("airfoil")
+    benchmark.pedantic(
+        lambda: MultiModelRegHD(
+            n_features, bench_config(cluster_quant=ClusterQuant.FRAMEWORK)
+        ).fit(X, y),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = render_pivot(
+        quant_rows,
+        index="clusters",
+        column="dataset",
+        value="mse",
+        precision=2,
+        title="Fig. 6 — test MSE by cluster representation "
+        "(mean over 3 seeds)",
+    )
+    save_result("fig6_cluster_quant", table)
+    print("\n" + table)
+
+    by = {(r["clusters"], r["dataset"]): r["mse"] for r in quant_rows}
+    for dataset in DATASETS:
+        integer = by[("none", dataset)]
+        framework = by[("framework", dataset)]
+        # Core paper claim: the framework matches integer clustering
+        # (paper: 0.3 % loss; we allow 15 % on noisy surrogates).
+        assert framework < integer * 1.15, dataset

@@ -1,0 +1,113 @@
+"""Fig. 7 — normalised quality of regression across quantisation configs.
+
+Five configurations, as in the paper: full precision, quantised clusters,
+binary query + integer model, integer query + binary model, and binary
+query + binary model.  Quality is normalised to the full-precision
+configuration (1.0); the reproduced shape is the ordering
+
+    quantised cluster ≈ full > binary query > binary-model configs,
+
+with binary-query-binary-model the most approximate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import bench_config, save_result, standardized_split
+from repro import MultiModelRegHD
+from repro.core import ClusterQuant, PredictQuant
+from repro.evaluation import render_pivot
+from repro.metrics import mean_squared_error, normalized_quality
+
+CONFIGS = {
+    "full-precision": {},
+    "quantized-cluster": {"cluster_quant": ClusterQuant.FRAMEWORK},
+    "binQ-intM": {
+        "cluster_quant": ClusterQuant.FRAMEWORK,
+        "predict_quant": PredictQuant.BINARY_QUERY,
+    },
+    "intQ-binM": {
+        "cluster_quant": ClusterQuant.FRAMEWORK,
+        "predict_quant": PredictQuant.BINARY_MODEL,
+    },
+    "binQ-binM": {
+        "cluster_quant": ClusterQuant.FRAMEWORK,
+        "predict_quant": PredictQuant.BINARY_BOTH,
+    },
+}
+DATASETS = ("boston", "airfoil", "ccpp")
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def config_rows():
+    rows = []
+    for dataset in DATASETS:
+        X, y, Xte, yte, n_features = standardized_split(dataset)
+        reference = None
+        for label, overrides in CONFIGS.items():
+            mses = []
+            for seed in SEEDS:
+                model = MultiModelRegHD(
+                    n_features, bench_config(seed=seed, **overrides)
+                )
+                model.fit(X, y)
+                mses.append(mean_squared_error(yte, model.predict(Xte)))
+            mse = float(np.mean(mses))
+            if reference is None:
+                reference = mse
+            rows.append(
+                {
+                    "config": label,
+                    "dataset": dataset,
+                    "mse": mse,
+                    "normalized_quality": normalized_quality(mse, reference),
+                }
+            )
+    return rows
+
+
+def test_fig7_config_quality(benchmark, config_rows):
+    X, y, _, _, n_features = standardized_split("airfoil")
+    benchmark.pedantic(
+        lambda: MultiModelRegHD(
+            n_features, bench_config(**CONFIGS["binQ-binM"])
+        ).fit(X, y),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = render_pivot(
+        config_rows,
+        index="config",
+        column="dataset",
+        value="normalized_quality",
+        precision=3,
+        title="Fig. 7 — quality normalised to full precision "
+        "(mean over 3 seeds; higher is better)",
+    )
+    save_result("fig7_config_quality", table)
+    print("\n" + table)
+
+    # Average normalised quality per configuration across datasets.
+    avg = {}
+    for label in CONFIGS:
+        avg[label] = float(
+            np.mean(
+                [
+                    r["normalized_quality"]
+                    for r in config_rows
+                    if r["config"] == label
+                ]
+            )
+        )
+
+    # Shape 1: quantised clusters lose almost nothing (paper: 0.3 %).
+    assert avg["quantized-cluster"] > 0.85
+    # Shape 2: binary query stays usable (paper: 1.5 % loss).
+    assert avg["binQ-intM"] > 0.6
+    # Shape 3: the fully binary path is the most approximate of the
+    # prediction-quantised configs.
+    assert avg["binQ-binM"] <= max(avg["binQ-intM"], avg["intQ-binM"]) + 0.05

@@ -1,0 +1,148 @@
+"""Fig. 8 — training and inference efficiency: RegHD-k vs DNN vs Baseline-HD.
+
+Prices every method with the hardware cost model on the FPGA profile,
+using *measured* iteration counts (RegHD epochs from the trainer, DNN
+epochs from the MLP's early stopping, Baseline-HD epochs from its
+trainer).  The paper's headline shape: RegHD trains and infers faster and
+more energy-efficiently than the DNN, the gap is larger during training
+than inference, and RegHD cost scales linearly in k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import BENCH_CONV, BENCH_DIM, bench_config, save_result, standardized_split
+from repro import BaselineHD, MultiModelRegHD
+from repro.baselines import MLPRegressor
+from repro.core import ClusterQuant
+from repro.evaluation import render_table
+from repro.hardware import (
+    FPGA_KINTEX7,
+    BaselineHDCostSpec,
+    DNNCostSpec,
+    RegHDCostSpec,
+    baseline_hd_infer_cost,
+    baseline_hd_train_cost,
+    dnn_infer_cost,
+    dnn_train_cost,
+    estimate,
+    reghd_infer_cost,
+    reghd_train_cost,
+)
+
+DNN_HIDDEN = (256, 256)
+N_INFER = 1000
+
+
+@pytest.fixture(scope="module")
+def measured():
+    """Train every method once to obtain real iteration counts."""
+    X, y, _, _, n_features = standardized_split("airfoil")
+    n_train = len(y)
+
+    out = {"n_features": n_features, "n_train": n_train}
+    mlp = MLPRegressor(hidden=DNN_HIDDEN, epochs=100, seed=0).fit(X, y)
+    out["dnn_epochs"] = mlp.n_epochs_
+    bhd = BaselineHD(
+        n_features, dim=BENCH_DIM, n_bins=128, seed=0, convergence=BENCH_CONV
+    ).fit(X, y)
+    out["bhd_epochs"] = bhd.history_.n_epochs
+    out["reghd_epochs"] = {}
+    for k in (2, 8, 32):
+        model = MultiModelRegHD(
+            n_features,
+            bench_config(n_models=k, cluster_quant=ClusterQuant.FRAMEWORK),
+        ).fit(X, y)
+        out["reghd_epochs"][k] = model.history_.n_epochs
+    return out
+
+
+def test_fig8_efficiency(benchmark, measured):
+    X, y, _, _, n_features = standardized_split("airfoil")
+    benchmark.pedantic(
+        lambda: MultiModelRegHD(
+            n_features,
+            bench_config(n_models=8, cluster_quant=ClusterQuant.FRAMEWORK),
+        ).fit(X, y),
+        rounds=1,
+        iterations=1,
+    )
+
+    n, n_train = measured["n_features"], measured["n_train"]
+    dnn_spec = DNNCostSpec((n, *DNN_HIDDEN, 1))
+    dnn_train = estimate(
+        dnn_train_cost(dnn_spec, n_train, measured["dnn_epochs"]), FPGA_KINTEX7
+    )
+    dnn_infer = estimate(dnn_infer_cost(dnn_spec, N_INFER), FPGA_KINTEX7)
+
+    bhd_spec = BaselineHDCostSpec(n, BENCH_DIM, 128)
+    bhd_train = estimate(
+        baseline_hd_train_cost(bhd_spec, n_train, measured["bhd_epochs"]),
+        FPGA_KINTEX7,
+    )
+    bhd_infer = estimate(baseline_hd_infer_cost(bhd_spec, N_INFER), FPGA_KINTEX7)
+
+    rows = [
+        {
+            "model": "DNN",
+            "train_speedup": 1.0,
+            "train_efficiency": 1.0,
+            "infer_speedup": 1.0,
+            "infer_efficiency": 1.0,
+        },
+        {
+            "model": "Baseline-HD",
+            "train_speedup": dnn_train.latency_s / bhd_train.latency_s,
+            "train_efficiency": dnn_train.energy_j / bhd_train.energy_j,
+            "infer_speedup": dnn_infer.latency_s / bhd_infer.latency_s,
+            "infer_efficiency": dnn_infer.energy_j / bhd_infer.energy_j,
+        },
+    ]
+    reghd_estimates = {}
+    for k in (2, 8, 32):
+        spec = RegHDCostSpec(
+            n, BENCH_DIM, k, cluster_quant=ClusterQuant.FRAMEWORK
+        )
+        train = estimate(
+            reghd_train_cost(spec, n_train, measured["reghd_epochs"][k]),
+            FPGA_KINTEX7,
+        )
+        infer = estimate(reghd_infer_cost(spec, N_INFER), FPGA_KINTEX7)
+        reghd_estimates[k] = (train, infer)
+        rows.append(
+            {
+                "model": f"RegHD-{k}",
+                "train_speedup": train.speedup_vs(dnn_train),
+                "train_efficiency": train.efficiency_vs(dnn_train),
+                "infer_speedup": infer.speedup_vs(dnn_infer),
+                "infer_efficiency": infer.efficiency_vs(dnn_infer),
+            }
+        )
+
+    table = render_table(
+        rows,
+        precision=2,
+        title="Fig. 8 — speedup / energy efficiency relative to DNN "
+        "(FPGA cost model, measured iteration counts, binary clusters)",
+    )
+    save_result("fig8_efficiency", table)
+    print("\n" + table)
+
+    by = {r["model"]: r for r in rows}
+    # Shape 1: RegHD-8 beats the DNN on all four axes (paper: 5.6x/12.3x
+    # training, 2.9x/4.2x inference).
+    for key in ("train_speedup", "train_efficiency", "infer_speedup", "infer_efficiency"):
+        assert by["RegHD-8"][key] > 1.0, key
+    # Shape 2: the training gap exceeds the inference gap.
+    assert by["RegHD-8"]["train_speedup"] > by["RegHD-8"]["infer_speedup"]
+    # Shape 3: cost scales with k — RegHD-2 faster than RegHD-8 faster
+    # than RegHD-32 (paper: 2-models 4.9x faster than 32-models).
+    assert (
+        by["RegHD-2"]["infer_speedup"]
+        > by["RegHD-8"]["infer_speedup"]
+        > by["RegHD-32"]["infer_speedup"]
+    )
+    # Shape 4: RegHD-8 is far cheaper than Baseline-HD (128 class vectors).
+    assert by["RegHD-8"]["infer_efficiency"] > by["Baseline-HD"]["infer_efficiency"] * 2

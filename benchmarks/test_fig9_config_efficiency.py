@@ -1,0 +1,97 @@
+"""Fig. 9 — training & inference efficiency across quantisation configs.
+
+Prices the five Fig.-7 configurations with the cost model, normalised to
+the full-precision baseline.  Reproduced shape: cluster quantisation
+already buys a solid speedup (clustering is a large share of RegHD's
+compute), model/query quantisation buys more, binary-query-binary-model
+is the fastest; gains are larger at inference, where no (unquantisable)
+cluster updates occur.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BENCH_DIM, save_result
+from repro.core import ClusterQuant, PredictQuant
+from repro.evaluation import render_table
+from repro.hardware import (
+    FPGA_KINTEX7,
+    RegHDCostSpec,
+    estimate,
+    reghd_infer_cost,
+    reghd_train_cost,
+)
+
+CONFIGS = {
+    "full-precision": (ClusterQuant.NONE, PredictQuant.FULL),
+    "quantized-cluster": (ClusterQuant.FRAMEWORK, PredictQuant.FULL),
+    "binQ-intM": (ClusterQuant.FRAMEWORK, PredictQuant.BINARY_QUERY),
+    "intQ-binM": (ClusterQuant.FRAMEWORK, PredictQuant.BINARY_MODEL),
+    "binQ-binM": (ClusterQuant.FRAMEWORK, PredictQuant.BINARY_BOTH),
+}
+N_FEATURES = 10
+N_TRAIN = 1000
+EPOCHS = 15
+N_INFER = 1000
+
+
+@pytest.fixture(scope="module")
+def estimates():
+    out = {}
+    for label, (cq, pq) in CONFIGS.items():
+        spec = RegHDCostSpec(
+            N_FEATURES, BENCH_DIM, 8, cluster_quant=cq, predict_quant=pq
+        )
+        out[label] = (
+            estimate(reghd_train_cost(spec, N_TRAIN, EPOCHS), FPGA_KINTEX7),
+            estimate(reghd_infer_cost(spec, N_INFER), FPGA_KINTEX7),
+        )
+    return out
+
+
+def test_fig9_config_efficiency(benchmark, estimates):
+    def price_all():
+        spec = RegHDCostSpec(N_FEATURES, BENCH_DIM, 8)
+        return estimate(reghd_train_cost(spec, N_TRAIN, EPOCHS), FPGA_KINTEX7)
+
+    benchmark(price_all)
+
+    ref_train, ref_infer = estimates["full-precision"]
+    rows = []
+    for label, (train, infer) in estimates.items():
+        rows.append(
+            {
+                "config": label,
+                "train_speedup": train.speedup_vs(ref_train),
+                "train_efficiency": train.efficiency_vs(ref_train),
+                "infer_speedup": infer.speedup_vs(ref_infer),
+                "infer_efficiency": infer.efficiency_vs(ref_infer),
+            }
+        )
+    table = render_table(
+        rows,
+        precision=2,
+        title="Fig. 9 — efficiency of quantisation configs relative to "
+        "full precision (FPGA cost model, k=8)",
+    )
+    save_result("fig9_config_efficiency", table)
+    print("\n" + table)
+
+    by = {r["config"]: r for r in rows}
+    # Shape 1: cluster quantisation alone speeds up both phases
+    # (paper: 1.9x/2.1x training, 2.0x/2.3x inference).
+    assert by["quantized-cluster"]["train_speedup"] > 1.1
+    assert by["quantized-cluster"]["infer_speedup"] > 1.1
+    # Shape 2: inference benefits at least as much as training.
+    assert (
+        by["quantized-cluster"]["infer_speedup"]
+        >= by["quantized-cluster"]["train_speedup"] * 0.9
+    )
+    # Shape 3: binQ-binM is the fastest configuration.
+    fastest = max(rows, key=lambda r: r["infer_speedup"])
+    assert fastest["config"] == "binQ-binM"
+    # Shape 4: every quantised config beats full precision.
+    for label in CONFIGS:
+        if label != "full-precision":
+            assert by[label]["train_efficiency"] >= 1.0, label

@@ -1,0 +1,92 @@
+"""Extension benchmark — deployed model memory across configurations.
+
+Not a paper figure, but the IoT motivation ("limited storage") made
+quantitative: storage for RegHD-8 at D=4k across the Sec.-3 quantisation
+levels and sparsities, vs the DNN comparator and Baseline-HD.  Asserted
+shape: each quantisation/sparsification step shrinks the model; the fully
+binary RegHD is far smaller than the float DNN; Baseline-HD's
+hundreds-of-bins store dwarfs RegHD's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import save_result
+from repro.core import ClusterQuant, PredictQuant
+from repro.evaluation import render_table
+from repro.hardware import (
+    BaselineHDCostSpec,
+    DNNCostSpec,
+    RegHDCostSpec,
+    baseline_hd_memory,
+    dnn_memory,
+    reghd_memory,
+)
+
+D = 4000
+N_FEATURES = 10
+
+
+def test_memory_footprint(benchmark):
+    configs = {
+        "RegHD-8 full precision": RegHDCostSpec(N_FEATURES, D, 8),
+        "RegHD-8 binary clusters": RegHDCostSpec(
+            N_FEATURES, D, 8, cluster_quant=ClusterQuant.FRAMEWORK
+        ),
+        "RegHD-8 fully binary": RegHDCostSpec(
+            N_FEATURES, D, 8,
+            cluster_quant=ClusterQuant.FRAMEWORK,
+            predict_quant=PredictQuant.BINARY_BOTH,
+        ),
+        "RegHD-8 binary + 10% sparse": RegHDCostSpec(
+            N_FEATURES, D, 8,
+            cluster_quant=ClusterQuant.FRAMEWORK,
+            predict_quant=PredictQuant.BINARY_QUERY,
+            model_density=0.1,
+        ),
+    }
+
+    def compute_all():
+        rows = []
+        for label, spec in configs.items():
+            fp = reghd_memory(spec, count_encoder=False)
+            rows.append({"model": label, "kib": fp.total_kib})
+        rows.append(
+            {
+                "model": "DNN 256x256 (float32)",
+                "kib": dnn_memory(DNNCostSpec((N_FEATURES, 256, 256, 1))).total_kib,
+            }
+        )
+        rows.append(
+            {
+                "model": "Baseline-HD (128 bins)",
+                "kib": baseline_hd_memory(
+                    BaselineHDCostSpec(N_FEATURES, D, 128),
+                    count_encoder=False,
+                ).total_kib,
+            }
+        )
+        return rows
+
+    rows = benchmark(compute_all)
+    table = render_table(
+        rows,
+        precision=1,
+        title=f"Deployed model storage (D={D}, parameters only; "
+        "encoder regenerated from seed on-device)",
+    )
+    save_result("memory_footprint", table)
+    print("\n" + table)
+
+    by = {r["model"]: r["kib"] for r in rows}
+    # Shape 1: each quantisation step shrinks the model.
+    assert (
+        by["RegHD-8 fully binary"]
+        < by["RegHD-8 binary clusters"]
+        < by["RegHD-8 full precision"]
+    )
+    # Shape 2: fully binary RegHD far below the DNN.
+    assert by["RegHD-8 fully binary"] < by["DNN 256x256 (float32)"] / 10
+    # Shape 3: Baseline-HD's bin store dwarfs every RegHD config.
+    assert by["Baseline-HD (128 bins)"] > by["RegHD-8 full precision"] * 4

@@ -1,0 +1,85 @@
+"""Ablation — SparseHD-style model sparsification (paper Sec. 5 pointer).
+
+Sweeps the model density on a surrogate: one-shot pruning vs masked
+fine-tuning (the SparseHD framework), with the cost model pricing the
+sparse prediction.  Asserted shape: fine-tuning recovers most of the
+pruning loss, and inference cost falls with density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import BENCH_DIM, bench_config, save_result, standardized_split
+from repro import MultiModelRegHD
+from repro.core.sparsify import apply_sparsity, fine_tune_sparse
+from repro.evaluation import render_table
+from repro.hardware import FPGA_KINTEX7, RegHDCostSpec, estimate, reghd_infer_cost
+from repro.metrics import mean_squared_error
+
+DENSITIES = (1.0, 0.5, 0.25, 0.1, 0.05)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    X, y, Xte, yte, n_features = standardized_split("airfoil")
+    results = {}
+    for density in DENSITIES:
+        one_shot = MultiModelRegHD(n_features, bench_config()).fit(X, y)
+        if density < 1.0:
+            apply_sparsity(one_shot, density)
+        one_shot_mse = mean_squared_error(yte, one_shot.predict(Xte))
+
+        tuned = MultiModelRegHD(n_features, bench_config()).fit(X, y)
+        if density < 1.0:
+            fine_tune_sparse(tuned, X, y, density=density, epochs=5)
+        tuned_mse = mean_squared_error(yte, tuned.predict(Xte))
+        results[density] = (one_shot_mse, tuned_mse, n_features)
+    return results
+
+
+def test_sparsity_ablation(benchmark, sweep):
+    X, y, _, _, n_features = standardized_split("airfoil")
+
+    def tune_once():
+        model = MultiModelRegHD(n_features, bench_config()).fit(X, y)
+        fine_tune_sparse(model, X, y, density=0.1, epochs=5)
+        return model
+
+    benchmark.pedantic(tune_once, rounds=1, iterations=1)
+
+    ref_spec = RegHDCostSpec(n_features, BENCH_DIM, 8)
+    ref_cost = estimate(reghd_infer_cost(ref_spec, 1000), FPGA_KINTEX7)
+    rows = []
+    for density in DENSITIES:
+        one_shot_mse, tuned_mse, n = sweep[density]
+        spec = RegHDCostSpec(n, BENCH_DIM, 8, model_density=density)
+        cost = estimate(reghd_infer_cost(spec, 1000), FPGA_KINTEX7)
+        rows.append(
+            {
+                "density": density,
+                "one_shot_mse": one_shot_mse,
+                "fine_tuned_mse": tuned_mse,
+                "infer_efficiency": ref_cost.energy_j / cost.energy_j,
+            }
+        )
+    table = render_table(
+        rows,
+        precision=3,
+        title="Sparsification ablation — airfoil surrogate, RegHD-8 "
+        "(fine-tuned = SparseHD-style masked retraining)",
+    )
+    save_result("sparsity_ablation", table)
+    print("\n" + table)
+
+    by = {r["density"]: r for r in rows}
+    # Shape 1: aggressive one-shot pruning costs quality...
+    assert by[0.05]["one_shot_mse"] > by[1.0]["one_shot_mse"]
+    # ...and masked fine-tuning recovers most of it.
+    assert by[0.05]["fine_tuned_mse"] < by[0.05]["one_shot_mse"]
+    # Shape 2: half-density is nearly free after fine-tuning.
+    assert by[0.5]["fine_tuned_mse"] < by[1.0]["one_shot_mse"] * 1.25
+    # Shape 3: inference efficiency grows monotonically as density falls.
+    effs = [by[d]["infer_efficiency"] for d in DENSITIES]
+    assert all(b >= a - 1e-9 for a, b in zip(effs, effs[1:]))

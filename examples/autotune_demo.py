@@ -1,0 +1,94 @@
+"""Auto-tuning RegHD for a new dataset.
+
+Runs the staged autotuner (k -> softmax temperature -> dimensionality
+ladder under a 5 % quality budget) on the airfoil surrogate and compares
+the tuned configuration against the library defaults on held-out data.
+
+    python examples/autotune_demo.py
+"""
+
+from repro import MultiModelRegHD, RegHDConfig, mean_squared_error
+from repro.core import ConvergencePolicy
+from repro.datasets import StandardScaler, load_dataset, train_test_split
+from repro.evaluation import render_table
+from repro.evaluation.autotune import autotune_reghd
+from repro.hardware import RegHDCostSpec, reghd_memory
+
+
+def main() -> None:
+    dataset = load_dataset("airfoil").subsample(1200, seed=0)
+    split = train_test_split(dataset, seed=0)
+    scaler = StandardScaler().fit(split.X_train)
+    X_train = scaler.transform(split.X_train)
+    X_test = scaler.transform(split.X_test)
+
+    base = RegHDConfig(
+        seed=0, convergence=ConvergencePolicy(max_epochs=12, patience=3)
+    )
+    print("running staged autotune (k -> temperature -> dimension)...")
+    result = autotune_reghd(
+        X_train,
+        split.y_train,
+        base_config=base,
+        k_grid=(1, 2, 4, 8, 16),
+        temp_grid=(5.0, 20.0, 50.0),
+        dim_ladder=(4000, 2000, 1000, 500),
+        probe_dim=1000,
+        quality_budget=0.05,
+        seed=0,
+    )
+
+    print(f"\nevaluated {result.n_trials} configurations:")
+    rows = [
+        {"stage": t.stage, "params": str(t.params), "val_mse": t.val_mse}
+        for t in result.trials
+    ]
+    print(render_table(rows, precision=3))
+
+    chosen = result.config
+    print(
+        f"\nchosen: k={chosen.n_models}, temp={chosen.softmax_temp}, "
+        f"D={chosen.dim}"
+    )
+
+    # Head-to-head on the held-out test set.
+    default_model = MultiModelRegHD(dataset.n_features, base).fit(
+        X_train, split.y_train
+    )
+    tuned_model = MultiModelRegHD(dataset.n_features, chosen).fit(
+        X_train, split.y_train
+    )
+    default_mse = mean_squared_error(
+        split.y_test, default_model.predict(X_test)
+    )
+    tuned_mse = mean_squared_error(split.y_test, tuned_model.predict(X_test))
+    default_kib = reghd_memory(
+        RegHDCostSpec.from_config(dataset.n_features, base),
+        count_encoder=False,
+    ).total_kib
+    tuned_kib = reghd_memory(
+        RegHDCostSpec.from_config(dataset.n_features, chosen),
+        count_encoder=False,
+    ).total_kib
+    print(
+        render_table(
+            [
+                {
+                    "config": f"default (k=8, D={base.dim})",
+                    "test_mse": default_mse,
+                    "model_kib": default_kib,
+                },
+                {
+                    "config": f"tuned (k={chosen.n_models}, D={chosen.dim})",
+                    "test_mse": tuned_mse,
+                    "model_kib": tuned_kib,
+                },
+            ],
+            precision=2,
+            title="held-out comparison",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

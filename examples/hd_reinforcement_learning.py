@@ -1,0 +1,67 @@
+"""HD-based reinforcement learning — the paper's future-work extension.
+
+The RegHD conclusion: "Regression is a key required algorithm which can be
+extended to support the first HD-based reinforcement learning."  This
+example does exactly that: a Q-learning agent whose action-value function
+is a set of RegHD hypervector models, trained on two from-scratch control
+problems.
+
+    python examples/hd_reinforcement_learning.py
+"""
+
+from repro.rl import CartPole, GridWorld, HDQAgent, evaluate_policy, train_agent
+from repro.rl.training import random_policy_reward
+
+
+def run_gridworld() -> None:
+    print("=== GridWorld 5x5 (wall with a gap; reach the corner) ===")
+    env = GridWorld(5)
+    agent = HDQAgent(
+        env.state_dim,
+        env.n_actions,
+        dim=1000,
+        seed=0,
+        lr=0.5,
+        epsilon_decay=0.95,
+    )
+    run = train_agent(env, agent, episodes=150, seed=0)
+    for window_start in range(0, 150, 30):
+        chunk = run.rewards()[window_start : window_start + 30]
+        print(
+            f"  episodes {window_start + 1:3d}-{window_start + 30:3d}: "
+            f"mean reward {chunk.mean():+.3f}"
+        )
+    print(f"  greedy policy : {evaluate_policy(env, agent, episodes=10):+.3f}")
+    print(f"  random policy : {random_policy_reward(env, episodes=10):+.3f}")
+
+
+def run_cartpole() -> None:
+    print("\n=== CartPole (balance the pole; reward = steps survived) ===")
+    env = CartPole(step_limit=200)
+    agent = HDQAgent(
+        env.state_dim,
+        env.n_actions,
+        dim=1000,
+        seed=0,
+        lr=0.5,
+        gamma=0.99,
+        epsilon_decay=0.97,
+    )
+    run = train_agent(env, agent, episodes=150, seed=0)
+    for window_start in range(0, 150, 30):
+        chunk = run.rewards()[window_start : window_start + 30]
+        print(
+            f"  episodes {window_start + 1:3d}-{window_start + 30:3d}: "
+            f"mean steps {chunk.mean():6.1f}"
+        )
+    print(f"  greedy policy : {evaluate_policy(env, agent, episodes=10):6.1f} steps")
+    print(f"  random policy : {random_policy_reward(env, episodes=10):6.1f} steps")
+    print(
+        "\nThe agent's Q-function is k hypervectors updated with the "
+        "RegHD delta rule on TD errors — no gradients, no replay network."
+    )
+
+
+if __name__ == "__main__":
+    run_gridworld()
+    run_cartpole()

@@ -1,0 +1,78 @@
+"""Language identification with n-gram hypervectors.
+
+The related-work lineage of HD computing began with random indexing of
+text ([38] in the paper).  This example reproduces that result in
+miniature on synthetic "languages" (distinct character Markov chains):
+bundle the trigram hypervectors of training texts per language, classify
+fresh texts by cosine similarity to the language bundles.
+
+    python examples/language_identification.py
+"""
+
+import numpy as np
+
+from repro.encoding import NGramTextEncoder
+from repro.ops import cosine_similarity
+
+ALPHABET = "abcdefghijklmnop "
+N_LANGUAGES = 4
+TRAIN_TEXTS = 20
+TEST_TEXTS = 30
+TEXT_LENGTH = 300
+
+
+def make_language(seed: int):
+    """A random character-level Markov chain — a synthetic 'language'."""
+    rng = np.random.default_rng(seed)
+    transition = rng.dirichlet(
+        np.full(len(ALPHABET), 0.15), size=len(ALPHABET)
+    )
+
+    def sample(length: int = TEXT_LENGTH) -> str:
+        idx = [int(rng.integers(len(ALPHABET)))]
+        for _ in range(length - 1):
+            idx.append(int(rng.choice(len(ALPHABET), p=transition[idx[-1]])))
+        return "".join(ALPHABET[i] for i in idx)
+
+    return sample
+
+
+def main() -> None:
+    encoder = NGramTextEncoder(4000, n=3, alphabet=ALPHABET, seed=0)
+    languages = [make_language(seed) for seed in range(1, N_LANGUAGES + 1)]
+
+    # Train: one bundle hypervector per language.
+    print(f"bundling {TRAIN_TEXTS} training texts per language...")
+    profiles = np.stack(
+        [
+            encoder.encode_batch([lang() for _ in range(TRAIN_TEXTS)]).sum(axis=0)
+            for lang in languages
+        ]
+    )
+
+    # Test: nearest language bundle by cosine similarity.
+    correct = 0
+    confusion = np.zeros((N_LANGUAGES, N_LANGUAGES), dtype=int)
+    for true_label, lang in enumerate(languages):
+        for _ in range(TEST_TEXTS):
+            query = encoder.encode(lang())
+            sims = cosine_similarity(profiles, query)
+            predicted = int(np.argmax(sims))
+            confusion[true_label, predicted] += 1
+            correct += predicted == true_label
+
+    total = N_LANGUAGES * TEST_TEXTS
+    print(f"\naccuracy: {correct}/{total} = {correct / total:.1%}")
+    print("\nconfusion matrix (rows = true, cols = predicted):")
+    header = "      " + "  ".join(f"L{j}" for j in range(N_LANGUAGES))
+    print(header)
+    for i, row in enumerate(confusion):
+        print(f"  L{i}  " + "  ".join(f"{v:2d}" for v in row))
+    print(
+        "\nOne bundle per class, one cosine per query — the single-pass "
+        "HD learning the paper's related work describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Robustness of RegHD vs a DNN under hardware faults.
+
+IoT hardware running on unreliable power corrupts model memory.  This
+example trains RegHD-8 and an equivalent-quality MLP on the same task,
+then injects sign-flip faults into their *trained parameters* at
+increasing rates and reports the quality degradation of each — the
+holographic-representation robustness argument of the paper's Section 3,
+made concrete.
+
+    python examples/robustness_under_faults.py
+"""
+
+from repro import MultiModelRegHD, RegHDConfig
+from repro.baselines import MLPRegressor
+from repro.datasets import StandardScaler, load_dataset, train_test_split
+from repro.evaluation import render_table
+from repro.noise import sweep_mlp, sweep_reghd
+
+RATES = [0.0, 0.01, 0.05, 0.1, 0.2, 0.3]
+
+
+def main() -> None:
+    dataset = load_dataset("airfoil").subsample(1200, seed=0)
+    split = train_test_split(dataset, seed=0)
+    scaler = StandardScaler().fit(split.X_train)
+    X_train = scaler.transform(split.X_train)
+    X_test = scaler.transform(split.X_test)
+
+    print("training RegHD-8 and the DNN comparator...")
+    reghd = MultiModelRegHD(
+        dataset.n_features, RegHDConfig(dim=2000, n_models=8, seed=0)
+    ).fit(X_train, split.y_train)
+    mlp = MLPRegressor(hidden=(64, 64), epochs=80, seed=0).fit(
+        X_train, split.y_train
+    )
+
+    print("injecting sign-flip faults into trained parameters...\n")
+    hd_curve = sweep_reghd(
+        reghd, X_test, split.y_test, rates=RATES, repeats=5, seed=0
+    )
+    mlp_curve = sweep_mlp(
+        mlp, X_test, split.y_test, rates=RATES, repeats=5, seed=0
+    )
+
+    rows = []
+    for rate, hd_deg, mlp_deg in zip(
+        RATES, hd_curve.degradation(), mlp_curve.degradation()
+    ):
+        rows.append(
+            {
+                "fault_rate": rate,
+                "RegHD_mse_growth_%": 100.0 * hd_deg,
+                "DNN_mse_growth_%": 100.0 * mlp_deg,
+            }
+        )
+    print(
+        render_table(
+            rows,
+            precision=1,
+            title="Relative MSE growth under parameter sign-flips "
+            "(5 fault draws per point)",
+        )
+    )
+    print(
+        "\nHypervectors spread information uniformly across dimensions, so "
+        "random flips shave accuracy gradually; the DNN's structured "
+        "weights amplify single faults through the network."
+    )
+
+
+if __name__ == "__main__":
+    main()

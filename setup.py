@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` needs bdist_wheel; on the offline evaluation image the
+`wheel` distribution is unavailable, so `python setup.py develop` provides
+the equivalent editable install. Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

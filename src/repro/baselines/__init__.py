@@ -1,0 +1,23 @@
+"""From-scratch baseline regressors for the Table-1 comparison.
+
+See DESIGN.md §3: the paper used TensorFlow (DNN) and scikit-learn
+(linear, tree, SVR); this package re-implements them in numpy so the
+reproduction carries no forbidden dependencies.
+"""
+
+from repro.baselines.base import Regressor
+from repro.baselines.knn import KNNRegressor
+from repro.baselines.linear import RidgeRegression, SGDLinearRegression
+from repro.baselines.mlp import MLPRegressor
+from repro.baselines.svr import SVR
+from repro.baselines.tree import DecisionTreeRegressor
+
+__all__ = [
+    "Regressor",
+    "KNNRegressor",
+    "RidgeRegression",
+    "SGDLinearRegression",
+    "MLPRegressor",
+    "SVR",
+    "DecisionTreeRegressor",
+]

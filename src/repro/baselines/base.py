@@ -1,0 +1,70 @@
+"""Common interface for the from-scratch baseline regressors.
+
+These re-implement the paper's Table-1 comparators (DNN, linear model,
+decision tree, SVR) in pure numpy; see DESIGN.md §3 for why the original
+TensorFlow / scikit-learn implementations are substituted.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+from repro.types import ArrayLike, FloatArray
+from repro.utils.validation import check_1d, check_2d, check_matching_lengths
+
+
+class Regressor(ABC):
+    """Abstract base for baseline regressors: ``fit`` / ``predict``."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+        self._n_features: int | None = None
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._fitted
+
+    @property
+    def n_features(self) -> int | None:
+        """Feature count seen at fit time (None before fitting)."""
+        return self._n_features
+
+    def _validate_fit(
+        self, X: ArrayLike, y: ArrayLike
+    ) -> tuple[FloatArray, FloatArray]:
+        X_arr = check_2d("X", X)
+        y_arr = check_1d("y", y)
+        check_matching_lengths("X", X_arr, "y", y_arr)
+        self._n_features = X_arr.shape[1]
+        return X_arr, y_arr
+
+    def _validate_predict(self, X: ArrayLike) -> FloatArray:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__}.predict called before fit"
+            )
+        X_arr = check_2d("X", X)
+        if self._n_features is not None and X_arr.shape[1] != self._n_features:
+            raise NotFittedError(
+                f"{type(self).__name__} was fit with {self._n_features} "
+                f"features but asked to predict on {X_arr.shape[1]}"
+            )
+        return X_arr
+
+    @abstractmethod
+    def fit(self, X: ArrayLike, y: ArrayLike) -> "Regressor":
+        """Train on raw features and targets; returns self."""
+
+    @abstractmethod
+    def predict(self, X: ArrayLike) -> FloatArray:
+        """Predict targets for raw feature rows."""
+
+    def score(self, X: ArrayLike, y: ArrayLike) -> float:
+        """R² on the given data (convenience for grid search)."""
+        from repro.metrics import r2_score
+
+        return r2_score(check_1d("y", y), self.predict(X))

@@ -1,0 +1,81 @@
+"""k-nearest-neighbours regression.
+
+Not in the paper's Table 1 but used by the examples and by the ablation
+benches as a cheap non-parametric reference point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Regressor
+from repro.exceptions import ConfigurationError
+from repro.types import ArrayLike, FloatArray
+
+
+class KNNRegressor(Regressor):
+    """Uniform- or distance-weighted k-NN regression.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours.
+    weights:
+        ``"uniform"`` averages the neighbours; ``"distance"`` weights them
+        by inverse distance (an exact match predicts its own target).
+    """
+
+    def __init__(self, k: int = 5, *, weights: str = "uniform"):
+        super().__init__()
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if weights not in ("uniform", "distance"):
+            raise ConfigurationError(
+                f"weights must be 'uniform' or 'distance', got {weights!r}"
+            )
+        self.k = int(k)
+        self.weights = weights
+        self._X: FloatArray | None = None
+        self._y: FloatArray | None = None
+        self._x_mean: FloatArray | None = None
+        self._x_scale: FloatArray | None = None
+
+    def fit(self, X: ArrayLike, y: ArrayLike) -> "KNNRegressor":
+        X_arr, y_arr = self._validate_fit(X, y)
+        if self.k > X_arr.shape[0]:
+            raise ConfigurationError(
+                f"k={self.k} exceeds the {X_arr.shape[0]} training samples"
+            )
+        self._x_mean = X_arr.mean(axis=0)
+        scale = X_arr.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._x_scale = scale
+        self._X = (X_arr - self._x_mean) / self._x_scale
+        self._y = y_arr.copy()
+        self._fitted = True
+        return self
+
+    def predict(self, X: ArrayLike) -> FloatArray:
+        X_arr = self._validate_predict(X)
+        assert (
+            self._X is not None
+            and self._y is not None
+            and self._x_mean is not None
+            and self._x_scale is not None
+        )
+        Xs = (X_arr - self._x_mean) / self._x_scale
+        # Squared euclidean distances, (n_query, n_train).
+        d2 = (
+            np.sum(Xs**2, axis=1, keepdims=True)
+            - 2.0 * Xs @ self._X.T
+            + np.sum(self._X**2, axis=1)
+        )
+        np.maximum(d2, 0.0, out=d2)
+        nn = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
+        rows = np.arange(Xs.shape[0])[:, np.newaxis]
+        targets = self._y[nn]
+        if self.weights == "uniform":
+            return targets.mean(axis=1)
+        dist = np.sqrt(d2[rows, nn])
+        w = 1.0 / np.maximum(dist, 1e-12)
+        return (w * targets).sum(axis=1) / w.sum(axis=1)

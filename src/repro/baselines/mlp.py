@@ -1,0 +1,256 @@
+"""Feed-forward neural network ("DNN") with backprop, in pure numpy.
+
+This is the Table-1 "DNN" comparator and the efficiency counter-party of
+Figures 8-9: the hardware cost model charges it for full forward+backward
+passes per sample per epoch, which is where RegHD's training-speed
+advantage comes from.  Supports ReLU/tanh hidden layers, mini-batch SGD or
+Adam, L2 weight decay and early stopping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Regressor
+from repro.exceptions import ConfigurationError
+from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.utils.rng import as_generator
+
+
+def _relu(x: FloatArray) -> FloatArray:
+    return np.maximum(x, 0.0)
+
+
+def _relu_grad(pre: FloatArray) -> FloatArray:
+    return (pre > 0.0).astype(np.float64)
+
+
+def _tanh_grad(post: FloatArray) -> FloatArray:
+    return 1.0 - post**2
+
+
+class MLPRegressor(Regressor):
+    """Multi-layer perceptron regressor.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden-layer widths, e.g. ``(64, 64)``.
+    activation:
+        ``"relu"`` or ``"tanh"``.
+    lr:
+        Learning rate (Adam step size or SGD rate).
+    epochs:
+        Maximum training epochs.
+    batch_size:
+        Mini-batch size.
+    weight_decay:
+        L2 penalty coefficient.
+    optimizer:
+        ``"adam"`` or ``"sgd"``.
+    early_stopping_patience:
+        Stop after this many epochs without relative training-loss
+        improvement (0 disables).
+    seed:
+        Seed for weight init and shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (64, 64),
+        *,
+        activation: str = "relu",
+        lr: float = 1e-3,
+        epochs: int = 200,
+        batch_size: int = 32,
+        weight_decay: float = 1e-5,
+        optimizer: str = "adam",
+        early_stopping_patience: int = 10,
+        tol: float = 1e-4,
+        seed: SeedLike = 0,
+    ):
+        super().__init__()
+        if not hidden or any(h < 1 for h in hidden):
+            raise ConfigurationError(
+                f"hidden must be a non-empty tuple of positive widths, "
+                f"got {hidden}"
+            )
+        if activation not in ("relu", "tanh"):
+            raise ConfigurationError(
+                f"activation must be 'relu' or 'tanh', got {activation!r}"
+            )
+        if optimizer not in ("adam", "sgd"):
+            raise ConfigurationError(
+                f"optimizer must be 'adam' or 'sgd', got {optimizer!r}"
+            )
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be > 0, got {lr}")
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if weight_decay < 0:
+            raise ConfigurationError(
+                f"weight_decay must be >= 0, got {weight_decay}"
+            )
+        if early_stopping_patience < 0:
+            raise ConfigurationError(
+                f"early_stopping_patience must be >= 0, got "
+                f"{early_stopping_patience}"
+            )
+        self.hidden = tuple(int(h) for h in hidden)
+        self.activation = activation
+        self.lr = float(lr)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.weight_decay = float(weight_decay)
+        self.optimizer = optimizer
+        self.early_stopping_patience = int(early_stopping_patience)
+        self.tol = float(tol)
+        self._rng = as_generator(seed)
+
+        self.weights_: list[FloatArray] = []
+        self.biases_: list[FloatArray] = []
+        self.loss_curve_: list[float] = []
+        self.n_epochs_ = 0
+        self._x_mean: FloatArray | None = None
+        self._x_scale: FloatArray | None = None
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+
+    # -- internals -----------------------------------------------------------
+
+    def _init_params(self, n_in: int) -> None:
+        sizes = [n_in, *self.hidden, 1]
+        self.weights_ = []
+        self.biases_ = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            # He init for relu, Xavier for tanh.
+            if self.activation == "relu":
+                std = np.sqrt(2.0 / fan_in)
+            else:
+                std = np.sqrt(1.0 / fan_in)
+            self.weights_.append(self._rng.normal(0.0, std, (fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+    def _forward(
+        self, X: FloatArray
+    ) -> tuple[FloatArray, list[FloatArray], list[FloatArray]]:
+        pres: list[FloatArray] = []
+        posts: list[FloatArray] = [X]
+        a = X
+        for layer, (W, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = a @ W + b
+            pres.append(z)
+            if layer < len(self.weights_) - 1:
+                a = _relu(z) if self.activation == "relu" else np.tanh(z)
+            else:
+                a = z  # linear output head
+            posts.append(a)
+        return posts[-1][:, 0], pres, posts
+
+    def _backward(
+        self,
+        err: FloatArray,
+        pres: list[FloatArray],
+        posts: list[FloatArray],
+    ) -> tuple[list[FloatArray], list[FloatArray]]:
+        n = len(err)
+        grads_w: list[FloatArray] = [np.empty(0)] * len(self.weights_)
+        grads_b: list[FloatArray] = [np.empty(0)] * len(self.biases_)
+        delta = err[:, np.newaxis] / n  # dL/dz at output, L = mean sq err / 2
+        for layer in range(len(self.weights_) - 1, -1, -1):
+            grads_w[layer] = posts[layer].T @ delta + (
+                self.weight_decay * self.weights_[layer]
+            )
+            grads_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = delta @ self.weights_[layer].T
+                if self.activation == "relu":
+                    delta = delta * _relu_grad(pres[layer - 1])
+                else:
+                    delta = delta * _tanh_grad(posts[layer])
+        return grads_w, grads_b
+
+    # -- public API ------------------------------------------------------------
+
+    def fit(self, X: ArrayLike, y: ArrayLike) -> "MLPRegressor":
+        X_arr, y_arr = self._validate_fit(X, y)
+        self._x_mean = X_arr.mean(axis=0)
+        scale = X_arr.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._x_scale = scale
+        self._y_mean = float(y_arr.mean())
+        y_scale = float(y_arr.std())
+        self._y_scale = y_scale if y_scale > 0 else 1.0
+
+        Xs = (X_arr - self._x_mean) / self._x_scale
+        ys = (y_arr - self._y_mean) / self._y_scale
+        n = Xs.shape[0]
+        self._init_params(Xs.shape[1])
+
+        # Adam state.
+        m_w = [np.zeros_like(W) for W in self.weights_]
+        v_w = [np.zeros_like(W) for W in self.weights_]
+        m_b = [np.zeros_like(b) for b in self.biases_]
+        v_b = [np.zeros_like(b) for b in self.biases_]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        self.loss_curve_ = []
+        best_loss = np.inf
+        stall = 0
+        for epoch in range(1, self.epochs + 1):
+            order = self._rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                pred, pres, posts = self._forward(Xs[idx])
+                err = pred - ys[idx]
+                grads_w, grads_b = self._backward(err, pres, posts)
+                step += 1
+                for layer in range(len(self.weights_)):
+                    if self.optimizer == "adam":
+                        m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grads_w[layer]
+                        v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grads_w[layer] ** 2
+                        m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grads_b[layer]
+                        v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grads_b[layer] ** 2
+                        m_w_hat = m_w[layer] / (1 - beta1**step)
+                        v_w_hat = v_w[layer] / (1 - beta2**step)
+                        m_b_hat = m_b[layer] / (1 - beta1**step)
+                        v_b_hat = v_b[layer] / (1 - beta2**step)
+                        self.weights_[layer] -= self.lr * m_w_hat / (
+                            np.sqrt(v_w_hat) + eps
+                        )
+                        self.biases_[layer] -= self.lr * m_b_hat / (
+                            np.sqrt(v_b_hat) + eps
+                        )
+                    else:
+                        self.weights_[layer] -= self.lr * grads_w[layer]
+                        self.biases_[layer] -= self.lr * grads_b[layer]
+            pred_all, _, _ = self._forward(Xs)
+            loss = float(np.mean((pred_all - ys) ** 2))
+            self.loss_curve_.append(loss)
+            self.n_epochs_ = epoch
+            if not np.isfinite(best_loss) or (
+                best_loss - loss > self.tol * max(best_loss, 1e-12)
+            ):
+                best_loss = loss
+                stall = 0
+            else:
+                stall += 1
+                if (
+                    self.early_stopping_patience
+                    and stall >= self.early_stopping_patience
+                ):
+                    break
+        self._fitted = True
+        return self
+
+    def predict(self, X: ArrayLike) -> FloatArray:
+        X_arr = self._validate_predict(X)
+        assert self._x_mean is not None and self._x_scale is not None
+        Xs = (X_arr - self._x_mean) / self._x_scale
+        pred, _, _ = self._forward(Xs)
+        return pred * self._y_scale + self._y_mean

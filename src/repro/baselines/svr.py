@@ -1,0 +1,162 @@
+"""Support vector regression via subgradient descent, from scratch.
+
+Linear epsilon-insensitive SVR trained by mini-batch subgradient descent
+on the primal objective
+
+    (1/2) ||w||^2 * reg + C * mean(max(0, |w.x + b - y| - eps))
+
+with an optional random-Fourier-feature lift that approximates RBF-kernel
+SVR — which is what scikit-learn's default ``SVR`` (the paper's
+comparator) effectively is, minus the exact QP solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Regressor
+from repro.exceptions import ConfigurationError
+from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.utils.rng import as_generator, derive_generator
+
+
+class SVR(Regressor):
+    """Epsilon-insensitive support vector regression.
+
+    Parameters
+    ----------
+    C:
+        Loss weight (inverse regularisation).
+    epsilon:
+        Width of the insensitive tube, in *standardised* target units.
+    kernel:
+        ``"linear"`` or ``"rbf"`` (random-Fourier-feature approximation).
+    gamma:
+        RBF bandwidth; ``None`` selects ``1 / n_features``.
+    n_components:
+        Number of random Fourier features for the RBF approximation.
+    lr, epochs, batch_size, seed:
+        Subgradient-descent knobs.
+    """
+
+    def __init__(
+        self,
+        *,
+        C: float = 1.0,
+        epsilon: float = 0.1,
+        kernel: str = "rbf",
+        gamma: float | None = None,
+        n_components: int = 256,
+        lr: float = 0.05,
+        epochs: int = 60,
+        batch_size: int = 32,
+        seed: SeedLike = 0,
+    ):
+        super().__init__()
+        if C <= 0:
+            raise ConfigurationError(f"C must be > 0, got {C}")
+        if epsilon < 0:
+            raise ConfigurationError(f"epsilon must be >= 0, got {epsilon}")
+        if kernel not in ("linear", "rbf"):
+            raise ConfigurationError(
+                f"kernel must be 'linear' or 'rbf', got {kernel!r}"
+            )
+        if gamma is not None and gamma <= 0:
+            raise ConfigurationError(f"gamma must be > 0, got {gamma}")
+        if n_components < 1:
+            raise ConfigurationError(
+                f"n_components must be >= 1, got {n_components}"
+            )
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be > 0, got {lr}")
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        self.C = float(C)
+        self.epsilon = float(epsilon)
+        self.kernel = kernel
+        self.gamma = gamma
+        self.n_components = int(n_components)
+        self.lr = float(lr)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self._seed = seed
+        self._rng = as_generator(derive_generator(seed, 0))
+
+        self.coef_: FloatArray | None = None
+        self.intercept_ = 0.0
+        self._rff_w: FloatArray | None = None
+        self._rff_b: FloatArray | None = None
+        self._x_mean: FloatArray | None = None
+        self._x_scale: FloatArray | None = None
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+
+    def _lift(self, Xs: FloatArray) -> FloatArray:
+        if self.kernel == "linear":
+            return Xs
+        assert self._rff_w is not None and self._rff_b is not None
+        proj = Xs @ self._rff_w + self._rff_b
+        return np.sqrt(2.0 / self.n_components) * np.cos(proj)
+
+    def fit(self, X: ArrayLike, y: ArrayLike) -> "SVR":
+        X_arr, y_arr = self._validate_fit(X, y)
+        self._x_mean = X_arr.mean(axis=0)
+        scale = X_arr.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._x_scale = scale
+        self._y_mean = float(y_arr.mean())
+        y_scale = float(y_arr.std())
+        self._y_scale = y_scale if y_scale > 0 else 1.0
+
+        Xs = (X_arr - self._x_mean) / self._x_scale
+        ys = (y_arr - self._y_mean) / self._y_scale
+
+        if self.kernel == "rbf":
+            gamma = self.gamma if self.gamma is not None else 1.0 / Xs.shape[1]
+            rff_rng = as_generator(derive_generator(self._seed, 1))
+            self._rff_w = rff_rng.normal(
+                0.0, np.sqrt(2.0 * gamma), size=(Xs.shape[1], self.n_components)
+            )
+            self._rff_b = rff_rng.uniform(0.0, 2.0 * np.pi, self.n_components)
+        Z = self._lift(Xs)
+
+        n, d = Z.shape
+        w = np.zeros(d)
+        b = 0.0
+        reg = 1.0 / (self.C * n)
+        for _ in range(self.epochs):
+            order = self._rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                Z_b, y_b = Z[idx], ys[idx]
+                resid = Z_b @ w + b - y_b
+                # Subgradient of the eps-insensitive loss.
+                sign = np.where(
+                    resid > self.epsilon,
+                    1.0,
+                    np.where(resid < -self.epsilon, -1.0, 0.0),
+                )
+                grad_w = Z_b.T @ sign / len(idx) + reg * w
+                grad_b = float(sign.mean())
+                w -= self.lr * grad_w
+                b -= self.lr * grad_b
+        self.coef_ = w
+        self.intercept_ = b
+        self._fitted = True
+        return self
+
+    def predict(self, X: ArrayLike) -> FloatArray:
+        X_arr = self._validate_predict(X)
+        assert (
+            self.coef_ is not None
+            and self._x_mean is not None
+            and self._x_scale is not None
+        )
+        Xs = (X_arr - self._x_mean) / self._x_scale
+        Z = self._lift(Xs)
+        pred = Z @ self.coef_ + self.intercept_
+        return pred * self._y_scale + self._y_mean

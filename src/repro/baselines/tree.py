@@ -1,0 +1,168 @@
+"""CART regression tree, from scratch.
+
+Variance-reduction (squared-error) splits with the usual depth /
+min-samples / min-impurity-decrease controls.  Split finding is the
+vectorised cumulative-sum formulation, so fitting the Table-1 surrogates
+stays fast without any compiled code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import Regressor
+from repro.exceptions import ConfigurationError
+from repro.types import ArrayLike, FloatArray
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature == -1``."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _best_split(
+    X: FloatArray, y: FloatArray, min_leaf: int
+) -> tuple[int, float, float] | None:
+    """Return ``(feature, threshold, gain)`` of the best squared-error split.
+
+    Gain is the reduction in total squared error.  ``None`` when no split
+    satisfies the ``min_leaf`` constraint.
+    """
+    n = len(y)
+    total_sum = y.sum()
+    total_sq = float(((y - y.mean()) ** 2).sum())
+    best: tuple[int, float, float] | None = None
+    best_gain = 0.0
+    for feature in range(X.shape[1]):
+        order = np.argsort(X[:, feature], kind="stable")
+        x_sorted = X[order, feature]
+        y_sorted = y[order]
+        csum = np.cumsum(y_sorted)
+        csq = np.cumsum(y_sorted**2)
+        # Candidate split after position i (left = first i+1 samples).
+        counts_left = np.arange(1, n)
+        counts_right = n - counts_left
+        valid = (
+            (counts_left >= min_leaf)
+            & (counts_right >= min_leaf)
+            & (x_sorted[:-1] < x_sorted[1:])  # cannot split equal values
+        )
+        if not valid.any():
+            continue
+        sum_left = csum[:-1]
+        sq_left = csq[:-1]
+        sum_right = total_sum - sum_left
+        sq_right = csq[-1] - sq_left
+        sse_left = sq_left - sum_left**2 / counts_left
+        sse_right = sq_right - sum_right**2 / counts_right
+        gain = total_sq - (sse_left + sse_right)
+        gain = np.where(valid, gain, -np.inf)
+        i = int(np.argmax(gain))
+        if gain[i] > best_gain:
+            best_gain = float(gain[i])
+            threshold = 0.5 * (x_sorted[i] + x_sorted[i + 1])
+            best = (feature, float(threshold), best_gain)
+    return best
+
+
+class DecisionTreeRegressor(Regressor):
+    """Binary regression tree grown greedily by variance reduction.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum depth (root is depth 0); ``None`` means unbounded.
+    min_samples_split:
+        Minimum samples a node needs to be considered for splitting.
+    min_samples_leaf:
+        Minimum samples each child must receive.
+    min_impurity_decrease:
+        Minimum total-squared-error reduction a split must achieve.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = 8,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        min_impurity_decrease: float = 0.0,
+    ):
+        super().__init__()
+        if max_depth is not None and max_depth < 0:
+            raise ConfigurationError(
+                f"max_depth must be >= 0 or None, got {max_depth}"
+            )
+        if min_samples_split < 2:
+            raise ConfigurationError(
+                f"min_samples_split must be >= 2, got {min_samples_split}"
+            )
+        if min_samples_leaf < 1:
+            raise ConfigurationError(
+                f"min_samples_leaf must be >= 1, got {min_samples_leaf}"
+            )
+        if min_impurity_decrease < 0:
+            raise ConfigurationError(
+                f"min_impurity_decrease must be >= 0, got "
+                f"{min_impurity_decrease}"
+            )
+        self.max_depth = max_depth
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.min_impurity_decrease = float(min_impurity_decrease)
+        self._root: _Node | None = None
+        self.n_nodes_ = 0
+        self.depth_ = 0
+
+    def _grow(self, X: FloatArray, y: FloatArray, depth: int) -> _Node:
+        self.n_nodes_ += 1
+        self.depth_ = max(self.depth_, depth)
+        node = _Node(prediction=float(y.mean()))
+        if (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or len(y) < self.min_samples_split
+            or np.all(y == y[0])
+        ):
+            return node
+        split = _best_split(X, y, self.min_samples_leaf)
+        if split is None or split[2] <= self.min_impurity_decrease:
+            return node
+        feature, threshold, _ = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def fit(self, X: ArrayLike, y: ArrayLike) -> "DecisionTreeRegressor":
+        X_arr, y_arr = self._validate_fit(X, y)
+        self.n_nodes_ = 0
+        self.depth_ = 0
+        self._root = self._grow(X_arr, y_arr, 0)
+        self._fitted = True
+        return self
+
+    def predict(self, X: ArrayLike) -> FloatArray:
+        X_arr = self._validate_predict(X)
+        assert self._root is not None
+        out = np.empty(X_arr.shape[0], dtype=np.float64)
+        for i, row in enumerate(X_arr):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+                assert node is not None
+            out[i] = node.prediction
+        return out

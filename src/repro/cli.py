@@ -1,0 +1,382 @@
+"""Command-line interface: train, evaluate, inspect and deploy RegHD models.
+
+Examples
+--------
+List the available datasets::
+
+    python -m repro.cli datasets
+
+Train RegHD-8 on the airfoil surrogate and save the model::
+
+    python -m repro.cli train --dataset airfoil --k 8 --dim 2000 \\
+        --save airfoil.npz
+
+Predict with a saved model on a whitespace/CSV feature file::
+
+    python -m repro.cli predict airfoil.npz features.csv
+
+Compare model families on one dataset (Table-1 style)::
+
+    python -m repro.cli compare --dataset boston
+
+Query the Eq.-(4) capacity analysis::
+
+    python -m repro.cli capacity --dim 100000 --patterns 10000 --threshold 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro import (
+    BaselineHD,
+    MultiModelRegHD,
+    RegHDConfig,
+    SingleModelRegHD,
+    load_model,
+    save_model,
+)
+from repro.baselines import DecisionTreeRegressor, MLPRegressor, RidgeRegression, SVR
+from repro.core import ClusterQuant, ConvergencePolicy, PredictQuant
+from repro.core.capacity import capacity, false_positive_probability
+from repro.datasets import (
+    available_datasets,
+    load_dataset,
+    train_test_split,
+)
+from repro.datasets.preprocessing import StandardScaler
+from repro.evaluation import render_table, run_on_split
+from repro.metrics import mean_squared_error, r2_score
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="RegHD (DAC 2021) reproduction — command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered datasets")
+
+    train = sub.add_parser("train", help="train a RegHD model on a dataset")
+    train.add_argument("--dataset", required=True, help="registered dataset name")
+    train.add_argument("--k", type=int, default=8, help="number of models (0 = single-model)")
+    train.add_argument("--dim", type=int, default=2000, help="hypervector dimensionality")
+    train.add_argument("--lr", type=float, default=1.0, help="learning rate")
+    train.add_argument("--epochs", type=int, default=30, help="max training iterations")
+    train.add_argument("--seed", type=int, default=0, help="master seed")
+    train.add_argument(
+        "--cluster-quant",
+        choices=[c.value for c in ClusterQuant],
+        default="none",
+        help="Sec.-3.1 cluster quantisation scheme",
+    )
+    train.add_argument(
+        "--predict-quant",
+        choices=[p.value for p in PredictQuant],
+        default="full",
+        help="Sec.-3.2 prediction quantisation scheme",
+    )
+    train.add_argument("--max-samples", type=int, default=None, help="cap dataset size")
+    train.add_argument("--save", default=None, help="path to save the trained model (.npz)")
+
+    predict = sub.add_parser("predict", help="predict with a saved model")
+    predict.add_argument("model", help="model file from `train --save`")
+    predict.add_argument(
+        "features",
+        help="text file of feature rows (whitespace- or comma-separated)",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="Table-1-style model comparison on one dataset"
+    )
+    compare.add_argument("--dataset", required=True)
+    compare.add_argument("--dim", type=int, default=1000)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--max-samples", type=int, default=1500)
+
+    cap = sub.add_parser("capacity", help="Eq.-(4) capacity analysis")
+    cap.add_argument("--dim", type=int, required=True)
+    cap.add_argument("--threshold", type=float, default=0.5)
+    group = cap.add_mutually_exclusive_group(required=True)
+    group.add_argument("--patterns", type=int, help="query the false-positive rate")
+    group.add_argument(
+        "--max-error", type=float, help="query the capacity at this error"
+    )
+
+    hw = sub.add_parser(
+        "hardware", help="cost/memory report for a RegHD configuration"
+    )
+    hw.add_argument("--dim", type=int, default=4000)
+    hw.add_argument("--k", type=int, default=8)
+    hw.add_argument("--features", type=int, default=10)
+    hw.add_argument(
+        "--cluster-quant",
+        choices=[c.value for c in ClusterQuant],
+        default="framework",
+    )
+    hw.add_argument(
+        "--predict-quant",
+        choices=[p.value for p in PredictQuant],
+        default="binary_query",
+    )
+    hw.add_argument("--density", type=float, default=1.0, help="model density")
+    hw.add_argument("--train-samples", type=int, default=1000)
+    hw.add_argument("--epochs", type=int, default=15)
+
+    report = sub.add_parser(
+        "report",
+        help="collect benchmarks/results/*.txt into one experiment report",
+    )
+    report.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory the benchmarks wrote their tables to",
+    )
+    report.add_argument(
+        "--output", default=None, help="write the report here (default stdout)"
+    )
+    return parser
+
+
+def _cmd_datasets() -> int:
+    for name in available_datasets():
+        ds = load_dataset(name)
+        print(f"{name:12s} {ds.n_samples:6d} x {ds.n_features:3d}  {ds.description}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    if args.max_samples:
+        dataset = dataset.subsample(args.max_samples, seed=args.seed)
+    split = train_test_split(dataset, seed=args.seed)
+    scaler = StandardScaler().fit(split.X_train)
+    X_train = scaler.transform(split.X_train)
+    X_test = scaler.transform(split.X_test)
+
+    conv = ConvergencePolicy(max_epochs=args.epochs, patience=4)
+    if args.k <= 1:
+        model: SingleModelRegHD | MultiModelRegHD = SingleModelRegHD(
+            dataset.n_features,
+            dim=args.dim,
+            lr=args.lr,
+            seed=args.seed,
+            convergence=conv,
+        )
+    else:
+        model = MultiModelRegHD(
+            dataset.n_features,
+            RegHDConfig(
+                dim=args.dim,
+                n_models=args.k,
+                lr=args.lr,
+                seed=args.seed,
+                convergence=conv,
+                cluster_quant=ClusterQuant(args.cluster_quant),
+                predict_quant=PredictQuant(args.predict_quant),
+            ),
+        )
+    model.fit(X_train, split.y_train)
+    pred = model.predict(X_test)
+    print(f"dataset     : {dataset.name} ({split.n_train} train / {split.n_test} test)")
+    print(f"model       : {model!r}")
+    print(f"iterations  : {model.history_.n_epochs}")
+    print(f"test MSE    : {mean_squared_error(split.y_test, pred):.4f}")
+    print(f"test R^2    : {r2_score(split.y_test, pred):.4f}")
+    if args.save:
+        path = save_model(model, args.save)
+        # The model was trained on standardised features; persist the
+        # scaler in a sidecar so `predict` can reproduce the pipeline.
+        sidecar = path.with_suffix(path.suffix + ".scaler.json")
+        sidecar.write_text(
+            json.dumps(
+                {
+                    "mean": scaler._mean.tolist(),
+                    "scale": scaler._scale.tolist(),
+                }
+            )
+        )
+        print(f"saved model : {path}")
+        print(f"saved scaler: {sidecar}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    import pathlib
+
+    model = load_model(args.model)
+    try:
+        X = np.loadtxt(args.features, delimiter=",")
+    except ValueError:
+        X = np.loadtxt(args.features)
+    X = np.atleast_2d(X)
+    # Apply the training-time feature scaler when its sidecar exists.
+    sidecar = pathlib.Path(args.model + ".scaler.json")
+    if not sidecar.exists():
+        sidecar = pathlib.Path(args.model).with_suffix(".npz.scaler.json")
+    if sidecar.exists():
+        params = json.loads(sidecar.read_text())
+        X = (X - np.asarray(params["mean"])) / np.asarray(params["scale"])
+    for value in model.predict(X):
+        print(f"{value:.6f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed).subsample(
+        args.max_samples, seed=args.seed
+    )
+    split = train_test_split(dataset, seed=args.seed)
+    conv = ConvergencePolicy(max_epochs=15, patience=4)
+    factories = {
+        "DNN": lambda n: MLPRegressor(hidden=(64, 64), epochs=60, seed=args.seed),
+        "LinearReg": lambda n: RidgeRegression(alpha=1.0),
+        "DecisionTree": lambda n: DecisionTreeRegressor(max_depth=8),
+        "SVR": lambda n: SVR(epochs=40, seed=args.seed),
+        "Baseline-HD": lambda n: BaselineHD(
+            n, dim=args.dim, n_bins=128, seed=args.seed, convergence=conv
+        ),
+        "RegHD-1": lambda n: SingleModelRegHD(
+            n, dim=args.dim, seed=args.seed, convergence=conv
+        ),
+        "RegHD-8": lambda n: MultiModelRegHD(
+            n,
+            RegHDConfig(dim=args.dim, n_models=8, seed=args.seed, convergence=conv),
+        ),
+    }
+    rows = []
+    for label, factory in factories.items():
+        result = run_on_split(
+            factory, split, dataset_name=dataset.name, model_label=label
+        )
+        rows.append(
+            {"model": label, "mse": result.mse, "r2": result.r2, "fit_s": result.fit_seconds}
+        )
+    rows.sort(key=lambda r: r["mse"])
+    print(render_table(rows, precision=3, title=f"comparison on {dataset.name}"))
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    if args.patterns is not None:
+        rate = false_positive_probability(args.dim, args.patterns, args.threshold)
+        print(
+            f"false-positive rate for D={args.dim}, P={args.patterns}, "
+            f"T={args.threshold}: {100 * rate:.2f} %"
+        )
+    else:
+        p_max = capacity(args.dim, args.threshold, args.max_error)
+        print(
+            f"capacity of D={args.dim} at T={args.threshold}, "
+            f"error<={args.max_error}: {p_max} patterns"
+        )
+    return 0
+
+
+def _cmd_hardware(args: argparse.Namespace) -> int:
+    from repro.hardware import (
+        PROFILES,
+        RegHDCostSpec,
+        estimate,
+        reghd_infer_cost,
+        reghd_memory,
+        reghd_train_cost,
+    )
+
+    spec = RegHDCostSpec(
+        n_features=args.features,
+        dim=args.dim,
+        n_models=args.k,
+        cluster_quant=ClusterQuant(args.cluster_quant),
+        predict_quant=PredictQuant(args.predict_quant),
+        model_density=args.density,
+    )
+    footprint = reghd_memory(spec, count_encoder=False)
+    print(
+        f"RegHD-{args.k} D={args.dim} "
+        f"(clusters={args.cluster_quant}, predict={args.predict_quant}, "
+        f"density={args.density})"
+    )
+    print(f"deployed parameters : {footprint.total_kib:.1f} KiB")
+    rows = []
+    train_ops = reghd_train_cost(spec, args.train_samples, args.epochs)
+    infer_ops = reghd_infer_cost(spec, 1)
+    for profile in PROFILES.values():
+        train = estimate(train_ops, profile)
+        infer = estimate(infer_ops, profile)
+        rows.append(
+            {
+                "device": profile.name,
+                "train_ms": train.latency_s * 1e3,
+                "train_mJ": train.energy_j * 1e3,
+                "infer_us": infer.latency_s * 1e6,
+                "infer_uJ": infer.energy_j * 1e6,
+            }
+        )
+    print(
+        render_table(
+            rows,
+            precision=3,
+            title=f"estimated cost ({args.train_samples} samples x "
+            f"{args.epochs} epochs training; per-query inference)",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    results_dir = pathlib.Path(args.results_dir)
+    files = sorted(results_dir.glob("*.txt"))
+    if not files:
+        print(
+            f"no result tables under {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 1
+    sections = ["# RegHD reproduction — collected benchmark tables", ""]
+    for path in files:
+        sections.append(f"## {path.stem}")
+        sections.append("")
+        sections.append("```")
+        sections.append(path.read_text().rstrip())
+        sections.append("```")
+        sections.append("")
+    report = "\n".join(sections)
+    if args.output:
+        pathlib.Path(args.output).write_text(report)
+        print(f"wrote {args.output} ({len(files)} tables)")
+    else:
+        print(report)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "predict":
+        return _cmd_predict(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "capacity":
+        return _cmd_capacity(args)
+    if args.command == "hardware":
+        return _cmd_hardware(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

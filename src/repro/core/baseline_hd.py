@@ -1,0 +1,186 @@
+"""Baseline-HD: regression emulated by HD *classification* (paper's [18]).
+
+The comparator the paper evaluates against: discretise the output range
+into bins, keep one class hypervector per bin, train them with standard
+error-driven HD classification updates, and predict the *centre of the
+most similar bin*.  Two structural weaknesses make it a poor regressor —
+both reproduced here and visible in the Table-1 benchmark:
+
+* the prediction is inherently discrete (resolution = bin width), so on
+  high-precision targets the quantisation error alone dominates;
+* getting usable resolution "requires hundreds of class hypervectors",
+  which makes the similarity search expensive (the efficiency benchmarks
+  charge it for exactly that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ConvergencePolicy
+from repro.core.trainer import IterativeTrainer, TrainingHistory
+from repro.encoding.base import Encoder
+from repro.encoding.nonlinear import NonlinearEncoder
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.utils.rng import derive_generator
+from repro.utils.validation import check_1d, check_2d, check_matching_lengths
+
+
+def _normalize_rows(S: FloatArray, eps: float = 1e-12) -> FloatArray:
+    norms = np.linalg.norm(S, axis=1, keepdims=True)
+    return S / np.maximum(norms, eps)
+
+
+class BaselineHD:
+    """HD classification over output-range bins, used as a regressor.
+
+    Parameters
+    ----------
+    in_features:
+        Number of raw input features.
+    n_bins:
+        Number of output bins / class hypervectors (the paper's baseline
+        needs "hundreds" for acceptable resolution).
+    dim:
+        Hypervector dimensionality.
+    lr:
+        Learning rate of the error-driven class updates.
+    batch_size, encoder, convergence, seed:
+        As in the RegHD models.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        *,
+        n_bins: int = 128,
+        dim: int = 4000,
+        lr: float = 0.1,
+        batch_size: int = 32,
+        encoder: Encoder | None = None,
+        convergence: ConvergencePolicy | None = None,
+        seed: SeedLike = 0,
+    ):
+        if n_bins < 2:
+            raise ConfigurationError(f"n_bins must be >= 2, got {n_bins}")
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be > 0, got {lr}")
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if encoder is not None and encoder.in_features != in_features:
+            raise ConfigurationError(
+                f"encoder expects {encoder.in_features} features, model "
+                f"was given in_features={in_features}"
+            )
+        self.n_bins = int(n_bins)
+        self.lr = float(lr)
+        self.batch_size = int(batch_size)
+        self.encoder = encoder or NonlinearEncoder(
+            in_features, dim, derive_generator(seed, 0)
+        )
+        self.convergence = convergence or ConvergencePolicy()
+        self._seed = seed
+        self.class_vectors = np.zeros((self.n_bins, self.encoder.dim))
+        self.bin_centers = np.linspace(0.0, 1.0, self.n_bins)
+        self._y_low = 0.0
+        self._y_high = 1.0
+        self._fitted = False
+        self.history_: TrainingHistory | None = None
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality ``D``."""
+        return self.encoder.dim
+
+    @property
+    def in_features(self) -> int:
+        """Number of raw input features."""
+        return self.encoder.in_features
+
+    def _bin_index(self, y: FloatArray) -> np.ndarray:
+        span = max(self._y_high - self._y_low, np.finfo(float).tiny)
+        frac = (np.asarray(y, dtype=np.float64) - self._y_low) / span
+        idx = np.floor(np.clip(frac, 0.0, 1.0) * self.n_bins).astype(np.int64)
+        return np.minimum(idx, self.n_bins - 1)
+
+    # -- trainer protocol ---------------------------------------------------
+
+    def fit_epoch(self, S: FloatArray, y: FloatArray, order: np.ndarray) -> None:
+        """Classic HD-classification updates: reward correct bin, punish the
+        wrongly-predicted one."""
+        true_bins = self._bin_index(y)
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start : start + self.batch_size]
+            S_b = S[idx]
+            sims = S_b @ self.class_vectors.T
+            pred = np.argmax(sims, axis=1)
+            truth = true_bins[idx]
+            wrong = pred != truth
+            if not np.any(wrong):
+                continue
+            S_w = S_b[wrong]
+            np.add.at(self.class_vectors, truth[wrong], self.lr * S_w)
+            np.add.at(self.class_vectors, pred[wrong], -self.lr * S_w)
+
+    def predict_encoded(self, S: FloatArray) -> FloatArray:
+        """Centre of the most similar bin (the discrete prediction)."""
+        sims = S @ self.class_vectors.T
+        return self.bin_centers[np.argmax(sims, axis=1)]
+
+    def end_epoch(self) -> None:
+        """No per-epoch post-processing."""
+
+    # -- public API -----------------------------------------------------------
+
+    def fit(
+        self,
+        X: ArrayLike,
+        y: ArrayLike,
+        *,
+        X_val: ArrayLike | None = None,
+        y_val: ArrayLike | None = None,
+    ) -> "BaselineHD":
+        """Train the class hypervectors iteratively until convergence."""
+        X_arr = check_2d("X", X)
+        y_arr = check_1d("y", y)
+        check_matching_lengths("X", X_arr, "y", y_arr)
+        self._y_low = float(np.min(y_arr))
+        self._y_high = float(np.max(y_arr))
+        if self._y_high == self._y_low:
+            self._y_high = self._y_low + 1.0
+        half_bin = (self._y_high - self._y_low) / (2.0 * self.n_bins)
+        self.bin_centers = np.linspace(
+            self._y_low + half_bin, self._y_high - half_bin, self.n_bins
+        )
+        self.class_vectors[:] = 0.0
+
+        S = _normalize_rows(self.encoder.encode_batch(X_arr))
+        S_val = None
+        y_val_arr = None
+        if X_val is not None and y_val is not None:
+            X_val_arr = check_2d("X_val", X_val)
+            y_val_arr = check_1d("y_val", y_val)
+            check_matching_lengths("X_val", X_val_arr, "y_val", y_val_arr)
+            S_val = _normalize_rows(self.encoder.encode_batch(X_val_arr))
+
+        # Re-derived per fit so repeated fits are bit-identical.
+        trainer = IterativeTrainer(self.convergence, derive_generator(self._seed, 1))
+        self.history_ = trainer.train(self, S, y_arr, S_val, y_val_arr)
+        self._fitted = True
+        return self
+
+    def predict(self, X: ArrayLike) -> FloatArray:
+        """Predict bin centres for raw feature rows."""
+        if not self._fitted:
+            raise NotFittedError("BaselineHD.predict called before fit")
+        S = _normalize_rows(self.encoder.encode_batch(check_2d("X", X)))
+        return self.predict_encoded(S)
+
+    def __repr__(self) -> str:
+        return (
+            f"BaselineHD(in_features={self.in_features}, dim={self.dim}, "
+            f"n_bins={self.n_bins})"
+        )

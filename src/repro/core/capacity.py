@@ -1,0 +1,162 @@
+"""Hypervector capacity analysis (paper Sec. 2.3, Eqs. 3-4).
+
+A bundle ``M = S_1 + ... + S_P`` of P random bipolar hypervectors can be
+queried for membership: ``delta(M, Q) / D > T``.  For a query *not* in the
+bundle, the dot product is a sum of P independent near-orthogonal noise
+terms, so the similarity is approximately Gaussian and the false-positive
+probability is the tail integral of Eq. (4):
+
+    Pr(Z > T * sqrt(D / P))
+
+The paper's worked example — D = 100,000, T = 0.5, P = 10,000 gives a 5.7 %
+false-positive rate — is reproduced by both the analytic form and the
+Monte-Carlo validator below, and is pinned by a benchmark
+(``benchmarks/test_capacity.py``).  This limited capacity is the paper's
+motivation for multi-model regression: a single model hypervector
+saturates on complex data.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.ops.generate import random_bipolar
+from repro.types import SeedLike
+from repro.utils.rng import as_generator
+
+
+def _check_dpt(dim: int, patterns: int, threshold: float) -> None:
+    if dim <= 0:
+        raise ConfigurationError(f"dim must be > 0, got {dim}")
+    if patterns <= 0:
+        raise ConfigurationError(f"patterns must be > 0, got {patterns}")
+    if threshold <= 0:
+        raise ConfigurationError(f"threshold must be > 0, got {threshold}")
+
+
+def _gaussian_tail(t: float) -> float:
+    """Upper-tail probability of the standard normal, Pr(Z > t)."""
+    return 0.5 * math.erfc(t / math.sqrt(2.0))
+
+
+def false_positive_probability(
+    dim: int, patterns: int, threshold: float
+) -> float:
+    """Eq. (4): probability a *foreign* query passes the membership test.
+
+    Parameters
+    ----------
+    dim:
+        Hypervector dimensionality ``D``.
+    patterns:
+        Number of bundled patterns ``P``.
+    threshold:
+        Normalised similarity threshold ``T``.
+
+    Examples
+    --------
+    >>> round(false_positive_probability(100_000, 10_000, 0.5), 3)
+    0.057
+    """
+    _check_dpt(dim, patterns, threshold)
+    return _gaussian_tail(threshold * math.sqrt(dim / patterns))
+
+
+def true_positive_probability(
+    dim: int, patterns: int, threshold: float
+) -> float:
+    """Probability a *member* query passes the membership test.
+
+    For ``Q = S_lambda`` the dot product is ``D`` plus noise from the other
+    ``P - 1`` patterns (Eq. 3), so detection succeeds with probability
+    ``Pr(Z > (T - 1) * sqrt(D / (P - 1)))``.
+    """
+    _check_dpt(dim, patterns, threshold)
+    if patterns == 1:
+        return 1.0 if threshold < 1.0 else 0.0
+    return _gaussian_tail((threshold - 1.0) * math.sqrt(dim / (patterns - 1)))
+
+
+def capacity(dim: int, threshold: float, max_error: float) -> int:
+    """Largest pattern count P whose false-positive rate stays <= ``max_error``.
+
+    Inverts Eq. (4): ``P = floor(D * T^2 / z^2)`` with ``z`` the standard
+    normal quantile at ``max_error``.
+    """
+    if not 0.0 < max_error < 0.5:
+        raise ConfigurationError(
+            f"max_error must be in (0, 0.5), got {max_error}"
+        )
+    _check_dpt(dim, 1, threshold)
+    # Invert the tail: find z with Pr(Z > z) = max_error by bisection on
+    # the complementary error function (no scipy dependency needed here).
+    lo, hi = 0.0, 40.0
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if _gaussian_tail(mid) > max_error:
+            lo = mid
+        else:
+            hi = mid
+    z = (lo + hi) / 2.0
+    return int(math.floor(dim * threshold * threshold / (z * z)))
+
+
+def empirical_false_positive_rate(
+    dim: int,
+    patterns: int,
+    threshold: float,
+    *,
+    n_queries: int = 2000,
+    seed: SeedLike = 0,
+) -> float:
+    """Monte-Carlo estimate of the Eq.-(4) false-positive rate.
+
+    Bundles ``patterns`` random bipolar hypervectors and measures how often
+    a fresh random query's normalised similarity exceeds ``threshold``.
+    The bundle is accumulated in chunks so arbitrarily large ``patterns``
+    fit in memory.
+    """
+    _check_dpt(dim, patterns, threshold)
+    if n_queries <= 0:
+        raise ConfigurationError(f"n_queries must be > 0, got {n_queries}")
+    rng = as_generator(seed)
+    bundle = np.zeros(dim, dtype=np.float64)
+    remaining = patterns
+    chunk = max(1, min(patterns, 8_388_608 // max(dim, 1)))
+    while remaining > 0:
+        take = min(chunk, remaining)
+        bundle += random_bipolar(take, dim, rng).astype(np.float64).sum(axis=0)
+        remaining -= take
+    queries = random_bipolar(n_queries, dim, rng).astype(np.float64)
+    sims = (queries @ bundle) / float(dim)
+    return float(np.mean(sims > threshold))
+
+
+def empirical_true_positive_rate(
+    dim: int,
+    patterns: int,
+    threshold: float,
+    *,
+    n_trials: int = 200,
+    seed: SeedLike = 0,
+) -> float:
+    """Monte-Carlo estimate of the member-detection rate.
+
+    Each trial bundles ``patterns`` fresh random hypervectors and queries
+    with one of its own members.
+    """
+    _check_dpt(dim, patterns, threshold)
+    if n_trials <= 0:
+        raise ConfigurationError(f"n_trials must be > 0, got {n_trials}")
+    rng = as_generator(seed)
+    hits = 0
+    for _ in range(n_trials):
+        members = random_bipolar(patterns, dim, rng).astype(np.float64)
+        bundle = members.sum(axis=0)
+        probe = members[int(rng.integers(patterns))]
+        if (probe @ bundle) / float(dim) > threshold:
+            hits += 1
+    return hits / n_trials

@@ -1,0 +1,343 @@
+"""Multi-model RegHD regression (paper Sec. 2.4) with Section-3 quantisation.
+
+RegHD-k keeps two sets of k hypervectors:
+
+* **cluster hypervectors** ``C_1..C_k`` — initialised to random bipolar
+  values; they cluster the encoded inputs by similarity;
+* **model hypervectors** ``M_1..M_k`` — zero-initialised; each is the
+  regression model for one input cluster.
+
+Per training sample (Fig. 4):
+
+1. similarity of the encoded input to every cluster (Eq. 5; Hamming on
+   binary copies under the Sec.-3.1 framework),
+2. softmax normalisation into per-cluster confidences ``delta'``,
+3. weighted prediction ``y_hat = sum_i delta'_i (M_i . S)`` (Eq. 6),
+4. error-driven model update ``M_i += alpha * delta'_i * (y - y_hat) * S``
+   (Eq. 7 — the per-model confidence weighting is what lets the k models
+   specialise; see ``update_weighting`` in :class:`RegHDConfig`),
+5. cluster update of the most similar centre
+   ``C_l += (1 - delta_l) * S`` (Eq. 8 — the ``1 - delta`` factor prevents
+   dominant patterns from saturating the centre).
+
+Quantisation follows the dual-copy framework of Section 3: all updates land
+on integer copies; binary copies are re-derived once per epoch and serve
+the similarity search (:class:`ClusterQuant`) and/or the prediction dot
+products (:class:`PredictQuant`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import RegHDConfig
+from repro.core.quantization import (
+    ClusterQuant,
+    DualCopy,
+    PredictQuant,
+    binarize_preserving_scale,
+)
+from repro.core.trainer import IterativeTrainer, TrainingHistory
+from repro.encoding.base import Encoder
+from repro.encoding.nonlinear import NonlinearEncoder
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.ops.generate import random_bipolar
+from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.utils.rng import derive_generator
+from repro.utils.validation import check_1d, check_2d, check_matching_lengths
+
+
+def _normalize_rows(S: FloatArray, eps: float = 1e-12) -> FloatArray:
+    norms = np.linalg.norm(S, axis=1, keepdims=True)
+    return S / np.maximum(norms, eps)
+
+
+def _softmax(scores: FloatArray) -> FloatArray:
+    """Row-wise softmax, numerically stabilised."""
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class MultiModelRegHD:
+    """RegHD-k: clustering and regression learned simultaneously.
+
+    Parameters
+    ----------
+    in_features:
+        Number of raw input features.
+    config:
+        Full hyper-parameter bundle; see :class:`RegHDConfig`.  Keyword
+        overrides may be passed instead of / on top of a config object.
+    encoder:
+        Optional pre-built encoder replacing the default
+        :class:`NonlinearEncoder`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import MultiModelRegHD, RegHDConfig
+    >>> rng = np.random.default_rng(0)
+    >>> X = rng.normal(size=(64, 5)); y = np.sin(X[:, 0]) + X[:, 1]
+    >>> model = MultiModelRegHD(5, RegHDConfig(dim=512, n_models=4))
+    >>> _ = model.fit(X, y)
+    >>> model.predict(X[:2]).shape
+    (2,)
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        config: RegHDConfig | None = None,
+        *,
+        encoder: Encoder | None = None,
+        **overrides: object,
+    ):
+        base = config or RegHDConfig()
+        if overrides:
+            base = base.with_overrides(**overrides)
+        self.config = base
+        if encoder is not None and encoder.in_features != in_features:
+            raise ConfigurationError(
+                f"encoder expects {encoder.in_features} features, model "
+                f"was given in_features={in_features}"
+            )
+        self.encoder = encoder or NonlinearEncoder(
+            in_features,
+            base.dim,
+            derive_generator(base.seed, 0),
+            base=base.encoder_base,
+            scale=base.encoder_scale,
+        )
+        if self.encoder.dim != base.dim:
+            raise ConfigurationError(
+                f"encoder dim {self.encoder.dim} != config dim {base.dim}"
+            )
+        self._init_state()
+        self.history_: TrainingHistory | None = None
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+        self._fitted = False
+
+    def _init_state(self) -> None:
+        """(Re-)initialise clusters and models.
+
+        Generators are re-derived from the seed here so that two ``fit``
+        calls on the same instance are bit-identical.
+        """
+        cfg = self.config
+        # Random bipolar cluster centres, scaled to unit norm so that
+        # (1 - delta)-weighted updates of unit-norm encodings move them at a
+        # useful rate.  Cosine similarity is scale-invariant, so this does
+        # not change Eq. (5).
+        init = random_bipolar(
+            cfg.n_models, cfg.dim, derive_generator(cfg.seed, 1)
+        )
+        init = init.astype(np.float64) / np.sqrt(cfg.dim)
+        self.clusters = DualCopy(init)
+        self.models = DualCopy(np.zeros((cfg.n_models, cfg.dim)))
+
+    # -- similarity / confidence ------------------------------------------
+
+    def _cluster_similarities(self, S: FloatArray) -> FloatArray:
+        """Eq. (5) (or its Hamming replacement) for a batch: ``(n, k)``."""
+        cq = self.config.cluster_quant
+        if cq is ClusterQuant.NONE:
+            C = self.clusters.integer
+            norms = np.linalg.norm(C, axis=1)
+            norms = np.maximum(norms, 1e-12)
+            # S rows are unit-norm by construction.
+            return (S @ C.T) / norms
+        # Quantised search: Hamming similarity of sign patterns, which for
+        # bipolar views equals their cosine.  (sign(S) . sign(C)) / D is in
+        # [-1, 1], matching the cosine scale the softmax expects.
+        S_signs = np.sign(S)
+        S_signs[S_signs == 0] = 1.0
+        C_signs = np.sign(self.clusters.view(binary=True))
+        C_signs[C_signs == 0] = 1.0
+        return (S_signs @ C_signs.T) / float(self.config.dim)
+
+    def _confidences(self, sims: FloatArray) -> FloatArray:
+        """Softmax normalisation block of Fig. 4: ``delta'``."""
+        return _softmax(self.config.softmax_temp * sims)
+
+    # -- prediction ---------------------------------------------------------
+
+    def _effective_query(self, S: FloatArray) -> FloatArray:
+        if self.config.predict_quant.query_is_binary:
+            return binarize_preserving_scale(S)
+        return S
+
+    def _effective_models(self) -> FloatArray:
+        if self.config.predict_quant.model_is_binary:
+            return self.models.view(binary=True)
+        return self.models.integer
+
+    def predict_encoded(self, S: FloatArray) -> FloatArray:
+        """Eq. (6): confidence-weighted accumulation over all k models."""
+        sims = self._cluster_similarities(S)
+        conf = self._confidences(sims)
+        dots = self._effective_query(S) @ self._effective_models().T
+        return np.sum(conf * dots, axis=1)
+
+    # -- training -----------------------------------------------------------
+
+    def _model_update(
+        self,
+        S: FloatArray,
+        conf: FloatArray,
+        errors: FloatArray,
+    ) -> None:
+        lr = self.config.lr
+        weighting = self.config.update_weighting
+        if weighting == "confidence":
+            weights = conf * errors[:, np.newaxis]  # (n, k)
+        elif weighting == "argmax":
+            weights = np.zeros_like(conf)
+            top = np.argmax(conf, axis=1)
+            weights[np.arange(len(top)), top] = errors
+        else:  # uniform — Eq. (7) taken literally (ablation only)
+            weights = np.repeat(
+                errors[:, np.newaxis], self.config.n_models, axis=1
+            )
+        # Mean over the batch keeps the step size independent of
+        # batch_size; batch_size 1 reduces exactly to the online Eq. (7).
+        self.models.update_all(lr * (weights.T @ S) / S.shape[0])
+
+    def _cluster_update(self, S: FloatArray, sims: FloatArray) -> None:
+        """Eq. (8): pull the most similar centre toward the input."""
+        top = np.argmax(sims, axis=1)
+        weights = 1.0 - sims[np.arange(len(top)), top]
+        delta = np.zeros_like(self.clusters.integer)
+        np.add.at(delta, top, weights[:, np.newaxis] * S)
+        if self.config.cluster_quant is ClusterQuant.NAIVE:
+            # Naive binarisation: the stored cluster *is* binary, so every
+            # update is immediately re-quantised and the accumulated
+            # magnitude information is lost (paper Sec. 3.1's failure mode).
+            signs = np.sign(self.clusters.integer + delta)
+            signs[signs == 0] = 1.0
+            self.clusters.integer = signs / np.sqrt(self.config.dim)
+            self.clusters.rebinarize()
+        else:
+            self.clusters.update_all(delta)
+
+    def fit_epoch(self, S: FloatArray, y: FloatArray, order: np.ndarray) -> None:
+        """One pass of mini-batch updates over pre-encoded data."""
+        batch = self.config.batch_size
+        for start in range(0, len(order), batch):
+            idx = order[start : start + batch]
+            S_b = S[idx]
+            sims = self._cluster_similarities(S_b)
+            conf = self._confidences(sims)
+            dots = self._effective_query(S_b) @ self._effective_models().T
+            errors = y[idx] - np.sum(conf * dots, axis=1)
+            self._model_update(S_b, conf, errors)
+            self._cluster_update(S_b, sims)
+
+    def end_epoch(self) -> None:
+        """Per-epoch re-binarisation of the dual copies (Fig. 5)."""
+        if self.config.cluster_quant is ClusterQuant.FRAMEWORK:
+            self.clusters.rebinarize()
+        if self.config.predict_quant.model_is_binary:
+            self.models.rebinarize()
+
+    # -- public API -----------------------------------------------------------
+
+    def _encode_normalized(self, X: ArrayLike) -> FloatArray:
+        return _normalize_rows(self.encoder.encode_batch(X))
+
+    def fit(
+        self,
+        X: ArrayLike,
+        y: ArrayLike,
+        *,
+        X_val: ArrayLike | None = None,
+        y_val: ArrayLike | None = None,
+    ) -> "MultiModelRegHD":
+        """Iteratively train clusters and models until convergence."""
+        X_arr = check_2d("X", X)
+        y_arr = check_1d("y", y)
+        check_matching_lengths("X", X_arr, "y", y_arr)
+
+        self._y_mean = float(np.mean(y_arr))
+        scale = float(np.std(y_arr))
+        self._y_scale = scale if scale > 0 else 1.0
+        y_norm = (y_arr - self._y_mean) / self._y_scale
+
+        S = self._encode_normalized(X_arr)
+        S_val = None
+        y_val_norm = None
+        if X_val is not None and y_val is not None:
+            X_val_arr = check_2d("X_val", X_val)
+            y_val_arr = check_1d("y_val", y_val)
+            check_matching_lengths("X_val", X_val_arr, "y_val", y_val_arr)
+            S_val = self._encode_normalized(X_val_arr)
+            y_val_norm = (y_val_arr - self._y_mean) / self._y_scale
+
+        self._init_state()
+        trainer = IterativeTrainer(
+            self.config.convergence, derive_generator(self.config.seed, 2)
+        )
+        self.history_ = trainer.train(self, S, y_norm, S_val, y_val_norm)
+        self._fitted = True
+        return self
+
+    def partial_fit(self, X: ArrayLike, y: ArrayLike) -> "MultiModelRegHD":
+        """One online pass without resetting state (streaming workloads)."""
+        X_arr = check_2d("X", X)
+        y_arr = check_1d("y", y)
+        check_matching_lengths("X", X_arr, "y", y_arr)
+        if not self._fitted:
+            self._y_mean = float(np.mean(y_arr))
+            scale = float(np.std(y_arr))
+            self._y_scale = scale if scale > 0 else 1.0
+            self._fitted = True
+        y_norm = (y_arr - self._y_mean) / self._y_scale
+        S = self._encode_normalized(X_arr)
+        self.fit_epoch(S, y_norm, np.arange(len(y_norm)))
+        self.end_epoch()
+        return self
+
+    def predict(self, X: ArrayLike) -> FloatArray:
+        """Predict targets (original units) for raw feature rows."""
+        if not self._fitted:
+            raise NotFittedError("MultiModelRegHD.predict called before fit")
+        S = self._encode_normalized(check_2d("X", X))
+        return self.predict_encoded(S) * self._y_scale + self._y_mean
+
+    def cluster_assignments(self, X: ArrayLike) -> np.ndarray:
+        """Index of the most similar cluster centre per input row."""
+        if not self._fitted:
+            raise NotFittedError("cluster_assignments called before fit")
+        S = self._encode_normalized(check_2d("X", X))
+        return np.argmax(self._cluster_similarities(S), axis=1)
+
+    def confidences(self, X: ArrayLike) -> FloatArray:
+        """Per-cluster softmax confidences ``delta'`` for each input row."""
+        if not self._fitted:
+            raise NotFittedError("confidences called before fit")
+        S = self._encode_normalized(check_2d("X", X))
+        return self._confidences(self._cluster_similarities(S))
+
+    @property
+    def n_models(self) -> int:
+        """Number of cluster/model pairs ``k``."""
+        return self.config.n_models
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality ``D``."""
+        return self.config.dim
+
+    @property
+    def in_features(self) -> int:
+        """Number of raw input features."""
+        return self.encoder.in_features
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"MultiModelRegHD(in_features={self.in_features}, dim={cfg.dim}, "
+            f"k={cfg.n_models}, cluster_quant={cfg.cluster_quant.value}, "
+            f"predict_quant={cfg.predict_quant.value})"
+        )

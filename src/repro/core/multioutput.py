@@ -1,0 +1,143 @@
+"""Multi-output RegHD: vector targets with one shared encoder.
+
+Many IoT problems predict several quantities at once (multi-horizon
+forecasts, multi-sensor calibration).  RegHD extends naturally: the
+expensive part — encoding — depends only on the input, so one encoder is
+shared and each output dimension gets its own cluster/model hypervector
+pair set.  Training cost is `encode once + outputs × (search + update)`,
+versus `outputs ×` everything for naive per-output models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import RegHDConfig
+from repro.core.multi import MultiModelRegHD
+from repro.encoding.nonlinear import NonlinearEncoder
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.types import ArrayLike, FloatArray
+from repro.utils.rng import derive_generator
+from repro.utils.validation import check_2d, check_matching_lengths
+
+
+class MultiOutputRegHD:
+    """Vector-target RegHD with a shared encoder.
+
+    Parameters
+    ----------
+    in_features:
+        Number of raw input features.
+    n_outputs:
+        Target dimensionality.
+    config:
+        Shared :class:`RegHDConfig`; per-output heads derive their seeds
+        from ``config.seed`` (the *encoder* uses ``config.seed`` itself,
+        so all heads see identical encodings).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        n_outputs: int,
+        config: RegHDConfig | None = None,
+    ):
+        if n_outputs < 1:
+            raise ConfigurationError(
+                f"n_outputs must be >= 1, got {n_outputs}"
+            )
+        base = config or RegHDConfig()
+        if base.seed is None:
+            raise ConfigurationError(
+                "MultiOutputRegHD requires an integer config.seed"
+            )
+        self.config = base
+        self.n_outputs = int(n_outputs)
+        # One encoder, shared by every head (same construction as
+        # MultiModelRegHD's default so single-output behaviour matches).
+        self._encoder = NonlinearEncoder(
+            in_features,
+            base.dim,
+            derive_generator(base.seed, 0),
+            base=base.encoder_base,
+            scale=base.encoder_scale,
+        )
+        self.heads = [
+            MultiModelRegHD(
+                in_features,
+                base.with_overrides(seed=base.seed + output),
+                encoder=self._encoder,
+            )
+            for output in range(n_outputs)
+        ]
+        self._fitted = False
+
+    @property
+    def in_features(self) -> int:
+        """Number of raw input features."""
+        return self._encoder.in_features
+
+    @property
+    def encoder(self) -> NonlinearEncoder:
+        """The shared encoder."""
+        return self._encoder
+
+    def _validate_targets(self, X: FloatArray, Y: ArrayLike) -> FloatArray:
+        Y_arr = np.asarray(Y, dtype=np.float64)
+        if Y_arr.ndim == 1:
+            Y_arr = Y_arr[:, np.newaxis]
+        if Y_arr.ndim != 2 or Y_arr.shape[1] != self.n_outputs:
+            raise ConfigurationError(
+                f"Y must have shape (n, {self.n_outputs}), got {Y_arr.shape}"
+            )
+        check_matching_lengths("X", X, "Y", Y_arr)
+        return Y_arr
+
+    def fit(
+        self,
+        X: ArrayLike,
+        Y: ArrayLike,
+        *,
+        X_val: ArrayLike | None = None,
+        Y_val: ArrayLike | None = None,
+    ) -> "MultiOutputRegHD":
+        """Train every output head (shared encodings, per-head targets)."""
+        X_arr = check_2d("X", X)
+        Y_arr = self._validate_targets(X_arr, Y)
+        Y_val_arr = None
+        X_val_arr = None
+        if X_val is not None and Y_val is not None:
+            X_val_arr = check_2d("X_val", X_val)
+            Y_val_arr = self._validate_targets(X_val_arr, Y_val)
+        for output, head in enumerate(self.heads):
+            head.fit(
+                X_arr,
+                Y_arr[:, output],
+                X_val=X_val_arr,
+                y_val=None if Y_val_arr is None else Y_val_arr[:, output],
+            )
+        self._fitted = True
+        return self
+
+    def partial_fit(self, X: ArrayLike, Y: ArrayLike) -> "MultiOutputRegHD":
+        """One online pass for every head."""
+        X_arr = check_2d("X", X)
+        Y_arr = self._validate_targets(X_arr, Y)
+        for output, head in enumerate(self.heads):
+            head.partial_fit(X_arr, Y_arr[:, output])
+        self._fitted = True
+        return self
+
+    def predict(self, X: ArrayLike) -> FloatArray:
+        """Predict all outputs: shape ``(n, n_outputs)``."""
+        if not self._fitted:
+            raise NotFittedError("MultiOutputRegHD.predict called before fit")
+        X_arr = check_2d("X", X)
+        return np.column_stack([head.predict(X_arr) for head in self.heads])
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiOutputRegHD(in_features={self.in_features}, "
+            f"n_outputs={self.n_outputs}, dim={self.config.dim}, "
+            f"k={self.config.n_models})"
+        )

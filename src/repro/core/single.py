@@ -1,0 +1,206 @@
+"""Single-model RegHD regression (paper Sec. 2.3).
+
+One model hypervector ``M`` (zero-initialised) is trained online:
+
+    y_hat = M . S
+    M <- M + alpha * (y - y_hat) * S        (Eq. 2)
+
+i.e. least-mean-squares in the encoded space.  Because the encoder is
+nonlinear, this *linear* HD-space update fits nonlinear functions of the
+raw features.  The class also documents the capacity limitation the paper
+analyses (Sec. 2.3): a single hypervector saturates on complex data, which
+motivates the multi-model variant.
+
+Implementation notes (kept out of the paper's notation but required for a
+working system):
+
+* encoded hypervectors are L2-normalised before use, so the LMS update is
+  stable for any ``lr < 2`` independent of ``D``;
+* targets are internally standardised during :meth:`fit` and predictions
+  are mapped back, so the model works in original target units while the
+  hypervector arithmetic stays well-scaled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ConvergencePolicy
+from repro.core.trainer import IterativeTrainer, TrainingHistory
+from repro.encoding.base import Encoder
+from repro.encoding.nonlinear import NonlinearEncoder
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.utils.rng import derive_generator
+from repro.utils.validation import check_1d, check_2d, check_matching_lengths
+
+
+def _normalize_rows(S: FloatArray, eps: float = 1e-12) -> FloatArray:
+    norms = np.linalg.norm(S, axis=1, keepdims=True)
+    return S / np.maximum(norms, eps)
+
+
+class SingleModelRegHD:
+    """RegHD with a single regression hypervector.
+
+    Parameters
+    ----------
+    in_features:
+        Number of raw input features.
+    dim:
+        Hypervector dimensionality ``D``.
+    lr:
+        Learning rate ``alpha`` of Eq. (2).
+    batch_size:
+        Mini-batch size; 1 reproduces the paper's pure online update.
+    encoder:
+        Optional pre-built encoder (must match ``in_features``); by default
+        a :class:`NonlinearEncoder` is created from the seed.
+    convergence:
+        Iterative-retraining stopping rule.
+    seed:
+        Master seed for encoder bases and epoch shuffling.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        *,
+        dim: int = 4000,
+        lr: float = 1.0,
+        batch_size: int = 32,
+        encoder: Encoder | None = None,
+        convergence: ConvergencePolicy | None = None,
+        seed: SeedLike = 0,
+    ):
+        if lr <= 0 or lr >= 2:
+            raise ConfigurationError(
+                f"lr must lie in (0, 2) for LMS stability, got {lr}"
+            )
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if encoder is not None and encoder.in_features != in_features:
+            raise ConfigurationError(
+                f"encoder expects {encoder.in_features} features, model "
+                f"was given in_features={in_features}"
+            )
+        self.lr = float(lr)
+        self.batch_size = int(batch_size)
+        self.encoder = encoder or NonlinearEncoder(
+            in_features, dim, derive_generator(seed, 0)
+        )
+        self.convergence = convergence or ConvergencePolicy()
+        self._seed = seed
+        self.model = np.zeros(self.encoder.dim, dtype=np.float64)
+        self.history_: TrainingHistory | None = None
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+        self._fitted = False
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality ``D``."""
+        return self.encoder.dim
+
+    @property
+    def in_features(self) -> int:
+        """Number of raw input features."""
+        return self.encoder.in_features
+
+    # -- trainer protocol -------------------------------------------------
+
+    def fit_epoch(self, S: FloatArray, y: FloatArray, order: np.ndarray) -> None:
+        """One pass of mini-batch LMS updates over pre-encoded data."""
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start : start + self.batch_size]
+            S_b = S[idx]
+            errors = y[idx] - S_b @ self.model
+            # Mean over the batch keeps the step size (and hence the LMS
+            # stability bound lr < 2) independent of batch_size; batch_size
+            # 1 reduces exactly to the paper's online Eq. (2).
+            self.model += self.lr * (errors @ S_b) / len(idx)
+
+    def predict_encoded(self, S: FloatArray) -> FloatArray:
+        """Predict (normalised-unit) targets for encoded hypervectors."""
+        return S @ self.model
+
+    def end_epoch(self) -> None:
+        """No per-epoch post-processing for the full-precision model."""
+
+    # -- public API --------------------------------------------------------
+
+    def _encode_normalized(self, X: ArrayLike) -> FloatArray:
+        return _normalize_rows(self.encoder.encode_batch(X))
+
+    def fit(
+        self,
+        X: ArrayLike,
+        y: ArrayLike,
+        *,
+        X_val: ArrayLike | None = None,
+        y_val: ArrayLike | None = None,
+    ) -> "SingleModelRegHD":
+        """Iteratively train on ``(X, y)`` until convergence.
+
+        Validation data, if given, drives the convergence criterion;
+        otherwise training MSE is monitored.
+        """
+        X_arr = check_2d("X", X)
+        y_arr = check_1d("y", y)
+        check_matching_lengths("X", X_arr, "y", y_arr)
+
+        self._y_mean = float(np.mean(y_arr))
+        scale = float(np.std(y_arr))
+        self._y_scale = scale if scale > 0 else 1.0
+        y_norm = (y_arr - self._y_mean) / self._y_scale
+
+        S = self._encode_normalized(X_arr)
+        S_val = None
+        y_val_norm = None
+        if X_val is not None and y_val is not None:
+            X_val_arr = check_2d("X_val", X_val)
+            y_val_arr = check_1d("y_val", y_val)
+            check_matching_lengths("X_val", X_val_arr, "y_val", y_val_arr)
+            S_val = self._encode_normalized(X_val_arr)
+            y_val_norm = (y_val_arr - self._y_mean) / self._y_scale
+
+        self.model[:] = 0.0
+        # Re-derived per fit so repeated fits are bit-identical.
+        trainer = IterativeTrainer(self.convergence, derive_generator(self._seed, 1))
+        self.history_ = trainer.train(self, S, y_norm, S_val, y_val_norm)
+        self._fitted = True
+        return self
+
+    def partial_fit(self, X: ArrayLike, y: ArrayLike) -> "SingleModelRegHD":
+        """One online pass over ``(X, y)`` without resetting the model.
+
+        Target scaling is frozen after the first call (estimated from the
+        first batch), making this suitable for streaming workloads.
+        """
+        X_arr = check_2d("X", X)
+        y_arr = check_1d("y", y)
+        check_matching_lengths("X", X_arr, "y", y_arr)
+        if not self._fitted:
+            self._y_mean = float(np.mean(y_arr))
+            scale = float(np.std(y_arr))
+            self._y_scale = scale if scale > 0 else 1.0
+            self._fitted = True
+        y_norm = (y_arr - self._y_mean) / self._y_scale
+        S = self._encode_normalized(X_arr)
+        self.fit_epoch(S, y_norm, np.arange(len(y_norm)))
+        return self
+
+    def predict(self, X: ArrayLike) -> FloatArray:
+        """Predict targets (original units) for raw feature rows."""
+        if not self._fitted:
+            raise NotFittedError("SingleModelRegHD.predict called before fit")
+        S = self._encode_normalized(check_2d("X", X))
+        return self.predict_encoded(S) * self._y_scale + self._y_mean
+
+    def __repr__(self) -> str:
+        return (
+            f"SingleModelRegHD(in_features={self.in_features}, dim={self.dim}, "
+            f"lr={self.lr}, batch_size={self.batch_size})"
+        )

@@ -1,0 +1,101 @@
+"""Model sparsification — the SparseHD-style extension (paper Sec. 5).
+
+The related-work section points at [40] (SparseHD) and notes that "we can
+use these frameworks to sparsify the regression model".  This module
+implements that: keep only the highest-magnitude ``density`` fraction of
+each model hypervector's elements, optionally fine-tuning with the mask
+enforced so the surviving elements re-absorb the pruned information —
+the same dual-representation idea as the Section-3 quantisation framework,
+applied to sparsity.
+
+A sparse model hypervector turns the prediction dot product from ``D``
+multiply-accumulates into ``density * D``, which the hardware cost model
+prices via :class:`RegHDCostSpec`'s ``model_density`` field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multi import MultiModelRegHD
+from repro.core.single import SingleModelRegHD
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray
+
+
+def sparsify_rows(matrix: FloatArray, density: float) -> FloatArray:
+    """Keep the top-|value| ``density`` fraction per row, zero the rest.
+
+    ``density=1`` returns an unmodified copy; ``density`` must be in
+    (0, 1].  At least one element per row always survives.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ConfigurationError(f"density must be in (0, 1], got {density}")
+    arr = np.array(matrix, dtype=np.float64, copy=True)
+    single = arr.ndim == 1
+    if single:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2:
+        raise ConfigurationError(
+            f"sparsify_rows expects a vector or matrix, got shape {arr.shape}"
+        )
+    if density < 1.0:
+        keep = max(1, int(round(density * arr.shape[1])))
+        # Threshold per row at the keep-th largest magnitude.
+        magnitudes = np.abs(arr)
+        cutoff = np.partition(magnitudes, -keep, axis=1)[:, -keep][:, None]
+        arr[magnitudes < cutoff] = 0.0
+    return arr[0] if single else arr
+
+
+def density_of(matrix: FloatArray) -> float:
+    """Fraction of non-zero elements."""
+    arr = np.asarray(matrix)
+    if arr.size == 0:
+        raise ConfigurationError("empty array has no density")
+    return float(np.count_nonzero(arr) / arr.size)
+
+
+def apply_sparsity(
+    model: SingleModelRegHD | MultiModelRegHD, density: float
+) -> None:
+    """One-shot sparsification of a trained model's hypervectors, in place.
+
+    Prunes the regression model hypervectors only — cluster hypervectors
+    drive the (cheap, already-quantisable) similarity search and are left
+    dense, matching the paper's observation that the cluster model "does
+    not have a direct impact on the final prediction result".
+    """
+    if isinstance(model, SingleModelRegHD):
+        model.model[:] = sparsify_rows(model.model, density)
+    elif isinstance(model, MultiModelRegHD):
+        model.models.integer[:] = sparsify_rows(model.models.integer, density)
+        model.models.rebinarize()
+    else:
+        raise ConfigurationError(
+            f"cannot sparsify model of type {type(model).__name__}"
+        )
+
+
+def fine_tune_sparse(
+    model: SingleModelRegHD | MultiModelRegHD,
+    X: FloatArray,
+    y: FloatArray,
+    *,
+    density: float,
+    epochs: int = 5,
+) -> None:
+    """SparseHD-style iterative sparsification with masked retraining.
+
+    Alternates (train one epoch) -> (re-apply the top-k mask), so the
+    surviving coordinates compensate for the pruned ones.  The final model
+    satisfies the density constraint exactly.
+    """
+    if epochs < 1:
+        raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+    if not getattr(model, "_fitted", False):
+        raise ConfigurationError("fine_tune_sparse requires a fitted model")
+    apply_sparsity(model, density)
+    for _ in range(epochs):
+        model.partial_fit(X, y)
+        apply_sparsity(model, density)

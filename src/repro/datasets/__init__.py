@@ -1,0 +1,54 @@
+"""Datasets: synthetic generators and seeded UCI surrogates.
+
+See DESIGN.md §3 for the surrogate substitution rationale.
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.preprocessing import MinMaxScaler, StandardScaler, TargetScaler
+from repro.datasets.registry import (
+    PAPER_DATASETS,
+    available_datasets,
+    load_dataset,
+    register_dataset,
+)
+from repro.datasets.splits import Split, k_fold_splits, train_test_split
+from repro.datasets.synthetic import (
+    friedman1,
+    friedman2,
+    friedman3,
+    piecewise,
+    regime_mixture,
+    sinusoid,
+)
+from repro.datasets.timeseries import (
+    regime_switching_signal,
+    sensor_signal,
+    windowed_forecasting_dataset,
+)
+from repro.datasets.uci_like import SPECS, SurrogateSpec, build_surrogate
+
+__all__ = [
+    "Dataset",
+    "MinMaxScaler",
+    "StandardScaler",
+    "TargetScaler",
+    "PAPER_DATASETS",
+    "available_datasets",
+    "load_dataset",
+    "register_dataset",
+    "Split",
+    "k_fold_splits",
+    "train_test_split",
+    "friedman1",
+    "friedman2",
+    "friedman3",
+    "piecewise",
+    "regime_mixture",
+    "sinusoid",
+    "SPECS",
+    "SurrogateSpec",
+    "build_surrogate",
+    "regime_switching_signal",
+    "sensor_signal",
+    "windowed_forecasting_dataset",
+]

@@ -1,0 +1,97 @@
+"""Dataset container shared by generators, the registry and the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.types import FloatArray
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An in-memory regression dataset.
+
+    Attributes
+    ----------
+    name:
+        Registry name (e.g. ``"airfoil"``).
+    X:
+        Feature matrix, shape ``(n_samples, n_features)``.
+    y:
+        Target vector, shape ``(n_samples,)``.
+    feature_names:
+        One name per feature column.
+    target_name:
+        Name of the regression target.
+    description:
+        Human-readable provenance note (for the UCI surrogates this states
+        the substitution explicitly).
+    """
+
+    name: str
+    X: FloatArray
+    y: FloatArray
+    feature_names: tuple[str, ...] = field(default_factory=tuple)
+    target_name: str = "target"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        X = np.asarray(self.X, dtype=np.float64)
+        y = np.asarray(self.y, dtype=np.float64)
+        if X.ndim != 2:
+            raise DatasetError(f"X must be 2-D, got shape {X.shape}")
+        if y.ndim != 1:
+            raise DatasetError(f"y must be 1-D, got shape {y.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise DatasetError(
+                f"X and y lengths differ: {X.shape[0]} vs {y.shape[0]}"
+            )
+        if X.shape[0] == 0:
+            raise DatasetError("dataset must contain at least one sample")
+        object.__setattr__(self, "X", X)
+        object.__setattr__(self, "y", y)
+        if self.feature_names and len(self.feature_names) != X.shape[1]:
+            raise DatasetError(
+                f"{len(self.feature_names)} feature names for "
+                f"{X.shape[1]} features"
+            )
+
+    @property
+    def n_samples(self) -> int:
+        """Number of rows."""
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Number of feature columns."""
+        return int(self.X.shape[1])
+
+    def subsample(self, n: int, seed: int = 0) -> "Dataset":
+        """Return a uniformly subsampled copy with at most ``n`` rows.
+
+        Used by the benchmark harness to cap the runtime of the large
+        surrogates (wine, ccpp) without changing their structure.
+        """
+        if n <= 0:
+            raise DatasetError(f"n must be > 0, got {n}")
+        if n >= self.n_samples:
+            return self
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(self.n_samples, size=n, replace=False)
+        return Dataset(
+            name=self.name,
+            X=self.X[idx],
+            y=self.y[idx],
+            feature_names=self.feature_names,
+            target_name=self.target_name,
+            description=self.description,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, n_samples={self.n_samples}, "
+            f"n_features={self.n_features})"
+        )

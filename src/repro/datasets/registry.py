@@ -1,0 +1,71 @@
+"""Name → loader registry for all datasets.
+
+``load_dataset("airfoil")`` is the single entry point the harness,
+examples and benchmarks use; new datasets register themselves with
+:func:`register_dataset`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets import synthetic, uci_like
+from repro.datasets.base import Dataset
+from repro.exceptions import DatasetError
+from repro.types import SeedLike
+
+DatasetLoader = Callable[..., Dataset]
+
+_REGISTRY: dict[str, DatasetLoader] = {}
+
+
+def register_dataset(name: str, loader: DatasetLoader) -> None:
+    """Register a loader under ``name`` (errors on duplicates)."""
+    if name in _REGISTRY:
+        raise DatasetError(f"dataset {name!r} is already registered")
+    _REGISTRY[name] = loader
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Sorted names of every registered dataset."""
+    return tuple(sorted(_REGISTRY))
+
+
+def load_dataset(name: str, seed: SeedLike = 0, **kwargs: object) -> Dataset:
+    """Load a registered dataset by name with a seed.
+
+    Extra keyword arguments are forwarded to the loader (e.g.
+    ``n_samples`` for the synthetic generators).
+    """
+    try:
+        loader = _REGISTRY[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        ) from None
+    return loader(seed=seed, **kwargs)
+
+
+#: The seven Table-1 datasets, in the paper's column order.
+PAPER_DATASETS: tuple[str, ...] = (
+    "diabetes",
+    "boston",
+    "airfoil",
+    "wine",
+    "facebook",
+    "ccpp",
+    "forest",
+)
+
+register_dataset("diabetes", uci_like.load_diabetes)
+register_dataset("boston", uci_like.load_boston)
+register_dataset("airfoil", uci_like.load_airfoil)
+register_dataset("wine", uci_like.load_wine)
+register_dataset("facebook", uci_like.load_facebook)
+register_dataset("ccpp", uci_like.load_ccpp)
+register_dataset("forest", uci_like.load_forest)
+register_dataset("friedman1", synthetic.friedman1)
+register_dataset("friedman2", synthetic.friedman2)
+register_dataset("friedman3", synthetic.friedman3)
+register_dataset("sinusoid", synthetic.sinusoid)
+register_dataset("piecewise", synthetic.piecewise)

@@ -1,0 +1,83 @@
+"""Seeded train/test and k-fold splitting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import DatasetError
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class Split:
+    """A materialised train/test split of a dataset."""
+
+    X_train: FloatArray
+    y_train: FloatArray
+    X_test: FloatArray
+    y_test: FloatArray
+
+    @property
+    def n_train(self) -> int:
+        """Number of training rows."""
+        return int(self.X_train.shape[0])
+
+    @property
+    def n_test(self) -> int:
+        """Number of test rows."""
+        return int(self.X_test.shape[0])
+
+
+def train_test_split(
+    dataset: Dataset, *, test_fraction: float = 0.25, seed: SeedLike = 0
+) -> Split:
+    """Shuffle and split a dataset into train and test portions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise DatasetError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    n = dataset.n_samples
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise DatasetError(
+            f"test_fraction {test_fraction} leaves no training data for "
+            f"{n} samples"
+        )
+    rng = as_generator(seed)
+    order = rng.permutation(n)
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return Split(
+        X_train=dataset.X[train_idx],
+        y_train=dataset.y[train_idx],
+        X_test=dataset.X[test_idx],
+        y_test=dataset.y[test_idx],
+    )
+
+
+def k_fold_splits(
+    dataset: Dataset, *, k: int = 5, seed: SeedLike = 0
+) -> Iterator[Split]:
+    """Yield the k folds of a shuffled k-fold cross-validation."""
+    if k < 2:
+        raise DatasetError(f"k must be >= 2, got {k}")
+    n = dataset.n_samples
+    if k > n:
+        raise DatasetError(f"k={k} folds need at least {k} samples, got {n}")
+    rng = as_generator(seed)
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    for i in range(k):
+        test_idx = folds[i]
+        train_idx = np.concatenate([folds[j] for j in range(k) if j != i])
+        yield Split(
+            X_train=dataset.X[train_idx],
+            y_train=dataset.y[train_idx],
+            X_test=dataset.X[test_idx],
+            y_test=dataset.y[test_idx],
+        )

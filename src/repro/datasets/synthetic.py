@@ -1,0 +1,218 @@
+"""Synthetic regression generators.
+
+Standard benchmark functions (Friedman #1-#3, sinusoid, piecewise) plus the
+*regime-mixture* generator the UCI surrogates are built on.  All generators
+are fully seeded and return :class:`~repro.datasets.base.Dataset` objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import DatasetError
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import as_generator
+
+
+def _check_n(n_samples: int, minimum: int = 1) -> None:
+    if n_samples < minimum:
+        raise DatasetError(
+            f"n_samples must be >= {minimum}, got {n_samples}"
+        )
+
+
+def friedman1(
+    n_samples: int = 500,
+    *,
+    n_features: int = 10,
+    noise: float = 1.0,
+    seed: SeedLike = 0,
+) -> Dataset:
+    """Friedman #1: ``10 sin(pi x0 x1) + 20 (x2 - .5)^2 + 10 x3 + 5 x4 + e``.
+
+    Features are U[0, 1]; columns beyond the first five are pure
+    distractors, which makes this the classic test of whether a learner
+    identifies feature importance — exactly what the paper's Sec.-2.2
+    encoder discussion asks for.
+    """
+    _check_n(n_samples)
+    if n_features < 5:
+        raise DatasetError(f"friedman1 needs >= 5 features, got {n_features}")
+    rng = as_generator(seed)
+    X = rng.uniform(0.0, 1.0, size=(n_samples, n_features))
+    y = (
+        10.0 * np.sin(np.pi * X[:, 0] * X[:, 1])
+        + 20.0 * (X[:, 2] - 0.5) ** 2
+        + 10.0 * X[:, 3]
+        + 5.0 * X[:, 4]
+        + noise * rng.normal(size=n_samples)
+    )
+    return Dataset(
+        name="friedman1",
+        X=X,
+        y=y,
+        feature_names=tuple(f"x{i}" for i in range(n_features)),
+        description="Friedman #1 benchmark function with distractor features",
+    )
+
+
+def friedman2(
+    n_samples: int = 500, *, noise: float = 10.0, seed: SeedLike = 0
+) -> Dataset:
+    """Friedman #2: ``sqrt(x0^2 + (x1 x2 - 1/(x1 x3))^2) + e``."""
+    _check_n(n_samples)
+    rng = as_generator(seed)
+    x0 = rng.uniform(0.0, 100.0, n_samples)
+    x1 = rng.uniform(40.0 * np.pi, 560.0 * np.pi, n_samples)
+    x2 = rng.uniform(0.0, 1.0, n_samples)
+    x3 = rng.uniform(1.0, 11.0, n_samples)
+    y = np.sqrt(x0**2 + (x1 * x2 - 1.0 / (x1 * x3)) ** 2)
+    y = y + noise * rng.normal(size=n_samples)
+    X = np.stack([x0, x1, x2, x3], axis=1)
+    return Dataset(
+        name="friedman2",
+        X=X,
+        y=y,
+        feature_names=("x0", "x1", "x2", "x3"),
+        description="Friedman #2 benchmark function",
+    )
+
+
+def friedman3(
+    n_samples: int = 500, *, noise: float = 0.05, seed: SeedLike = 0
+) -> Dataset:
+    """Friedman #3: ``arctan((x1 x2 - 1/(x1 x3)) / x0) + e``."""
+    _check_n(n_samples)
+    rng = as_generator(seed)
+    x0 = rng.uniform(1.0, 100.0, n_samples)
+    x1 = rng.uniform(40.0 * np.pi, 560.0 * np.pi, n_samples)
+    x2 = rng.uniform(0.0, 1.0, n_samples)
+    x3 = rng.uniform(1.0, 11.0, n_samples)
+    y = np.arctan((x1 * x2 - 1.0 / (x1 * x3)) / x0)
+    y = y + noise * rng.normal(size=n_samples)
+    X = np.stack([x0, x1, x2, x3], axis=1)
+    return Dataset(
+        name="friedman3",
+        X=X,
+        y=y,
+        feature_names=("x0", "x1", "x2", "x3"),
+        description="Friedman #3 benchmark function",
+    )
+
+
+def sinusoid(
+    n_samples: int = 500,
+    *,
+    n_features: int = 1,
+    frequency: float = 2.0,
+    noise: float = 0.1,
+    seed: SeedLike = 0,
+) -> Dataset:
+    """Additive sinusoid: ``sum_k sin(frequency * x_k) + e`` on U[-pi, pi]."""
+    _check_n(n_samples)
+    if n_features < 1:
+        raise DatasetError(f"n_features must be >= 1, got {n_features}")
+    rng = as_generator(seed)
+    X = rng.uniform(-np.pi, np.pi, size=(n_samples, n_features))
+    y = np.sin(frequency * X).sum(axis=1) + noise * rng.normal(size=n_samples)
+    return Dataset(
+        name="sinusoid",
+        X=X,
+        y=y,
+        feature_names=tuple(f"x{i}" for i in range(n_features)),
+        description="Additive sinusoid",
+    )
+
+
+def piecewise(
+    n_samples: int = 500,
+    *,
+    n_features: int = 4,
+    n_pieces: int = 4,
+    noise: float = 0.2,
+    seed: SeedLike = 0,
+) -> Dataset:
+    """Piecewise-linear function with regime switches on the first feature.
+
+    The first feature's sign pattern across ``n_pieces`` thresholds selects
+    one of several linear maps — a compact "complex task" in the Fig.-3b
+    sense where a single linear HD readout underfits.
+    """
+    _check_n(n_samples)
+    if n_features < 1:
+        raise DatasetError(f"n_features must be >= 1, got {n_features}")
+    if n_pieces < 2:
+        raise DatasetError(f"n_pieces must be >= 2, got {n_pieces}")
+    rng = as_generator(seed)
+    X = rng.normal(size=(n_samples, n_features))
+    thresholds = np.quantile(
+        X[:, 0], np.linspace(0.0, 1.0, n_pieces + 1)[1:-1]
+    )
+    piece = np.searchsorted(thresholds, X[:, 0])
+    coefs = rng.normal(size=(n_pieces, n_features)) * 2.0
+    intercepts = rng.normal(size=n_pieces) * 3.0
+    y = np.einsum("ij,ij->i", X, coefs[piece]) + intercepts[piece]
+    y = y + noise * rng.normal(size=n_samples)
+    return Dataset(
+        name="piecewise",
+        X=X,
+        y=y,
+        feature_names=tuple(f"x{i}" for i in range(n_features)),
+        description=f"Piecewise-linear function with {n_pieces} regimes",
+    )
+
+
+def regime_mixture(
+    n_samples: int,
+    n_features: int,
+    *,
+    n_regimes: int = 8,
+    regime_spread: float = 2.5,
+    within_spread: float = 0.8,
+    nonlinearity: float = 1.5,
+    noise: float = 0.3,
+    seed: SeedLike = 0,
+    name: str = "regime_mixture",
+) -> Dataset:
+    """Mixture-of-regimes generator — the backbone of the UCI surrogates.
+
+    Inputs are drawn from ``n_regimes`` Gaussian blobs; each regime has its
+    own linear map, offset and sinusoidal component.  This structure gives
+    multi-model RegHD something real to cluster (the paper's Sec.-2.4
+    motivation) while a single linear-in-HD-space model must average the
+    regimes.  The target is returned in standardised units; callers rescale
+    it to the surrogate dataset's published range.
+    """
+    _check_n(n_samples)
+    if n_features < 1:
+        raise DatasetError(f"n_features must be >= 1, got {n_features}")
+    if n_regimes < 1:
+        raise DatasetError(f"n_regimes must be >= 1, got {n_regimes}")
+    rng = as_generator(seed)
+    centers = rng.normal(size=(n_regimes, n_features)) * regime_spread
+    coefs = rng.normal(size=(n_regimes, n_features))
+    offsets = rng.normal(size=n_regimes) * 2.0
+    freqs = rng.uniform(0.5, 2.0, size=n_regimes)
+
+    regime = rng.integers(0, n_regimes, size=n_samples)
+    X = centers[regime] + rng.normal(size=(n_samples, n_features)) * within_spread
+    local = X - centers[regime]
+    y = (
+        np.einsum("ij,ij->i", local, coefs[regime])
+        + offsets[regime]
+        + nonlinearity * np.sin(freqs[regime] * local[:, 0])
+    )
+    y = y + noise * rng.normal(size=n_samples)
+    # Standardise so surrogate builders can rescale deterministically.
+    y = (y - y.mean()) / max(y.std(), np.finfo(float).tiny)
+    return Dataset(
+        name=name,
+        X=X,
+        y=y,
+        feature_names=tuple(f"x{i}" for i in range(n_features)),
+        description=(
+            f"Gaussian mixture of {n_regimes} regimes with per-regime "
+            "linear + sinusoidal structure"
+        ),
+    )

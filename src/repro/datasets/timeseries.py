@@ -1,0 +1,99 @@
+"""Synthetic time-series generators for the streaming/forecasting examples.
+
+Seeded signal factories (periodic sensor traces, drifting concepts) plus
+the sliding-window materialiser that turns a series into a supervised
+one-step-ahead forecasting dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import DatasetError
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import as_generator
+
+
+def sensor_signal(
+    n: int,
+    *,
+    daily_period: float = 48.0,
+    weekly_period: float = 336.0,
+    drift_per_step: float = 0.0005,
+    noise: float = 0.08,
+    seed: SeedLike = 0,
+) -> FloatArray:
+    """A sensor-like trace: daily + weekly periodicity, drift, and noise."""
+    if n < 1:
+        raise DatasetError(f"n must be >= 1, got {n}")
+    if daily_period <= 0 or weekly_period <= 0:
+        raise DatasetError("periods must be > 0")
+    rng = as_generator(seed)
+    t = np.arange(n, dtype=np.float64)
+    return (
+        np.sin(2 * np.pi * t / daily_period)
+        + 0.6 * np.sin(2 * np.pi * t / weekly_period)
+        + drift_per_step * t
+        + noise * rng.normal(size=n)
+    )
+
+
+def regime_switching_signal(
+    n: int,
+    *,
+    switch_every: int = 400,
+    n_regimes: int = 3,
+    noise: float = 0.1,
+    seed: SeedLike = 0,
+) -> FloatArray:
+    """A series whose generating process changes abruptly every
+    ``switch_every`` steps — concept drift in the raw signal."""
+    if n < 1:
+        raise DatasetError(f"n must be >= 1, got {n}")
+    if switch_every < 1:
+        raise DatasetError(f"switch_every must be >= 1, got {switch_every}")
+    if n_regimes < 1:
+        raise DatasetError(f"n_regimes must be >= 1, got {n_regimes}")
+    rng = as_generator(seed)
+    freqs = rng.uniform(0.05, 0.4, size=n_regimes)
+    amps = rng.uniform(0.5, 1.5, size=n_regimes)
+    offsets = rng.normal(size=n_regimes)
+    t = np.arange(n, dtype=np.float64)
+    regime = (t // switch_every).astype(np.int64) % n_regimes
+    signal = amps[regime] * np.sin(freqs[regime] * t) + offsets[regime]
+    return signal + noise * rng.normal(size=n)
+
+
+def windowed_forecasting_dataset(
+    series: FloatArray,
+    *,
+    window: int,
+    horizon: int = 1,
+    name: str = "forecast",
+) -> Dataset:
+    """Materialise a series into (window -> value at +horizon) pairs."""
+    arr = np.asarray(series, dtype=np.float64).ravel()
+    if window < 1:
+        raise DatasetError(f"window must be >= 1, got {window}")
+    if horizon < 1:
+        raise DatasetError(f"horizon must be >= 1, got {horizon}")
+    usable = len(arr) - window - horizon + 1
+    if usable < 1:
+        raise DatasetError(
+            f"series of length {len(arr)} too short for window {window} "
+            f"and horizon {horizon}"
+        )
+    X = np.stack([arr[i : i + window] for i in range(usable)])
+    y = arr[window + horizon - 1 : window + horizon - 1 + usable]
+    return Dataset(
+        name=name,
+        X=X,
+        y=y,
+        feature_names=tuple(f"lag{window - i}" for i in range(window)),
+        target_name=f"t+{horizon}",
+        description=(
+            f"sliding-window forecasting dataset (window={window}, "
+            f"horizon={horizon})"
+        ),
+    )

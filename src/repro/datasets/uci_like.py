@@ -1,0 +1,241 @@
+"""Seeded synthetic surrogates of the paper's seven UCI evaluation datasets.
+
+**Substitution notice (DESIGN.md §3).**  The paper evaluates on seven public
+datasets (diabetes, Boston housing, airfoil self-noise, wine quality,
+Facebook metrics, combined-cycle power plant, forest fires).  This offline
+reproduction cannot download them, so each loader below generates a
+*surrogate*: a seeded regime-mixture dataset matched to the original's
+
+* shape (samples × features),
+* target location/scale (published mean and standard deviation),
+* achievable signal-to-noise ratio (chosen so the best attainable R² is in
+  the ballpark the paper's Table-1 MSEs imply), and
+* qualitative quirks — integer quality scores for wine, a zero-inflated
+  heavy tail for forest fires, a count-like heavy tail for the Facebook
+  metric.
+
+What this preserves: every code path the paper's benchmarks exercise, and
+the *relative* standing of the methods (the regime structure gives
+multi-model RegHD real clusters to find; the noise floor keeps every model
+honest).  What it does not preserve: absolute MSE values, which depend on
+the real data and are explicitly out of scope (EXPERIMENTS.md reports both
+sides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import regime_mixture
+from repro.types import SeedLike
+from repro.utils.rng import as_generator, derive_generator
+
+
+@dataclass(frozen=True)
+class SurrogateSpec:
+    """Recipe for one UCI surrogate."""
+
+    name: str
+    n_samples: int
+    n_features: int
+    target_mean: float
+    target_std: float
+    target_min: float | None
+    target_max: float | None
+    signal_fraction: float  # fraction of target variance that is learnable
+    n_regimes: int
+    target_name: str
+    note: str
+    integer_target: bool = False
+    heavy_tail: bool = False
+
+
+#: Shapes from the UCI repository; target moments from the published
+#: dataset statistics; signal fractions chosen so the best attainable MSE
+#: sits where the paper's Table 1 implies (e.g. diabetes is mostly noise,
+#: CCPP is nearly deterministic).
+SPECS: dict[str, SurrogateSpec] = {
+    "diabetes": SurrogateSpec(
+        name="diabetes",
+        n_samples=442,
+        n_features=10,
+        target_mean=152.0,
+        target_std=77.0,
+        target_min=25.0,
+        target_max=346.0,
+        signal_fraction=0.45,
+        n_regimes=4,
+        target_name="disease_progression",
+        note="diabetes patient records (442x10), noisy clinical target",
+    ),
+    "boston": SurrogateSpec(
+        name="boston",
+        n_samples=506,
+        n_features=13,
+        target_mean=22.5,
+        target_std=9.2,
+        target_min=5.0,
+        target_max=50.0,
+        signal_fraction=0.85,
+        n_regimes=6,
+        target_name="median_home_value",
+        note="Boston housing (506x13), strong structured signal",
+    ),
+    "airfoil": SurrogateSpec(
+        name="airfoil",
+        n_samples=1503,
+        n_features=5,
+        target_mean=124.8,
+        target_std=6.9,
+        target_min=103.0,
+        target_max=141.0,
+        signal_fraction=0.75,
+        n_regimes=8,
+        target_name="sound_pressure_db",
+        note="NASA airfoil self-noise (1503x5), aerodynamic regimes",
+    ),
+    "wine": SurrogateSpec(
+        name="wine",
+        n_samples=4898,
+        n_features=11,
+        target_mean=5.88,
+        target_std=0.89,
+        target_min=3.0,
+        target_max=9.0,
+        signal_fraction=0.45,
+        n_regimes=6,
+        target_name="quality_score",
+        note="white wine quality (4898x11), integer sensory scores",
+        integer_target=True,
+    ),
+    "facebook": SurrogateSpec(
+        name="facebook",
+        n_samples=500,
+        n_features=18,
+        target_mean=220.0,
+        target_std=110.0,
+        target_min=0.0,
+        target_max=None,
+        signal_fraction=0.30,
+        n_regimes=5,
+        target_name="lifetime_post_consumers",
+        note="Facebook post metrics (500x18), heavy-tailed engagement counts",
+        heavy_tail=True,
+    ),
+    "ccpp": SurrogateSpec(
+        name="ccpp",
+        n_samples=9568,
+        n_features=4,
+        target_mean=454.0,
+        target_std=17.0,
+        target_min=420.0,
+        target_max=496.0,
+        signal_fraction=0.95,
+        n_regimes=6,
+        target_name="net_power_mw",
+        note="combined cycle power plant (9568x4), near-deterministic physics",
+    ),
+    "forest": SurrogateSpec(
+        name="forest",
+        n_samples=517,
+        n_features=12,
+        target_mean=12.8,
+        target_std=46.0,
+        target_min=0.0,
+        target_max=None,
+        signal_fraction=0.55,
+        n_regimes=4,
+        target_name="burned_area_ha",
+        note="forest fires (517x12), zero-inflated heavy-tailed burned area",
+        heavy_tail=True,
+    ),
+}
+
+
+def build_surrogate(spec: SurrogateSpec, seed: SeedLike = 0) -> Dataset:
+    """Materialise a surrogate dataset from its spec.
+
+    The learnable component comes from :func:`regime_mixture`
+    (standardised); irreducible noise is mixed in to hit
+    ``signal_fraction`` of explainable variance; the result is rescaled to
+    the published target moments and passed through the dataset-specific
+    post-transform (clipping, integer rounding, heavy-tail warp).
+    """
+    base = regime_mixture(
+        spec.n_samples,
+        spec.n_features,
+        n_regimes=spec.n_regimes,
+        seed=derive_generator(seed, 7),
+        name=spec.name,
+        noise=0.0,
+    )
+    rng = as_generator(derive_generator(seed, 13))
+    signal = base.y  # standardised
+    w_signal = np.sqrt(spec.signal_fraction)
+    w_noise = np.sqrt(1.0 - spec.signal_fraction)
+    mixed = w_signal * signal + w_noise * rng.normal(size=spec.n_samples)
+
+    if spec.heavy_tail:
+        # Log-normal-style warp: most mass near zero, a long right tail,
+        # like engagement counts and burned areas.  Centred/rescaled after
+        # the warp so the published moments still hold approximately.
+        warped = np.expm1(np.clip(0.9 * mixed, None, 6.0))
+        warped = warped - warped.mean()
+        std = warped.std()
+        mixed = warped / (std if std > 0 else 1.0)
+
+    y = spec.target_mean + spec.target_std * mixed
+    if spec.target_min is not None or spec.target_max is not None:
+        y = np.clip(y, spec.target_min, spec.target_max)
+    if spec.integer_target:
+        y = np.round(y)
+
+    return Dataset(
+        name=spec.name,
+        X=base.X,
+        y=y,
+        feature_names=base.feature_names,
+        target_name=spec.target_name,
+        description=(
+            f"SYNTHETIC SURROGATE of the UCI '{spec.name}' dataset "
+            f"({spec.note}); see DESIGN.md §3 for the substitution rationale"
+        ),
+    )
+
+
+def load_diabetes(seed: SeedLike = 0) -> Dataset:
+    """Surrogate of the UCI diabetes patient-records dataset (442x10)."""
+    return build_surrogate(SPECS["diabetes"], seed)
+
+
+def load_boston(seed: SeedLike = 0) -> Dataset:
+    """Surrogate of the Boston housing dataset (506x13)."""
+    return build_surrogate(SPECS["boston"], seed)
+
+
+def load_airfoil(seed: SeedLike = 0) -> Dataset:
+    """Surrogate of the NASA airfoil self-noise dataset (1503x5)."""
+    return build_surrogate(SPECS["airfoil"], seed)
+
+
+def load_wine(seed: SeedLike = 0) -> Dataset:
+    """Surrogate of the white wine-quality dataset (4898x11)."""
+    return build_surrogate(SPECS["wine"], seed)
+
+
+def load_facebook(seed: SeedLike = 0) -> Dataset:
+    """Surrogate of the Facebook performance-metrics dataset (500x18)."""
+    return build_surrogate(SPECS["facebook"], seed)
+
+
+def load_ccpp(seed: SeedLike = 0) -> Dataset:
+    """Surrogate of the combined-cycle power-plant dataset (9568x4)."""
+    return build_surrogate(SPECS["ccpp"], seed)
+
+
+def load_forest(seed: SeedLike = 0) -> Dataset:
+    """Surrogate of the forest-fires dataset (517x12)."""
+    return build_surrogate(SPECS["forest"], seed)

@@ -1,0 +1,22 @@
+"""Encoders that map raw feature vectors into hyperdimensional space.
+
+The primary encoder is :class:`NonlinearEncoder` (paper Eq. 1); the others
+are standard HDC encodings used for ablations, by the Baseline-HD
+comparator, and by the sequence example.
+"""
+
+from repro.encoding.base import Encoder
+from repro.encoding.idlevel import IDLevelEncoder
+from repro.encoding.ngram import NGramTextEncoder
+from repro.encoding.nonlinear import NonlinearEncoder
+from repro.encoding.permutation import SequenceEncoder
+from repro.encoding.projection import RandomProjectionEncoder
+
+__all__ = [
+    "Encoder",
+    "IDLevelEncoder",
+    "NGramTextEncoder",
+    "NonlinearEncoder",
+    "RandomProjectionEncoder",
+    "SequenceEncoder",
+]

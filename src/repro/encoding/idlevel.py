@@ -1,0 +1,86 @@
+"""ID-level encoding — the classic record-based HDC encoder.
+
+Each feature position gets a random *ID* hypervector, each quantised feature
+value gets a *level* hypervector from a correlated chain (nearby values →
+similar hypervectors), and the record encoding is the bundle of
+``bind(ID_k, LEVEL(f_k))`` over all features.  This is the encoding most
+prior HD-classification work (and the Baseline-HD comparator of the paper)
+uses for feature vectors; RegHD's Eq. (1) replaces it with the nonlinear
+projection, so this class exists for ablations and for Baseline-HD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.base import Encoder
+from repro.exceptions import EncodingError
+from repro.ops.generate import random_bipolar, random_level_set
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import derive_generator
+
+
+class IDLevelEncoder(Encoder):
+    """Record encoding: ``H = sum_k ID_k * LEVEL(quantise(f_k))``.
+
+    Parameters
+    ----------
+    in_features, dim, seed:
+        As in the other encoders.
+    levels:
+        Number of quantisation levels for feature values.
+    feature_range:
+        ``(low, high)`` range the features are clipped to before level
+        quantisation.  Defaults to ``(-3, 3)``, which covers standardised
+        features out to three standard deviations.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        dim: int,
+        seed: SeedLike = None,
+        *,
+        levels: int = 32,
+        feature_range: tuple[float, float] = (-3.0, 3.0),
+    ):
+        super().__init__(in_features, dim)
+        if levels < 2:
+            raise EncodingError(f"levels must be >= 2, got {levels}")
+        low, high = feature_range
+        if not low < high:
+            raise EncodingError(
+                f"feature_range must satisfy low < high, got {feature_range}"
+            )
+        self._levels = int(levels)
+        self._low = float(low)
+        self._high = float(high)
+
+        id_rng = derive_generator(seed, 0)
+        level_rng = derive_generator(seed, 1)
+        self._ids = random_bipolar(in_features, dim, id_rng).astype(np.float64)
+        self._level_set = random_level_set(levels, dim, level_rng).astype(
+            np.float64
+        )
+
+    @property
+    def levels(self) -> int:
+        """Number of feature-value quantisation levels."""
+        return self._levels
+
+    def level_index(self, values: FloatArray) -> np.ndarray:
+        """Map raw feature values to level indices in ``[0, levels - 1]``."""
+        clipped = np.clip(values, self._low, self._high)
+        frac = (clipped - self._low) / (self._high - self._low)
+        idx = np.floor(frac * self._levels).astype(np.int64)
+        return np.minimum(idx, self._levels - 1)
+
+    def _encode_batch(self, X: FloatArray) -> FloatArray:
+        idx = self.level_index(X)  # (n_samples, in_features)
+        # Gather the level hypervector for every (sample, feature) pair,
+        # bind with the feature's ID, and bundle across features.
+        out = np.zeros((X.shape[0], self.dim), dtype=np.float64)
+        for k in range(self.in_features):
+            level_vecs = self._level_set[idx[:, k]]  # (n_samples, dim)
+            out += level_vecs * self._ids[k]
+        return out

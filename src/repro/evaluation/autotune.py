@@ -1,0 +1,154 @@
+"""Staged auto-tuning for RegHD.
+
+Automates the paper's "common practice of the grid search" plus the
+Table-2 dimensionality logic, in three cheap stages on a validation
+split:
+
+1. **k** — sweep the model count at a probe dimensionality;
+2. **softmax temperature** — refine the gating sharpness at the chosen k;
+3. **dimensionality** — walk D *down* a ladder and keep the smallest D
+   whose validation MSE stays within ``quality_budget`` of the best
+   (the Table-2 trade: quality loss for linear cost savings).
+
+The result carries the chosen :class:`RegHDConfig` plus the full search
+trace for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import RegHDConfig
+from repro.core.multi import MultiModelRegHD
+from repro.exceptions import ConfigurationError
+from repro.metrics import mean_squared_error
+from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_1d, check_2d, check_matching_lengths
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One configuration evaluated during the search."""
+
+    stage: str
+    params: dict
+    val_mse: float
+
+
+@dataclass
+class AutotuneResult:
+    """Outcome of :func:`autotune_reghd`."""
+
+    config: RegHDConfig
+    best_val_mse: float
+    trials: list[TrialRecord] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        """Total configurations evaluated."""
+        return len(self.trials)
+
+
+def autotune_reghd(
+    X: ArrayLike,
+    y: ArrayLike,
+    *,
+    base_config: RegHDConfig | None = None,
+    k_grid: tuple[int, ...] = (1, 2, 4, 8, 16),
+    temp_grid: tuple[float, ...] = (5.0, 20.0, 50.0),
+    dim_ladder: tuple[int, ...] = (4000, 2000, 1000, 500),
+    probe_dim: int = 1000,
+    quality_budget: float = 0.05,
+    val_fraction: float = 0.25,
+    seed: SeedLike = 0,
+) -> AutotuneResult:
+    """Three-stage validation search over k, temperature, and D.
+
+    Parameters
+    ----------
+    quality_budget:
+        Maximum tolerated *relative* validation-MSE increase when walking
+        the dimensionality ladder down (0.05 = 5 %, cf. Table 2).
+    probe_dim:
+        Dimensionality used for the (cheap) k and temperature stages.
+    """
+    if not 0.0 < val_fraction < 1.0:
+        raise ConfigurationError(
+            f"val_fraction must be in (0, 1), got {val_fraction}"
+        )
+    if quality_budget < 0.0:
+        raise ConfigurationError(
+            f"quality_budget must be >= 0, got {quality_budget}"
+        )
+    if not k_grid or not temp_grid or not dim_ladder:
+        raise ConfigurationError("all grids must be non-empty")
+    if sorted(dim_ladder, reverse=True) != list(dim_ladder):
+        raise ConfigurationError("dim_ladder must be strictly descending")
+
+    X_arr = check_2d("X", X)
+    y_arr = check_1d("y", y)
+    check_matching_lengths("X", X_arr, "y", y_arr)
+    n = X_arr.shape[0]
+    n_val = max(1, int(round(n * val_fraction)))
+    if n_val >= n:
+        raise ConfigurationError("validation split leaves no training data")
+    rng = as_generator(seed)
+    order = rng.permutation(n)
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    X_train, y_train = X_arr[train_idx], y_arr[train_idx]
+    X_val, y_val = X_arr[val_idx], y_arr[val_idx]
+
+    base = base_config or RegHDConfig()
+    trials: list[TrialRecord] = []
+
+    def evaluate(stage: str, **params: object) -> float:
+        cfg = base.with_overrides(**params)
+        model = MultiModelRegHD(X_arr.shape[1], cfg)
+        model.fit(X_train, y_train, X_val=X_val, y_val=y_val)
+        mse = mean_squared_error(y_val, model.predict(X_val))
+        trials.append(TrialRecord(stage=stage, params=dict(params), val_mse=mse))
+        return mse
+
+    # Stage 1: k at the probe dimensionality.
+    k_scores = {
+        k: evaluate("k", dim=probe_dim, n_models=k) for k in k_grid
+    }
+    best_k = min(k_scores, key=k_scores.get)
+
+    # Stage 2: temperature at the chosen k (skip for k=1, gating is moot).
+    if best_k > 1:
+        temp_scores = {
+            t: evaluate(
+                "temperature", dim=probe_dim, n_models=best_k, softmax_temp=t
+            )
+            for t in temp_grid
+        }
+        best_temp = min(temp_scores, key=temp_scores.get)
+    else:
+        best_temp = base.softmax_temp
+
+    # Stage 3: walk the dimensionality ladder downward within budget.
+    ladder_scores: dict[int, float] = {}
+    for dim in dim_ladder:
+        ladder_scores[dim] = evaluate(
+            "dimension",
+            dim=dim,
+            n_models=best_k,
+            softmax_temp=best_temp,
+        )
+    best_mse = min(ladder_scores.values())
+    chosen_dim = dim_ladder[0]
+    for dim in dim_ladder:  # descending: prefer the smallest within budget
+        if ladder_scores[dim] <= best_mse * (1.0 + quality_budget):
+            chosen_dim = dim
+    final_config = base.with_overrides(
+        dim=chosen_dim, n_models=best_k, softmax_temp=best_temp
+    )
+    return AutotuneResult(
+        config=final_config,
+        best_val_mse=ladder_scores[chosen_dim],
+        trials=trials,
+    )

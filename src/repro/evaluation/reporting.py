@@ -1,0 +1,122 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper reports; these helpers
+keep the formatting consistent (fixed-width ASCII, aligned numerics,
+markdown export for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def _format_value(value: object, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 10 ** (-precision):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[dict[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    ``columns`` selects and orders the fields; by default the keys of the
+    first row are used.
+    """
+    if not rows:
+        raise ConfigurationError("render_table needs at least one row")
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    if not cols:
+        raise ConfigurationError("render_table needs at least one column")
+    formatted = [
+        {c: _format_value(row.get(c), precision) for c in cols} for row in rows
+    ]
+    widths = {
+        c: max(len(c), *(len(r[c]) for r in formatted)) for c in cols
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(f"{c:>{widths[c]}}" for c in cols)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in formatted:
+        lines.append("  ".join(f"{r[c]:>{widths[c]}}" for c in cols))
+    return "\n".join(lines)
+
+
+def render_markdown(
+    rows: Sequence[dict[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    precision: int = 3,
+) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        raise ConfigurationError("render_markdown needs at least one row")
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    if not cols:
+        raise ConfigurationError("render_markdown needs at least one column")
+    lines = ["| " + " | ".join(cols) + " |"]
+    lines.append("|" + "|".join("---" for _ in cols) + "|")
+    for row in rows:
+        lines.append(
+            "| "
+            + " | ".join(_format_value(row.get(c), precision) for c in cols)
+            + " |"
+        )
+    return "\n".join(lines)
+
+
+def render_pivot(
+    rows: Sequence[dict[str, object]],
+    *,
+    index: str,
+    column: str,
+    value: str,
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Pivot rows into a matrix table (e.g. models × datasets → MSE).
+
+    Mirrors the layout of the paper's Table 1: one row per ``index``
+    value, one column per ``column`` value, cells from ``value``.
+    """
+    if not rows:
+        raise ConfigurationError("render_pivot needs at least one row")
+    index_values: list[object] = []
+    column_values: list[object] = []
+    cells: dict[tuple[object, object], object] = {}
+    for row in rows:
+        i, c = row[index], row[column]
+        if i not in index_values:
+            index_values.append(i)
+        if c not in column_values:
+            column_values.append(c)
+        cells[(i, c)] = row[value]
+    pivot_rows = [
+        {index: i, **{str(c): cells.get((i, c)) for c in column_values}}
+        for i in index_values
+    ]
+    return render_table(
+        pivot_rows,
+        columns=[index, *(str(c) for c in column_values)],
+        precision=precision,
+        title=title,
+    )

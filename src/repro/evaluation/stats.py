@@ -1,0 +1,155 @@
+"""Statistical comparison of models across seeds/folds.
+
+Benchmark tables report point estimates; these helpers say whether a gap
+is real: multi-seed aggregation (mean ± std), paired t-tests and Wilcoxon
+signed-rank tests on per-seed metric pairs, and bootstrap confidence
+intervals on metric differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.exceptions import ConfigurationError
+from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class AggregateMetric:
+    """Mean ± std of a metric over repeated runs."""
+
+    label: str
+    mean: float
+    std: float
+    n_runs: int
+
+    def __str__(self) -> str:
+        return f"{self.label}: {self.mean:.4g} ± {self.std:.2g} (n={self.n_runs})"
+
+
+def aggregate_metric(label: str, values: ArrayLike) -> AggregateMetric:
+    """Summarise repeated metric measurements."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ConfigurationError("aggregate_metric needs at least one value")
+    return AggregateMetric(
+        label=label,
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        n_runs=int(arr.size),
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired statistical test between two models."""
+
+    mean_difference: float  # metric_a - metric_b
+    t_statistic: float
+    t_pvalue: float
+    wilcoxon_pvalue: float
+    n_pairs: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the paired t-test rejects equality at ``alpha``."""
+        return self.t_pvalue < alpha
+
+
+def paired_comparison(
+    metric_a: ArrayLike, metric_b: ArrayLike
+) -> PairedComparison:
+    """Paired t-test + Wilcoxon signed-rank on per-run metric pairs.
+
+    Both arrays must hold the same runs (same seeds/folds, same order).
+    """
+    a = np.asarray(metric_a, dtype=np.float64).ravel()
+    b = np.asarray(metric_b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ConfigurationError(
+            f"paired metrics must match in length, got {a.shape} vs {b.shape}"
+        )
+    if a.size < 2:
+        raise ConfigurationError("paired tests need at least two runs")
+    differences = a - b
+    if np.allclose(differences, 0.0):
+        # Identical runs: no evidence of difference, p-value 1 by fiat
+        # (scipy raises on all-zero Wilcoxon differences).
+        return PairedComparison(0.0, 0.0, 1.0, 1.0, int(a.size))
+    t_stat, t_p = scipy_stats.ttest_rel(a, b)
+    try:
+        _, w_p = scipy_stats.wilcoxon(a, b)
+    except ValueError:
+        w_p = 1.0
+    return PairedComparison(
+        mean_difference=float(differences.mean()),
+        t_statistic=float(t_stat),
+        t_pvalue=float(t_p),
+        wilcoxon_pvalue=float(w_p),
+        n_pairs=int(a.size),
+    )
+
+
+def bootstrap_difference_ci(
+    metric_a: ArrayLike,
+    metric_b: ArrayLike,
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 5000,
+    seed: SeedLike = 0,
+) -> tuple[float, float]:
+    """Bootstrap CI for the mean paired difference ``a - b``."""
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if n_resamples < 1:
+        raise ConfigurationError(
+            f"n_resamples must be >= 1, got {n_resamples}"
+        )
+    a = np.asarray(metric_a, dtype=np.float64).ravel()
+    b = np.asarray(metric_b, dtype=np.float64).ravel()
+    if a.shape != b.shape or a.size == 0:
+        raise ConfigurationError("paired metrics must match and be non-empty")
+    differences = a - b
+    rng = as_generator(seed)
+    idx = rng.integers(0, len(differences), size=(n_resamples, len(differences)))
+    means = differences[idx].mean(axis=1)
+    lo = float(np.quantile(means, (1.0 - confidence) / 2.0))
+    hi = float(np.quantile(means, 1.0 - (1.0 - confidence) / 2.0))
+    return lo, hi
+
+
+def multi_seed_mses(
+    factory,
+    dataset,
+    *,
+    seeds: ArrayLike,
+    test_fraction: float = 0.25,
+    max_train_samples: int | None = None,
+) -> FloatArray:
+    """Test MSE of fresh models over several split/seed draws.
+
+    ``factory(seed, n_features)`` must return an unfitted model.  Returns
+    one MSE per seed, suitable for :func:`paired_comparison` against
+    another model family run with the same seeds.
+    """
+    from repro.evaluation.runner import run_experiment
+
+    seeds_arr = np.asarray(seeds, dtype=np.int64).ravel()
+    if seeds_arr.size == 0:
+        raise ConfigurationError("multi_seed_mses needs at least one seed")
+    mses = []
+    for seed in seeds_arr:
+        result = run_experiment(
+            lambda n, s=int(seed): factory(s, n),
+            dataset,
+            test_fraction=test_fraction,
+            seed=int(seed),
+            max_train_samples=max_train_samples,
+        )
+        mses.append(result.mse)
+    return np.array(mses)

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-classes mark the subsystem the
+failure originated in, which keeps error handling in the evaluation harness
+and benchmarks explicit.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid hyper-parameter or configuration value was supplied."""
+
+
+class DimensionalityError(ReproError, ValueError):
+    """Array shapes are inconsistent with the configured dimensionality."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model was asked to predict before :meth:`fit` was called."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset could not be generated or is malformed."""
+
+
+class EncodingError(ReproError, ValueError):
+    """An encoder received input it cannot map into HD space."""
+
+
+class HardwareModelError(ReproError, ValueError):
+    """The hardware cost model was queried with inconsistent parameters."""

@@ -1,0 +1,78 @@
+"""Hardware cost model: operation counts, device profiles, ratio analysis.
+
+Replaces the paper's FPGA/ARM testbed with an analytic model; see
+DESIGN.md §3, substitution 2.
+"""
+
+from repro.hardware.analysis import (
+    EfficiencyRow,
+    format_table,
+    normalize_to,
+    relative_table,
+)
+from repro.hardware.cost_model import (
+    BaselineHDCostSpec,
+    CostEstimate,
+    DNNCostSpec,
+    RegHDCostSpec,
+    baseline_hd_infer_cost,
+    baseline_hd_train_cost,
+    dnn_infer_cost,
+    dnn_train_cost,
+    estimate,
+    reghd_cluster_search_cost,
+    reghd_encode_cost,
+    reghd_infer_cost,
+    reghd_predict_cost,
+    reghd_train_cost,
+)
+from repro.hardware.memory import (
+    MemoryFootprint,
+    baseline_hd_memory,
+    dnn_memory,
+    reghd_memory,
+)
+from repro.hardware.ops_count import OpCounts, OpKind
+from repro.hardware.profiles import (
+    ARM_A53,
+    DESKTOP_X86,
+    FPGA_KINTEX7,
+    PIM_ACCELERATOR,
+    PROFILES,
+    DeviceProfile,
+    get_profile,
+)
+
+__all__ = [
+    "EfficiencyRow",
+    "format_table",
+    "normalize_to",
+    "relative_table",
+    "BaselineHDCostSpec",
+    "CostEstimate",
+    "DNNCostSpec",
+    "RegHDCostSpec",
+    "baseline_hd_infer_cost",
+    "baseline_hd_train_cost",
+    "dnn_infer_cost",
+    "dnn_train_cost",
+    "estimate",
+    "reghd_cluster_search_cost",
+    "reghd_encode_cost",
+    "reghd_infer_cost",
+    "reghd_predict_cost",
+    "reghd_train_cost",
+    "MemoryFootprint",
+    "baseline_hd_memory",
+    "dnn_memory",
+    "reghd_memory",
+    "OpCounts",
+    "OpKind",
+    "ARM_A53",
+    "DESKTOP_X86",
+    "FPGA_KINTEX7",
+    "PIM_ACCELERATOR",
+    "PROFILES",
+    "DeviceProfile",
+    "get_profile",
+]

@@ -1,0 +1,94 @@
+"""Speedup / efficiency analysis helpers for the Fig. 8-9 / Table-2 benches.
+
+Everything here is ratio arithmetic over :class:`CostEstimate` objects: a
+baseline configuration is priced, alternatives are priced, and the tables
+report ``baseline / alternative`` for latency (speedup) and energy
+(efficiency) — the exact quantities the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import HardwareModelError
+from repro.hardware.cost_model import CostEstimate
+
+
+@dataclass(frozen=True)
+class EfficiencyRow:
+    """One row of a speedup/efficiency comparison table."""
+
+    label: str
+    latency_s: float
+    energy_j: float
+    speedup: float
+    efficiency: float
+
+
+def relative_table(
+    baseline_label: str,
+    estimates: dict[str, CostEstimate],
+) -> list[EfficiencyRow]:
+    """Build speedup/efficiency rows relative to one named baseline.
+
+    The baseline row reports 1.0 for both ratios; every other row reports
+    ``baseline_latency / latency`` and ``baseline_energy / energy``.
+    """
+    if baseline_label not in estimates:
+        raise HardwareModelError(
+            f"baseline {baseline_label!r} not among {sorted(estimates)}"
+        )
+    base = estimates[baseline_label]
+    if base.latency_s <= 0 or base.energy_j <= 0:
+        raise HardwareModelError("baseline latency/energy must be positive")
+    rows = []
+    for label, est in estimates.items():
+        if est.latency_s <= 0 or est.energy_j <= 0:
+            raise HardwareModelError(
+                f"estimate {label!r} has non-positive latency/energy"
+            )
+        rows.append(
+            EfficiencyRow(
+                label=label,
+                latency_s=est.latency_s,
+                energy_j=est.energy_j,
+                speedup=base.latency_s / est.latency_s,
+                efficiency=base.energy_j / est.energy_j,
+            )
+        )
+    return rows
+
+
+def normalize_to(
+    rows: list[EfficiencyRow], label: str
+) -> list[EfficiencyRow]:
+    """Re-normalise a table so ``label`` becomes the 1x reference."""
+    ref = next((r for r in rows if r.label == label), None)
+    if ref is None:
+        raise HardwareModelError(f"label {label!r} not in table")
+    return [
+        EfficiencyRow(
+            label=r.label,
+            latency_s=r.latency_s,
+            energy_j=r.energy_j,
+            speedup=r.speedup / ref.speedup,
+            efficiency=r.efficiency / ref.efficiency,
+        )
+        for r in rows
+    ]
+
+
+def format_table(rows: list[EfficiencyRow], *, title: str = "") -> str:
+    """Render rows as a fixed-width ASCII table (benchmark output)."""
+    header = f"{'configuration':<28} {'latency':>12} {'energy':>12} {'speedup':>9} {'eff.':>9}"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append(
+            f"{r.label:<28} {r.latency_s:>10.3e}s {r.energy_j:>10.3e}J "
+            f"{r.speedup:>8.2f}x {r.efficiency:>8.2f}x"
+        )
+    return "\n".join(lines)

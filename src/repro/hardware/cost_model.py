@@ -1,0 +1,389 @@
+"""Analytic per-phase operation counts for RegHD, the DNN and Baseline-HD.
+
+These builders translate an algorithm configuration into exact
+primitive-operation counts per phase (encode / similarity search / predict
+/ update), which a :class:`~repro.hardware.profiles.DeviceProfile` then
+prices into latency and energy.  The efficiency benchmarks (Figs. 8-9,
+Table 2) are ratios of these estimates, with iteration counts taken from
+actual training runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import RegHDConfig
+from repro.core.quantization import ClusterQuant, PredictQuant
+from repro.exceptions import HardwareModelError
+from repro.hardware.ops_count import OpCounts, OpKind
+from repro.hardware.profiles import DeviceProfile
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Priced operation bag: latency, energy, and the raw counts."""
+
+    latency_s: float
+    energy_j: float
+    ops: OpCounts
+
+    def speedup_vs(self, other: "CostEstimate") -> float:
+        """How much faster *this* estimate is than ``other`` (>1 = faster)."""
+        if self.latency_s <= 0:
+            raise HardwareModelError("latency must be positive for ratios")
+        return other.latency_s / self.latency_s
+
+    def efficiency_vs(self, other: "CostEstimate") -> float:
+        """Energy-efficiency ratio vs ``other`` (>1 = less energy)."""
+        if self.energy_j <= 0:
+            raise HardwareModelError("energy must be positive for ratios")
+        return other.energy_j / self.energy_j
+
+
+def estimate(counts: OpCounts, profile: DeviceProfile) -> CostEstimate:
+    """Price an operation bag on a device profile."""
+    return CostEstimate(
+        latency_s=profile.latency_s(counts),
+        energy_j=profile.energy_j(counts),
+        ops=counts,
+    )
+
+
+# ---------------------------------------------------------------------------
+# RegHD
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegHDCostSpec:
+    """The structural parameters that determine RegHD's operation counts."""
+
+    n_features: int
+    dim: int
+    n_models: int
+    cluster_quant: ClusterQuant = ClusterQuant.NONE
+    predict_quant: PredictQuant = PredictQuant.FULL
+    update_weighting: str = "confidence"
+    #: Fraction of non-zero model-hypervector elements (SparseHD-style
+    #: sparsification, repro.core.sparsify); scales the model dot-product
+    #: and model-update work.
+    model_density: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_features < 1 or self.dim < 1 or self.n_models < 1:
+            raise HardwareModelError(
+                "n_features, dim and n_models must all be >= 1"
+            )
+        if not 0.0 < self.model_density <= 1.0:
+            raise HardwareModelError(
+                f"model_density must be in (0, 1], got {self.model_density}"
+            )
+
+    @classmethod
+    def from_config(cls, n_features: int, config: RegHDConfig) -> "RegHDCostSpec":
+        """Build a cost spec from a model configuration."""
+        return cls(
+            n_features=n_features,
+            dim=config.dim,
+            n_models=config.n_models,
+            cluster_quant=config.cluster_quant,
+            predict_quant=config.predict_quant,
+            update_weighting=config.update_weighting,
+        )
+
+
+def reghd_encode_cost(spec: RegHDCostSpec, *, binary_view: bool = False) -> OpCounts:
+    """Eq. (1) per sample: an (n x D) projection + trig nonlinearity.
+
+    The paper's base hypervectors are bipolar (±1), so the hardware
+    projection ``x . B_d`` is an add/subtract tree — *no multiplies*; only
+    the final ``cos * sin`` product multiplies, and the two trig
+    evaluations are LUT/CORDIC units.  ``binary_view`` adds the
+    single-comparison quantisation of the encoded hypervector (needed
+    whenever a binary query or binary cluster search is configured).
+    """
+    d, n = spec.dim, spec.n_features
+    counts = OpCounts(
+        {
+            OpKind.INT_MUL: float(d),  # cos * sin product
+            OpKind.INT_ADD: float(n * d + d),  # ±x add tree + phase add
+            OpKind.TRIG: float(2 * d),  # cos and sin
+        }
+    )
+    if binary_view:
+        counts = counts + OpCounts.single(OpKind.CMP, float(d))
+    return counts
+
+
+def reghd_cluster_search_cost(spec: RegHDCostSpec) -> OpCounts:
+    """Eq. (5) per sample: similarity of the query to all k clusters."""
+    d, k = spec.dim, spec.n_models
+    if spec.cluster_quant is ClusterQuant.NONE:
+        # Cosine: k D-element integer dot products (norms are cached).
+        return OpCounts(
+            {OpKind.INT_MUL: float(k * d), OpKind.INT_ADD: float(k * d)}
+        )
+    # Hamming: XOR + popcount over k binary hypervectors.
+    return OpCounts.single(OpKind.BIT_OP, float(k * d))
+
+
+def reghd_softmax_cost(spec: RegHDCostSpec) -> OpCounts:
+    """Fig. 4 normalisation block: k exponentials + normalisation."""
+    k = spec.n_models
+    return OpCounts(
+        {
+            OpKind.TRIG: float(k),
+            OpKind.INT_ADD: float(k),
+            OpKind.INT_MUL: float(k),
+        }
+    )
+
+
+def reghd_predict_cost(spec: RegHDCostSpec) -> OpCounts:
+    """Eq. (6) per sample: k model dot products + confidence weighting.
+
+    Sparse models (``model_density < 1``) skip zero coordinates, scaling
+    the dot-product work by the density.
+    """
+    d, k = spec.dim, spec.n_models
+    effective = spec.model_density * k * d
+    pq = spec.predict_quant
+    if pq is PredictQuant.FULL:
+        dots = OpCounts(
+            {OpKind.INT_MUL: effective, OpKind.INT_ADD: effective}
+        )
+    elif pq is PredictQuant.BINARY_BOTH:
+        dots = OpCounts.single(OpKind.BIT_OP, effective)
+    else:
+        # One binary operand makes the dot product multiply-free: the
+        # binary side selects add/subtract of the integer side.
+        dots = OpCounts.single(OpKind.INT_ADD, effective)
+    weighting = OpCounts(
+        {OpKind.INT_MUL: float(k), OpKind.INT_ADD: float(k)}
+    )
+    return dots + weighting
+
+
+def reghd_model_update_cost(spec: RegHDCostSpec) -> OpCounts:
+    """Eq. (7) per sample, on the integer model copies."""
+    d, k = spec.dim, spec.n_models
+    if spec.update_weighting == "argmax":
+        models_touched = 1
+    else:
+        models_touched = k
+    effective = spec.model_density * models_touched * d
+    return OpCounts(
+        {OpKind.INT_MUL: effective, OpKind.INT_ADD: effective}
+    )
+
+
+def reghd_cluster_update_cost(spec: RegHDCostSpec) -> OpCounts:
+    """Eq. (8) per sample: scale + add into the argmax cluster."""
+    d, k = spec.dim, spec.n_models
+    return OpCounts(
+        {
+            OpKind.CMP: float(k),  # argmax scan over similarities
+            OpKind.INT_MUL: float(d),
+            OpKind.INT_ADD: float(d),
+        }
+    )
+
+
+def reghd_rebinarize_cost(spec: RegHDCostSpec) -> OpCounts:
+    """Per-epoch dual-copy refresh: one comparison per element (Sec. 3)."""
+    d, k = spec.dim, spec.n_models
+    elements = 0
+    if spec.cluster_quant is ClusterQuant.FRAMEWORK:
+        elements += k * d
+    if spec.predict_quant.model_is_binary:
+        elements += k * d
+    return OpCounts.single(OpKind.CMP, float(elements))
+
+
+def _needs_binary_query(spec: RegHDCostSpec) -> bool:
+    return (
+        spec.cluster_quant is not ClusterQuant.NONE
+        or spec.predict_quant.query_is_binary
+    )
+
+
+def reghd_train_cost(
+    spec: RegHDCostSpec,
+    n_samples: int,
+    epochs: int,
+    *,
+    amortize_encoding: bool = True,
+) -> OpCounts:
+    """Total training ops: ``epochs`` iterative passes over ``n_samples``.
+
+    With ``amortize_encoding`` (the default, matching both this library's
+    training loop and the paper's pipelined FPGA design) each sample is
+    encoded once and the encoded hypervector is reused across all
+    retraining iterations; similarity search, prediction and the updates
+    are paid every epoch.
+    """
+    if n_samples < 1 or epochs < 1:
+        raise HardwareModelError("n_samples and epochs must be >= 1")
+    encode = reghd_encode_cost(spec, binary_view=_needs_binary_query(spec))
+    per_epoch_sample = (
+        reghd_cluster_search_cost(spec)
+        + reghd_softmax_cost(spec)
+        + reghd_predict_cost(spec)
+        + reghd_model_update_cost(spec)
+        + reghd_cluster_update_cost(spec)
+    )
+    if amortize_encoding:
+        total = encode * n_samples + per_epoch_sample * (n_samples * epochs)
+    else:
+        total = (encode + per_epoch_sample) * (n_samples * epochs)
+    return total + reghd_rebinarize_cost(spec) * epochs
+
+
+def reghd_infer_cost(spec: RegHDCostSpec, n_samples: int = 1) -> OpCounts:
+    """Total inference ops for ``n_samples`` queries (no updates)."""
+    if n_samples < 1:
+        raise HardwareModelError("n_samples must be >= 1")
+    per_sample = (
+        reghd_encode_cost(spec, binary_view=_needs_binary_query(spec))
+        + reghd_cluster_search_cost(spec)
+        + reghd_softmax_cost(spec)
+        + reghd_predict_cost(spec)
+    )
+    return per_sample * n_samples
+
+
+# ---------------------------------------------------------------------------
+# DNN (the Table-1 / Fig-8 comparator)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DNNCostSpec:
+    """Layer widths of the MLP comparator, input to output."""
+
+    layer_sizes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.layer_sizes) < 2 or any(s < 1 for s in self.layer_sizes):
+            raise HardwareModelError(
+                f"layer_sizes needs >= 2 positive entries, got "
+                f"{self.layer_sizes}"
+            )
+
+    @property
+    def forward_macs(self) -> int:
+        """Multiply-accumulates of one forward pass."""
+        return sum(
+            a * b for a, b in zip(self.layer_sizes[:-1], self.layer_sizes[1:])
+        )
+
+    @property
+    def hidden_units(self) -> int:
+        """Total hidden activations (for activation-function costs)."""
+        return sum(self.layer_sizes[1:-1])
+
+
+def dnn_train_cost(spec: DNNCostSpec, n_samples: int, epochs: int) -> OpCounts:
+    """Training ops: forward + backward + weight update per sample/epoch.
+
+    The standard 3x-forward accounting: backward costs about twice the
+    forward MACs, and the weight update touches every parameter once.
+    """
+    if n_samples < 1 or epochs < 1:
+        raise HardwareModelError("n_samples and epochs must be >= 1")
+    macs = spec.forward_macs
+    per_sample = OpCounts(
+        {
+            OpKind.FLOAT_MUL: float(3 * macs + macs),  # fwd+bwd + update
+            OpKind.FLOAT_ADD: float(3 * macs + macs),
+            OpKind.CMP: float(2 * spec.hidden_units),  # relu fwd + bwd mask
+        }
+    )
+    return per_sample * (n_samples * epochs)
+
+
+def dnn_infer_cost(spec: DNNCostSpec, n_samples: int = 1) -> OpCounts:
+    """Inference ops: one forward pass per query."""
+    if n_samples < 1:
+        raise HardwareModelError("n_samples must be >= 1")
+    macs = spec.forward_macs
+    per_sample = OpCounts(
+        {
+            OpKind.FLOAT_MUL: float(macs),
+            OpKind.FLOAT_ADD: float(macs),
+            OpKind.CMP: float(spec.hidden_units),
+        }
+    )
+    return per_sample * n_samples
+
+
+# ---------------------------------------------------------------------------
+# Baseline-HD (classification-emulated regression, the paper's [18])
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BaselineHDCostSpec:
+    """Structural parameters of the Baseline-HD comparator."""
+
+    n_features: int
+    dim: int
+    n_bins: int
+
+    def __post_init__(self) -> None:
+        if self.n_features < 1 or self.dim < 1 or self.n_bins < 2:
+            raise HardwareModelError(
+                "n_features, dim must be >= 1 and n_bins >= 2"
+            )
+
+
+def baseline_hd_train_cost(
+    spec: BaselineHDCostSpec,
+    n_samples: int,
+    epochs: int,
+    *,
+    amortize_encoding: bool = True,
+) -> OpCounts:
+    """Training ops: encode + search over *hundreds* of class hypervectors.
+
+    The per-sample search scales with ``n_bins`` (vs RegHD's k), which is
+    exactly why the paper calls this baseline "significantly inefficient
+    in hardware".  Encoding is amortised across iterations like RegHD's.
+    """
+    if n_samples < 1 or epochs < 1:
+        raise HardwareModelError("n_samples and epochs must be >= 1")
+    d, n, bins = spec.dim, spec.n_features, spec.n_bins
+    encode = OpCounts(
+        {
+            OpKind.INT_MUL: float(d),
+            OpKind.INT_ADD: float(n * d + d),
+            OpKind.TRIG: float(2 * d),
+        }
+    )
+    search = OpCounts(
+        {OpKind.INT_MUL: float(bins * d), OpKind.INT_ADD: float(bins * d)}
+    )
+    update = OpCounts(
+        {OpKind.INT_MUL: float(2 * d), OpKind.INT_ADD: float(2 * d)}
+    )
+    per_epoch = (search + update) * (n_samples * epochs)
+    if amortize_encoding:
+        return encode * n_samples + per_epoch
+    return encode * (n_samples * epochs) + per_epoch
+
+
+def baseline_hd_infer_cost(
+    spec: BaselineHDCostSpec, n_samples: int = 1
+) -> OpCounts:
+    """Inference ops: encode + full class-hypervector search per query."""
+    if n_samples < 1:
+        raise HardwareModelError("n_samples must be >= 1")
+    d, n, bins = spec.dim, spec.n_features, spec.n_bins
+    per_sample = OpCounts(
+        {
+            OpKind.INT_MUL: float(d + bins * d),
+            OpKind.INT_ADD: float(n * d + d + bins * d),
+            OpKind.TRIG: float(2 * d),
+        }
+    )
+    return per_sample * n_samples

@@ -1,0 +1,132 @@
+"""Model memory-footprint accounting.
+
+The paper motivates HD learning with "today's embedded devices with
+limited storage, battery, and resources".  This module computes the
+storage each deployable model actually needs on-device, including the
+Sec.-3 savings: binary copies cost one bit per element, sparse models
+store (index, value) pairs, and the encoder's base matrix — often the
+dominant term — can be regenerated from its seed on devices with a PRNG
+(``count_encoder=False``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.quantization import ClusterQuant, PredictQuant
+from repro.exceptions import HardwareModelError
+from repro.hardware.cost_model import BaselineHDCostSpec, DNNCostSpec, RegHDCostSpec
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Byte counts per component of a deployed model."""
+
+    encoder_bytes: float
+    parameters_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        """Encoder + parameters."""
+        return self.encoder_bytes + self.parameters_bytes
+
+    @property
+    def total_kib(self) -> float:
+        """Total in KiB."""
+        return self.total_bytes / 1024.0
+
+
+def _dense_bytes(elements: float, bits: int) -> float:
+    return elements * bits / 8.0
+
+
+def _sparse_bytes(elements: float, density: float, bits: int, dim: int) -> float:
+    # (value, index) pairs; index width = ceil(log2 dim) bits.
+    index_bits = max(1, (dim - 1).bit_length())
+    return elements * density * (bits + index_bits) / 8.0
+
+
+def reghd_memory(
+    spec: RegHDCostSpec,
+    *,
+    int_bits: int = 32,
+    count_encoder: bool = True,
+    encoder_base_bits: int = 1,
+) -> MemoryFootprint:
+    """Deployed RegHD footprint for a given configuration.
+
+    Inference needs: the encoder bases (+phases), the cluster hypervectors
+    in whichever precision the search uses, and the model hypervectors in
+    whichever precision the prediction uses.  Dual integer copies are a
+    *training* artefact and are not shipped.
+
+    Parameters
+    ----------
+    int_bits:
+        Width of integer (fixed-point) hypervector elements.
+    count_encoder:
+        Include the encoder base matrix (set False when the device
+        regenerates it from the seed).
+    encoder_base_bits:
+        1 for the paper's bipolar bases, 32 for stored float bases.
+    """
+    if int_bits < 1:
+        raise HardwareModelError(f"int_bits must be >= 1, got {int_bits}")
+    d, k, n = spec.dim, spec.n_models, spec.n_features
+    encoder = 0.0
+    if count_encoder:
+        encoder = _dense_bytes(n * d, encoder_base_bits) + _dense_bytes(
+            d, int_bits
+        )  # bases + phases
+
+    if spec.cluster_quant is ClusterQuant.NONE:
+        clusters = _dense_bytes(k * d, int_bits)
+    else:
+        clusters = _dense_bytes(k * d, 1)
+
+    model_bits = 1 if spec.predict_quant.model_is_binary else int_bits
+    if spec.model_density < 1.0 and model_bits > 1:
+        models = _sparse_bytes(k * d, spec.model_density, model_bits, d)
+    else:
+        models = _dense_bytes(k * d, model_bits) * (
+            spec.model_density if model_bits == 1 else 1.0
+        )
+    return MemoryFootprint(
+        encoder_bytes=encoder, parameters_bytes=clusters + models
+    )
+
+
+def dnn_memory(spec: DNNCostSpec, *, float_bits: int = 32) -> MemoryFootprint:
+    """DNN footprint: weights + biases at float precision."""
+    if float_bits < 1:
+        raise HardwareModelError(f"float_bits must be >= 1, got {float_bits}")
+    weights = sum(
+        a * b for a, b in zip(spec.layer_sizes[:-1], spec.layer_sizes[1:])
+    )
+    biases = sum(spec.layer_sizes[1:])
+    return MemoryFootprint(
+        encoder_bytes=0.0,
+        parameters_bytes=_dense_bytes(weights + biases, float_bits),
+    )
+
+
+def baseline_hd_memory(
+    spec: BaselineHDCostSpec,
+    *,
+    int_bits: int = 32,
+    count_encoder: bool = True,
+    encoder_base_bits: int = 1,
+) -> MemoryFootprint:
+    """Baseline-HD footprint: encoder + one hypervector per output bin."""
+    if int_bits < 1:
+        raise HardwareModelError(f"int_bits must be >= 1, got {int_bits}")
+    d, n, bins = spec.dim, spec.n_features, spec.n_bins
+    encoder = 0.0
+    if count_encoder:
+        encoder = _dense_bytes(n * d, encoder_base_bits) + _dense_bytes(
+            d, int_bits
+        )
+    return MemoryFootprint(
+        encoder_bytes=encoder,
+        parameters_bytes=_dense_bytes(bins * d, int_bits),
+    )

@@ -1,0 +1,187 @@
+"""Device profiles: per-operation latency and energy tables.
+
+The absolute numbers are representative of published 45 nm energy tables
+(Horowitz, ISSCC'14) and embedded-FPGA datapath costs; what the
+reproduction relies on is the *ratio structure* — a 1-bit XOR/popcount
+step is roughly an order of magnitude cheaper than an integer
+multiply-accumulate, floating-point arithmetic is costlier than integer,
+and transcendentals are LUT-evaluated at a few integer-ops' cost.  Those
+ratios drive every efficiency figure in the paper (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import HardwareModelError
+from repro.hardware.ops_count import OpCounts, OpKind
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Per-operation latency (ns) and energy (pJ) plus a parallelism width.
+
+    ``parallelism`` models the number of lanes the device executes
+    primitive ops on concurrently (wide datapath on an FPGA, SIMD on a
+    CPU).  It divides latency but not energy.
+    """
+
+    name: str
+    latency_ns: dict[OpKind, float] = field(default_factory=dict)
+    energy_pj: dict[OpKind, float] = field(default_factory=dict)
+    parallelism: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.parallelism <= 0:
+            raise HardwareModelError(
+                f"parallelism must be > 0, got {self.parallelism}"
+            )
+        for table_name, table in (
+            ("latency_ns", self.latency_ns),
+            ("energy_pj", self.energy_pj),
+        ):
+            for kind in OpKind:
+                if kind not in table:
+                    raise HardwareModelError(
+                        f"profile {self.name!r} is missing {kind} in "
+                        f"{table_name}"
+                    )
+                if table[kind] <= 0:
+                    raise HardwareModelError(
+                        f"profile {self.name!r} has non-positive "
+                        f"{table_name}[{kind}]"
+                    )
+
+    def latency_s(self, counts: OpCounts) -> float:
+        """Total latency in seconds for a bag of operations."""
+        total_ns = sum(
+            self.latency_ns[kind] * value for kind, value in counts.counts.items()
+        )
+        return total_ns * 1e-9 / self.parallelism
+
+    def energy_j(self, counts: OpCounts) -> float:
+        """Total energy in joules for a bag of operations."""
+        total_pj = sum(
+            self.energy_pj[kind] * value for kind, value in counts.counts.items()
+        )
+        return total_pj * 1e-12
+
+
+#: Kintex-7-class FPGA datapath: wide parallelism, cheap fixed-point,
+#: very cheap single-bit logic, LUT-based transcendentals.
+FPGA_KINTEX7 = DeviceProfile(
+    name="fpga-kintex7",
+    latency_ns={
+        OpKind.INT_MUL: 2.0,
+        OpKind.INT_ADD: 0.5,
+        OpKind.CMP: 0.5,
+        OpKind.BIT_OP: 0.1,
+        OpKind.FLOAT_MUL: 4.0,
+        OpKind.FLOAT_ADD: 2.0,
+        OpKind.TRIG: 4.0,
+    },
+    energy_pj={
+        OpKind.INT_MUL: 3.1,
+        OpKind.INT_ADD: 0.1,
+        OpKind.CMP: 0.05,
+        OpKind.BIT_OP: 0.02,
+        OpKind.FLOAT_MUL: 3.7,
+        OpKind.FLOAT_ADD: 0.9,
+        OpKind.TRIG: 5.0,
+    },
+    parallelism=512.0,
+)
+
+#: ARM Cortex-A53-class embedded CPU (Raspberry Pi 3B+): modest SIMD,
+#: bit operations less advantaged than on an FPGA (packed 64-bit words).
+ARM_A53 = DeviceProfile(
+    name="arm-a53",
+    latency_ns={
+        OpKind.INT_MUL: 2.5,
+        OpKind.INT_ADD: 0.8,
+        OpKind.CMP: 0.8,
+        OpKind.BIT_OP: 0.15,
+        OpKind.FLOAT_MUL: 3.3,
+        OpKind.FLOAT_ADD: 2.5,
+        OpKind.TRIG: 25.0,
+    },
+    energy_pj={
+        OpKind.INT_MUL: 22.0,
+        OpKind.INT_ADD: 7.0,
+        OpKind.CMP: 5.0,
+        OpKind.BIT_OP: 1.2,
+        OpKind.FLOAT_MUL: 26.0,
+        OpKind.FLOAT_ADD: 20.0,
+        OpKind.TRIG: 180.0,
+    },
+    parallelism=4.0,
+)
+
+#: Desktop-class x86 CPU: deep out-of-order core, wide SIMD, but high
+#: per-op energy relative to embedded parts.
+DESKTOP_X86 = DeviceProfile(
+    name="desktop-x86",
+    latency_ns={
+        OpKind.INT_MUL: 0.8,
+        OpKind.INT_ADD: 0.25,
+        OpKind.CMP: 0.25,
+        OpKind.BIT_OP: 0.05,
+        OpKind.FLOAT_MUL: 1.0,
+        OpKind.FLOAT_ADD: 0.8,
+        OpKind.TRIG: 8.0,
+    },
+    energy_pj={
+        OpKind.INT_MUL: 45.0,
+        OpKind.INT_ADD: 15.0,
+        OpKind.CMP: 10.0,
+        OpKind.BIT_OP: 2.5,
+        OpKind.FLOAT_MUL: 55.0,
+        OpKind.FLOAT_ADD: 40.0,
+        OpKind.TRIG: 350.0,
+    },
+    parallelism=16.0,
+)
+
+#: Processing-in-memory accelerator (the related-work [17]/[44] class):
+#: massive bit-level parallelism inside memory arrays makes binary ops
+#: essentially free, while integer/float arithmetic must round-trip to a
+#: digital periphery.
+PIM_ACCELERATOR = DeviceProfile(
+    name="pim-accelerator",
+    latency_ns={
+        OpKind.INT_MUL: 6.0,
+        OpKind.INT_ADD: 1.5,
+        OpKind.CMP: 0.5,
+        OpKind.BIT_OP: 0.01,
+        OpKind.FLOAT_MUL: 12.0,
+        OpKind.FLOAT_ADD: 6.0,
+        OpKind.TRIG: 20.0,
+    },
+    energy_pj={
+        OpKind.INT_MUL: 8.0,
+        OpKind.INT_ADD: 1.0,
+        OpKind.CMP: 0.1,
+        OpKind.BIT_OP: 0.002,
+        OpKind.FLOAT_MUL: 15.0,
+        OpKind.FLOAT_ADD: 5.0,
+        OpKind.TRIG: 30.0,
+    },
+    parallelism=4096.0,
+)
+
+PROFILES: dict[str, DeviceProfile] = {
+    FPGA_KINTEX7.name: FPGA_KINTEX7,
+    ARM_A53.name: ARM_A53,
+    DESKTOP_X86.name: DESKTOP_X86,
+    PIM_ACCELERATOR.name: PIM_ACCELERATOR,
+}
+
+
+def get_profile(name: str) -> DeviceProfile:
+    """Look up a built-in device profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise HardwareModelError(
+            f"unknown profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None

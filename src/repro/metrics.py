@@ -1,0 +1,82 @@
+"""Regression quality metrics.
+
+The paper reports mean squared error (Table 1), *normalized quality of
+regression* (Fig. 7: quality relative to the full-precision configuration),
+and *quality loss* percentages (Table 2).  All three are implemented here,
+plus the usual companions (RMSE, MAE, R²) used by the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionalityError
+from repro.types import ArrayLike
+
+
+def _validate_pair(y_true: ArrayLike, y_pred: ArrayLike) -> tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(y_true, dtype=np.float64).ravel()
+    p = np.asarray(y_pred, dtype=np.float64).ravel()
+    if t.shape != p.shape:
+        raise DimensionalityError(
+            f"y_true and y_pred must match, got {t.shape} and {p.shape}"
+        )
+    if t.size == 0:
+        raise DimensionalityError("metrics require at least one sample")
+    return t, p
+
+
+def mean_squared_error(y_true: ArrayLike, y_pred: ArrayLike) -> float:
+    """Mean squared error — the paper's headline quality metric (Table 1)."""
+    t, p = _validate_pair(y_true, y_pred)
+    return float(np.mean((t - p) ** 2))
+
+
+def root_mean_squared_error(y_true: ArrayLike, y_pred: ArrayLike) -> float:
+    """Square root of the MSE, in target units."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true: ArrayLike, y_pred: ArrayLike) -> float:
+    """Mean absolute error."""
+    t, p = _validate_pair(y_true, y_pred)
+    return float(np.mean(np.abs(t - p)))
+
+
+def r2_score(y_true: ArrayLike, y_pred: ArrayLike) -> float:
+    """Coefficient of determination.
+
+    Returns 0 for a constant target (the convention that a model matching
+    the mean of a constant signal explains "none of zero variance").
+    """
+    t, p = _validate_pair(y_true, y_pred)
+    ss_res = float(np.sum((t - p) ** 2))
+    ss_tot = float(np.sum((t - np.mean(t)) ** 2))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def normalized_quality(mse: float, reference_mse: float) -> float:
+    """Quality of a configuration relative to a reference (Fig. 7 metric).
+
+    Defined as ``reference_mse / mse`` so the reference scores 1.0 and
+    worse (larger-MSE) configurations score below 1.0.  A configuration
+    that *beats* the reference scores above 1.0.
+    """
+    if mse <= 0 or reference_mse <= 0:
+        raise ValueError(
+            f"MSE values must be > 0, got mse={mse}, reference={reference_mse}"
+        )
+    return reference_mse / mse
+
+
+def quality_loss(mse: float, reference_mse: float) -> float:
+    """Percentage quality loss relative to a reference (Table 2 metric).
+
+    ``(1 - normalized_quality) * 100``; clipped below at 0 so that a
+    configuration slightly better than the reference reports 0 % loss,
+    matching the paper's convention of reporting "0 %" at full
+    dimensionality.
+    """
+    return max(0.0, (1.0 - normalized_quality(mse, reference_mse)) * 100.0)

@@ -1,0 +1,27 @@
+"""Fault injection and robustness sweeps (paper Sec. 3 robustness claim)."""
+
+from repro.noise.injection import (
+    INJECTORS,
+    add_gaussian_noise,
+    flip_bits,
+    flip_signs,
+    stuck_at_zero,
+)
+from repro.noise.robustness import (
+    RobustnessCurve,
+    RobustnessPoint,
+    sweep_mlp,
+    sweep_reghd,
+)
+
+__all__ = [
+    "INJECTORS",
+    "add_gaussian_noise",
+    "flip_bits",
+    "flip_signs",
+    "stuck_at_zero",
+    "RobustnessCurve",
+    "RobustnessPoint",
+    "sweep_mlp",
+    "sweep_reghd",
+]

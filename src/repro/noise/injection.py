@@ -1,0 +1,97 @@
+"""Fault injection into hypervectors and model parameters.
+
+RegHD's robustness claim (paper Sec. 3) rests on the holographic property
+of hypervectors: information is spread uniformly across all D components,
+so random component errors degrade quality gracefully.  These injectors
+corrupt arrays in the three ways embedded hardware fails — sign/bit flips,
+additive analog noise, and stuck-at elements — and are used by the
+robustness sweep (:mod:`repro.noise.robustness`) and its benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.utils.rng import as_generator
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError(f"error rate must be in [0, 1], got {rate}")
+
+
+def flip_signs(
+    array: ArrayLike, rate: float, seed: SeedLike = None
+) -> FloatArray:
+    """Flip the sign of a random fraction of elements.
+
+    The float-domain analogue of a memory bit flip on a sign-magnitude or
+    bipolar representation; applied to model hypervectors it models faulty
+    associative-memory cells.
+    """
+    _check_rate(rate)
+    rng = as_generator(seed)
+    out = np.array(array, dtype=np.float64, copy=True)
+    mask = rng.random(out.shape) < rate
+    out[mask] = -out[mask]
+    return out
+
+
+def flip_bits(
+    array: ArrayLike, rate: float, seed: SeedLike = None
+) -> np.ndarray:
+    """Flip a random fraction of bits of a binary {0, 1} array."""
+    _check_rate(rate)
+    arr = np.asarray(array)
+    if not np.isin(arr, (0, 1)).all():
+        raise ConfigurationError("flip_bits requires a binary {0,1} array")
+    rng = as_generator(seed)
+    mask = rng.random(arr.shape) < rate
+    return np.where(mask, 1 - arr, arr).astype(arr.dtype)
+
+
+def add_gaussian_noise(
+    array: ArrayLike,
+    rate: float,
+    seed: SeedLike = None,
+    *,
+    relative_sigma: float = 1.0,
+) -> FloatArray:
+    """Perturb a random fraction of elements with Gaussian noise.
+
+    The noise standard deviation is ``relative_sigma`` times the RMS of
+    the array, modelling analog compute noise on the affected elements.
+    """
+    _check_rate(rate)
+    if relative_sigma < 0:
+        raise ConfigurationError(
+            f"relative_sigma must be >= 0, got {relative_sigma}"
+        )
+    rng = as_generator(seed)
+    out = np.array(array, dtype=np.float64, copy=True)
+    rms = float(np.sqrt(np.mean(out**2)))
+    scale = relative_sigma * (rms if rms > 0 else 1.0)
+    mask = rng.random(out.shape) < rate
+    out[mask] += rng.normal(0.0, scale, size=int(mask.sum()))
+    return out
+
+
+def stuck_at_zero(
+    array: ArrayLike, rate: float, seed: SeedLike = None
+) -> FloatArray:
+    """Zero out a random fraction of elements (dead cells / gated lanes)."""
+    _check_rate(rate)
+    rng = as_generator(seed)
+    out = np.array(array, dtype=np.float64, copy=True)
+    mask = rng.random(out.shape) < rate
+    out[mask] = 0.0
+    return out
+
+
+INJECTORS = {
+    "sign_flip": flip_signs,
+    "gaussian": add_gaussian_noise,
+    "stuck_at_zero": stuck_at_zero,
+}

@@ -1,0 +1,170 @@
+"""Robustness sweeps: quality vs. injected hardware error rate.
+
+Corrupts a *trained* model's parameters at increasing error rates and
+measures test MSE, for RegHD (model hypervectors) and the MLP baseline
+(weight matrices).  The paper's claim — reproduced by
+``benchmarks/test_robustness.py`` — is that the hypervectors' redundant,
+holographic representation degrades gracefully where the DNN's structured
+weights collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.mlp import MLPRegressor
+from repro.core.multi import MultiModelRegHD
+from repro.core.single import SingleModelRegHD
+from repro.exceptions import ConfigurationError
+from repro.metrics import mean_squared_error
+from repro.noise.injection import INJECTORS
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import derive_generator
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """Quality at one injected error rate."""
+
+    rate: float
+    mse: float
+
+
+@dataclass(frozen=True)
+class RobustnessCurve:
+    """A full quality-vs-error-rate sweep for one model."""
+
+    label: str
+    injector: str
+    points: tuple[RobustnessPoint, ...]
+
+    @property
+    def rates(self) -> FloatArray:
+        """Error rates of the sweep."""
+        return np.array([p.rate for p in self.points])
+
+    @property
+    def mses(self) -> FloatArray:
+        """Test MSE at each error rate."""
+        return np.array([p.mse for p in self.points])
+
+    def degradation(self) -> FloatArray:
+        """Relative MSE increase over the clean (rate 0) point."""
+        clean = self.points[0].mse
+        if clean <= 0:
+            raise ConfigurationError("clean MSE must be positive")
+        return self.mses / clean - 1.0
+
+
+def _validate_sweep(rates: list[float], injector: str, repeats: int) -> None:
+    if not rates or rates[0] != 0.0:
+        raise ConfigurationError(
+            "rates must start at 0.0 (the clean reference point)"
+        )
+    if injector not in INJECTORS:
+        raise ConfigurationError(
+            f"unknown injector {injector!r}; available: {sorted(INJECTORS)}"
+        )
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+
+
+def sweep_reghd(
+    model: SingleModelRegHD | MultiModelRegHD,
+    X_test: FloatArray,
+    y_test: FloatArray,
+    *,
+    rates: list[float],
+    injector: str = "sign_flip",
+    repeats: int = 3,
+    seed: SeedLike = 0,
+) -> RobustnessCurve:
+    """Corrupt a trained RegHD model's hypervectors and measure test MSE.
+
+    Each non-zero rate is averaged over ``repeats`` corruption draws.  The
+    model is restored to its clean parameters before returning.
+    """
+    _validate_sweep(rates, injector, repeats)
+    inject = INJECTORS[injector]
+    if isinstance(model, SingleModelRegHD):
+        clean = model.model.copy()
+
+        def corrupt(rate: float, rng_seed: int) -> None:
+            model.model[:] = inject(clean, rate, rng_seed)
+
+        def restore() -> None:
+            model.model[:] = clean
+
+    else:
+        clean_int = model.models.integer.copy()
+
+        def corrupt(rate: float, rng_seed: int) -> None:
+            model.models.integer[:] = inject(clean_int, rate, rng_seed)
+            model.models.rebinarize()
+
+        def restore() -> None:
+            model.models.integer[:] = clean_int
+            model.models.rebinarize()
+
+    points = []
+    try:
+        for i, rate in enumerate(rates):
+            if rate == 0.0:
+                restore()
+                points.append(
+                    RobustnessPoint(0.0, mean_squared_error(y_test, model.predict(X_test)))
+                )
+                continue
+            mses = []
+            for rep in range(repeats):
+                rng = derive_generator(seed, i, rep)
+                corrupt(rate, rng)
+                mses.append(mean_squared_error(y_test, model.predict(X_test)))
+            points.append(RobustnessPoint(rate, float(np.mean(mses))))
+    finally:
+        restore()
+    return RobustnessCurve(
+        label=type(model).__name__, injector=injector, points=tuple(points)
+    )
+
+
+def sweep_mlp(
+    model: MLPRegressor,
+    X_test: FloatArray,
+    y_test: FloatArray,
+    *,
+    rates: list[float],
+    injector: str = "sign_flip",
+    repeats: int = 3,
+    seed: SeedLike = 0,
+) -> RobustnessCurve:
+    """Corrupt a trained MLP's weight matrices and measure test MSE."""
+    _validate_sweep(rates, injector, repeats)
+    inject = INJECTORS[injector]
+    clean = [W.copy() for W in model.weights_]
+
+    def restore() -> None:
+        for W, saved in zip(model.weights_, clean):
+            W[:] = saved
+
+    points = []
+    try:
+        for i, rate in enumerate(rates):
+            if rate == 0.0:
+                restore()
+                points.append(
+                    RobustnessPoint(0.0, mean_squared_error(y_test, model.predict(X_test)))
+                )
+                continue
+            mses = []
+            for rep in range(repeats):
+                for layer, saved in enumerate(clean):
+                    rng = derive_generator(seed, i, rep, layer)
+                    model.weights_[layer][:] = inject(saved, rate, rng)
+                mses.append(mean_squared_error(y_test, model.predict(X_test)))
+            points.append(RobustnessPoint(rate, float(np.mean(mses))))
+    finally:
+        restore()
+    return RobustnessCurve(label="MLPRegressor", injector=injector, points=tuple(points))

@@ -1,0 +1,73 @@
+"""Binding and permutation operations.
+
+Binding associates two hypervectors into one that is dissimilar to both —
+the HDC analogue of a key/value pair.  RegHD's feature-vector encoder does
+not bind explicitly (the random projection plays that role), but the
+ID-level encoder and the sequence encoder in :mod:`repro.encoding` are built
+on these primitives, as is the Baseline-HD comparator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionalityError
+from repro.types import ArrayLike, BinaryArray, FloatArray
+
+
+def _check_same_shape(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise DimensionalityError(
+            f"binding operands must have identical shapes, got "
+            f"{a.shape} and {b.shape}"
+        )
+
+
+def bind(a: ArrayLike, b: ArrayLike) -> FloatArray:
+    """Elementwise-multiply binding for bipolar/real hypervectors.
+
+    For bipolar operands the result is bipolar and the operation is its own
+    inverse: ``bind(bind(a, b), b) == a``.
+    """
+    a_arr = np.asarray(a, dtype=np.float64)
+    b_arr = np.asarray(b, dtype=np.float64)
+    _check_same_shape(a_arr, b_arr)
+    return a_arr * b_arr
+
+
+def unbind(bound: ArrayLike, key: ArrayLike) -> FloatArray:
+    """Invert :func:`bind` for bipolar keys (multiply binding is an involution)."""
+    return bind(bound, key)
+
+
+def xor_bind(a: ArrayLike, b: ArrayLike) -> BinaryArray:
+    """XOR binding for binary {0,1} hypervectors.
+
+    The binary analogue of multiply binding; also self-inverse.
+    """
+    a_arr = np.asarray(a)
+    b_arr = np.asarray(b)
+    _check_same_shape(a_arr, b_arr)
+    if not (_is_binary(a_arr) and _is_binary(b_arr)):
+        raise ValueError("xor_bind requires binary {0,1} operands")
+    return np.bitwise_xor(a_arr.astype(np.uint8), b_arr.astype(np.uint8))
+
+
+def _is_binary(arr: np.ndarray) -> bool:
+    return bool(np.isin(arr, (0, 1)).all())
+
+
+def permute(vector: ArrayLike, shift: int = 1) -> FloatArray:
+    """Cyclic permutation (rotation) of a hypervector.
+
+    Permutation encodes *position*: ``permute(v, k)`` is nearly orthogonal
+    to ``v`` for any ``k != 0 (mod D)``, which lets sequence encoders mark
+    the time step of each element (see
+    :class:`repro.encoding.permutation.SequenceEncoder`).
+    """
+    arr = np.asarray(vector, dtype=np.float64)
+    if arr.ndim not in (1, 2):
+        raise DimensionalityError(
+            f"permute expects 1-D or 2-D input, got shape {arr.shape}"
+        )
+    return np.roll(arr, shift, axis=-1)

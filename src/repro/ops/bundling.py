@@ -1,0 +1,105 @@
+"""Bundling (superposition) operations.
+
+Bundling is elementwise addition: the bundle of a set of hypervectors is
+similar to each of its members.  RegHD's model hypervectors are bundles of
+error-weighted encoded inputs (Eq. 2 / Eq. 7), and its cluster hypervectors
+are ``(1 - delta)``-weighted bundles of their members (Eq. 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionalityError
+from repro.types import ArrayLike, BipolarArray, FloatArray
+
+
+def bundle(vectors: ArrayLike) -> FloatArray:
+    """Sum a batch ``(n, D)`` of hypervectors into a single ``(D,)`` bundle."""
+    arr = np.asarray(vectors, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DimensionalityError(
+            f"bundle expects a 2-D batch, got shape {arr.shape}"
+        )
+    return arr.sum(axis=0)
+
+
+def weighted_bundle(vectors: ArrayLike, weights: ArrayLike) -> FloatArray:
+    """Weighted sum ``sum_i w_i v_i`` over a batch of hypervectors."""
+    arr = np.asarray(vectors, dtype=np.float64)
+    w = np.asarray(weights, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DimensionalityError(
+            f"weighted_bundle expects a 2-D batch, got shape {arr.shape}"
+        )
+    if w.ndim != 1 or w.shape[0] != arr.shape[0]:
+        raise DimensionalityError(
+            f"weights shape {w.shape} does not match batch of {arr.shape[0]}"
+        )
+    return w @ arr
+
+
+def majority_bundle(vectors: ArrayLike, *, tie_value: int = 1) -> BipolarArray:
+    """Majority-rule bundling of bipolar vectors.
+
+    The canonical binary-HDC bundle: each output component is the sign of
+    the componentwise sum.  Exact ties (possible for even counts) resolve
+    to ``tie_value``.
+    """
+    if tie_value not in (-1, 1):
+        raise ValueError(f"tie_value must be -1 or +1, got {tie_value}")
+    total = bundle(vectors)
+    out = np.sign(total)
+    out[out == 0] = tie_value
+    return out.astype(np.int8)
+
+
+class Accumulator:
+    """Incremental bundler used by online training loops.
+
+    Keeps a running float sum so training never materialises the full batch
+    of encoded hypervectors.  Supports weighted additions, matching the
+    update rules Eq. (7) and Eq. (8).
+    """
+
+    def __init__(self, dim: int):
+        if dim <= 0:
+            raise ValueError(f"dim must be > 0, got {dim}")
+        self._sum = np.zeros(dim, dtype=np.float64)
+        self._count = 0
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the accumulated hypervector."""
+        return int(self._sum.shape[0])
+
+    @property
+    def count(self) -> int:
+        """Number of (weighted) additions performed so far."""
+        return self._count
+
+    def add(self, vector: ArrayLike, weight: float = 1.0) -> None:
+        """Add ``weight * vector`` into the running bundle."""
+        arr = np.asarray(vector, dtype=np.float64)
+        if arr.shape != self._sum.shape:
+            raise DimensionalityError(
+                f"vector shape {arr.shape} does not match accumulator "
+                f"dim {self._sum.shape}"
+            )
+        self._sum += weight * arr
+        self._count += 1
+
+    def value(self) -> FloatArray:
+        """Return a copy of the current bundle."""
+        return self._sum.copy()
+
+    def mean(self) -> FloatArray:
+        """Return the bundle divided by the number of additions."""
+        if self._count == 0:
+            return self._sum.copy()
+        return self._sum / self._count
+
+    def reset(self) -> None:
+        """Zero the bundle and the addition counter."""
+        self._sum[:] = 0.0
+        self._count = 0

@@ -1,0 +1,124 @@
+"""Seeded random hypervector generation.
+
+The paper's encoder (Eq. 1) relies on randomly chosen bipolar base
+hypervectors being *nearly orthogonal*: for i.i.d. ±1 components the cosine
+similarity of two independent D-dimensional vectors concentrates around 0
+with standard deviation 1/sqrt(D).  Everything here produces such vectors
+deterministically from an explicit seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import BinaryArray, BipolarArray, FloatArray, SeedLike
+from repro.utils.rng import as_generator
+
+
+def _check_shape(count: int, dim: int) -> None:
+    if count <= 0:
+        raise ConfigurationError(f"count must be > 0, got {count}")
+    if dim <= 0:
+        raise ConfigurationError(f"dim must be > 0, got {dim}")
+
+
+def random_bipolar(count: int, dim: int, seed: SeedLike = None) -> BipolarArray:
+    """Draw ``count`` i.i.d. bipolar {-1, +1} hypervectors of length ``dim``.
+
+    Independent draws are nearly orthogonal in expectation
+    (E[cos] = 0, sd = 1/sqrt(dim)), which is the property Eq. (1) of the
+    paper depends on.
+    """
+    _check_shape(count, dim)
+    rng = as_generator(seed)
+    bits = rng.integers(0, 2, size=(count, dim), dtype=np.int8)
+    return (2 * bits - 1).astype(np.int8)
+
+
+def random_binary(count: int, dim: int, seed: SeedLike = None) -> BinaryArray:
+    """Draw ``count`` i.i.d. binary {0, 1} hypervectors of length ``dim``."""
+    _check_shape(count, dim)
+    rng = as_generator(seed)
+    return rng.integers(0, 2, size=(count, dim), dtype=np.uint8)
+
+
+def random_gaussian(
+    count: int, dim: int, seed: SeedLike = None, *, scale: float = 1.0
+) -> FloatArray:
+    """Draw ``count`` standard-normal hypervectors (optional ``scale``).
+
+    Gaussian bases are an alternative to bipolar bases in the nonlinear
+    encoder; they make the encoding an exact random-Fourier-feature map.
+    """
+    _check_shape(count, dim)
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be > 0, got {scale}")
+    rng = as_generator(seed)
+    return rng.normal(0.0, scale, size=(count, dim))
+
+
+def random_orthogonal_bipolar(
+    count: int, dim: int, seed: SeedLike = None, *, max_tries: int = 64
+) -> BipolarArray:
+    """Draw bipolar hypervectors re-sampled until pairwise |cos| is small.
+
+    Plain i.i.d. draws are already nearly orthogonal; this constructor
+    additionally rejects any draw whose cosine similarity to a previously
+    accepted vector exceeds ``4 / sqrt(dim)`` (four standard deviations).
+    Used where the near-orthogonality assumption must hold strictly, e.g.
+    the capacity experiments of Section 2.3.
+    """
+    _check_shape(count, dim)
+    rng = as_generator(seed)
+    threshold = 4.0 / np.sqrt(dim)
+    accepted = np.empty((count, dim), dtype=np.int8)
+    n_accepted = 0
+    tries = 0
+    while n_accepted < count:
+        if tries >= max_tries * count:
+            raise ConfigurationError(
+                f"could not draw {count} near-orthogonal bipolar vectors of "
+                f"dim {dim} within {max_tries * count} tries; increase dim"
+            )
+        tries += 1
+        candidate = (2 * rng.integers(0, 2, size=dim, dtype=np.int8) - 1).astype(
+            np.int8
+        )
+        if n_accepted:
+            cos = accepted[:n_accepted] @ candidate.astype(np.float64) / dim
+            if np.max(np.abs(cos)) > threshold:
+                continue
+        accepted[n_accepted] = candidate
+        n_accepted += 1
+    return accepted
+
+
+def random_level_set(
+    levels: int, dim: int, seed: SeedLike = None
+) -> BipolarArray:
+    """Generate a set of *level* hypervectors with correlated neighbours.
+
+    Classic HDC level encoding: the first level is a random bipolar vector
+    and each subsequent level flips a fresh ``dim / (2 * (levels - 1))``
+    coordinates, so similarity decays linearly with level distance — nearby
+    scalar values map to similar hypervectors.  Used by the ID-level encoder
+    and by the Baseline-HD comparator.
+    """
+    if levels < 2:
+        raise ConfigurationError(f"levels must be >= 2, got {levels}")
+    _check_shape(levels, dim)
+    rng = as_generator(seed)
+    out = np.empty((levels, dim), dtype=np.int8)
+    out[0] = (2 * rng.integers(0, 2, size=dim, dtype=np.int8) - 1).astype(np.int8)
+    # Flip half the dimensions in total across all transitions so that the
+    # first and last level are nearly orthogonal.
+    flips_per_step = dim // (2 * (levels - 1))
+    order = rng.permutation(dim)
+    cursor = 0
+    for level in range(1, levels):
+        out[level] = out[level - 1]
+        to_flip = order[cursor : cursor + flips_per_step]
+        out[level, to_flip] = -out[level, to_flip]
+        cursor += flips_per_step
+    return out

@@ -1,0 +1,117 @@
+"""Associative item memory with cleanup.
+
+The classic HDC component: a codebook of named hypervectors supporting
+*cleanup* — mapping a noisy hypervector back to its nearest stored item.
+Used across the HDC literature for symbol tables and decoding bundles;
+included here as substrate (the capacity analysis of Sec. 2.3 is exactly
+the theory of when cleanup fails) and exercised by the property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.ops.generate import random_bipolar
+from repro.ops.similarity import cosine_similarity
+from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.utils.rng import as_generator
+
+
+class ItemMemory:
+    """A codebook of named hypervectors with nearest-neighbour cleanup.
+
+    Parameters
+    ----------
+    dim:
+        Hypervector dimensionality.
+    seed:
+        Seed for auto-generated item hypervectors.
+    """
+
+    def __init__(self, dim: int, seed: SeedLike = 0):
+        if dim < 1:
+            raise ConfigurationError(f"dim must be >= 1, got {dim}")
+        self._dim = int(dim)
+        self._rng = as_generator(seed)
+        self._names: list[str] = []
+        self._vectors: list[FloatArray] = []
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality."""
+        return self._dim
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Stored item names, in insertion order."""
+        return tuple(self._names)
+
+    def add(self, name: str, vector: ArrayLike | None = None) -> FloatArray:
+        """Store an item; draws a fresh random bipolar vector when omitted.
+
+        Returns the stored hypervector.
+        """
+        if name in self._names:
+            raise ConfigurationError(f"item {name!r} already stored")
+        if vector is None:
+            stored = random_bipolar(1, self._dim, self._rng)[0].astype(
+                np.float64
+            )
+        else:
+            stored = np.asarray(vector, dtype=np.float64)
+            if stored.shape != (self._dim,):
+                raise ConfigurationError(
+                    f"vector shape {stored.shape} != ({self._dim},)"
+                )
+            stored = stored.copy()
+        self._names.append(name)
+        self._vectors.append(stored)
+        return stored.copy()
+
+    def get(self, name: str) -> FloatArray:
+        """Retrieve a stored hypervector by name."""
+        try:
+            index = self._names.index(name)
+        except ValueError:
+            raise ConfigurationError(f"unknown item {name!r}") from None
+        return self._vectors[index].copy()
+
+    def cleanup(self, noisy: ArrayLike) -> tuple[str, float]:
+        """Map a (noisy) hypervector to its most similar stored item.
+
+        Returns ``(name, similarity)``.
+        """
+        if not self._names:
+            raise ConfigurationError("cleanup on an empty memory")
+        query = np.asarray(noisy, dtype=np.float64)
+        if query.shape != (self._dim,):
+            raise ConfigurationError(
+                f"query shape {query.shape} != ({self._dim},)"
+            )
+        matrix = np.stack(self._vectors)
+        sims = cosine_similarity(matrix, query)
+        best = int(np.argmax(sims))
+        return self._names[best], float(sims[best])
+
+    def cleanup_batch(self, noisy: ArrayLike) -> list[tuple[str, float]]:
+        """Vectorised :meth:`cleanup` over rows."""
+        queries = np.asarray(noisy, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self._dim:
+            raise ConfigurationError(
+                f"queries must be (n, {self._dim}), got {queries.shape}"
+            )
+        if not self._names:
+            raise ConfigurationError("cleanup on an empty memory")
+        matrix = np.stack(self._vectors)
+        sims = cosine_similarity(queries, matrix)
+        best = np.argmax(sims, axis=1)
+        return [
+            (self._names[b], float(sims[i, b])) for i, b in enumerate(best)
+        ]

@@ -1,0 +1,127 @@
+"""Similarity metrics over hypervectors.
+
+RegHD uses two metrics:
+
+* **cosine similarity** (Eq. 5) between an encoded input and the integer
+  cluster hypervectors — the full-precision path;
+* **normalised Hamming similarity** between binary views — the quantised
+  path of Section 3.1, mapped to the same ``[-1, 1]`` range so it can be
+  dropped in as a replacement for cosine without retuning the softmax.
+
+All functions accept either a single vector ``(D,)`` or a batch ``(n, D)``
+for each argument and broadcast in the usual row-wise way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionalityError
+from repro.types import ArrayLike, FloatArray
+
+
+def _as_2d(name: str, x: ArrayLike) -> tuple[FloatArray, bool]:
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim == 1:
+        return arr[np.newaxis, :], True
+    if arr.ndim == 2:
+        return arr, False
+    raise DimensionalityError(f"{name} must be 1-D or 2-D, got shape {arr.shape}")
+
+
+def _check_same_dim(a: FloatArray, b: FloatArray) -> None:
+    if a.shape[-1] != b.shape[-1]:
+        raise DimensionalityError(
+            f"hypervector dimensionalities differ: {a.shape[-1]} vs {b.shape[-1]}"
+        )
+
+
+def dot_similarity(a: ArrayLike, b: ArrayLike) -> FloatArray | float:
+    """Unnormalised dot product ``a . b``.
+
+    The core prediction primitive: RegHD's output is
+    ``y_hat = sum_i delta'_i (M_i . S)`` (Eq. 6).  Returns a scalar for two
+    single vectors, a vector for one batch, or an ``(n, m)`` matrix for two
+    batches.
+    """
+    a2, a_single = _as_2d("a", a)
+    b2, b_single = _as_2d("b", b)
+    _check_same_dim(a2, b2)
+    out = a2 @ b2.T
+    if a_single and b_single:
+        return float(out[0, 0])
+    if a_single:
+        return out[0]
+    if b_single:
+        return out[:, 0]
+    return out
+
+
+def cosine_similarity(
+    a: ArrayLike, b: ArrayLike, *, eps: float = 1e-12
+) -> FloatArray | float:
+    """Cosine similarity (paper Eq. 5): ``a.b / (|a| |b|)``.
+
+    Zero vectors are treated as having similarity 0 to everything (the
+    all-zero initial model hypervector must not produce NaNs on the first
+    training sample).
+    """
+    a2, a_single = _as_2d("a", a)
+    b2, b_single = _as_2d("b", b)
+    _check_same_dim(a2, b2)
+    norm_a = np.linalg.norm(a2, axis=1, keepdims=True)
+    norm_b = np.linalg.norm(b2, axis=1, keepdims=True)
+    denom = norm_a @ norm_b.T
+    out = (a2 @ b2.T) / np.maximum(denom, eps)
+    if a_single and b_single:
+        return float(out[0, 0])
+    if a_single:
+        return out[0]
+    if b_single:
+        return out[:, 0]
+    return out
+
+
+def hamming_distance(a: ArrayLike, b: ArrayLike) -> FloatArray | float:
+    """Raw Hamming distance between binary {0,1} hypervectors.
+
+    Counts positions where the operands differ.  Accepts single vectors or
+    batches; returns the same shapes as :func:`dot_similarity`.
+    """
+    a2, a_single = _as_2d("a", a)
+    b2, b_single = _as_2d("b", b)
+    _check_same_dim(a2, b2)
+    # XOR on {0,1} stored as float: |a - b| is 1 exactly where bits differ.
+    # Computed via dot products to stay O(n*m*D) vectorised:
+    # dist = sum(a) + sum(b) - 2 a.b  for a, b in {0,1}.
+    sum_a = a2.sum(axis=1, keepdims=True)
+    sum_b = b2.sum(axis=1, keepdims=True)
+    out = sum_a + sum_b.T - 2.0 * (a2 @ b2.T)
+    if a_single and b_single:
+        return float(out[0, 0])
+    if a_single:
+        return out[0]
+    if b_single:
+        return out[:, 0]
+    return out
+
+
+def hamming_similarity(a: ArrayLike, b: ArrayLike) -> FloatArray | float:
+    """Normalised Hamming similarity mapped onto ``[-1, 1]``.
+
+    ``sim = 1 - 2 * hamming(a, b) / D``.  For binary views of bipolar
+    vectors this equals the cosine similarity of the underlying bipolar
+    vectors, which is why the Section-3.1 framework can swap it in for
+    Eq. (5) without changing the softmax confidence scale.
+    """
+    dim = np.asarray(a).shape[-1]
+    dist = hamming_distance(a, b)
+    return 1.0 - 2.0 * dist / float(dim)
+
+
+def pairwise_cosine(batch: ArrayLike, *, eps: float = 1e-12) -> FloatArray:
+    """All-pairs cosine similarity of a batch, as an ``(n, n)`` matrix."""
+    arr, _ = _as_2d("batch", batch)
+    norms = np.linalg.norm(arr, axis=1, keepdims=True)
+    denom = np.maximum(norms @ norms.T, eps)
+    return (arr @ arr.T) / denom

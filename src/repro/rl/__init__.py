@@ -1,0 +1,27 @@
+"""HD-based reinforcement learning — the paper's stated future work.
+
+The conclusion of the RegHD paper: "Regression is a key required algorithm
+which can be extended to support the first HD-based reinforcement
+learning."  This subpackage builds that extension: a Q-learning agent
+whose action-value function is a set of RegHD hypervector models
+(``Q(s, a) = M_a · enc(s)``, updated with the Eq.-(2) delta rule driven by
+the TD error), plus the from-scratch environments and replay machinery it
+needs.
+"""
+
+from repro.rl.agent import HDQAgent
+from repro.rl.envs import CartPole, Environment, GridWorld
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.training import EpisodeStats, evaluate_policy, train_agent
+
+__all__ = [
+    "HDQAgent",
+    "CartPole",
+    "Environment",
+    "GridWorld",
+    "ReplayBuffer",
+    "Transition",
+    "EpisodeStats",
+    "evaluate_policy",
+    "train_agent",
+]

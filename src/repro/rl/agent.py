@@ -1,0 +1,178 @@
+"""HD Q-learning agent: RegHD as the action-value approximator.
+
+The action-value function is hyperdimensional: states are encoded once
+with the Eq.-(1) nonlinear encoder, and each discrete action ``a`` owns a
+model hypervector ``M_a`` with
+
+    Q(s, a) = M_a . enc(s).
+
+Learning is the RegHD delta rule (Eq. 2) driven by the temporal-difference
+error instead of a supervised target:
+
+    M_a <- M_a + alpha * (r + gamma * max_a' Q(s', a') - Q(s, a)) * enc(s)
+
+which is exactly Q-learning with linear function approximation over the
+nonlinear HD feature map — the extension the paper's conclusion sketches.
+Exploration is epsilon-greedy with exponential decay; updates can be
+online, from replay, or both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.base import Encoder
+from repro.encoding.nonlinear import NonlinearEncoder
+from repro.exceptions import ConfigurationError
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import as_generator, derive_generator
+
+
+class HDQAgent:
+    """Q-learning over hyperdimensional state encodings.
+
+    Parameters
+    ----------
+    state_dim:
+        Dimensionality of environment observations.
+    n_actions:
+        Number of discrete actions (one model hypervector each).
+    dim:
+        Hypervector dimensionality ``D``.
+    lr:
+        TD learning rate ``alpha``.
+    gamma:
+        Discount factor.
+    epsilon / epsilon_min / epsilon_decay:
+        Epsilon-greedy schedule; ``epsilon`` decays multiplicatively per
+        :meth:`decay_epsilon` call (once per episode in the trainer).
+    replay_capacity / batch_size:
+        Experience-replay settings for :meth:`learn_from_replay`.
+    encoder:
+        Optional custom state encoder.
+    seed:
+        Master seed (encoder bases, exploration, replay sampling).
+    """
+
+    def __init__(
+        self,
+        state_dim: int,
+        n_actions: int,
+        *,
+        dim: int = 2000,
+        lr: float = 0.3,
+        gamma: float = 0.98,
+        epsilon: float = 1.0,
+        epsilon_min: float = 0.05,
+        epsilon_decay: float = 0.97,
+        replay_capacity: int = 10_000,
+        batch_size: int = 32,
+        encoder: Encoder | None = None,
+        seed: SeedLike = 0,
+    ):
+        if n_actions < 2:
+            raise ConfigurationError(f"n_actions must be >= 2, got {n_actions}")
+        if not 0 < lr < 2:
+            raise ConfigurationError(f"lr must be in (0, 2), got {lr}")
+        if not 0 <= gamma <= 1:
+            raise ConfigurationError(f"gamma must be in [0, 1], got {gamma}")
+        if not 0 <= epsilon_min <= epsilon <= 1:
+            raise ConfigurationError(
+                "epsilon schedule must satisfy 0 <= epsilon_min <= epsilon <= 1"
+            )
+        if not 0 < epsilon_decay <= 1:
+            raise ConfigurationError(
+                f"epsilon_decay must be in (0, 1], got {epsilon_decay}"
+            )
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if encoder is not None and encoder.in_features != state_dim:
+            raise ConfigurationError(
+                f"encoder expects {encoder.in_features} features, agent got "
+                f"state_dim={state_dim}"
+            )
+        self.n_actions = int(n_actions)
+        self.lr = float(lr)
+        self.gamma = float(gamma)
+        self.epsilon = float(epsilon)
+        self.epsilon_min = float(epsilon_min)
+        self.epsilon_decay = float(epsilon_decay)
+        self.batch_size = int(batch_size)
+        self.encoder = encoder or NonlinearEncoder(
+            state_dim, dim, derive_generator(seed, 0)
+        )
+        self.models = np.zeros((n_actions, self.encoder.dim))
+        self.replay = ReplayBuffer(replay_capacity, derive_generator(seed, 1))
+        self._explore_rng = as_generator(derive_generator(seed, 2))
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality."""
+        return self.encoder.dim
+
+    def _encode(self, states: FloatArray) -> FloatArray:
+        S = self.encoder.encode_batch(np.atleast_2d(states))
+        norms = np.linalg.norm(S, axis=1, keepdims=True)
+        return S / np.maximum(norms, 1e-12)
+
+    def q_values(self, state: FloatArray) -> FloatArray:
+        """Action values ``Q(s, .)`` for one state."""
+        return (self._encode(state) @ self.models.T)[0]
+
+    def q_values_batch(self, states: FloatArray) -> FloatArray:
+        """Action values for a batch of states, shape ``(n, n_actions)``."""
+        return self._encode(states) @ self.models.T
+
+    def act(self, state: FloatArray, *, greedy: bool = False) -> int:
+        """Epsilon-greedy action selection (pure greedy with ``greedy``)."""
+        if not greedy and self._explore_rng.random() < self.epsilon:
+            return int(self._explore_rng.integers(self.n_actions))
+        return int(np.argmax(self.q_values(state)))
+
+    def decay_epsilon(self) -> None:
+        """Apply one step of the exploration-decay schedule."""
+        self.epsilon = max(self.epsilon_min, self.epsilon * self.epsilon_decay)
+
+    # -- learning ------------------------------------------------------------
+
+    def _td_update(
+        self,
+        states: FloatArray,
+        actions: np.ndarray,
+        rewards: FloatArray,
+        next_states: FloatArray,
+        dones: np.ndarray,
+    ) -> float:
+        """Apply the RegHD delta rule with TD targets; returns mean |error|."""
+        S = self._encode(states)
+        q_sa = np.einsum("ij,ij->i", S, self.models[actions])
+        next_q = self._encode(next_states) @ self.models.T
+        targets = rewards + self.gamma * np.where(
+            dones, 0.0, next_q.max(axis=1)
+        )
+        errors = targets - q_sa
+        scaled = self.lr * errors / len(errors)
+        for i, action in enumerate(actions):
+            self.models[action] += scaled[i] * S[i]
+        return float(np.mean(np.abs(errors)))
+
+    def observe(self, transition: Transition) -> float:
+        """Online step: store in replay and apply one TD update."""
+        self.replay.push(transition)
+        return self._td_update(
+            np.atleast_2d(transition.state),
+            np.array([transition.action]),
+            np.array([transition.reward]),
+            np.atleast_2d(transition.next_state),
+            np.array([transition.done]),
+        ) * 1.0
+
+    def learn_from_replay(self) -> float | None:
+        """One mini-batch TD update from replay; None if buffer is empty."""
+        if len(self.replay) == 0:
+            return None
+        batch = self.replay.sample(min(self.batch_size, len(self.replay)))
+        return self._td_update(*self.replay.as_arrays(batch))

@@ -1,0 +1,218 @@
+"""From-scratch environments for the HD-RL extension.
+
+Two classic control problems, implemented in plain numpy so the RL
+extension carries no external dependency:
+
+* :class:`GridWorld` — a discrete navigation task with obstacles; states
+  are (row, col) coordinates presented as continuous features, which is
+  exactly the regime RegHD's encoder handles.
+* :class:`CartPole` — the classic cart-pole balancing problem with
+  Euler-integrated physics (pole angle/velocity dynamics per Barto, Sutton
+  & Anderson 1983).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import as_generator
+
+
+class Environment(ABC):
+    """Minimal episodic-environment interface."""
+
+    @property
+    @abstractmethod
+    def state_dim(self) -> int:
+        """Number of features in a state observation."""
+
+    @property
+    @abstractmethod
+    def n_actions(self) -> int:
+        """Number of discrete actions."""
+
+    @property
+    @abstractmethod
+    def max_steps(self) -> int:
+        """Episode step limit."""
+
+    @abstractmethod
+    def reset(self, seed: SeedLike = None) -> FloatArray:
+        """Start a new episode; returns the initial observation."""
+
+    @abstractmethod
+    def step(self, action: int) -> tuple[FloatArray, float, bool]:
+        """Apply ``action``; returns ``(observation, reward, done)``."""
+
+    def _check_action(self, action: int) -> None:
+        if not 0 <= action < self.n_actions:
+            raise ConfigurationError(
+                f"action must be in [0, {self.n_actions}), got {action}"
+            )
+
+
+class GridWorld(Environment):
+    """An ``size x size`` grid with obstacles, a start and a goal.
+
+    Actions: 0 = up, 1 = right, 2 = down, 3 = left.  Rewards: +1 at the
+    goal (episode ends), -1 on an obstacle (episode ends), -0.01 per step
+    (encourages short paths).  Observations are the (row, col) position
+    scaled to [0, 1]².
+
+    Parameters
+    ----------
+    size:
+        Grid side length.
+    obstacles:
+        Cells that end the episode with the penalty; defaults to a small
+        diagonal wall that forces a detour.
+    """
+
+    ACTIONS = ((-1, 0), (0, 1), (1, 0), (0, -1))
+
+    def __init__(
+        self,
+        size: int = 5,
+        *,
+        obstacles: tuple[tuple[int, int], ...] | None = None,
+        step_limit: int = 100,
+    ):
+        if size < 2:
+            raise ConfigurationError(f"size must be >= 2, got {size}")
+        if step_limit < 1:
+            raise ConfigurationError(
+                f"step_limit must be >= 1, got {step_limit}"
+            )
+        self.size = int(size)
+        self.start = (size - 1, 0)
+        self.goal = (0, size - 1)
+        if obstacles is None:
+            mid = size // 2
+            obstacles = tuple(
+                (mid, c) for c in range(size - 2)
+            )  # a wall with a gap on the right
+        for cell in obstacles:
+            if cell in (self.start, self.goal):
+                raise ConfigurationError(
+                    f"obstacle {cell} collides with start or goal"
+                )
+            if not (0 <= cell[0] < size and 0 <= cell[1] < size):
+                raise ConfigurationError(f"obstacle {cell} outside the grid")
+        self.obstacles = frozenset(obstacles)
+        self._step_limit = int(step_limit)
+        self._pos = self.start
+        self._steps = 0
+
+    @property
+    def state_dim(self) -> int:
+        return 2
+
+    @property
+    def n_actions(self) -> int:
+        return 4
+
+    @property
+    def max_steps(self) -> int:
+        return self._step_limit
+
+    def _observe(self) -> FloatArray:
+        return np.array(
+            [self._pos[0] / (self.size - 1), self._pos[1] / (self.size - 1)]
+        )
+
+    def reset(self, seed: SeedLike = None) -> FloatArray:
+        self._pos = self.start
+        self._steps = 0
+        return self._observe()
+
+    def step(self, action: int) -> tuple[FloatArray, float, bool]:
+        self._check_action(action)
+        self._steps += 1
+        dr, dc = self.ACTIONS[action]
+        row = min(max(self._pos[0] + dr, 0), self.size - 1)
+        col = min(max(self._pos[1] + dc, 0), self.size - 1)
+        self._pos = (row, col)
+        if self._pos == self.goal:
+            return self._observe(), 1.0, True
+        if self._pos in self.obstacles:
+            return self._observe(), -1.0, True
+        done = self._steps >= self._step_limit
+        return self._observe(), -0.01, done
+
+
+class CartPole(Environment):
+    """Cart-pole balancing with Euler-integrated dynamics.
+
+    State: ``(x, x_dot, theta, theta_dot)``.  Actions: 0 = push left,
+    1 = push right.  Reward +1 per step; the episode ends when the pole
+    tips past ±12° or the cart leaves ±2.4, or at the step limit.
+    """
+
+    GRAVITY = 9.8
+    CART_MASS = 1.0
+    POLE_MASS = 0.1
+    POLE_HALF_LENGTH = 0.5
+    FORCE = 10.0
+    DT = 0.02
+    THETA_LIMIT = 12.0 * np.pi / 180.0
+    X_LIMIT = 2.4
+
+    def __init__(self, *, step_limit: int = 200):
+        if step_limit < 1:
+            raise ConfigurationError(
+                f"step_limit must be >= 1, got {step_limit}"
+            )
+        self._step_limit = int(step_limit)
+        self._state = np.zeros(4)
+        self._steps = 0
+        self._rng = as_generator(None)
+
+    @property
+    def state_dim(self) -> int:
+        return 4
+
+    @property
+    def n_actions(self) -> int:
+        return 2
+
+    @property
+    def max_steps(self) -> int:
+        return self._step_limit
+
+    def reset(self, seed: SeedLike = None) -> FloatArray:
+        self._rng = as_generator(seed)
+        self._state = self._rng.uniform(-0.05, 0.05, size=4)
+        self._steps = 0
+        return self._state.copy()
+
+    def step(self, action: int) -> tuple[FloatArray, float, bool]:
+        self._check_action(action)
+        x, x_dot, theta, theta_dot = self._state
+        force = self.FORCE if action == 1 else -self.FORCE
+        total_mass = self.CART_MASS + self.POLE_MASS
+        pole_mass_length = self.POLE_MASS * self.POLE_HALF_LENGTH
+
+        cos_t, sin_t = np.cos(theta), np.sin(theta)
+        temp = (
+            force + pole_mass_length * theta_dot**2 * sin_t
+        ) / total_mass
+        theta_acc = (self.GRAVITY * sin_t - cos_t * temp) / (
+            self.POLE_HALF_LENGTH
+            * (4.0 / 3.0 - self.POLE_MASS * cos_t**2 / total_mass)
+        )
+        x_acc = temp - pole_mass_length * theta_acc * cos_t / total_mass
+
+        x += self.DT * x_dot
+        x_dot += self.DT * x_acc
+        theta += self.DT * theta_dot
+        theta_dot += self.DT * theta_acc
+        self._state = np.array([x, x_dot, theta, theta_dot])
+        self._steps += 1
+
+        failed = abs(x) > self.X_LIMIT or abs(theta) > self.THETA_LIMIT
+        done = failed or self._steps >= self._step_limit
+        return self._state.copy(), 1.0, done

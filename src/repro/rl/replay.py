@@ -1,0 +1,76 @@
+"""Experience replay for the HD-RL agent."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One environment step: ``(s, a, r, s', done)``."""
+
+    state: FloatArray
+    action: int
+    reward: float
+    next_state: FloatArray
+    done: bool
+
+
+class ReplayBuffer:
+    """Ring-buffer experience replay with seeded uniform sampling."""
+
+    def __init__(self, capacity: int, seed: SeedLike = 0):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._buffer: list[Transition] = []
+        self._cursor = 0
+        self._rng = as_generator(seed)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of stored transitions."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def push(self, transition: Transition) -> None:
+        """Append a transition, evicting the oldest when full."""
+        if len(self._buffer) < self._capacity:
+            self._buffer.append(transition)
+        else:
+            self._buffer[self._cursor] = transition
+            self._cursor = (self._cursor + 1) % self._capacity
+
+    def sample(self, batch_size: int) -> list[Transition]:
+        """Uniformly sample ``batch_size`` transitions (with replacement
+        only when the buffer is smaller than the request)."""
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if not self._buffer:
+            raise ConfigurationError("cannot sample from an empty buffer")
+        replace = batch_size > len(self._buffer)
+        idx = self._rng.choice(
+            len(self._buffer), size=batch_size, replace=replace
+        )
+        return [self._buffer[i] for i in idx]
+
+    def as_arrays(
+        self, transitions: list[Transition]
+    ) -> tuple[FloatArray, np.ndarray, FloatArray, FloatArray, np.ndarray]:
+        """Stack a transition list into batched arrays."""
+        states = np.stack([t.state for t in transitions])
+        actions = np.array([t.action for t in transitions], dtype=np.int64)
+        rewards = np.array([t.reward for t in transitions])
+        next_states = np.stack([t.next_state for t in transitions])
+        dones = np.array([t.done for t in transitions], dtype=bool)
+        return states, actions, rewards, next_states, dones

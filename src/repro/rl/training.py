@@ -1,0 +1,142 @@
+"""Training and evaluation loops for the HD-RL agent."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rl.agent import HDQAgent
+from repro.rl.envs import Environment
+from repro.rl.replay import Transition
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import derive_generator
+
+
+@dataclass
+class EpisodeStats:
+    """Per-episode training record."""
+
+    episode: int
+    total_reward: float
+    steps: int
+    epsilon: float
+    mean_td_error: float
+
+
+@dataclass
+class TrainingRun:
+    """Full history of a training run."""
+
+    episodes: list[EpisodeStats] = field(default_factory=list)
+
+    def rewards(self) -> FloatArray:
+        """Per-episode total reward (the learning curve)."""
+        return np.array([e.total_reward for e in self.episodes])
+
+    def moving_average(self, window: int = 10) -> FloatArray:
+        """Smoothed learning curve."""
+        rewards = self.rewards()
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if len(rewards) < window:
+            return rewards
+        kernel = np.ones(window) / window
+        return np.convolve(rewards, kernel, mode="valid")
+
+
+def train_agent(
+    env: Environment,
+    agent: HDQAgent,
+    *,
+    episodes: int = 200,
+    replay_updates_per_step: int = 1,
+    seed: SeedLike = 0,
+) -> TrainingRun:
+    """Run epsilon-greedy Q-learning episodes.
+
+    Each environment step performs one online TD update plus
+    ``replay_updates_per_step`` mini-batch replay updates; epsilon decays
+    once per episode.
+    """
+    if episodes < 1:
+        raise ConfigurationError(f"episodes must be >= 1, got {episodes}")
+    if replay_updates_per_step < 0:
+        raise ConfigurationError(
+            f"replay_updates_per_step must be >= 0, got "
+            f"{replay_updates_per_step}"
+        )
+    run = TrainingRun()
+    for episode in range(1, episodes + 1):
+        state = env.reset(derive_generator(seed, episode))
+        total_reward = 0.0
+        td_errors = []
+        steps = 0
+        done = False
+        while not done:
+            action = agent.act(state)
+            next_state, reward, done = env.step(action)
+            td = agent.observe(
+                Transition(state, action, reward, next_state, done)
+            )
+            td_errors.append(td)
+            for _ in range(replay_updates_per_step):
+                replay_td = agent.learn_from_replay()
+                if replay_td is not None:
+                    td_errors.append(replay_td)
+            state = next_state
+            total_reward += reward
+            steps += 1
+        agent.decay_epsilon()
+        run.episodes.append(
+            EpisodeStats(
+                episode=episode,
+                total_reward=total_reward,
+                steps=steps,
+                epsilon=agent.epsilon,
+                mean_td_error=float(np.mean(td_errors)),
+            )
+        )
+    return run
+
+
+def evaluate_policy(
+    env: Environment,
+    agent: HDQAgent,
+    *,
+    episodes: int = 20,
+    seed: SeedLike = 1_000_000,
+) -> float:
+    """Mean total reward of the greedy policy over fresh episodes."""
+    if episodes < 1:
+        raise ConfigurationError(f"episodes must be >= 1, got {episodes}")
+    totals = []
+    for episode in range(episodes):
+        state = env.reset(derive_generator(seed, episode))
+        total = 0.0
+        done = False
+        while not done:
+            state, reward, done = env.step(agent.act(state, greedy=True))
+            total += reward
+        totals.append(total)
+    return float(np.mean(totals))
+
+
+def random_policy_reward(
+    env: Environment, *, episodes: int = 20, seed: SeedLike = 2_000_000
+) -> float:
+    """Mean total reward of a uniform-random policy (the floor to beat)."""
+    if episodes < 1:
+        raise ConfigurationError(f"episodes must be >= 1, got {episodes}")
+    rng = np.random.default_rng(0)
+    totals = []
+    for episode in range(episodes):
+        env.reset(derive_generator(seed, episode))
+        total = 0.0
+        done = False
+        while not done:
+            _, reward, done = env.step(int(rng.integers(env.n_actions)))
+            total += reward
+        totals.append(total)
+    return float(np.mean(totals))

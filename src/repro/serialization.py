@@ -1,0 +1,222 @@
+"""Save and load trained RegHD models.
+
+Deployment on an embedded device means training on a workstation and
+shipping the frozen hypervectors; these helpers serialise a trained
+model — including the encoder's random bases, without which predictions
+are meaningless — to a single ``.npz`` file and restore it bit-exactly.
+
+Supported models: :class:`SingleModelRegHD`, :class:`MultiModelRegHD`,
+:class:`BaselineHD`, with :class:`NonlinearEncoder` or
+:class:`RandomProjectionEncoder` encoders.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.baseline_hd import BaselineHD
+from repro.core.config import ConvergencePolicy, RegHDConfig
+from repro.core.multi import MultiModelRegHD
+from repro.core.quantization import ClusterQuant, PredictQuant
+from repro.core.single import SingleModelRegHD
+from repro.encoding.base import Encoder
+from repro.encoding.nonlinear import NonlinearEncoder
+from repro.encoding.projection import RandomProjectionEncoder
+from repro.exceptions import ConfigurationError
+
+_FORMAT_VERSION = 1
+
+
+def _encoder_state(encoder: Encoder) -> tuple[dict, dict[str, np.ndarray]]:
+    if isinstance(encoder, NonlinearEncoder):
+        meta = {
+            "encoder_type": "nonlinear",
+            "in_features": encoder.in_features,
+            "dim": encoder.dim,
+            "scale": encoder.scale,
+            "base_kind": encoder._base_kind,
+        }
+        arrays = {
+            "encoder_bases": np.asarray(encoder.bases),
+            "encoder_phases": np.asarray(encoder.phases),
+        }
+        return meta, arrays
+    if isinstance(encoder, RandomProjectionEncoder):
+        meta = {
+            "encoder_type": "projection",
+            "in_features": encoder.in_features,
+            "dim": encoder.dim,
+            "scale": encoder._scale,
+            "quantize": encoder.quantize,
+        }
+        arrays = {"encoder_bases": np.asarray(encoder._bases)}
+        return meta, arrays
+    raise ConfigurationError(
+        f"cannot serialise encoder of type {type(encoder).__name__}; "
+        "supported: NonlinearEncoder, RandomProjectionEncoder"
+    )
+
+
+def _restore_encoder(meta: dict, data: np.lib.npyio.NpzFile) -> Encoder:
+    if meta["encoder_type"] == "nonlinear":
+        encoder = NonlinearEncoder(
+            meta["in_features"],
+            meta["dim"],
+            seed=0,
+            base=meta["base_kind"],
+            scale=meta["scale"],
+        )
+        encoder._bases = np.array(data["encoder_bases"])
+        encoder._phases = np.array(data["encoder_phases"])
+        return encoder
+    if meta["encoder_type"] == "projection":
+        encoder = RandomProjectionEncoder(
+            meta["in_features"],
+            meta["dim"],
+            seed=0,
+            quantize=meta["quantize"],
+            scale=meta["scale"],
+        )
+        encoder._bases = np.array(data["encoder_bases"])
+        return encoder
+    raise ConfigurationError(
+        f"unknown encoder_type {meta['encoder_type']!r} in model file"
+    )
+
+
+def save_model(
+    model: SingleModelRegHD | MultiModelRegHD | BaselineHD,
+    path: str | pathlib.Path,
+) -> pathlib.Path:
+    """Serialise a *trained* model to ``path`` (``.npz``).
+
+    Raises :class:`ConfigurationError` for unfitted models — a frozen
+    model without learned hypervectors cannot predict.
+    """
+    if not getattr(model, "_fitted", False):
+        raise ConfigurationError("cannot save an unfitted model")
+    path = pathlib.Path(path)
+    meta, arrays = _encoder_state(model.encoder)
+    meta["format_version"] = _FORMAT_VERSION
+
+    if isinstance(model, SingleModelRegHD):
+        meta.update(
+            model_type="single",
+            lr=model.lr,
+            batch_size=model.batch_size,
+            y_mean=model._y_mean,
+            y_scale=model._y_scale,
+        )
+        arrays["model_vector"] = model.model
+    elif isinstance(model, MultiModelRegHD):
+        cfg = model.config
+        meta.update(
+            model_type="multi",
+            y_mean=model._y_mean,
+            y_scale=model._y_scale,
+            config={
+                "dim": cfg.dim,
+                "n_models": cfg.n_models,
+                "lr": cfg.lr,
+                "softmax_temp": cfg.softmax_temp,
+                "update_weighting": cfg.update_weighting,
+                "cluster_quant": cfg.cluster_quant.value,
+                "predict_quant": cfg.predict_quant.value,
+                "batch_size": cfg.batch_size,
+                "seed": cfg.seed,
+            },
+        )
+        arrays["clusters_integer"] = model.clusters.integer
+        arrays["models_integer"] = model.models.integer
+    elif isinstance(model, BaselineHD):
+        meta.update(
+            model_type="baseline_hd",
+            n_bins=model.n_bins,
+            lr=model.lr,
+            batch_size=model.batch_size,
+            y_low=model._y_low,
+            y_high=model._y_high,
+        )
+        arrays["class_vectors"] = model.class_vectors
+        arrays["bin_centers"] = model.bin_centers
+    else:
+        raise ConfigurationError(
+            f"cannot serialise model of type {type(model).__name__}"
+        )
+
+    np.savez(path, _meta=np.array(json.dumps(meta)), **arrays)
+    # np.savez appends .npz when missing; normalise the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def load_model(
+    path: str | pathlib.Path,
+) -> SingleModelRegHD | MultiModelRegHD | BaselineHD:
+    """Restore a model saved with :func:`save_model` (bit-exact)."""
+    data = np.load(pathlib.Path(path), allow_pickle=False)
+    try:
+        meta = json.loads(str(data["_meta"]))
+    except KeyError:
+        raise ConfigurationError(f"{path} is not a repro model file") from None
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported model-file version {meta.get('format_version')}"
+        )
+    encoder = _restore_encoder(meta, data)
+
+    if meta["model_type"] == "single":
+        model = SingleModelRegHD(
+            meta["in_features"],
+            lr=meta["lr"],
+            batch_size=meta["batch_size"],
+            encoder=encoder,
+        )
+        model.model[:] = data["model_vector"]
+        model._y_mean = meta["y_mean"]
+        model._y_scale = meta["y_scale"]
+        model._fitted = True
+        return model
+    if meta["model_type"] == "multi":
+        cfg_dict = dict(meta["config"])
+        cfg = RegHDConfig(
+            dim=cfg_dict["dim"],
+            n_models=cfg_dict["n_models"],
+            lr=cfg_dict["lr"],
+            softmax_temp=cfg_dict["softmax_temp"],
+            update_weighting=cfg_dict["update_weighting"],
+            cluster_quant=ClusterQuant(cfg_dict["cluster_quant"]),
+            predict_quant=PredictQuant(cfg_dict["predict_quant"]),
+            batch_size=cfg_dict["batch_size"],
+            seed=cfg_dict["seed"],
+        )
+        model = MultiModelRegHD(meta["in_features"], cfg, encoder=encoder)
+        model.clusters.integer[:] = data["clusters_integer"]
+        model.clusters.rebinarize()
+        model.models.integer[:] = data["models_integer"]
+        model.models.rebinarize()
+        model._y_mean = meta["y_mean"]
+        model._y_scale = meta["y_scale"]
+        model._fitted = True
+        return model
+    if meta["model_type"] == "baseline_hd":
+        model = BaselineHD(
+            meta["in_features"],
+            n_bins=meta["n_bins"],
+            lr=meta["lr"],
+            batch_size=meta["batch_size"],
+            encoder=encoder,
+        )
+        model.class_vectors[:] = data["class_vectors"]
+        model.bin_centers = np.array(data["bin_centers"])
+        model._y_low = meta["y_low"]
+        model._y_high = meta["y_high"]
+        model._fitted = True
+        return model
+    raise ConfigurationError(
+        f"unknown model_type {meta['model_type']!r} in model file"
+    )

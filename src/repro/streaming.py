@@ -1,0 +1,196 @@
+"""Streaming RegHD: prequential learning with forgetting and drift handling.
+
+The paper targets IoT devices that learn from unbounded sensor streams.
+This module packages the pieces a deployed streaming learner needs around
+:class:`MultiModelRegHD`:
+
+* **prequential evaluation** — every arriving batch is predicted *before*
+  it is trained on, so the reported error is honest online error;
+* **exponential forgetting** — model hypervectors decay by a factor per
+  batch, bounding the influence horizon of stale data (a bundle is a sum,
+  so scaling it down-weights the past without touching the encoder);
+* **drift detection** — a Page-Hinkley test on the prequential error; on
+  detection the model hypervectors are shrunk hard so the learner re-adapts
+  quickly instead of averaging two incompatible concepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import RegHDConfig
+from repro.core.multi import MultiModelRegHD
+from repro.encoding.base import Encoder
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.metrics import mean_squared_error
+from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.utils.validation import check_1d, check_2d, check_matching_lengths
+
+
+class PageHinkley:
+    """Page-Hinkley change detector on a stream of error magnitudes.
+
+    Standard Page-Hinkley: signals drift when the cumulative deviation of
+    the error above its incremental mean exceeds ``threshold``.  ``delta``
+    is the magnitude of tolerated change per observation.
+    """
+
+    def __init__(self, *, delta: float = 0.01, threshold: float = 2.0):
+        if delta < 0:
+            raise ConfigurationError(f"delta must be >= 0, got {delta}")
+        if threshold <= 0:
+            raise ConfigurationError(
+                f"threshold must be > 0, got {threshold}"
+            )
+        self.delta = float(delta)
+        self.threshold = float(threshold)
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear all detector state (called automatically after a drift)."""
+        self._mean = 0.0
+        self._count = 0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def update(self, error: float) -> bool:
+        """Feed one error observation; returns True when drift is detected."""
+        if error < 0:
+            raise ConfigurationError(f"error must be >= 0, got {error}")
+        self._count += 1
+        # Incremental mean of all errors since the last reset.
+        self._mean += (error - self._mean) / self._count
+        self._cumulative += error - self._mean - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        if self._cumulative - self._minimum > self.threshold:
+            self.reset()
+            return True
+        return False
+
+
+@dataclass
+class StreamBatchReport:
+    """Prequential record for one arriving batch."""
+
+    batch: int
+    prequential_mse: float | None  # None for the very first batch
+    drift_detected: bool
+
+
+@dataclass
+class StreamHistory:
+    """Accumulated reports of a streaming run."""
+
+    reports: list[StreamBatchReport] = field(default_factory=list)
+
+    @property
+    def n_batches(self) -> int:
+        """Number of processed batches."""
+        return len(self.reports)
+
+    @property
+    def drift_events(self) -> list[int]:
+        """Batch indices where drift fired."""
+        return [r.batch for r in self.reports if r.drift_detected]
+
+    def mse_curve(self) -> FloatArray:
+        """Prequential MSE per batch (NaN for the untrained first batch)."""
+        return np.array(
+            [
+                np.nan if r.prequential_mse is None else r.prequential_mse
+                for r in self.reports
+            ]
+        )
+
+
+class StreamingRegHD:
+    """Drift-aware streaming wrapper around :class:`MultiModelRegHD`.
+
+    Parameters
+    ----------
+    in_features, config, encoder:
+        Forwarded to the underlying model.
+    forgetting:
+        Per-batch decay of the model hypervectors in (0, 1]; 1 disables
+        forgetting.
+    detector:
+        Optional :class:`PageHinkley` instance; None disables detection.
+    drift_shrink:
+        Factor applied to the model hypervectors when drift fires (0
+        fully resets them; clusters are kept — the input distribution
+        geometry usually survives a concept change in the target).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        config: RegHDConfig | None = None,
+        *,
+        forgetting: float = 0.995,
+        detector: PageHinkley | None = None,
+        drift_shrink: float = 0.1,
+        encoder: Encoder | None = None,
+    ):
+        if not 0 < forgetting <= 1:
+            raise ConfigurationError(
+                f"forgetting must be in (0, 1], got {forgetting}"
+            )
+        if not 0 <= drift_shrink <= 1:
+            raise ConfigurationError(
+                f"drift_shrink must be in [0, 1], got {drift_shrink}"
+            )
+        self.model = MultiModelRegHD(in_features, config, encoder=encoder)
+        self.forgetting = float(forgetting)
+        self.detector = detector
+        self.drift_shrink = float(drift_shrink)
+        self.history = StreamHistory()
+        self._batch_counter = 0
+
+    @property
+    def fitted(self) -> bool:
+        """Whether at least one batch has been absorbed."""
+        return self.model._fitted
+
+    def predict(self, X: ArrayLike) -> FloatArray:
+        """Predict with the current model state."""
+        return self.model.predict(X)
+
+    def update(self, X: ArrayLike, y: ArrayLike) -> StreamBatchReport:
+        """Absorb one arriving batch (predict-then-train).
+
+        Returns the prequential report for this batch; the full history
+        accumulates on :attr:`history`.
+        """
+        X_arr = check_2d("X", X)
+        y_arr = check_1d("y", y)
+        check_matching_lengths("X", X_arr, "y", y_arr)
+        self._batch_counter += 1
+
+        prequential: float | None = None
+        drift = False
+        if self.fitted:
+            predictions = self.model.predict(X_arr)
+            prequential = mean_squared_error(y_arr, predictions)
+            if self.detector is not None:
+                drift = self.detector.update(float(np.sqrt(prequential)))
+            if drift:
+                self.model.models.update_all(
+                    (self.drift_shrink - 1.0) * self.model.models.integer
+                )
+                self.model.models.rebinarize()
+            elif self.forgetting < 1.0:
+                self.model.models.update_all(
+                    (self.forgetting - 1.0) * self.model.models.integer
+                )
+                self.model.models.rebinarize()
+        self.model.partial_fit(X_arr, y_arr)
+
+        report = StreamBatchReport(
+            batch=self._batch_counter,
+            prequential_mse=prequential,
+            drift_detected=drift,
+        )
+        self.history.reports.append(report)
+        return report

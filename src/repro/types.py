@@ -1,0 +1,48 @@
+"""Shared type aliases and lightweight protocols.
+
+Hypervector conventions used throughout the library (see DESIGN.md §4):
+
+* dense hypervectors are ``float64`` arrays of shape ``(D,)`` or ``(n, D)``;
+* binary views are ``uint8`` arrays with values in ``{0, 1}``;
+* bipolar views are ``int8`` arrays with values in ``{-1, +1}``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+import numpy.typing as npt
+
+#: A dense (integer-valued but float-stored) hypervector or batch thereof.
+FloatArray = npt.NDArray[np.float64]
+
+#: A binary {0, 1} hypervector or batch thereof.
+BinaryArray = npt.NDArray[np.uint8]
+
+#: A bipolar {-1, +1} hypervector or batch thereof.
+BipolarArray = npt.NDArray[np.int8]
+
+#: Anything numpy can coerce into an array of floats.
+ArrayLike = npt.ArrayLike
+
+#: Seed accepted at API boundaries: an int, a Generator, or None.
+SeedLike = int | np.random.Generator | None
+
+
+@runtime_checkable
+class SupportsPredict(Protocol):
+    """Minimal regressor interface used by the evaluation harness."""
+
+    def predict(self, X: ArrayLike) -> FloatArray:  # pragma: no cover
+        """Return predicted targets for a batch of raw feature rows."""
+        ...
+
+
+@runtime_checkable
+class SupportsFit(Protocol):
+    """A trainable regressor."""
+
+    def fit(self, X: ArrayLike, y: ArrayLike) -> "SupportsFit":  # pragma: no cover
+        """Train on raw feature rows ``X`` and targets ``y``."""
+        ...

@@ -1,0 +1,58 @@
+"""Shared fixtures: small, fast, seeded datasets and configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConvergencePolicy, RegHDConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh seeded generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_regression(rng: np.random.Generator):
+    """A small nonlinear regression problem: (X_train, y_train, X_test, y_test)."""
+
+    def f(X: np.ndarray) -> np.ndarray:
+        return np.sin(2.0 * X[:, 0]) + 0.5 * X[:, 1] * X[:, 2] + 0.3 * X[:, 3]
+
+    X_train = rng.normal(size=(200, 5))
+    X_test = rng.normal(size=(100, 5))
+    return X_train, f(X_train), X_test, f(X_test)
+
+
+@pytest.fixture
+def clustered_regression(rng: np.random.Generator):
+    """A regime-mixture problem where multi-model clustering matters."""
+    n_regimes, n_features = 4, 5
+    centers = rng.normal(size=(n_regimes, n_features)) * 3.0
+    coefs = rng.normal(size=(n_regimes, n_features)) * 2.0
+
+    def gen(n: int):
+        z = rng.integers(0, n_regimes, n)
+        X = centers[z] + rng.normal(size=(n, n_features)) * 0.7
+        y = np.einsum("ij,ij->i", X - centers[z], coefs[z]) + 3.0 * z
+        return X, y
+
+    X_train, y_train = gen(400)
+    X_test, y_test = gen(200)
+    return X_train, y_train, X_test, y_test
+
+
+@pytest.fixture
+def fast_convergence() -> ConvergencePolicy:
+    """A short training budget for unit tests."""
+    return ConvergencePolicy(max_epochs=8, patience=2, tol=1e-3)
+
+
+@pytest.fixture
+def fast_config(fast_convergence: ConvergencePolicy) -> RegHDConfig:
+    """A small, fast RegHD configuration for unit tests."""
+    return RegHDConfig(
+        dim=256, n_models=4, seed=7, convergence=fast_convergence
+    )

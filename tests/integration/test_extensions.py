@@ -1,0 +1,110 @@
+"""Integration tests across the extension modules."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusterQuant,
+    MultiModelRegHD,
+    PredictQuant,
+    RegHDConfig,
+    load_model,
+    save_model,
+)
+from repro.core import ConvergencePolicy
+from repro.core.sparsify import density_of, fine_tune_sparse
+from repro.datasets import (
+    load_dataset,
+    sensor_signal,
+    train_test_split,
+    windowed_forecasting_dataset,
+)
+from repro.evaluation import ConformalRegressor, paired_comparison, multi_seed_mses
+from repro.streaming import PageHinkley, StreamingRegHD
+
+CONV = ConvergencePolicy(max_epochs=8, patience=3)
+CONFIG = RegHDConfig(dim=512, n_models=4, seed=0, convergence=CONV)
+
+
+class TestDeploymentPipeline:
+    def test_train_sparsify_quantize_save_load_predict(self, tmp_path):
+        """The full edge-deployment chain preserves predictions."""
+        ds = load_dataset("boston").subsample(300, seed=0)
+        split = train_test_split(ds, seed=0)
+        model = MultiModelRegHD(
+            ds.n_features,
+            CONFIG.with_overrides(
+                cluster_quant=ClusterQuant.FRAMEWORK,
+                predict_quant=PredictQuant.BINARY_QUERY,
+            ),
+        ).fit(split.X_train, split.y_train)
+        fine_tune_sparse(
+            model, split.X_train, split.y_train, density=0.5, epochs=2
+        )
+        assert density_of(model.models.integer) <= 0.51
+
+        path = save_model(model, tmp_path / "edge_model.npz")
+        loaded = load_model(path)
+        np.testing.assert_array_equal(
+            loaded.predict(split.X_test), model.predict(split.X_test)
+        )
+        # Sparsity survives the round trip.
+        assert density_of(loaded.models.integer) <= 0.51
+
+    def test_conformal_around_quantized_reghd(self):
+        ds = load_dataset("ccpp").subsample(600, seed=0)
+        split = train_test_split(ds, seed=0)
+        conformal = ConformalRegressor(
+            MultiModelRegHD(
+                ds.n_features,
+                CONFIG.with_overrides(cluster_quant=ClusterQuant.FRAMEWORK),
+            ),
+            alpha=0.2,
+            seed=0,
+        ).fit(split.X_train, split.y_train)
+        interval = conformal.predict_interval(split.X_test)
+        coverage = interval.covers(split.y_test).mean()
+        assert coverage > 0.6  # loose bound; exact coverage tested in unit
+
+
+class TestStreamingForecastPipeline:
+    def test_sensor_stream_through_streaming_reghd(self):
+        series = sensor_signal(1400, seed=0)
+        ds = windowed_forecasting_dataset(series, window=10)
+        stream = StreamingRegHD(
+            10,
+            RegHDConfig(dim=512, n_models=4, seed=0),
+            forgetting=0.999,
+            detector=PageHinkley(threshold=2.0),
+        )
+        batch = 100
+        for start in range(0, ds.n_samples - batch, batch):
+            stream.update(
+                ds.X[start : start + batch], ds.y[start : start + batch]
+            )
+        curve = stream.history.mse_curve()
+        # Forecasting error ends well below the series variance.
+        assert np.nanmean(curve[-3:]) < np.var(series)
+
+
+class TestStatisticsPipeline:
+    def test_reghd_vs_linear_on_nonlinear_surrogate(self):
+        """Multi-seed paired comparison: RegHD beats ridge on a dataset
+        with genuine nonlinearity, significantly."""
+        from repro.baselines import RidgeRegression
+
+        ds = load_dataset("airfoil").subsample(500, seed=0)
+        seeds = [0, 1, 2, 3, 4]
+        reghd = multi_seed_mses(
+            lambda seed, n: MultiModelRegHD(
+                n, CONFIG.with_overrides(seed=seed)
+            ),
+            ds,
+            seeds=seeds,
+        )
+        ridge = multi_seed_mses(
+            lambda seed, n: RidgeRegression(1.0), ds, seeds=seeds
+        )
+        result = paired_comparison(reghd, ridge)
+        assert result.mean_difference < 0  # RegHD lower MSE
+        assert result.significant(0.05)

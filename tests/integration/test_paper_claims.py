@@ -1,0 +1,229 @@
+"""Integration tests pinning the paper's qualitative claims (the 'shape').
+
+Each test here corresponds to a sentence in the paper's evaluation; the
+benchmarks print the full tables, these tests assert the directions.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BaselineHD, MultiModelRegHD, RegHDConfig, SingleModelRegHD
+from repro.core import ClusterQuant, ConvergencePolicy, PredictQuant
+from repro.datasets import load_dataset, regime_mixture, train_test_split
+from repro.datasets.preprocessing import StandardScaler
+from repro.metrics import mean_squared_error
+
+
+CONV = ConvergencePolicy(max_epochs=15, patience=4)
+
+
+@pytest.fixture(scope="module")
+def complex_split():
+    """A regime-mixture task hard enough that capacity matters at D=96."""
+    ds = regime_mixture(1200, 6, n_regimes=8, seed=3, noise=0.1)
+    split = train_test_split(ds, seed=0)
+    scaler = StandardScaler().fit(split.X_train)
+    return (
+        scaler.transform(split.X_train),
+        split.y_train,
+        scaler.transform(split.X_test),
+        split.y_test,
+    )
+
+
+def _mse(model, data):
+    X, y, Xte, yte = data
+    model.fit(X, y)
+    return mean_squared_error(yte, model.predict(Xte))
+
+
+class TestFig3bMultiVsSingle:
+    def test_multi_model_beats_single_on_complex_task(self, complex_split):
+        """Fig. 3b: at capacity-constrained D the multi-model wins."""
+        dim = 96
+        single = _mse(
+            SingleModelRegHD(6, dim=dim, seed=0, convergence=CONV), complex_split
+        )
+        multi = _mse(
+            MultiModelRegHD(
+                6, RegHDConfig(dim=dim, n_models=8, seed=0, convergence=CONV)
+            ),
+            complex_split,
+        )
+        assert multi < single
+
+
+class TestTable1Shapes:
+    def test_baseline_hd_is_worst(self, complex_split):
+        """Table 1: Baseline-HD trails RegHD by a wide margin."""
+        reghd = _mse(
+            MultiModelRegHD(
+                6, RegHDConfig(dim=512, n_models=8, seed=0, convergence=CONV)
+            ),
+            complex_split,
+        )
+        baseline = _mse(
+            BaselineHD(6, dim=512, n_bins=64, seed=0, convergence=CONV),
+            complex_split,
+        )
+        assert baseline > reghd * 1.3
+
+    def test_more_models_do_not_hurt(self, complex_split):
+        """Table 1: RegHD-32 >= RegHD-2 quality (monotone trend, with
+        tolerance for seed noise)."""
+        mses = {}
+        for k in (2, 32):
+            mses[k] = _mse(
+                MultiModelRegHD(
+                    6, RegHDConfig(dim=96, n_models=k, seed=0, convergence=CONV)
+                ),
+                complex_split,
+            )
+        assert mses[32] < mses[2] * 1.05
+
+
+class TestFig6ClusterQuantization:
+    def test_framework_close_to_integer(self, complex_split):
+        """Fig. 6: the dual-copy framework matches integer clustering."""
+        integer = _mse(
+            MultiModelRegHD(
+                6,
+                RegHDConfig(
+                    dim=512, n_models=8, seed=0, convergence=CONV,
+                    cluster_quant=ClusterQuant.NONE,
+                ),
+            ),
+            complex_split,
+        )
+        framework = _mse(
+            MultiModelRegHD(
+                6,
+                RegHDConfig(
+                    dim=512, n_models=8, seed=0, convergence=CONV,
+                    cluster_quant=ClusterQuant.FRAMEWORK,
+                ),
+            ),
+            complex_split,
+        )
+        assert framework < integer * 1.35
+
+    def test_framework_beats_naive(self, complex_split):
+        """Fig. 6: naive binarisation loses to the framework."""
+        mses = {}
+        for cq in (ClusterQuant.FRAMEWORK, ClusterQuant.NAIVE):
+            per_seed = []
+            for seed in (0, 1, 2):
+                per_seed.append(
+                    _mse(
+                        MultiModelRegHD(
+                            6,
+                            RegHDConfig(
+                                dim=256, n_models=8, seed=seed,
+                                convergence=CONV, cluster_quant=cq,
+                            ),
+                        ),
+                        complex_split,
+                    )
+                )
+            mses[cq] = float(np.mean(per_seed))
+        assert mses[ClusterQuant.FRAMEWORK] <= mses[ClusterQuant.NAIVE] * 1.1
+
+
+class TestFig7PredictionQuantization:
+    def test_quality_ordering(self, complex_split):
+        """Fig. 7: full ~ binary-query > binary-model-containing configs,
+        averaged over seeds."""
+        mses = {}
+        for pq in PredictQuant:
+            per_seed = []
+            for seed in (0, 1):
+                per_seed.append(
+                    _mse(
+                        MultiModelRegHD(
+                            6,
+                            RegHDConfig(
+                                dim=512, n_models=8, seed=seed,
+                                convergence=CONV, predict_quant=pq,
+                            ),
+                        ),
+                        complex_split,
+                    )
+                )
+            mses[pq] = float(np.mean(per_seed))
+        # Binary query stays close to full precision...
+        assert mses[PredictQuant.BINARY_QUERY] < mses[PredictQuant.FULL] * 1.5
+        # ...and the fully binary path is the worst of the four.
+        assert mses[PredictQuant.BINARY_BOTH] >= max(
+            mses[PredictQuant.FULL], mses[PredictQuant.BINARY_QUERY]
+        ) * 0.95
+
+
+class TestTable2Dimensionality:
+    def test_quality_loss_grows_as_dim_shrinks(self):
+        """Table 2: lower D -> higher quality loss, small at high D."""
+        ds = load_dataset("airfoil", seed=0).subsample(900, seed=0)
+        split = train_test_split(ds, seed=0)
+        scaler = StandardScaler().fit(split.X_train)
+        data = (
+            scaler.transform(split.X_train),
+            split.y_train,
+            scaler.transform(split.X_test),
+            split.y_test,
+        )
+        mses = {}
+        for dim in (64, 512, 2000):
+            mses[dim] = _mse(
+                MultiModelRegHD(
+                    ds.n_features,
+                    RegHDConfig(dim=dim, n_models=8, seed=0, convergence=CONV),
+                ),
+                data,
+            )
+        assert mses[2000] < mses[64]
+        assert mses[512] < mses[64]
+
+
+class TestQuantizedRobustness:
+    def test_binary_model_survives_bit_flips(self, complex_split):
+        """Sec. 3's two claims compose: a fully quantised RegHD stays
+        usable when its *binary* model memory takes real bit flips."""
+        from repro.noise import flip_bits
+        from repro.ops.quantize import binarize
+
+        X, y, Xte, yte = complex_split
+        model = MultiModelRegHD(
+            6,
+            RegHDConfig(
+                dim=1024, n_models=8, seed=0, convergence=CONV,
+                cluster_quant=ClusterQuant.FRAMEWORK,
+                predict_quant=PredictQuant.BINARY_MODEL,
+            ),
+        ).fit(X, y)
+        clean_mse = mean_squared_error(yte, model.predict(Xte))
+
+        # Flip 5 % of the *bits* of the binary model copy, keeping each
+        # row's scale (what a faulty 1-bit memory would do).
+        binary = model.models.binary
+        scales = np.max(np.abs(binary), axis=1, keepdims=True)
+        bits = binarize(binary)
+        flipped = flip_bits(bits, 0.05, seed=1)
+        model.models.binary = (2.0 * flipped - 1.0) * scales
+        noisy_mse = mean_squared_error(yte, model.predict(Xte))
+
+        assert noisy_mse < clean_mse * 2.0  # graceful, not catastrophic
+
+
+class TestCapacityClaim:
+    def test_paper_capacity_example_end_to_end(self):
+        """Sec. 2.3: the D=100k/T=0.5/P=10k example, analytic vs empirical
+        at reduced scale."""
+        from repro.core import (
+            empirical_false_positive_rate,
+            false_positive_probability,
+        )
+
+        analytic = false_positive_probability(4000, 400, 0.5)
+        measured = empirical_false_positive_rate(
+            4000, 400, 0.5, n_queries=3000, seed=0
+        )
+        assert measured == pytest.approx(analytic, abs=0.015)

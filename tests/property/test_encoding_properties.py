@@ -1,0 +1,118 @@
+"""Property-based tests for encoders and capacity analysis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.capacity import (
+    capacity,
+    false_positive_probability,
+    true_positive_probability,
+)
+from repro.encoding.nonlinear import NonlinearEncoder
+from repro.encoding.projection import RandomProjectionEncoder
+
+
+@st.composite
+def encoder_inputs(draw):
+    n_features = draw(st.integers(min_value=1, max_value=8))
+    dim = draw(st.integers(min_value=8, max_value=128))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    x = draw(
+        hnp.arrays(
+            np.float64,
+            n_features,
+            elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        )
+    )
+    return n_features, dim, seed, x
+
+
+class TestEncoderProperties:
+    @given(encoder_inputs())
+    @settings(max_examples=40)
+    def test_nonlinear_output_bounded(self, args):
+        n, d, seed, x = args
+        out = NonlinearEncoder(n, d, seed=seed).encode(x)
+        assert out.shape == (d,)
+        assert np.all(np.abs(out) <= 1.0 + 1e-12)
+
+    @given(encoder_inputs())
+    @settings(max_examples=40)
+    def test_encoding_deterministic(self, args):
+        n, d, seed, x = args
+        a = NonlinearEncoder(n, d, seed=seed).encode(x)
+        b = NonlinearEncoder(n, d, seed=seed).encode(x)
+        np.testing.assert_array_equal(a, b)
+
+    @given(encoder_inputs())
+    @settings(max_examples=40)
+    def test_batch_consistent_with_single(self, args):
+        n, d, seed, x = args
+        enc = NonlinearEncoder(n, d, seed=seed)
+        batch = enc.encode_batch(np.stack([x, x]))
+        np.testing.assert_allclose(batch[0], enc.encode(x))
+        np.testing.assert_allclose(batch[0], batch[1])
+
+    @given(encoder_inputs())
+    @settings(max_examples=40)
+    def test_projection_encoder_linear(self, args):
+        n, d, seed, x = args
+        enc = RandomProjectionEncoder(n, d, seed=seed)
+        np.testing.assert_allclose(
+            enc.encode(2.0 * x), 2.0 * enc.encode(x), rtol=1e-9, atol=1e-9
+        )
+
+    @given(encoder_inputs())
+    @settings(max_examples=40)
+    def test_binary_view_matches_sign_of_dense(self, args):
+        n, d, seed, x = args
+        enc = NonlinearEncoder(n, d, seed=seed)
+        dense = enc.encode(x)
+        binary = enc.encode_binary(x)
+        np.testing.assert_array_equal(binary, (dense > 0).astype(np.uint8))
+
+
+class TestCapacityProperties:
+    @given(
+        st.integers(min_value=100, max_value=100_000),
+        st.integers(min_value=1, max_value=10_000),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_false_positive_is_probability(self, dim, patterns, threshold):
+        p = false_positive_probability(dim, patterns, threshold)
+        assert 0.0 <= p <= 0.5 + 1e-12
+
+    @given(
+        st.integers(min_value=100, max_value=50_000),
+        st.integers(min_value=2, max_value=5_000),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_true_positive_is_probability(self, dim, patterns, threshold):
+        p = true_positive_probability(dim, patterns, threshold)
+        assert 0.0 <= p <= 1.0
+
+    @given(
+        st.integers(min_value=1_000, max_value=100_000),
+        st.floats(min_value=0.1, max_value=0.9),
+        st.floats(min_value=0.001, max_value=0.4),
+    )
+    @settings(max_examples=30)
+    def test_capacity_error_bound_holds(self, dim, threshold, max_error):
+        p = capacity(dim, threshold, max_error)
+        if p >= 1:
+            assert (
+                false_positive_probability(dim, p, threshold)
+                <= max_error + 1e-9
+            )
+
+    @given(
+        st.integers(min_value=1_000, max_value=50_000),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=30)
+    def test_capacity_monotone_in_error_budget(self, dim, threshold):
+        strict = capacity(dim, threshold, 0.01)
+        loose = capacity(dim, threshold, 0.2)
+        assert loose >= strict

@@ -1,0 +1,95 @@
+"""Property-based tests for the metrics module."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    quality_loss,
+    r2_score,
+    root_mean_squared_error,
+)
+
+
+#: Element values with magnitudes either exactly 0 or >= 1e-6, so squared
+#: differences never underflow past the float64 floor.
+_elements = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+    st.floats(min_value=-1e6, max_value=-1e-6, allow_nan=False),
+)
+
+
+@st.composite
+def target_pairs(draw):
+    n = draw(st.integers(min_value=1, max_value=64))
+    y = draw(hnp.arrays(np.float64, n, elements=_elements))
+    p = draw(hnp.arrays(np.float64, n, elements=_elements))
+    return y, p
+
+
+class TestMetricProperties:
+    @given(target_pairs())
+    def test_mse_nonnegative(self, pair):
+        y, p = pair
+        assert mean_squared_error(y, p) >= 0.0
+
+    @given(target_pairs())
+    def test_mse_zero_iff_equal(self, pair):
+        y, p = pair
+        mse = mean_squared_error(y, p)
+        if np.array_equal(y, p):
+            assert mse == 0.0
+        elif mse == 0.0:
+            # Squared differences can underflow to zero for subnormal
+            # gaps; the elements must still be equal to within sqrt of
+            # the smallest normal float.
+            assert np.max(np.abs(y - p)) < 2e-154
+
+    @given(target_pairs())
+    def test_mse_symmetric(self, pair):
+        y, p = pair
+        assert mean_squared_error(y, p) == mean_squared_error(p, y)
+
+    @given(target_pairs())
+    def test_rmse_consistent(self, pair):
+        y, p = pair
+        assert root_mean_squared_error(y, p) == np.sqrt(mean_squared_error(y, p))
+
+    @given(target_pairs())
+    def test_mae_le_rmse(self, pair):
+        y, p = pair
+        assert mean_absolute_error(y, p) <= root_mean_squared_error(y, p) * (1 + 1e-9)
+
+    @given(target_pairs(), st.floats(min_value=-1e5, max_value=1e5, allow_nan=False))
+    def test_mse_shift_invariant(self, pair, shift):
+        y, p = pair
+        a = mean_squared_error(y, p)
+        b = mean_squared_error(y + shift, p + shift)
+        assert abs(a - b) <= 1e-6 * max(1.0, a)
+
+    @given(target_pairs())
+    def test_r2_at_most_one(self, pair):
+        y, p = pair
+        assert r2_score(y, p) <= 1.0 + 1e-12
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=2, max_value=64),
+            elements=st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+        )
+    )
+    def test_r2_perfect_for_identity(self, y):
+        assert r2_score(y, y) == 1.0
+
+    @given(
+        st.floats(min_value=1e-6, max_value=1e6),
+        st.floats(min_value=1e-6, max_value=1e6),
+    )
+    def test_quality_loss_in_range(self, mse, ref):
+        loss = quality_loss(mse, ref)
+        assert 0.0 <= loss < 100.0

@@ -1,0 +1,179 @@
+"""Property-based tests for the HD operations substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ops.binding import bind, permute, unbind, xor_bind
+from repro.ops.bundling import bundle, majority_bundle, weighted_bundle
+from repro.ops.generate import random_binary, random_bipolar
+from repro.ops.similarity import (
+    cosine_similarity,
+    dot_similarity,
+    hamming_distance,
+    hamming_similarity,
+)
+
+finite_vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=64),
+    elements=st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+@st.composite
+def vector_pairs(draw):
+    dim = draw(st.integers(min_value=2, max_value=64))
+    elems = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+    a = draw(hnp.arrays(np.float64, dim, elements=elems))
+    b = draw(hnp.arrays(np.float64, dim, elements=elems))
+    return a, b
+
+
+@st.composite
+def bipolar_pairs(draw):
+    dim = draw(st.integers(min_value=2, max_value=128))
+    seed_a = draw(st.integers(min_value=0, max_value=2**31))
+    seed_b = draw(st.integers(min_value=0, max_value=2**31))
+    a = random_bipolar(1, dim, seed_a)[0]
+    b = random_bipolar(1, dim, seed_b)[0]
+    return a, b
+
+
+class TestSimilarityProperties:
+    @given(vector_pairs())
+    def test_dot_symmetry(self, pair):
+        a, b = pair
+        assert dot_similarity(a, b) == dot_similarity(b, a)
+
+    @given(vector_pairs())
+    def test_cosine_symmetry(self, pair):
+        a, b = pair
+        assert cosine_similarity(a, b) == cosine_similarity(b, a)
+
+    @given(vector_pairs())
+    def test_cosine_bounded(self, pair):
+        a, b = pair
+        assert -1.0 - 1e-9 <= cosine_similarity(a, b) <= 1.0 + 1e-9
+
+    @given(finite_vectors)
+    def test_cosine_self_is_one_or_zero(self, v):
+        sim = cosine_similarity(v, v)
+        norm = np.linalg.norm(v)
+        if norm > 1e-6:
+            assert abs(sim - 1.0) < 1e-9
+        else:
+            # Below the epsilon floor the similarity degrades toward 0 by
+            # design (zero-vector safety); it must stay in [0, 1].
+            assert 0.0 <= sim <= 1.0 + 1e-9
+
+    @given(
+        finite_vectors,
+        st.floats(min_value=0.01, max_value=1000.0, allow_nan=False),
+    )
+    def test_cosine_scale_invariant(self, v, scale):
+        # Stay above the zero-vector epsilon floor (1e-12 on the product
+        # of norms) so clamping does not distort the comparison.
+        if np.linalg.norm(v) < 1e-3:
+            return
+        w = v[::-1].copy()
+        assert (
+            abs(cosine_similarity(v, w) - cosine_similarity(v * scale, w))
+            < 1e-6
+        )
+
+    @given(bipolar_pairs())
+    def test_hamming_triangle_like_bounds(self, pair):
+        a, b = pair
+        from repro.ops.quantize import bipolar_to_binary
+
+        bin_a, bin_b = bipolar_to_binary(a), bipolar_to_binary(b)
+        dist = hamming_distance(bin_a, bin_b)
+        assert 0.0 <= dist <= len(a)
+
+    @given(bipolar_pairs())
+    def test_hamming_similarity_matches_bipolar_dot(self, pair):
+        a, b = pair
+        from repro.ops.quantize import bipolar_to_binary
+
+        expected = float(a.astype(np.float64) @ b.astype(np.float64)) / len(a)
+        got = hamming_similarity(bipolar_to_binary(a), bipolar_to_binary(b))
+        assert abs(got - expected) < 1e-9
+
+
+class TestBindingProperties:
+    @given(bipolar_pairs())
+    def test_bind_unbind_roundtrip(self, pair):
+        a, b = pair
+        recovered = unbind(bind(a.astype(float), b.astype(float)), b.astype(float))
+        np.testing.assert_allclose(recovered, a.astype(float))
+
+    @given(bipolar_pairs())
+    def test_bind_commutative(self, pair):
+        a, b = pair
+        np.testing.assert_allclose(
+            bind(a.astype(float), b.astype(float)),
+            bind(b.astype(float), a.astype(float)),
+        )
+
+    @given(st.integers(min_value=2, max_value=64), st.integers(0, 2**31))
+    def test_xor_self_is_zero(self, dim, seed):
+        v = random_binary(1, dim, seed)[0]
+        assert xor_bind(v, v).sum() == 0
+
+    @given(
+        finite_vectors,
+        st.integers(min_value=-100, max_value=100),
+    )
+    def test_permute_preserves_multiset(self, v, shift):
+        out = permute(v, shift)
+        np.testing.assert_allclose(np.sort(out), np.sort(v))
+
+    @given(finite_vectors, st.integers(min_value=-20, max_value=20))
+    def test_permute_invertible(self, v, shift):
+        np.testing.assert_allclose(permute(permute(v, shift), -shift), v)
+
+
+class TestBundlingProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(
+                st.integers(min_value=1, max_value=8),
+                st.integers(min_value=2, max_value=32),
+            ),
+            elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        )
+    )
+    def test_bundle_linearity(self, batch):
+        np.testing.assert_allclose(
+            bundle(batch) + bundle(batch), bundle(np.vstack([batch, batch])),
+            rtol=1e-9, atol=1e-9,
+        )
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(
+                st.integers(min_value=1, max_value=8),
+                st.integers(min_value=2, max_value=32),
+            ),
+            elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        )
+    )
+    def test_weighted_bundle_with_unit_weights_is_bundle(self, batch):
+        np.testing.assert_allclose(
+            weighted_bundle(batch, np.ones(batch.shape[0])), bundle(batch)
+        )
+
+    @given(st.integers(min_value=1, max_value=15), st.integers(0, 2**31))
+    @settings(max_examples=25)
+    def test_majority_bundle_sign_of_sum(self, count, seed):
+        vecs = random_bipolar(count, 32, seed)
+        out = majority_bundle(vecs, tie_value=1)
+        total = vecs.astype(np.float64).sum(axis=0)
+        expected = np.where(total == 0, 1, np.sign(total))
+        np.testing.assert_array_equal(out, expected)

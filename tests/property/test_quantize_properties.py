@@ -1,0 +1,126 @@
+"""Property-based tests for quantisers and the dual-copy framework."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.quantization import DualCopy, binarize_preserving_scale
+from repro.ops.quantize import (
+    binarize,
+    binary_to_bipolar,
+    bipolar_to_binary,
+    bipolarize,
+)
+
+# Element magnitudes are either exactly 0 or >= 1e-6: subnormal values
+# can flip sign to +0.0 under scalar multiplication, which would make the
+# homogeneity property fail for reasons unrelated to the quantisers.
+_elements = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+    st.floats(min_value=-1e6, max_value=-1e-6, allow_nan=False),
+)
+
+vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=128),
+    elements=_elements,
+)
+
+
+class TestQuantizerProperties:
+    @given(vectors)
+    def test_binarize_output_in_01(self, v):
+        out = binarize(v)
+        assert set(np.unique(out)) <= {0, 1}
+
+    @given(vectors)
+    def test_bipolarize_output_in_pm1(self, v):
+        out = bipolarize(v)
+        assert set(np.unique(out)) <= {-1, 1}
+
+    @given(vectors)
+    def test_binarize_bipolarize_consistent(self, v):
+        """Where v is strictly positive/negative, both quantisers agree."""
+        bits = binarize(v)
+        signs = bipolarize(v)
+        nonzero = v != 0
+        np.testing.assert_array_equal(
+            bits[nonzero], bipolar_to_binary(signs[nonzero])
+        )
+
+    @given(vectors)
+    def test_conversion_roundtrip(self, v):
+        signs = bipolarize(v)
+        np.testing.assert_array_equal(
+            binary_to_bipolar(bipolar_to_binary(signs)), signs
+        )
+
+    @given(vectors)
+    def test_binarize_preserving_scale_idempotent(self, v):
+        once = binarize_preserving_scale(v)
+        twice = binarize_preserving_scale(once)
+        np.testing.assert_allclose(once, twice, rtol=1e-12, atol=1e-12)
+
+    @given(vectors)
+    def test_binarize_preserving_scale_sign_pattern(self, v):
+        out = binarize_preserving_scale(v)
+        scale = np.mean(np.abs(v))
+        if scale == 0:
+            np.testing.assert_array_equal(out, 0.0)
+        else:
+            # Every component maps to ±scale; exact zeros tie-break to
+            # +scale (the bipolarize convention), nonzeros keep their sign.
+            np.testing.assert_allclose(np.abs(out), scale)
+            nonzero = v != 0
+            assert np.all((out[nonzero] > 0) == (v[nonzero] > 0))
+            assert np.all(out[~nonzero] > 0)
+
+    @given(vectors, st.floats(min_value=0.1, max_value=100.0))
+    def test_binarize_preserving_scale_homogeneous(self, v, factor):
+        """Positive scaling of the input scales the output linearly."""
+        a = binarize_preserving_scale(v)
+        b = binarize_preserving_scale(v * factor)
+        np.testing.assert_allclose(b, a * factor, rtol=1e-6, atol=1e-9)
+
+
+class TestDualCopyProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(
+                st.integers(min_value=1, max_value=4),
+                st.integers(min_value=2, max_value=32),
+            ),
+            elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        ),
+        hnp.arrays(
+            np.float64,
+            st.integers(min_value=2, max_value=32),
+            elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=40)
+    def test_update_then_rebinarize_consistent(self, matrix, delta):
+        if matrix.shape[1] != delta.shape[0]:
+            return
+        dc = DualCopy(matrix.copy())
+        dc.update(0, delta)
+        dc.rebinarize()
+        np.testing.assert_allclose(
+            dc.binary, binarize_preserving_scale(dc.integer)
+        )
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.just(2), st.integers(min_value=2, max_value=16)),
+            elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        )
+    )
+    def test_binary_stale_until_rebinarize(self, matrix):
+        dc = DualCopy(matrix.copy())
+        snapshot = dc.binary.copy()
+        dc.update_all(np.ones_like(matrix) * 37.0)
+        np.testing.assert_array_equal(dc.binary, snapshot)

@@ -1,0 +1,132 @@
+"""Tests for the staged RegHD autotuner."""
+
+import numpy as np
+import pytest
+
+from repro import RegHDConfig
+from repro.core import ConvergencePolicy
+from repro.evaluation.autotune import AutotuneResult, autotune_reghd
+from repro.exceptions import ConfigurationError
+
+BASE = RegHDConfig(
+    seed=0, convergence=ConvergencePolicy(max_epochs=5, patience=2)
+)
+
+
+@pytest.fixture(scope="module")
+def task():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 4))
+    y = np.sin(2 * X[:, 0]) + X[:, 1]
+    return X, y
+
+
+class TestAutotune:
+    def test_returns_valid_config(self, task):
+        X, y = task
+        result = autotune_reghd(
+            X, y,
+            base_config=BASE,
+            k_grid=(1, 4),
+            temp_grid=(10.0, 30.0),
+            dim_ladder=(512, 128),
+            probe_dim=128,
+            seed=0,
+        )
+        assert isinstance(result, AutotuneResult)
+        assert result.config.n_models in (1, 4)
+        assert result.config.dim in (512, 128)
+        assert np.isfinite(result.best_val_mse)
+
+    def test_trials_cover_all_stages(self, task):
+        X, y = task
+        result = autotune_reghd(
+            X, y,
+            base_config=BASE,
+            k_grid=(2, 4),
+            temp_grid=(10.0, 30.0),
+            dim_ladder=(256, 128),
+            probe_dim=128,
+            seed=0,
+        )
+        stages = {t.stage for t in result.trials}
+        assert stages == {"k", "temperature", "dimension"}
+        assert result.n_trials == 2 + 2 + 2
+
+    def test_k1_skips_temperature_stage(self, task):
+        X, y = task
+        result = autotune_reghd(
+            X, y,
+            base_config=BASE,
+            k_grid=(1,),
+            temp_grid=(10.0, 30.0),
+            dim_ladder=(128,),
+            probe_dim=128,
+            seed=0,
+        )
+        assert "temperature" not in {t.stage for t in result.trials}
+
+    def test_budget_prefers_smaller_dim(self, task):
+        """With an enormous budget the smallest D on the ladder wins."""
+        X, y = task
+        result = autotune_reghd(
+            X, y,
+            base_config=BASE,
+            k_grid=(2,),
+            temp_grid=(20.0,),
+            dim_ladder=(512, 64),
+            probe_dim=128,
+            quality_budget=100.0,
+            seed=0,
+        )
+        assert result.config.dim == 64
+
+    def test_zero_budget_takes_best(self, task):
+        X, y = task
+        result = autotune_reghd(
+            X, y,
+            base_config=BASE,
+            k_grid=(2,),
+            temp_grid=(20.0,),
+            dim_ladder=(512, 64),
+            probe_dim=128,
+            quality_budget=0.0,
+            seed=0,
+        )
+        # The chosen dim must achieve the ladder's best MSE exactly.
+        ladder = {
+            t.params["dim"]: t.val_mse
+            for t in result.trials
+            if t.stage == "dimension"
+        }
+        assert result.best_val_mse == min(ladder.values())
+
+    def test_deterministic(self, task):
+        X, y = task
+        kwargs = dict(
+            base_config=BASE, k_grid=(1, 2), temp_grid=(20.0,),
+            dim_ladder=(128,), probe_dim=128, seed=3,
+        )
+        a = autotune_reghd(X, y, **kwargs)
+        b = autotune_reghd(X, y, **kwargs)
+        assert a.config == b.config
+        assert a.best_val_mse == b.best_val_mse
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"val_fraction": 0.0},
+            {"quality_budget": -0.1},
+            {"k_grid": ()},
+            {"dim_ladder": (128, 512)},  # not descending
+        ],
+    )
+    def test_invalid(self, task, kwargs):
+        X, y = task
+        defaults = dict(
+            base_config=BASE, k_grid=(2,), temp_grid=(20.0,),
+            dim_ladder=(128,), probe_dim=128,
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            autotune_reghd(X, y, **defaults)

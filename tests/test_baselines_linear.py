@@ -1,0 +1,99 @@
+"""Tests for the linear baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.linear import RidgeRegression, SGDLinearRegression
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.metrics import r2_score
+
+
+def _linear_data(n=200, d=4, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    coef = np.arange(1, d + 1, dtype=float)
+    y = X @ coef + 2.5 + noise * rng.normal(size=n)
+    return X, y, coef
+
+
+class TestRidgeRegression:
+    def test_recovers_coefficients(self):
+        X, y, coef = _linear_data()
+        model = RidgeRegression(alpha=1e-8).fit(X, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=0.05)
+        assert model.intercept_ == pytest.approx(2.5, abs=0.05)
+
+    def test_ols_via_alpha_zero(self):
+        X, y, coef = _linear_data(noise=0.0)
+        model = RidgeRegression(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=1e-8)
+
+    def test_regularisation_shrinks(self):
+        X, y, _ = _linear_data()
+        small = RidgeRegression(alpha=1e-6).fit(X, y)
+        large = RidgeRegression(alpha=1e4).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_no_intercept(self):
+        X, y, _ = _linear_data()
+        model = RidgeRegression(alpha=1.0, fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+
+    def test_rank_deficient_design(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(10, 20))  # more features than samples
+        y = X[:, 0]
+        model = RidgeRegression(alpha=0.0).fit(X, y)
+        assert np.all(np.isfinite(model.predict(X)))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            RidgeRegression(alpha=-1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            RidgeRegression().predict(np.zeros((1, 3)))
+
+    def test_feature_count_check(self):
+        X, y, _ = _linear_data()
+        model = RidgeRegression().fit(X, y)
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((1, X.shape[1] + 1)))
+
+    def test_score(self):
+        X, y, _ = _linear_data()
+        assert RidgeRegression(1e-6).fit(X, y).score(X, y) > 0.99
+
+
+class TestSGDLinearRegression:
+    def test_converges_to_linear_solution(self):
+        X, y, _ = _linear_data()
+        model = SGDLinearRegression(epochs=80, lr=0.1, seed=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.98
+
+    def test_deterministic(self):
+        X, y, _ = _linear_data()
+        a = SGDLinearRegression(epochs=10, seed=1).fit(X, y).predict(X)
+        b = SGDLinearRegression(epochs=10, seed=1).fit(X, y).predict(X)
+        np.testing.assert_allclose(a, b)
+
+    def test_l2_penalty_shrinks(self):
+        X, y, _ = _linear_data()
+        plain = SGDLinearRegression(epochs=60, seed=0).fit(X, y)
+        penalised = SGDLinearRegression(epochs=60, alpha=1.0, seed=0).fit(X, y)
+        assert np.linalg.norm(penalised.coef_) < np.linalg.norm(plain.coef_)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"lr": 0.0}, {"epochs": 0}, {"batch_size": 0}, {"alpha": -0.1}],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SGDLinearRegression(**kwargs)
+
+    def test_constant_feature_handled(self):
+        rng = np.random.default_rng(0)
+        X = np.column_stack([rng.normal(size=50), np.ones(50)])
+        y = X[:, 0]
+        model = SGDLinearRegression(epochs=40, seed=0).fit(X, y)
+        assert np.all(np.isfinite(model.predict(X)))

@@ -1,0 +1,98 @@
+"""Tests for the numpy MLP regressor."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mlp import MLPRegressor
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.metrics import r2_score
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hidden": ()},
+            {"hidden": (0,)},
+            {"activation": "gelu"},
+            {"optimizer": "rmsprop"},
+            {"lr": 0.0},
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"weight_decay": -1e-3},
+            {"early_stopping_patience": -1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MLPRegressor(**kwargs)
+
+    def test_layer_shapes(self):
+        model = MLPRegressor(hidden=(8, 4), epochs=1)
+        model.fit(np.zeros((10, 3)), np.zeros(10))
+        shapes = [W.shape for W in model.weights_]
+        assert shapes == [(3, 8), (8, 4), (4, 1)]
+
+
+class TestTraining:
+    def test_learns_linear(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(150, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 1.0
+        model = MLPRegressor(hidden=(16,), epochs=150, seed=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.97
+
+    def test_learns_nonlinear(self, tiny_regression):
+        X, y, Xte, yte = tiny_regression
+        model = MLPRegressor(hidden=(32, 32), epochs=150, seed=0).fit(X, y)
+        assert r2_score(yte, model.predict(Xte)) > 0.5
+
+    def test_tanh_activation_works(self, tiny_regression):
+        X, y, _, _ = tiny_regression
+        model = MLPRegressor(
+            hidden=(16,), activation="tanh", epochs=60, seed=0
+        ).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.3
+
+    def test_sgd_optimizer_works(self, tiny_regression):
+        X, y, _, _ = tiny_regression
+        model = MLPRegressor(
+            hidden=(16,), optimizer="sgd", lr=0.05, epochs=80, seed=0
+        ).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_early_stopping_trims_epochs(self, tiny_regression):
+        X, y, _, _ = tiny_regression
+        model = MLPRegressor(
+            hidden=(8,), epochs=500, early_stopping_patience=5, tol=1e-2, seed=0
+        ).fit(X, y)
+        assert model.n_epochs_ < 500
+
+    def test_loss_curve_decreases(self, tiny_regression):
+        X, y, _, _ = tiny_regression
+        model = MLPRegressor(hidden=(16,), epochs=40, seed=0).fit(X, y)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_deterministic(self, tiny_regression):
+        X, y, Xte, _ = tiny_regression
+        a = MLPRegressor(hidden=(8,), epochs=15, seed=2).fit(X, y).predict(Xte)
+        b = MLPRegressor(hidden=(8,), epochs=15, seed=2).fit(X, y).predict(Xte)
+        np.testing.assert_allclose(a, b)
+
+    def test_target_units(self, tiny_regression):
+        X, y, _, _ = tiny_regression
+        y_big = y * 1e4 + 1e6
+        model = MLPRegressor(hidden=(16,), epochs=60, seed=0).fit(X, y_big)
+        pred = model.predict(X)
+        assert abs(pred.mean() - y_big.mean()) < 0.2 * np.abs(y_big).max()
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            MLPRegressor().predict(np.zeros((1, 3)))
+
+    def test_weight_decay_shrinks_weights(self, tiny_regression):
+        X, y, _, _ = tiny_regression
+        free = MLPRegressor(hidden=(16,), epochs=60, weight_decay=0.0, seed=0).fit(X, y)
+        decayed = MLPRegressor(hidden=(16,), epochs=60, weight_decay=0.05, seed=0).fit(X, y)
+        norm = lambda m: sum(float(np.linalg.norm(W)) for W in m.weights_)
+        assert norm(decayed) < norm(free)

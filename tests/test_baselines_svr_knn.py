@@ -1,0 +1,103 @@
+"""Tests for SVR and k-NN baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KNNRegressor
+from repro.baselines.svr import SVR
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.metrics import r2_score
+
+
+class TestSVR:
+    def test_linear_kernel_fits_linear(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(150, 3))
+        y = X @ np.array([2.0, -1.0, 0.5]) + 3.0
+        model = SVR(kernel="linear", epochs=80, lr=0.1, seed=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.9
+
+    def test_rbf_fits_nonlinear(self, tiny_regression):
+        X, y, Xte, yte = tiny_regression
+        model = SVR(kernel="rbf", n_components=256, epochs=80, seed=0).fit(X, y)
+        assert r2_score(yte, model.predict(Xte)) > 0.3
+
+    def test_rbf_beats_linear_on_nonlinear(self, tiny_regression):
+        X, y, Xte, yte = tiny_regression
+        linear = SVR(kernel="linear", epochs=80, seed=0).fit(X, y)
+        rbf = SVR(kernel="rbf", epochs=80, seed=0).fit(X, y)
+        assert r2_score(yte, rbf.predict(Xte)) > r2_score(yte, linear.predict(Xte))
+
+    def test_deterministic(self, tiny_regression):
+        X, y, Xte, _ = tiny_regression
+        a = SVR(epochs=10, seed=1).fit(X, y).predict(Xte)
+        b = SVR(epochs=10, seed=1).fit(X, y).predict(Xte)
+        np.testing.assert_allclose(a, b)
+
+    def test_epsilon_tube_tolerates_noise(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0]
+        model = SVR(kernel="linear", epsilon=10.0, epochs=40, seed=0).fit(X, y)
+        # With a huge tube no subgradient fires: weights stay ~0.
+        assert np.linalg.norm(model.coef_) < 0.05
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"C": 0.0},
+            {"epsilon": -0.1},
+            {"kernel": "poly"},
+            {"gamma": 0.0},
+            {"n_components": 0},
+            {"lr": 0.0},
+            {"epochs": 0},
+            {"batch_size": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SVR(**kwargs)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            SVR().predict(np.zeros((1, 2)))
+
+
+class TestKNN:
+    def test_exact_match_with_distance_weights(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 3))
+        y = rng.normal(size=30)
+        model = KNNRegressor(k=5, weights="distance").fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-6)
+
+    def test_k1_returns_nearest_target(self):
+        X = np.array([[0.0], [10.0]])
+        y = np.array([1.0, 2.0])
+        model = KNNRegressor(k=1).fit(X, y)
+        np.testing.assert_allclose(model.predict([[0.1]]), [1.0])
+
+    def test_uniform_averages(self):
+        X = np.array([[0.0], [1.0], [100.0]])
+        y = np.array([2.0, 4.0, 100.0])
+        model = KNNRegressor(k=2).fit(X, y)
+        assert model.predict([[0.5]])[0] == pytest.approx(3.0)
+
+    def test_learns_smooth_function(self, tiny_regression):
+        X, y, Xte, yte = tiny_regression
+        model = KNNRegressor(k=7).fit(X, y)
+        assert r2_score(yte, model.predict(Xte)) > 0.2
+
+    def test_k_larger_than_train_raises(self):
+        with pytest.raises(ConfigurationError):
+            KNNRegressor(k=10).fit(np.zeros((5, 2)), np.zeros(5))
+
+    @pytest.mark.parametrize("kwargs", [{"k": 0}, {"weights": "triangle"}])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            KNNRegressor(**kwargs)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KNNRegressor().predict(np.zeros((1, 2)))

@@ -1,0 +1,102 @@
+"""Tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tree import DecisionTreeRegressor, _best_split
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.metrics import r2_score
+
+
+class TestBestSplit:
+    def test_finds_obvious_split(self):
+        X = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+        y = np.array([0.0, 0.0, 0.0, 5.0, 5.0, 5.0])
+        feature, threshold, gain = _best_split(X, y, min_leaf=1)
+        assert feature == 0
+        assert 2.0 < threshold < 10.0
+        assert gain > 0
+
+    def test_no_split_for_constant_feature(self):
+        X = np.ones((6, 1))
+        y = np.arange(6.0)
+        assert _best_split(X, y, min_leaf=1) is None
+
+    def test_min_leaf_respected(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 0.0, 10.0])
+        # min_leaf=2 forbids isolating the single outlier.
+        result = _best_split(X, y, min_leaf=2)
+        assert result is None or result[1] < 3.0
+
+
+class TestDecisionTree:
+    def test_fits_step_function_exactly(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float) * 3.0
+        model = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y)
+
+    def test_depth_zero_predicts_mean(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 3))
+        y = rng.normal(size=50)
+        model = DecisionTreeRegressor(max_depth=0).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y.mean())
+
+    def test_deeper_fits_better_on_train(self, tiny_regression):
+        X, y, _, _ = tiny_regression
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=10, min_samples_leaf=1).fit(X, y)
+        assert r2_score(y, deep.predict(X)) > r2_score(y, shallow.predict(X))
+
+    def test_unbounded_depth_interpolates_unique_rows(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(40, 2))
+        y = rng.normal(size=40)
+        model = DecisionTreeRegressor(
+            max_depth=None, min_samples_split=2, min_samples_leaf=1
+        ).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-12)
+
+    def test_min_impurity_decrease_prunes(self, tiny_regression):
+        X, y, _, _ = tiny_regression
+        full = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        pruned = DecisionTreeRegressor(max_depth=8, min_impurity_decrease=1e3).fit(X, y)
+        assert pruned.n_nodes_ < full.n_nodes_
+
+    def test_node_count_and_depth_tracked(self):
+        X = np.linspace(0, 1, 32).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float)
+        model = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert model.depth_ == 1
+        assert model.n_nodes_ == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_depth": -1},
+            {"min_samples_split": 1},
+            {"min_samples_leaf": 0},
+            {"min_impurity_decrease": -0.1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeRegressor(**kwargs)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).normal(size=(20, 2))
+        y = np.full(20, 3.0)
+        model = DecisionTreeRegressor().fit(X, y)
+        assert model.n_nodes_ == 1
+        np.testing.assert_allclose(model.predict(X), 3.0)
+
+    def test_learns_tiny_regression(self, tiny_regression):
+        X, y, Xte, yte = tiny_regression
+        model = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        assert r2_score(yte, model.predict(Xte)) > 0.0

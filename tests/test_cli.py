@@ -1,0 +1,207 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasets:
+    def test_lists_paper_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("diabetes", "boston", "airfoil", "ccpp"):
+            assert name in out
+
+
+class TestTrain:
+    def test_train_multi_model(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset", "boston",
+                "--k", "4",
+                "--dim", "256",
+                "--epochs", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "test MSE" in out
+        assert "MultiModelRegHD" in out
+
+    def test_train_single_model(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset", "boston",
+                "--k", "1",
+                "--dim", "256",
+                "--epochs", "4",
+            ]
+        )
+        assert code == 0
+        assert "SingleModelRegHD" in capsys.readouterr().out
+
+    def test_train_quantized(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset", "boston",
+                "--k", "2",
+                "--dim", "256",
+                "--epochs", "3",
+                "--cluster-quant", "framework",
+                "--predict-quant", "binary_query",
+            ]
+        )
+        assert code == 0
+
+    def test_train_save_and_predict(self, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        main(
+            [
+                "train",
+                "--dataset", "boston",
+                "--k", "2",
+                "--dim", "128",
+                "--epochs", "3",
+                "--max-samples", "200",
+                "--save", str(model_path),
+            ]
+        )
+        capsys.readouterr()
+        assert model_path.exists()
+
+        features = tmp_path / "features.csv"
+        rng = np.random.default_rng(0)
+        np.savetxt(features, rng.normal(size=(5, 13)), delimiter=",")
+        assert main(["predict", str(model_path), str(features)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 5
+        assert all(np.isfinite(float(line)) for line in lines)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(Exception):
+            main(["train", "--dataset", "nope", "--epochs", "1"])
+
+
+class TestCompare:
+    def test_compare_runs(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset", "boston",
+                "--dim", "256",
+                "--max-samples", "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for label in ("RegHD-8", "Baseline-HD", "DNN"):
+            assert label in out
+
+
+class TestCapacity:
+    def test_false_positive_query(self, capsys):
+        assert main(
+            ["capacity", "--dim", "100000", "--patterns", "10000"]
+        ) == 0
+        assert "5.69" in capsys.readouterr().out
+
+    def test_capacity_query(self, capsys):
+        assert main(
+            ["capacity", "--dim", "100000", "--max-error", "0.057"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "patterns" in out
+
+    def test_requires_one_of_group(self):
+        with pytest.raises(SystemExit):
+            main(["capacity", "--dim", "1000"])
+
+
+class TestHardware:
+    def test_report_runs(self, capsys):
+        assert main(["hardware", "--dim", "2000", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "KiB" in out
+        assert "fpga-kintex7" in out
+        assert "arm-a53" in out
+
+    def test_quantization_flags(self, capsys):
+        assert main(
+            [
+                "hardware",
+                "--dim", "1000",
+                "--cluster-quant", "none",
+                "--predict-quant", "full",
+                "--density", "0.5",
+            ]
+        ) == 0
+        assert "density=0.5" in capsys.readouterr().out
+
+
+class TestScalerSidecar:
+    def test_predict_applies_saved_scaler(self, tmp_path, capsys):
+        """Predictions on raw-unit features must land in target units —
+        the sidecar scaler reproduces the training pipeline."""
+        from repro.datasets import load_dataset
+
+        model_path = tmp_path / "model.npz"
+        main(
+            [
+                "train",
+                "--dataset", "ccpp",
+                "--k", "2",
+                "--dim", "256",
+                "--epochs", "4",
+                "--max-samples", "400",
+                "--save", str(model_path),
+            ]
+        )
+        capsys.readouterr()
+        sidecar = tmp_path / "model.npz.scaler.json"
+        assert sidecar.exists()
+
+        # Raw (unstandardised) feature rows from the same dataset.
+        ds = load_dataset("ccpp")
+        features = tmp_path / "raw.csv"
+        np.savetxt(features, ds.X[:8], delimiter=",")
+        assert main(["predict", str(model_path), str(features)]) == 0
+        preds = [float(l) for l in capsys.readouterr().out.strip().splitlines()]
+        # CCPP targets live around 400-500 MW; without the scaler the
+        # predictions would collapse to ~the target mean for every row.
+        assert all(380.0 < p < 520.0 for p in preds)
+        assert np.std(preds) > 0.5
+
+
+class TestReport:
+    def test_collects_tables(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table1.txt").write_text("Table 1\nrow\n")
+        (results / "fig8.txt").write_text("Fig 8\nrow\n")
+        out_file = tmp_path / "report.md"
+        assert main(
+            [
+                "report",
+                "--results-dir", str(results),
+                "--output", str(out_file),
+            ]
+        ) == 0
+        text = out_file.read_text()
+        assert "## table1" in text and "## fig8" in text
+        assert "Table 1" in text
+
+    def test_stdout_mode(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "x.txt").write_text("hello\n")
+        assert main(["report", "--results-dir", str(results)]) == 0
+        assert "hello" in capsys.readouterr().out
+
+    def test_missing_dir_errors(self, tmp_path):
+        assert main(
+            ["report", "--results-dir", str(tmp_path / "nope")]
+        ) == 1

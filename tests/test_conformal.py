@@ -1,0 +1,96 @@
+"""Tests for split-conformal prediction intervals."""
+
+import numpy as np
+import pytest
+
+from repro import MultiModelRegHD, RegHDConfig
+from repro.baselines import RidgeRegression
+from repro.core import ConvergencePolicy
+from repro.evaluation.conformal import ConformalRegressor, PredictionInterval
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+def _task(n=600, seed=0, noise=0.3):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = X @ np.array([1.0, -0.5, 0.3, 0.8]) + noise * rng.normal(size=n)
+    return X, y
+
+
+class TestConformalRegressor:
+    def test_coverage_near_nominal(self):
+        """Empirical coverage on fresh data ~ 1 - alpha."""
+        X, y = _task(1200, seed=0)
+        Xte, yte = _task(800, seed=1)
+        conformal = ConformalRegressor(
+            RidgeRegression(1e-6), alpha=0.1, seed=0
+        ).fit(X, y)
+        interval = conformal.predict_interval(Xte)
+        coverage = interval.covers(yte).mean()
+        assert 0.85 <= coverage <= 0.97
+
+    def test_smaller_alpha_wider_intervals(self):
+        X, y = _task()
+        strict = ConformalRegressor(RidgeRegression(), alpha=0.05, seed=0).fit(X, y)
+        loose = ConformalRegressor(RidgeRegression(), alpha=0.4, seed=0).fit(X, y)
+        assert strict.quantile_ > loose.quantile_
+
+    def test_interval_structure(self):
+        X, y = _task()
+        conformal = ConformalRegressor(RidgeRegression(), alpha=0.1).fit(X, y)
+        interval = conformal.predict_interval(X[:10])
+        assert isinstance(interval, PredictionInterval)
+        assert np.all(interval.lower <= interval.prediction)
+        assert np.all(interval.prediction <= interval.upper)
+        np.testing.assert_allclose(
+            interval.width, 2.0 * conformal.quantile_
+        )
+
+    def test_works_with_reghd(self):
+        X, y = _task(400)
+        model = MultiModelRegHD(
+            4,
+            RegHDConfig(
+                dim=256, n_models=2, seed=0,
+                convergence=ConvergencePolicy(max_epochs=5, patience=2),
+            ),
+        )
+        conformal = ConformalRegressor(model, alpha=0.2, seed=0).fit(X, y)
+        interval = conformal.predict_interval(X[:20])
+        assert np.isfinite(interval.width).all()
+
+    def test_insufficient_calibration_gives_infinite_interval(self):
+        """With too few calibration points for the requested alpha the
+        guarantee forces an infinite band (no silent under-coverage)."""
+        X, y = _task(12)
+        conformal = ConformalRegressor(
+            RidgeRegression(), alpha=0.01, calibration_fraction=0.25, seed=0
+        ).fit(X, y)
+        assert conformal.quantile_ == float("inf")
+
+    def test_predict_before_fit(self):
+        conformal = ConformalRegressor(RidgeRegression())
+        with pytest.raises(NotFittedError):
+            conformal.predict(np.zeros((1, 4)))
+        with pytest.raises(NotFittedError):
+            conformal.predict_interval(np.zeros((1, 4)))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.0},
+            {"calibration_fraction": 0.0},
+            {"calibration_fraction": 1.0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ConformalRegressor(RidgeRegression(), **kwargs)
+
+    def test_calibration_count_recorded(self):
+        X, y = _task(100)
+        conformal = ConformalRegressor(
+            RidgeRegression(), calibration_fraction=0.3, seed=0
+        ).fit(X, y)
+        assert conformal.n_calibration_ == 30

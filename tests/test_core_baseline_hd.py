@@ -1,0 +1,91 @@
+"""Tests for the Baseline-HD comparator."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline_hd import BaselineHD
+from repro.core.config import ConvergencePolicy
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.metrics import mean_squared_error, r2_score
+
+
+@pytest.fixture
+def conv():
+    return ConvergencePolicy(max_epochs=8, patience=3)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_bins": 1},
+            {"lr": 0.0},
+            {"batch_size": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BaselineHD(5, **kwargs)
+
+    def test_properties(self):
+        model = BaselineHD(5, dim=128, n_bins=16)
+        assert model.dim == 128
+        assert model.in_features == 5
+        assert model.n_bins == 16
+
+    def test_repr(self):
+        assert "BaselineHD" in repr(BaselineHD(3, dim=64))
+
+
+class TestFitPredict:
+    def test_predictions_are_bin_centers(self, tiny_regression, conv):
+        X, y, Xte, _ = tiny_regression
+        model = BaselineHD(5, dim=256, n_bins=8, seed=0, convergence=conv).fit(X, y)
+        pred = model.predict(Xte)
+        assert set(np.round(pred, 9)) <= set(np.round(model.bin_centers, 9))
+
+    def test_discretisation_floor(self, tiny_regression, conv):
+        """With very few bins the quantisation error alone dominates —
+        the structural weakness the paper calls out."""
+        X, y, Xte, yte = tiny_regression
+        coarse = BaselineHD(5, dim=256, n_bins=2, seed=0, convergence=conv).fit(X, y)
+        fine = BaselineHD(5, dim=256, n_bins=64, seed=0, convergence=conv).fit(X, y)
+        assert mean_squared_error(yte, fine.predict(Xte)) < mean_squared_error(
+            yte, coarse.predict(Xte)
+        )
+
+    def test_learns_something(self, tiny_regression, conv):
+        X, y, Xte, yte = tiny_regression
+        model = BaselineHD(5, dim=512, n_bins=32, seed=0, convergence=conv).fit(X, y)
+        assert r2_score(yte, model.predict(Xte)) > -0.5
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            BaselineHD(5, dim=64).predict(np.zeros((1, 5)))
+
+    def test_bin_centers_span_target_range(self, conv):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 3))
+        y = rng.uniform(10.0, 20.0, 50)
+        model = BaselineHD(3, dim=64, n_bins=10, seed=0, convergence=conv).fit(X, y)
+        assert model.bin_centers.min() >= 10.0
+        assert model.bin_centers.max() <= 20.0
+
+    def test_constant_target(self, conv):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        y = np.full(30, 5.0)
+        model = BaselineHD(3, dim=64, n_bins=4, seed=0, convergence=conv).fit(X, y)
+        pred = model.predict(X)
+        assert np.all(np.abs(pred - 5.0) <= 1.0)
+
+    def test_deterministic(self, tiny_regression, conv):
+        X, y, Xte, _ = tiny_regression
+        a = BaselineHD(5, dim=128, n_bins=8, seed=3, convergence=conv).fit(X, y)
+        b = BaselineHD(5, dim=128, n_bins=8, seed=3, convergence=conv).fit(X, y)
+        np.testing.assert_allclose(a.predict(Xte), b.predict(Xte))
+
+    def test_history_populated(self, tiny_regression, conv):
+        X, y, _, _ = tiny_regression
+        model = BaselineHD(5, dim=128, n_bins=8, seed=0, convergence=conv).fit(X, y)
+        assert model.history_ is not None
+        assert model.history_.n_epochs >= 1

@@ -1,0 +1,108 @@
+"""Tests for the Eq.-(3)/(4) capacity analysis."""
+
+import pytest
+
+from repro.core.capacity import (
+    capacity,
+    empirical_false_positive_rate,
+    empirical_true_positive_rate,
+    false_positive_probability,
+    true_positive_probability,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestFalsePositiveProbability:
+    def test_paper_worked_example(self):
+        """D=100,000, T=0.5, P=10,000 -> 5.7 % (paper Sec. 2.3)."""
+        p = false_positive_probability(100_000, 10_000, 0.5)
+        assert p == pytest.approx(0.057, abs=0.001)
+
+    def test_monotone_in_patterns(self):
+        probs = [
+            false_positive_probability(10_000, p, 0.5)
+            for p in (10, 100, 1000, 5000)
+        ]
+        assert probs == sorted(probs)
+
+    def test_monotone_in_dim(self):
+        probs = [
+            false_positive_probability(d, 1000, 0.5)
+            for d in (1000, 4000, 16_000)
+        ]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_monotone_in_threshold(self):
+        lo = false_positive_probability(10_000, 100, 0.2)
+        hi = false_positive_probability(10_000, 100, 0.8)
+        assert hi < lo
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            false_positive_probability(0, 10, 0.5)
+        with pytest.raises(ConfigurationError):
+            false_positive_probability(10, 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            false_positive_probability(10, 10, 0.0)
+
+
+class TestTruePositiveProbability:
+    def test_single_pattern_always_detected(self):
+        assert true_positive_probability(1000, 1, 0.5) == 1.0
+
+    def test_near_one_for_few_patterns(self):
+        assert true_positive_probability(10_000, 10, 0.5) > 0.999
+
+    def test_degrades_with_many_patterns(self):
+        few = true_positive_probability(1000, 10, 0.5)
+        many = true_positive_probability(1000, 10_000, 0.5)
+        assert many < few
+
+
+class TestCapacity:
+    def test_inverts_false_positive(self):
+        p_max = capacity(100_000, 0.5, 0.057)
+        # The paper example: ~10k patterns at 5.7 % error.
+        assert p_max == pytest.approx(10_000, rel=0.05)
+
+    def test_larger_dim_more_capacity(self):
+        assert capacity(20_000, 0.5, 0.05) > capacity(5_000, 0.5, 0.05)
+
+    def test_capacity_respects_error_bound(self):
+        d, t, err = 50_000, 0.5, 0.02
+        p = capacity(d, t, err)
+        assert false_positive_probability(d, p, t) <= err + 1e-9
+        assert false_positive_probability(d, p + max(1, p // 20), t) > err
+
+    def test_invalid_error(self):
+        with pytest.raises(ConfigurationError):
+            capacity(1000, 0.5, 0.6)
+        with pytest.raises(ConfigurationError):
+            capacity(1000, 0.5, 0.0)
+
+
+class TestEmpiricalRates:
+    def test_false_positive_matches_analytic(self):
+        d, p, t = 2000, 200, 0.5
+        analytic = false_positive_probability(d, p, t)
+        measured = empirical_false_positive_rate(
+            d, p, t, n_queries=4000, seed=0
+        )
+        assert measured == pytest.approx(analytic, abs=0.02)
+
+    def test_true_positive_matches_analytic(self):
+        d, p, t = 2000, 50, 0.5
+        analytic = true_positive_probability(d, p, t)
+        measured = empirical_true_positive_rate(d, p, t, n_trials=150, seed=0)
+        assert measured == pytest.approx(analytic, abs=0.08)
+
+    def test_deterministic(self):
+        a = empirical_false_positive_rate(500, 50, 0.5, n_queries=500, seed=1)
+        b = empirical_false_positive_rate(500, 50, 0.5, n_queries=500, seed=1)
+        assert a == b
+
+    def test_invalid_queries(self):
+        with pytest.raises(ConfigurationError):
+            empirical_false_positive_rate(100, 10, 0.5, n_queries=0)
+        with pytest.raises(ConfigurationError):
+            empirical_true_positive_rate(100, 10, 0.5, n_trials=0)

@@ -1,0 +1,95 @@
+"""Tests for the HD classifier substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvergencePolicy
+from repro.core.classifier import HDClassifier
+from repro.exceptions import ConfigurationError, NotFittedError
+
+CONV = ConvergencePolicy(max_epochs=10, patience=3)
+
+
+def _blobs(n_per_class=60, n_classes=3, n_features=4, seed=0, spread=0.4):
+    # Fixed class centres (so train/test draws share the same concept);
+    # only the samples vary with ``seed``.
+    centers = np.random.default_rng(42).normal(size=(n_classes, n_features)) * 3.0
+    rng = np.random.default_rng(seed)
+    X, y = [], []
+    for c in range(n_classes):
+        X.append(centers[c] + spread * rng.normal(size=(n_per_class, n_features)))
+        y.append(np.full(n_per_class, c))
+    return np.vstack(X), np.concatenate(y)
+
+
+class TestHDClassifier:
+    def test_learns_separable_blobs(self):
+        X, y = _blobs(seed=0)
+        Xte, yte = _blobs(seed=1)
+        clf = HDClassifier(4, dim=1024, seed=0, convergence=CONV).fit(X, y)
+        assert clf.score(Xte, yte) > 0.9
+
+    def test_predict_returns_original_labels(self):
+        X, y = _blobs()
+        labels = np.array(["cat", "dog", "fox"])[y]
+        clf = HDClassifier(4, dim=512, seed=0, convergence=CONV).fit(X, labels)
+        pred = clf.predict(X[:10])
+        assert set(pred) <= {"cat", "dog", "fox"}
+
+    def test_n_classes(self):
+        X, y = _blobs(n_classes=5)
+        clf = HDClassifier(4, dim=256, seed=0, convergence=CONV).fit(X, y)
+        assert clf.n_classes == 5
+        assert clf.class_vectors_.shape == (5, 256)
+
+    def test_binary_inference_close_to_full(self):
+        X, y = _blobs(seed=2)
+        Xte, yte = _blobs(seed=3)
+        full = HDClassifier(4, dim=2048, seed=0, convergence=CONV).fit(X, y)
+        binary = HDClassifier(
+            4, dim=2048, seed=0, convergence=CONV, binary_inference=True
+        ).fit(X, y)
+        assert binary.score(Xte, yte) > full.score(Xte, yte) - 0.1
+
+    def test_decision_scores_shape(self):
+        X, y = _blobs()
+        clf = HDClassifier(4, dim=256, seed=0, convergence=CONV).fit(X, y)
+        assert clf.decision_scores(X[:7]).shape == (7, 3)
+
+    def test_accuracy_curve_recorded(self):
+        X, y = _blobs()
+        clf = HDClassifier(4, dim=256, seed=0, convergence=CONV).fit(X, y)
+        assert clf.accuracy_curve_
+        assert all(0.0 <= a <= 1.0 for a in clf.accuracy_curve_)
+
+    def test_iterative_training_improves_over_bundling(self):
+        """Error-driven epochs must beat the single-pass bundle init on a
+        task with overlapping classes."""
+        X, y = _blobs(spread=2.0, seed=4)
+        Xte, yte = _blobs(spread=2.0, seed=5)
+        one = HDClassifier(
+            4, dim=1024, seed=0,
+            convergence=ConvergencePolicy(max_epochs=1, patience=1),
+        ).fit(X, y)
+        many = HDClassifier(4, dim=1024, seed=0, convergence=CONV).fit(X, y)
+        assert many.score(Xte, yte) >= one.score(Xte, yte)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            HDClassifier(4, dim=64).predict(np.zeros((1, 4)))
+
+    def test_single_class_rejected(self):
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        with pytest.raises(ConfigurationError):
+            HDClassifier(3, dim=64).fit(X, np.zeros(10))
+
+    @pytest.mark.parametrize("kwargs", [{"lr": 0.0}, {"batch_size": 0}])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            HDClassifier(4, dim=64, **kwargs)
+
+    def test_deterministic(self):
+        X, y = _blobs()
+        a = HDClassifier(4, dim=256, seed=7, convergence=CONV).fit(X, y)
+        b = HDClassifier(4, dim=256, seed=7, convergence=CONV).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))

@@ -1,0 +1,85 @@
+"""Tests for RegHDConfig and ConvergencePolicy."""
+
+import pytest
+
+from repro.core.config import ConvergencePolicy, RegHDConfig
+from repro.core.quantization import ClusterQuant, PredictQuant
+from repro.exceptions import ConfigurationError
+
+
+class TestConvergencePolicy:
+    def test_defaults_valid(self):
+        policy = ConvergencePolicy()
+        assert policy.max_epochs >= 1
+        assert policy.patience >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_epochs": 0},
+            {"patience": 0},
+            {"tol": -1e-3},
+            {"min_epochs": 0},
+            {"min_epochs": 100, "max_epochs": 10},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ConvergencePolicy(**kwargs)
+
+
+class TestRegHDConfig:
+    def test_defaults(self):
+        cfg = RegHDConfig()
+        assert cfg.dim == 4000
+        assert cfg.n_models == 8
+        assert cfg.cluster_quant is ClusterQuant.NONE
+        assert cfg.predict_quant is PredictQuant.FULL
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dim": 1},
+            {"n_models": 0},
+            {"lr": 0.0},
+            {"lr": -1.0},
+            {"softmax_temp": 0.0},
+            {"update_weighting": "nope"},
+            {"batch_size": 0},
+            {"cluster_quant": "framework"},
+            {"predict_quant": "full"},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RegHDConfig(**kwargs)
+
+    def test_frozen(self):
+        cfg = RegHDConfig()
+        with pytest.raises(Exception):
+            cfg.dim = 128  # type: ignore[misc]
+
+    def test_with_overrides(self):
+        cfg = RegHDConfig().with_overrides(dim=512, n_models=2)
+        assert cfg.dim == 512
+        assert cfg.n_models == 2
+        # Original untouched.
+        assert RegHDConfig().dim == 4000
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ConfigurationError):
+            RegHDConfig().with_overrides(n_models=-1)
+
+
+class TestPredictQuantProperties:
+    def test_query_binary_flags(self):
+        assert PredictQuant.BINARY_QUERY.query_is_binary
+        assert PredictQuant.BINARY_BOTH.query_is_binary
+        assert not PredictQuant.FULL.query_is_binary
+        assert not PredictQuant.BINARY_MODEL.query_is_binary
+
+    def test_model_binary_flags(self):
+        assert PredictQuant.BINARY_MODEL.model_is_binary
+        assert PredictQuant.BINARY_BOTH.model_is_binary
+        assert not PredictQuant.FULL.model_is_binary
+        assert not PredictQuant.BINARY_QUERY.model_is_binary

@@ -1,0 +1,149 @@
+"""Tests for single-model RegHD (paper Sec. 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ConvergencePolicy
+from repro.core.single import SingleModelRegHD
+from repro.encoding.nonlinear import NonlinearEncoder
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.metrics import mean_squared_error, r2_score
+
+
+class TestConstruction:
+    def test_defaults(self):
+        model = SingleModelRegHD(5, dim=128)
+        assert model.dim == 128
+        assert model.in_features == 5
+        np.testing.assert_array_equal(model.model, 0.0)
+
+    @pytest.mark.parametrize("lr", [0.0, -0.5, 2.0, 5.0])
+    def test_lr_bounds(self, lr):
+        with pytest.raises(ConfigurationError):
+            SingleModelRegHD(5, lr=lr)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            SingleModelRegHD(5, batch_size=0)
+
+    def test_custom_encoder(self):
+        enc = NonlinearEncoder(5, 64, seed=0)
+        model = SingleModelRegHD(5, encoder=enc)
+        assert model.encoder is enc
+        assert model.dim == 64
+
+    def test_encoder_feature_mismatch(self):
+        enc = NonlinearEncoder(4, 64, seed=0)
+        with pytest.raises(ConfigurationError):
+            SingleModelRegHD(5, encoder=enc)
+
+
+class TestFitPredict:
+    def test_learns_nonlinear_function(self, tiny_regression):
+        X, y, Xte, yte = tiny_regression
+        model = SingleModelRegHD(
+            5,
+            dim=1024,
+            seed=1,
+            convergence=ConvergencePolicy(max_epochs=20, patience=3),
+        ).fit(X, y)
+        assert r2_score(yte, model.predict(Xte)) > 0.5
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            SingleModelRegHD(5, dim=64).predict(np.zeros((1, 5)))
+
+    def test_history_populated(self, tiny_regression, fast_convergence):
+        X, y, _, _ = tiny_regression
+        model = SingleModelRegHD(
+            5, dim=256, seed=0, convergence=fast_convergence
+        ).fit(X, y)
+        assert model.history_ is not None
+        assert model.history_.n_epochs >= 1
+
+    def test_iterative_training_improves_over_single_pass(self, tiny_regression):
+        """Fig. 3a: more retraining iterations -> lower error."""
+        X, y, Xte, yte = tiny_regression
+        one = SingleModelRegHD(
+            5, dim=512, seed=0,
+            convergence=ConvergencePolicy(max_epochs=1, patience=1),
+        ).fit(X, y)
+        many = SingleModelRegHD(
+            5, dim=512, seed=0,
+            convergence=ConvergencePolicy(max_epochs=20, patience=20),
+        ).fit(X, y)
+        assert mean_squared_error(yte, many.predict(Xte)) < mean_squared_error(
+            yte, one.predict(Xte)
+        )
+
+    def test_deterministic(self, tiny_regression, fast_convergence):
+        X, y, Xte, _ = tiny_regression
+        a = SingleModelRegHD(5, dim=256, seed=4, convergence=fast_convergence).fit(X, y)
+        b = SingleModelRegHD(5, dim=256, seed=4, convergence=fast_convergence).fit(X, y)
+        np.testing.assert_allclose(a.predict(Xte), b.predict(Xte))
+
+    def test_validation_drives_convergence(self, tiny_regression, fast_convergence):
+        X, y, Xte, yte = tiny_regression
+        model = SingleModelRegHD(5, dim=256, seed=0, convergence=fast_convergence)
+        model.fit(X, y, X_val=Xte, y_val=yte)
+        assert model.history_ is not None
+        assert all(r.val_mse is not None for r in model.history_.records)
+
+    def test_target_units_preserved(self, tiny_regression, fast_convergence):
+        """Internal standardisation must be invisible: predictions live in
+        original target units."""
+        X, y, _, _ = tiny_regression
+        y_shifted = 1000.0 + 50.0 * y
+        model = SingleModelRegHD(
+            5, dim=512, seed=0, convergence=fast_convergence
+        ).fit(X, y_shifted)
+        pred = model.predict(X)
+        assert abs(np.mean(pred) - np.mean(y_shifted)) < 50.0
+
+    def test_constant_target(self, fast_convergence):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        y = np.full(30, 7.0)
+        model = SingleModelRegHD(3, dim=128, seed=0, convergence=fast_convergence)
+        model.fit(X, y)
+        np.testing.assert_allclose(model.predict(X), 7.0, atol=1e-6)
+
+    def test_shape_checks(self, fast_convergence):
+        model = SingleModelRegHD(3, dim=64, convergence=fast_convergence)
+        with pytest.raises(Exception):
+            model.fit(np.zeros((4, 3)), np.zeros(5))
+
+    def test_batch_size_one_matches_online_equation(self, fast_convergence):
+        """batch_size=1 is the paper's Eq. (2): verify a single update by
+        hand."""
+        model = SingleModelRegHD(
+            2, dim=32, lr=0.5, batch_size=1, seed=0, convergence=fast_convergence
+        )
+        S = np.array([[1.0] + [0.0] * 31])
+        S /= np.linalg.norm(S)
+        y = np.array([2.0])
+        model.fit_epoch(S, y, np.array([0]))
+        # M was zero, so update = lr * y * S.
+        np.testing.assert_allclose(model.model, 0.5 * 2.0 * S[0])
+
+
+class TestPartialFit:
+    def test_streaming_improves(self, tiny_regression):
+        X, y, Xte, yte = tiny_regression
+        model = SingleModelRegHD(5, dim=512, seed=0)
+        model.partial_fit(X[:50], y[:50])
+        early = mean_squared_error(yte, model.predict(Xte))
+        for start in range(50, 200, 50):
+            model.partial_fit(X[start : start + 50], y[start : start + 50])
+        late = mean_squared_error(yte, model.predict(Xte))
+        assert late < early
+
+    def test_partial_fit_enables_predict(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(20, 3))
+        y = X[:, 0]
+        model = SingleModelRegHD(3, dim=64, seed=0)
+        model.partial_fit(X, y)
+        assert model.predict(X).shape == (20,)
+
+    def test_repr(self):
+        assert "SingleModelRegHD" in repr(SingleModelRegHD(3, dim=64))

@@ -1,0 +1,175 @@
+"""Tests for the SparseHD-style sparsification extension."""
+
+import numpy as np
+import pytest
+
+from repro import MultiModelRegHD, RegHDConfig, SingleModelRegHD
+from repro.core import ConvergencePolicy
+from repro.core.sparsify import (
+    apply_sparsity,
+    density_of,
+    fine_tune_sparse,
+    sparsify_rows,
+)
+from repro.exceptions import ConfigurationError
+from repro.metrics import mean_squared_error
+
+CONV = ConvergencePolicy(max_epochs=8, patience=3)
+
+
+class TestSparsifyRows:
+    def test_density_one_is_identity(self):
+        m = np.random.default_rng(0).normal(size=(3, 16))
+        np.testing.assert_array_equal(sparsify_rows(m, 1.0), m)
+
+    def test_density_enforced_per_row(self):
+        m = np.random.default_rng(0).normal(size=(4, 100))
+        out = sparsify_rows(m, 0.25)
+        for row in out:
+            assert np.count_nonzero(row) == 25
+
+    def test_keeps_largest_magnitudes(self):
+        row = np.array([0.1, -5.0, 0.2, 4.0, -0.3, 0.05])
+        out = sparsify_rows(row, 0.34)  # keep 2 of 6
+        assert set(np.flatnonzero(out)) == {1, 3}
+
+    def test_at_least_one_survives(self):
+        row = np.array([1.0, 2.0, 3.0])
+        out = sparsify_rows(row, 0.01)
+        assert np.count_nonzero(out) == 1
+        assert out[2] == 3.0
+
+    def test_input_not_mutated(self):
+        m = np.ones((2, 8))
+        sparsify_rows(m, 0.5)
+        np.testing.assert_array_equal(m, 1.0)
+
+    def test_single_vector_shape(self):
+        out = sparsify_rows(np.arange(8.0), 0.5)
+        assert out.shape == (8,)
+
+    @pytest.mark.parametrize("density", [0.0, -0.5, 1.5])
+    def test_invalid_density(self, density):
+        with pytest.raises(ConfigurationError):
+            sparsify_rows(np.ones(4), density)
+
+
+class TestDensityOf:
+    def test_full(self):
+        assert density_of(np.ones((2, 4))) == 1.0
+
+    def test_half(self):
+        m = np.array([1.0, 0.0, 2.0, 0.0])
+        assert density_of(m) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            density_of(np.zeros((0,)))
+
+
+class TestApplySparsity:
+    def test_single_model(self, tiny_regression):
+        X, y, Xte, yte = tiny_regression
+        model = SingleModelRegHD(5, dim=512, seed=0, convergence=CONV).fit(X, y)
+        apply_sparsity(model, 0.2)
+        assert density_of(model.model) == pytest.approx(0.2, abs=0.01)
+
+    def test_multi_model_rebinarizes(self, tiny_regression):
+        X, y, _, _ = tiny_regression
+        model = MultiModelRegHD(
+            5, RegHDConfig(dim=256, n_models=4, seed=0, convergence=CONV)
+        ).fit(X, y)
+        apply_sparsity(model, 0.3)
+        assert density_of(model.models.integer) == pytest.approx(0.3, abs=0.01)
+        # Binary copy stays in sync with the sparsified integer copy.
+        from repro.core.quantization import binarize_preserving_scale
+
+        np.testing.assert_allclose(
+            model.models.binary,
+            binarize_preserving_scale(model.models.integer),
+        )
+
+    def test_clusters_untouched(self, tiny_regression):
+        X, y, _, _ = tiny_regression
+        model = MultiModelRegHD(
+            5, RegHDConfig(dim=256, n_models=4, seed=0, convergence=CONV)
+        ).fit(X, y)
+        before = model.clusters.integer.copy()
+        apply_sparsity(model, 0.2)
+        np.testing.assert_array_equal(model.clusters.integer, before)
+
+    def test_moderate_sparsity_keeps_quality(self, tiny_regression):
+        """Half-density pruning must not destroy the model."""
+        X, y, Xte, yte = tiny_regression
+        model = SingleModelRegHD(5, dim=1024, seed=0, convergence=CONV).fit(X, y)
+        dense_mse = mean_squared_error(yte, model.predict(Xte))
+        apply_sparsity(model, 0.5)
+        sparse_mse = mean_squared_error(yte, model.predict(Xte))
+        assert sparse_mse < dense_mse * 2.0
+
+    def test_unsupported_model(self):
+        with pytest.raises(ConfigurationError):
+            apply_sparsity(object(), 0.5)  # type: ignore[arg-type]
+
+
+class TestFineTuneSparse:
+    def test_density_constraint_holds_after_tuning(self, tiny_regression):
+        X, y, _, _ = tiny_regression
+        model = SingleModelRegHD(5, dim=512, seed=0, convergence=CONV).fit(X, y)
+        fine_tune_sparse(model, X, y, density=0.25, epochs=3)
+        assert density_of(model.model) <= 0.26
+
+    def test_tuning_beats_one_shot_pruning(self, tiny_regression):
+        """The SparseHD claim: masked retraining recovers pruning loss."""
+        X, y, Xte, yte = tiny_regression
+        density = 0.1
+
+        one_shot = SingleModelRegHD(5, dim=1024, seed=0, convergence=CONV).fit(X, y)
+        apply_sparsity(one_shot, density)
+        one_shot_mse = mean_squared_error(yte, one_shot.predict(Xte))
+
+        tuned = SingleModelRegHD(5, dim=1024, seed=0, convergence=CONV).fit(X, y)
+        fine_tune_sparse(tuned, X, y, density=density, epochs=5)
+        tuned_mse = mean_squared_error(yte, tuned.predict(Xte))
+
+        assert tuned_mse < one_shot_mse
+
+    def test_multi_model_supported(self, tiny_regression):
+        X, y, Xte, _ = tiny_regression
+        model = MultiModelRegHD(
+            5, RegHDConfig(dim=256, n_models=4, seed=0, convergence=CONV)
+        ).fit(X, y)
+        fine_tune_sparse(model, X, y, density=0.3, epochs=2)
+        assert density_of(model.models.integer) <= 0.31
+        assert np.all(np.isfinite(model.predict(Xte)))
+
+    def test_requires_fitted_model(self, tiny_regression):
+        X, y, _, _ = tiny_regression
+        with pytest.raises(ConfigurationError):
+            fine_tune_sparse(
+                SingleModelRegHD(5, dim=64), X, y, density=0.5
+            )
+
+    def test_invalid_epochs(self, tiny_regression):
+        X, y, _, _ = tiny_regression
+        model = SingleModelRegHD(5, dim=64, seed=0, convergence=CONV).fit(X, y)
+        with pytest.raises(ConfigurationError):
+            fine_tune_sparse(model, X, y, density=0.5, epochs=0)
+
+
+class TestSparseCostModel:
+    def test_density_scales_prediction_cost(self):
+        from repro.hardware import FPGA_KINTEX7, RegHDCostSpec, estimate, reghd_infer_cost
+
+        dense = RegHDCostSpec(10, 2000, 8)
+        sparse = RegHDCostSpec(10, 2000, 8, model_density=0.1)
+        e_dense = estimate(reghd_infer_cost(dense, 100), FPGA_KINTEX7)
+        e_sparse = estimate(reghd_infer_cost(sparse, 100), FPGA_KINTEX7)
+        assert e_sparse.energy_j < e_dense.energy_j
+
+    def test_invalid_density(self):
+        from repro.exceptions import HardwareModelError
+        from repro.hardware import RegHDCostSpec
+
+        with pytest.raises(HardwareModelError):
+            RegHDCostSpec(10, 100, 8, model_density=0.0)

@@ -1,0 +1,162 @@
+"""Tests for scalers and splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    MinMaxScaler,
+    StandardScaler,
+    TargetScaler,
+    k_fold_splits,
+    train_test_split,
+)
+from repro.exceptions import DatasetError, NotFittedError
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        out = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_passes_through_centered(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        out = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(out[:, 0], 0.0)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X
+        )
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_train_statistics_applied_to_test(self):
+        train = np.zeros((10, 1)) + 5.0
+        train[0] = 15.0
+        scaler = StandardScaler().fit(train)
+        out = scaler.transform(np.array([[5.0]]))
+        assert out[0, 0] != 0.0 or train.mean() == 5.0
+
+    def test_fitted_flag(self):
+        scaler = StandardScaler()
+        assert not scaler.fitted
+        scaler.fit(np.zeros((3, 1)))
+        assert scaler.fitted
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self):
+        X = np.array([[0.0], [5.0], [10.0]])
+        out = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(out[:, 0], [0.0, 0.5, 1.0])
+
+    def test_custom_range(self):
+        X = np.array([[0.0], [10.0]])
+        out = MinMaxScaler((-1.0, 1.0)).fit_transform(X)
+        np.testing.assert_allclose(out[:, 0], [-1.0, 1.0])
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler((1.0, 0.0))
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+    def test_constant_feature(self):
+        X = np.ones((5, 1)) * 4.0
+        out = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(out))
+
+
+class TestTargetScaler:
+    def test_roundtrip(self):
+        y = np.array([10.0, 20.0, 30.0])
+        scaler = TargetScaler().fit(y)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(y)), y
+        )
+
+    def test_standardisation(self):
+        y = np.random.default_rng(0).normal(100.0, 25.0, 500)
+        out = TargetScaler().fit_transform(y)
+        assert abs(out.mean()) < 1e-10
+        assert out.std() == pytest.approx(1.0)
+
+    def test_constant_target(self):
+        y = np.full(5, 3.0)
+        out = TargetScaler().fit_transform(y)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_before_fit(self):
+        with pytest.raises(NotFittedError):
+            TargetScaler().transform(np.zeros(3))
+        with pytest.raises(NotFittedError):
+            TargetScaler().inverse_transform(np.zeros(3))
+
+
+def _dataset(n=40):
+    rng = np.random.default_rng(0)
+    return Dataset("t", rng.normal(size=(n, 3)), rng.normal(size=n))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        split = train_test_split(_dataset(40), test_fraction=0.25, seed=0)
+        assert split.n_test == 10
+        assert split.n_train == 30
+
+    def test_disjoint_and_complete(self):
+        ds = _dataset(20)
+        split = train_test_split(ds, test_fraction=0.3, seed=1)
+        all_rows = np.vstack([split.X_train, split.X_test])
+        assert all_rows.shape[0] == ds.n_samples
+        # Every original row appears exactly once.
+        original = {tuple(r) for r in ds.X}
+        recovered = {tuple(r) for r in all_rows}
+        assert original == recovered
+
+    def test_deterministic(self):
+        a = train_test_split(_dataset(), seed=2)
+        b = train_test_split(_dataset(), seed=2)
+        np.testing.assert_array_equal(a.X_test, b.X_test)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(DatasetError):
+            train_test_split(_dataset(), test_fraction=0.0)
+        with pytest.raises(DatasetError):
+            train_test_split(_dataset(), test_fraction=1.0)
+
+
+class TestKFold:
+    def test_fold_count(self):
+        folds = list(k_fold_splits(_dataset(25), k=5, seed=0))
+        assert len(folds) == 5
+
+    def test_test_sets_partition_data(self):
+        ds = _dataset(23)
+        folds = list(k_fold_splits(ds, k=4, seed=0))
+        total_test = sum(f.n_test for f in folds)
+        assert total_test == ds.n_samples
+
+    def test_train_test_disjoint_per_fold(self):
+        ds = _dataset(20)
+        for fold in k_fold_splits(ds, k=4, seed=0):
+            train_rows = {tuple(r) for r in fold.X_train}
+            test_rows = {tuple(r) for r in fold.X_test}
+            assert not train_rows & test_rows
+
+    def test_invalid_k(self):
+        with pytest.raises(DatasetError):
+            list(k_fold_splits(_dataset(), k=1))
+        with pytest.raises(DatasetError):
+            list(k_fold_splits(_dataset(5), k=10))

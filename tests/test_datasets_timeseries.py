@@ -1,0 +1,97 @@
+"""Tests for the time-series generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.timeseries import (
+    regime_switching_signal,
+    sensor_signal,
+    windowed_forecasting_dataset,
+)
+from repro.exceptions import DatasetError
+
+
+class TestSensorSignal:
+    def test_length_and_determinism(self):
+        a = sensor_signal(500, seed=3)
+        b = sensor_signal(500, seed=3)
+        assert a.shape == (500,)
+        np.testing.assert_array_equal(a, b)
+
+    def test_periodicity_visible(self):
+        """Autocorrelation at the daily period beats a random lag."""
+        signal = sensor_signal(2000, noise=0.05, drift_per_step=0.0, seed=0)
+        def autocorr(lag):
+            return float(np.corrcoef(signal[:-lag], signal[lag:])[0, 1])
+        assert autocorr(48) > autocorr(29)
+        assert autocorr(48) > 0.5
+
+    def test_drift_raises_mean(self):
+        drifting = sensor_signal(2000, drift_per_step=0.01, noise=0.0, seed=0)
+        assert drifting[-200:].mean() > drifting[:200].mean() + 5.0
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            sensor_signal(0)
+        with pytest.raises(DatasetError):
+            sensor_signal(10, daily_period=0.0)
+
+
+class TestRegimeSwitchingSignal:
+    def test_length(self):
+        assert regime_switching_signal(1000, seed=0).shape == (1000,)
+
+    def test_statistics_change_at_switch(self):
+        signal = regime_switching_signal(
+            800, switch_every=400, n_regimes=2, noise=0.01, seed=0
+        )
+        first, second = signal[:400], signal[400:]
+        # Means or variances must differ across the regime boundary.
+        assert (
+            abs(first.mean() - second.mean()) > 0.1
+            or abs(first.std() - second.std()) > 0.1
+        )
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            regime_switching_signal(0)
+        with pytest.raises(DatasetError):
+            regime_switching_signal(10, switch_every=0)
+        with pytest.raises(DatasetError):
+            regime_switching_signal(10, n_regimes=0)
+
+
+class TestWindowedDataset:
+    def test_shapes(self):
+        series = np.arange(20.0)
+        ds = windowed_forecasting_dataset(series, window=5)
+        assert ds.X.shape == (15, 5)
+        assert ds.y.shape == (15,)
+
+    def test_alignment_one_step(self):
+        series = np.arange(10.0)
+        ds = windowed_forecasting_dataset(series, window=3)
+        np.testing.assert_array_equal(ds.X[0], [0.0, 1.0, 2.0])
+        assert ds.y[0] == 3.0
+        np.testing.assert_array_equal(ds.X[-1], [6.0, 7.0, 8.0])
+        assert ds.y[-1] == 9.0
+
+    def test_alignment_multi_horizon(self):
+        series = np.arange(10.0)
+        ds = windowed_forecasting_dataset(series, window=3, horizon=2)
+        np.testing.assert_array_equal(ds.X[0], [0.0, 1.0, 2.0])
+        assert ds.y[0] == 4.0
+
+    def test_too_short_raises(self):
+        with pytest.raises(DatasetError):
+            windowed_forecasting_dataset(np.arange(4.0), window=4)
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            windowed_forecasting_dataset(np.arange(10.0), window=0)
+        with pytest.raises(DatasetError):
+            windowed_forecasting_dataset(np.arange(10.0), window=2, horizon=0)
+
+    def test_feature_names(self):
+        ds = windowed_forecasting_dataset(np.arange(10.0), window=3)
+        assert ds.feature_names == ("lag3", "lag2", "lag1")

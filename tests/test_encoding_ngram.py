@@ -1,0 +1,120 @@
+"""Tests for the n-gram text encoder."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.ngram import NGramTextEncoder
+from repro.exceptions import EncodingError
+from repro.ops.similarity import cosine_similarity
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs", [{"dim": 0}, {"n": 0}, {"alphabet": ""}, {"alphabet": "aa"}]
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(EncodingError):
+            NGramTextEncoder(**{"dim": 64, **kwargs})
+
+    def test_properties(self):
+        enc = NGramTextEncoder(128, n=2, alphabet="ab ")
+        assert enc.dim == 128
+        assert enc.n == 2
+        assert enc.alphabet == "ab "
+
+
+class TestEncoding:
+    def test_deterministic(self):
+        a = NGramTextEncoder(256, seed=1).encode("hello world")
+        b = NGramTextEncoder(256, seed=1).encode("hello world")
+        np.testing.assert_array_equal(a, b)
+
+    def test_case_insensitive(self):
+        enc = NGramTextEncoder(256, seed=0)
+        np.testing.assert_array_equal(
+            enc.encode("Hello"), enc.encode("hELLO")
+        )
+
+    def test_unknown_characters_dropped(self):
+        enc = NGramTextEncoder(256, seed=0)
+        np.testing.assert_array_equal(
+            enc.encode("a1b2c3d!"), enc.encode("abcd")
+        )
+
+    def test_too_short_raises(self):
+        enc = NGramTextEncoder(64, n=3, seed=0)
+        with pytest.raises(EncodingError):
+            enc.encode("ab")
+        with pytest.raises(EncodingError):
+            enc.encode("1234!")  # all dropped
+
+    def test_order_sensitive(self):
+        """Position binding inside n-grams: character-reversed text is
+        nearly orthogonal, and texts sharing letters but not trigrams
+        diverge.  (Note: swapping whole words with identical 3-character
+        context keeps the trigram *multiset* — and hence the encoding —
+        unchanged; that is correct bag-of-n-grams behaviour.)"""
+        enc = NGramTextEncoder(2048, seed=0)
+        a = enc.encode("the cat sat on the mat")
+        reversed_text = enc.encode("tam eht no tas tac eht")
+        assert cosine_similarity(a, reversed_text) < 0.3
+        scrambled = enc.encode("ta ech tat son htem ta")
+        assert cosine_similarity(a, scrambled) < 0.9
+
+    def test_similar_texts_more_similar(self):
+        enc = NGramTextEncoder(4096, seed=0)
+        base = enc.encode("the quick brown fox jumps over the lazy dog")
+        near = enc.encode("the quick brown fox jumped over a lazy dog")
+        far = enc.encode("zzyzx qwrk vvv mmmnnn ppqq xyxyxy zzz kkk jjj jjj")
+        assert cosine_similarity(base, near) > cosine_similarity(base, far)
+
+    def test_batch(self):
+        enc = NGramTextEncoder(128, seed=0)
+        out = enc.encode_batch(["hello", "world"])
+        assert out.shape == (2, 128)
+        np.testing.assert_array_equal(out[0], enc.encode("hello"))
+
+    def test_empty_batch(self):
+        with pytest.raises(EncodingError):
+            NGramTextEncoder(64).encode_batch([])
+
+    def test_matches_manual_trigram_construction(self):
+        """Cross-check one trigram against the by-hand binding formula."""
+        enc = NGramTextEncoder(256, n=3, seed=0, alphabet="abc")
+        a, b, c = (enc._items[ch] for ch in "abc")
+        expected = np.roll(a, 2) * np.roll(b, 1) * c
+        np.testing.assert_allclose(enc.encode("abc"), expected)
+
+
+class TestLanguageSeparation:
+    def test_two_synthetic_languages_separate(self):
+        """Texts from two different character Markov chains cluster by
+        source — the random-indexing result [38] in miniature."""
+        rng = np.random.default_rng(0)
+        alphabet = "abcdefghij "
+
+        def make_language(seed):
+            lang_rng = np.random.default_rng(seed)
+            transition = lang_rng.dirichlet(
+                np.full(len(alphabet), 0.2), size=len(alphabet)
+            )
+            def sample(length=200):
+                idx = [int(lang_rng.integers(len(alphabet)))]
+                for _ in range(length - 1):
+                    idx.append(
+                        int(lang_rng.choice(len(alphabet), p=transition[idx[-1]]))
+                    )
+                return "".join(alphabet[i] for i in idx)
+            return sample
+
+        lang_a, lang_b = make_language(1), make_language(2)
+        enc = NGramTextEncoder(4096, seed=0, alphabet=alphabet)
+        a_texts = [enc.encode(lang_a()) for _ in range(4)]
+        b_texts = [enc.encode(lang_b()) for _ in range(4)]
+        within = np.mean(
+            [cosine_similarity(a_texts[0], t) for t in a_texts[1:]]
+        )
+        across = np.mean(
+            [cosine_similarity(a_texts[0], t) for t in b_texts]
+        )
+        assert within > across

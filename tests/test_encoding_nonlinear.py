@@ -1,0 +1,158 @@
+"""Tests for the paper's Eq.-(1) nonlinear encoder."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.nonlinear import NonlinearEncoder
+from repro.exceptions import EncodingError
+from repro.ops.similarity import cosine_similarity
+
+
+class TestConstruction:
+    def test_default_properties(self):
+        enc = NonlinearEncoder(6, 512, seed=0)
+        assert enc.in_features == 6
+        assert enc.dim == 512
+        assert enc.scale == pytest.approx(1.0 / np.sqrt(6))
+
+    def test_invalid_base(self):
+        with pytest.raises(EncodingError):
+            NonlinearEncoder(4, 64, base="ternary")
+
+    def test_invalid_scale(self):
+        with pytest.raises(EncodingError):
+            NonlinearEncoder(4, 64, scale=0.0)
+
+    def test_invalid_shape(self):
+        with pytest.raises(EncodingError):
+            NonlinearEncoder(0, 64)
+        with pytest.raises(EncodingError):
+            NonlinearEncoder(4, 0)
+
+    def test_bipolar_bases_are_pm_one(self):
+        enc = NonlinearEncoder(4, 128, seed=0, base="bipolar")
+        assert set(np.unique(enc.bases)) <= {-1.0, 1.0}
+
+    def test_bases_read_only(self):
+        enc = NonlinearEncoder(4, 64, seed=0)
+        with pytest.raises(ValueError):
+            enc.bases[0, 0] = 0.0
+        with pytest.raises(ValueError):
+            enc.phases[0] = 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_encoding(self):
+        x = np.random.default_rng(0).normal(size=5)
+        a = NonlinearEncoder(5, 256, seed=3).encode(x)
+        b = NonlinearEncoder(5, 256, seed=3).encode(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        x = np.random.default_rng(0).normal(size=5)
+        a = NonlinearEncoder(5, 256, seed=3).encode(x)
+        b = NonlinearEncoder(5, 256, seed=4).encode(x)
+        assert not np.array_equal(a, b)
+
+    def test_train_and_query_share_encoder(self):
+        """The prediction pipeline must reuse the training encoder — two
+        encoders with the same seed are interchangeable."""
+        enc = NonlinearEncoder(5, 128, seed=7)
+        x = np.ones(5)
+        np.testing.assert_array_equal(enc.encode(x), enc.encode(x))
+
+
+class TestShapes:
+    def test_single_row(self):
+        enc = NonlinearEncoder(3, 64, seed=0)
+        assert enc.encode([1.0, 2.0, 3.0]).shape == (64,)
+
+    def test_batch(self):
+        enc = NonlinearEncoder(3, 64, seed=0)
+        assert enc.encode_batch(np.zeros((10, 3))).shape == (10, 64)
+
+    def test_encode_rejects_matrix(self):
+        enc = NonlinearEncoder(3, 64, seed=0)
+        with pytest.raises(EncodingError):
+            enc.encode(np.zeros((2, 3)))
+
+    def test_wrong_feature_count(self):
+        enc = NonlinearEncoder(3, 64, seed=0)
+        with pytest.raises(EncodingError):
+            enc.encode_batch(np.zeros((2, 4)))
+
+    def test_values_bounded(self):
+        """cos * sin is bounded by 1/2... actually by 1; check [-1, 1]."""
+        enc = NonlinearEncoder(4, 256, seed=0)
+        out = enc.encode_batch(np.random.default_rng(1).normal(size=(20, 4)))
+        assert np.all(np.abs(out) <= 1.0)
+
+
+class TestSimilarityPreservation:
+    """The 'commonsense principle' of paper Sec. 2.2."""
+
+    def test_identical_inputs_identical_encodings(self):
+        enc = NonlinearEncoder(5, 1024, seed=0)
+        x = np.random.default_rng(0).normal(size=5)
+        assert cosine_similarity(enc.encode(x), enc.encode(x)) == pytest.approx(1.0)
+
+    def test_near_inputs_more_similar_than_far(self):
+        enc = NonlinearEncoder(5, 4096, seed=0)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=5)
+        near = x + 0.05 * rng.normal(size=5)
+        far = x + 5.0 * rng.normal(size=5)
+        sim_near = cosine_similarity(enc.encode(x), enc.encode(near))
+        sim_far = cosine_similarity(enc.encode(x), enc.encode(far))
+        assert sim_near > sim_far
+        assert sim_near > 0.8
+
+    def test_similarity_decays_monotonically_on_average(self):
+        enc = NonlinearEncoder(4, 4096, seed=2)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=4)
+        direction = rng.normal(size=4)
+        direction /= np.linalg.norm(direction)
+        sims = []
+        for step in [0.0, 0.5, 1.0, 2.0, 4.0]:
+            sims.append(
+                cosine_similarity(enc.encode(x), enc.encode(x + step * direction))
+            )
+        assert sims[0] == pytest.approx(1.0)
+        assert sims[0] > sims[1] > sims[2] > sims[3]
+
+    def test_distant_inputs_hit_the_dc_baseline(self):
+        """Unrelated inputs decay to a constant similarity floor (the
+        encoder's deterministic -sin(b)/2 phase component), well below the
+        near-input similarity.  Two independent far pairs land on the same
+        floor."""
+        enc = NonlinearEncoder(6, 8192, seed=4)
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=6)
+        b = a + 20.0 * rng.normal(size=6)
+        c = 10.0 * rng.normal(size=6)
+        sim_ab = cosine_similarity(enc.encode(a), enc.encode(b))
+        sim_ac = cosine_similarity(enc.encode(a), enc.encode(c))
+        assert sim_ab < 0.6
+        assert sim_ab == pytest.approx(sim_ac, abs=0.1)
+
+
+class TestNonlinearity:
+    def test_encoding_is_not_linear_in_input(self):
+        """enc(x + y) must differ from enc(x) + enc(y) (the encoder's
+        nonlinearity is what lets a linear HD model fit nonlinear maps)."""
+        enc = NonlinearEncoder(4, 512, seed=0)
+        rng = np.random.default_rng(6)
+        x, y = rng.normal(size=4), rng.normal(size=4)
+        lhs = enc.encode(x + y)
+        rhs = enc.encode(x) + enc.encode(y)
+        assert not np.allclose(lhs, rhs, atol=1e-3)
+
+    def test_gaussian_vs_bipolar_base_both_work(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=4)
+        for base in ("gaussian", "bipolar"):
+            enc = NonlinearEncoder(4, 256, seed=0, base=base)
+            out = enc.encode(x)
+            assert out.shape == (256,)
+            assert np.all(np.isfinite(out))

@@ -1,0 +1,132 @@
+"""Tests for the statistical comparison helpers."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.stats import (
+    aggregate_metric,
+    bootstrap_difference_ci,
+    multi_seed_mses,
+    paired_comparison,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestAggregateMetric:
+    def test_values(self):
+        agg = aggregate_metric("mse", [1.0, 2.0, 3.0])
+        assert agg.mean == 2.0
+        assert agg.std == pytest.approx(1.0)
+        assert agg.n_runs == 3
+
+    def test_single_value_zero_std(self):
+        agg = aggregate_metric("mse", [5.0])
+        assert agg.std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_metric("mse", [])
+
+    def test_str(self):
+        assert "mse" in str(aggregate_metric("mse", [1.0, 2.0]))
+
+
+class TestPairedComparison:
+    def test_detects_clear_difference(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(10.0, 0.5, size=12)
+        better = base - 2.0 + 0.1 * rng.normal(size=12)
+        result = paired_comparison(better, base)
+        assert result.mean_difference < 0
+        assert result.significant(0.05)
+        assert result.wilcoxon_pvalue < 0.05
+
+    def test_no_difference_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=10)
+        b = a + 0.001 * rng.normal(size=10)
+        result = paired_comparison(a, b)
+        assert not result.significant(0.001)
+
+    def test_identical_runs(self):
+        a = np.ones(5)
+        result = paired_comparison(a, a)
+        assert result.t_pvalue == 1.0
+        assert result.mean_difference == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            paired_comparison([1.0, 2.0], [1.0])
+
+    def test_too_few_runs(self):
+        with pytest.raises(ConfigurationError):
+            paired_comparison([1.0], [2.0])
+
+
+class TestBootstrapCI:
+    def test_contains_true_difference(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(5.0, 1.0, size=40)
+        b = rng.normal(3.0, 1.0, size=40)
+        lo, hi = bootstrap_difference_ci(a, b, seed=0)
+        assert lo < 2.0 < hi or (lo < (a - b).mean() < hi)
+        assert lo < hi
+
+    def test_deterministic(self):
+        a = np.arange(10.0)
+        b = np.arange(10.0)[::-1].copy()
+        assert bootstrap_difference_ci(a, b, seed=3) == bootstrap_difference_ci(
+            a, b, seed=3
+        )
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_difference_ci([1.0, 2.0], [1.0, 2.0], confidence=1.0)
+
+    def test_invalid_resamples(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_difference_ci([1.0], [1.0], n_resamples=0)
+
+
+class TestMultiSeedMSEs:
+    def test_one_mse_per_seed(self):
+        from repro.baselines import RidgeRegression
+        from repro.datasets import load_dataset
+
+        ds = load_dataset("boston").subsample(150, seed=0)
+        mses = multi_seed_mses(
+            lambda seed, n: RidgeRegression(1.0),
+            ds,
+            seeds=[0, 1, 2],
+        )
+        assert mses.shape == (3,)
+        assert np.all(mses > 0)
+        # Different splits give different errors.
+        assert len(np.unique(mses)) > 1
+
+    def test_pairable_across_model_families(self):
+        """Same seeds -> paired comparisons are valid."""
+        from repro.baselines import DecisionTreeRegressor, RidgeRegression
+        from repro.datasets import load_dataset
+
+        ds = load_dataset("ccpp").subsample(400, seed=0)
+        seeds = [0, 1, 2, 3]
+        ridge = multi_seed_mses(
+            lambda seed, n: RidgeRegression(1.0), ds, seeds=seeds
+        )
+        tree = multi_seed_mses(
+            lambda seed, n: DecisionTreeRegressor(max_depth=8), ds, seeds=seeds
+        )
+        result = paired_comparison(tree, ridge)
+        assert result.n_pairs == 4
+
+    def test_empty_seeds(self):
+        from repro.baselines import RidgeRegression
+        from repro.datasets import load_dataset
+
+        with pytest.raises(ConfigurationError):
+            multi_seed_mses(
+                lambda seed, n: RidgeRegression(),
+                load_dataset("boston"),
+                seeds=[],
+            )

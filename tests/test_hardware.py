@@ -1,0 +1,283 @@
+"""Tests for the hardware cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantization import ClusterQuant, PredictQuant
+from repro.exceptions import HardwareModelError
+from repro.hardware import (
+    ARM_A53,
+    FPGA_KINTEX7,
+    BaselineHDCostSpec,
+    DNNCostSpec,
+    DeviceProfile,
+    EfficiencyRow,
+    OpCounts,
+    OpKind,
+    RegHDCostSpec,
+    baseline_hd_infer_cost,
+    baseline_hd_train_cost,
+    dnn_infer_cost,
+    dnn_train_cost,
+    estimate,
+    format_table,
+    get_profile,
+    normalize_to,
+    reghd_infer_cost,
+    reghd_train_cost,
+    relative_table,
+)
+
+
+class TestOpCounts:
+    def test_add(self):
+        a = OpCounts({OpKind.INT_MUL: 5.0})
+        b = OpCounts({OpKind.INT_MUL: 3.0, OpKind.INT_ADD: 2.0})
+        total = a + b
+        assert total.get(OpKind.INT_MUL) == 8.0
+        assert total.get(OpKind.INT_ADD) == 2.0
+
+    def test_mul_scalar(self):
+        c = OpCounts({OpKind.CMP: 4.0}) * 2.5
+        assert c.get(OpKind.CMP) == 10.0
+
+    def test_rmul(self):
+        c = 3 * OpCounts({OpKind.CMP: 2.0})
+        assert c.get(OpKind.CMP) == 6.0
+
+    def test_zero_counts_dropped(self):
+        c = OpCounts({OpKind.CMP: 0.0, OpKind.INT_ADD: 1.0})
+        assert OpKind.CMP not in c.counts
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounts({OpKind.CMP: -1.0})
+        with pytest.raises(ValueError):
+            OpCounts({OpKind.CMP: 1.0}) * -2.0
+
+    def test_total(self):
+        c = OpCounts({OpKind.CMP: 1.0, OpKind.INT_ADD: 2.0})
+        assert c.total == 3.0
+
+    def test_zero_and_single(self):
+        assert OpCounts.zero().total == 0.0
+        assert OpCounts.single(OpKind.TRIG, 7.0).get(OpKind.TRIG) == 7.0
+
+
+class TestProfiles:
+    def test_builtin_profiles_complete(self):
+        from repro.hardware import PROFILES
+
+        for profile in PROFILES.values():
+            counts = OpCounts({k: 1.0 for k in OpKind})
+            assert profile.latency_s(counts) > 0
+            assert profile.energy_j(counts) > 0
+
+    def test_bit_ops_cheapest(self):
+        from repro.hardware import PROFILES
+
+        for profile in PROFILES.values():
+            assert profile.energy_pj[OpKind.BIT_OP] < profile.energy_pj[OpKind.INT_ADD]
+            assert profile.energy_pj[OpKind.INT_ADD] < profile.energy_pj[OpKind.INT_MUL]
+
+    def test_pim_rewards_binary_search_most(self):
+        """In-memory bit operations make the *similarity-search* phase
+        almost free on the PIM profile: its integer-vs-binary search gain
+        must exceed the FPGA's."""
+        from repro.hardware import PIM_ACCELERATOR, reghd_cluster_search_cost
+
+        full = RegHDCostSpec(10, 2000, 8, cluster_quant=ClusterQuant.NONE)
+        binary = RegHDCostSpec(
+            10, 2000, 8, cluster_quant=ClusterQuant.FRAMEWORK
+        )
+        gains = {}
+        for profile in (FPGA_KINTEX7, PIM_ACCELERATOR):
+            e_full = estimate(reghd_cluster_search_cost(full), profile)
+            e_bin = estimate(reghd_cluster_search_cost(binary), profile)
+            gains[profile.name] = e_full.energy_j / e_bin.energy_j
+        assert gains["pim-accelerator"] > gains["fpga-kintex7"] > 1.0
+
+    def test_embedded_cheaper_than_desktop_energy(self):
+        from repro.hardware import DESKTOP_X86
+
+        spec = RegHDCostSpec(10, 2000, 8)
+        counts = reghd_infer_cost(spec, 100)
+        assert ARM_A53.energy_j(counts) < DESKTOP_X86.energy_j(counts)
+
+    def test_get_profile(self):
+        assert get_profile("fpga-kintex7") is FPGA_KINTEX7
+        with pytest.raises(HardwareModelError):
+            get_profile("tpu")
+
+    def test_incomplete_profile_rejected(self):
+        with pytest.raises(HardwareModelError):
+            DeviceProfile("bad", latency_ns={}, energy_pj={})
+
+    def test_parallelism_divides_latency_only(self):
+        counts = OpCounts({OpKind.INT_MUL: 1000.0})
+        slow = DeviceProfile(
+            "slow",
+            latency_ns=dict(FPGA_KINTEX7.latency_ns),
+            energy_pj=dict(FPGA_KINTEX7.energy_pj),
+            parallelism=1.0,
+        )
+        assert slow.latency_s(counts) == pytest.approx(
+            FPGA_KINTEX7.latency_s(counts) * FPGA_KINTEX7.parallelism
+        )
+        assert slow.energy_j(counts) == FPGA_KINTEX7.energy_j(counts)
+
+
+class TestRegHDCosts:
+    def test_training_scales_linearly_with_k(self):
+        """Paper: 'Increasing the number of hypervectors linearly increases
+        RegHD computation cost.'"""
+        costs = []
+        for k in (2, 8, 32):
+            spec = RegHDCostSpec(10, 2000, k)
+            costs.append(reghd_train_cost(spec, 100, 10).total)
+        # Slope between successive k-values should be near-proportional.
+        ratio_a = costs[1] / costs[0]
+        ratio_b = costs[2] / costs[1]
+        assert 2.0 < ratio_a < 4.5
+        assert 3.0 < ratio_b < 4.5
+
+    def test_binary_cluster_search_cheaper(self):
+        full = RegHDCostSpec(10, 2000, 8, cluster_quant=ClusterQuant.NONE)
+        binary = RegHDCostSpec(10, 2000, 8, cluster_quant=ClusterQuant.FRAMEWORK)
+        e_full = estimate(reghd_train_cost(full, 100, 10), FPGA_KINTEX7)
+        e_bin = estimate(reghd_train_cost(binary, 100, 10), FPGA_KINTEX7)
+        assert e_bin.energy_j < e_full.energy_j
+        assert e_bin.latency_s < e_full.latency_s
+
+    def test_prediction_quant_ordering(self):
+        """binQ-binM must be the cheapest, FULL the most expensive."""
+        energies = {}
+        for pq in PredictQuant:
+            spec = RegHDCostSpec(10, 2000, 8, predict_quant=pq)
+            energies[pq] = estimate(reghd_infer_cost(spec, 100), FPGA_KINTEX7).energy_j
+        assert energies[PredictQuant.BINARY_BOTH] < energies[PredictQuant.BINARY_QUERY]
+        assert energies[PredictQuant.BINARY_QUERY] < energies[PredictQuant.FULL]
+        assert energies[PredictQuant.BINARY_MODEL] < energies[PredictQuant.FULL]
+
+    def test_inference_cheaper_than_training(self):
+        spec = RegHDCostSpec(10, 2000, 8)
+        assert (
+            reghd_infer_cost(spec, 100).total
+            < reghd_train_cost(spec, 100, 10).total
+        )
+
+    def test_amortized_encoding_cheaper(self):
+        spec = RegHDCostSpec(10, 2000, 8)
+        amortized = reghd_train_cost(spec, 100, 10, amortize_encoding=True)
+        full = reghd_train_cost(spec, 100, 10, amortize_encoding=False)
+        assert amortized.total < full.total
+
+    def test_dimension_scaling(self):
+        """Table 2: cost scales ~linearly with D."""
+        small = reghd_infer_cost(RegHDCostSpec(10, 500, 8), 10).total
+        large = reghd_infer_cost(RegHDCostSpec(10, 4000, 8), 10).total
+        assert large / small == pytest.approx(8.0, rel=0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(HardwareModelError):
+            RegHDCostSpec(0, 100, 8)
+        with pytest.raises(HardwareModelError):
+            reghd_train_cost(RegHDCostSpec(1, 10, 1), 0, 1)
+        with pytest.raises(HardwareModelError):
+            reghd_infer_cost(RegHDCostSpec(1, 10, 1), 0)
+
+    def test_from_config(self):
+        from repro.core.config import RegHDConfig
+
+        cfg = RegHDConfig(dim=256, n_models=2)
+        spec = RegHDCostSpec.from_config(5, cfg)
+        assert spec.dim == 256
+        assert spec.n_models == 2
+        assert spec.n_features == 5
+
+
+class TestDNNCosts:
+    def test_forward_macs(self):
+        spec = DNNCostSpec((10, 64, 1))
+        assert spec.forward_macs == 10 * 64 + 64
+
+    def test_training_about_4x_inference(self):
+        spec = DNNCostSpec((10, 64, 64, 1))
+        train = dnn_train_cost(spec, 100, 1)
+        infer = dnn_infer_cost(spec, 100)
+        ratio = train.get(OpKind.FLOAT_MUL) / infer.get(OpKind.FLOAT_MUL)
+        assert ratio == pytest.approx(4.0)
+
+    def test_invalid_layers(self):
+        with pytest.raises(HardwareModelError):
+            DNNCostSpec((10,))
+        with pytest.raises(HardwareModelError):
+            DNNCostSpec((10, 0, 1))
+
+    def test_reghd_trains_faster_than_dnn(self):
+        """Fig. 8's headline direction on the FPGA profile."""
+        reghd = RegHDCostSpec(10, 4000, 8, cluster_quant=ClusterQuant.FRAMEWORK)
+        dnn = DNNCostSpec((10, 256, 256, 1))
+        e_hd = estimate(reghd_train_cost(reghd, 1000, 15), FPGA_KINTEX7)
+        e_dnn = estimate(dnn_train_cost(dnn, 1000, 60), FPGA_KINTEX7)
+        assert e_hd.speedup_vs(e_dnn) > 1.0
+        assert e_hd.efficiency_vs(e_dnn) > 1.0
+
+
+class TestBaselineHDCosts:
+    def test_search_scales_with_bins(self):
+        few = baseline_hd_infer_cost(BaselineHDCostSpec(10, 2000, 8), 10)
+        many = baseline_hd_infer_cost(BaselineHDCostSpec(10, 2000, 256), 10)
+        assert many.total > few.total * 10
+
+    def test_reghd_cheaper_than_baseline_hd(self):
+        reghd = RegHDCostSpec(10, 4000, 8)
+        bhd = BaselineHDCostSpec(10, 4000, 128)
+        e_hd = estimate(reghd_train_cost(reghd, 100, 10), FPGA_KINTEX7)
+        e_bhd = estimate(baseline_hd_train_cost(bhd, 100, 10), FPGA_KINTEX7)
+        assert e_hd.energy_j < e_bhd.energy_j
+
+    def test_invalid(self):
+        with pytest.raises(HardwareModelError):
+            BaselineHDCostSpec(10, 100, 1)
+
+
+class TestAnalysis:
+    def _estimates(self):
+        spec_a = RegHDCostSpec(10, 1000, 8)
+        spec_b = RegHDCostSpec(10, 1000, 8, cluster_quant=ClusterQuant.FRAMEWORK)
+        return {
+            "full": estimate(reghd_train_cost(spec_a, 100, 10), FPGA_KINTEX7),
+            "binary": estimate(reghd_train_cost(spec_b, 100, 10), FPGA_KINTEX7),
+        }
+
+    def test_relative_table_baseline_is_one(self):
+        rows = relative_table("full", self._estimates())
+        full_row = next(r for r in rows if r.label == "full")
+        assert full_row.speedup == pytest.approx(1.0)
+        assert full_row.efficiency == pytest.approx(1.0)
+
+    def test_binary_faster(self):
+        rows = relative_table("full", self._estimates())
+        binary_row = next(r for r in rows if r.label == "binary")
+        assert binary_row.speedup > 1.0
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(HardwareModelError):
+            relative_table("nope", self._estimates())
+
+    def test_normalize_to(self):
+        rows = relative_table("full", self._estimates())
+        renorm = normalize_to(rows, "binary")
+        binary_row = next(r for r in renorm if r.label == "binary")
+        assert binary_row.speedup == pytest.approx(1.0)
+
+    def test_normalize_unknown_label(self):
+        rows = relative_table("full", self._estimates())
+        with pytest.raises(HardwareModelError):
+            normalize_to(rows, "zzz")
+
+    def test_format_table_contains_labels(self):
+        text = format_table(relative_table("full", self._estimates()), title="T")
+        assert "T" in text
+        assert "full" in text and "binary" in text

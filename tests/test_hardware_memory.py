@@ -1,0 +1,107 @@
+"""Tests for the memory-footprint model."""
+
+import pytest
+
+from repro.core import ClusterQuant, PredictQuant
+from repro.exceptions import HardwareModelError
+from repro.hardware.cost_model import (
+    BaselineHDCostSpec,
+    DNNCostSpec,
+    RegHDCostSpec,
+)
+from repro.hardware.memory import (
+    MemoryFootprint,
+    baseline_hd_memory,
+    dnn_memory,
+    reghd_memory,
+)
+
+
+class TestRegHDMemory:
+    def test_full_precision_parameters(self):
+        spec = RegHDCostSpec(10, 1000, 8)
+        fp = reghd_memory(spec, count_encoder=False)
+        # clusters + models: 2 * 8 * 1000 int32 elements.
+        assert fp.parameters_bytes == 2 * 8 * 1000 * 4
+
+    def test_binary_cluster_shrinks_storage(self):
+        full = reghd_memory(
+            RegHDCostSpec(10, 1000, 8), count_encoder=False
+        )
+        binary = reghd_memory(
+            RegHDCostSpec(10, 1000, 8, cluster_quant=ClusterQuant.FRAMEWORK),
+            count_encoder=False,
+        )
+        # Binary clusters: 32x smaller cluster store.
+        assert binary.parameters_bytes < full.parameters_bytes
+
+    def test_binary_model_is_one_bit_per_element(self):
+        spec = RegHDCostSpec(
+            10, 1000, 8,
+            cluster_quant=ClusterQuant.FRAMEWORK,
+            predict_quant=PredictQuant.BINARY_BOTH,
+        )
+        fp = reghd_memory(spec, count_encoder=False)
+        assert fp.parameters_bytes == 2 * 8 * 1000 / 8  # both stores 1-bit
+
+    def test_sparse_model_cheaper_than_dense(self):
+        dense = reghd_memory(RegHDCostSpec(10, 1000, 8), count_encoder=False)
+        sparse = reghd_memory(
+            RegHDCostSpec(10, 1000, 8, model_density=0.1),
+            count_encoder=False,
+        )
+        assert sparse.parameters_bytes < dense.parameters_bytes
+
+    def test_encoder_term(self):
+        spec = RegHDCostSpec(10, 1000, 8)
+        with_enc = reghd_memory(spec)
+        without = reghd_memory(spec, count_encoder=False)
+        assert with_enc.encoder_bytes > 0
+        assert without.encoder_bytes == 0
+        assert with_enc.total_bytes > without.total_bytes
+
+    def test_total_and_kib(self):
+        fp = MemoryFootprint(encoder_bytes=1024.0, parameters_bytes=1024.0)
+        assert fp.total_bytes == 2048.0
+        assert fp.total_kib == 2.0
+
+    def test_invalid_bits(self):
+        with pytest.raises(HardwareModelError):
+            reghd_memory(RegHDCostSpec(10, 100, 2), int_bits=0)
+
+
+class TestComparativeMemory:
+    def test_quantized_reghd_smaller_than_dnn(self):
+        """The deployment story: a fully binary RegHD-8 at D=1000 beats a
+        256x256 DNN's float weights."""
+        reghd = reghd_memory(
+            RegHDCostSpec(
+                10, 1000, 8,
+                cluster_quant=ClusterQuant.FRAMEWORK,
+                predict_quant=PredictQuant.BINARY_BOTH,
+            ),
+            count_encoder=False,
+        )
+        dnn = dnn_memory(DNNCostSpec((10, 256, 256, 1)))
+        assert reghd.total_bytes < dnn.total_bytes
+
+    def test_baseline_hd_parameter_heavy(self):
+        """128 class hypervectors dwarf RegHD's 8+8."""
+        reghd = reghd_memory(RegHDCostSpec(10, 1000, 8), count_encoder=False)
+        bhd = baseline_hd_memory(
+            BaselineHDCostSpec(10, 1000, 128), count_encoder=False
+        )
+        assert bhd.parameters_bytes > reghd.parameters_bytes * 4
+
+    def test_dnn_memory_value(self):
+        dnn = dnn_memory(DNNCostSpec((4, 8, 1)))
+        # weights 4*8 + 8*1 = 40, biases 8 + 1 = 9 -> 49 float32.
+        assert dnn.parameters_bytes == 49 * 4
+
+    def test_invalid_float_bits(self):
+        with pytest.raises(HardwareModelError):
+            dnn_memory(DNNCostSpec((4, 8, 1)), float_bits=0)
+
+    def test_invalid_baseline_bits(self):
+        with pytest.raises(HardwareModelError):
+            baseline_hd_memory(BaselineHDCostSpec(4, 100, 8), int_bits=-1)

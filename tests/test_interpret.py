@@ -1,0 +1,138 @@
+"""Tests for the interpretability utilities."""
+
+import numpy as np
+import pytest
+
+from repro import MultiModelRegHD, RegHDConfig, SingleModelRegHD
+from repro.core import ConvergencePolicy
+from repro.datasets import friedman1
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.interpret import (
+    cluster_profile,
+    feature_importance,
+    prediction_breakdown,
+)
+
+CONV = ConvergencePolicy(max_epochs=12, patience=4)
+
+
+@pytest.fixture(scope="module")
+def friedman_model():
+    """RegHD trained on Friedman #1 with 3 distractor features."""
+    ds = friedman1(600, n_features=8, noise=0.2, seed=0)
+    model = MultiModelRegHD(
+        8, RegHDConfig(dim=1000, n_models=4, seed=0, convergence=CONV)
+    ).fit(ds.X, ds.y)
+    return model, ds
+
+
+class TestFeatureImportance:
+    def test_distractors_score_low(self, friedman_model):
+        """Friedman #1 uses features 0-4; 5-7 are noise. The pipeline
+        sensitivity must reflect that."""
+        model, ds = friedman_model
+        imp = feature_importance(model, ds.X[:100])
+        informative = imp[:5].mean()
+        distractor = imp[5:].mean()
+        assert informative > 3.0 * distractor
+
+    def test_strongest_feature_is_informative(self, friedman_model):
+        model, ds = friedman_model
+        imp = feature_importance(model, ds.X[:100])
+        assert int(np.argmax(imp)) < 5
+
+    def test_shape_and_nonnegative(self, friedman_model):
+        model, ds = friedman_model
+        imp = feature_importance(model, ds.X[:20])
+        assert imp.shape == (8,)
+        assert np.all(imp >= 0)
+
+    def test_single_model_supported(self):
+        ds = friedman1(200, n_features=6, seed=1)
+        model = SingleModelRegHD(6, dim=512, seed=0, convergence=CONV).fit(
+            ds.X, ds.y
+        )
+        imp = feature_importance(model, ds.X[:20])
+        assert imp.shape == (6,)
+
+    def test_requires_fitted(self):
+        with pytest.raises(NotFittedError):
+            feature_importance(SingleModelRegHD(3, dim=64), np.zeros((2, 3)))
+
+    def test_invalid_epsilon(self, friedman_model):
+        model, ds = friedman_model
+        with pytest.raises(ConfigurationError):
+            feature_importance(model, ds.X[:5], epsilon=0.0)
+
+
+class TestPredictionBreakdown:
+    def test_contributions_sum_to_prediction(self, friedman_model):
+        model, ds = friedman_model
+        explanation = prediction_breakdown(model, ds.X[0])
+        assert explanation.check_sums() == pytest.approx(
+            explanation.prediction, rel=1e-9
+        )
+
+    def test_confidences_form_distribution(self, friedman_model):
+        model, ds = friedman_model
+        explanation = prediction_breakdown(model, ds.X[3])
+        total_conf = sum(c.confidence for c in explanation.contributions)
+        assert total_conf == pytest.approx(1.0)
+        assert all(c.confidence >= 0 for c in explanation.contributions)
+
+    def test_dominant_cluster_matches_assignment(self, friedman_model):
+        model, ds = friedman_model
+        explanation = prediction_breakdown(model, ds.X[7])
+        assigned = model.cluster_assignments(ds.X[7:8])[0]
+        # Dominant softmax confidence coincides with the argmax-similarity
+        # assignment (softmax is monotone in similarity).
+        assert explanation.dominant_cluster == assigned
+
+    def test_one_row_only(self, friedman_model):
+        model, ds = friedman_model
+        with pytest.raises(ConfigurationError):
+            prediction_breakdown(model, ds.X[:2])
+
+    def test_requires_fitted(self):
+        model = MultiModelRegHD(3, RegHDConfig(dim=64, n_models=2))
+        with pytest.raises(NotFittedError):
+            prediction_breakdown(model, np.zeros(3))
+
+
+class TestClusterProfile:
+    def test_counts_sum_to_dataset(self, friedman_model):
+        model, ds = friedman_model
+        profiles = cluster_profile(model, ds.X[:200])
+        assert sum(p.count for p in profiles) == 200
+        assert sum(p.share for p in profiles) == pytest.approx(1.0)
+
+    def test_one_profile_per_cluster(self, friedman_model):
+        model, ds = friedman_model
+        profiles = cluster_profile(model, ds.X[:50])
+        assert len(profiles) == model.n_models
+        assert [p.cluster for p in profiles] == list(range(model.n_models))
+
+    def test_empty_cluster_reports_nan(self):
+        """With k far larger than the data's structure some clusters go
+        unused and must report NaN stats rather than crash."""
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 3)) * 0.01  # tight blob -> one cluster
+        y = X[:, 0]
+        model = MultiModelRegHD(
+            3, RegHDConfig(dim=256, n_models=16, seed=0, convergence=CONV)
+        ).fit(X, y)
+        profiles = cluster_profile(model, X)
+        empty = [p for p in profiles if p.count == 0]
+        assert empty, "expected at least one unused cluster"
+        assert np.isnan(empty[0].mean_prediction)
+
+    def test_feature_means_shape(self, friedman_model):
+        model, ds = friedman_model
+        profiles = cluster_profile(model, ds.X[:50])
+        for p in profiles:
+            assert p.feature_means.shape == (8,)
+
+    def test_requires_fitted(self):
+        model = MultiModelRegHD(3, RegHDConfig(dim=64, n_models=2))
+        with pytest.raises(NotFittedError):
+            cluster_profile(model, np.zeros((2, 3)))

@@ -1,0 +1,98 @@
+"""Tests for regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionalityError
+from repro.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    normalized_quality,
+    quality_loss,
+    r2_score,
+    root_mean_squared_error,
+)
+
+
+class TestMSE:
+    def test_perfect(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(DimensionalityError):
+            mean_squared_error([], [])
+
+    def test_symmetric(self):
+        a, b = [1.0, 5.0], [2.0, 3.0]
+        assert mean_squared_error(a, b) == mean_squared_error(b, a)
+
+
+class TestRMSEAndMAE:
+    def test_rmse_is_sqrt_mse(self):
+        y, p = [0.0, 0.0], [3.0, 4.0]
+        assert root_mean_squared_error(y, p) == pytest.approx(
+            np.sqrt(mean_squared_error(y, p))
+        )
+
+    def test_mae_known(self):
+        assert mean_absolute_error([0.0, 0.0], [1.0, -3.0]) == pytest.approx(2.0)
+
+    def test_mae_le_rmse(self):
+        rng = np.random.default_rng(0)
+        y, p = rng.normal(size=50), rng.normal(size=50)
+        assert mean_absolute_error(y, p) <= root_mean_squared_error(y, p) + 1e-12
+
+
+class TestR2:
+    def test_perfect_prediction(self):
+        y = [1.0, 2.0, 3.0]
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, y.mean())
+        assert r2_score(y, pred) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        assert r2_score([1.0, 2.0, 3.0], [3.0, 1.0, -2.0]) < 0.0
+
+    def test_constant_target_perfect(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+
+    def test_constant_target_imperfect(self):
+        assert r2_score([2.0, 2.0], [2.0, 3.0]) == 0.0
+
+
+class TestNormalizedQuality:
+    def test_reference_scores_one(self):
+        assert normalized_quality(10.0, 10.0) == pytest.approx(1.0)
+
+    def test_worse_scores_below_one(self):
+        assert normalized_quality(20.0, 10.0) == pytest.approx(0.5)
+
+    def test_better_scores_above_one(self):
+        assert normalized_quality(5.0, 10.0) == pytest.approx(2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            normalized_quality(0.0, 1.0)
+        with pytest.raises(ValueError):
+            normalized_quality(1.0, -1.0)
+
+
+class TestQualityLoss:
+    def test_no_loss_at_reference(self):
+        assert quality_loss(10.0, 10.0) == pytest.approx(0.0)
+
+    def test_fifty_percent(self):
+        assert quality_loss(20.0, 10.0) == pytest.approx(50.0)
+
+    def test_clipped_at_zero_when_better(self):
+        assert quality_loss(5.0, 10.0) == 0.0

@@ -1,0 +1,146 @@
+"""Tests for fault injection and robustness sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mlp import MLPRegressor
+from repro.core.config import ConvergencePolicy, RegHDConfig
+from repro.core.multi import MultiModelRegHD
+from repro.core.single import SingleModelRegHD
+from repro.exceptions import ConfigurationError
+from repro.noise.injection import (
+    add_gaussian_noise,
+    flip_bits,
+    flip_signs,
+    stuck_at_zero,
+)
+from repro.noise.robustness import sweep_mlp, sweep_reghd
+
+
+class TestInjectors:
+    def test_flip_signs_rate_zero_identity(self):
+        v = np.random.default_rng(0).normal(size=100)
+        np.testing.assert_array_equal(flip_signs(v, 0.0, seed=1), v)
+
+    def test_flip_signs_rate_one_negates(self):
+        v = np.random.default_rng(0).normal(size=100)
+        np.testing.assert_array_equal(flip_signs(v, 1.0, seed=1), -v)
+
+    def test_flip_signs_fraction(self):
+        v = np.ones(100_000)
+        out = flip_signs(v, 0.3, seed=0)
+        assert np.mean(out < 0) == pytest.approx(0.3, abs=0.01)
+
+    def test_flip_signs_does_not_mutate_input(self):
+        v = np.ones(10)
+        flip_signs(v, 1.0, seed=0)
+        np.testing.assert_array_equal(v, 1.0)
+
+    def test_flip_bits(self):
+        bits = np.zeros(10_000, dtype=np.uint8)
+        out = flip_bits(bits, 0.25, seed=0)
+        assert out.mean() == pytest.approx(0.25, abs=0.02)
+
+    def test_flip_bits_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            flip_bits(np.array([0, 2]), 0.1)
+
+    def test_gaussian_noise_rate_zero(self):
+        v = np.random.default_rng(0).normal(size=50)
+        np.testing.assert_array_equal(add_gaussian_noise(v, 0.0, seed=1), v)
+
+    def test_gaussian_noise_perturbs(self):
+        v = np.ones(1000)
+        out = add_gaussian_noise(v, 1.0, seed=0, relative_sigma=1.0)
+        assert not np.array_equal(out, v)
+        assert out.std() > 0.5
+
+    def test_stuck_at_zero(self):
+        v = np.ones(10_000)
+        out = stuck_at_zero(v, 0.4, seed=0)
+        assert np.mean(out == 0.0) == pytest.approx(0.4, abs=0.02)
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.1])
+    def test_invalid_rates(self, rate):
+        with pytest.raises(ConfigurationError):
+            flip_signs(np.ones(4), rate)
+
+    def test_deterministic(self):
+        v = np.random.default_rng(0).normal(size=64)
+        np.testing.assert_array_equal(
+            flip_signs(v, 0.5, seed=7), flip_signs(v, 0.5, seed=7)
+        )
+
+
+@pytest.fixture
+def trained_models(tiny_regression):
+    X, y, Xte, yte = tiny_regression
+    conv = ConvergencePolicy(max_epochs=8, patience=3)
+    hd = MultiModelRegHD(
+        5, RegHDConfig(dim=512, n_models=4, seed=0, convergence=conv)
+    ).fit(X, y)
+    mlp = MLPRegressor(hidden=(16, 16), epochs=60, seed=0).fit(X, y)
+    return hd, mlp, Xte, yte
+
+
+class TestSweeps:
+    def test_reghd_curve_structure(self, trained_models):
+        hd, _, Xte, yte = trained_models
+        curve = sweep_reghd(
+            hd, Xte, yte, rates=[0.0, 0.05, 0.2], repeats=2, seed=0
+        )
+        assert len(curve.points) == 3
+        assert curve.points[0].rate == 0.0
+        assert np.all(np.isfinite(curve.mses))
+
+    def test_model_restored_after_sweep(self, trained_models):
+        hd, _, Xte, yte = trained_models
+        before = hd.predict(Xte)
+        sweep_reghd(hd, Xte, yte, rates=[0.0, 0.5], repeats=1, seed=0)
+        np.testing.assert_allclose(hd.predict(Xte), before)
+
+    def test_mlp_restored_after_sweep(self, trained_models):
+        _, mlp, Xte, yte = trained_models
+        before = mlp.predict(Xte)
+        sweep_mlp(mlp, Xte, yte, rates=[0.0, 0.5], repeats=1, seed=0)
+        np.testing.assert_allclose(mlp.predict(Xte), before)
+
+    def test_quality_degrades_with_rate(self, trained_models):
+        hd, _, Xte, yte = trained_models
+        curve = sweep_reghd(
+            hd, Xte, yte, rates=[0.0, 0.3], repeats=3, seed=0
+        )
+        assert curve.points[1].mse > curve.points[0].mse
+
+    def test_single_model_supported(self, tiny_regression):
+        X, y, Xte, yte = tiny_regression
+        model = SingleModelRegHD(
+            5, dim=256, seed=0, convergence=ConvergencePolicy(max_epochs=5, patience=2)
+        ).fit(X, y)
+        curve = sweep_reghd(model, Xte, yte, rates=[0.0, 0.1], repeats=1, seed=0)
+        assert len(curve.points) == 2
+
+    def test_degradation_relative(self, trained_models):
+        hd, _, Xte, yte = trained_models
+        curve = sweep_reghd(hd, Xte, yte, rates=[0.0, 0.2], repeats=2, seed=0)
+        deg = curve.degradation()
+        assert deg[0] == pytest.approx(0.0)
+        assert deg[1] >= 0.0
+
+    def test_rates_must_start_at_zero(self, trained_models):
+        hd, _, Xte, yte = trained_models
+        with pytest.raises(ConfigurationError):
+            sweep_reghd(hd, Xte, yte, rates=[0.1, 0.2])
+
+    def test_unknown_injector(self, trained_models):
+        hd, _, Xte, yte = trained_models
+        with pytest.raises(ConfigurationError):
+            sweep_reghd(hd, Xte, yte, rates=[0.0], injector="emp")
+
+    def test_reghd_more_robust_than_mlp(self, trained_models):
+        """The paper's robustness claim, at a moderate error rate."""
+        hd, mlp, Xte, yte = trained_models
+        rates = [0.0, 0.1]
+        hd_curve = sweep_reghd(hd, Xte, yte, rates=rates, repeats=3, seed=0)
+        mlp_curve = sweep_mlp(mlp, Xte, yte, rates=rates, repeats=3, seed=0)
+        assert hd_curve.degradation()[1] < mlp_curve.degradation()[1]

@@ -1,0 +1,108 @@
+"""Tests for training-phase fault injection."""
+
+import numpy as np
+import pytest
+
+from repro import MultiModelRegHD, RegHDConfig
+from repro.baselines import MLPRegressor
+from repro.exceptions import ConfigurationError
+from repro.noise.training_faults import (
+    TrainingFaultCurve,
+    train_mlp_with_faults,
+    train_reghd_with_faults,
+)
+
+
+@pytest.fixture(scope="module")
+def task():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 4))
+    y = np.sin(2 * X[:, 0]) + X[:, 1]
+    Xte = rng.normal(size=(150, 4))
+    yte = np.sin(2 * Xte[:, 0]) + Xte[:, 1]
+    return X, y, Xte, yte
+
+
+def _reghd_factory():
+    return MultiModelRegHD(4, RegHDConfig(dim=512, n_models=4, seed=0))
+
+
+def _mlp_factory():
+    return MLPRegressor(
+        hidden=(32, 32), optimizer="sgd", lr=0.05, epochs=1,
+        early_stopping_patience=0, seed=0,
+    )
+
+
+class TestRegHDTrainingFaults:
+    def test_curve_structure(self, task):
+        X, y, Xte, yte = task
+        curve = train_reghd_with_faults(
+            _reghd_factory, X, y, Xte, yte, rates=[0.0, 0.1], epochs=4
+        )
+        assert isinstance(curve, TrainingFaultCurve)
+        assert len(curve.points) == 2
+        assert np.all(np.isfinite(curve.mses))
+
+    def test_faults_degrade_quality(self, task):
+        X, y, Xte, yte = task
+        curve = train_reghd_with_faults(
+            _reghd_factory, X, y, Xte, yte, rates=[0.0, 0.4], epochs=4
+        )
+        assert curve.points[1].mse >= curve.points[0].mse * 0.9
+
+    def test_graceful_at_moderate_rate(self, task):
+        """The headline: RegHD still learns while its parameters are
+        corrupted every epoch."""
+        X, y, Xte, yte = task
+        curve = train_reghd_with_faults(
+            _reghd_factory, X, y, Xte, yte, rates=[0.0, 0.05], epochs=6
+        )
+        assert curve.degradation()[1] < 1.0  # < 100 % MSE growth
+
+    def test_rates_validation(self, task):
+        X, y, Xte, yte = task
+        with pytest.raises(ConfigurationError):
+            train_reghd_with_faults(
+                _reghd_factory, X, y, Xte, yte, rates=[0.1], epochs=2
+            )
+        with pytest.raises(ConfigurationError):
+            train_reghd_with_faults(
+                _reghd_factory, X, y, Xte, yte, rates=[0.0], epochs=0
+            )
+        with pytest.raises(ConfigurationError):
+            train_reghd_with_faults(
+                _reghd_factory, X, y, Xte, yte, rates=[0.0], injector="zap"
+            )
+
+    def test_deterministic(self, task):
+        X, y, Xte, yte = task
+        a = train_reghd_with_faults(
+            _reghd_factory, X, y, Xte, yte, rates=[0.0, 0.1], epochs=3, seed=5
+        )
+        b = train_reghd_with_faults(
+            _reghd_factory, X, y, Xte, yte, rates=[0.0, 0.1], epochs=3, seed=5
+        )
+        np.testing.assert_allclose(a.mses, b.mses)
+
+
+class TestMLPTrainingFaults:
+    def test_curve_structure(self, task):
+        X, y, Xte, yte = task
+        curve = train_mlp_with_faults(
+            _mlp_factory, X, y, Xte, yte, rates=[0.0, 0.05], epochs=4
+        )
+        assert len(curve.points) == 2
+        assert np.all(np.isfinite(curve.mses))
+
+    def test_mlp_more_fragile_than_reghd(self, task):
+        """The Sec.-1 claim: training-phase faults hurt the DNN far more."""
+        X, y, Xte, yte = task
+        rates = [0.0, 0.05]
+        hd = train_reghd_with_faults(
+            _reghd_factory, X, y, Xte, yte, rates=rates, epochs=6
+        )
+        mlp = train_mlp_with_faults(
+            _mlp_factory, X, y, Xte, yte, rates=rates, epochs=6
+        )
+        assert mlp.degradation()[1] > hd.degradation()[1]

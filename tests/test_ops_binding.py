@@ -1,0 +1,75 @@
+"""Tests for binding and permutation operations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionalityError
+from repro.ops.binding import bind, permute, unbind, xor_bind
+from repro.ops.generate import random_binary, random_bipolar
+from repro.ops.similarity import cosine_similarity
+
+
+class TestBind:
+    def test_bipolar_self_inverse(self):
+        a = random_bipolar(1, 256, seed=0)[0].astype(np.float64)
+        b = random_bipolar(1, 256, seed=1)[0].astype(np.float64)
+        np.testing.assert_allclose(unbind(bind(a, b), b), a)
+
+    def test_bound_dissimilar_to_operands(self):
+        a = random_bipolar(1, 4096, seed=2)[0].astype(np.float64)
+        b = random_bipolar(1, 4096, seed=3)[0].astype(np.float64)
+        bound = bind(a, b)
+        assert abs(cosine_similarity(bound, a)) < 0.1
+        assert abs(cosine_similarity(bound, b)) < 0.1
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DimensionalityError):
+            bind(np.ones(4), np.ones(5))
+
+    def test_elementwise(self):
+        np.testing.assert_allclose(
+            bind([1.0, -1.0, 2.0], [2.0, 3.0, -1.0]), [2.0, -3.0, -2.0]
+        )
+
+
+class TestXorBind:
+    def test_self_inverse(self):
+        a = random_binary(1, 128, seed=0)[0]
+        b = random_binary(1, 128, seed=1)[0]
+        np.testing.assert_array_equal(xor_bind(xor_bind(a, b), b), a)
+
+    def test_known_values(self):
+        a = np.array([0, 0, 1, 1], dtype=np.uint8)
+        b = np.array([0, 1, 0, 1], dtype=np.uint8)
+        np.testing.assert_array_equal(xor_bind(a, b), [0, 1, 1, 0])
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            xor_bind(np.array([0, 2]), np.array([0, 1]))
+
+
+class TestPermute:
+    def test_roundtrip(self):
+        v = np.arange(8.0)
+        np.testing.assert_allclose(permute(permute(v, 3), -3), v)
+
+    def test_shift_moves_elements(self):
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(permute(v, 1), [4.0, 1.0, 2.0, 3.0])
+
+    def test_permuted_nearly_orthogonal(self):
+        v = random_bipolar(1, 4096, seed=4)[0].astype(np.float64)
+        assert abs(cosine_similarity(v, permute(v, 1))) < 0.1
+
+    def test_full_rotation_identity(self):
+        v = np.arange(6.0)
+        np.testing.assert_allclose(permute(v, 6), v)
+
+    def test_batch_rotation(self):
+        batch = np.arange(8.0).reshape(2, 4)
+        out = permute(batch, 1)
+        np.testing.assert_allclose(out[0], [3.0, 0.0, 1.0, 2.0])
+
+    def test_rejects_3d(self):
+        with pytest.raises(DimensionalityError):
+            permute(np.zeros((2, 2, 2)), 1)

@@ -1,0 +1,109 @@
+"""Tests for bundling operations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionalityError
+from repro.ops.bundling import Accumulator, bundle, majority_bundle, weighted_bundle
+from repro.ops.generate import random_bipolar
+from repro.ops.similarity import cosine_similarity
+
+
+class TestBundle:
+    def test_sum(self):
+        out = bundle([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(out, [4.0, 6.0])
+
+    def test_bundle_similar_to_members(self):
+        vecs = random_bipolar(5, 2048, seed=0).astype(np.float64)
+        b = bundle(vecs)
+        for v in vecs:
+            assert cosine_similarity(b, v) > 0.3
+
+    def test_rejects_1d(self):
+        with pytest.raises(DimensionalityError):
+            bundle([1.0, 2.0])
+
+
+class TestWeightedBundle:
+    def test_weights_applied(self):
+        out = weighted_bundle([[1.0, 0.0], [0.0, 1.0]], [2.0, 3.0])
+        np.testing.assert_allclose(out, [2.0, 3.0])
+
+    def test_zero_weight_removes_member(self):
+        vecs = random_bipolar(2, 256, seed=1).astype(np.float64)
+        out = weighted_bundle(vecs, [1.0, 0.0])
+        np.testing.assert_allclose(out, vecs[0])
+
+    def test_weight_length_mismatch_raises(self):
+        with pytest.raises(DimensionalityError):
+            weighted_bundle([[1.0, 2.0]], [1.0, 2.0])
+
+
+class TestMajorityBundle:
+    def test_values_bipolar(self):
+        vecs = random_bipolar(5, 128, seed=2)
+        out = majority_bundle(vecs)
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_odd_count_majority(self):
+        vecs = np.array([[1, 1], [1, -1], [-1, -1]], dtype=np.int8)
+        np.testing.assert_array_equal(majority_bundle(vecs), [1, -1])
+
+    def test_tie_value(self):
+        vecs = np.array([[1, -1], [-1, 1]], dtype=np.int8)
+        np.testing.assert_array_equal(
+            majority_bundle(vecs, tie_value=-1), [-1, -1]
+        )
+
+    def test_invalid_tie_value(self):
+        with pytest.raises(ValueError):
+            majority_bundle(np.ones((2, 4)), tie_value=0)
+
+
+class TestAccumulator:
+    def test_add_and_value(self):
+        acc = Accumulator(4)
+        acc.add([1.0, 2.0, 3.0, 4.0])
+        acc.add([1.0, 0.0, 0.0, 0.0], weight=2.0)
+        np.testing.assert_allclose(acc.value(), [3.0, 2.0, 3.0, 4.0])
+        assert acc.count == 2
+
+    def test_mean(self):
+        acc = Accumulator(2)
+        acc.add([2.0, 4.0])
+        acc.add([4.0, 8.0])
+        np.testing.assert_allclose(acc.mean(), [3.0, 6.0])
+
+    def test_mean_empty_is_zero(self):
+        acc = Accumulator(3)
+        np.testing.assert_allclose(acc.mean(), [0.0, 0.0, 0.0])
+
+    def test_reset(self):
+        acc = Accumulator(2)
+        acc.add([1.0, 1.0])
+        acc.reset()
+        assert acc.count == 0
+        np.testing.assert_allclose(acc.value(), [0.0, 0.0])
+
+    def test_value_returns_copy(self):
+        acc = Accumulator(2)
+        acc.add([1.0, 1.0])
+        acc.value()[0] = 99.0
+        assert acc.value()[0] == 1.0
+
+    def test_shape_mismatch_raises(self):
+        acc = Accumulator(3)
+        with pytest.raises(DimensionalityError):
+            acc.add([1.0, 2.0])
+
+    def test_invalid_dim_raises(self):
+        with pytest.raises(ValueError):
+            Accumulator(0)
+
+    def test_matches_bundle_of_equivalent_batch(self):
+        vecs = random_bipolar(6, 64, seed=3).astype(np.float64)
+        acc = Accumulator(64)
+        for v in vecs:
+            acc.add(v)
+        np.testing.assert_allclose(acc.value(), bundle(vecs))

@@ -1,0 +1,109 @@
+"""Tests for random hypervector generation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.ops.generate import (
+    random_binary,
+    random_bipolar,
+    random_gaussian,
+    random_level_set,
+    random_orthogonal_bipolar,
+)
+
+
+class TestRandomBipolar:
+    def test_values_are_bipolar(self):
+        out = random_bipolar(10, 128, seed=0)
+        assert set(np.unique(out)) <= {-1, 1}
+        assert out.dtype == np.int8
+
+    def test_shape(self):
+        assert random_bipolar(3, 64, seed=0).shape == (3, 64)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            random_bipolar(4, 32, seed=9), random_bipolar(4, 32, seed=9)
+        )
+
+    def test_near_orthogonality(self):
+        vecs = random_bipolar(20, 4096, seed=1).astype(np.float64)
+        gram = vecs @ vecs.T / 4096
+        off_diag = gram[~np.eye(20, dtype=bool)]
+        # sd of cosine is 1/sqrt(D) ~ 0.0156; 5 sigma bound.
+        assert np.max(np.abs(off_diag)) < 5.0 / np.sqrt(4096)
+
+    def test_balanced_signs(self):
+        vec = random_bipolar(1, 10_000, seed=2)[0]
+        assert abs(vec.mean()) < 0.05
+
+    @pytest.mark.parametrize("count,dim", [(0, 8), (3, 0), (-1, 8)])
+    def test_invalid_shape_raises(self, count, dim):
+        with pytest.raises(ConfigurationError):
+            random_bipolar(count, dim)
+
+
+class TestRandomBinary:
+    def test_values_are_binary(self):
+        out = random_binary(5, 64, seed=0)
+        assert set(np.unique(out)) <= {0, 1}
+        assert out.dtype == np.uint8
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            random_binary(2, 32, seed=3), random_binary(2, 32, seed=3)
+        )
+
+
+class TestRandomGaussian:
+    def test_moments(self):
+        out = random_gaussian(4, 20_000, seed=0)
+        assert abs(out.mean()) < 0.02
+        assert abs(out.std() - 1.0) < 0.02
+
+    def test_scale(self):
+        out = random_gaussian(2, 20_000, seed=0, scale=3.0)
+        assert abs(out.std() - 3.0) < 0.1
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            random_gaussian(1, 8, scale=0.0)
+
+
+class TestRandomOrthogonalBipolar:
+    def test_pairwise_similarity_bounded(self):
+        vecs = random_orthogonal_bipolar(8, 1024, seed=0).astype(np.float64)
+        gram = vecs @ vecs.T / 1024
+        off = gram[~np.eye(8, dtype=bool)]
+        assert np.max(np.abs(off)) <= 4.0 / np.sqrt(1024) + 1e-12
+
+    def test_exhausted_budget_raises(self):
+        # With max_tries=1 the draw budget equals the request, so any
+        # rejection fails the run; at this count/dim rejections are
+        # overwhelmingly likely.
+        with pytest.raises(ConfigurationError, match="near-orthogonal"):
+            random_orthogonal_bipolar(4000, 36, seed=0, max_tries=1)
+
+
+class TestRandomLevelSet:
+    def test_shape_and_values(self):
+        levels = random_level_set(8, 512, seed=0)
+        assert levels.shape == (8, 512)
+        assert set(np.unique(levels)) <= {-1, 1}
+
+    def test_similarity_decays_with_level_distance(self):
+        levels = random_level_set(16, 4096, seed=1).astype(np.float64)
+        sim_near = levels[0] @ levels[1] / 4096
+        sim_mid = levels[0] @ levels[8] / 4096
+        sim_far = levels[0] @ levels[15] / 4096
+        assert sim_near > sim_mid > sim_far
+
+    def test_extremes_nearly_orthogonal(self):
+        levels = random_level_set(16, 4096, seed=2).astype(np.float64)
+        sim = levels[0] @ levels[-1] / 4096
+        assert abs(sim) < 0.15
+
+    def test_requires_two_levels(self):
+        with pytest.raises(ConfigurationError):
+            random_level_set(1, 64)

@@ -1,0 +1,112 @@
+"""Tests for the associative item memory."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.noise import flip_signs
+from repro.ops.bundling import bundle
+from repro.ops.item_memory import ItemMemory
+
+
+class TestItemMemory:
+    def test_add_and_get_roundtrip(self):
+        memory = ItemMemory(64, seed=0)
+        stored = memory.add("a")
+        np.testing.assert_array_equal(memory.get("a"), stored)
+
+    def test_auto_vectors_are_bipolar(self):
+        memory = ItemMemory(128, seed=0)
+        vec = memory.add("x")
+        assert set(np.unique(vec)) <= {-1.0, 1.0}
+
+    def test_explicit_vector_stored_copy(self):
+        memory = ItemMemory(4, seed=0)
+        original = np.array([1.0, -1.0, 1.0, 1.0])
+        memory.add("v", original)
+        original[0] = 99.0
+        assert memory.get("v")[0] == 1.0
+
+    def test_duplicate_name_rejected(self):
+        memory = ItemMemory(8, seed=0)
+        memory.add("a")
+        with pytest.raises(ConfigurationError):
+            memory.add("a")
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            ItemMemory(8).get("ghost")
+
+    def test_wrong_shape_rejected(self):
+        memory = ItemMemory(8, seed=0)
+        with pytest.raises(ConfigurationError):
+            memory.add("bad", np.ones(9))
+
+    def test_len_and_contains(self):
+        memory = ItemMemory(8, seed=0)
+        memory.add("a")
+        memory.add("b")
+        assert len(memory) == 2
+        assert "a" in memory and "c" not in memory
+        assert memory.names == ("a", "b")
+
+
+class TestCleanup:
+    def test_exact_recall(self):
+        memory = ItemMemory(256, seed=0)
+        for name in "abcdef":
+            memory.add(name)
+        name, sim = memory.cleanup(memory.get("d"))
+        assert name == "d"
+        assert sim == pytest.approx(1.0)
+
+    def test_noisy_recall(self):
+        """Cleanup survives 20 % sign flips — the holographic robustness
+        property."""
+        memory = ItemMemory(2048, seed=0)
+        for name in "abcdefgh":
+            memory.add(name)
+        noisy = flip_signs(memory.get("c"), 0.2, seed=1)
+        name, sim = memory.cleanup(noisy)
+        assert name == "c"
+        assert 0.4 < sim < 0.8  # ~1 - 2*0.2
+
+    def test_bundle_members_recoverable(self):
+        """Each member of a small bundle cleans up to itself (Sec.-2.3
+        capacity: P = 3 patterns at D = 2048 is far under capacity)."""
+        memory = ItemMemory(2048, seed=0)
+        members = [memory.add(n) for n in ("x", "y", "z")]
+        for name in ("q", "r", "s", "t"):
+            memory.add(name)  # distractors
+        bundled = bundle(np.stack(members))
+        # The bundle is similar to each member; cleaning up member+noise
+        # still lands on the right item.
+        for name in ("x", "y", "z"):
+            recovered, _ = memory.cleanup(
+                memory.get(name) + 0.3 * bundled
+            )
+            assert recovered == name
+
+    def test_cleanup_empty_memory(self):
+        with pytest.raises(ConfigurationError):
+            ItemMemory(8).cleanup(np.ones(8))
+
+    def test_cleanup_shape_validation(self):
+        memory = ItemMemory(8, seed=0)
+        memory.add("a")
+        with pytest.raises(ConfigurationError):
+            memory.cleanup(np.ones(9))
+
+    def test_cleanup_batch(self):
+        memory = ItemMemory(512, seed=0)
+        for name in "abcd":
+            memory.add(name)
+        queries = np.stack([memory.get("b"), memory.get("d")])
+        results = memory.cleanup_batch(queries)
+        assert [r[0] for r in results] == ["b", "d"]
+
+    def test_cleanup_batch_validation(self):
+        memory = ItemMemory(8, seed=0)
+        memory.add("a")
+        with pytest.raises(ConfigurationError):
+            memory.cleanup_batch(np.ones(8))

@@ -1,0 +1,99 @@
+"""Tests for bit-packed binary hypervector operations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionalityError
+from repro.ops.generate import random_binary
+from repro.ops.packing import (
+    pack_bits,
+    packed_hamming_distance,
+    packed_hamming_similarity,
+    unpack_bits,
+)
+from repro.ops.similarity import hamming_distance, hamming_similarity
+
+
+class TestPackUnpack:
+    def test_roundtrip_single(self):
+        bits = random_binary(1, 100, seed=0)[0]
+        packed, dim = pack_bits(bits)
+        np.testing.assert_array_equal(unpack_bits(packed, dim), bits)
+
+    def test_roundtrip_batch(self):
+        bits = random_binary(5, 77, seed=1)
+        packed, dim = pack_bits(bits)
+        assert packed.shape == (5, 10)  # ceil(77/8)
+        np.testing.assert_array_equal(unpack_bits(packed, dim), bits)
+
+    def test_exact_byte_multiple(self):
+        bits = random_binary(2, 64, seed=2)
+        packed, dim = pack_bits(bits)
+        assert packed.shape == (2, 8)
+        np.testing.assert_array_equal(unpack_bits(packed, dim), bits)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([0, 2, 1]))
+
+    def test_rejects_3d(self):
+        with pytest.raises(DimensionalityError):
+            pack_bits(np.zeros((2, 2, 2), dtype=np.uint8))
+
+    def test_unpack_dim_validation(self):
+        packed, _ = pack_bits(random_binary(1, 16, seed=0)[0])
+        with pytest.raises(DimensionalityError):
+            unpack_bits(packed, 0)
+        with pytest.raises(DimensionalityError):
+            unpack_bits(packed, 99)
+
+
+class TestPackedHamming:
+    def test_matches_unpacked_single(self):
+        a = random_binary(1, 123, seed=0)[0]
+        b = random_binary(1, 123, seed=1)[0]
+        pa, dim = pack_bits(a)
+        pb, _ = pack_bits(b)
+        assert packed_hamming_distance(pa, pb) == hamming_distance(a, b)
+
+    def test_matches_unpacked_batch(self):
+        a = random_binary(4, 200, seed=2)
+        b = random_binary(6, 200, seed=3)
+        pa, dim = pack_bits(a)
+        pb, _ = pack_bits(b)
+        np.testing.assert_allclose(
+            packed_hamming_distance(pa, pb), hamming_distance(a, b)
+        )
+
+    def test_similarity_matches(self):
+        a = random_binary(3, 500, seed=4)
+        b = random_binary(3, 500, seed=5)
+        pa, dim = pack_bits(a)
+        pb, _ = pack_bits(b)
+        np.testing.assert_allclose(
+            packed_hamming_similarity(pa, pb, dim), hamming_similarity(a, b)
+        )
+
+    def test_self_distance_zero(self):
+        a = random_binary(1, 64, seed=6)[0]
+        pa, _ = pack_bits(a)
+        assert packed_hamming_distance(pa, pa) == 0.0
+
+    def test_padding_bits_cancel(self):
+        """Non-multiple-of-8 dims must not leak padding into the count."""
+        a = np.ones(9, dtype=np.uint8)
+        b = np.zeros(9, dtype=np.uint8)
+        pa, _ = pack_bits(a)
+        pb, _ = pack_bits(b)
+        assert packed_hamming_distance(pa, pb) == 9.0
+
+    def test_width_mismatch(self):
+        pa, _ = pack_bits(random_binary(1, 64, seed=0)[0])
+        pb, _ = pack_bits(random_binary(1, 128, seed=0)[0])
+        with pytest.raises(DimensionalityError):
+            packed_hamming_distance(pa, pb)
+
+    def test_similarity_dim_validation(self):
+        pa, _ = pack_bits(random_binary(1, 64, seed=0)[0])
+        with pytest.raises(DimensionalityError):
+            packed_hamming_similarity(pa, pa, 0)

@@ -1,0 +1,118 @@
+"""Tests for similarity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionalityError
+from repro.ops.generate import random_binary, random_bipolar
+from repro.ops.quantize import bipolar_to_binary
+from repro.ops.similarity import (
+    cosine_similarity,
+    dot_similarity,
+    hamming_distance,
+    hamming_similarity,
+    pairwise_cosine,
+)
+
+
+class TestDotSimilarity:
+    def test_single_vectors_scalar(self):
+        assert dot_similarity([1.0, 2.0], [3.0, 4.0]) == pytest.approx(11.0)
+
+    def test_batch_vs_single(self):
+        batch = np.array([[1.0, 0.0], [0.0, 2.0]])
+        out = dot_similarity(batch, [1.0, 1.0])
+        np.testing.assert_allclose(out, [1.0, 2.0])
+
+    def test_batch_vs_batch_matrix(self):
+        a = np.eye(3)
+        out = dot_similarity(a, a)
+        np.testing.assert_allclose(out, np.eye(3))
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(DimensionalityError):
+            dot_similarity([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, -3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_opposite_vectors(self):
+        v = np.array([1.0, 2.0])
+        assert cosine_similarity(v, -v) == pytest.approx(-1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity([1.0, 0.0], [0.0, 1.0]) == pytest.approx(0.0)
+
+    def test_zero_vector_is_zero_not_nan(self):
+        assert cosine_similarity([0.0, 0.0], [1.0, 1.0]) == pytest.approx(0.0)
+
+    def test_scale_invariance(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([-2.0, 0.5, 1.0])
+        assert cosine_similarity(a, b) == pytest.approx(
+            cosine_similarity(10.0 * a, 0.1 * b)
+        )
+
+    def test_batch_shape(self):
+        a = np.random.default_rng(0).normal(size=(4, 16))
+        b = np.random.default_rng(1).normal(size=(5, 16))
+        assert cosine_similarity(a, b).shape == (4, 5)
+
+    def test_range(self):
+        rng = np.random.default_rng(2)
+        out = cosine_similarity(rng.normal(size=(6, 32)), rng.normal(size=(6, 32)))
+        assert np.all(out <= 1.0 + 1e-12) and np.all(out >= -1.0 - 1e-12)
+
+
+class TestHamming:
+    def test_distance_identical_is_zero(self):
+        v = random_binary(1, 64, seed=0)[0]
+        assert hamming_distance(v, v) == pytest.approx(0.0)
+
+    def test_distance_complement_is_dim(self):
+        v = random_binary(1, 64, seed=0)[0]
+        assert hamming_distance(v, 1 - v) == pytest.approx(64.0)
+
+    def test_known_distance(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        b = np.array([1, 1, 0, 0], dtype=np.uint8)
+        assert hamming_distance(a, b) == pytest.approx(2.0)
+
+    def test_similarity_range(self):
+        a = random_binary(1, 128, seed=1)[0]
+        b = random_binary(1, 128, seed=2)[0]
+        sim = hamming_similarity(a, b)
+        assert -1.0 <= sim <= 1.0
+
+    def test_similarity_equals_bipolar_cosine(self):
+        """The Sec.-3.1 equivalence: Hamming sim of binary views == cosine
+        of the underlying bipolar vectors."""
+        bip_a = random_bipolar(1, 512, seed=3)[0]
+        bip_b = random_bipolar(1, 512, seed=4)[0]
+        bin_a = bipolar_to_binary(bip_a)
+        bin_b = bipolar_to_binary(bip_b)
+        cos = cosine_similarity(
+            bip_a.astype(float), bip_b.astype(float)
+        )
+        ham = hamming_similarity(bin_a, bin_b)
+        assert ham == pytest.approx(cos, abs=1e-12)
+
+    def test_batch_shapes(self):
+        a = random_binary(3, 32, seed=5)
+        b = random_binary(4, 32, seed=6)
+        assert hamming_distance(a, b).shape == (3, 4)
+
+
+class TestPairwiseCosine:
+    def test_diagonal_is_one(self):
+        batch = np.random.default_rng(0).normal(size=(5, 24))
+        gram = pairwise_cosine(batch)
+        np.testing.assert_allclose(np.diag(gram), 1.0)
+
+    def test_symmetry(self):
+        batch = np.random.default_rng(1).normal(size=(6, 24))
+        gram = pairwise_cosine(batch)
+        np.testing.assert_allclose(gram, gram.T)

@@ -1,0 +1,200 @@
+"""Tests for the HD Q-learning agent, replay buffer, and training loop."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rl import (
+    GridWorld,
+    HDQAgent,
+    ReplayBuffer,
+    Transition,
+    evaluate_policy,
+    train_agent,
+)
+from repro.rl.training import random_policy_reward
+
+
+def _transition(i: int = 0, done: bool = False) -> Transition:
+    return Transition(
+        state=np.array([float(i), 0.0]),
+        action=i % 2,
+        reward=float(i),
+        next_state=np.array([float(i) + 1.0, 0.0]),
+        done=done,
+    )
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buf = ReplayBuffer(4)
+        for i in range(3):
+            buf.push(_transition(i))
+        assert len(buf) == 3
+
+    def test_ring_eviction(self):
+        buf = ReplayBuffer(2)
+        for i in range(5):
+            buf.push(_transition(i))
+        assert len(buf) == 2
+        stored_rewards = {t.reward for t in buf.sample(10)}
+        assert stored_rewards <= {3.0, 4.0}
+
+    def test_sample_deterministic(self):
+        a, b = ReplayBuffer(8, seed=1), ReplayBuffer(8, seed=1)
+        for i in range(8):
+            a.push(_transition(i))
+            b.push(_transition(i))
+        assert [t.reward for t in a.sample(4)] == [t.reward for t in b.sample(4)]
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            ReplayBuffer(4).sample(1)
+
+    def test_as_arrays_shapes(self):
+        buf = ReplayBuffer(8)
+        for i in range(4):
+            buf.push(_transition(i, done=(i == 3)))
+        states, actions, rewards, next_states, dones = buf.as_arrays(
+            buf.sample(4)
+        )
+        assert states.shape == (4, 2)
+        assert actions.dtype == np.int64
+        assert dones.dtype == bool
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ReplayBuffer(0)
+
+
+class TestHDQAgent:
+    def test_q_values_shape(self):
+        agent = HDQAgent(3, 4, dim=128, seed=0)
+        q = agent.q_values(np.zeros(3))
+        assert q.shape == (4,)
+        np.testing.assert_allclose(q, 0.0)  # zero-initialised models
+
+    def test_act_greedy_is_argmax(self):
+        agent = HDQAgent(2, 3, dim=128, seed=0)
+        state = np.array([0.7, -0.3])
+        agent.models[1] = agent._encode(state)[0]  # make action 1 best
+        assert agent.act(state, greedy=True) == 1
+
+    def test_exploration_respects_epsilon_zero(self):
+        agent = HDQAgent(2, 3, dim=128, seed=0, epsilon=0.0, epsilon_min=0.0)
+        agent.models[2] = agent._encode(np.ones(2))[0]
+        actions = {agent.act(np.ones(2)) for _ in range(10)}
+        assert actions == {2}
+
+    def test_full_epsilon_is_random(self):
+        agent = HDQAgent(2, 4, dim=64, seed=0, epsilon=1.0)
+        actions = {agent.act(np.zeros(2)) for _ in range(100)}
+        assert len(actions) == 4
+
+    def test_decay_epsilon_floors(self):
+        agent = HDQAgent(
+            2, 2, dim=64, epsilon=0.5, epsilon_min=0.4, epsilon_decay=0.5
+        )
+        agent.decay_epsilon()
+        agent.decay_epsilon()
+        assert agent.epsilon == 0.4
+
+    def test_td_update_moves_q_toward_target(self):
+        agent = HDQAgent(2, 2, dim=256, seed=0, lr=0.5, gamma=0.0)
+        state = np.array([0.3, -0.2])
+        before = agent.q_values(state)[0]
+        transition = Transition(state, 0, 5.0, state, True)
+        agent.observe(transition)
+        after = agent.q_values(state)[0]
+        assert before < after <= 5.0
+
+    def test_terminal_transition_ignores_next_state(self):
+        agent = HDQAgent(2, 2, dim=256, seed=0, lr=1.0, gamma=1.0)
+        state = np.array([0.1, 0.1])
+        # Give the next state a huge Q so leakage would be visible.
+        agent.models[1] = 100.0 * agent._encode(np.array([9.0, 9.0]))[0]
+        agent.observe(Transition(state, 0, 1.0, np.array([9.0, 9.0]), True))
+        # Target was exactly r=1.0 (terminal), so Q(s, 0) ~ lr * 1.0.
+        assert agent.q_values(state)[0] == pytest.approx(1.0, abs=0.2)
+
+    def test_learn_from_replay_empty_returns_none(self):
+        agent = HDQAgent(2, 2, dim=64, seed=0)
+        assert agent.learn_from_replay() is None
+
+    def test_learn_from_replay_returns_error(self):
+        agent = HDQAgent(2, 2, dim=64, seed=0)
+        agent.observe(_transition(0))
+        assert agent.learn_from_replay() is not None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_actions": 1},
+            {"lr": 0.0},
+            {"lr": 2.5},
+            {"gamma": 1.5},
+            {"epsilon": 0.1, "epsilon_min": 0.5},
+            {"epsilon_decay": 0.0},
+            {"batch_size": 0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        params = {"state_dim": 2, "n_actions": 2, "dim": 32}
+        params.update(kwargs)
+        state_dim = params.pop("state_dim")
+        n_actions = params.pop("n_actions")
+        with pytest.raises(ConfigurationError):
+            HDQAgent(state_dim, n_actions, **params)
+
+
+class TestTraining:
+    def test_agent_learns_gridworld(self):
+        """The headline extension claim: HD Q-learning solves the task."""
+        env = GridWorld(4)
+        agent = HDQAgent(
+            env.state_dim,
+            env.n_actions,
+            dim=512,
+            seed=0,
+            lr=0.5,
+            epsilon_decay=0.93,
+        )
+        run = train_agent(env, agent, episodes=80, seed=0)
+        greedy = evaluate_policy(env, agent, episodes=5)
+        random = random_policy_reward(env, episodes=5)
+        assert greedy > random
+        assert greedy > 0.5  # reliably reaches the goal
+
+    def test_learning_curve_improves(self):
+        env = GridWorld(4)
+        agent = HDQAgent(
+            env.state_dim, env.n_actions, dim=512, seed=0, lr=0.5,
+            epsilon_decay=0.93,
+        )
+        run = train_agent(env, agent, episodes=80, seed=0)
+        rewards = run.rewards()
+        assert rewards[-10:].mean() > rewards[:10].mean()
+
+    def test_moving_average_shape(self):
+        env = GridWorld(3, obstacles=())
+        agent = HDQAgent(env.state_dim, env.n_actions, dim=128, seed=0)
+        run = train_agent(env, agent, episodes=12, seed=0)
+        assert len(run.moving_average(5)) == 12 - 5 + 1
+
+    def test_invalid_training_args(self):
+        env = GridWorld(3)
+        agent = HDQAgent(env.state_dim, env.n_actions, dim=64)
+        with pytest.raises(ConfigurationError):
+            train_agent(env, agent, episodes=0)
+        with pytest.raises(ConfigurationError):
+            train_agent(env, agent, episodes=1, replay_updates_per_step=-1)
+        with pytest.raises(ConfigurationError):
+            evaluate_policy(env, agent, episodes=0)
+
+    def test_training_deterministic(self):
+        def run_once():
+            env = GridWorld(3)
+            agent = HDQAgent(env.state_dim, env.n_actions, dim=128, seed=5)
+            return train_agent(env, agent, episodes=10, seed=5).rewards()
+
+        np.testing.assert_allclose(run_once(), run_once())

@@ -1,0 +1,141 @@
+"""Tests for the RL environments."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rl.envs import CartPole, GridWorld
+
+
+class TestGridWorld:
+    def test_reset_returns_start(self):
+        env = GridWorld(5)
+        obs = env.reset()
+        np.testing.assert_allclose(obs, [1.0, 0.0])  # bottom-left, scaled
+
+    def test_observation_in_unit_square(self):
+        env = GridWorld(4)
+        obs = env.reset()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            obs, _, done = env.step(int(rng.integers(4)))
+            assert np.all(obs >= 0.0) and np.all(obs <= 1.0)
+            if done:
+                obs = env.reset()
+
+    def test_goal_gives_positive_reward_and_ends(self):
+        env = GridWorld(3, obstacles=())
+        env.reset()
+        # From (2,0): up, up, right, right reaches goal (0,2).
+        rewards = []
+        for action in (0, 0, 1, 1):
+            _, r, done = env.step(action)
+            rewards.append(r)
+        assert done
+        assert rewards[-1] == 1.0
+        assert all(r == -0.01 for r in rewards[:-1])
+
+    def test_obstacle_ends_with_penalty(self):
+        env = GridWorld(3, obstacles=((1, 0),))
+        env.reset()
+        _, reward, done = env.step(0)  # step up into the obstacle
+        assert done
+        assert reward == -1.0
+
+    def test_walls_clip_movement(self):
+        env = GridWorld(3, obstacles=())
+        env.reset()
+        obs, _, _ = env.step(3)  # left from column 0 stays put
+        np.testing.assert_allclose(obs, [1.0, 0.0])
+
+    def test_step_limit_terminates(self):
+        env = GridWorld(4, obstacles=(), step_limit=5)
+        env.reset()
+        done = False
+        steps = 0
+        while not done:
+            _, _, done = env.step(3)  # bump into the left wall forever
+            steps += 1
+        assert steps == 5
+
+    def test_invalid_action(self):
+        env = GridWorld(3)
+        env.reset()
+        with pytest.raises(ConfigurationError):
+            env.step(4)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            GridWorld(1)
+        with pytest.raises(ConfigurationError):
+            GridWorld(3, obstacles=((2, 0),))  # collides with start
+        with pytest.raises(ConfigurationError):
+            GridWorld(3, obstacles=((9, 9),))
+
+
+class TestCartPole:
+    def test_reset_near_zero(self):
+        env = CartPole()
+        obs = env.reset(seed=0)
+        assert obs.shape == (4,)
+        assert np.all(np.abs(obs) <= 0.05)
+
+    def test_reset_deterministic_given_seed(self):
+        env = CartPole()
+        np.testing.assert_array_equal(env.reset(seed=3), env.reset(seed=3))
+
+    def test_reward_one_per_step(self):
+        env = CartPole()
+        env.reset(seed=0)
+        _, reward, _ = env.step(0)
+        assert reward == 1.0
+
+    def test_constant_push_eventually_fails(self):
+        env = CartPole(step_limit=500)
+        env.reset(seed=0)
+        done = False
+        steps = 0
+        while not done:
+            _, _, done = env.step(1)  # push right forever
+            steps += 1
+        assert steps < 500  # pole must tip before the limit
+
+    def test_failure_is_limit_violation(self):
+        env = CartPole(step_limit=500)
+        env.reset(seed=0)
+        done = False
+        while not done:
+            obs, _, done = env.step(1)
+        assert abs(obs[0]) > CartPole.X_LIMIT or abs(obs[2]) > CartPole.THETA_LIMIT
+
+    def test_physics_push_right_accelerates_cart_right(self):
+        env = CartPole()
+        env.reset(seed=0)
+        start_x_dot = env._state[1]
+        obs, _, _ = env.step(1)
+        assert obs[1] > start_x_dot
+
+    def test_balanced_alternation_survives_longer_than_constant(self):
+        def run(policy) -> int:
+            env = CartPole(step_limit=500)
+            env.reset(seed=0)
+            steps, done = 0, False
+            while not done:
+                obs, _, done = env.step(policy(steps, obs if steps else env._state))
+                steps += 1
+            return steps
+
+        constant = run(lambda t, obs: 1)
+        # React to the pole angle: push toward the fall.
+        reactive = run(lambda t, obs: 1 if obs[2] > 0 else 0)
+        assert reactive > constant
+
+    def test_invalid_action(self):
+        env = CartPole()
+        env.reset()
+        with pytest.raises(ConfigurationError):
+            env.step(2)
+
+    def test_invalid_step_limit(self):
+        with pytest.raises(ConfigurationError):
+            CartPole(step_limit=0)

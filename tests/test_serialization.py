@@ -1,0 +1,96 @@
+"""Tests for model save/load."""
+
+import numpy as np
+import pytest
+
+from repro import BaselineHD, MultiModelRegHD, RegHDConfig, SingleModelRegHD
+from repro.core import ClusterQuant, ConvergencePolicy, PredictQuant
+from repro.encoding import RandomProjectionEncoder
+from repro.exceptions import ConfigurationError
+from repro.serialization import load_model, save_model
+
+CONV = ConvergencePolicy(max_epochs=5, patience=2)
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.normal(size=(80, 4))
+    y = np.sin(X[:, 0]) + X[:, 1]
+    return X, y
+
+
+class TestRoundtrip:
+    def test_single_model(self, data, tmp_path):
+        X, y = data
+        model = SingleModelRegHD(4, dim=128, seed=0, convergence=CONV).fit(X, y)
+        path = save_model(model, tmp_path / "single.npz")
+        loaded = load_model(path)
+        np.testing.assert_array_equal(loaded.predict(X), model.predict(X))
+
+    def test_multi_model(self, data, tmp_path):
+        X, y = data
+        model = MultiModelRegHD(
+            4, RegHDConfig(dim=128, n_models=3, seed=0, convergence=CONV)
+        ).fit(X, y)
+        loaded = load_model(save_model(model, tmp_path / "multi.npz"))
+        np.testing.assert_array_equal(loaded.predict(X), model.predict(X))
+
+    def test_multi_model_quantized(self, data, tmp_path):
+        X, y = data
+        model = MultiModelRegHD(
+            4,
+            RegHDConfig(
+                dim=128,
+                n_models=3,
+                seed=0,
+                convergence=CONV,
+                cluster_quant=ClusterQuant.FRAMEWORK,
+                predict_quant=PredictQuant.BINARY_QUERY,
+            ),
+        ).fit(X, y)
+        loaded = load_model(save_model(model, tmp_path / "quant.npz"))
+        assert loaded.config.cluster_quant is ClusterQuant.FRAMEWORK
+        assert loaded.config.predict_quant is PredictQuant.BINARY_QUERY
+        np.testing.assert_array_equal(loaded.predict(X), model.predict(X))
+
+    def test_baseline_hd(self, data, tmp_path):
+        X, y = data
+        model = BaselineHD(4, dim=128, n_bins=8, seed=0, convergence=CONV).fit(X, y)
+        loaded = load_model(save_model(model, tmp_path / "bhd.npz"))
+        np.testing.assert_array_equal(loaded.predict(X), model.predict(X))
+
+    def test_projection_encoder_roundtrip(self, data, tmp_path):
+        X, y = data
+        enc = RandomProjectionEncoder(4, 128, seed=0)
+        model = SingleModelRegHD(4, encoder=enc, convergence=CONV).fit(X, y)
+        loaded = load_model(save_model(model, tmp_path / "proj.npz"))
+        np.testing.assert_array_equal(loaded.predict(X), model.predict(X))
+
+    def test_suffix_appended(self, data, tmp_path):
+        X, y = data
+        model = SingleModelRegHD(4, dim=64, seed=0, convergence=CONV).fit(X, y)
+        path = save_model(model, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+
+class TestErrors:
+    def test_unfitted_model_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="unfitted"):
+            save_model(SingleModelRegHD(4, dim=64), tmp_path / "x.npz")
+
+    def test_non_model_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_model(path)
+
+    def test_custom_encoder_rejected(self, data, tmp_path):
+        from repro.encoding import IDLevelEncoder
+
+        X, y = data
+        model = SingleModelRegHD(
+            4, encoder=IDLevelEncoder(4, 64, seed=0), convergence=CONV
+        ).fit(X, y)
+        with pytest.raises(ConfigurationError, match="encoder"):
+            save_model(model, tmp_path / "x.npz")

@@ -1,0 +1,140 @@
+"""Tests for streaming RegHD and the Page-Hinkley detector."""
+
+import numpy as np
+import pytest
+
+from repro import RegHDConfig
+from repro.exceptions import ConfigurationError
+from repro.streaming import PageHinkley, StreamingRegHD
+
+
+class TestPageHinkley:
+    def test_stable_stream_no_drift(self):
+        detector = PageHinkley(threshold=2.0)
+        rng = np.random.default_rng(0)
+        fired = [detector.update(abs(e)) for e in 0.1 * rng.normal(size=500)]
+        assert not any(fired)
+
+    def test_error_jump_detected(self):
+        detector = PageHinkley(threshold=2.0)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            detector.update(abs(0.1 * rng.normal()))
+        fired_at = None
+        for i in range(100):
+            if detector.update(abs(2.0 + 0.1 * rng.normal())):
+                fired_at = i
+                break
+        assert fired_at is not None
+        assert fired_at < 50  # detects within a few dozen samples
+
+    def test_resets_after_detection(self):
+        detector = PageHinkley(threshold=0.5, delta=0.0)
+        for _ in range(50):
+            detector.update(0.0)
+        assert detector.update(10.0)  # huge spike fires immediately-ish
+        # After the automatic reset the internal state is clean.
+        assert detector._count == 0
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageHinkley().update(-1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"delta": -0.1}, {"threshold": 0.0}],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PageHinkley(**kwargs)
+
+
+def _stream_batches(concept: int, n_batches: int, batch: int, seed: int):
+    """Yield (X, y) batches; the target map flips with ``concept``."""
+    rng = np.random.default_rng(seed)
+    for _ in range(n_batches):
+        X = rng.normal(size=(batch, 4))
+        if concept == 0:
+            y = np.sin(2 * X[:, 0]) + X[:, 1]
+        else:
+            y = -np.sin(2 * X[:, 0]) - X[:, 1] + 2.0
+        yield X, y
+
+
+CONFIG = RegHDConfig(dim=512, n_models=4, seed=0)
+
+
+class TestStreamingRegHD:
+    def test_first_batch_has_no_prequential(self):
+        stream = StreamingRegHD(4, CONFIG)
+        report = stream.update(np.zeros((8, 4)), np.zeros(8))
+        assert report.prequential_mse is None
+
+    def test_prequential_error_decreases_on_stationary_stream(self):
+        stream = StreamingRegHD(4, CONFIG, forgetting=1.0)
+        for X, y in _stream_batches(0, 30, 64, seed=0):
+            stream.update(X, y)
+        curve = stream.history.mse_curve()
+        assert np.nanmean(curve[-5:]) < np.nanmean(curve[1:6])
+
+    def test_drift_detector_fires_on_concept_change(self):
+        stream = StreamingRegHD(
+            4, CONFIG, detector=PageHinkley(threshold=1.0), forgetting=1.0
+        )
+        for X, y in _stream_batches(0, 25, 64, seed=0):
+            stream.update(X, y)
+        for X, y in _stream_batches(1, 25, 64, seed=1):
+            stream.update(X, y)
+        events = stream.history.drift_events
+        assert events, "drift should have been detected"
+        assert min(events) > 25  # not during the first concept
+
+    def test_adaptation_recovers_faster_with_drift_handling(self):
+        """After an abrupt concept flip the drift-aware learner must get
+        back to low error faster than the frozen-memory one."""
+
+        def final_error(adaptive: bool) -> float:
+            stream = StreamingRegHD(
+                4,
+                CONFIG,
+                detector=PageHinkley(threshold=1.0) if adaptive else None,
+                forgetting=0.99 if adaptive else 1.0,
+                drift_shrink=0.0,
+            )
+            for X, y in _stream_batches(0, 25, 64, seed=0):
+                stream.update(X, y)
+            for X, y in _stream_batches(1, 15, 64, seed=1):
+                stream.update(X, y)
+            return float(np.nanmean(stream.history.mse_curve()[-5:]))
+
+        assert final_error(adaptive=True) < final_error(adaptive=False)
+
+    def test_forgetting_bounds_model_norm(self):
+        heavy = StreamingRegHD(4, CONFIG, forgetting=0.9)
+        frozen = StreamingRegHD(4, CONFIG, forgetting=1.0)
+        for X, y in _stream_batches(0, 20, 64, seed=0):
+            heavy.update(X, y)
+            frozen.update(X, y)
+        assert np.linalg.norm(heavy.model.models.integer) < np.linalg.norm(
+            frozen.model.models.integer
+        )
+
+    def test_history_bookkeeping(self):
+        stream = StreamingRegHD(4, CONFIG)
+        for X, y in _stream_batches(0, 5, 16, seed=0):
+            stream.update(X, y)
+        assert stream.history.n_batches == 5
+        assert len(stream.history.mse_curve()) == 5
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"forgetting": 0.0}, {"forgetting": 1.5}, {"drift_shrink": -0.1}]
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            StreamingRegHD(4, CONFIG, **kwargs)
+
+    def test_predict_delegates(self):
+        stream = StreamingRegHD(4, CONFIG)
+        X = np.random.default_rng(0).normal(size=(16, 4))
+        stream.update(X, X[:, 0])
+        assert stream.predict(X).shape == (16,)

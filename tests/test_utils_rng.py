@@ -1,0 +1,80 @@
+"""Tests for the seeded RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, derive_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(8)
+        b = as_generator(42).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(8)
+        b = as_generator(2).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+
+class TestDeriveGenerator:
+    def test_deterministic_for_same_key(self):
+        a = derive_generator(5, 1).random(8)
+        b = derive_generator(5, 1).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_keys_give_independent_streams(self):
+        a = derive_generator(5, 1).random(8)
+        b = derive_generator(5, 2).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_differs_from_parent_stream(self):
+        parent = as_generator(5).random(8)
+        child = derive_generator(5, 0).random(8)
+        assert not np.array_equal(parent, child)
+
+    def test_multi_part_key(self):
+        a = derive_generator(5, 1, 2).random(4)
+        b = derive_generator(5, 1, 3).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_generator_input_spawns(self):
+        gen = np.random.default_rng(0)
+        child = derive_generator(gen, 0)
+        assert isinstance(child, np.random.Generator)
+        assert child is not gen
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(3, 5)
+        assert len(gens) == 5
+
+    def test_streams_are_independent(self):
+        gens = spawn_generators(3, 2)
+        assert not np.array_equal(gens[0].random(8), gens[1].random(8))
+
+    def test_deterministic(self):
+        a = [g.random(4) for g in spawn_generators(3, 3)]
+        b = [g.random(4) for g in spawn_generators(3, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_zero_count(self):
+        assert spawn_generators(3, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(3, -1)
+
+    def test_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(0), 2)
+        assert len(gens) == 2

@@ -1,0 +1,88 @@
+"""Tests for input-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionalityError
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_matching_lengths,
+    check_positive,
+    check_probability,
+    check_unit_interval,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 0.5)
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        check_positive("x", 0.0, strict=False)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -1.0, strict=False)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        check_probability("p", value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5.0])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", value)
+
+
+class TestCheckUnitInterval:
+    def test_accepts_one(self):
+        check_unit_interval("f", 1.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_unit_interval("f", 0.0)
+
+
+class TestCheck1d:
+    def test_passthrough(self):
+        out = check_1d("y", [1, 2, 3])
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(DimensionalityError, match="y"):
+            check_1d("y", [[1, 2], [3, 4]])
+
+    def test_contiguous(self):
+        base = np.arange(10.0)[::2]
+        assert check_1d("y", base).flags.c_contiguous
+
+
+class TestCheck2d:
+    def test_promotes_1d_row(self):
+        out = check_2d("X", [1.0, 2.0, 3.0])
+        assert out.shape == (1, 3)
+
+    def test_passthrough_2d(self):
+        out = check_2d("X", [[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+
+    def test_rejects_3d(self):
+        with pytest.raises(DimensionalityError):
+            check_2d("X", np.zeros((2, 2, 2)))
+
+
+class TestMatchingLengths:
+    def test_accepts_match(self):
+        check_matching_lengths("X", np.zeros((3, 2)), "y", np.zeros(3))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(DimensionalityError, match="X and y"):
+            check_matching_lengths("X", np.zeros((3, 2)), "y", np.zeros(4))
