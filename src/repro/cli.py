@@ -51,6 +51,8 @@ from repro.datasets import (
 from repro.datasets.preprocessing import StandardScaler
 from repro.evaluation import render_table, run_on_split
 from repro.metrics import mean_squared_error, r2_score
+from repro.reliability import GuardPolicy, ResilientStreamingRegHD, Watchdog, retry_call
+from repro.streaming import PageHinkley
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -127,6 +129,53 @@ def _build_parser() -> argparse.ArgumentParser:
     hw.add_argument("--density", type=float, default=1.0, help="model density")
     hw.add_argument("--train-samples", type=int, default=1000)
     hw.add_argument("--epochs", type=int, default=15)
+
+    stream = sub.add_parser(
+        "stream",
+        help="run a fault-tolerant streaming (prequential) session",
+    )
+    stream.add_argument("--dataset", required=True, help="registered dataset name")
+    stream.add_argument("--k", type=int, default=8, help="number of models")
+    stream.add_argument("--dim", type=int, default=2000, help="hypervector dimensionality")
+    stream.add_argument("--seed", type=int, default=0, help="master seed")
+    stream.add_argument("--batch-size", type=int, default=64, help="rows per stream batch")
+    stream.add_argument(
+        "--max-batches", type=int, default=None, help="stop after this many batches"
+    )
+    stream.add_argument(
+        "--checkpoint-dir", default=None, help="directory for rotating checkpoints"
+    )
+    stream.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        help="checkpoint every N batches (needs --checkpoint-dir)",
+    )
+    stream.add_argument(
+        "--keep-checkpoints", type=int, default=3, help="checkpoints retained"
+    )
+    stream.add_argument(
+        "--guard-policy",
+        choices=[p.value for p in GuardPolicy],
+        default=None,
+        help="input sanitisation policy (omit to disable the guard)",
+    )
+    stream.add_argument(
+        "--scrub-every",
+        type=int,
+        default=0,
+        help="memory-scrub every N batches (0 disables)",
+    )
+    stream.add_argument(
+        "--watchdog",
+        action="store_true",
+        help="enable the health watchdog (rollback needs --checkpoint-dir)",
+    )
+    stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover from the newest valid checkpoint in --checkpoint-dir",
+    )
 
     report = sub.add_parser(
         "report",
@@ -210,10 +259,12 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     import pathlib
 
     model = load_model(args.model)
+    # Feature files may arrive over flaky network mounts; absorb
+    # transient I/O errors with a bounded, seeded-jitter retry.
     try:
-        X = np.loadtxt(args.features, delimiter=",")
+        X = retry_call(np.loadtxt, args.features, delimiter=",")
     except ValueError:
-        X = np.loadtxt(args.features)
+        X = retry_call(np.loadtxt, args.features)
     X = np.atleast_2d(X)
     # Apply the training-time feature scaler when its sidecar exists.
     sidecar = pathlib.Path(args.model + ".scaler.json")
@@ -329,6 +380,74 @@ def _cmd_hardware(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    scaler = StandardScaler().fit(dataset.X)
+    X_all = scaler.transform(dataset.X)
+    y_all = dataset.y
+
+    watchdog = Watchdog() if args.watchdog else None
+    common = dict(
+        guard=args.guard_policy,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every if args.checkpoint_dir else 0,
+        keep_checkpoints=args.keep_checkpoints,
+        watchdog=watchdog,
+        scrub_every=args.scrub_every,
+    )
+    if args.resume:
+        if not args.checkpoint_dir:
+            print("--resume requires --checkpoint-dir", file=sys.stderr)
+            return 1
+        stream = ResilientStreamingRegHD.recover(
+            args.checkpoint_dir,
+            keep_checkpoints=args.keep_checkpoints,
+            watchdog=watchdog,
+            guard=args.guard_policy,
+            checkpoint_every=args.checkpoint_every,
+            scrub_every=args.scrub_every,
+        )
+        start_batch = stream._batch_counter
+        print(f"recovered from checkpoint at batch {start_batch}")
+    else:
+        stream = ResilientStreamingRegHD(
+            dataset.n_features,
+            RegHDConfig(dim=args.dim, n_models=args.k, seed=args.seed),
+            detector=PageHinkley(),
+            **common,
+        )
+        start_batch = 0
+
+    n_batches = len(X_all) // args.batch_size
+    if args.max_batches is not None:
+        n_batches = min(n_batches, start_batch + args.max_batches)
+    for b in range(start_batch, n_batches):
+        lo, hi = b * args.batch_size, (b + 1) * args.batch_size
+        report = stream.update(X_all[lo:hi], y_all[lo:hi])
+        if report.drift_detected or report.rolled_back or (b + 1) % 10 == 0:
+            mse = report.prequential_mse
+            flags = "".join(
+                [
+                    " drift" if report.drift_detected else "",
+                    " ROLLBACK" if report.rolled_back else "",
+                    " ckpt" if report.checkpointed else "",
+                ]
+            )
+            print(
+                f"batch {report.batch:5d}  preq-mse "
+                f"{mse if mse is None else round(mse, 4)}{flags}"
+            )
+    curve = stream.history.mse_curve()
+    print(f"batches processed : {stream.history.n_batches}")
+    print(f"final preq. MSE   : {float(np.nanmean(curve[-5:])):.4f}")
+    print(f"drift events      : {stream.history.drift_events}")
+    print(f"rollbacks         : {len(stream.rollbacks)}")
+    if stream.checkpoints is not None:
+        infos = stream.checkpoints.checkpoints()
+        print(f"checkpoints kept  : {[i.path.name for i in infos]}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -373,6 +492,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_capacity(args)
     if args.command == "hardware":
         return _cmd_hardware(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")

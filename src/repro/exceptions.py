@@ -35,3 +35,23 @@ class EncodingError(ReproError, ValueError):
 
 class HardwareModelError(ReproError, ValueError):
     """The hardware cost model was queried with inconsistent parameters."""
+
+
+class ReliabilityError(ReproError, RuntimeError):
+    """A fault-tolerance mechanism could not complete its job.
+
+    Base class of the :mod:`repro.reliability` branch: checkpointing,
+    recovery, input guarding, watchdog rollback and memory scrubbing.
+    """
+
+
+class CheckpointCorruptError(ReliabilityError):
+    """A checkpoint file failed its checksum or could not be decoded."""
+
+
+class RecoveryError(ReliabilityError):
+    """No valid checkpoint was available to recover from."""
+
+
+class DataGuardError(ReliabilityError, ValueError):
+    """An input batch violated the guard policy and could not be admitted."""

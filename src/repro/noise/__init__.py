@@ -3,6 +3,7 @@
 from repro.noise.injection import (
     INJECTORS,
     add_gaussian_noise,
+    bit_flip,
     flip_bits,
     flip_signs,
     stuck_at_zero,
@@ -17,6 +18,7 @@ from repro.noise.robustness import (
 __all__ = [
     "INJECTORS",
     "add_gaussian_noise",
+    "bit_flip",
     "flip_bits",
     "flip_signs",
     "stuck_at_zero",

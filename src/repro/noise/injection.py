@@ -52,6 +52,25 @@ def flip_bits(
     return np.where(mask, 1 - arr, arr).astype(arr.dtype)
 
 
+def bit_flip(
+    array: ArrayLike, rate: float, seed: SeedLike = None
+) -> np.ndarray:
+    """Bit flips dispatched on the array's domain.
+
+    ``{0, 1}`` arrays get true bit flips (:func:`flip_bits`); everything
+    else is treated as a sign-magnitude/bipolar representation, where a
+    memory bit flip of the sign bit is exactly a sign flip
+    (:func:`flip_signs`).  This lets the robustness sweeps corrupt
+    binary-quantised models in their native domain through the same
+    ``INJECTORS`` entry that full-precision models use.
+    """
+    _check_rate(rate)
+    arr = np.asarray(array)
+    if np.isin(arr, (0, 1)).all():
+        return flip_bits(arr, rate, seed)
+    return flip_signs(arr, rate, seed)
+
+
 def add_gaussian_noise(
     array: ArrayLike,
     rate: float,
@@ -92,6 +111,7 @@ def stuck_at_zero(
 
 INJECTORS = {
     "sign_flip": flip_signs,
+    "bit_flip": bit_flip,
     "gaussian": add_gaussian_noise,
     "stuck_at_zero": stuck_at_zero,
 }

@@ -1,0 +1,152 @@
+"""Health watchdog on the prequential error stream.
+
+Drift detection (Page-Hinkley) answers "did the *world* change?"; the
+watchdog answers "did the *model* break?" — a corrupted hypervector, a
+poisoned batch that slipped past the guard, or numerical blow-up all show
+up the same way: prequential error diverging far beyond its own recent
+history.  The watchdog keeps a frozen baseline from the warm-up phase and
+compares a rolling window of recent errors against it:
+
+* ``HEALTHY``  — rolling error within ``warn_factor`` × baseline;
+* ``WARN``     — above the warn envelope (log, keep serving);
+* ``FAILED``   — above the fail envelope; the resilient wrapper responds
+  by rolling back to the last good checkpoint.
+
+This complements rather than replaces the drift path: a genuine concept
+drift fires Page-Hinkley *first* (it is far more sensitive), shrinks the
+model and re-adapts, so error rarely reaches the fail envelope; model
+corruption skips straight past both envelopes.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class HealthState(enum.Enum):
+    """Watchdog verdict after one error observation."""
+
+    INITIALIZING = "initializing"
+    HEALTHY = "healthy"
+    WARN = "warn"
+    FAILED = "failed"
+
+
+class Watchdog:
+    """Envelope monitor on a stream of error magnitudes.
+
+    Parameters
+    ----------
+    baseline_batches:
+        Number of warm-up observations averaged into the frozen baseline;
+        the state is ``INITIALIZING`` until then.
+    window:
+        Length of the rolling mean compared against the envelopes — one
+        wild batch should not trigger a rollback on its own.
+    warn_factor / fail_factor:
+        Multiples of the baseline that bound the two envelopes.
+    floor:
+        Lower bound applied to the baseline so a perfect (zero-error)
+        warm-up does not make every later epsilon a failure.
+    """
+
+    def __init__(
+        self,
+        *,
+        baseline_batches: int = 20,
+        window: int = 5,
+        warn_factor: float = 2.0,
+        fail_factor: float = 4.0,
+        floor: float = 1e-9,
+    ):
+        if baseline_batches < 1:
+            raise ConfigurationError(
+                f"baseline_batches must be >= 1, got {baseline_batches}"
+            )
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if not 1.0 <= warn_factor <= fail_factor:
+            raise ConfigurationError(
+                "need 1 <= warn_factor <= fail_factor, got "
+                f"warn={warn_factor}, fail={fail_factor}"
+            )
+        if floor <= 0:
+            raise ConfigurationError(f"floor must be > 0, got {floor}")
+        self.baseline_batches = int(baseline_batches)
+        self.window = int(window)
+        self.warn_factor = float(warn_factor)
+        self.fail_factor = float(fail_factor)
+        self.floor = float(floor)
+        self.reset()
+
+    def reset(self, *, keep_baseline: bool = False) -> None:
+        """Clear the rolling window (and, by default, the baseline too).
+
+        After a rollback the window must be cleared — it is full of the
+        divergent errors that triggered the rollback — while the baseline
+        usually survives (the recovered model is expected to perform like
+        the warm-up did).
+        """
+        if not keep_baseline:
+            self._warmup: list[float] = []
+            self.baseline: float | None = None
+        self._recent: deque[float] = deque(maxlen=self.window)
+        self.state = (
+            HealthState.INITIALIZING
+            if self.baseline is None
+            else HealthState.HEALTHY
+        )
+
+    def update(self, error: float) -> HealthState:
+        """Feed one error magnitude; returns the new health state."""
+        error = float(error)
+        if not np.isfinite(error) or error < 0:
+            # Non-finite prequential error is itself a failure signal.
+            self.state = HealthState.FAILED
+            return self.state
+        if self.baseline is None:
+            self._warmup.append(error)
+            if len(self._warmup) >= self.baseline_batches:
+                self.baseline = max(
+                    float(np.mean(self._warmup)), self.floor
+                )
+                self.state = HealthState.HEALTHY
+            else:
+                self.state = HealthState.INITIALIZING
+            return self.state
+        self._recent.append(error)
+        rolling = float(np.mean(self._recent))
+        if rolling > self.fail_factor * self.baseline:
+            self.state = HealthState.FAILED
+        elif rolling > self.warn_factor * self.baseline:
+            self.state = HealthState.WARN
+        else:
+            self.state = HealthState.HEALTHY
+        return self.state
+
+    # -- checkpointable state ----------------------------------------------
+
+    def get_state(self) -> dict:
+        """JSON-serialisable snapshot (for checkpoints)."""
+        return {
+            "baseline": self.baseline,
+            "warmup": list(self._warmup) if self.baseline is None else [],
+            "recent": list(self._recent),
+            "state": self.state.value,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot captured by :meth:`get_state`."""
+        self.baseline = (
+            None if state["baseline"] is None else float(state["baseline"])
+        )
+        self._warmup = [float(e) for e in state.get("warmup", [])]
+        self._recent = deque(
+            (float(e) for e in state.get("recent", [])), maxlen=self.window
+        )
+        self.state = HealthState(state["state"])

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import zipfile
 
 import numpy as np
 
@@ -60,27 +61,70 @@ def _encoder_state(encoder: Encoder) -> tuple[dict, dict[str, np.ndarray]]:
     )
 
 
-def _restore_encoder(meta: dict, data: np.lib.npyio.NpzFile) -> Encoder:
+def _read_array(
+    data: np.lib.npyio.NpzFile,
+    name: str,
+    path: pathlib.Path,
+    shape: tuple[int, ...] | None = None,
+) -> np.ndarray:
+    """Pull one array out of an ``.npz``, validating against the metadata.
+
+    Decoding can fail lazily (arrays are read from the zip on access), so
+    truncation surfaces here as well as at :func:`np.load` time; every
+    failure mode becomes a :class:`ConfigurationError` with the file name
+    instead of a raw zipfile/numpy error.
+    """
+    try:
+        arr = np.array(data[name])
+    except KeyError:
+        raise ConfigurationError(
+            f"{path}: missing array {name!r} — truncated or not a model file"
+        ) from None
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise ConfigurationError(
+            f"{path}: array {name!r} could not be decoded "
+            f"(corrupt or truncated file): {exc}"
+        ) from exc
+    if not np.issubdtype(arr.dtype, np.number):
+        raise ConfigurationError(
+            f"{path}: array {name!r} has non-numeric dtype {arr.dtype}"
+        )
+    if shape is not None and tuple(arr.shape) != tuple(shape):
+        raise ConfigurationError(
+            f"{path}: array {name!r} has shape {tuple(arr.shape)}, "
+            f"metadata expects {tuple(shape)}"
+        )
+    return arr
+
+
+def _restore_encoder(
+    meta: dict, data: np.lib.npyio.NpzFile, path: pathlib.Path
+) -> Encoder:
+    in_features, dim = meta["in_features"], meta["dim"]
     if meta["encoder_type"] == "nonlinear":
         encoder = NonlinearEncoder(
-            meta["in_features"],
-            meta["dim"],
+            in_features,
+            dim,
             seed=0,
             base=meta["base_kind"],
             scale=meta["scale"],
         )
-        encoder._bases = np.array(data["encoder_bases"])
-        encoder._phases = np.array(data["encoder_phases"])
+        encoder._bases = _read_array(
+            data, "encoder_bases", path, (in_features, dim)
+        )
+        encoder._phases = _read_array(data, "encoder_phases", path, (dim,))
         return encoder
     if meta["encoder_type"] == "projection":
         encoder = RandomProjectionEncoder(
-            meta["in_features"],
-            meta["dim"],
+            in_features,
+            dim,
             seed=0,
             quantize=meta["quantize"],
             scale=meta["scale"],
         )
-        encoder._bases = np.array(data["encoder_bases"])
+        encoder._bases = _read_array(
+            data, "encoder_bases", path, (in_features, dim)
+        )
         return encoder
     raise ConfigurationError(
         f"unknown encoder_type {meta['encoder_type']!r} in model file"
@@ -90,17 +134,26 @@ def _restore_encoder(meta: dict, data: np.lib.npyio.NpzFile) -> Encoder:
 def save_model(
     model: SingleModelRegHD | MultiModelRegHD | BaselineHD,
     path: str | pathlib.Path,
+    *,
+    extra: dict | None = None,
 ) -> pathlib.Path:
     """Serialise a *trained* model to ``path`` (``.npz``).
 
     Raises :class:`ConfigurationError` for unfitted models — a frozen
     model without learned hypervectors cannot predict.
+
+    ``extra`` is an optional JSON-serialisable dict stored alongside the
+    model metadata; checkpointing uses it to persist wrapper state (batch
+    counters, drift-detector internals) next to the model it belongs to.
+    Retrieve it with :func:`read_metadata`.
     """
     if not getattr(model, "_fitted", False):
         raise ConfigurationError("cannot save an unfitted model")
     path = pathlib.Path(path)
     meta, arrays = _encoder_state(model.encoder)
     meta["format_version"] = _FORMAT_VERSION
+    if extra is not None:
+        meta["extra"] = extra
 
     if isinstance(model, SingleModelRegHD):
         meta.update(
@@ -154,20 +207,55 @@ def save_model(
     )
 
 
-def load_model(
-    path: str | pathlib.Path,
-) -> SingleModelRegHD | MultiModelRegHD | BaselineHD:
-    """Restore a model saved with :func:`save_model` (bit-exact)."""
-    data = np.load(pathlib.Path(path), allow_pickle=False)
+def _load_npz_and_meta(
+    path: pathlib.Path,
+) -> tuple[np.lib.npyio.NpzFile, dict]:
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise ConfigurationError(
+            f"{path}: not a readable .npz file (corrupt or truncated): {exc}"
+        ) from exc
     try:
         meta = json.loads(str(data["_meta"]))
     except KeyError:
         raise ConfigurationError(f"{path} is not a repro model file") from None
+    except (zipfile.BadZipFile, ValueError, EOFError) as exc:
+        raise ConfigurationError(
+            f"{path}: metadata could not be decoded "
+            f"(corrupt or truncated file): {exc}"
+        ) from exc
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ConfigurationError(
             f"unsupported model-file version {meta.get('format_version')}"
         )
-    encoder = _restore_encoder(meta, data)
+    return data, meta
+
+
+def read_metadata(path: str | pathlib.Path) -> dict:
+    """Return the JSON metadata of a saved model without restoring it.
+
+    Includes the ``"extra"`` dict passed to :func:`save_model`, when one
+    was stored.  Raises :class:`ConfigurationError` for files that are not
+    valid repro model files.
+    """
+    _, meta = _load_npz_and_meta(pathlib.Path(path))
+    return meta
+
+
+def load_model(
+    path: str | pathlib.Path,
+) -> SingleModelRegHD | MultiModelRegHD | BaselineHD:
+    """Restore a model saved with :func:`save_model` (bit-exact).
+
+    Array shapes and dtypes are validated against the file's own metadata,
+    so a truncated or tampered file raises a descriptive
+    :class:`ConfigurationError` instead of a raw numpy broadcast error.
+    """
+    path = pathlib.Path(path)
+    data, meta = _load_npz_and_meta(path)
+    encoder = _restore_encoder(meta, data, path)
+    dim = meta["dim"]
 
     if meta["model_type"] == "single":
         model = SingleModelRegHD(
@@ -176,7 +264,7 @@ def load_model(
             batch_size=meta["batch_size"],
             encoder=encoder,
         )
-        model.model[:] = data["model_vector"]
+        model.model[:] = _read_array(data, "model_vector", path, (dim,))
         model._y_mean = meta["y_mean"]
         model._y_scale = meta["y_scale"]
         model._fitted = True
@@ -195,9 +283,14 @@ def load_model(
             seed=cfg_dict["seed"],
         )
         model = MultiModelRegHD(meta["in_features"], cfg, encoder=encoder)
-        model.clusters.integer[:] = data["clusters_integer"]
+        k = cfg.n_models
+        model.clusters.integer[:] = _read_array(
+            data, "clusters_integer", path, (k, dim)
+        )
         model.clusters.rebinarize()
-        model.models.integer[:] = data["models_integer"]
+        model.models.integer[:] = _read_array(
+            data, "models_integer", path, (k, dim)
+        )
         model.models.rebinarize()
         model._y_mean = meta["y_mean"]
         model._y_scale = meta["y_scale"]
@@ -211,8 +304,12 @@ def load_model(
             batch_size=meta["batch_size"],
             encoder=encoder,
         )
-        model.class_vectors[:] = data["class_vectors"]
-        model.bin_centers = np.array(data["bin_centers"])
+        model.class_vectors[:] = _read_array(
+            data, "class_vectors", path, (meta["n_bins"], dim)
+        )
+        model.bin_centers = _read_array(
+            data, "bin_centers", path, (meta["n_bins"],)
+        )
         model._y_low = meta["y_low"]
         model._y_high = meta["y_high"]
         model._fitted = True

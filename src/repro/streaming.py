@@ -16,7 +16,8 @@ This module packages the pieces a deployed streaming learner needs around
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -69,6 +70,26 @@ class PageHinkley:
             return True
         return False
 
+    def get_state(self) -> dict:
+        """JSON-serialisable snapshot of the detector internals.
+
+        Together with :meth:`set_state` this lets a checkpoint capture the
+        detector mid-stream so recovery resumes bit-exactly.
+        """
+        return {
+            "mean": self._mean,
+            "count": self._count,
+            "cumulative": self._cumulative,
+            "minimum": self._minimum,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore internals captured by :meth:`get_state`."""
+        self._mean = float(state["mean"])
+        self._count = int(state["count"])
+        self._cumulative = float(state["cumulative"])
+        self._minimum = float(state["minimum"])
+
 
 @dataclass
 class StreamBatchReport:
@@ -79,20 +100,31 @@ class StreamBatchReport:
     drift_detected: bool
 
 
-@dataclass
 class StreamHistory:
-    """Accumulated reports of a streaming run."""
+    """Accumulated reports of a streaming run.
 
-    reports: list[StreamBatchReport] = field(default_factory=list)
+    ``max_reports`` bounds memory on unbounded streams: when set, only the
+    newest ``max_reports`` reports are retained (deque-backed) and
+    :attr:`drift_events` / :meth:`mse_curve` operate over that window.
+    ``None`` keeps everything, matching the original behaviour.
+    """
+
+    def __init__(self, max_reports: int | None = None):
+        if max_reports is not None and max_reports < 1:
+            raise ConfigurationError(
+                f"max_reports must be >= 1 or None, got {max_reports}"
+            )
+        self.max_reports = max_reports
+        self.reports: deque[StreamBatchReport] = deque(maxlen=max_reports)
 
     @property
     def n_batches(self) -> int:
-        """Number of processed batches."""
+        """Number of *retained* reports (== processed batches when unbounded)."""
         return len(self.reports)
 
     @property
     def drift_events(self) -> list[int]:
-        """Batch indices where drift fired."""
+        """Batch indices where drift fired, over the retained window."""
         return [r.batch for r in self.reports if r.drift_detected]
 
     def mse_curve(self) -> FloatArray:
@@ -121,6 +153,10 @@ class StreamingRegHD:
         Factor applied to the model hypervectors when drift fires (0
         fully resets them; clusters are kept — the input distribution
         geometry usually survives a concept change in the target).
+    max_history:
+        Optional bound on the number of retained
+        :class:`StreamBatchReport` entries (see :class:`StreamHistory`);
+        ``None`` retains the full run.
     """
 
     def __init__(
@@ -132,6 +168,7 @@ class StreamingRegHD:
         detector: PageHinkley | None = None,
         drift_shrink: float = 0.1,
         encoder: Encoder | None = None,
+        max_history: int | None = None,
     ):
         if not 0 < forgetting <= 1:
             raise ConfigurationError(
@@ -145,7 +182,7 @@ class StreamingRegHD:
         self.forgetting = float(forgetting)
         self.detector = detector
         self.drift_shrink = float(drift_shrink)
-        self.history = StreamHistory()
+        self.history = StreamHistory(max_history)
         self._batch_counter = 0
 
     @property

@@ -205,3 +205,66 @@ class TestReport:
         assert main(
             ["report", "--results-dir", str(tmp_path / "nope")]
         ) == 1
+
+
+class TestStream:
+    def test_stream_runs_with_reliability_stack(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        code = main(
+            [
+                "stream",
+                "--dataset", "boston",
+                "--k", "2",
+                "--dim", "256",
+                "--batch-size", "32",
+                "--max-batches", "12",
+                "--checkpoint-dir", str(ckpt_dir),
+                "--checkpoint-every", "4",
+                "--guard-policy", "repair",
+                "--scrub-every", "3",
+                "--watchdog",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batches processed" in out
+        assert "rollbacks" in out
+        assert list(ckpt_dir.glob("ckpt-*.npz"))
+
+    def test_stream_resume_from_checkpoint(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        args = [
+            "stream",
+            "--dataset", "boston",
+            "--k", "2",
+            "--dim", "256",
+            "--batch-size", "32",
+            "--checkpoint-dir", str(ckpt_dir),
+            "--checkpoint-every", "3",
+        ]
+        assert main(args + ["--max-batches", "6"]) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered from checkpoint at batch 6" in out
+
+    def test_stream_resume_requires_checkpoint_dir(self, capsys):
+        code = main(
+            ["stream", "--dataset", "boston", "--resume"]
+        )
+        assert code == 1
+        assert "requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_stream_plain(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--dataset", "boston",
+                "--batch-size", "64",
+                "--max-batches", "5",
+                "--dim", "256",
+                "--k", "2",
+            ]
+        )
+        assert code == 0
+        assert "batches processed : 5" in capsys.readouterr().out

@@ -144,3 +144,71 @@ class TestSweeps:
         hd_curve = sweep_reghd(hd, Xte, yte, rates=rates, repeats=3, seed=0)
         mlp_curve = sweep_mlp(mlp, Xte, yte, rates=rates, repeats=3, seed=0)
         assert hd_curve.degradation()[1] < mlp_curve.degradation()[1]
+
+
+class TestBitFlipInjector:
+    def test_registered_in_injectors(self):
+        from repro.noise.injection import INJECTORS, bit_flip
+
+        assert INJECTORS["bit_flip"] is bit_flip
+
+    def test_dispatches_to_binary_domain(self):
+        from repro.noise.injection import bit_flip
+
+        bits = np.zeros(10_000, dtype=np.uint8)
+        out = bit_flip(bits, 0.25, seed=0)
+        assert set(np.unique(out)) <= {0, 1}
+        assert out.mean() == pytest.approx(0.25, abs=0.02)
+
+    def test_dispatches_to_sign_domain(self):
+        from repro.noise.injection import bit_flip
+
+        v = np.random.default_rng(0).normal(size=10_000)
+        out = bit_flip(v, 0.3, seed=0)
+        assert np.mean(out != v) == pytest.approx(0.3, abs=0.02)
+        np.testing.assert_array_equal(np.abs(out), np.abs(v))
+
+    def test_binary_dispatch_matches_flip_bits(self):
+        from repro.noise.injection import bit_flip, flip_bits
+
+        bits = (np.random.default_rng(1).random(500) < 0.5).astype(np.uint8)
+        np.testing.assert_array_equal(
+            bit_flip(bits, 0.2, seed=3), flip_bits(bits, 0.2, seed=3)
+        )
+
+    def test_sweep_binary_quantized_model_native_domain(self, tiny_regression):
+        """A binary-quantised model can now be swept with bit flips in its
+        native (sign) domain through the registered injector."""
+        from repro.core.quantization import ClusterQuant, PredictQuant
+        from repro.noise.robustness import sweep_reghd
+
+        X, y, Xte, yte = tiny_regression
+        conv = ConvergencePolicy(max_epochs=6, patience=3)
+        model = MultiModelRegHD(
+            5,
+            RegHDConfig(
+                dim=512,
+                n_models=4,
+                seed=0,
+                convergence=conv,
+                cluster_quant=ClusterQuant.FRAMEWORK,
+                predict_quant=PredictQuant.BINARY_MODEL,
+            ),
+        ).fit(X, y)
+        curve = sweep_reghd(
+            model, Xte, yte,
+            rates=[0.0, 0.1, 0.3],
+            injector="bit_flip",
+            repeats=2,
+            seed=0,
+        )
+        assert curve.injector == "bit_flip"
+        assert np.all(np.isfinite(curve.mses))
+        assert curve.points[-1].mse > curve.points[0].mse
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.1])
+    def test_invalid_rates(self, rate):
+        from repro.noise.injection import bit_flip
+
+        with pytest.raises(ConfigurationError):
+            bit_flip(np.ones(4), rate)

@@ -1,0 +1,157 @@
+"""Tests for input-sanitisation guards."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataGuardError
+from repro.reliability import GuardPolicy, InputGuard
+
+
+@pytest.fixture
+def clean_batch(rng):
+    X = rng.normal(size=(10, 3))
+    y = rng.normal(size=10)
+    return X, y
+
+
+class TestStructuralChecks:
+    """Wrong rank / width / dtype always raise, under every policy."""
+
+    @pytest.mark.parametrize("policy", list(GuardPolicy))
+    def test_wrong_feature_count(self, policy, rng):
+        guard = InputGuard(3, policy=policy)
+        with pytest.raises(DataGuardError, match="features"):
+            guard.check(rng.normal(size=(5, 4)), np.zeros(5))
+
+    @pytest.mark.parametrize("policy", list(GuardPolicy))
+    def test_wrong_rank(self, policy):
+        guard = InputGuard(3, policy=policy)
+        with pytest.raises(DataGuardError, match="2-d"):
+            guard.check(np.zeros(3), np.zeros(1))
+
+    def test_non_numeric_dtype(self):
+        guard = InputGuard(2, policy="repair")
+        with pytest.raises(DataGuardError, match="convertible"):
+            guard.check([["a", "b"]], np.zeros(1))
+
+    def test_length_mismatch(self, rng):
+        guard = InputGuard(3)
+        with pytest.raises(DataGuardError, match="rows"):
+            guard.check(rng.normal(size=(5, 3)), np.zeros(4))
+
+    def test_invalid_in_features(self):
+        with pytest.raises(ConfigurationError):
+            InputGuard(0)
+
+    def test_invalid_value_range(self):
+        with pytest.raises(ConfigurationError):
+            InputGuard(3, value_range=(1.0, -1.0))
+
+
+class TestCleanBatches:
+    def test_pass_through_untouched(self, clean_batch):
+        X, y = clean_batch
+        X_out, y_out, report = InputGuard(3).check(X, y)
+        assert report.clean
+        np.testing.assert_array_equal(X_out, X)
+        np.testing.assert_array_equal(y_out, y)
+
+    def test_inference_only_batch(self, clean_batch):
+        X, _ = clean_batch
+        X_out, y_out, report = InputGuard(3).check(X)
+        assert y_out is None
+        assert report.clean
+
+
+class TestRaisePolicy:
+    def test_nan_rejected(self, clean_batch):
+        X, y = clean_batch
+        X[2, 1] = np.nan
+        with pytest.raises(DataGuardError, match="non-finite feature"):
+            InputGuard(3, policy="raise").check(X, y)
+
+    def test_inf_rejected(self, clean_batch):
+        X, y = clean_batch
+        X[0, 0] = np.inf
+        with pytest.raises(DataGuardError):
+            InputGuard(3).check(X, y)
+
+    def test_bad_target_rejected(self, clean_batch):
+        X, y = clean_batch
+        y[4] = np.nan
+        with pytest.raises(DataGuardError, match="target"):
+            InputGuard(3).check(X, y)
+
+    def test_out_of_range_rejected(self, clean_batch):
+        X, y = clean_batch
+        X[1, 2] = 1e6
+        with pytest.raises(DataGuardError, match="out-of-range"):
+            InputGuard(3, value_range=(-100.0, 100.0)).check(X, y)
+
+
+class TestRepairPolicy:
+    def test_nan_filled(self, clean_batch):
+        X, y = clean_batch
+        X[2, 1] = np.nan
+        X[5, 0] = -np.inf
+        X_out, y_out, report = InputGuard(
+            3, policy="repair", fill_value=0.0
+        ).check(X, y)
+        assert np.isfinite(X_out).all()
+        assert X_out[2, 1] == 0.0 and X_out[5, 0] == 0.0
+        assert report.n_repaired_values == 2
+        assert len(X_out) == len(y_out) == 10  # no rows lost
+
+    def test_out_of_range_clipped(self, clean_batch):
+        X, y = clean_batch
+        X[1, 2] = 1e6
+        X_out, _, report = InputGuard(
+            3, policy="repair", value_range=(-10.0, 10.0)
+        ).check(X, y)
+        assert X_out[1, 2] == 10.0
+        assert report.n_repaired_values == 1
+
+    def test_bad_target_row_dropped(self, clean_batch):
+        X, y = clean_batch
+        y[4] = np.nan
+        X_out, y_out, report = InputGuard(3, policy="repair").check(X, y)
+        assert len(X_out) == len(y_out) == 9
+        assert report.n_dropped_rows == 1
+        assert np.isfinite(y_out).all()
+
+    def test_input_not_mutated(self, clean_batch):
+        X, y = clean_batch
+        X[0, 0] = np.nan
+        X_copy = X.copy()
+        InputGuard(3, policy="repair").check(X, y)
+        np.testing.assert_array_equal(X, X_copy)
+
+
+class TestDropPolicy:
+    def test_offending_rows_dropped(self, clean_batch):
+        X, y = clean_batch
+        X[2, 1] = np.nan
+        y[7] = np.inf
+        X_out, y_out, report = InputGuard(3, policy="drop").check(X, y)
+        assert len(X_out) == len(y_out) == 8
+        assert report.n_dropped_rows == 2
+        assert np.isfinite(X_out).all() and np.isfinite(y_out).all()
+
+    def test_all_rows_dropped(self, rng):
+        X = np.full((4, 3), np.nan)
+        X_out, y_out, report = InputGuard(3, policy="drop").check(
+            X, np.zeros(4)
+        )
+        assert len(X_out) == 0
+        assert report.n_rows_out == 0
+
+
+class TestAccumulation:
+    def test_totals_accumulate_across_batches(self, rng):
+        guard = InputGuard(3, policy="drop")
+        for _ in range(3):
+            X = rng.normal(size=(5, 3))
+            X[0, 0] = np.nan
+            guard.check(X, np.zeros(5))
+        assert guard.total.n_rows_in == 15
+        assert guard.total.n_dropped_rows == 3

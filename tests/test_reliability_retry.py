@@ -1,0 +1,98 @@
+"""Tests for the seeded-jitter retry/backoff helper."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.reliability import backoff_delays, retry, retry_call
+
+
+class TestBackoffDelays:
+    def test_count_is_attempts_minus_one(self):
+        assert len(backoff_delays(4, seed=0)) == 3
+        assert backoff_delays(1, seed=0) == []
+
+    def test_deterministic_under_seed(self):
+        assert backoff_delays(5, seed=7) == backoff_delays(5, seed=7)
+
+    def test_grows_and_caps(self):
+        delays = backoff_delays(
+            6, base_delay=0.1, growth=2.0, max_delay=0.4, jitter=0.0, seed=0
+        )
+        assert delays == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_jitter_bounds(self):
+        delays = backoff_delays(
+            20, base_delay=0.1, growth=1.0, jitter=0.5, seed=3
+        )
+        assert all(0.1 <= d <= 0.15 for d in delays)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"attempts": 3, "base_delay": -1.0},
+            {"attempts": 3, "growth": 0.5},
+            {"attempts": 3, "jitter": -0.1},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            backoff_delays(**kwargs)
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+        slept = []
+
+        @retry(attempts=3, retry_on=(OSError,), sleep=slept.append)
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        assert flaky() == "ok"
+        assert calls["n"] == 3
+        assert len(slept) == 2
+
+    def test_raises_after_exhausting_attempts(self):
+        @retry(attempts=2, retry_on=(OSError,), sleep=lambda s: None)
+        def always_fails():
+            raise OSError("persistent")
+
+        with pytest.raises(OSError, match="persistent"):
+            always_fails()
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = {"n": 0}
+
+        @retry(attempts=5, retry_on=(OSError,), sleep=lambda s: None)
+        def wrong_error():
+            calls["n"] += 1
+            raise KeyError("not retried")
+
+        with pytest.raises(KeyError):
+            wrong_error()
+        assert calls["n"] == 1
+
+    def test_no_sleep_on_first_success(self):
+        slept = []
+
+        @retry(attempts=3, sleep=slept.append)
+        def fine():
+            return 42
+
+        assert fine() == 42
+        assert slept == []
+
+    def test_retry_call_functional_form(self):
+        calls = {"n": 0}
+
+        def flaky(value):
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise OSError("blip")
+            return value
+
+        assert retry_call(flaky, 7, sleep=lambda s: None) == 7

@@ -1,0 +1,155 @@
+"""Tests for memory scrubbing: rematerialisation and majority voting."""
+
+import numpy as np
+import pytest
+
+from repro import MultiModelRegHD, RegHDConfig
+from repro.core import ClusterQuant, ConvergencePolicy, PredictQuant
+from repro.exceptions import ConfigurationError
+from repro.noise.injection import flip_signs
+from repro.reliability import ModelScrubber, majority_vote, rematerialize
+
+# A binary-quantised model: its binary working copies are live (served to
+# queries and refreshed per epoch), which is the scenario scrubbing exists
+# for — and what makes rematerialisation exactly idempotent when healthy.
+CONFIG = RegHDConfig(
+    dim=1024,
+    n_models=4,
+    seed=0,
+    cluster_quant=ClusterQuant.FRAMEWORK,
+    predict_quant=PredictQuant.BINARY_MODEL,
+    convergence=ConvergencePolicy(max_epochs=5, patience=2),
+)
+
+
+@pytest.fixture
+def model(rng):
+    X = rng.normal(size=(150, 5))
+    y = np.sin(X[:, 0]) + X[:, 1]
+    return MultiModelRegHD(5, CONFIG).fit(X, y)
+
+
+class TestMajorityVote:
+    def test_identity_on_agreeing_replicas(self, rng):
+        v = rng.normal(size=(3, 8))
+        np.testing.assert_array_equal(
+            majority_vote([v, v.copy(), v.copy()]), v
+        )
+
+    def test_outvotes_single_corrupt_replica(self, rng):
+        clean = rng.normal(size=(2, 100))
+        corrupt = flip_signs(clean, 0.5, seed=0)
+        voted = majority_vote([corrupt, clean.copy(), clean.copy()])
+        np.testing.assert_array_equal(voted, clean)
+
+    def test_even_replica_count_rejected(self, rng):
+        v = rng.normal(size=(2, 4))
+        with pytest.raises(ConfigurationError, match="odd"):
+            majority_vote([v, v])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            majority_vote([])
+
+
+class TestRematerialize:
+    def test_idempotent_on_healthy_model(self, model):
+        assert rematerialize(model) == 0
+
+    def test_restores_corrupted_binary_copy(self, model):
+        clean_binary = model.models.binary.copy()
+        model.models.binary = flip_signs(clean_binary, 0.1, seed=1)
+        changed = rematerialize(model)
+        assert changed > 0
+        np.testing.assert_array_equal(model.models.binary, clean_binary)
+
+    def test_restores_all_binary_flips(self, model):
+        """The binary copy is a pure function of the intact shadow, so
+        rematerialisation erases 100% of working-copy faults."""
+        clean = model.models.binary.copy()
+        corrupt = flip_signs(clean, 0.05, seed=2)
+        n_injected = int(np.sum(corrupt != clean))
+        model.models.binary = corrupt
+        rematerialize(model)
+        restored = n_injected - int(np.sum(model.models.binary != clean))
+        assert restored == n_injected
+
+
+class TestModelScrubber:
+    def test_invalid_replica_counts(self, model):
+        for replicas in (0, 2, 4):
+            with pytest.raises(ConfigurationError):
+                ModelScrubber(model, replicas=replicas)
+
+    def test_noop_on_healthy_model(self, model):
+        scrubber = ModelScrubber(model, replicas=3)
+        report = scrubber.scrub()
+        assert not report.repaired_anything
+
+    def test_scrub_does_not_change_healthy_predictions(self, model, rng):
+        X = rng.normal(size=(20, 5))
+        before = model.predict(X)
+        scrubber = ModelScrubber(model, replicas=3)
+        scrubber.scrub()
+        np.testing.assert_array_equal(model.predict(X), before)
+
+    def test_live_corruption_voted_out(self, model):
+        scrubber = ModelScrubber(model, replicas=3)
+        clean = model.models.integer.copy()
+        model.models.integer[:] = flip_signs(clean, 0.05, seed=3)
+        report = scrubber.scrub()
+        assert report.shadow_elements_repaired > 0
+        np.testing.assert_array_equal(model.models.integer, clean)
+
+    def test_sync_after_training_keeps_updates(self, model, rng):
+        scrubber = ModelScrubber(model, replicas=3)
+        X = rng.normal(size=(30, 5))
+        y = np.sin(X[:, 0])
+        model.partial_fit(X, y)  # legitimate update: live != shadows now
+        scrubber.sync()  # hardware mirrors the write
+        after_update = model.models.integer.copy()
+        scrubber.scrub()
+        # Scrubbing must not vote out genuine training progress.
+        np.testing.assert_array_equal(model.models.integer, after_update)
+
+    def test_replicas_one_degrades_to_rematerialisation(self, model):
+        scrubber = ModelScrubber(model, replicas=1)
+        clean_binary = model.models.binary.copy()
+        model.models.binary = flip_signs(clean_binary, 0.1, seed=4)
+        report = scrubber.scrub()
+        assert report.shadow_elements_repaired == 0
+        assert report.binary_elements_refreshed > 0
+        np.testing.assert_array_equal(model.models.binary, clean_binary)
+
+    def test_acceptance_bit_flip_restoration(self, model):
+        """Acceptance criterion: >= 99% of model-hypervector bit flips at
+        rate 0.05 are restored with R=3 replicas."""
+        scrubber = ModelScrubber(model, replicas=3)
+        clean_int = model.models.integer.copy()
+        clean_bin = model.models.binary.copy()
+        # Working-copy faults: the binary copy hardware serves queries from.
+        model.models.binary = flip_signs(clean_bin, 0.05, seed=5)
+        # Shadow faults on the live integer copy.
+        model.models.integer[:] = flip_signs(clean_int, 0.05, seed=6)
+        n_injected = int(np.sum(model.models.binary != clean_bin)) + int(
+            np.sum(model.models.integer != clean_int)
+        )
+        scrubber.scrub()
+        n_left = int(np.sum(model.models.binary != clean_bin)) + int(
+            np.sum(model.models.integer != clean_int)
+        )
+        assert n_injected > 0
+        assert (n_injected - n_left) / n_injected >= 0.99
+
+    def test_independent_replica_corruption_mostly_repaired(self, model):
+        """Coincident faults across replicas survive voting with
+        probability O(rate^2); at rate 0.05 most flips are repaired and
+        the surviving fraction is small."""
+        scrubber = ModelScrubber(model, replicas=3, include_clusters=False)
+        clean = model.models.integer.copy()
+        model.models.integer[:] = flip_signs(clean, 0.05, seed=7)
+        for i, shadow in enumerate(scrubber._model_shadows):
+            shadow[:] = flip_signs(clean, 0.05, seed=10 + i)
+        scrubber.scrub()
+        wrong = int(np.sum(model.models.integer != clean))
+        assert wrong / clean.size < 0.01  # ~3 * 0.05^2 expected

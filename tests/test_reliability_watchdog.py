@@ -1,0 +1,133 @@
+"""Tests for the prequential-error health watchdog."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.reliability import HealthState, Watchdog
+
+
+def make(**kwargs):
+    defaults = dict(
+        baseline_batches=5, window=3, warn_factor=2.0, fail_factor=4.0
+    )
+    defaults.update(kwargs)
+    return Watchdog(**defaults)
+
+
+class TestStates:
+    def test_initializing_until_baseline(self):
+        dog = make()
+        for _ in range(4):
+            assert dog.update(1.0) is HealthState.INITIALIZING
+        assert dog.update(1.0) is HealthState.HEALTHY
+        assert dog.baseline == pytest.approx(1.0)
+
+    def test_healthy_within_envelope(self):
+        dog = make()
+        for _ in range(5):
+            dog.update(1.0)
+        for _ in range(10):
+            assert dog.update(1.5) is HealthState.HEALTHY
+
+    def test_warn_between_envelopes(self):
+        dog = make()
+        for _ in range(5):
+            dog.update(1.0)
+        for _ in range(3):
+            state = dog.update(3.0)
+        assert state is HealthState.WARN
+
+    def test_failed_beyond_fail_envelope(self):
+        dog = make()
+        for _ in range(5):
+            dog.update(1.0)
+        for _ in range(3):
+            state = dog.update(50.0)
+        assert state is HealthState.FAILED
+
+    def test_single_spike_absorbed_by_window(self):
+        """One wild batch must not trigger a rollback on its own."""
+        dog = make(window=5)
+        for _ in range(5):
+            dog.update(1.0)
+        for _ in range(4):
+            dog.update(1.0)
+        assert dog.update(10.0) is not HealthState.FAILED
+
+    def test_non_finite_error_fails_immediately(self):
+        dog = make()
+        for _ in range(5):
+            dog.update(1.0)
+        assert dog.update(np.nan) is HealthState.FAILED
+        assert dog.update(np.inf) is HealthState.FAILED
+
+    def test_zero_error_warmup_uses_floor(self):
+        dog = make(floor=1e-6)
+        for _ in range(5):
+            dog.update(0.0)
+        assert dog.baseline == 1e-6
+        # Tiny later errors are judged against the floor, not zero.
+        for _ in range(3):
+            state = dog.update(1e-8)
+        assert state is HealthState.HEALTHY
+
+
+class TestReset:
+    def test_reset_keep_baseline(self):
+        dog = make()
+        for _ in range(5):
+            dog.update(1.0)
+        for _ in range(3):
+            dog.update(50.0)
+        dog.reset(keep_baseline=True)
+        assert dog.state is HealthState.HEALTHY
+        assert dog.baseline == pytest.approx(1.0)
+        # Window is clear: one healthy error keeps it healthy.
+        assert dog.update(1.0) is HealthState.HEALTHY
+
+    def test_full_reset_relearns_baseline(self):
+        dog = make()
+        for _ in range(5):
+            dog.update(1.0)
+        dog.reset()
+        assert dog.baseline is None
+        assert dog.update(2.0) is HealthState.INITIALIZING
+
+
+class TestStateRoundtrip:
+    def test_get_set_state(self):
+        dog = make()
+        for e in [1.0, 1.1, 0.9, 1.0, 1.2, 1.3]:
+            dog.update(e)
+        snapshot = dog.get_state()
+        other = make()
+        other.set_state(snapshot)
+        assert other.baseline == dog.baseline
+        assert list(other._recent) == list(dog._recent)
+        assert other.update(1.0) is dog.update(1.0)
+
+    def test_mid_warmup_roundtrip(self):
+        dog = make()
+        dog.update(1.0)
+        other = make()
+        other.set_state(dog.get_state())
+        assert other.state is HealthState.INITIALIZING
+        for _ in range(4):
+            other.update(1.0)
+        assert other.baseline is not None
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"baseline_batches": 0},
+        {"window": 0},
+        {"warn_factor": 0.5},
+        {"warn_factor": 5.0, "fail_factor": 4.0},
+        {"floor": 0.0},
+    ],
+)
+def test_invalid_config(kwargs):
+    with pytest.raises(ConfigurationError):
+        make(**kwargs)

@@ -94,3 +94,80 @@ class TestErrors:
         ).fit(X, y)
         with pytest.raises(ConfigurationError, match="encoder"):
             save_model(model, tmp_path / "x.npz")
+
+
+class TestValidationOnLoad:
+    """Corrupt or tampered files must fail with ConfigurationError, never
+    a bare KeyError / BadZipFile / silent garbage model."""
+
+    def _saved(self, data, tmp_path):
+        X, y = data
+        model = SingleModelRegHD(4, dim=64, seed=0, convergence=CONV).fit(
+            X, y
+        )
+        return save_model(model, tmp_path / "m.npz")
+
+    def test_truncated_file_rejected(self, data, tmp_path):
+        path = self._saved(data, tmp_path)
+        path.write_bytes(path.read_bytes()[:120])
+        with pytest.raises(ConfigurationError):
+            load_model(path)
+
+    def test_missing_array_rejected(self, data, tmp_path):
+        path = self._saved(data, tmp_path)
+        loaded = dict(np.load(path, allow_pickle=False))
+        del loaded["model_vector"]
+        np.savez(path, **loaded)
+        with pytest.raises(ConfigurationError, match="model_vector"):
+            load_model(path)
+
+    def test_shape_mismatch_rejected(self, data, tmp_path):
+        path = self._saved(data, tmp_path)
+        loaded = dict(np.load(path, allow_pickle=False))
+        loaded["model_vector"] = loaded["model_vector"][:-1]
+        np.savez(path, **loaded)
+        with pytest.raises(ConfigurationError, match="shape"):
+            load_model(path)
+
+    def test_encoder_shape_mismatch_rejected(self, data, tmp_path):
+        path = self._saved(data, tmp_path)
+        loaded = dict(np.load(path, allow_pickle=False))
+        loaded["encoder_bases"] = loaded["encoder_bases"][:, :-1]
+        np.savez(path, **loaded)
+        with pytest.raises(ConfigurationError, match="shape"):
+            load_model(path)
+
+    def test_non_numeric_dtype_rejected(self, data, tmp_path):
+        path = self._saved(data, tmp_path)
+        loaded = dict(np.load(path, allow_pickle=False))
+        loaded["model_vector"] = np.array(["x"] * 64)
+        np.savez(path, **loaded)
+        with pytest.raises(ConfigurationError, match="dtype"):
+            load_model(path)
+
+    def test_not_a_zip_rejected(self, tmp_path):
+        path = tmp_path / "fake.npz"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(ConfigurationError):
+            load_model(path)
+
+
+class TestMetadataExtra:
+    def test_extra_roundtrip_via_read_metadata(self, data, tmp_path):
+        from repro.serialization import read_metadata
+
+        X, y = data
+        model = SingleModelRegHD(4, dim=64, seed=0, convergence=CONV).fit(
+            X, y
+        )
+        extra = {"stream": {"batch": 12, "forgetting": 0.97}}
+        path = save_model(model, tmp_path / "m.npz", extra=extra)
+        meta = read_metadata(path)
+        assert meta["extra"] == extra
+        assert meta["model_type"] == "single"
+
+    def test_read_metadata_missing_file(self, tmp_path):
+        from repro.serialization import read_metadata
+
+        with pytest.raises(ConfigurationError):
+            read_metadata(tmp_path / "absent.npz")

@@ -138,3 +138,110 @@ class TestStreamingRegHD:
         X = np.random.default_rng(0).normal(size=(16, 4))
         stream.update(X, X[:, 0])
         assert stream.predict(X).shape == (16,)
+
+
+class TestPageHinkleyEdgeCases:
+    def test_zero_error_stream_never_fires(self):
+        detector = PageHinkley(threshold=1.0, delta=0.0)
+        assert not any(detector.update(0.0) for _ in range(1000))
+        assert detector._mean == 0.0
+
+    def test_zero_then_spike_fires(self):
+        detector = PageHinkley(threshold=0.5, delta=0.0)
+        for _ in range(100):
+            detector.update(0.0)
+        fired = [detector.update(1.0) for _ in range(5)]
+        assert any(fired)
+
+    def test_detection_reset_redetection_cycle(self):
+        """The detector must stay usable across repeated drifts."""
+        detector = PageHinkley(threshold=1.0, delta=0.01)
+        rng = np.random.default_rng(0)
+        detections = 0
+        for _cycle in range(3):
+            # Calm regime: small errors re-establish the running mean.
+            for _ in range(150):
+                detector.update(abs(0.05 * rng.normal()))
+            # Shifted regime: errors jump; the detector must fire and,
+            # having auto-reset, fire again on the next cycle.
+            for _ in range(100):
+                if detector.update(abs(2.0 + 0.1 * rng.normal())):
+                    detections += 1
+                    break
+        assert detections == 3
+
+    def test_state_roundtrip_is_bit_exact(self):
+        detector = PageHinkley(threshold=2.0)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            detector.update(abs(rng.normal()))
+        clone = PageHinkley(threshold=2.0)
+        clone.set_state(detector.get_state())
+        tail = [abs(e) for e in rng.normal(size=100)]
+        assert [detector.update(e) for e in tail] == [
+            clone.update(e) for e in tail
+        ]
+
+
+class TestDriftShrinkAdaptation:
+    def test_drift_shrink_reduces_post_drift_error(self):
+        """On a synthetic concept shift, the shrink-on-drift path must
+        reach lower post-drift prequential error than a learner that
+        merely averages the two concepts (no detector, no forgetting)."""
+
+        def post_drift_error(detector: PageHinkley | None) -> float:
+            stream = StreamingRegHD(
+                4, CONFIG, detector=detector,
+                forgetting=1.0, drift_shrink=0.1,
+            )
+            for X, y in _stream_batches(0, 25, 64, seed=0):
+                stream.update(X, y)
+            for X, y in _stream_batches(1, 20, 64, seed=1):
+                stream.update(X, y)
+            return float(np.nanmean(stream.history.mse_curve()[-8:]))
+
+        with_shrink = post_drift_error(PageHinkley(threshold=1.0))
+        without = post_drift_error(None)
+        assert with_shrink < without
+
+
+class TestStreamHistoryBounds:
+    def test_unbounded_by_default(self):
+        stream = StreamingRegHD(4, CONFIG)
+        for X, y in _stream_batches(0, 30, 16, seed=0):
+            stream.update(X, y)
+        assert stream.history.n_batches == 30
+
+    def test_max_history_bounds_retention(self):
+        stream = StreamingRegHD(4, CONFIG, max_history=10)
+        for X, y in _stream_batches(0, 30, 16, seed=0):
+            stream.update(X, y)
+        assert stream.history.n_batches == 10
+        assert len(stream.history.mse_curve()) == 10
+        # The retained window is the newest 10 batches.
+        assert [r.batch for r in stream.history.reports] == list(
+            range(21, 31)
+        )
+
+    def test_drift_events_over_retained_window(self):
+        from repro.streaming import StreamBatchReport, StreamHistory
+
+        history = StreamHistory(max_reports=5)
+        for batch in range(1, 11):
+            history.reports.append(
+                StreamBatchReport(
+                    batch=batch,
+                    prequential_mse=1.0,
+                    drift_detected=(batch % 4 == 0),
+                )
+            )
+        # Batches 6..10 retained; drift at 4 has been evicted.
+        assert history.drift_events == [8]
+
+    def test_invalid_max_reports(self):
+        from repro.streaming import StreamHistory
+
+        with pytest.raises(ConfigurationError):
+            StreamHistory(max_reports=0)
+        with pytest.raises(ConfigurationError):
+            StreamingRegHD(4, CONFIG, max_history=-1)
