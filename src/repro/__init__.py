@@ -13,6 +13,9 @@ Yin and Imani.  The package provides:
   regressors for Table 1;
 * :mod:`repro.datasets` — seeded synthetic surrogates of the seven UCI
   evaluation datasets;
+* :mod:`repro.engine` — the packed-binary inference engine: fitted
+  models compile to frozen :class:`CompiledPlan` s executing tiled,
+  multi-threaded XOR + popcount prediction (:func:`compile_model`);
 * :mod:`repro.hardware` — the analytic operation-count cost model behind
   the efficiency figures;
 * :mod:`repro.noise` — fault injection for the robustness claims;
@@ -50,6 +53,7 @@ from repro.encoding import (
     RandomProjectionEncoder,
     SequenceEncoder,
 )
+from repro.engine import CompiledPlan, compile_model
 from repro.serialization import load_model, save_model
 from repro.metrics import (
     mean_absolute_error,
@@ -75,6 +79,8 @@ __all__ = [
     "NonlinearEncoder",
     "RandomProjectionEncoder",
     "SequenceEncoder",
+    "CompiledPlan",
+    "compile_model",
     "load_model",
     "save_model",
     "mean_absolute_error",

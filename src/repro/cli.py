@@ -49,6 +49,7 @@ from repro.datasets import (
     train_test_split,
 )
 from repro.datasets.preprocessing import StandardScaler
+from repro.engine import run_inference_benchmark
 from repro.evaluation import render_table, run_on_split
 from repro.metrics import mean_squared_error, r2_score
 from repro.reliability import GuardPolicy, ResilientStreamingRegHD, Watchdog, retry_call
@@ -177,6 +178,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="recover from the newest valid checkpoint in --checkpoint-dir",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="inference-engine throughput/latency benchmark "
+        "(float vs packed vs packed-multithreaded)",
+    )
+    bench.add_argument(
+        "--dims",
+        default="1000,4096,10000",
+        help="comma-separated hypervector dimensionalities to sweep",
+    )
+    bench.add_argument(
+        "--rows", type=int, default=2048, help="rows per timed batch"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=10, help="timed batches per variant"
+    )
+    bench.add_argument(
+        "--features", type=int, default=16, help="raw input features"
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="thread count for the multi-threaded variant",
+    )
+    bench.add_argument("--seed", type=int, default=0, help="master seed")
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller batches, fewer repeats, D <= 4096",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_inference.json",
+        help="where to write the JSON perf record",
+    )
+
     report = sub.add_parser(
         "report",
         help="collect benchmarks/results/*.txt into one experiment report",
@@ -273,7 +311,13 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     if sidecar.exists():
         params = json.loads(sidecar.read_text())
         X = (X - np.asarray(params["mean"])) / np.asarray(params["scale"])
-    for value in model.predict(X):
+    # Pure-inference workload: serve through the compiled engine (packed
+    # popcount kernels on quantised configs) when the model supports it.
+    if isinstance(model, MultiModelRegHD):
+        predictions = model.compile().predict(X)
+    else:
+        predictions = model.predict(X)
+    for value in predictions:
         print(f"{value:.6f}")
     return 0
 
@@ -448,6 +492,56 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import pathlib
+
+    try:
+        dims = tuple(int(d) for d in args.dims.split(",") if d.strip())
+    except ValueError:
+        print(f"--dims must be comma-separated integers: {args.dims!r}", file=sys.stderr)
+        return 1
+    if not dims:
+        print("--dims selected no dimensionalities", file=sys.stderr)
+        return 1
+    record = run_inference_benchmark(
+        dims=dims,
+        batch_rows=args.rows,
+        repeats=args.repeats,
+        features=args.features,
+        n_workers=args.workers,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    rows = [
+        {
+            "dim": r["dim"],
+            "variant": r["variant"],
+            "rows_per_s": r["rows_per_s"],
+            "p50_ms": r["p50_ms"],
+            "p99_ms": r["p99_ms"],
+        }
+        for r in record["results"]
+    ]
+    print(
+        render_table(
+            rows,
+            precision=2,
+            title="inference engine throughput "
+            f"(batch={record['params']['batch_rows']} rows, "
+            f"{record['params']['repeats']} repeats)",
+        )
+    )
+    for dim, ratios in record["speedups"].items():
+        print(
+            f"D={dim:>6}: packed {ratios['packed_vs_float']:.2f}x, "
+            f"packed+threads {ratios['packed_mt_vs_float']:.2f}x vs float"
+        )
+    out_path = pathlib.Path(args.output)
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -494,6 +588,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_hardware(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")

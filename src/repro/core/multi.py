@@ -28,6 +28,8 @@ products (:class:`PredictQuant`).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.config import RegHDConfig
@@ -45,6 +47,9 @@ from repro.ops.generate import random_bipolar
 from repro.types import ArrayLike, FloatArray, SeedLike
 from repro.utils.rng import derive_generator
 from repro.utils.validation import check_1d, check_2d, check_matching_lengths
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine import CompiledPlan
 
 
 def _normalize_rows(S: FloatArray, eps: float = 1e-12) -> FloatArray:
@@ -150,11 +155,12 @@ class MultiModelRegHD:
             return (S @ C.T) / norms
         # Quantised search: Hamming similarity of sign patterns, which for
         # bipolar views equals their cosine.  (sign(S) . sign(C)) / D is in
-        # [-1, 1], matching the cosine scale the softmax expects.
+        # [-1, 1], matching the cosine scale the softmax expects.  The
+        # cluster signs are cached on the DualCopy (invalidated on every
+        # update/rebinarisation); the query signs necessarily vary per call.
         S_signs = np.sign(S)
         S_signs[S_signs == 0] = 1.0
-        C_signs = np.sign(self.clusters.view(binary=True))
-        C_signs[C_signs == 0] = 1.0
+        C_signs = self.clusters.signs
         return (S_signs @ C_signs.T) / float(self.config.dim)
 
     def _confidences(self, sims: FloatArray) -> FloatArray:
@@ -304,6 +310,28 @@ class MultiModelRegHD:
             raise NotFittedError("MultiModelRegHD.predict called before fit")
         S = self._encode_normalized(check_2d("X", X))
         return self.predict_encoded(S) * self._y_scale + self._y_mean
+
+    def compile(
+        self,
+        *,
+        packed: bool | None = None,
+        tile_rows: int | None = None,
+        n_workers: int = 1,
+    ) -> "CompiledPlan":
+        """Freeze the fitted model into an immutable inference plan.
+
+        The plan snapshots the encoder projection, target scaling and the
+        effective cluster/model hypervectors — bit-packing the binary
+        operands so the quantised similarity search and fully-binary dot
+        products run as XOR + popcount — and executes batches through the
+        tiled, optionally multi-threaded engine.  See
+        :func:`repro.engine.compile_model` for the knobs.
+        """
+        from repro.engine import compile_model
+
+        return compile_model(
+            self, packed=packed, tile_rows=tile_rows, n_workers=n_workers
+        )
 
     def cluster_assignments(self, X: ArrayLike) -> np.ndarray:
         """Index of the most similar cluster centre per input row."""

@@ -107,6 +107,7 @@ class DualCopy:
 
     integer: FloatArray
     binary: FloatArray = field(init=False)
+    _signs: FloatArray | None = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.integer = np.asarray(self.integer, dtype=np.float64)
@@ -124,14 +125,36 @@ class DualCopy:
     def update(self, index: int, delta: FloatArray) -> None:
         """Add ``delta`` into row ``index`` of the *integer* copy only."""
         self.integer[index] += delta
+        self._signs = None
 
     def update_all(self, delta: FloatArray) -> None:
         """Add a ``(k, D)`` delta into the integer copy (batched updates)."""
         self.integer += delta
+        self._signs = None
 
     def rebinarize(self) -> None:
         """Re-derive the binary copy from the integer copy."""
         self.binary = binarize_preserving_scale(self.integer)
+        self._signs = None
+
+    @property
+    def signs(self) -> FloatArray:
+        """±1 sign pattern of the binary copy (ties map to +1), cached.
+
+        The similarity search consumes sign patterns every batch; deriving
+        them from the binary copy costs two full passes over ``(k, D)``
+        per call, so the result is cached here and invalidated by
+        :meth:`update` / :meth:`update_all` / :meth:`rebinarize` (the
+        invalidation on integer updates is conservative — the binary copy
+        only moves on :meth:`rebinarize` — but keeps the contract simple).
+        The returned array is read-only; callers must not mutate it.
+        """
+        if self._signs is None:
+            signs = np.sign(self.binary)
+            signs[signs == 0] = 1.0
+            signs.flags.writeable = False
+            self._signs = signs
+        return self._signs
 
     def view(self, binary: bool) -> FloatArray:
         """Return the requested copy (no defensive copy; callers read only)."""

@@ -1,0 +1,143 @@
+"""Inference throughput/latency harness: float vs packed vs threaded.
+
+Shared by the CLI ``bench`` subcommand and
+``benchmarks/test_engine_throughput.py``.  For each hypervector
+dimensionality it times three serving paths on the same fitted, quantised
+model (``cluster_quant=framework``, ``predict_quant=binary_both`` — the
+configuration where every heavy stage binarises):
+
+* ``float`` — the legacy :meth:`MultiModelRegHD.predict` path (float
+  sign matmuls);
+* ``packed`` — a compiled plan on the XOR + popcount backend,
+  single-threaded;
+* ``packed_mt`` — the same plan fanned over the thread pool.
+
+The emitted dict is what ``BENCH_inference.json`` stores at the repo
+root: rows/sec plus p50/p99 per-batch latency for every (dim, variant)
+cell, and per-dim speedup ratios of the packed paths over the float
+path — the regression baseline later PRs check against.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.config import RegHDConfig
+from repro.core.multi import MultiModelRegHD
+from repro.core.quantization import ClusterQuant, PredictQuant
+
+#: Dimensionalities swept by the full benchmark (paper Sec. 4 uses 4k-10k).
+DEFAULT_DIMS = (1000, 4096, 10000)
+
+
+def _fitted_model(
+    dim: int, features: int, seed: int, n_models: int = 8
+) -> MultiModelRegHD:
+    """A minimally-trained quantised model (state, not quality, matters)."""
+    model = MultiModelRegHD(
+        features,
+        RegHDConfig(
+            dim=dim,
+            n_models=n_models,
+            seed=seed,
+            cluster_quant=ClusterQuant.FRAMEWORK,
+            predict_quant=PredictQuant.BINARY_BOTH,
+        ),
+    )
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(256, features))
+    y = np.sin(X[:, 0]) + 0.5 * X[:, 1]
+    model.partial_fit(X, y)
+    return model
+
+
+def _time_predictor(predict, X, repeats: int, warmup: int = 1) -> dict:
+    """Latency/throughput stats for one predictor over ``repeats`` batches."""
+    for _ in range(warmup):
+        predict(X)
+    latencies = np.empty(repeats)
+    for i in range(repeats):
+        start = time.perf_counter()
+        predict(X)
+        latencies[i] = time.perf_counter() - start
+    return {
+        "batch_rows": int(X.shape[0]),
+        "repeats": int(repeats),
+        "rows_per_s": float(X.shape[0] * repeats / latencies.sum()),
+        "mean_ms": float(latencies.mean() * 1e3),
+        "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+        "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+    }
+
+
+def run_inference_benchmark(
+    *,
+    dims: tuple[int, ...] = DEFAULT_DIMS,
+    batch_rows: int = 2048,
+    repeats: int = 10,
+    features: int = 16,
+    n_workers: int = 4,
+    seed: int = 0,
+    quick: bool = False,
+) -> dict:
+    """Measure the three serving paths across ``dims``.
+
+    ``quick=True`` shrinks the sweep (drops D = 10k, smaller batches,
+    fewer repeats) to a CI-friendly smoke run that still yields the
+    packed-vs-float comparison at D = 4096.
+    """
+    if quick:
+        dims = tuple(d for d in dims if d <= 4096) or dims[:1]
+        batch_rows = min(batch_rows, 512)
+        repeats = min(repeats, 3)
+
+    rng = np.random.default_rng(seed + 1)
+    results: list[dict] = []
+    speedups: dict[str, dict[str, float]] = {}
+    for dim in dims:
+        model = _fitted_model(dim, features, seed)
+        plan = model.compile(packed=True, n_workers=1)
+        X = rng.normal(size=(batch_rows, features))
+
+        cells = {
+            "float": _time_predictor(model.predict, X, repeats),
+            "packed": _time_predictor(plan.predict, X, repeats),
+            "packed_mt": _time_predictor(
+                lambda batch: plan.predict(batch, n_workers=n_workers),
+                X,
+                repeats,
+            ),
+        }
+        for variant, stats in cells.items():
+            results.append({"dim": int(dim), "variant": variant, **stats})
+        speedups[str(dim)] = {
+            "packed_vs_float": cells["packed"]["rows_per_s"]
+            / cells["float"]["rows_per_s"],
+            "packed_mt_vs_float": cells["packed_mt"]["rows_per_s"]
+            / cells["float"]["rows_per_s"],
+        }
+
+    return {
+        "schema": 1,
+        "benchmark": "reghd-inference-engine",
+        "quant": {"cluster": "framework", "predict": "binary_both"},
+        "quick": bool(quick),
+        "params": {
+            "dims": [int(d) for d in dims],
+            "batch_rows": int(batch_rows),
+            "repeats": int(repeats),
+            "features": int(features),
+            "n_workers": int(n_workers),
+            "n_models": 8,
+            "seed": int(seed),
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "numpy": np.__version__,
+        },
+        "results": results,
+        "speedups": speedups,
+    }

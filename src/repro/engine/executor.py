@@ -1,0 +1,144 @@
+"""Tiled, multi-threaded execution of a :class:`CompiledPlan`.
+
+A batch is cut into row tiles; every tile flows through the fused
+pipeline (encode → similarity → softmax → dot products → accumulate)
+entirely inside one preallocated :class:`~repro.engine.kernels.TileScratch`,
+so peak memory is ``n_workers`` scratch sets plus the output vector — a
+million-row batch costs no more transient memory than one tile per
+worker.
+
+Tiles write disjoint slices of the shared output array, so fanning them
+out over a :class:`~concurrent.futures.ThreadPoolExecutor` needs no
+locking; BLAS, the trig ufuncs and the packed popcount kernels all
+release the GIL on tile-sized arrays.  ``n_workers=1`` bypasses the pool
+entirely (the single-threaded fallback).
+"""
+
+from __future__ import annotations
+
+import queue
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.quantization import ClusterQuant
+from repro.engine.kernels import (
+    TileScratch,
+    encode_tile,
+    packed_dots,
+    packed_query_words,
+    packed_similarities,
+    query_scales,
+    row_norms,
+    sign_matrix,
+    softmax_confidences,
+)
+from repro.types import FloatArray
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.plan import CompiledPlan
+
+
+def _run_tile(
+    plan: "CompiledPlan",
+    X: FloatArray,
+    lo: int,
+    hi: int,
+    out: FloatArray,
+    scratch: TileScratch,
+) -> None:
+    """Run one row tile through the fused pipeline into ``out[lo:hi]``."""
+    X_tile = X[lo:hi]
+
+    # 1. Encode (Eq. 1), fused into the scratch buffers when the plan
+    #    carries a projection snapshot.
+    if plan.enc_bases is not None:
+        S = encode_tile(
+            X_tile, plan.enc_bases, plan.enc_phases, plan.enc_scale, scratch
+        )
+    else:
+        S = np.asarray(plan.encoder.encode_batch(X_tile), dtype=np.float64)
+    norms = row_norms(S)
+
+    # 2. Raw-encoding derivatives, before S is normalised in place:
+    #    sign bits / words and the binary-query scale are all invariant
+    #    to the positive row normalisation.
+    q_scales = (
+        query_scales(S, norms, scratch)
+        if plan.predict_quant.query_is_binary
+        else None
+    )
+    words = packed_query_words(S, scratch) if plan.needs_words else None
+    signs = sign_matrix(S, scratch) if plan.needs_signs else None
+    if plan.needs_normalized:
+        np.divide(S, norms[:, np.newaxis], out=S)
+
+    # 3. Cluster similarities (Eq. 5) and softmax confidences.
+    if plan.packed_sims:
+        sims = packed_similarities(words, plan.cluster_words, plan.dim)
+    elif plan.cluster_quant is ClusterQuant.NONE:
+        sims = (S @ plan.cluster_matT) / plan.cluster_norms
+    else:
+        sims = (signs @ plan.cluster_signsT) / float(plan.dim)
+    conf = softmax_confidences(sims, plan.softmax_temp)
+
+    # 4. Model dot products (Eq. 6 under the Sec.-3.2 scheme).
+    if plan.packed_dots:
+        dots = packed_dots(
+            words, plan.model_words, q_scales, plan.model_scales, plan.dim
+        )
+    elif plan.predict_quant.query_is_binary:
+        Q = np.multiply(signs, q_scales[:, np.newaxis], out=signs)
+        dots = Q @ plan.model_matT
+    else:
+        dots = S @ plan.model_matT
+
+    # 5. Confidence-weighted accumulation, mapped back to target units.
+    y = np.sum(conf * dots, axis=1)
+    np.multiply(y, plan.y_scale, out=y)
+    np.add(y, plan.y_mean, out=y)
+    out[lo:hi] = y
+
+
+def execute_plan(
+    plan: "CompiledPlan",
+    X: FloatArray,
+    *,
+    tile_rows: int,
+    n_workers: int,
+) -> FloatArray:
+    """Predict a full batch through the tiled pipeline."""
+    n = X.shape[0]
+    out = np.empty(n, dtype=np.float64)
+    if n == 0:
+        return out
+    tile_rows = max(1, int(tile_rows))
+    spans = [
+        (lo, min(lo + tile_rows, n)) for lo in range(0, n, tile_rows)
+    ]
+    workers = min(max(1, int(n_workers)), len(spans))
+
+    if workers == 1:
+        scratch = TileScratch(min(tile_rows, n), plan.dim)
+        for lo, hi in spans:
+            _run_tile(plan, X, lo, hi, out, scratch)
+        return out
+
+    # One scratch set per worker, recycled through a queue; tiles write
+    # disjoint output slices so no further synchronisation is needed.
+    scratch_pool: queue.SimpleQueue[TileScratch] = queue.SimpleQueue()
+    for _ in range(workers):
+        scratch_pool.put(TileScratch(tile_rows, plan.dim))
+
+    def _job(span: tuple[int, int]) -> None:
+        scratch = scratch_pool.get()
+        try:
+            _run_tile(plan, X, span[0], span[1], out, scratch)
+        finally:
+            scratch_pool.put(scratch)
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        # list() drains the iterator so worker exceptions propagate.
+        list(pool.map(_job, spans))
+    return out

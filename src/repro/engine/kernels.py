@@ -1,0 +1,144 @@
+"""Fused per-tile kernels for the compiled inference engine.
+
+Each kernel operates on one row tile of a batch and writes its large
+intermediates into caller-provided scratch buffers, so a tile's peak
+memory is a fixed number of ``(tile_rows, D)`` arrays no matter how many
+rows the full batch has.  Numpy's ufuncs and BLAS release the GIL on
+arrays of this size, which is what lets the executor fan tiles out over a
+thread pool.
+
+The arithmetic mirrors :class:`repro.core.multi.MultiModelRegHD` exactly:
+
+* the quantised similarity search ``(sign(S) @ sign(C).T) / D`` equals
+  ``(D - 2 * hamming) / D`` on packed sign words — bit-for-bit, because
+  the ±1 matmul sums to an exact integer below 2^53;
+* the fully-binary dot product ``(sign_q * scale_q) @ (sign_m * scale_m).T``
+  becomes ``scale_q * scale_m * (D - 2 * hamming)`` — equal up to float
+  rounding of the scale multiplications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.packing import pack_sign_words, packed_sign_products
+from repro.types import FloatArray
+
+
+class TileScratch:
+    """Preallocated buffers for one in-flight tile (one set per worker)."""
+
+    def __init__(self, tile_rows: int, dim: int):
+        self.tile_rows = int(tile_rows)
+        self.dim = int(dim)
+        #: primary float buffer: raw encoding, then normalised encoding
+        self.main = np.empty((tile_rows, dim), dtype=np.float64)
+        #: secondary float buffer: trig temporary, |S|, then sign matrix
+        self.aux = np.empty((tile_rows, dim), dtype=np.float64)
+        #: boolean sign-bit buffer feeding ``np.packbits``
+        self.bits = np.empty((tile_rows, dim), dtype=np.bool_)
+
+    @property
+    def nbytes(self) -> int:
+        """Total scratch footprint in bytes."""
+        return self.main.nbytes + self.aux.nbytes + self.bits.nbytes
+
+
+def encode_tile(
+    X: FloatArray,
+    bases: FloatArray,
+    phases: FloatArray,
+    scale: float,
+    scratch: TileScratch,
+) -> FloatArray:
+    """Nonlinear encode (Eq. 1) of a tile into ``scratch.main``.
+
+    Computes ``cos(X @ B * scale + phase) * sin(X @ B * scale)`` with the
+    same elementwise operation order as
+    :class:`~repro.encoding.nonlinear.NonlinearEncoder`, so per-row
+    results match the un-tiled encoder.
+    """
+    t = X.shape[0]
+    proj = scratch.main[:t]
+    tmp = scratch.aux[:t]
+    np.dot(X, bases, out=proj)
+    np.multiply(proj, scale, out=proj)
+    np.add(proj, phases, out=tmp)
+    np.cos(tmp, out=tmp)
+    np.sin(proj, out=proj)
+    np.multiply(proj, tmp, out=proj)
+    return proj
+
+
+def row_norms(S: FloatArray, eps: float = 1e-12) -> FloatArray:
+    """Euclidean row norms, floored at ``eps`` (matches ``_normalize_rows``)."""
+    norms = np.linalg.norm(S, axis=1)
+    np.maximum(norms, eps, out=norms)
+    return norms
+
+
+def query_scales(S: FloatArray, norms: FloatArray, scratch: TileScratch) -> FloatArray:
+    """Per-row binarisation scale of the *normalised* queries.
+
+    ``mean(|S / norm|) == mean(|S|) / norm``, so the scale is computed
+    from the raw encoding without materialising the normalised tile.
+    Rows whose scale is zero (all-zero encodings) binarise to zero,
+    matching :func:`repro.core.quantization.binarize_preserving_scale`.
+    """
+    t = S.shape[0]
+    absS = np.abs(S, out=scratch.aux[:t])
+    scales = absS.mean(axis=1)
+    scales /= norms
+    return scales
+
+
+def sign_matrix(S: FloatArray, scratch: TileScratch) -> FloatArray:
+    """±1 sign pattern of a tile (ties → +1) built in ``scratch.aux``."""
+    t = S.shape[0]
+    bits = np.greater_equal(S, 0, out=scratch.bits[:t])
+    signs = np.multiply(bits, 2.0, out=scratch.aux[:t])
+    np.subtract(signs, 1.0, out=signs)
+    return signs
+
+
+def packed_query_words(S: FloatArray, scratch: TileScratch) -> np.ndarray:
+    """Pack a tile's sign bits into uint64 words via the shared scratch."""
+    return pack_sign_words(S, out_bits=scratch.bits)
+
+
+def packed_similarities(
+    query_words: np.ndarray, cluster_words: np.ndarray, dim: int
+) -> FloatArray:
+    """Quantised cluster similarities ``(D - 2*hamming) / D`` in [-1, 1].
+
+    Bit-exact with the float path's ``(sign(S) @ sign(C).T) / D``: the
+    numerator is the same exact integer in both formulations, divided by
+    the same ``float(dim)``.
+    """
+    return packed_sign_products(query_words, cluster_words, dim) / float(dim)
+
+
+def softmax_confidences(sims: FloatArray, temp: float) -> FloatArray:
+    """Softmax block of Fig. 4, same stabilisation as the training path."""
+    scores = temp * sims
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def packed_dots(
+    query_words: np.ndarray,
+    model_words: np.ndarray,
+    query_scales: FloatArray,
+    model_scales: FloatArray,
+    dim: int,
+) -> FloatArray:
+    """Fully-binary model dot products on packed words (Sec. 3.2).
+
+    ``dots[i, j] = q_scale[i] * m_scale[j] * (signs_q[i] . signs_m[j])``
+    with the sign dot product computed as ``D - 2 * hamming``.
+    """
+    prods = packed_sign_products(query_words, model_words, dim)
+    prods *= query_scales[:, np.newaxis]
+    prods *= model_scales[np.newaxis, :]
+    return prods

@@ -1,0 +1,312 @@
+"""Compile a fitted RegHD model into a frozen execution plan.
+
+:func:`compile_model` snapshots everything prediction needs — the encoder
+projection, the target scaling, and the *effective* cluster/model
+hypervectors under the configured Section-3 quantisation — into an
+immutable :class:`CompiledPlan`.  Binary operands are bit-packed into
+``uint64`` words at compile time, so at serve time the quantised
+similarity search and the fully-binary model dot products run as XOR +
+popcount instead of float matrix products (paper Sec. 3: D-*bit* logic in
+place of D-element arithmetic).
+
+The plan is a value, not a view: further training of the source model
+does not change a compiled plan, and a plan never mutates the model.
+That makes plans safe to hand to serving threads while the online learner
+keeps updating — the streaming wrappers recompile after each absorbed
+batch (see :meth:`repro.streaming.StreamingRegHD.predict`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.multi import MultiModelRegHD
+from repro.core.quantization import ClusterQuant, PredictQuant
+from repro.encoding.base import Encoder
+from repro.encoding.nonlinear import NonlinearEncoder
+from repro.exceptions import (
+    ConfigurationError,
+    EncodingError,
+    NotFittedError,
+)
+from repro.ops.packing import pack_sign_words
+from repro.types import ArrayLike, FloatArray
+from repro.utils.validation import check_2d
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    """A contiguous, read-only float64/uint64-preserving copy."""
+    out = np.ascontiguousarray(np.array(array, copy=True))
+    out.flags.writeable = False
+    return out
+
+
+@dataclass(frozen=True, repr=False)
+class CompiledPlan:
+    """An immutable, executable snapshot of a fitted RegHD model.
+
+    Instances are produced by :func:`compile_model` (or the convenience
+    :meth:`MultiModelRegHD.compile <repro.core.multi.MultiModelRegHD.compile>`)
+    and execute prediction through the tiled engine via :meth:`predict`.
+    All array fields are read-only; the plan shares no mutable state with
+    the model it was compiled from.
+
+    Exactly one of each operand pair is populated, depending on the
+    quantisation scheme and the ``packed`` compile flag:
+
+    * cluster search — ``cluster_matT``/``cluster_norms`` (full-precision
+      cosine), ``cluster_signsT`` (float sign search), or
+      ``cluster_words`` (packed Hamming search);
+    * model dots — ``model_matT`` (float matmul against the effective
+      models) or ``model_words``/``model_scales`` (packed sign products,
+      fully-binary configs only).
+    """
+
+    in_features: int
+    dim: int
+    n_models: int
+    softmax_temp: float
+    cluster_quant: ClusterQuant
+    predict_quant: PredictQuant
+    y_mean: float
+    y_scale: float
+    packed_sims: bool
+    packed_dots: bool
+    tile_rows: int
+    n_workers: int
+    # encoder snapshot (fast fused path) or opaque fallback encoder
+    enc_bases: FloatArray | None = field(default=None)
+    enc_phases: FloatArray | None = field(default=None)
+    enc_scale: float = 1.0
+    encoder: Encoder | None = field(default=None)
+    # cluster-search operands
+    cluster_matT: FloatArray | None = field(default=None)
+    cluster_norms: FloatArray | None = field(default=None)
+    cluster_signsT: FloatArray | None = field(default=None)
+    cluster_words: np.ndarray | None = field(default=None)
+    # model dot-product operands
+    model_matT: FloatArray | None = field(default=None)
+    model_words: np.ndarray | None = field(default=None)
+    model_scales: FloatArray | None = field(default=None)
+
+    @property
+    def packed(self) -> bool:
+        """Whether any stage of this plan runs on packed words."""
+        return self.packed_sims or self.packed_dots
+
+    @property
+    def needs_normalized(self) -> bool:
+        """Whether the pipeline must materialise the normalised encoding.
+
+        Fully sign-based stages (packed or float sign search, binary
+        queries) are invariant to the positive per-row normalisation, so
+        the ``(tile, D)`` division is skipped unless a full-precision
+        stage consumes the normalised rows.
+        """
+        return (
+            self.cluster_quant is ClusterQuant.NONE
+            or not self.predict_quant.query_is_binary
+        )
+
+    @property
+    def needs_signs(self) -> bool:
+        """Whether a float ±1 sign matrix of the queries is required."""
+        unpacked_sign_search = (
+            self.cluster_quant is not ClusterQuant.NONE and not self.packed_sims
+        )
+        unpacked_binary_query = (
+            self.predict_quant.query_is_binary and not self.packed_dots
+        )
+        return unpacked_sign_search or unpacked_binary_query
+
+    @property
+    def needs_words(self) -> bool:
+        """Whether the queries are packed into uint64 sign words."""
+        return self.packed_sims or self.packed_dots
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the plan's operand arrays."""
+        total = 0
+        for arr in (
+            self.enc_bases,
+            self.enc_phases,
+            self.cluster_matT,
+            self.cluster_norms,
+            self.cluster_signsT,
+            self.cluster_words,
+            self.model_matT,
+            self.model_words,
+            self.model_scales,
+        ):
+            if arr is not None:
+                total += arr.nbytes
+        return total
+
+    def predict(
+        self,
+        X: ArrayLike,
+        *,
+        tile_rows: int | None = None,
+        n_workers: int | None = None,
+    ) -> FloatArray:
+        """Predict targets (original units) for raw feature rows.
+
+        Equivalent to :meth:`MultiModelRegHD.predict
+        <repro.core.multi.MultiModelRegHD.predict>` on the model state at
+        compile time (bit-exact packed similarity scores; predictions
+        match to float rounding).  ``tile_rows``/``n_workers`` override
+        the compile-time execution knobs for this call only.
+        """
+        from repro.engine.executor import execute_plan
+
+        X_arr = check_2d("X", X)
+        if X_arr.shape[1] != self.in_features:
+            raise EncodingError(
+                f"expected {self.in_features} features, got {X_arr.shape[1]}"
+            )
+        return execute_plan(
+            self,
+            X_arr,
+            tile_rows=self.tile_rows if tile_rows is None else int(tile_rows),
+            n_workers=self.n_workers if n_workers is None else int(n_workers),
+        )
+
+    def __repr__(self) -> str:
+        backend = []
+        backend.append("packed-sims" if self.packed_sims else "float-sims")
+        backend.append("packed-dots" if self.packed_dots else "float-dots")
+        return (
+            f"CompiledPlan(in_features={self.in_features}, dim={self.dim}, "
+            f"k={self.n_models}, cluster_quant={self.cluster_quant.value}, "
+            f"predict_quant={self.predict_quant.value}, "
+            f"backend={'+'.join(backend)}, tile_rows={self.tile_rows}, "
+            f"n_workers={self.n_workers})"
+        )
+
+
+def auto_tile_rows(dim: int, budget_bytes: int = 24 << 20) -> int:
+    """Tile height whose scratch set (~17 bytes/element) fits the budget."""
+    rows = budget_bytes // (17 * max(1, dim))
+    return int(min(4096, max(64, rows)))
+
+
+def compile_model(
+    model: MultiModelRegHD,
+    *,
+    packed: bool | None = None,
+    tile_rows: int | None = None,
+    n_workers: int = 1,
+) -> CompiledPlan:
+    """Compile a fitted :class:`MultiModelRegHD` into a :class:`CompiledPlan`.
+
+    Parameters
+    ----------
+    model:
+        A fitted multi-model RegHD instance.  The plan copies every
+        operand it needs; the model can keep training afterwards without
+        affecting the plan.
+    packed:
+        ``True`` forces the packed popcount backend wherever the
+        quantisation scheme permits it (quantised cluster search, fully
+        binary dot products); ``False`` keeps every stage on float
+        operands; ``None`` (default) picks packed automatically exactly
+        when some stage benefits.
+    tile_rows:
+        Rows per execution tile.  ``None`` sizes tiles so one worker's
+        scratch stays near 24 MiB (:func:`auto_tile_rows`).
+    n_workers:
+        Default thread count for :meth:`CompiledPlan.predict`.  ``1``
+        runs the single-threaded fallback loop with one scratch set.
+
+    Raises
+    ------
+    NotFittedError
+        If the model has not been fitted.
+    ConfigurationError
+        If ``model`` is not a :class:`MultiModelRegHD` or the knobs are
+        out of range.
+    """
+    if not isinstance(model, MultiModelRegHD):
+        raise ConfigurationError(
+            f"compile_model supports MultiModelRegHD, got "
+            f"{type(model).__name__}"
+        )
+    if not model._fitted:
+        raise NotFittedError("compile_model called before fit")
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    cfg = model.config
+    if tile_rows is None:
+        tile_rows = auto_tile_rows(cfg.dim)
+    elif tile_rows < 1:
+        raise ConfigurationError(f"tile_rows must be >= 1, got {tile_rows}")
+
+    quantised_search = cfg.cluster_quant is not ClusterQuant.NONE
+    fully_binary_dots = cfg.predict_quant is PredictQuant.BINARY_BOTH
+    if packed is None:
+        packed = quantised_search or fully_binary_dots
+    packed_sims = bool(packed) and quantised_search
+    packed_dots = bool(packed) and fully_binary_dots
+
+    # Encoder snapshot: the fused tile kernel needs the projection
+    # operands; other encoder types fall back to their encode_batch.
+    enc_bases = enc_phases = None
+    enc_scale = 1.0
+    encoder: Encoder | None = None
+    if type(model.encoder) is NonlinearEncoder:
+        enc_bases = _frozen(model.encoder.bases)
+        enc_phases = _frozen(model.encoder.phases)
+        enc_scale = float(model.encoder.scale)
+    else:
+        encoder = model.encoder
+
+    # Cluster-search operands (Eq. 5 or its Hamming replacement).
+    cluster_matT = cluster_norms = cluster_signsT = cluster_words = None
+    if not quantised_search:
+        C = model.clusters.integer
+        cluster_matT = _frozen(C.T)
+        cluster_norms = _frozen(
+            np.maximum(np.linalg.norm(C, axis=1), 1e-12)
+        )
+    elif packed_sims:
+        cluster_words = _frozen(pack_sign_words(model.clusters.view(binary=True)))
+    else:
+        cluster_signsT = _frozen(model.clusters.signs.T)
+
+    # Model dot-product operands (Eq. 6 under the Sec.-3.2 scheme).
+    model_matT = model_words = model_scales = None
+    if packed_dots:
+        M = model.models.integer
+        model_words = _frozen(pack_sign_words(M))
+        model_scales = _frozen(np.mean(np.abs(M), axis=1))
+    else:
+        model_matT = _frozen(model._effective_models().T)
+
+    return CompiledPlan(
+        in_features=model.in_features,
+        dim=cfg.dim,
+        n_models=cfg.n_models,
+        softmax_temp=float(cfg.softmax_temp),
+        cluster_quant=cfg.cluster_quant,
+        predict_quant=cfg.predict_quant,
+        y_mean=float(model._y_mean),
+        y_scale=float(model._y_scale),
+        packed_sims=packed_sims,
+        packed_dots=packed_dots,
+        tile_rows=int(tile_rows),
+        n_workers=int(n_workers),
+        enc_bases=enc_bases,
+        enc_phases=enc_phases,
+        enc_scale=enc_scale,
+        encoder=encoder,
+        cluster_matT=cluster_matT,
+        cluster_norms=cluster_norms,
+        cluster_signsT=cluster_signsT,
+        cluster_words=cluster_words,
+        model_matT=model_matT,
+        model_words=model_words,
+        model_scales=model_scales,
+    )

@@ -15,8 +15,10 @@ from repro.ops.bundling import (
 from repro.ops.item_memory import ItemMemory
 from repro.ops.packing import (
     pack_bits,
+    pack_sign_words,
     packed_hamming_distance,
     packed_hamming_similarity,
+    packed_sign_products,
     unpack_bits,
 )
 from repro.ops.generate import (
@@ -52,8 +54,10 @@ __all__ = [
     "weighted_bundle",
     "ItemMemory",
     "pack_bits",
+    "pack_sign_words",
     "packed_hamming_distance",
     "packed_hamming_similarity",
+    "packed_sign_products",
     "unpack_bits",
     "random_binary",
     "random_bipolar",

@@ -226,6 +226,7 @@ class ResilientStreamingRegHD(StreamingRegHD):
         learned state moves), keeping every external reference to
         ``self.model`` valid.
         """
+        self._plan = None  # restored weights invalidate the serving plan
         self.model.models.integer[:] = model.models.integer
         self.model.models.rebinarize()
         self.model.clusters.integer[:] = model.clusters.integer

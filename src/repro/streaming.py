@@ -184,6 +184,8 @@ class StreamingRegHD:
         self.drift_shrink = float(drift_shrink)
         self.history = StreamHistory(max_history)
         self._batch_counter = 0
+        # Compiled serving plan, rebuilt lazily after every model change.
+        self._plan = None
 
     @property
     def fitted(self) -> bool:
@@ -191,8 +193,20 @@ class StreamingRegHD:
         return self.model._fitted
 
     def predict(self, X: ArrayLike) -> FloatArray:
-        """Predict with the current model state."""
-        return self.model.predict(X)
+        """Predict with the current model state (compiled serving path).
+
+        Pure-inference traffic between stream updates runs on a
+        :class:`~repro.engine.CompiledPlan` — quantised configurations
+        execute as packed XOR + popcount — compiled lazily on the first
+        predict after a batch is absorbed and reused until the model next
+        changes.
+        """
+        if not self.fitted:
+            # Defer to the model for the canonical NotFittedError.
+            return self.model.predict(X)
+        if self._plan is None:
+            self._plan = self.model.compile()
+        return self._plan.predict(X)
 
     def update(self, X: ArrayLike, y: ArrayLike) -> StreamBatchReport:
         """Absorb one arriving batch (predict-then-train).
@@ -223,6 +237,7 @@ class StreamingRegHD:
                 )
                 self.model.models.rebinarize()
         self.model.partial_fit(X_arr, y_arr)
+        self._plan = None  # model changed; next predict recompiles
 
         report = StreamBatchReport(
             batch=self._batch_counter,

@@ -176,6 +176,58 @@ class TestScalerSidecar:
         assert np.std(preds) > 0.5
 
 
+class TestBench:
+    def test_bench_writes_json(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--dims", "64,96",
+                "--rows", "32",
+                "--repeats", "2",
+                "--features", "4",
+                "--workers", "2",
+                "--output", str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rows_per_s" in out and "vs float" in out
+        record = json.loads(out_file.read_text())
+        assert record["schema"] == 1
+        assert record["benchmark"] == "reghd-inference-engine"
+        assert {r["variant"] for r in record["results"]} == {
+            "float",
+            "packed",
+            "packed_mt",
+        }
+        assert set(record["speedups"]) == {"64", "96"}
+
+    def test_bench_quick_flag(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "bench.json"
+        assert main(
+            [
+                "bench",
+                "--dims", "64",
+                "--rows", "32",
+                "--repeats", "2",
+                "--features", "4",
+                "--quick",
+                "--output", str(out_file),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert json.loads(out_file.read_text())["quick"] is True
+
+    def test_bench_rejects_bad_dims(self, capsys):
+        assert main(["bench", "--dims", "abc"]) == 1
+        assert "--dims" in capsys.readouterr().err
+
+
 class TestReport:
     def test_collects_tables(self, tmp_path, capsys):
         results = tmp_path / "results"

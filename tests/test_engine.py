@@ -1,0 +1,236 @@
+"""Tests for the compiled inference engine (repro.engine)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompiledPlan,
+    MultiModelRegHD,
+    RegHDConfig,
+    SingleModelRegHD,
+    compile_model,
+)
+from repro.core import ClusterQuant, ConvergencePolicy, PredictQuant
+from repro.engine import auto_tile_rows, run_inference_benchmark
+from repro.engine.kernels import TileScratch
+from repro.exceptions import (
+    ConfigurationError,
+    EncodingError,
+    NotFittedError,
+)
+from repro.reliability import ResilientStreamingRegHD
+from repro.streaming import StreamingRegHD
+
+CONV = ConvergencePolicy(max_epochs=3, patience=2)
+
+
+def _task(seed=0, n=120, d=5):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = np.sin(X[:, 0]) + X[:, 1]
+    return X, y
+
+
+def _fitted(cq=ClusterQuant.FRAMEWORK, pq=PredictQuant.BINARY_BOTH, dim=128):
+    X, y = _task()
+    cfg = RegHDConfig(
+        dim=dim,
+        n_models=4,
+        seed=0,
+        convergence=CONV,
+        cluster_quant=cq,
+        predict_quant=pq,
+    )
+    return MultiModelRegHD(5, cfg).fit(X, y)
+
+
+class TestCompile:
+    def test_unfitted_raises(self):
+        model = MultiModelRegHD(5, RegHDConfig(dim=64, n_models=2))
+        with pytest.raises(NotFittedError):
+            compile_model(model)
+
+    def test_rejects_other_model_types(self):
+        X, y = _task()
+        single = SingleModelRegHD(5, dim=64, convergence=CONV).fit(X, y)
+        with pytest.raises(ConfigurationError):
+            compile_model(single)
+
+    def test_knob_validation(self):
+        model = _fitted()
+        with pytest.raises(ConfigurationError):
+            model.compile(tile_rows=0)
+        with pytest.raises(ConfigurationError):
+            model.compile(n_workers=0)
+
+    def test_auto_packing_follows_quantisation(self):
+        assert _fitted().compile().packed
+        assert not _fitted(
+            ClusterQuant.NONE, PredictQuant.FULL
+        ).compile().packed
+
+    def test_operands_are_read_only(self):
+        plan = _fitted().compile()
+        for arr in (plan.cluster_words, plan.model_words, plan.model_scales):
+            assert arr is not None
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+    def test_plan_is_frozen_against_further_training(self):
+        model = _fitted()
+        plan = model.compile()
+        X, y = _task(seed=3)
+        before = plan.predict(X)
+        model.partial_fit(X, y)  # mutates the model, not the plan
+        np.testing.assert_array_equal(plan.predict(X), before)
+        assert not np.allclose(model.predict(X), before)
+
+    def test_repr_and_nbytes(self):
+        plan = _fitted().compile()
+        assert "packed-sims" in repr(plan) and "packed-dots" in repr(plan)
+        assert plan.nbytes > 0
+        # Packed cluster operands are 64x smaller than their float form.
+        assert plan.cluster_words.nbytes * 8 <= plan.dim * plan.n_models
+
+    def test_auto_tile_rows_bounds(self):
+        assert auto_tile_rows(10) == 4096
+        assert auto_tile_rows(10_000_000) == 64
+        assert 64 <= auto_tile_rows(4000) <= 4096
+
+
+class TestPredict:
+    def test_matches_model_all_backends(self):
+        model = _fitted()
+        X, _ = _task(seed=1, n=67)
+        ref = model.predict(X)
+        for packed in (True, False):
+            plan = model.compile(packed=packed)
+            np.testing.assert_allclose(
+                plan.predict(X), ref, rtol=1e-9, atol=1e-10
+            )
+
+    def test_tiling_is_invisible(self):
+        """Tile sizes that do not divide the batch change nothing.
+
+        BLAS picks shape-dependent kernels, so the encode matmul can
+        differ by an ulp between tile heights — hence allclose, not
+        array_equal (threading with a fixed tile size IS bit-exact).
+        """
+        plan = _fitted().compile()
+        X, _ = _task(seed=2, n=101)
+        whole = plan.predict(X, tile_rows=101)
+        for tile_rows in (1, 7, 32, 100, 500):
+            np.testing.assert_allclose(
+                plan.predict(X, tile_rows=tile_rows), whole, rtol=1e-12
+            )
+
+    def test_threading_is_invisible(self):
+        plan = _fitted().compile()
+        X, _ = _task(seed=4, n=90)
+        single = plan.predict(X, tile_rows=16, n_workers=1)
+        threaded = plan.predict(X, tile_rows=16, n_workers=4)
+        np.testing.assert_array_equal(single, threaded)
+
+    def test_empty_batch(self):
+        plan = _fitted().compile()
+        out = plan.predict(np.empty((0, 5)))
+        assert out.shape == (0,)
+
+    def test_feature_mismatch_raises(self):
+        plan = _fitted().compile()
+        with pytest.raises(EncodingError):
+            plan.predict(np.zeros((3, 4)))
+
+    def test_custom_encoder_fallback(self):
+        """Non-NonlinearEncoder models fall back to encode_batch."""
+        from repro.encoding.projection import RandomProjectionEncoder
+
+        X, y = _task()
+        enc = RandomProjectionEncoder(5, 128, seed=0)
+        model = MultiModelRegHD(
+            5,
+            RegHDConfig(dim=128, n_models=4, seed=0, convergence=CONV),
+            encoder=enc,
+        ).fit(X, y)
+        plan = model.compile(tile_rows=33)
+        assert plan.encoder is enc and plan.enc_bases is None
+        np.testing.assert_allclose(
+            plan.predict(X), model.predict(X), rtol=1e-9, atol=1e-10
+        )
+
+
+class TestTileScratch:
+    def test_footprint_is_bounded_by_tile(self):
+        scratch = TileScratch(64, 1000)
+        # two float64 buffers + one bool buffer
+        assert scratch.nbytes == 64 * 1000 * (8 + 8 + 1)
+
+
+class TestServingIntegration:
+    def test_streaming_predict_uses_fresh_plan(self):
+        X, y = _task(n=96)
+        stream = StreamingRegHD(
+            5, RegHDConfig(dim=128, n_models=4, seed=0)
+        )
+        stream.update(X[:48], y[:48])
+        first = stream.predict(X[48:])
+        assert isinstance(stream._plan, CompiledPlan)
+        np.testing.assert_allclose(
+            first, stream.model.predict(X[48:]), rtol=1e-9, atol=1e-10
+        )
+        plan_before = stream._plan
+        stream.update(X[48:], y[48:])
+        assert stream._plan is None  # invalidated by the update
+        second = stream.predict(X[:48])
+        assert stream._plan is not plan_before
+        np.testing.assert_allclose(
+            second, stream.model.predict(X[:48]), rtol=1e-9, atol=1e-10
+        )
+
+    def test_resilient_restore_invalidates_plan(self, tmp_path):
+        X, y = _task(n=128)
+        stream = ResilientStreamingRegHD(
+            5,
+            RegHDConfig(dim=128, n_models=4, seed=0),
+            checkpoint_dir=tmp_path,
+            checkpoint_every=1,
+        )
+        stream.update(X[:64], y[:64])
+        stream.predict(X[64:])
+        assert stream._plan is not None
+        stream.update(X[64:], y[64:])
+        stream.predict(X[:64])
+        assert stream._rollback()  # restores the checkpointed weights
+        assert stream._plan is None
+        np.testing.assert_allclose(
+            stream.predict(X[:64]),
+            stream.model.predict(X[:64]),
+            rtol=1e-9,
+            atol=1e-10,
+        )
+
+
+class TestBenchHarness:
+    def test_quick_benchmark_schema(self):
+        record = run_inference_benchmark(
+            dims=(64, 96), batch_rows=32, repeats=2, features=4, n_workers=2
+        )
+        assert record["schema"] == 1
+        assert {r["variant"] for r in record["results"]} == {
+            "float",
+            "packed",
+            "packed_mt",
+        }
+        assert len(record["results"]) == 6
+        for stats in record["results"]:
+            assert stats["rows_per_s"] > 0
+            assert stats["p50_ms"] <= stats["p99_ms"] + 1e-9
+        assert set(record["speedups"]) == {"64", "96"}
+
+    def test_quick_flag_shrinks_sweep(self):
+        record = run_inference_benchmark(
+            dims=(64, 8192), batch_rows=1024, repeats=10, features=4, quick=True
+        )
+        assert record["params"]["dims"] == [64]
+        assert record["params"]["batch_rows"] <= 512
+        assert record["params"]["repeats"] <= 3

@@ -11,6 +11,7 @@ PUBLIC_MODULES = [
     "repro.ops",
     "repro.baselines",
     "repro.datasets",
+    "repro.engine",
     "repro.hardware",
     "repro.noise",
     "repro.evaluation",
