@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import Regressor
+from repro.core.estimator import TargetScaler
 from repro.exceptions import ConfigurationError
 from repro.types import ArrayLike, FloatArray, SeedLike
 from repro.utils.rng import as_generator
@@ -103,8 +104,7 @@ class SGDLinearRegression(Regressor):
         self.intercept_ = 0.0
         self._x_mean: FloatArray | None = None
         self._x_scale: FloatArray | None = None
-        self._y_mean = 0.0
-        self._y_scale = 1.0
+        self.scaler = TargetScaler()
 
     def fit(self, X: ArrayLike, y: ArrayLike) -> "SGDLinearRegression":
         X_arr, y_arr = self._validate_fit(X, y)
@@ -113,12 +113,10 @@ class SGDLinearRegression(Regressor):
         scale = X_arr.std(axis=0)
         scale[scale == 0.0] = 1.0
         self._x_scale = scale
-        self._y_mean = float(y_arr.mean())
-        y_scale = float(y_arr.std())
-        self._y_scale = y_scale if y_scale > 0 else 1.0
+        self.scaler.fit(y_arr)
 
         Xs = (X_arr - self._x_mean) / self._x_scale
-        ys = (y_arr - self._y_mean) / self._y_scale
+        ys = self.scaler.transform(y_arr)
         n, d = Xs.shape
         w = np.zeros(d)
         b = 0.0
@@ -146,4 +144,4 @@ class SGDLinearRegression(Regressor):
         )
         Xs = (X_arr - self._x_mean) / self._x_scale
         pred = Xs @ self.coef_ + self.intercept_
-        return pred * self._y_scale + self._y_mean
+        return self.scaler.inverse(pred)

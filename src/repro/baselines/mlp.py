@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import Regressor
+from repro.core.estimator import TargetScaler
 from repro.exceptions import ConfigurationError
 from repro.types import ArrayLike, FloatArray, SeedLike
 from repro.utils.rng import as_generator
@@ -117,8 +118,7 @@ class MLPRegressor(Regressor):
         self.n_epochs_ = 0
         self._x_mean: FloatArray | None = None
         self._x_scale: FloatArray | None = None
-        self._y_mean = 0.0
-        self._y_scale = 1.0
+        self.scaler = TargetScaler()
 
     # -- internals -----------------------------------------------------------
 
@@ -182,12 +182,10 @@ class MLPRegressor(Regressor):
         scale = X_arr.std(axis=0)
         scale[scale == 0.0] = 1.0
         self._x_scale = scale
-        self._y_mean = float(y_arr.mean())
-        y_scale = float(y_arr.std())
-        self._y_scale = y_scale if y_scale > 0 else 1.0
+        self.scaler.fit(y_arr)
 
         Xs = (X_arr - self._x_mean) / self._x_scale
-        ys = (y_arr - self._y_mean) / self._y_scale
+        ys = self.scaler.transform(y_arr)
         n = Xs.shape[0]
         self._init_params(Xs.shape[1])
 
@@ -253,4 +251,4 @@ class MLPRegressor(Regressor):
         assert self._x_mean is not None and self._x_scale is not None
         Xs = (X_arr - self._x_mean) / self._x_scale
         pred, _, _ = self._forward(Xs)
-        return pred * self._y_scale + self._y_mean
+        return self.scaler.inverse(pred)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import Regressor
+from repro.core.estimator import TargetScaler
 from repro.exceptions import ConfigurationError
 from repro.types import ArrayLike, FloatArray, SeedLike
 from repro.utils.rng import as_generator, derive_generator
@@ -92,8 +93,7 @@ class SVR(Regressor):
         self._rff_b: FloatArray | None = None
         self._x_mean: FloatArray | None = None
         self._x_scale: FloatArray | None = None
-        self._y_mean = 0.0
-        self._y_scale = 1.0
+        self.scaler = TargetScaler()
 
     def _lift(self, Xs: FloatArray) -> FloatArray:
         if self.kernel == "linear":
@@ -108,12 +108,10 @@ class SVR(Regressor):
         scale = X_arr.std(axis=0)
         scale[scale == 0.0] = 1.0
         self._x_scale = scale
-        self._y_mean = float(y_arr.mean())
-        y_scale = float(y_arr.std())
-        self._y_scale = y_scale if y_scale > 0 else 1.0
+        self.scaler.fit(y_arr)
 
         Xs = (X_arr - self._x_mean) / self._x_scale
-        ys = (y_arr - self._y_mean) / self._y_scale
+        ys = self.scaler.transform(y_arr)
 
         if self.kernel == "rbf":
             gamma = self.gamma if self.gamma is not None else 1.0 / Xs.shape[1]
@@ -159,4 +157,4 @@ class SVR(Regressor):
         Xs = (X_arr - self._x_mean) / self._x_scale
         Z = self._lift(Xs)
         pred = Z @ self.coef_ + self.intercept_
-        return pred * self._y_scale + self._y_mean
+        return self.scaler.inverse(pred)

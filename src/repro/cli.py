@@ -313,7 +313,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         X = (X - np.asarray(params["mean"])) / np.asarray(params["scale"])
     # Pure-inference workload: serve through the compiled engine (packed
     # popcount kernels on quantised configs) when the model supports it.
-    if isinstance(model, MultiModelRegHD):
+    if hasattr(model, "compile"):
         predictions = model.compile().predict(X)
     else:
         predictions = model.predict(X)

@@ -16,6 +16,11 @@ from repro.core.capacity import (
 )
 from repro.core.config import ConvergencePolicy, RegHDConfig
 from repro.core.ensemble import RegHDEnsemble
+from repro.core.estimator import (
+    BaseEstimator,
+    BaseRegHDEstimator,
+    TargetScaler,
+)
 from repro.core.multi import MultiModelRegHD
 from repro.core.multioutput import MultiOutputRegHD
 from repro.core.quantization import (
@@ -48,6 +53,9 @@ __all__ = [
     "ConvergencePolicy",
     "RegHDConfig",
     "RegHDEnsemble",
+    "BaseEstimator",
+    "BaseRegHDEstimator",
+    "TargetScaler",
     "MultiModelRegHD",
     "MultiOutputRegHD",
     "ClusterQuant",

@@ -11,6 +11,10 @@ both reproduced here and visible in the Table-1 benchmark:
 * getting usable resolution "requires hundreds of class hypervectors",
   which makes the similarity search expensive (the efficiency benchmarks
   charge it for exactly that).
+
+Unlike the RegHD regressors this model works in raw target units (the bin
+edges are the "scaling"), so it overrides the target-scaling hooks of
+:class:`~repro.core.estimator.BaseRegHDEstimator` with identity maps.
 """
 
 from __future__ import annotations
@@ -18,21 +22,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import ConvergencePolicy
-from repro.core.trainer import IterativeTrainer, TrainingHistory
+from repro.core.estimator import (
+    BaseRegHDEstimator,
+    encoder_from_state,
+    take_array,
+)
 from repro.encoding.base import Encoder
 from repro.encoding.nonlinear import NonlinearEncoder
-from repro.exceptions import ConfigurationError, NotFittedError
-from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.exceptions import ConfigurationError
+from repro.registry import register_model
+from repro.types import FloatArray, SeedLike
 from repro.utils.rng import derive_generator
-from repro.utils.validation import check_1d, check_2d, check_matching_lengths
 
 
-def _normalize_rows(S: FloatArray, eps: float = 1e-12) -> FloatArray:
-    norms = np.linalg.norm(S, axis=1, keepdims=True)
-    return S / np.maximum(norms, eps)
-
-
-class BaselineHD:
+@register_model("baseline_hd")
+class BaselineHD(BaseRegHDEstimator):
     """HD classification over output-range bins, used as a regressor.
 
     Parameters
@@ -49,6 +53,10 @@ class BaselineHD:
     batch_size, encoder, convergence, seed:
         As in the RegHD models.
     """
+
+    #: binned classification cannot absorb online batches meaningfully —
+    #: the bin edges are frozen by the first full fit.
+    supports_partial_fit = False
 
     def __init__(
         self,
@@ -70,35 +78,24 @@ class BaselineHD:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {batch_size}"
             )
-        if encoder is not None and encoder.in_features != in_features:
-            raise ConfigurationError(
-                f"encoder expects {encoder.in_features} features, model "
-                f"was given in_features={in_features}"
+        super().__init__(
+            self.resolve_encoder(
+                in_features,
+                encoder,
+                lambda: NonlinearEncoder(
+                    in_features, dim, derive_generator(seed, 0)
+                ),
             )
+        )
         self.n_bins = int(n_bins)
         self.lr = float(lr)
         self.batch_size = int(batch_size)
-        self.encoder = encoder or NonlinearEncoder(
-            in_features, dim, derive_generator(seed, 0)
-        )
         self.convergence = convergence or ConvergencePolicy()
         self._seed = seed
         self.class_vectors = np.zeros((self.n_bins, self.encoder.dim))
         self.bin_centers = np.linspace(0.0, 1.0, self.n_bins)
         self._y_low = 0.0
         self._y_high = 1.0
-        self._fitted = False
-        self.history_: TrainingHistory | None = None
-
-    @property
-    def dim(self) -> int:
-        """Hypervector dimensionality ``D``."""
-        return self.encoder.dim
-
-    @property
-    def in_features(self) -> int:
-        """Number of raw input features."""
-        return self.encoder.in_features
 
     def _bin_index(self, y: FloatArray) -> np.ndarray:
         span = max(self._y_high - self._y_low, np.finfo(float).tiny)
@@ -130,54 +127,89 @@ class BaselineHD:
         sims = S @ self.class_vectors.T
         return self.bin_centers[np.argmax(sims, axis=1)]
 
-    def end_epoch(self) -> None:
-        """No per-epoch post-processing."""
+    # -- template hooks -----------------------------------------------------
 
-    # -- public API -----------------------------------------------------------
+    def _convergence_policy(self) -> ConvergencePolicy:
+        return self.convergence
 
-    def fit(
-        self,
-        X: ArrayLike,
-        y: ArrayLike,
-        *,
-        X_val: ArrayLike | None = None,
-        y_val: ArrayLike | None = None,
-    ) -> "BaselineHD":
-        """Train the class hypervectors iteratively until convergence."""
-        X_arr = check_2d("X", X)
-        y_arr = check_1d("y", y)
-        check_matching_lengths("X", X_arr, "y", y_arr)
-        self._y_low = float(np.min(y_arr))
-        self._y_high = float(np.max(y_arr))
+    def _fit_shuffle_rng(self):
+        # Re-derived per fit so repeated fits are bit-identical.
+        return derive_generator(self._seed, 1)
+
+    def _reset_learned_state(self) -> None:
+        self.class_vectors[:] = 0.0
+
+    def _prepare_fit_targets(self, y: FloatArray) -> FloatArray:
+        # Binning replaces standardisation: the output range is discretised
+        # into n_bins equal-width bins and training works in raw units.
+        self._y_low = float(np.min(y))
+        self._y_high = float(np.max(y))
         if self._y_high == self._y_low:
             self._y_high = self._y_low + 1.0
         half_bin = (self._y_high - self._y_low) / (2.0 * self.n_bins)
         self.bin_centers = np.linspace(
             self._y_low + half_bin, self._y_high - half_bin, self.n_bins
         )
-        self.class_vectors[:] = 0.0
+        return y
 
-        S = _normalize_rows(self.encoder.encode_batch(X_arr))
-        S_val = None
-        y_val_arr = None
-        if X_val is not None and y_val is not None:
-            X_val_arr = check_2d("X_val", X_val)
-            y_val_arr = check_1d("y_val", y_val)
-            check_matching_lengths("X_val", X_val_arr, "y_val", y_val_arr)
-            S_val = _normalize_rows(self.encoder.encode_batch(X_val_arr))
+    def _transform_targets(self, y: FloatArray) -> FloatArray:
+        return y
 
-        # Re-derived per fit so repeated fits are bit-identical.
-        trainer = IterativeTrainer(self.convergence, derive_generator(self._seed, 1))
-        self.history_ = trainer.train(self, S, y_arr, S_val, y_val_arr)
-        self._fitted = True
-        return self
+    def _finalize_predictions(self, y: FloatArray) -> FloatArray:
+        return y
 
-    def predict(self, X: ArrayLike) -> FloatArray:
-        """Predict bin centres for raw feature rows."""
-        if not self._fitted:
-            raise NotFittedError("BaselineHD.predict called before fit")
-        S = _normalize_rows(self.encoder.encode_batch(check_2d("X", X)))
-        return self.predict_encoded(S)
+    # -- state protocol -----------------------------------------------------
+
+    def _model_meta(self) -> dict:
+        return {
+            "n_bins": self.n_bins,
+            "lr": self.lr,
+            "batch_size": self.batch_size,
+            "seed": self._seed if isinstance(self._seed, int) else None,
+            "convergence": {
+                "max_epochs": self.convergence.max_epochs,
+                "patience": self.convergence.patience,
+                "tol": self.convergence.tol,
+                "min_epochs": self.convergence.min_epochs,
+            },
+            "y_low": self._y_low,
+            "y_high": self._y_high,
+        }
+
+    def _model_arrays(self) -> dict[str, np.ndarray]:
+        return {
+            "class_vectors": np.asarray(self.class_vectors),
+            "bin_centers": np.asarray(self.bin_centers),
+        }
+
+    def _apply_model_state(
+        self, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> None:
+        self.class_vectors[:] = take_array(
+            arrays, "class_vectors", (self.n_bins, self.dim)
+        )
+        self.bin_centers = take_array(arrays, "bin_centers", (self.n_bins,))
+        self._y_low = float(meta["y_low"])
+        self._y_high = float(meta["y_high"])
+
+    @classmethod
+    def _construct_from_state(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "BaselineHD":
+        convergence = (
+            ConvergencePolicy(**meta["convergence"])
+            if "convergence" in meta
+            else None
+        )
+        return cls(
+            int(meta["in_features"]),
+            n_bins=int(meta["n_bins"]),
+            lr=meta["lr"],
+            batch_size=meta["batch_size"],
+            encoder=encoder_from_state(meta["encoder"], arrays),
+            convergence=convergence,
+            seed=meta.get("seed", 0),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -8,6 +8,11 @@ punish the predicted one), iterative retraining, and optional binary
 inference via the dual-copy framework.  It exists both as a library
 feature and as the base :class:`~repro.core.baseline_hd.BaselineHD`
 specialises for regression-by-binning.
+
+The classifier shares :class:`~repro.core.estimator.BaseRegHDEstimator`'s
+encoder handling, fitted-state and state protocol, but replaces the
+regression ``fit`` template with its own accuracy-plateau loop (labels,
+not continuous targets, drive convergence here).
 """
 
 from __future__ import annotations
@@ -15,21 +20,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import ConvergencePolicy
+from repro.core.estimator import (
+    BaseRegHDEstimator,
+    encoder_from_state,
+    take_array,
+)
 from repro.core.quantization import binarize_preserving_scale
 from repro.encoding.base import Encoder
 from repro.encoding.nonlinear import NonlinearEncoder
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.registry import register_model
 from repro.types import ArrayLike, FloatArray, SeedLike
 from repro.utils.rng import as_generator, derive_generator
 from repro.utils.validation import check_2d, check_matching_lengths
 
 
-def _normalize_rows(S: FloatArray, eps: float = 1e-12) -> FloatArray:
-    norms = np.linalg.norm(S, axis=1, keepdims=True)
-    return S / np.maximum(norms, eps)
-
-
-class HDClassifier:
+@register_model("classifier")
+class HDClassifier(BaseRegHDEstimator):
     """Error-driven HD classification (OnlineHD-style).
 
     Parameters
@@ -49,6 +56,8 @@ class HDClassifier:
         As in the RegHD models.
     """
 
+    supports_partial_fit = False
+
     def __init__(
         self,
         in_features: int,
@@ -67,33 +76,23 @@ class HDClassifier:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {batch_size}"
             )
-        if encoder is not None and encoder.in_features != in_features:
-            raise ConfigurationError(
-                f"encoder expects {encoder.in_features} features, model "
-                f"was given in_features={in_features}"
+        super().__init__(
+            self.resolve_encoder(
+                in_features,
+                encoder,
+                lambda: NonlinearEncoder(
+                    in_features, dim, derive_generator(seed, 0)
+                ),
             )
+        )
         self.lr = float(lr)
         self.batch_size = int(batch_size)
         self.binary_inference = bool(binary_inference)
-        self.encoder = encoder or NonlinearEncoder(
-            in_features, dim, derive_generator(seed, 0)
-        )
         self.convergence = convergence or ConvergencePolicy()
         self._seed = seed
         self.classes_: np.ndarray | None = None
         self.class_vectors_: FloatArray | None = None
-        self._fitted = False
         self.accuracy_curve_: list[float] = []
-
-    @property
-    def dim(self) -> int:
-        """Hypervector dimensionality."""
-        return self.encoder.dim
-
-    @property
-    def in_features(self) -> int:
-        """Number of raw input features."""
-        return self.encoder.in_features
 
     @property
     def n_classes(self) -> int:
@@ -134,7 +133,7 @@ class HDClassifier:
         self.classes_, labels = np.unique(y_arr, return_inverse=True)
         if len(self.classes_) < 2:
             raise ConfigurationError("need at least two classes")
-        S = _normalize_rows(self.encoder.encode_batch(X_arr))
+        S = self._encode_normalized(X_arr)
         self.class_vectors_ = np.zeros((len(self.classes_), self.dim))
 
         # Single-pass bundling initialisation, then error-driven epochs.
@@ -166,7 +165,7 @@ class HDClassifier:
         """Similarity of each input to every class hypervector."""
         if not self._fitted:
             raise NotFittedError("HDClassifier used before fit")
-        S = _normalize_rows(self.encoder.encode_batch(check_2d("X", X)))
+        S = self._encode_normalized(check_2d("X", X))
         return S @ self._effective_class_vectors().T
 
     def predict(self, X: ArrayLike) -> np.ndarray:
@@ -179,6 +178,60 @@ class HDClassifier:
         """Classification accuracy."""
         y_arr = np.asarray(y)
         return float(np.mean(self.predict(X) == y_arr))
+
+    # -- state protocol -----------------------------------------------------
+
+    def _model_meta(self) -> dict:
+        return {
+            "lr": self.lr,
+            "batch_size": self.batch_size,
+            "binary_inference": self.binary_inference,
+            "seed": self._seed if isinstance(self._seed, int) else None,
+            "convergence": {
+                "max_epochs": self.convergence.max_epochs,
+                "patience": self.convergence.patience,
+                "tol": self.convergence.tol,
+                "min_epochs": self.convergence.min_epochs,
+            },
+        }
+
+    def _model_arrays(self) -> dict[str, np.ndarray]:
+        if self.classes_ is None or self.class_vectors_ is None:
+            raise ConfigurationError(
+                "HDClassifier has no learned state to serialise before fit"
+            )
+        return {
+            "class_vectors": np.asarray(self.class_vectors_),
+            "classes": np.asarray(self.classes_),
+        }
+
+    def _apply_model_state(
+        self, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> None:
+        classes = np.asarray(arrays["classes"])
+        self.class_vectors_ = take_array(
+            arrays, "class_vectors", (len(classes), self.dim)
+        )
+        self.classes_ = classes
+
+    @classmethod
+    def _construct_from_state(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "HDClassifier":
+        convergence = (
+            ConvergencePolicy(**meta["convergence"])
+            if "convergence" in meta
+            else None
+        )
+        return cls(
+            int(meta["in_features"]),
+            lr=meta["lr"],
+            batch_size=meta["batch_size"],
+            binary_inference=meta["binary_inference"],
+            encoder=encoder_from_state(meta["encoder"], arrays),
+            convergence=convergence,
+            seed=meta.get("seed", 0),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -137,3 +137,56 @@ class RegHDConfig:
     def with_overrides(self, **changes: Any) -> "RegHDConfig":
         """Return a copy with the given fields replaced (frozen-safe)."""
         return replace(self, **changes)
+
+    def to_meta(self) -> dict:
+        """JSON-serialisable dict for the state protocol / model files."""
+        return {
+            "dim": self.dim,
+            "n_models": self.n_models,
+            "lr": self.lr,
+            "softmax_temp": self.softmax_temp,
+            "update_weighting": self.update_weighting,
+            "cluster_quant": self.cluster_quant.value,
+            "predict_quant": self.predict_quant.value,
+            "batch_size": self.batch_size,
+            "encoder_base": self.encoder_base,
+            "encoder_scale": self.encoder_scale,
+            "convergence": {
+                "max_epochs": self.convergence.max_epochs,
+                "patience": self.convergence.patience,
+                "tol": self.convergence.tol,
+                "min_epochs": self.convergence.min_epochs,
+            },
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_meta(cls, meta: dict) -> "RegHDConfig":
+        """Rebuild a config from :meth:`to_meta` output.
+
+        Tolerates the legacy v1 file format, which omitted
+        ``encoder_base`` / ``encoder_scale`` / ``convergence`` (those
+        fall back to their defaults — they only affect *training*, not
+        the restored learned state).
+        """
+        convergence = ConvergencePolicy(**meta["convergence"]) if (
+            "convergence" in meta
+        ) else ConvergencePolicy()
+        return cls(
+            dim=int(meta["dim"]),
+            n_models=int(meta["n_models"]),
+            lr=float(meta["lr"]),
+            softmax_temp=float(meta["softmax_temp"]),
+            update_weighting=str(meta["update_weighting"]),
+            cluster_quant=ClusterQuant(meta["cluster_quant"]),
+            predict_quant=PredictQuant(meta["predict_quant"]),
+            batch_size=int(meta["batch_size"]),
+            encoder_base=str(meta.get("encoder_base", "gaussian")),
+            encoder_scale=(
+                None
+                if meta.get("encoder_scale") is None
+                else float(meta["encoder_scale"])
+            ),
+            convergence=convergence,
+            seed=None if meta.get("seed") is None else int(meta["seed"]),
+        )

@@ -6,6 +6,12 @@ independently-seeded models cancels encoder noise (the random-projection
 variance) at linear cost.  The ensemble exposes the same
 ``fit``/``predict`` interface as a single model, plus per-member access
 and an uncertainty estimate from the member spread.
+
+As a composite estimator this class extends
+:class:`~repro.core.estimator.BaseEstimator` directly.  Member encoders
+are fully determined by ``config.seed + i`` (an integer seed is
+enforced), so the serialised state carries only each member's learned
+arrays — the encoders are regenerated bit-exactly on restore.
 """
 
 from __future__ import annotations
@@ -13,13 +19,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import RegHDConfig
+from repro.core.estimator import BaseEstimator
 from repro.core.multi import MultiModelRegHD
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.registry import register_model
 from repro.types import ArrayLike, FloatArray
 from repro.utils.validation import check_2d
 
 
-class RegHDEnsemble:
+@register_model("ensemble")
+class RegHDEnsemble(BaseEstimator):
     """Average of ``n_members`` independently-seeded :class:`MultiModelRegHD`.
 
     Parameters
@@ -109,6 +118,63 @@ class RegHDEnsemble:
         """
         preds = self._member_predictions(X)
         return preds.mean(axis=0), preds.std(axis=0)
+
+    # -- state protocol -----------------------------------------------------
+
+    def _state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        members_meta = []
+        arrays: dict[str, np.ndarray] = {}
+        for index, member in enumerate(self.members):
+            # The ``member{i}__`` delimiter is prefix-collision-free: the
+            # character after the index is never a digit.
+            members_meta.append(
+                {
+                    "scaler": member.scaler.get_state(),
+                    "fitted": member.fitted,
+                }
+            )
+            for name, value in member._model_arrays().items():
+                arrays[f"member{index}__{name}"] = value
+        meta = {
+            "in_features": self.in_features,
+            "n_members": self.n_members,
+            "config": self.config.to_meta(),
+            "members": members_meta,
+        }
+        return meta, arrays
+
+    def _apply_state(self, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+        members_meta = meta["members"]
+        if len(members_meta) != self.n_members:
+            raise ConfigurationError(
+                f"state has {len(members_meta)} members, ensemble has "
+                f"{self.n_members}"
+            )
+        for index, (member, member_meta) in enumerate(
+            zip(self.members, members_meta)
+        ):
+            member.set_state(
+                {
+                    "scaler": member_meta["scaler"],
+                    "fitted": member_meta["fitted"],
+                },
+                {
+                    "clusters_integer": arrays[
+                        f"member{index}__clusters_integer"
+                    ],
+                    "models_integer": arrays[f"member{index}__models_integer"],
+                },
+            )
+
+    @classmethod
+    def _construct_from_state(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "RegHDEnsemble":
+        return cls(
+            int(meta["in_features"]),
+            RegHDConfig.from_meta(meta["config"]),
+            n_members=int(meta["n_members"]),
+        )
 
     def __repr__(self) -> str:
         return (

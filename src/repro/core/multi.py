@@ -24,6 +24,10 @@ Quantisation follows the dual-copy framework of Section 3: all updates land
 on integer copies; binary copies are re-derived once per epoch and serve
 the similarity search (:class:`ClusterQuant`) and/or the prediction dot
 products (:class:`PredictQuant`).
+
+The shared pipeline (validation, encoding, target scaling, fit skeleton)
+lives in :class:`~repro.core.estimator.BaseRegHDEstimator`; this class
+contributes the clustering/regression updates and its learned state.
 """
 
 from __future__ import annotations
@@ -32,39 +36,34 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.config import RegHDConfig
+from repro.core.config import ConvergencePolicy, RegHDConfig
+from repro.core.estimator import (
+    BaseRegHDEstimator,
+    encoder_from_state,
+    take_array,
+)
 from repro.core.quantization import (
     ClusterQuant,
     DualCopy,
     PredictQuant,
     binarize_preserving_scale,
 )
-from repro.core.trainer import IterativeTrainer, TrainingHistory
 from repro.encoding.base import Encoder
 from repro.encoding.nonlinear import NonlinearEncoder
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.ops.generate import random_bipolar
-from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.ops.normalize import softmax
+from repro.registry import register_model
+from repro.types import ArrayLike, FloatArray
 from repro.utils.rng import derive_generator
-from repro.utils.validation import check_1d, check_2d, check_matching_lengths
+from repro.utils.validation import check_2d
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine import CompiledPlan
 
 
-def _normalize_rows(S: FloatArray, eps: float = 1e-12) -> FloatArray:
-    norms = np.linalg.norm(S, axis=1, keepdims=True)
-    return S / np.maximum(norms, eps)
-
-
-def _softmax(scores: FloatArray) -> FloatArray:
-    """Row-wise softmax, numerically stabilised."""
-    shifted = scores - scores.max(axis=1, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=1, keepdims=True)
-
-
-class MultiModelRegHD:
+@register_model("multi")
+class MultiModelRegHD(BaseRegHDEstimator):
     """RegHD-k: clustering and regression learned simultaneously.
 
     Parameters
@@ -102,27 +101,24 @@ class MultiModelRegHD:
         if overrides:
             base = base.with_overrides(**overrides)
         self.config = base
-        if encoder is not None and encoder.in_features != in_features:
-            raise ConfigurationError(
-                f"encoder expects {encoder.in_features} features, model "
-                f"was given in_features={in_features}"
+        super().__init__(
+            self.resolve_encoder(
+                in_features,
+                encoder,
+                lambda: NonlinearEncoder(
+                    in_features,
+                    base.dim,
+                    derive_generator(base.seed, 0),
+                    base=base.encoder_base,
+                    scale=base.encoder_scale,
+                ),
             )
-        self.encoder = encoder or NonlinearEncoder(
-            in_features,
-            base.dim,
-            derive_generator(base.seed, 0),
-            base=base.encoder_base,
-            scale=base.encoder_scale,
         )
         if self.encoder.dim != base.dim:
             raise ConfigurationError(
                 f"encoder dim {self.encoder.dim} != config dim {base.dim}"
             )
         self._init_state()
-        self.history_: TrainingHistory | None = None
-        self._y_mean = 0.0
-        self._y_scale = 1.0
-        self._fitted = False
 
     def _init_state(self) -> None:
         """(Re-)initialise clusters and models.
@@ -165,7 +161,7 @@ class MultiModelRegHD:
 
     def _confidences(self, sims: FloatArray) -> FloatArray:
         """Softmax normalisation block of Fig. 4: ``delta'``."""
-        return _softmax(self.config.softmax_temp * sims)
+        return softmax(self.config.softmax_temp * sims)
 
     # -- prediction ---------------------------------------------------------
 
@@ -222,8 +218,7 @@ class MultiModelRegHD:
             # magnitude information is lost (paper Sec. 3.1's failure mode).
             signs = np.sign(self.clusters.integer + delta)
             signs[signs == 0] = 1.0
-            self.clusters.integer = signs / np.sqrt(self.config.dim)
-            self.clusters.rebinarize()
+            self.clusters.replace(signs / np.sqrt(self.config.dim))
         else:
             self.clusters.update_all(delta)
 
@@ -247,69 +242,21 @@ class MultiModelRegHD:
         if self.config.predict_quant.model_is_binary:
             self.models.rebinarize()
 
-    # -- public API -----------------------------------------------------------
+    # -- template hooks ------------------------------------------------------
 
-    def _encode_normalized(self, X: ArrayLike) -> FloatArray:
-        return _normalize_rows(self.encoder.encode_batch(X))
+    def _convergence_policy(self) -> ConvergencePolicy:
+        return self.config.convergence
 
-    def fit(
-        self,
-        X: ArrayLike,
-        y: ArrayLike,
-        *,
-        X_val: ArrayLike | None = None,
-        y_val: ArrayLike | None = None,
-    ) -> "MultiModelRegHD":
-        """Iteratively train clusters and models until convergence."""
-        X_arr = check_2d("X", X)
-        y_arr = check_1d("y", y)
-        check_matching_lengths("X", X_arr, "y", y_arr)
+    def _fit_shuffle_rng(self):
+        return derive_generator(self.config.seed, 2)
 
-        self._y_mean = float(np.mean(y_arr))
-        scale = float(np.std(y_arr))
-        self._y_scale = scale if scale > 0 else 1.0
-        y_norm = (y_arr - self._y_mean) / self._y_scale
-
-        S = self._encode_normalized(X_arr)
-        S_val = None
-        y_val_norm = None
-        if X_val is not None and y_val is not None:
-            X_val_arr = check_2d("X_val", X_val)
-            y_val_arr = check_1d("y_val", y_val)
-            check_matching_lengths("X_val", X_val_arr, "y_val", y_val_arr)
-            S_val = self._encode_normalized(X_val_arr)
-            y_val_norm = (y_val_arr - self._y_mean) / self._y_scale
-
+    def _reset_learned_state(self) -> None:
         self._init_state()
-        trainer = IterativeTrainer(
-            self.config.convergence, derive_generator(self.config.seed, 2)
-        )
-        self.history_ = trainer.train(self, S, y_norm, S_val, y_val_norm)
-        self._fitted = True
-        return self
 
-    def partial_fit(self, X: ArrayLike, y: ArrayLike) -> "MultiModelRegHD":
-        """One online pass without resetting state (streaming workloads)."""
-        X_arr = check_2d("X", X)
-        y_arr = check_1d("y", y)
-        check_matching_lengths("X", X_arr, "y", y_arr)
-        if not self._fitted:
-            self._y_mean = float(np.mean(y_arr))
-            scale = float(np.std(y_arr))
-            self._y_scale = scale if scale > 0 else 1.0
-            self._fitted = True
-        y_norm = (y_arr - self._y_mean) / self._y_scale
-        S = self._encode_normalized(X_arr)
-        self.fit_epoch(S, y_norm, np.arange(len(y_norm)))
+    def _after_partial_fit(self) -> None:
         self.end_epoch()
-        return self
 
-    def predict(self, X: ArrayLike) -> FloatArray:
-        """Predict targets (original units) for raw feature rows."""
-        if not self._fitted:
-            raise NotFittedError("MultiModelRegHD.predict called before fit")
-        S = self._encode_normalized(check_2d("X", X))
-        return self.predict_encoded(S) * self._y_scale + self._y_mean
+    # -- public API -----------------------------------------------------------
 
     def compile(
         self,
@@ -357,10 +304,37 @@ class MultiModelRegHD:
         """Hypervector dimensionality ``D``."""
         return self.config.dim
 
-    @property
-    def in_features(self) -> int:
-        """Number of raw input features."""
-        return self.encoder.in_features
+    # -- state protocol ------------------------------------------------------
+
+    def _model_meta(self) -> dict:
+        return {
+            "config": self.config.to_meta(),
+            "scaler": self.scaler.get_state(),
+        }
+
+    def _model_arrays(self) -> dict[str, np.ndarray]:
+        return {
+            "clusters_integer": np.asarray(self.clusters.integer),
+            "models_integer": np.asarray(self.models.integer),
+        }
+
+    def _apply_model_state(
+        self, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> None:
+        shape = (self.config.n_models, self.config.dim)
+        self.clusters.replace(take_array(arrays, "clusters_integer", shape))
+        self.models.replace(take_array(arrays, "models_integer", shape))
+        self.scaler.set_state(meta["scaler"])
+
+    @classmethod
+    def _construct_from_state(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "MultiModelRegHD":
+        return cls(
+            int(meta["in_features"]),
+            RegHDConfig.from_meta(meta["config"]),
+            encoder=encoder_from_state(meta["encoder"], arrays),
+        )
 
     def __repr__(self) -> str:
         cfg = self.config

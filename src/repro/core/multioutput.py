@@ -6,6 +6,11 @@ expensive part — encoding — depends only on the input, so one encoder is
 shared and each output dimension gets its own cluster/model hypervector
 pair set.  Training cost is `encode once + outputs × (search + update)`,
 versus `outputs ×` everything for naive per-output models.
+
+As a composite estimator this class extends
+:class:`~repro.core.estimator.BaseEstimator` directly: its state is the
+shared encoder plus each head's learned state (heads are rebuilt from the
+shared config, so their per-head metadata stays small).
 """
 
 from __future__ import annotations
@@ -13,15 +18,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import RegHDConfig
+from repro.core.estimator import (
+    BaseEstimator,
+    encoder_from_state,
+    encoder_state,
+)
 from repro.core.multi import MultiModelRegHD
+from repro.encoding.base import Encoder
 from repro.encoding.nonlinear import NonlinearEncoder
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.registry import register_model
 from repro.types import ArrayLike, FloatArray
 from repro.utils.rng import derive_generator
 from repro.utils.validation import check_2d, check_matching_lengths
 
 
-class MultiOutputRegHD:
+@register_model("multioutput")
+class MultiOutputRegHD(BaseEstimator):
     """Vector-target RegHD with a shared encoder.
 
     Parameters
@@ -34,6 +47,10 @@ class MultiOutputRegHD:
         Shared :class:`RegHDConfig`; per-output heads derive their seeds
         from ``config.seed`` (the *encoder* uses ``config.seed`` itself,
         so all heads see identical encodings).
+    encoder:
+        Optional pre-built encoder shared by every head (must match
+        ``in_features`` and ``config.dim``); by default a
+        :class:`NonlinearEncoder` is created from ``config.seed``.
     """
 
     def __init__(
@@ -41,6 +58,8 @@ class MultiOutputRegHD:
         in_features: int,
         n_outputs: int,
         config: RegHDConfig | None = None,
+        *,
+        encoder: Encoder | None = None,
     ):
         if n_outputs < 1:
             raise ConfigurationError(
@@ -53,15 +72,27 @@ class MultiOutputRegHD:
             )
         self.config = base
         self.n_outputs = int(n_outputs)
-        # One encoder, shared by every head (same construction as
-        # MultiModelRegHD's default so single-output behaviour matches).
-        self._encoder = NonlinearEncoder(
-            in_features,
-            base.dim,
-            derive_generator(base.seed, 0),
-            base=base.encoder_base,
-            scale=base.encoder_scale,
-        )
+        if encoder is not None:
+            if encoder.in_features != in_features:
+                raise ConfigurationError(
+                    f"encoder expects {encoder.in_features} features, model "
+                    f"was given in_features={in_features}"
+                )
+            if encoder.dim != base.dim:
+                raise ConfigurationError(
+                    f"encoder dim {encoder.dim} != config dim {base.dim}"
+                )
+            self._encoder = encoder
+        else:
+            # One encoder, shared by every head (same construction as
+            # MultiModelRegHD's default so single-output behaviour matches).
+            self._encoder = NonlinearEncoder(
+                in_features,
+                base.dim,
+                derive_generator(base.seed, 0),
+                base=base.encoder_base,
+                scale=base.encoder_scale,
+            )
         self.heads = [
             MultiModelRegHD(
                 in_features,
@@ -78,7 +109,7 @@ class MultiOutputRegHD:
         return self._encoder.in_features
 
     @property
-    def encoder(self) -> NonlinearEncoder:
+    def encoder(self) -> Encoder:
         """The shared encoder."""
         return self._encoder
 
@@ -134,6 +165,59 @@ class MultiOutputRegHD:
             raise NotFittedError("MultiOutputRegHD.predict called before fit")
         X_arr = check_2d("X", X)
         return np.column_stack([head.predict(X_arr) for head in self.heads])
+
+    # -- state protocol -----------------------------------------------------
+
+    def _state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        enc_meta, arrays = encoder_state(self._encoder)
+        heads_meta = []
+        for index, head in enumerate(self.heads):
+            # Heads share config (modulo seed offset) and encoder, so only
+            # their learned state is stored.  The ``head{i}__`` delimiter
+            # is prefix-collision-free: the character after the index is
+            # never a digit.
+            heads_meta.append(
+                {"scaler": head.scaler.get_state(), "fitted": head.fitted}
+            )
+            for name, value in head._model_arrays().items():
+                arrays[f"head{index}__{name}"] = value
+        meta = {
+            "in_features": self.in_features,
+            "n_outputs": self.n_outputs,
+            "config": self.config.to_meta(),
+            "encoder": enc_meta,
+            "heads": heads_meta,
+        }
+        return meta, arrays
+
+    def _apply_state(self, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+        heads_meta = meta["heads"]
+        if len(heads_meta) != self.n_outputs:
+            raise ConfigurationError(
+                f"state has {len(heads_meta)} heads, model has "
+                f"{self.n_outputs} outputs"
+            )
+        for index, (head, head_meta) in enumerate(
+            zip(self.heads, heads_meta)
+        ):
+            head.set_state(
+                {"scaler": head_meta["scaler"], "fitted": head_meta["fitted"]},
+                {
+                    "clusters_integer": arrays[f"head{index}__clusters_integer"],
+                    "models_integer": arrays[f"head{index}__models_integer"],
+                },
+            )
+
+    @classmethod
+    def _construct_from_state(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "MultiOutputRegHD":
+        return cls(
+            int(meta["in_features"]),
+            int(meta["n_outputs"]),
+            RegHDConfig.from_meta(meta["config"]),
+            encoder=encoder_from_state(meta["encoder"], arrays),
+        )
 
     def __repr__(self) -> str:
         return (

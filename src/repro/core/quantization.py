@@ -132,6 +132,25 @@ class DualCopy:
         self.integer += delta
         self._signs = None
 
+    def replace(self, values: FloatArray) -> None:
+        """Overwrite the integer copy wholesale and re-derive the binary copy.
+
+        Assigning ``dual.integer = ...`` directly would swap the array
+        without invalidating the derived binary copy or the sign cache,
+        silently serving stale values to the similarity search.  Every
+        wholesale overwrite (the NAIVE re-quantisation path, state
+        restoration) must go through here.  The write is in-place, so
+        external references to :attr:`integer` stay valid.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.integer.shape:
+            raise ValueError(
+                f"replace expects shape {self.integer.shape}, "
+                f"got {values.shape}"
+            )
+        self.integer[:] = values
+        self.rebinarize()
+
     def rebinarize(self) -> None:
         """Re-derive the binary copy from the integer copy."""
         self.binary = binarize_preserving_scale(self.integer)

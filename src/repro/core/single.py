@@ -11,14 +11,10 @@ raw features.  The class also documents the capacity limitation the paper
 analyses (Sec. 2.3): a single hypervector saturates on complex data, which
 motivates the multi-model variant.
 
-Implementation notes (kept out of the paper's notation but required for a
-working system):
-
-* encoded hypervectors are L2-normalised before use, so the LMS update is
-  stable for any ``lr < 2`` independent of ``D``;
-* targets are internally standardised during :meth:`fit` and predictions
-  are mapped back, so the model works in original target units while the
-  hypervector arithmetic stays well-scaled.
+The shared pipeline — input validation, encode + L2-normalise, target
+standardisation, fit/partial_fit/predict skeleton — lives in
+:class:`~repro.core.estimator.BaseRegHDEstimator`; this class contributes
+only the LMS trainer-protocol methods and its learned state.
 """
 
 from __future__ import annotations
@@ -26,21 +22,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import ConvergencePolicy
-from repro.core.trainer import IterativeTrainer, TrainingHistory
+from repro.core.estimator import (
+    BaseRegHDEstimator,
+    encoder_from_state,
+    take_array,
+)
 from repro.encoding.base import Encoder
 from repro.encoding.nonlinear import NonlinearEncoder
-from repro.exceptions import ConfigurationError, NotFittedError
-from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.exceptions import ConfigurationError
+from repro.registry import register_model
+from repro.types import FloatArray, SeedLike
 from repro.utils.rng import derive_generator
-from repro.utils.validation import check_1d, check_2d, check_matching_lengths
 
 
-def _normalize_rows(S: FloatArray, eps: float = 1e-12) -> FloatArray:
-    norms = np.linalg.norm(S, axis=1, keepdims=True)
-    return S / np.maximum(norms, eps)
-
-
-class SingleModelRegHD:
+@register_model("single")
+class SingleModelRegHD(BaseRegHDEstimator):
     """RegHD with a single regression hypervector.
 
     Parameters
@@ -81,33 +77,20 @@ class SingleModelRegHD:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {batch_size}"
             )
-        if encoder is not None and encoder.in_features != in_features:
-            raise ConfigurationError(
-                f"encoder expects {encoder.in_features} features, model "
-                f"was given in_features={in_features}"
+        super().__init__(
+            self.resolve_encoder(
+                in_features,
+                encoder,
+                lambda: NonlinearEncoder(
+                    in_features, dim, derive_generator(seed, 0)
+                ),
             )
+        )
         self.lr = float(lr)
         self.batch_size = int(batch_size)
-        self.encoder = encoder or NonlinearEncoder(
-            in_features, dim, derive_generator(seed, 0)
-        )
         self.convergence = convergence or ConvergencePolicy()
         self._seed = seed
         self.model = np.zeros(self.encoder.dim, dtype=np.float64)
-        self.history_: TrainingHistory | None = None
-        self._y_mean = 0.0
-        self._y_scale = 1.0
-        self._fitted = False
-
-    @property
-    def dim(self) -> int:
-        """Hypervector dimensionality ``D``."""
-        return self.encoder.dim
-
-    @property
-    def in_features(self) -> int:
-        """Number of raw input features."""
-        return self.encoder.in_features
 
     # -- trainer protocol -------------------------------------------------
 
@@ -126,78 +109,60 @@ class SingleModelRegHD:
         """Predict (normalised-unit) targets for encoded hypervectors."""
         return S @ self.model
 
-    def end_epoch(self) -> None:
-        """No per-epoch post-processing for the full-precision model."""
+    # -- template hooks ----------------------------------------------------
 
-    # -- public API --------------------------------------------------------
+    def _convergence_policy(self) -> ConvergencePolicy:
+        return self.convergence
 
-    def _encode_normalized(self, X: ArrayLike) -> FloatArray:
-        return _normalize_rows(self.encoder.encode_batch(X))
-
-    def fit(
-        self,
-        X: ArrayLike,
-        y: ArrayLike,
-        *,
-        X_val: ArrayLike | None = None,
-        y_val: ArrayLike | None = None,
-    ) -> "SingleModelRegHD":
-        """Iteratively train on ``(X, y)`` until convergence.
-
-        Validation data, if given, drives the convergence criterion;
-        otherwise training MSE is monitored.
-        """
-        X_arr = check_2d("X", X)
-        y_arr = check_1d("y", y)
-        check_matching_lengths("X", X_arr, "y", y_arr)
-
-        self._y_mean = float(np.mean(y_arr))
-        scale = float(np.std(y_arr))
-        self._y_scale = scale if scale > 0 else 1.0
-        y_norm = (y_arr - self._y_mean) / self._y_scale
-
-        S = self._encode_normalized(X_arr)
-        S_val = None
-        y_val_norm = None
-        if X_val is not None and y_val is not None:
-            X_val_arr = check_2d("X_val", X_val)
-            y_val_arr = check_1d("y_val", y_val)
-            check_matching_lengths("X_val", X_val_arr, "y_val", y_val_arr)
-            S_val = self._encode_normalized(X_val_arr)
-            y_val_norm = (y_val_arr - self._y_mean) / self._y_scale
-
-        self.model[:] = 0.0
+    def _fit_shuffle_rng(self):
         # Re-derived per fit so repeated fits are bit-identical.
-        trainer = IterativeTrainer(self.convergence, derive_generator(self._seed, 1))
-        self.history_ = trainer.train(self, S, y_norm, S_val, y_val_norm)
-        self._fitted = True
-        return self
+        return derive_generator(self._seed, 1)
 
-    def partial_fit(self, X: ArrayLike, y: ArrayLike) -> "SingleModelRegHD":
-        """One online pass over ``(X, y)`` without resetting the model.
+    def _reset_learned_state(self) -> None:
+        self.model[:] = 0.0
 
-        Target scaling is frozen after the first call (estimated from the
-        first batch), making this suitable for streaming workloads.
-        """
-        X_arr = check_2d("X", X)
-        y_arr = check_1d("y", y)
-        check_matching_lengths("X", X_arr, "y", y_arr)
-        if not self._fitted:
-            self._y_mean = float(np.mean(y_arr))
-            scale = float(np.std(y_arr))
-            self._y_scale = scale if scale > 0 else 1.0
-            self._fitted = True
-        y_norm = (y_arr - self._y_mean) / self._y_scale
-        S = self._encode_normalized(X_arr)
-        self.fit_epoch(S, y_norm, np.arange(len(y_norm)))
-        return self
+    # -- state protocol ----------------------------------------------------
 
-    def predict(self, X: ArrayLike) -> FloatArray:
-        """Predict targets (original units) for raw feature rows."""
-        if not self._fitted:
-            raise NotFittedError("SingleModelRegHD.predict called before fit")
-        S = self._encode_normalized(check_2d("X", X))
-        return self.predict_encoded(S) * self._y_scale + self._y_mean
+    def _model_meta(self) -> dict:
+        return {
+            "lr": self.lr,
+            "batch_size": self.batch_size,
+            "seed": self._seed if isinstance(self._seed, int) else None,
+            "convergence": {
+                "max_epochs": self.convergence.max_epochs,
+                "patience": self.convergence.patience,
+                "tol": self.convergence.tol,
+                "min_epochs": self.convergence.min_epochs,
+            },
+            "scaler": self.scaler.get_state(),
+        }
+
+    def _model_arrays(self) -> dict[str, np.ndarray]:
+        return {"model_vector": np.asarray(self.model)}
+
+    def _apply_model_state(
+        self, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> None:
+        self.model[:] = take_array(arrays, "model_vector", (self.dim,))
+        self.scaler.set_state(meta["scaler"])
+
+    @classmethod
+    def _construct_from_state(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "SingleModelRegHD":
+        convergence = (
+            ConvergencePolicy(**meta["convergence"])
+            if "convergence" in meta
+            else None
+        )
+        return cls(
+            int(meta["in_features"]),
+            lr=meta["lr"],
+            batch_size=meta["batch_size"],
+            encoder=encoder_from_state(meta["encoder"], arrays),
+            convergence=convergence,
+            seed=meta.get("seed", 0),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -93,7 +93,7 @@ def fine_tune_sparse(
     """
     if epochs < 1:
         raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
-    if not getattr(model, "_fitted", False):
+    if not getattr(model, "fitted", False):
         raise ConfigurationError("fine_tune_sparse requires a fitted model")
     apply_sparsity(model, density)
     for _ in range(epochs):

@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.datasets.base import Dataset
 from repro.exceptions import DatasetError
-from repro.types import FloatArray, SeedLike
+from repro.types import SeedLike
 from repro.utils.rng import as_generator
 
 

@@ -26,10 +26,12 @@ import numpy as np
 from repro.encoding.base import Encoder
 from repro.exceptions import EncodingError
 from repro.ops.generate import random_bipolar, random_gaussian
+from repro.registry import register_encoder
 from repro.types import FloatArray, SeedLike
 from repro.utils.rng import derive_generator
 
 
+@register_encoder("nonlinear")
 class NonlinearEncoder(Encoder):
     """Nonlinear trigonometric encoder implementing paper Eq. (1).
 
@@ -119,6 +121,44 @@ class NonlinearEncoder(Encoder):
     def _encode_batch(self, X: FloatArray) -> FloatArray:
         projected = (X @ self._bases) * self._scale
         return np.cos(projected + self._phases) * np.sin(projected)
+
+    def get_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """State-protocol snapshot: hyper-parameters plus frozen arrays."""
+        meta = {
+            "in_features": self.in_features,
+            "dim": self.dim,
+            "scale": self._scale,
+            "base_kind": self._base_kind,
+        }
+        arrays = {
+            "bases": np.asarray(self._bases),
+            "phases": np.asarray(self._phases),
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls, meta: dict, arrays: "dict[str, np.ndarray]"
+    ) -> "NonlinearEncoder":
+        """Rebuild a bit-exact encoder from a :meth:`get_state` snapshot."""
+        in_features, dim = int(meta["in_features"]), int(meta["dim"])
+        encoder = cls(
+            in_features,
+            dim,
+            seed=0,
+            base=meta["base_kind"],
+            scale=meta["scale"],
+        )
+        bases = np.asarray(arrays["bases"], dtype=np.float64)
+        phases = np.asarray(arrays["phases"], dtype=np.float64)
+        if bases.shape != (in_features, dim) or phases.shape != (dim,):
+            raise EncodingError(
+                f"encoder state arrays have shapes {bases.shape}/"
+                f"{phases.shape}, expected {(in_features, dim)}/{(dim,)}"
+            )
+        encoder._bases = bases
+        encoder._phases = phases
+        return encoder
 
     def __repr__(self) -> str:
         return (

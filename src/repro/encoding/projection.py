@@ -14,10 +14,12 @@ import numpy as np
 from repro.encoding.base import Encoder
 from repro.exceptions import EncodingError
 from repro.ops.generate import random_bipolar, random_gaussian
+from repro.registry import register_encoder
 from repro.types import FloatArray, SeedLike
 from repro.utils.rng import derive_generator
 
 
+@register_encoder("projection")
 class RandomProjectionEncoder(Encoder):
     """Linear projection into HD space: ``H = (X @ B) * scale``.
 
@@ -73,3 +75,35 @@ class RandomProjectionEncoder(Encoder):
         out = np.sign(projected)
         out[out == 0] = 1.0
         return out
+
+    def get_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """State-protocol snapshot: hyper-parameters plus frozen bases."""
+        meta = {
+            "in_features": self.in_features,
+            "dim": self.dim,
+            "scale": self._scale,
+            "quantize": self._quantize,
+        }
+        return meta, {"bases": np.asarray(self._bases)}
+
+    @classmethod
+    def from_state(
+        cls, meta: dict, arrays: "dict[str, np.ndarray]"
+    ) -> "RandomProjectionEncoder":
+        """Rebuild a bit-exact encoder from a :meth:`get_state` snapshot."""
+        in_features, dim = int(meta["in_features"]), int(meta["dim"])
+        encoder = cls(
+            in_features,
+            dim,
+            seed=0,
+            quantize=meta["quantize"],
+            scale=meta["scale"],
+        )
+        bases = np.asarray(arrays["bases"], dtype=np.float64)
+        if bases.shape != (in_features, dim):
+            raise EncodingError(
+                f"encoder state array 'bases' has shape {bases.shape}, "
+                f"expected {(in_features, dim)}"
+            )
+        encoder._bases = bases
+        return encoder

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ops.normalize import softmax
 from repro.ops.packing import pack_sign_words, packed_sign_products
 from repro.types import FloatArray
 
@@ -71,7 +72,8 @@ def encode_tile(
 
 
 def row_norms(S: FloatArray, eps: float = 1e-12) -> FloatArray:
-    """Euclidean row norms, floored at ``eps`` (matches ``_normalize_rows``)."""
+    """Euclidean row norms, floored at ``eps`` (the same floor as
+    :func:`repro.ops.normalize.normalize_rows`)."""
     norms = np.linalg.norm(S, axis=1)
     np.maximum(norms, eps, out=norms)
     return norms
@@ -119,11 +121,9 @@ def packed_similarities(
 
 
 def softmax_confidences(sims: FloatArray, temp: float) -> FloatArray:
-    """Softmax block of Fig. 4, same stabilisation as the training path."""
-    scores = temp * sims
-    shifted = scores - scores.max(axis=1, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=1, keepdims=True)
+    """Softmax block of Fig. 4 — the training path's shared implementation,
+    so the two paths stay bit-exact by construction."""
+    return softmax(temp * sims)
 
 
 def packed_dots(

@@ -234,7 +234,7 @@ def compile_model(
             f"compile_model supports MultiModelRegHD, got "
             f"{type(model).__name__}"
         )
-    if not model._fitted:
+    if not model.fitted:
         raise NotFittedError("compile_model called before fit")
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
@@ -292,8 +292,8 @@ def compile_model(
         softmax_temp=float(cfg.softmax_temp),
         cluster_quant=cfg.cluster_quant,
         predict_quant=cfg.predict_quant,
-        y_mean=float(model._y_mean),
-        y_scale=float(model._y_scale),
+        y_mean=float(model.scaler.mean),
+        y_scale=float(model.scaler.scale),
         packed_sims=packed_sims,
         packed_dots=packed_dots,
         tile_rows=int(tile_rows),

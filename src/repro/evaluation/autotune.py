@@ -18,13 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.config import RegHDConfig
 from repro.core.multi import MultiModelRegHD
 from repro.exceptions import ConfigurationError
 from repro.metrics import mean_squared_error
-from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.types import ArrayLike, SeedLike
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_1d, check_2d, check_matching_lengths
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.quantization import ClusterQuant, PredictQuant
+from repro.core.quantization import ClusterQuant
 from repro.exceptions import HardwareModelError
 from repro.hardware.cost_model import BaselineHDCostSpec, DNNCostSpec, RegHDCostSpec
 

@@ -43,7 +43,7 @@ def feature_importance(
     """
     if epsilon <= 0:
         raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
-    if not getattr(model, "_fitted", False):
+    if not getattr(model, "fitted", False):
         raise NotFittedError("feature_importance requires a fitted model")
     X_arr = check_2d("X", X)
     n_features = X_arr.shape[1]
@@ -94,7 +94,7 @@ def prediction_breakdown(
     The returned contributions satisfy
     ``prediction == baseline + sum(contribution_i)`` exactly.
     """
-    if not getattr(model, "_fitted", False):
+    if not getattr(model, "fitted", False):
         raise NotFittedError("prediction_breakdown requires a fitted model")
     x_arr = np.asarray(x, dtype=np.float64)
     if x_arr.ndim != 1:
@@ -110,14 +110,14 @@ def prediction_breakdown(
             cluster=i,
             confidence=float(conf[i]),
             dot_product=float(dots[i]),
-            contribution=float(conf[i] * dots[i] * model._y_scale),
+            contribution=float(conf[i] * dots[i] * model.scaler.scale),
         )
         for i in range(model.n_models)
     )
     prediction = float(model.predict(x_arr[np.newaxis, :])[0])
     return PredictionExplanation(
         prediction=prediction,
-        baseline=float(model._y_mean),
+        baseline=float(model.scaler.mean),
         contributions=contributions,
     )
 
@@ -141,7 +141,7 @@ def cluster_profile(
     Clusters that claim no inputs report ``count=0`` with NaN statistics —
     a direct view of how many of the k models the data actually uses.
     """
-    if not getattr(model, "_fitted", False):
+    if not getattr(model, "fitted", False):
         raise NotFittedError("cluster_profile requires a fitted model")
     X_arr = check_2d("X", X)
     assignments = model.cluster_assignments(X_arr)

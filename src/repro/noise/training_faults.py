@@ -165,7 +165,7 @@ def _continue_mlp_training(
 ) -> None:
     """One additional SGD epoch on an already-fitted MLP, keeping weights."""
     Xs = (X - model._x_mean) / model._x_scale
-    ys = (y - model._y_mean) / model._y_scale
+    ys = model.scaler.transform(y)
     n = Xs.shape[0]
     order = model._rng.permutation(n)
     for start in range(0, n, model.batch_size):

@@ -13,6 +13,7 @@ from repro.ops.bundling import (
     weighted_bundle,
 )
 from repro.ops.item_memory import ItemMemory
+from repro.ops.normalize import normalize_rows, softmax
 from repro.ops.packing import (
     pack_bits,
     pack_sign_words,
@@ -53,6 +54,8 @@ __all__ = [
     "majority_bundle",
     "weighted_bundle",
     "ItemMemory",
+    "normalize_rows",
+    "softmax",
     "pack_bits",
     "pack_sign_words",
     "packed_hamming_distance",

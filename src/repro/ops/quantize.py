@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.types import ArrayLike, BinaryArray, BipolarArray, FloatArray, SeedLike
+from repro.types import ArrayLike, BinaryArray, BipolarArray, SeedLike
 from repro.utils.rng import as_generator
 
 

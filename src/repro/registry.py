@@ -1,0 +1,106 @@
+"""Model and encoder type registries for the state protocol.
+
+Every serialisable estimator registers itself in :data:`MODEL_REGISTRY`
+and every serialisable encoder in :data:`ENCODER_REGISTRY`, keyed by a
+stable string that is written into saved ``.npz`` files.  Persistence
+layers (:mod:`repro.serialization`, :mod:`repro.reliability.checkpoint`)
+dispatch purely through these tables — adding a new model or encoder
+type makes it saveable/loadable with no serializer changes.
+
+The registry names are a compatibility surface: they appear inside
+model files on disk, so renaming one breaks every file that was saved
+under the old name.  ``"single"``, ``"multi"`` and ``"baseline_hd"``
+intentionally match the ``model_type`` strings of the legacy v1 format.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.exceptions import ConfigurationError
+
+T = TypeVar("T", bound=type)
+
+#: registry name -> model class implementing ``get_state``/``from_state``
+MODEL_REGISTRY: dict[str, type] = {}
+
+#: registry name -> encoder class implementing ``get_state``/``from_state``
+ENCODER_REGISTRY: dict[str, type] = {}
+
+
+def register_model(name: str) -> Callable[[T], T]:
+    """Class decorator adding a model type to :data:`MODEL_REGISTRY`."""
+
+    def decorate(cls: T) -> T:
+        existing = MODEL_REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ConfigurationError(
+                f"model registry name {name!r} already taken by "
+                f"{existing.__name__}"
+            )
+        MODEL_REGISTRY[name] = cls
+        cls.state_name = name
+        return cls
+
+    return decorate
+
+
+def register_encoder(name: str) -> Callable[[T], T]:
+    """Class decorator adding an encoder type to :data:`ENCODER_REGISTRY`."""
+
+    def decorate(cls: T) -> T:
+        existing = ENCODER_REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ConfigurationError(
+                f"encoder registry name {name!r} already taken by "
+                f"{existing.__name__}"
+            )
+        ENCODER_REGISTRY[name] = cls
+        cls.state_name = name
+        return cls
+
+    return decorate
+
+
+def model_class(name: str) -> type:
+    """Resolve a registry name to its model class."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model_type {name!r}; registered: "
+            f"{sorted(MODEL_REGISTRY)}"
+        ) from None
+
+
+def encoder_class(name: str) -> type:
+    """Resolve a registry name to its encoder class."""
+    try:
+        return ENCODER_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown encoder_type {name!r}; registered: "
+            f"{sorted(ENCODER_REGISTRY)}"
+        ) from None
+
+
+def model_type_of(model: object) -> str:
+    """The registry name a model instance was registered under."""
+    name = getattr(type(model), "state_name", None)
+    if name is None or MODEL_REGISTRY.get(name) is not type(model):
+        raise ConfigurationError(
+            f"cannot serialise model of type {type(model).__name__}; "
+            f"registered: {sorted(MODEL_REGISTRY)}"
+        )
+    return name
+
+
+def encoder_type_of(encoder: object) -> str:
+    """The registry name an encoder instance was registered under."""
+    name = getattr(type(encoder), "state_name", None)
+    if name is None or ENCODER_REGISTRY.get(name) is not type(encoder):
+        raise ConfigurationError(
+            f"cannot serialise encoder of type {type(encoder).__name__}; "
+            f"registered: {sorted(ENCODER_REGISTRY)}"
+        )
+    return name

@@ -3,9 +3,10 @@
 Checkpoint protocol (documented in README "Reliability & deployment"):
 
 * one checkpoint == one ``.npz`` produced by
-  :func:`repro.serialization.save_model`, so everything a recovery needs —
-  model hypervectors, encoder bases, y-normalisation, plus wrapper state
-  in the ``extra`` metadata — lives in a single file;
+  :func:`repro.serialization.save_model` (registry-driven state protocol,
+  so *any* registered model type checkpoints the same way): everything a
+  recovery needs — model hypervectors, encoder bases, target scaling,
+  plus wrapper state in the ``extra`` metadata — lives in a single file;
 * **atomic**: the file is written to a temporary name in the target
   directory and published with :func:`os.replace`, so readers never
   observe a half-written checkpoint under its final name;

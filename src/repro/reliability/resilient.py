@@ -24,12 +24,11 @@ exactly.
 from __future__ import annotations
 
 import pathlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.config import RegHDConfig
-from repro.encoding.base import Encoder
 from repro.exceptions import ConfigurationError
 from repro.reliability.checkpoint import CheckpointInfo, CheckpointManager
 from repro.reliability.guards import GuardPolicy, GuardReport, InputGuard
@@ -227,13 +226,10 @@ class ResilientStreamingRegHD(StreamingRegHD):
         ``self.model`` valid.
         """
         self._plan = None  # restored weights invalidate the serving plan
-        self.model.models.integer[:] = model.models.integer
-        self.model.models.rebinarize()
-        self.model.clusters.integer[:] = model.clusters.integer
-        self.model.clusters.rebinarize()
-        self.model._y_mean = model._y_mean
-        self.model._y_scale = model._y_scale
-        self.model._fitted = model._fitted
+        # The state protocol applies learned arrays in place (DualCopy
+        # .replace copies into the existing buffers), so scrubber shadows
+        # and other references to self.model's arrays stay valid.
+        self.model.set_state(*model.get_state())
         stream = extra.get("stream", {})
         self._batch_counter = int(stream.get("batch", self._batch_counter))
         detector_state = stream.get("detector")

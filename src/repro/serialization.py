@@ -1,13 +1,27 @@
-"""Save and load trained RegHD models.
+"""Save and load trained models — registry-driven, format v2.
 
 Deployment on an embedded device means training on a workstation and
 shipping the frozen hypervectors; these helpers serialise a trained
 model — including the encoder's random bases, without which predictions
 are meaningless — to a single ``.npz`` file and restore it bit-exactly.
 
-Supported models: :class:`SingleModelRegHD`, :class:`MultiModelRegHD`,
-:class:`BaselineHD`, with :class:`NonlinearEncoder` or
-:class:`RandomProjectionEncoder` encoders.
+The serializer knows nothing about concrete model classes.  Every
+estimator implements the state protocol
+(:meth:`~repro.core.estimator.BaseEstimator.get_state` /
+:meth:`~repro.core.estimator.BaseEstimator.from_state`) and registers
+itself in :data:`~repro.registry.MODEL_REGISTRY`; :func:`save_model`
+writes ``(meta, arrays)`` plus integrity metadata, :func:`load_model`
+validates and dispatches through the registry.  Any registered type —
+including composites like ``MultiOutputRegHD`` and ``RegHDEnsemble`` —
+round-trips with no serializer changes.
+
+File format (v2): one ``.npz`` with a ``_meta`` JSON blob and the state
+arrays flat at the top level.  ``_meta`` carries ``format_version``,
+``model_type`` (registry name), per-array ``shapes``/``dtypes`` used to
+validate the file against tampering/truncation, and the optional
+``extra`` payload.  Format-v1 files (the pre-registry isinstance-ladder
+era) are still readable: :func:`_upgrade_v1` rewrites their metadata
+into the v2 state shape on load.
 """
 
 from __future__ import annotations
@@ -18,47 +32,11 @@ import zipfile
 
 import numpy as np
 
-from repro.core.baseline_hd import BaselineHD
-from repro.core.config import ConvergencePolicy, RegHDConfig
-from repro.core.multi import MultiModelRegHD
-from repro.core.quantization import ClusterQuant, PredictQuant
-from repro.core.single import SingleModelRegHD
-from repro.encoding.base import Encoder
-from repro.encoding.nonlinear import NonlinearEncoder
-from repro.encoding.projection import RandomProjectionEncoder
 from repro.exceptions import ConfigurationError
+from repro.registry import model_class, model_type_of
 
-_FORMAT_VERSION = 1
-
-
-def _encoder_state(encoder: Encoder) -> tuple[dict, dict[str, np.ndarray]]:
-    if isinstance(encoder, NonlinearEncoder):
-        meta = {
-            "encoder_type": "nonlinear",
-            "in_features": encoder.in_features,
-            "dim": encoder.dim,
-            "scale": encoder.scale,
-            "base_kind": encoder._base_kind,
-        }
-        arrays = {
-            "encoder_bases": np.asarray(encoder.bases),
-            "encoder_phases": np.asarray(encoder.phases),
-        }
-        return meta, arrays
-    if isinstance(encoder, RandomProjectionEncoder):
-        meta = {
-            "encoder_type": "projection",
-            "in_features": encoder.in_features,
-            "dim": encoder.dim,
-            "scale": encoder._scale,
-            "quantize": encoder.quantize,
-        }
-        arrays = {"encoder_bases": np.asarray(encoder._bases)}
-        return meta, arrays
-    raise ConfigurationError(
-        f"cannot serialise encoder of type {type(encoder).__name__}; "
-        "supported: NonlinearEncoder, RandomProjectionEncoder"
-    )
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _read_array(
@@ -66,6 +44,7 @@ def _read_array(
     name: str,
     path: pathlib.Path,
     shape: tuple[int, ...] | None = None,
+    dtype: str | None = None,
 ) -> np.ndarray:
     """Pull one array out of an ``.npz``, validating against the metadata.
 
@@ -85,7 +64,12 @@ def _read_array(
             f"{path}: array {name!r} could not be decoded "
             f"(corrupt or truncated file): {exc}"
         ) from exc
-    if not np.issubdtype(arr.dtype, np.number):
+    if dtype is not None and str(arr.dtype) != dtype:
+        raise ConfigurationError(
+            f"{path}: array {name!r} has dtype {arr.dtype}, "
+            f"metadata expects {dtype}"
+        )
+    if dtype is None and not np.issubdtype(arr.dtype, np.number):
         raise ConfigurationError(
             f"{path}: array {name!r} has non-numeric dtype {arr.dtype}"
         )
@@ -97,108 +81,43 @@ def _read_array(
     return arr
 
 
-def _restore_encoder(
-    meta: dict, data: np.lib.npyio.NpzFile, path: pathlib.Path
-) -> Encoder:
-    in_features, dim = meta["in_features"], meta["dim"]
-    if meta["encoder_type"] == "nonlinear":
-        encoder = NonlinearEncoder(
-            in_features,
-            dim,
-            seed=0,
-            base=meta["base_kind"],
-            scale=meta["scale"],
-        )
-        encoder._bases = _read_array(
-            data, "encoder_bases", path, (in_features, dim)
-        )
-        encoder._phases = _read_array(data, "encoder_phases", path, (dim,))
-        return encoder
-    if meta["encoder_type"] == "projection":
-        encoder = RandomProjectionEncoder(
-            in_features,
-            dim,
-            seed=0,
-            quantize=meta["quantize"],
-            scale=meta["scale"],
-        )
-        encoder._bases = _read_array(
-            data, "encoder_bases", path, (in_features, dim)
-        )
-        return encoder
-    raise ConfigurationError(
-        f"unknown encoder_type {meta['encoder_type']!r} in model file"
-    )
-
-
 def save_model(
-    model: SingleModelRegHD | MultiModelRegHD | BaselineHD,
+    model: object,
     path: str | pathlib.Path,
     *,
     extra: dict | None = None,
 ) -> pathlib.Path:
-    """Serialise a *trained* model to ``path`` (``.npz``).
+    """Serialise a *trained* registered model to ``path`` (``.npz``).
 
     Raises :class:`ConfigurationError` for unfitted models — a frozen
-    model without learned hypervectors cannot predict.
+    model without learned hypervectors cannot predict — and for model or
+    encoder types that are not in the registries.
 
     ``extra`` is an optional JSON-serialisable dict stored alongside the
     model metadata; checkpointing uses it to persist wrapper state (batch
     counters, drift-detector internals) next to the model it belongs to.
     Retrieve it with :func:`read_metadata`.
     """
-    if not getattr(model, "_fitted", False):
+    if not getattr(model, "fitted", False):
         raise ConfigurationError("cannot save an unfitted model")
+    model_type = model_type_of(model)
     path = pathlib.Path(path)
-    meta, arrays = _encoder_state(model.encoder)
+    meta, arrays = model.get_state()
+    if not arrays:
+        raise ConfigurationError(
+            f"model of type {type(model).__name__} produced no state arrays"
+        )
+    meta = dict(meta)
     meta["format_version"] = _FORMAT_VERSION
+    meta["model_type"] = model_type
+    meta["shapes"] = {
+        name: list(np.asarray(value).shape) for name, value in arrays.items()
+    }
+    meta["dtypes"] = {
+        name: str(np.asarray(value).dtype) for name, value in arrays.items()
+    }
     if extra is not None:
         meta["extra"] = extra
-
-    if isinstance(model, SingleModelRegHD):
-        meta.update(
-            model_type="single",
-            lr=model.lr,
-            batch_size=model.batch_size,
-            y_mean=model._y_mean,
-            y_scale=model._y_scale,
-        )
-        arrays["model_vector"] = model.model
-    elif isinstance(model, MultiModelRegHD):
-        cfg = model.config
-        meta.update(
-            model_type="multi",
-            y_mean=model._y_mean,
-            y_scale=model._y_scale,
-            config={
-                "dim": cfg.dim,
-                "n_models": cfg.n_models,
-                "lr": cfg.lr,
-                "softmax_temp": cfg.softmax_temp,
-                "update_weighting": cfg.update_weighting,
-                "cluster_quant": cfg.cluster_quant.value,
-                "predict_quant": cfg.predict_quant.value,
-                "batch_size": cfg.batch_size,
-                "seed": cfg.seed,
-            },
-        )
-        arrays["clusters_integer"] = model.clusters.integer
-        arrays["models_integer"] = model.models.integer
-    elif isinstance(model, BaselineHD):
-        meta.update(
-            model_type="baseline_hd",
-            n_bins=model.n_bins,
-            lr=model.lr,
-            batch_size=model.batch_size,
-            y_low=model._y_low,
-            y_high=model._y_high,
-        )
-        arrays["class_vectors"] = model.class_vectors
-        arrays["bin_centers"] = model.bin_centers
-    else:
-        raise ConfigurationError(
-            f"cannot serialise model of type {type(model).__name__}"
-        )
 
     np.savez(path, _meta=np.array(json.dumps(meta)), **arrays)
     # np.savez appends .npz when missing; normalise the returned path.
@@ -225,7 +144,7 @@ def _load_npz_and_meta(
             f"{path}: metadata could not be decoded "
             f"(corrupt or truncated file): {exc}"
         ) from exc
-    if meta.get("format_version") != _FORMAT_VERSION:
+    if meta.get("format_version") not in _SUPPORTED_VERSIONS:
         raise ConfigurationError(
             f"unsupported model-file version {meta.get('format_version')}"
         )
@@ -243,77 +162,155 @@ def read_metadata(path: str | pathlib.Path) -> dict:
     return meta
 
 
-def load_model(
-    path: str | pathlib.Path,
-) -> SingleModelRegHD | MultiModelRegHD | BaselineHD:
+def _read_arrays_v2(
+    data: np.lib.npyio.NpzFile, meta: dict, path: pathlib.Path
+) -> dict[str, np.ndarray]:
+    """Load every state array, validated against the recorded shape/dtype."""
+    shapes = meta.get("shapes")
+    dtypes = meta.get("dtypes")
+    if not isinstance(shapes, dict) or not isinstance(dtypes, dict):
+        raise ConfigurationError(
+            f"{path}: v2 model file is missing the shapes/dtypes metadata"
+        )
+    return {
+        name: _read_array(
+            data, name, path, tuple(shapes[name]), dtypes.get(name)
+        )
+        for name in shapes
+    }
+
+
+def _v1_encoder_meta(
+    meta: dict, data: np.lib.npyio.NpzFile, path: pathlib.Path
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Translate a v1 encoder block into v2 state-protocol form."""
+    in_features, dim = meta["in_features"], meta["dim"]
+    kind = meta["encoder_type"]
+    if kind == "nonlinear":
+        enc_meta = {
+            "type": "nonlinear",
+            "in_features": in_features,
+            "dim": dim,
+            "scale": meta["scale"],
+            "base_kind": meta["base_kind"],
+        }
+        arrays = {
+            "encoder_bases": _read_array(
+                data, "encoder_bases", path, (in_features, dim)
+            ),
+            "encoder_phases": _read_array(
+                data, "encoder_phases", path, (dim,)
+            ),
+        }
+        return enc_meta, arrays
+    if kind == "projection":
+        enc_meta = {
+            "type": "projection",
+            "in_features": in_features,
+            "dim": dim,
+            "scale": meta["scale"],
+            "quantize": meta["quantize"],
+        }
+        arrays = {
+            "encoder_bases": _read_array(
+                data, "encoder_bases", path, (in_features, dim)
+            )
+        }
+        return enc_meta, arrays
+    raise ConfigurationError(
+        f"unknown encoder_type {kind!r} in model file"
+    )
+
+
+def _upgrade_v1(
+    data: np.lib.npyio.NpzFile, meta: dict, path: pathlib.Path
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Rewrite legacy v1 metadata into the v2 ``(meta, arrays)`` state.
+
+    v1 stored flat per-type metadata (``y_mean``/``y_scale`` at the top
+    level, a partial ``config`` dict for the multi-model) and relied on
+    the loader's isinstance ladder; the upgrade produces exactly what the
+    registered classes' ``from_state`` expects, so everything downstream
+    of this function is version-agnostic.
+    """
+    enc_meta, arrays = _v1_encoder_meta(meta, data, path)
+    model_type = meta.get("model_type")
+    dim = meta["dim"]
+    upgraded: dict = {
+        "in_features": meta["in_features"],
+        "encoder": enc_meta,
+        "model_type": model_type,
+        "fitted": True,
+    }
+    if "extra" in meta:
+        upgraded["extra"] = meta["extra"]
+
+    if model_type == "single":
+        upgraded.update(
+            lr=meta["lr"],
+            batch_size=meta["batch_size"],
+            scaler={
+                "mean": meta["y_mean"],
+                "scale": meta["y_scale"],
+                "fitted": True,
+            },
+        )
+        arrays["model_vector"] = _read_array(
+            data, "model_vector", path, (dim,)
+        )
+        return upgraded, arrays
+    if model_type == "multi":
+        cfg = dict(meta["config"])
+        upgraded.update(
+            config=cfg,
+            scaler={
+                "mean": meta["y_mean"],
+                "scale": meta["y_scale"],
+                "fitted": True,
+            },
+        )
+        k = cfg["n_models"]
+        arrays["clusters_integer"] = _read_array(
+            data, "clusters_integer", path, (k, dim)
+        )
+        arrays["models_integer"] = _read_array(
+            data, "models_integer", path, (k, dim)
+        )
+        return upgraded, arrays
+    if model_type == "baseline_hd":
+        upgraded.update(
+            n_bins=meta["n_bins"],
+            lr=meta["lr"],
+            batch_size=meta["batch_size"],
+            y_low=meta["y_low"],
+            y_high=meta["y_high"],
+        )
+        arrays["class_vectors"] = _read_array(
+            data, "class_vectors", path, (meta["n_bins"], dim)
+        )
+        arrays["bin_centers"] = _read_array(
+            data, "bin_centers", path, (meta["n_bins"],)
+        )
+        return upgraded, arrays
+    raise ConfigurationError(
+        f"unknown model_type {model_type!r} in model file"
+    )
+
+
+def load_model(path: str | pathlib.Path) -> object:
     """Restore a model saved with :func:`save_model` (bit-exact).
 
     Array shapes and dtypes are validated against the file's own metadata,
     so a truncated or tampered file raises a descriptive
     :class:`ConfigurationError` instead of a raw numpy broadcast error.
+    Both current (v2) and legacy (v1) files are supported; the restored
+    class is resolved through :data:`~repro.registry.MODEL_REGISTRY`.
     """
     path = pathlib.Path(path)
     data, meta = _load_npz_and_meta(path)
-    encoder = _restore_encoder(meta, data, path)
-    dim = meta["dim"]
-
-    if meta["model_type"] == "single":
-        model = SingleModelRegHD(
-            meta["in_features"],
-            lr=meta["lr"],
-            batch_size=meta["batch_size"],
-            encoder=encoder,
-        )
-        model.model[:] = _read_array(data, "model_vector", path, (dim,))
-        model._y_mean = meta["y_mean"]
-        model._y_scale = meta["y_scale"]
-        model._fitted = True
-        return model
-    if meta["model_type"] == "multi":
-        cfg_dict = dict(meta["config"])
-        cfg = RegHDConfig(
-            dim=cfg_dict["dim"],
-            n_models=cfg_dict["n_models"],
-            lr=cfg_dict["lr"],
-            softmax_temp=cfg_dict["softmax_temp"],
-            update_weighting=cfg_dict["update_weighting"],
-            cluster_quant=ClusterQuant(cfg_dict["cluster_quant"]),
-            predict_quant=PredictQuant(cfg_dict["predict_quant"]),
-            batch_size=cfg_dict["batch_size"],
-            seed=cfg_dict["seed"],
-        )
-        model = MultiModelRegHD(meta["in_features"], cfg, encoder=encoder)
-        k = cfg.n_models
-        model.clusters.integer[:] = _read_array(
-            data, "clusters_integer", path, (k, dim)
-        )
-        model.clusters.rebinarize()
-        model.models.integer[:] = _read_array(
-            data, "models_integer", path, (k, dim)
-        )
-        model.models.rebinarize()
-        model._y_mean = meta["y_mean"]
-        model._y_scale = meta["y_scale"]
-        model._fitted = True
-        return model
-    if meta["model_type"] == "baseline_hd":
-        model = BaselineHD(
-            meta["in_features"],
-            n_bins=meta["n_bins"],
-            lr=meta["lr"],
-            batch_size=meta["batch_size"],
-            encoder=encoder,
-        )
-        model.class_vectors[:] = _read_array(
-            data, "class_vectors", path, (meta["n_bins"], dim)
-        )
-        model.bin_centers = _read_array(
-            data, "bin_centers", path, (meta["n_bins"],)
-        )
-        model._y_low = meta["y_low"]
-        model._y_high = meta["y_high"]
-        model._fitted = True
-        return model
-    raise ConfigurationError(
-        f"unknown model_type {meta['model_type']!r} in model file"
-    )
+    if meta["format_version"] == 1:
+        meta, arrays = _upgrade_v1(data, meta, path)
+    else:
+        arrays = _read_arrays_v2(data, meta, path)
+    cls = model_class(meta.get("model_type"))
+    return cls.from_state(meta, arrays)

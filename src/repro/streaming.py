@@ -26,7 +26,7 @@ from repro.core.multi import MultiModelRegHD
 from repro.encoding.base import Encoder
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.metrics import mean_squared_error
-from repro.types import ArrayLike, FloatArray, SeedLike
+from repro.types import ArrayLike, FloatArray
 from repro.utils.validation import check_1d, check_2d, check_matching_lengths
 
 
@@ -190,7 +190,7 @@ class StreamingRegHD:
     @property
     def fitted(self) -> bool:
         """Whether at least one batch has been absorbed."""
-        return self.model._fitted
+        return self.model.fitted
 
     def predict(self, X: ArrayLike) -> FloatArray:
         """Predict with the current model state (compiled serving path).

@@ -1,7 +1,6 @@
 """End-to-end integration: datasets -> harness -> models -> metrics."""
 
 import numpy as np
-import pytest
 
 from repro import (
     BaselineHD,

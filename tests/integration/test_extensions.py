@@ -1,7 +1,6 @@
 """Integration tests across the extension modules."""
 
 import numpy as np
-import pytest
 
 from repro import (
     ClusterQuant,

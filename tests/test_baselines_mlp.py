@@ -94,5 +94,7 @@ class TestTraining:
         X, y, _, _ = tiny_regression
         free = MLPRegressor(hidden=(16,), epochs=60, weight_decay=0.0, seed=0).fit(X, y)
         decayed = MLPRegressor(hidden=(16,), epochs=60, weight_decay=0.05, seed=0).fit(X, y)
-        norm = lambda m: sum(float(np.linalg.norm(W)) for W in m.weights_)
+        def norm(m):
+            return sum(float(np.linalg.norm(W)) for W in m.weights_)
+
         assert norm(decayed) < norm(free)

@@ -90,6 +90,60 @@ class TestDualCopy:
         assert DualCopy(np.zeros((3, 5))).shape == (3, 5)
 
 
+class TestDualCopyReplace:
+    """``replace`` is the only safe wholesale overwrite: rebinding or
+    assigning ``.integer`` directly leaves ``binary`` and the cached
+    ``signs`` serving pre-overwrite values."""
+
+    def test_replace_overwrites_in_place(self):
+        dc = DualCopy(np.array([[1.0, -1.0]]))
+        integer_ref = dc.integer
+        dc.replace(np.array([[3.0, 4.0]]))
+        assert dc.integer is integer_ref
+        np.testing.assert_allclose(integer_ref, [[3.0, 4.0]])
+
+    def test_replace_refreshes_binary(self):
+        dc = DualCopy(np.array([[1.0, -1.0]]))
+        dc.replace(np.array([[-2.0, 2.0]]))
+        np.testing.assert_allclose(np.sign(dc.binary[0]), [-1.0, 1.0])
+
+    def test_replace_invalidates_sign_cache(self):
+        """Regression: reading ``signs``, then replacing the contents, must
+        not serve the stale cached sign matrix."""
+        dc = DualCopy(np.array([[1.0, 1.0]]))
+        stale = dc.signs.copy()
+        np.testing.assert_allclose(stale, [[1.0, 1.0]])
+        dc.replace(np.array([[-5.0, -5.0]]))
+        np.testing.assert_allclose(dc.signs, [[-1.0, -1.0]])
+
+    def test_replace_rejects_shape_mismatch(self):
+        dc = DualCopy(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="replace expects shape"):
+            dc.replace(np.zeros((3, 2)))
+
+    def test_naive_cluster_update_invalidates_signs(self):
+        """End-to-end regression for the NAIVE quantisation branch: after
+        an epoch of cluster updates, the Hamming search must see the new
+        sign patterns, not the ones cached before the update."""
+        from repro.core.config import ConvergencePolicy, RegHDConfig
+        from repro.core.multi import MultiModelRegHD
+
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(40, 3))
+        y = X[:, 0] - X[:, 1]
+        cfg = RegHDConfig(
+            dim=64,
+            n_models=2,
+            seed=11,
+            cluster_quant=ClusterQuant.NAIVE,
+            convergence=ConvergencePolicy(max_epochs=2, patience=1),
+        )
+        model = MultiModelRegHD(3, cfg).fit(X, y)
+        expected = np.sign(model.clusters.integer)
+        expected[expected == 0] = 1.0
+        np.testing.assert_array_equal(model.clusters.signs, expected)
+
+
 class TestEnumCoverage:
     def test_cluster_quant_members(self):
         assert {c.value for c in ClusterQuant} == {"none", "framework", "naive"}

@@ -90,7 +90,6 @@ class TestLanguageSeparation:
     def test_two_synthetic_languages_separate(self):
         """Texts from two different character Markov chains cluster by
         source — the random-indexing result [38] in miniature."""
-        rng = np.random.default_rng(0)
         alphabet = "abcdefghij "
 
         def make_language(seed):

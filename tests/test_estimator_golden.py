@@ -1,0 +1,106 @@
+"""Golden-equivalence proof for the estimator-stack refactor.
+
+``tests/fixtures/golden_predictions.npz`` was recorded with the
+pre-refactor per-model implementations (private ``_normalize_rows`` /
+``_softmax`` clones, inline y-scaling, per-class fit loops).  These tests
+retrain with the same seeds on the rebased stack and require
+**bit-identical** predictions — not allclose — so the refactor is proven
+behaviourally invisible.
+
+If a deliberate numerics change ever invalidates these, regenerate with
+``PYTHONPATH=src python tests/fixtures/generate_fixtures.py`` *and* call
+the change out loudly: it breaks bit-compat with previously saved models.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro import BaselineHD, MultiModelRegHD, RegHDConfig, SingleModelRegHD
+from repro.core import ClusterQuant, ConvergencePolicy, PredictQuant
+from repro.encoding import RandomProjectionEncoder
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+DIM = 96
+SEED = 1234
+CONV = ConvergencePolicy(max_epochs=4, patience=2)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return np.load(FIXTURES / "golden_predictions.npz")
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(SEED)
+    X = rng.normal(size=(72, 4))
+    y = np.sin(X[:, 0]) + 0.5 * X[:, 1] * X[:, 2] - X[:, 3]
+    X_query = rng.normal(size=(16, 4))
+    return X, y, X_query
+
+
+def multi_config(cq: ClusterQuant, pq: PredictQuant) -> RegHDConfig:
+    return RegHDConfig(
+        dim=DIM,
+        n_models=3,
+        seed=SEED,
+        convergence=CONV,
+        cluster_quant=cq,
+        predict_quant=pq,
+    )
+
+
+def test_single_model_bit_identical(golden, data):
+    X, y, X_query = data
+    model = SingleModelRegHD(4, dim=DIM, seed=SEED, convergence=CONV)
+    model.fit(X, y)
+    np.testing.assert_array_equal(model.predict(X_query), golden["single"])
+
+
+def test_baseline_hd_bit_identical(golden, data):
+    X, y, X_query = data
+    model = BaselineHD(4, dim=DIM, n_bins=8, seed=SEED, convergence=CONV)
+    model.fit(X, y)
+    np.testing.assert_array_equal(
+        model.predict(X_query), golden["baseline_hd"]
+    )
+
+
+@pytest.mark.parametrize("cq", list(ClusterQuant))
+@pytest.mark.parametrize("pq", list(PredictQuant))
+def test_multi_model_bit_identical_all_quant_combos(golden, data, cq, pq):
+    X, y, X_query = data
+    model = MultiModelRegHD(4, multi_config(cq, pq))
+    model.fit(X, y)
+    np.testing.assert_array_equal(
+        model.predict(X_query), golden[f"multi_{cq.value}_{pq.value}"]
+    )
+
+
+def test_projection_encoder_bit_identical(golden, data):
+    X, y, X_query = data
+    model = SingleModelRegHD(
+        4,
+        encoder=RandomProjectionEncoder(4, DIM, seed=SEED),
+        convergence=CONV,
+    )
+    model.fit(X, y)
+    np.testing.assert_array_equal(
+        model.predict(X_query), golden["single_projection"]
+    )
+
+
+def test_partial_fit_stream_bit_identical(golden, data):
+    """The frozen-scaler streaming path produces the pre-refactor result."""
+    X, y, X_query = data
+    model = MultiModelRegHD(
+        4, multi_config(ClusterQuant.FRAMEWORK, PredictQuant.BINARY_QUERY)
+    )
+    for start in (0, 24, 48):
+        model.partial_fit(X[start : start + 24], y[start : start + 24])
+    np.testing.assert_array_equal(
+        model.predict(X_query), golden["multi_partial_fit"]
+    )

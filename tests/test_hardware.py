@@ -1,6 +1,5 @@
 """Tests for the hardware cost model."""
 
-import numpy as np
 import pytest
 
 from repro.core.quantization import ClusterQuant, PredictQuant
@@ -11,7 +10,6 @@ from repro.hardware import (
     BaselineHDCostSpec,
     DNNCostSpec,
     DeviceProfile,
-    EfficiencyRow,
     OpCounts,
     OpKind,
     RegHDCostSpec,

@@ -1,0 +1,88 @@
+"""Tests for the shared row-normalisation and softmax ops.
+
+These two functions replaced four per-module private clones; every
+training and serving path now routes through them, so their numerics are
+load-bearing for bit-exactness across the codebase.
+"""
+
+import numpy as np
+
+from repro.ops.normalize import normalize_rows, softmax
+
+
+class TestNormalizeRows:
+    def test_rows_become_unit_norm(self):
+        rng = np.random.default_rng(0)
+        S = rng.normal(size=(32, 50))
+        N = normalize_rows(S)
+        assert np.allclose(np.linalg.norm(N, axis=1), 1.0)
+
+    def test_zero_row_stays_zero(self):
+        S = np.zeros((3, 8))
+        S[1] = 1.0
+        N = normalize_rows(S)
+        assert np.array_equal(N[0], np.zeros(8))
+        assert np.array_equal(N[2], np.zeros(8))
+
+    def test_does_not_mutate_input(self):
+        S = np.arange(12, dtype=np.float64).reshape(3, 4)
+        before = S.copy()
+        normalize_rows(S)
+        assert np.array_equal(S, before)
+
+    def test_matches_manual_division(self):
+        rng = np.random.default_rng(1)
+        S = rng.normal(size=(10, 20))
+        norms = np.linalg.norm(S, axis=1, keepdims=True)
+        assert np.array_equal(normalize_rows(S), S / np.maximum(norms, 1e-12))
+
+    def test_eps_floor_is_configurable(self):
+        S = np.full((1, 4), 1e-20)
+        loose = normalize_rows(S, eps=1e-6)
+        assert np.all(np.abs(loose) < 1e-12)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        scores = rng.normal(size=(16, 5)) * 10
+        probs = softmax(scores)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_shift_invariance(self):
+        """The stabilising per-row max shift leaves the result unchanged."""
+        rng = np.random.default_rng(3)
+        scores = rng.normal(size=(8, 4))
+        shifted = scores + rng.normal(size=(8, 1)) * 100
+        assert np.allclose(softmax(scores), softmax(shifted))
+
+    def test_large_scores_do_not_overflow(self):
+        scores = np.array([[1e4, 1e4 - 1.0, 0.0]])
+        probs = softmax(scores)
+        assert np.all(np.isfinite(probs))
+        assert probs[0, 0] > probs[0, 1] > probs[0, 2]
+
+    def test_matches_naive_formula_on_small_scores(self):
+        rng = np.random.default_rng(4)
+        scores = rng.normal(size=(6, 3))
+        naive = np.exp(scores) / np.exp(scores).sum(axis=1, keepdims=True)
+        assert np.allclose(softmax(scores), naive)
+
+    def test_uniform_scores_give_uniform_probabilities(self):
+        probs = softmax(np.zeros((2, 5)))
+        assert np.allclose(probs, 0.2)
+
+
+class TestSharedUsage:
+    def test_engine_confidences_use_shared_softmax(self):
+        """The serving path's confidences equal the training path's by
+        construction (same function), not merely approximately."""
+        from repro.engine.kernels import softmax_confidences
+
+        rng = np.random.default_rng(5)
+        sims = rng.uniform(-1, 1, size=(10, 4))
+        temp = 3.7
+        assert np.array_equal(
+            softmax_confidences(sims, temp), softmax(temp * sims)
+        )

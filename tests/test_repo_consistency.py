@@ -1,0 +1,112 @@
+"""Structural guards against re-cloning deduplicated primitives.
+
+The estimator-stack refactor collapsed four private ``_normalize_rows``
+clones, two ``_softmax`` clones and five copies of the y-standardisation
+logic into :mod:`repro.ops.normalize` and
+:class:`repro.core.estimator.TargetScaler`.  These tests grep the source
+tree and fail if a clone reappears, so the dedup cannot silently erode.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+#: the single allowed definition site of the shared row ops
+SHARED_OPS = SRC / "repro" / "ops" / "normalize.py"
+#: the single allowed definition site of the target-scaling state machine
+SCALER_MODULE = SRC / "repro" / "core" / "estimator.py"
+
+
+def _python_sources():
+    return sorted(SRC.rglob("*.py"))
+
+
+def _offending_lines(pattern: str, *, exclude: set[pathlib.Path] = frozenset()):
+    regex = re.compile(pattern)
+    hits = []
+    for path in _python_sources():
+        if path in exclude:
+            continue
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if regex.search(line):
+                hits.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    return hits
+
+
+def test_sources_exist():
+    assert SHARED_OPS.exists()
+    assert SCALER_MODULE.exists()
+    assert len(_python_sources()) > 50
+
+
+def test_no_private_normalize_rows_clone():
+    hits = _offending_lines(r"def\s+_normalize_rows")
+    assert not hits, (
+        "private _normalize_rows clone found — use "
+        "repro.ops.normalize.normalize_rows instead:\n" + "\n".join(hits)
+    )
+
+
+def test_normalize_rows_defined_only_in_shared_ops():
+    hits = _offending_lines(
+        r"def\s+normalize_rows", exclude={SHARED_OPS}
+    )
+    assert not hits, (
+        "normalize_rows must have exactly one definition "
+        "(repro/ops/normalize.py):\n" + "\n".join(hits)
+    )
+
+
+def test_no_private_softmax_clone():
+    hits = _offending_lines(r"def\s+_softmax")
+    assert not hits, (
+        "private _softmax clone found — use repro.ops.normalize.softmax "
+        "instead:\n" + "\n".join(hits)
+    )
+
+
+def test_softmax_defined_only_in_shared_ops():
+    hits = _offending_lines(r"def\s+softmax\(", exclude={SHARED_OPS})
+    assert not hits, (
+        "softmax must have exactly one definition (repro/ops/normalize.py):\n"
+        + "\n".join(hits)
+    )
+
+
+def test_no_ad_hoc_target_scaling_state():
+    """``_y_mean`` / ``_y_scale`` attribute pairs were the signature of the
+    per-model y-standardisation clones; all target scaling goes through
+    TargetScaler now."""
+    hits = _offending_lines(r"_y_mean|_y_scale")
+    assert not hits, (
+        "ad-hoc target-scaling state found — use "
+        "repro.core.estimator.TargetScaler instead:\n" + "\n".join(hits)
+    )
+
+
+def test_no_isinstance_ladder_in_serialization():
+    """The serializer is registry-driven; a returning isinstance ladder
+    means a model type is being special-cased again."""
+    serialization = SRC / "repro" / "serialization.py"
+    assert "isinstance(model" not in serialization.read_text()
+
+
+@pytest.mark.parametrize(
+    "name", ["single", "multi", "baseline_hd", "classifier", "multioutput", "ensemble"]
+)
+def test_every_model_registered(name):
+    from repro.registry import MODEL_REGISTRY
+
+    assert name in MODEL_REGISTRY
+
+
+@pytest.mark.parametrize("name", ["nonlinear", "projection"])
+def test_every_encoder_registered(name):
+    from repro.registry import ENCODER_REGISTRY
+
+    assert name in ENCODER_REGISTRY

@@ -159,7 +159,7 @@ class TestTraining:
             lr=0.5,
             epsilon_decay=0.93,
         )
-        run = train_agent(env, agent, episodes=80, seed=0)
+        train_agent(env, agent, episodes=80, seed=0)
         greedy = evaluate_policy(env, agent, episodes=5)
         random = random_policy_reward(env, episodes=5)
         assert greedy > random
