@@ -93,6 +93,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "features",
         help="text file of feature rows (whitespace- or comma-separated)",
     )
+    predict.add_argument(
+        "--backend",
+        choices=["dense", "packed"],
+        default=None,
+        help="execution-runtime backend for the compiled serving path "
+        "(default: auto from the model's quantisation config)",
+    )
 
     compare = sub.add_parser(
         "compare", help="Table-1-style model comparison on one dataset"
@@ -205,6 +212,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=0, help="master seed")
     bench.add_argument(
+        "--backend",
+        choices=["dense", "packed"],
+        default="packed",
+        help="execution-runtime backend for the compiled variants",
+    )
+    bench.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke mode: smaller batches, fewer repeats, D <= 4096",
@@ -314,7 +327,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     # Pure-inference workload: serve through the compiled engine (packed
     # popcount kernels on quantised configs) when the model supports it.
     if hasattr(model, "compile"):
-        predictions = model.compile().predict(X)
+        predictions = model.compile(backend=args.backend).predict(X)
     else:
         predictions = model.predict(X)
     for value in predictions:
@@ -511,6 +524,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         seed=args.seed,
         quick=args.quick,
+        backend=args.backend,
     )
     rows = [
         {
@@ -536,6 +550,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"D={dim:>6}: packed {ratios['packed_vs_float']:.2f}x, "
             f"packed+threads {ratios['packed_mt_vs_float']:.2f}x vs float"
         )
+    runtime = record["runtime"]
+    print(f"runtime backend: {runtime['backend']} (runtime v{runtime['version']})")
     out_path = pathlib.Path(args.output)
     out_path.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {out_path}")

@@ -31,6 +31,7 @@ from repro.encoding.base import Encoder
 from repro.encoding.nonlinear import NonlinearEncoder
 from repro.exceptions import ConfigurationError
 from repro.registry import register_model
+from repro.runtime import resolve_backend
 from repro.types import FloatArray, SeedLike
 from repro.utils.rng import derive_generator
 
@@ -92,6 +93,7 @@ class BaselineHD(BaseRegHDEstimator):
         self.batch_size = int(batch_size)
         self.convergence = convergence or ConvergencePolicy()
         self._seed = seed
+        self.runtime = resolve_backend(None)
         self.class_vectors = np.zeros((self.n_bins, self.encoder.dim))
         self.bin_centers = np.linspace(0.0, 1.0, self.n_bins)
         self._y_low = 0.0
@@ -112,19 +114,23 @@ class BaselineHD(BaseRegHDEstimator):
         for start in range(0, len(order), self.batch_size):
             idx = order[start : start + self.batch_size]
             S_b = S[idx]
-            sims = S_b @ self.class_vectors.T
+            sims = self.runtime.linear_dots(S_b, self.class_vectors)
             pred = np.argmax(sims, axis=1)
             truth = true_bins[idx]
             wrong = pred != truth
             if not np.any(wrong):
                 continue
             S_w = S_b[wrong]
-            np.add.at(self.class_vectors, truth[wrong], self.lr * S_w)
-            np.add.at(self.class_vectors, pred[wrong], -self.lr * S_w)
+            self.runtime.scatter_add(
+                self.class_vectors, truth[wrong], self.lr * S_w
+            )
+            self.runtime.scatter_add(
+                self.class_vectors, pred[wrong], -self.lr * S_w
+            )
 
     def predict_encoded(self, S: FloatArray) -> FloatArray:
         """Centre of the most similar bin (the discrete prediction)."""
-        sims = S @ self.class_vectors.T
+        sims = self.runtime.linear_dots(S, self.class_vectors)
         return self.bin_centers[np.argmax(sims, axis=1)]
 
     # -- template hooks -----------------------------------------------------

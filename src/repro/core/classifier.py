@@ -30,6 +30,7 @@ from repro.encoding.base import Encoder
 from repro.encoding.nonlinear import NonlinearEncoder
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.registry import register_model
+from repro.runtime import resolve_backend
 from repro.types import ArrayLike, FloatArray, SeedLike
 from repro.utils.rng import as_generator, derive_generator
 from repro.utils.validation import check_2d, check_matching_lengths
@@ -90,6 +91,7 @@ class HDClassifier(BaseRegHDEstimator):
         self.binary_inference = bool(binary_inference)
         self.convergence = convergence or ConvergencePolicy()
         self._seed = seed
+        self.runtime = resolve_backend(None)
         self.classes_: np.ndarray | None = None
         self.class_vectors_: FloatArray | None = None
         self.accuracy_curve_: list[float] = []
@@ -112,15 +114,19 @@ class HDClassifier(BaseRegHDEstimator):
         for start in range(0, len(order), self.batch_size):
             idx = order[start : start + self.batch_size]
             S_b = S[idx]
-            sims = S_b @ self.class_vectors_.T
+            sims = self.runtime.linear_dots(S_b, self.class_vectors_)
             pred = np.argmax(sims, axis=1)
             truth = labels[idx]
             wrong = pred != truth
             if not np.any(wrong):
                 continue
             S_w = S_b[wrong]
-            np.add.at(self.class_vectors_, truth[wrong], self.lr * S_w)
-            np.add.at(self.class_vectors_, pred[wrong], -self.lr * S_w)
+            self.runtime.scatter_add(
+                self.class_vectors_, truth[wrong], self.lr * S_w
+            )
+            self.runtime.scatter_add(
+                self.class_vectors_, pred[wrong], -self.lr * S_w
+            )
 
     def fit(self, X: ArrayLike, y: ArrayLike) -> "HDClassifier":
         """Iteratively train one hypervector per class."""
@@ -137,7 +143,7 @@ class HDClassifier(BaseRegHDEstimator):
         self.class_vectors_ = np.zeros((len(self.classes_), self.dim))
 
         # Single-pass bundling initialisation, then error-driven epochs.
-        np.add.at(self.class_vectors_, labels, S)
+        self.runtime.scatter_add(self.class_vectors_, labels, S)
 
         rng = as_generator(derive_generator(self._seed, 1))
         policy = self.convergence
@@ -148,7 +154,13 @@ class HDClassifier(BaseRegHDEstimator):
             order = rng.permutation(len(labels))
             self._fit_epoch(S, labels, order)
             acc = float(
-                np.mean(np.argmax(S @ self.class_vectors_.T, axis=1) == labels)
+                np.mean(
+                    np.argmax(
+                        self.runtime.linear_dots(S, self.class_vectors_),
+                        axis=1,
+                    )
+                    == labels
+                )
             )
             self.accuracy_curve_.append(acc)
             if acc > best_acc + policy.tol:
@@ -166,7 +178,7 @@ class HDClassifier(BaseRegHDEstimator):
         if not self._fitted:
             raise NotFittedError("HDClassifier used before fit")
         S = self._encode_normalized(check_2d("X", X))
-        return S @ self._effective_class_vectors().T
+        return self.runtime.linear_dots(S, self._effective_class_vectors())
 
     def predict(self, X: ArrayLike) -> np.ndarray:
         """Most similar class label per input."""

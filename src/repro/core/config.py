@@ -86,6 +86,14 @@ class RegHDConfig:
     seed:
         Master seed; encoder bases, cluster initialisation and epoch
         shuffling derive independent streams from it.
+    backend:
+        Execution-runtime kernel backend name (``"dense"``/``"packed"``,
+        see :func:`repro.runtime.resolve_backend`).  ``None`` defers to
+        the ``REPRO_BACKEND`` environment variable and then the dense
+        default; a pinned name wins over the environment, so configs stay
+        reproducible across machines.  Affects *how* kernels execute, not
+        what they compute — it is serialised for provenance but a loaded
+        model may run under a different backend.
     """
 
     dim: int = 4000
@@ -100,6 +108,7 @@ class RegHDConfig:
     encoder_scale: float | None = None
     convergence: ConvergencePolicy = field(default_factory=ConvergencePolicy)
     seed: int | None = 0
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.dim < 2:
@@ -133,6 +142,11 @@ class RegHDConfig:
                 f"predict_quant must be a PredictQuant, got "
                 f"{self.predict_quant!r}"
             )
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise ConfigurationError(
+                f"backend must be a registry name or None, got "
+                f"{self.backend!r}"
+            )
 
     def with_overrides(self, **changes: Any) -> "RegHDConfig":
         """Return a copy with the given fields replaced (frozen-safe)."""
@@ -158,6 +172,7 @@ class RegHDConfig:
                 "min_epochs": self.convergence.min_epochs,
             },
             "seed": self.seed,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -189,4 +204,7 @@ class RegHDConfig:
             ),
             convergence=convergence,
             seed=None if meta.get("seed") is None else int(meta["seed"]),
+            backend=(
+                None if meta.get("backend") is None else str(meta["backend"])
+            ),
         )

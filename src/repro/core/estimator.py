@@ -399,6 +399,12 @@ class BaseRegHDEstimator(BaseEstimator):
     def end_epoch(self) -> None:
         """Per-epoch post-processing (default: none)."""
 
+    def begin_training(self, S: FloatArray) -> None:
+        """Pre-run hook for run-scoped kernel caches (default: none)."""
+
+    def finish_training(self) -> None:
+        """Post-run teardown matching :meth:`begin_training` (default: none)."""
+
     # -- state protocol plumbing -------------------------------------------
 
     def _state(self) -> tuple[dict, dict[str, np.ndarray]]:

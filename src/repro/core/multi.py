@@ -42,18 +42,18 @@ from repro.core.estimator import (
     encoder_from_state,
     take_array,
 )
-from repro.core.quantization import (
-    ClusterQuant,
-    DualCopy,
-    PredictQuant,
-    binarize_preserving_scale,
-)
+from repro.core.quantization import ClusterQuant, DualCopy
 from repro.encoding.base import Encoder
 from repro.encoding.nonlinear import NonlinearEncoder
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.ops.generate import random_bipolar
-from repro.ops.normalize import softmax
 from repro.registry import register_model
+from repro.runtime import (
+    ClusterOperand,
+    ModelOperand,
+    Query,
+    resolve_backend,
+)
 from repro.types import ArrayLike, FloatArray
 from repro.utils.rng import derive_generator
 from repro.utils.validation import check_2d
@@ -101,6 +101,9 @@ class MultiModelRegHD(BaseRegHDEstimator):
         if overrides:
             base = base.with_overrides(**overrides)
         self.config = base
+        # Kernel backend executing every similarity/dot/update below; the
+        # config pin wins over the REPRO_BACKEND environment default.
+        self.runtime = resolve_backend(base.backend)
         super().__init__(
             self.resolve_encoder(
                 in_features,
@@ -137,50 +140,47 @@ class MultiModelRegHD(BaseRegHDEstimator):
         init = init.astype(np.float64) / np.sqrt(cfg.dim)
         self.clusters = DualCopy(init)
         self.models = DualCopy(np.zeros((cfg.n_models, cfg.dim)))
+        # Live runtime operands over the dual copies; rebuilt here because
+        # a re-fit swaps in fresh DualCopy objects.
+        self._cluster_op = ClusterOperand(self.clusters, cfg.cluster_quant)
+        self._model_op = ModelOperand(self.models, cfg.predict_quant)
+        self._train_cache = None
 
     # -- similarity / confidence ------------------------------------------
 
-    def _cluster_similarities(self, S: FloatArray) -> FloatArray:
+    def _query(self, S: FloatArray) -> Query:
+        """Wrap a batch for the runtime, reusing epoch-cached operands.
+
+        Identity check (``cache.S is S``): the trainer presents the same
+        encoded matrix every epoch, so its cached packed operands apply
+        exactly when the caller passes that matrix itself.
+        """
+        cache = self._train_cache
+        if cache is not None and cache.S is S:
+            return cache.query()
+        return Query(S)
+
+    def _cluster_similarities(self, query: Query) -> FloatArray:
         """Eq. (5) (or its Hamming replacement) for a batch: ``(n, k)``."""
-        cq = self.config.cluster_quant
-        if cq is ClusterQuant.NONE:
-            C = self.clusters.integer
-            norms = np.linalg.norm(C, axis=1)
-            norms = np.maximum(norms, 1e-12)
-            # S rows are unit-norm by construction.
-            return (S @ C.T) / norms
-        # Quantised search: Hamming similarity of sign patterns, which for
-        # bipolar views equals their cosine.  (sign(S) . sign(C)) / D is in
-        # [-1, 1], matching the cosine scale the softmax expects.  The
-        # cluster signs are cached on the DualCopy (invalidated on every
-        # update/rebinarisation); the query signs necessarily vary per call.
-        S_signs = np.sign(S)
-        S_signs[S_signs == 0] = 1.0
-        C_signs = self.clusters.signs
-        return (S_signs @ C_signs.T) / float(self.config.dim)
+        return self.runtime.cluster_similarities(query, self._cluster_op)
 
     def _confidences(self, sims: FloatArray) -> FloatArray:
         """Softmax normalisation block of Fig. 4: ``delta'``."""
-        return softmax(self.config.softmax_temp * sims)
+        return self.runtime.confidences(sims, self.config.softmax_temp)
 
     # -- prediction ---------------------------------------------------------
 
-    def _effective_query(self, S: FloatArray) -> FloatArray:
-        if self.config.predict_quant.query_is_binary:
-            return binarize_preserving_scale(S)
-        return S
-
     def _effective_models(self) -> FloatArray:
-        if self.config.predict_quant.model_is_binary:
-            return self.models.view(binary=True)
-        return self.models.integer
+        """The Sec.-3.2 model operand: binary view when the scheme says so."""
+        return self._model_op.matT.T
 
     def predict_encoded(self, S: FloatArray) -> FloatArray:
         """Eq. (6): confidence-weighted accumulation over all k models."""
-        sims = self._cluster_similarities(S)
+        query = self._query(S)
+        sims = self._cluster_similarities(query)
         conf = self._confidences(sims)
-        dots = self._effective_query(S) @ self._effective_models().T
-        return np.sum(conf * dots, axis=1)
+        dots = self.runtime.model_dots(query, self._model_op)
+        return self.runtime.weighted_prediction(conf, dots)
 
     # -- training -----------------------------------------------------------
 
@@ -204,14 +204,15 @@ class MultiModelRegHD(BaseRegHDEstimator):
             )
         # Mean over the batch keeps the step size independent of
         # batch_size; batch_size 1 reduces exactly to the online Eq. (7).
-        self.models.update_all(lr * (weights.T @ S) / S.shape[0])
+        self.runtime.weighted_model_update(self.models, weights, S, lr)
 
     def _cluster_update(self, S: FloatArray, sims: FloatArray) -> None:
         """Eq. (8): pull the most similar centre toward the input."""
         top = np.argmax(sims, axis=1)
         weights = 1.0 - sims[np.arange(len(top)), top]
-        delta = np.zeros_like(self.clusters.integer)
-        np.add.at(delta, top, weights[:, np.newaxis] * S)
+        delta = self.runtime.segment_delta(
+            top, weights[:, np.newaxis] * S, self.config.n_models
+        )
         if self.config.cluster_quant is ClusterQuant.NAIVE:
             # Naive binarisation: the stored cluster *is* binary, so every
             # update is immediately re-quantised and the accumulated
@@ -225,13 +226,19 @@ class MultiModelRegHD(BaseRegHDEstimator):
     def fit_epoch(self, S: FloatArray, y: FloatArray, order: np.ndarray) -> None:
         """One pass of mini-batch updates over pre-encoded data."""
         batch = self.config.batch_size
+        cache = self._train_cache
+        if cache is not None and cache.S is not S:
+            cache = None  # partial_fit on new data; cache belongs to fit()
         for start in range(0, len(order), batch):
             idx = order[start : start + batch]
             S_b = S[idx]
-            sims = self._cluster_similarities(S_b)
+            query = (
+                cache.slice(idx, S_b) if cache is not None else Query(S_b)
+            )
+            sims = self._cluster_similarities(query)
             conf = self._confidences(sims)
-            dots = self._effective_query(S_b) @ self._effective_models().T
-            errors = y[idx] - np.sum(conf * dots, axis=1)
+            dots = self.runtime.model_dots(query, self._model_op)
+            errors = y[idx] - self.runtime.weighted_prediction(conf, dots)
             self._model_update(S_b, conf, errors)
             self._cluster_update(S_b, sims)
 
@@ -241,6 +248,18 @@ class MultiModelRegHD(BaseRegHDEstimator):
             self.clusters.rebinarize()
         if self.config.predict_quant.model_is_binary:
             self.models.rebinarize()
+
+    def begin_training(self, S: FloatArray) -> None:
+        """Trainer hook: build the epoch-spanning packed query cache."""
+        self._train_cache = self.runtime.make_training_cache(
+            S,
+            cluster_quant=self.config.cluster_quant,
+            predict_quant=self.config.predict_quant,
+        )
+
+    def finish_training(self) -> None:
+        """Trainer hook: drop the epoch cache (the trainer always calls it)."""
+        self._train_cache = None
 
     # -- template hooks ------------------------------------------------------
 
@@ -261,6 +280,7 @@ class MultiModelRegHD(BaseRegHDEstimator):
     def compile(
         self,
         *,
+        backend: str | None = None,
         packed: bool | None = None,
         tile_rows: int | None = None,
         n_workers: int = 1,
@@ -272,12 +292,17 @@ class MultiModelRegHD(BaseRegHDEstimator):
         operands so the quantised similarity search and fully-binary dot
         products run as XOR + popcount — and executes batches through the
         tiled, optionally multi-threaded engine.  See
-        :func:`repro.engine.compile_model` for the knobs.
+        :func:`repro.engine.compile_model` for the knobs, including the
+        ``backend``/``packed`` serving-backend selection.
         """
         from repro.engine import compile_model
 
         return compile_model(
-            self, packed=packed, tile_rows=tile_rows, n_workers=n_workers
+            self,
+            backend=backend,
+            packed=packed,
+            tile_rows=tile_rows,
+            n_workers=n_workers,
         )
 
     def cluster_assignments(self, X: ArrayLike) -> np.ndarray:
@@ -285,14 +310,14 @@ class MultiModelRegHD(BaseRegHDEstimator):
         if not self._fitted:
             raise NotFittedError("cluster_assignments called before fit")
         S = self._encode_normalized(check_2d("X", X))
-        return np.argmax(self._cluster_similarities(S), axis=1)
+        return np.argmax(self._cluster_similarities(Query(S)), axis=1)
 
     def confidences(self, X: ArrayLike) -> FloatArray:
         """Per-cluster softmax confidences ``delta'`` for each input row."""
         if not self._fitted:
             raise NotFittedError("confidences called before fit")
         S = self._encode_normalized(check_2d("X", X))
-        return self._confidences(self._cluster_similarities(S))
+        return self._confidences(self._cluster_similarities(Query(S)))
 
     @property
     def n_models(self) -> int:

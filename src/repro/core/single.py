@@ -31,6 +31,7 @@ from repro.encoding.base import Encoder
 from repro.encoding.nonlinear import NonlinearEncoder
 from repro.exceptions import ConfigurationError
 from repro.registry import register_model
+from repro.runtime import resolve_backend
 from repro.types import FloatArray, SeedLike
 from repro.utils.rng import derive_generator
 
@@ -56,6 +57,11 @@ class SingleModelRegHD(BaseRegHDEstimator):
         Iterative-retraining stopping rule.
     seed:
         Master seed for encoder bases and epoch shuffling.
+    backend:
+        Execution-runtime backend name (``None`` defers to the
+        ``REPRO_BACKEND`` environment variable, then ``"dense"``).  The
+        single model has no quantised path, so every backend computes
+        identical floats here; the knob exists for config symmetry.
     """
 
     def __init__(
@@ -68,6 +74,7 @@ class SingleModelRegHD(BaseRegHDEstimator):
         encoder: Encoder | None = None,
         convergence: ConvergencePolicy | None = None,
         seed: SeedLike = 0,
+        backend: str | None = None,
     ):
         if lr <= 0 or lr >= 2:
             raise ConfigurationError(
@@ -90,6 +97,8 @@ class SingleModelRegHD(BaseRegHDEstimator):
         self.batch_size = int(batch_size)
         self.convergence = convergence or ConvergencePolicy()
         self._seed = seed
+        self._backend_name = backend
+        self.runtime = resolve_backend(backend)
         self.model = np.zeros(self.encoder.dim, dtype=np.float64)
 
     # -- trainer protocol -------------------------------------------------
@@ -99,15 +108,15 @@ class SingleModelRegHD(BaseRegHDEstimator):
         for start in range(0, len(order), self.batch_size):
             idx = order[start : start + self.batch_size]
             S_b = S[idx]
-            errors = y[idx] - S_b @ self.model
+            errors = y[idx] - self.runtime.linear_dots(S_b, self.model)
             # Mean over the batch keeps the step size (and hence the LMS
             # stability bound lr < 2) independent of batch_size; batch_size
             # 1 reduces exactly to the paper's online Eq. (2).
-            self.model += self.lr * (errors @ S_b) / len(idx)
+            self.runtime.lms_update(self.model, errors, S_b, self.lr)
 
     def predict_encoded(self, S: FloatArray) -> FloatArray:
         """Predict (normalised-unit) targets for encoded hypervectors."""
-        return S @ self.model
+        return self.runtime.linear_dots(S, self.model)
 
     # -- template hooks ----------------------------------------------------
 
@@ -135,6 +144,7 @@ class SingleModelRegHD(BaseRegHDEstimator):
                 "min_epochs": self.convergence.min_epochs,
             },
             "scaler": self.scaler.get_state(),
+            "backend": self._backend_name,
         }
 
     def _model_arrays(self) -> dict[str, np.ndarray]:
@@ -162,6 +172,7 @@ class SingleModelRegHD(BaseRegHDEstimator):
             encoder=encoder_from_state(meta["encoder"], arrays),
             convergence=convergence,
             seed=meta.get("seed", 0),
+            backend=meta.get("backend"),
         )
 
     def __repr__(self) -> str:

@@ -36,6 +36,14 @@ class TrainableOnEncoded(Protocol):
         """Hook run after each pass (e.g. re-binarise quantised copies)."""
         ...  # pragma: no cover
 
+    def begin_training(self, S: FloatArray) -> None:
+        """Hook run once before the first epoch (e.g. build operand caches)."""
+        ...  # pragma: no cover
+
+    def finish_training(self) -> None:
+        """Hook run once after the last epoch, even on divergence."""
+        ...  # pragma: no cover
+
 
 @dataclass
 class EpochRecord:
@@ -129,42 +137,55 @@ class IterativeTrainer:
         previous = np.inf
         first = None
         n = S_train.shape[0]
-        for epoch in range(1, policy.max_epochs + 1):
-            order = self._rng.permutation(n)
-            model.fit_epoch(S_train, y_train, order)
-            model.end_epoch()
-            train_mse = mean_squared_error(
-                y_train, model.predict_encoded(S_train)
-            )
-            val_mse = None
-            if S_val is not None and y_val is not None:
-                val_mse = mean_squared_error(
-                    y_val, model.predict_encoded(S_val)
+        # Let the model prepare run-scoped kernel caches (e.g. the packed
+        # backend packs S_train once and serves every epoch from slices);
+        # the finally guarantees teardown even if an epoch raises.  The
+        # hooks are optional so minimal fit_epoch/predict_encoded models
+        # (ablation stubs, toy baselines) keep working unchanged.
+        begin = getattr(model, "begin_training", None)
+        finish = getattr(model, "finish_training", None)
+        if begin is not None:
+            begin(S_train)
+        try:
+            for epoch in range(1, policy.max_epochs + 1):
+                order = self._rng.permutation(n)
+                model.fit_epoch(S_train, y_train, order)
+                model.end_epoch()
+                train_mse = mean_squared_error(
+                    y_train, model.predict_encoded(S_train)
                 )
-            record = EpochRecord(epoch, train_mse, val_mse)
-            history.records.append(record)
+                val_mse = None
+                if S_val is not None and y_val is not None:
+                    val_mse = mean_squared_error(
+                        y_val, model.predict_encoded(S_val)
+                    )
+                record = EpochRecord(epoch, train_mse, val_mse)
+                history.records.append(record)
 
-            monitored = record.monitored
-            if first is None:
-                first = monitored
-            # Divergence guard: a learning rate past the LMS stability
-            # bound blows the MSE up geometrically — stop immediately
-            # instead of reporting a "plateau" at astronomical error.
-            if not np.isfinite(monitored) or (
-                first > 0 and monitored > 1e6 * first
-            ):
-                history.diverged = True
-                break
-            # Relative improvement against the previous epoch; the first
-            # epoch always counts as an improvement.
-            denom = max(previous, np.finfo(float).tiny)
-            improvement = (previous - monitored) / denom
-            if np.isfinite(previous) and improvement < policy.tol:
-                plateau += 1
-            else:
-                plateau = 0
-            previous = monitored
-            if epoch >= policy.min_epochs and plateau >= policy.patience:
-                history.converged = True
-                break
+                monitored = record.monitored
+                if first is None:
+                    first = monitored
+                # Divergence guard: a learning rate past the LMS stability
+                # bound blows the MSE up geometrically — stop immediately
+                # instead of reporting a "plateau" at astronomical error.
+                if not np.isfinite(monitored) or (
+                    first > 0 and monitored > 1e6 * first
+                ):
+                    history.diverged = True
+                    break
+                # Relative improvement against the previous epoch; the first
+                # epoch always counts as an improvement.
+                denom = max(previous, np.finfo(float).tiny)
+                improvement = (previous - monitored) / denom
+                if np.isfinite(previous) and improvement < policy.tol:
+                    plateau += 1
+                else:
+                    plateau = 0
+                previous = monitored
+                if epoch >= policy.min_epochs and plateau >= policy.patience:
+                    history.converged = True
+                    break
+        finally:
+            if finish is not None:
+                finish()
         return history

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.config import RegHDConfig
 from repro.core.multi import MultiModelRegHD
 from repro.core.quantization import ClusterQuant, PredictQuant
+from repro.runtime import RUNTIME_VERSION, resolve_backend
 
 #: Dimensionalities swept by the full benchmark (paper Sec. 4 uses 4k-10k).
 DEFAULT_DIMS = (1000, 4096, 10000)
@@ -82,24 +83,29 @@ def run_inference_benchmark(
     n_workers: int = 4,
     seed: int = 0,
     quick: bool = False,
+    backend: str = "packed",
 ) -> dict:
     """Measure the three serving paths across ``dims``.
 
     ``quick=True`` shrinks the sweep (drops D = 10k, smaller batches,
     fewer repeats) to a CI-friendly smoke run that still yields the
-    packed-vs-float comparison at D = 4096.
+    packed-vs-float comparison at D = 4096.  ``backend`` selects the
+    execution-runtime backend the compiled plan dispatches through for
+    the ``packed``/``packed_mt`` cells (the ``float`` cell always runs
+    the uncompiled model path).
     """
     if quick:
         dims = tuple(d for d in dims if d <= 4096) or dims[:1]
         batch_rows = min(batch_rows, 512)
         repeats = min(repeats, 3)
 
+    runtime = resolve_backend(backend)
     rng = np.random.default_rng(seed + 1)
     results: list[dict] = []
     speedups: dict[str, dict[str, float]] = {}
     for dim in dims:
         model = _fitted_model(dim, features, seed)
-        plan = model.compile(packed=True, n_workers=1)
+        plan = model.compile(backend=runtime, n_workers=1)
         X = rng.normal(size=(batch_rows, features))
 
         cells = {
@@ -137,6 +143,10 @@ def run_inference_benchmark(
         "machine": {
             "cpu_count": os.cpu_count(),
             "numpy": np.__version__,
+        },
+        "runtime": {
+            "backend": runtime.name,
+            "version": RUNTIME_VERSION,
         },
         "results": results,
         "speedups": speedups,

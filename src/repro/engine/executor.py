@@ -22,18 +22,15 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.quantization import ClusterQuant
 from repro.engine.kernels import (
     TileScratch,
     encode_tile,
-    packed_dots,
     packed_query_words,
-    packed_similarities,
     query_scales,
     row_norms,
     sign_matrix,
-    softmax_confidences,
 )
+from repro.runtime import Query
 from repro.types import FloatArray
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -74,28 +71,24 @@ def _run_tile(
     if plan.needs_normalized:
         np.divide(S, norms[:, np.newaxis], out=S)
 
-    # 3. Cluster similarities (Eq. 5) and softmax confidences.
-    if plan.packed_sims:
-        sims = packed_similarities(words, plan.cluster_words, plan.dim)
-    elif plan.cluster_quant is ClusterQuant.NONE:
-        sims = (S @ plan.cluster_matT) / plan.cluster_norms
-    else:
-        sims = (signs @ plan.cluster_signsT) / float(plan.dim)
-    conf = softmax_confidences(sims, plan.softmax_temp)
+    # 3. Cluster similarities (Eq. 5) and softmax confidences, dispatched
+    #    through the plan's kernel backend over the scratch-derived query.
+    backend = plan.backend
+    query = Query(S, signs=signs, words=words, scales=q_scales)
+    sims = backend.cluster_similarities(query, plan.cluster_op)
+    conf = backend.confidences(sims, plan.softmax_temp)
 
-    # 4. Model dot products (Eq. 6 under the Sec.-3.2 scheme).
-    if plan.packed_dots:
-        dots = packed_dots(
-            words, plan.model_words, q_scales, plan.model_scales, plan.dim
+    # 4. Model dot products (Eq. 6 under the Sec.-3.2 scheme).  The
+    #    binarised queries are built in place in the sign buffer — only
+    #    after the similarities above are done reading it.
+    if plan.predict_quant.query_is_binary and not plan.packed_dots:
+        query._binarized = np.multiply(
+            signs, q_scales[:, np.newaxis], out=signs
         )
-    elif plan.predict_quant.query_is_binary:
-        Q = np.multiply(signs, q_scales[:, np.newaxis], out=signs)
-        dots = Q @ plan.model_matT
-    else:
-        dots = S @ plan.model_matT
+    dots = backend.model_dots(query, plan.model_op)
 
     # 5. Confidence-weighted accumulation, mapped back to target units.
-    y = np.sum(conf * dots, axis=1)
+    y = backend.weighted_prediction(conf, dots)
     np.multiply(y, plan.y_scale, out=y)
     np.add(y, plan.y_mean, out=y)
     out[lo:hi] = y

@@ -1,28 +1,25 @@
-"""Fused per-tile kernels for the compiled inference engine.
+"""Scratch-buffer tile kernels for the compiled inference engine.
 
-Each kernel operates on one row tile of a batch and writes its large
+Each helper operates on one row tile of a batch and writes its large
 intermediates into caller-provided scratch buffers, so a tile's peak
 memory is a fixed number of ``(tile_rows, D)`` arrays no matter how many
 rows the full batch has.  Numpy's ufuncs and BLAS release the GIL on
 arrays of this size, which is what lets the executor fan tiles out over a
 thread pool.
 
-The arithmetic mirrors :class:`repro.core.multi.MultiModelRegHD` exactly:
-
-* the quantised similarity search ``(sign(S) @ sign(C).T) / D`` equals
-  ``(D - 2 * hamming) / D`` on packed sign words — bit-for-bit, because
-  the ±1 matmul sums to an exact integer below 2^53;
-* the fully-binary dot product ``(sign_q * scale_q) @ (sign_m * scale_m).T``
-  becomes ``scale_q * scale_m * (D - 2 * hamming)`` — equal up to float
-  rounding of the scale multiplications.
+This module owns only the *query-side preparation* — fused encoding,
+norms, binarisation scales, sign matrices and packed words derived into
+scratch.  The similarity / softmax / dot-product arithmetic itself lives
+in :mod:`repro.runtime` and is reached through the plan's
+:class:`~repro.runtime.KernelBackend`, so serving and training share one
+kernel layer by construction.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.ops.normalize import softmax
-from repro.ops.packing import pack_sign_words, packed_sign_products
+from repro.runtime.packing import pack_sign_words
 from repro.types import FloatArray
 
 
@@ -36,7 +33,7 @@ class TileScratch:
         self.main = np.empty((tile_rows, dim), dtype=np.float64)
         #: secondary float buffer: trig temporary, |S|, then sign matrix
         self.aux = np.empty((tile_rows, dim), dtype=np.float64)
-        #: boolean sign-bit buffer feeding ``np.packbits``
+        #: boolean sign-bit buffer feeding the word packer
         self.bits = np.empty((tile_rows, dim), dtype=np.bool_)
 
     @property
@@ -106,39 +103,3 @@ def sign_matrix(S: FloatArray, scratch: TileScratch) -> FloatArray:
 def packed_query_words(S: FloatArray, scratch: TileScratch) -> np.ndarray:
     """Pack a tile's sign bits into uint64 words via the shared scratch."""
     return pack_sign_words(S, out_bits=scratch.bits)
-
-
-def packed_similarities(
-    query_words: np.ndarray, cluster_words: np.ndarray, dim: int
-) -> FloatArray:
-    """Quantised cluster similarities ``(D - 2*hamming) / D`` in [-1, 1].
-
-    Bit-exact with the float path's ``(sign(S) @ sign(C).T) / D``: the
-    numerator is the same exact integer in both formulations, divided by
-    the same ``float(dim)``.
-    """
-    return packed_sign_products(query_words, cluster_words, dim) / float(dim)
-
-
-def softmax_confidences(sims: FloatArray, temp: float) -> FloatArray:
-    """Softmax block of Fig. 4 — the training path's shared implementation,
-    so the two paths stay bit-exact by construction."""
-    return softmax(temp * sims)
-
-
-def packed_dots(
-    query_words: np.ndarray,
-    model_words: np.ndarray,
-    query_scales: FloatArray,
-    model_scales: FloatArray,
-    dim: int,
-) -> FloatArray:
-    """Fully-binary model dot products on packed words (Sec. 3.2).
-
-    ``dots[i, j] = q_scale[i] * m_scale[j] * (signs_q[i] . signs_m[j])``
-    with the sign dot product computed as ``D - 2 * hamming``.
-    """
-    prods = packed_sign_products(query_words, model_words, dim)
-    prods *= query_scales[:, np.newaxis]
-    prods *= model_scales[np.newaxis, :]
-    return prods

@@ -2,22 +2,30 @@
 
 :func:`compile_model` snapshots everything prediction needs — the encoder
 projection, the target scaling, and the *effective* cluster/model
-hypervectors under the configured Section-3 quantisation — into an
-immutable :class:`CompiledPlan`.  Binary operands are bit-packed into
-``uint64`` words at compile time, so at serve time the quantised
-similarity search and the fully-binary model dot products run as XOR +
-popcount instead of float matrix products (paper Sec. 3: D-*bit* logic in
-place of D-element arithmetic).
+hypervectors under the configured Section-3 quantisation — into a
+:class:`CompiledPlan`.  The operands are frozen
+:class:`~repro.runtime.FrozenClusterOperand` /
+:class:`~repro.runtime.FrozenModelOperand` snapshots built for a
+:class:`~repro.runtime.KernelBackend`: under the packed backend the
+binary operands are bit-packed into ``uint64`` words at compile time, so
+at serve time the quantised similarity search and the fully-binary model
+dot products run as XOR + popcount instead of float matrix products
+(paper Sec. 3: D-*bit* logic in place of D-element arithmetic).
 
 The plan is a value, not a view: further training of the source model
 does not change a compiled plan, and a plan never mutates the model.
-That makes plans safe to hand to serving threads while the online learner
-keeps updating — the streaming wrappers recompile after each absorbed
-batch (see :meth:`repro.streaming.StreamingRegHD.predict`).
+That makes plans safe to hand to serving threads while the online
+learner keeps updating.  When the learner wants the plan to catch up it
+calls :meth:`CompiledPlan.refresh` explicitly — an *incremental* update
+that re-packs only the operand rows whose sign pattern actually moved
+(see :meth:`repro.streaming.StreamingRegHD.update`), instead of
+recompiling the whole plan after every absorbed batch.
 """
 
 from __future__ import annotations
 
+import os
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,7 +39,17 @@ from repro.exceptions import (
     EncodingError,
     NotFittedError,
 )
-from repro.ops.packing import pack_sign_words
+from repro.runtime import (
+    BACKEND_ENV_VAR,
+    FrozenClusterOperand,
+    FrozenModelOperand,
+    KernelBackend,
+    freeze_cluster_operand,
+    freeze_model_operand,
+    refresh_cluster_operand,
+    refresh_model_operand,
+    resolve_backend,
+)
 from repro.types import ArrayLike, FloatArray
 from repro.utils.validation import check_2d
 
@@ -43,25 +61,26 @@ def _frozen(array: np.ndarray) -> np.ndarray:
     return out
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, eq=False)
 class CompiledPlan:
-    """An immutable, executable snapshot of a fitted RegHD model.
+    """An executable snapshot of a fitted RegHD model.
 
     Instances are produced by :func:`compile_model` (or the convenience
     :meth:`MultiModelRegHD.compile <repro.core.multi.MultiModelRegHD.compile>`)
     and execute prediction through the tiled engine via :meth:`predict`.
-    All array fields are read-only; the plan shares no mutable state with
-    the model it was compiled from.
+    All operand arrays are read-only; the plan never mutates the model it
+    was compiled from, and training the model does not change the plan.
+    The only sanctioned mutation is :meth:`refresh`, which incrementally
+    re-snapshots the operands from the source model.
 
-    Exactly one of each operand pair is populated, depending on the
-    quantisation scheme and the ``packed`` compile flag:
-
-    * cluster search — ``cluster_matT``/``cluster_norms`` (full-precision
-      cosine), ``cluster_signsT`` (float sign search), or
-      ``cluster_words`` (packed Hamming search);
-    * model dots — ``model_matT`` (float matmul against the effective
-      models) or ``model_words``/``model_scales`` (packed sign products,
-      fully-binary configs only).
+    The operands live in ``cluster_op`` / ``model_op``
+    (:class:`~repro.runtime.FrozenClusterOperand` /
+    :class:`~repro.runtime.FrozenModelOperand`); which representation
+    each carries depends on the quantisation scheme and the compiled
+    backend — full-precision matrices, a float sign matrix, or bit-packed
+    ``uint64`` words.  The flat ``cluster_matT`` / ``cluster_words`` /
+    ``model_matT`` / … accessors expose them under their historical
+    names.
     """
 
     in_features: int
@@ -76,20 +95,61 @@ class CompiledPlan:
     packed_dots: bool
     tile_rows: int
     n_workers: int
+    #: the kernel backend the executor dispatches through
+    backend: KernelBackend
+    #: frozen cluster-search operands (Eq. 5 or its Hamming replacement)
+    cluster_op: FrozenClusterOperand
+    #: frozen model dot-product operands (Eq. 6 under the Sec.-3.2 scheme)
+    model_op: FrozenModelOperand
     # encoder snapshot (fast fused path) or opaque fallback encoder
     enc_bases: FloatArray | None = field(default=None)
     enc_phases: FloatArray | None = field(default=None)
     enc_scale: float = 1.0
     encoder: Encoder | None = field(default=None)
-    # cluster-search operands
-    cluster_matT: FloatArray | None = field(default=None)
-    cluster_norms: FloatArray | None = field(default=None)
-    cluster_signsT: FloatArray | None = field(default=None)
-    cluster_words: np.ndarray | None = field(default=None)
-    # model dot-product operands
-    model_matT: FloatArray | None = field(default=None)
-    model_words: np.ndarray | None = field(default=None)
-    model_scales: FloatArray | None = field(default=None)
+    #: refresh machinery: source-model weakref, operand trackers, stats
+    _refresh: dict = field(init=False, default_factory=dict)
+
+    # -- historical flat operand accessors ---------------------------------
+
+    @property
+    def cluster_matT(self) -> FloatArray | None:
+        """Full-precision clusters, transposed (cosine search only)."""
+        return self.cluster_op.matT
+
+    @property
+    def cluster_norms(self) -> FloatArray | None:
+        """Cluster row norms for the cosine search."""
+        return self.cluster_op.norms
+
+    @property
+    def cluster_signsT(self) -> FloatArray | None:
+        """±1 cluster sign matrix, transposed (float sign search)."""
+        return self.cluster_op.signsT
+
+    @property
+    def cluster_words(self) -> np.ndarray | None:
+        """Bit-packed cluster sign words (packed Hamming search)."""
+        return self.cluster_op.words
+
+    @property
+    def model_matT(self) -> FloatArray | None:
+        """Effective model matrix, transposed (float dot products)."""
+        return self.model_op.matT
+
+    @property
+    def model_words(self) -> np.ndarray | None:
+        """Bit-packed model sign words (fully-binary dot products)."""
+        return self.model_op.words
+
+    @property
+    def model_scales(self) -> FloatArray | None:
+        """Per-model binarisation scales for the packed dot products."""
+        return self.model_op.scales
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the compiled kernel backend."""
+        return self.backend.name
 
     @property
     def packed(self) -> bool:
@@ -130,20 +190,52 @@ class CompiledPlan:
     def nbytes(self) -> int:
         """Total bytes held by the plan's operand arrays."""
         total = 0
-        for arr in (
-            self.enc_bases,
-            self.enc_phases,
-            self.cluster_matT,
-            self.cluster_norms,
-            self.cluster_signsT,
-            self.cluster_words,
-            self.model_matT,
-            self.model_words,
-            self.model_scales,
-        ):
+        for arr in (self.enc_bases, self.enc_phases):
             if arr is not None:
                 total += arr.nbytes
+        for arr in self.cluster_op.arrays + self.model_op.arrays:
+            total += arr.nbytes
         return total
+
+    # -- incremental refresh ------------------------------------------------
+
+    def refresh(self, model: MultiModelRegHD) -> tuple[int, int]:
+        """Re-snapshot the operands from the (further-trained) source model.
+
+        Only rows whose sign pattern moved since the last snapshot are
+        re-packed / re-copied (tracked through
+        :attr:`repro.runtime.DualCopy.sign_versions`); full-precision
+        operands refresh wholesale but only when the model actually
+        changed.  Returns ``(rows_refreshed, rows_reused)`` for this call.
+
+        ``model`` must be the instance this plan was compiled from —
+        refreshing from an unrelated model would silently mix two models'
+        state, so it raises :class:`ConfigurationError` instead.
+        """
+        source = self._refresh.get("source")
+        if source is None or source() is not model:
+            raise ConfigurationError(
+                "CompiledPlan.refresh requires the model the plan was "
+                "compiled from"
+            )
+        object.__setattr__(self, "y_mean", float(model.scaler.mean))
+        object.__setattr__(self, "y_scale", float(model.scaler.scale))
+        c_new, c_old = refresh_cluster_operand(
+            self.cluster_op, model.clusters, self._refresh["clusters"]
+        )
+        m_new, m_old = refresh_model_operand(
+            self.model_op, model.models, self._refresh["models"]
+        )
+        stats = self._refresh["stats"]
+        stats["refreshes"] += 1
+        stats["rows_refreshed"] += c_new + m_new
+        stats["rows_reused"] += c_old + m_old
+        return c_new + m_new, c_old + m_old
+
+    @property
+    def refresh_stats(self) -> dict:
+        """Cumulative :meth:`refresh` counters (a copy)."""
+        return dict(self._refresh["stats"])
 
     def predict(
         self,
@@ -175,14 +267,14 @@ class CompiledPlan:
         )
 
     def __repr__(self) -> str:
-        backend = []
-        backend.append("packed-sims" if self.packed_sims else "float-sims")
-        backend.append("packed-dots" if self.packed_dots else "float-dots")
+        stages = []
+        stages.append("packed-sims" if self.packed_sims else "float-sims")
+        stages.append("packed-dots" if self.packed_dots else "float-dots")
         return (
             f"CompiledPlan(in_features={self.in_features}, dim={self.dim}, "
             f"k={self.n_models}, cluster_quant={self.cluster_quant.value}, "
             f"predict_quant={self.predict_quant.value}, "
-            f"backend={'+'.join(backend)}, tile_rows={self.tile_rows}, "
+            f"backend={'+'.join(stages)}, tile_rows={self.tile_rows}, "
             f"n_workers={self.n_workers})"
         )
 
@@ -193,9 +285,37 @@ def auto_tile_rows(dim: int, budget_bytes: int = 24 << 20) -> int:
     return int(min(4096, max(64, rows)))
 
 
+def _resolve_compile_backend(
+    model: MultiModelRegHD,
+    packed: bool | None,
+    backend: "KernelBackend | str | None",
+) -> KernelBackend:
+    """Pick the serving backend: packed flag > backend > config > env > auto.
+
+    The auto default keeps the engine's historical behaviour — packed
+    operands exactly where a stage benefits (quantised cluster search or
+    fully-binary dots), dense otherwise.
+    """
+    if packed is not None:
+        return resolve_backend("packed" if packed else "dense")
+    cfg = model.config
+    if (
+        backend is not None
+        or cfg.backend is not None
+        or os.environ.get(BACKEND_ENV_VAR)
+    ):
+        return resolve_backend(backend if backend is not None else cfg.backend)
+    beneficial = (
+        cfg.cluster_quant is not ClusterQuant.NONE
+        or cfg.predict_quant is PredictQuant.BINARY_BOTH
+    )
+    return resolve_backend("packed" if beneficial else "dense")
+
+
 def compile_model(
     model: MultiModelRegHD,
     *,
+    backend: "KernelBackend | str | None" = None,
     packed: bool | None = None,
     tile_rows: int | None = None,
     n_workers: int = 1,
@@ -207,13 +327,18 @@ def compile_model(
     model:
         A fitted multi-model RegHD instance.  The plan copies every
         operand it needs; the model can keep training afterwards without
-        affecting the plan.
+        affecting the plan (until an explicit :meth:`CompiledPlan.refresh`).
+    backend:
+        Execution-runtime backend for the serving kernels (a registry
+        name or instance).  ``None`` defers to ``model.config.backend``,
+        then the ``REPRO_BACKEND`` environment variable, then the
+        historical automatic choice: packed exactly where a stage
+        benefits from it.
     packed:
-        ``True`` forces the packed popcount backend wherever the
-        quantisation scheme permits it (quantised cluster search, fully
-        binary dot products); ``False`` keeps every stage on float
-        operands; ``None`` (default) picks packed automatically exactly
-        when some stage benefits.
+        Legacy boolean override: ``True`` forces the packed popcount
+        backend wherever the quantisation scheme permits it, ``False``
+        keeps every stage on float operands.  Takes precedence over
+        ``backend`` when given.
     tile_rows:
         Rows per execution tile.  ``None`` sizes tiles so one worker's
         scratch stays near 24 MiB (:func:`auto_tile_rows`).
@@ -244,12 +369,9 @@ def compile_model(
     elif tile_rows < 1:
         raise ConfigurationError(f"tile_rows must be >= 1, got {tile_rows}")
 
-    quantised_search = cfg.cluster_quant is not ClusterQuant.NONE
-    fully_binary_dots = cfg.predict_quant is PredictQuant.BINARY_BOTH
-    if packed is None:
-        packed = quantised_search or fully_binary_dots
-    packed_sims = bool(packed) and quantised_search
-    packed_dots = bool(packed) and fully_binary_dots
+    runtime = _resolve_compile_backend(model, packed, backend)
+    packed_sims = runtime.packs_similarities(cfg.cluster_quant)
+    packed_dots = runtime.packs_dots(cfg.predict_quant)
 
     # Encoder snapshot: the fused tile kernel needs the projection
     # operands; other encoder types fall back to their encode_batch.
@@ -263,29 +385,14 @@ def compile_model(
     else:
         encoder = model.encoder
 
-    # Cluster-search operands (Eq. 5 or its Hamming replacement).
-    cluster_matT = cluster_norms = cluster_signsT = cluster_words = None
-    if not quantised_search:
-        C = model.clusters.integer
-        cluster_matT = _frozen(C.T)
-        cluster_norms = _frozen(
-            np.maximum(np.linalg.norm(C, axis=1), 1e-12)
-        )
-    elif packed_sims:
-        cluster_words = _frozen(pack_sign_words(model.clusters.view(binary=True)))
-    else:
-        cluster_signsT = _frozen(model.clusters.signs.T)
+    cluster_op, cluster_tracker = freeze_cluster_operand(
+        model.clusters, cfg.cluster_quant, packed=packed_sims
+    )
+    model_op, model_tracker = freeze_model_operand(
+        model.models, cfg.predict_quant, packed=packed_dots
+    )
 
-    # Model dot-product operands (Eq. 6 under the Sec.-3.2 scheme).
-    model_matT = model_words = model_scales = None
-    if packed_dots:
-        M = model.models.integer
-        model_words = _frozen(pack_sign_words(M))
-        model_scales = _frozen(np.mean(np.abs(M), axis=1))
-    else:
-        model_matT = _frozen(model._effective_models().T)
-
-    return CompiledPlan(
+    plan = CompiledPlan(
         in_features=model.in_features,
         dim=cfg.dim,
         n_models=cfg.n_models,
@@ -298,15 +405,18 @@ def compile_model(
         packed_dots=packed_dots,
         tile_rows=int(tile_rows),
         n_workers=int(n_workers),
+        backend=runtime,
+        cluster_op=cluster_op,
+        model_op=model_op,
         enc_bases=enc_bases,
         enc_phases=enc_phases,
         enc_scale=enc_scale,
         encoder=encoder,
-        cluster_matT=cluster_matT,
-        cluster_norms=cluster_norms,
-        cluster_signsT=cluster_signsT,
-        cluster_words=cluster_words,
-        model_matT=model_matT,
-        model_words=model_words,
-        model_scales=model_scales,
     )
+    plan._refresh.update(
+        source=weakref.ref(model),
+        clusters=cluster_tracker,
+        models=model_tracker,
+        stats={"refreshes": 0, "rows_refreshed": 0, "rows_reused": 0},
+    )
+    return plan

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.multi import MultiModelRegHD
 from repro.core.single import SingleModelRegHD
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.runtime import Query
 from repro.types import ArrayLike, FloatArray
 from repro.utils.validation import check_2d
 
@@ -102,9 +103,10 @@ def prediction_breakdown(
             f"prediction_breakdown explains one row; got shape {x_arr.shape}"
         )
     S = model._encode_normalized(x_arr[np.newaxis, :])
-    sims = model._cluster_similarities(S)
+    query = Query(S)
+    sims = model._cluster_similarities(query)
     conf = model._confidences(sims)[0]
-    dots = (model._effective_query(S) @ model._effective_models().T)[0]
+    dots = model.runtime.model_dots(query, model._model_op)[0]
     contributions = tuple(
         ClusterContribution(
             cluster=i,

@@ -1,231 +1,28 @@
-"""Bit-packed binary hypervectors: the hardware-friendly path, in software.
+"""Compatibility shim: the packing kernels live in :mod:`repro.runtime.packing`.
 
-The Section-3 efficiency argument is that binary hypervectors turn
-D-element integer arithmetic into D-*bit* logic.  This module realises
-that in software: sign patterns are packed 8-per-byte into ``uint8`` words
-(widened to ``uint64`` for the kernels) and Hamming distances are computed
-with XOR + popcount — the same computation an FPGA's LUTs or a CPU's
-``popcnt`` performs.  The micro-benchmark ``benchmarks/test_packed_binary.py``
-measures the actual speedup over the float dot product on this machine;
-the inference engine (``repro.engine``) runs its quantised similarity
-search and binary dot products on these kernels.
-
-All pairwise kernels accumulate over *column tiles* of the second operand
-so that peak temporary memory stays bounded (``_TILE_BUDGET_BYTES``)
-regardless of batch size — a ``(n, m, words)`` XOR broadcast is never
-materialised in full.
+The bit-packing primitives started life in the ops layer and moved into
+the execution runtime when training and serving were unified behind
+:class:`~repro.runtime.KernelBackend`.  This module re-exports the public
+surface so existing imports (``from repro.ops.packing import ...``) keep
+working; new code should import from :mod:`repro.runtime.packing`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.exceptions import DimensionalityError
-from repro.types import ArrayLike, FloatArray
-
-#: popcount of every byte value; fallback when numpy lacks bitwise_count.
-_POPCOUNT_TABLE = np.array(
-    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+from repro.runtime.packing import (
+    pack_bits,
+    pack_sign_words,
+    packed_hamming_distance,
+    packed_hamming_similarity,
+    packed_sign_products,
+    unpack_bits,
 )
 
-_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
-
-#: Upper bound on the XOR temporary a pairwise kernel may materialise.
-_TILE_BUDGET_BYTES = 1 << 24  # 16 MiB
-
-
-def _popcount_sum(words: np.ndarray) -> np.ndarray:
-    """Sum of per-element popcounts over the last axis.
-
-    ``words`` may be any unsigned integer dtype; the table fallback views
-    the (C-contiguous) input as bytes, which leaves the sum unchanged.
-    """
-    if _HAS_BITWISE_COUNT:
-        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
-    as_bytes = np.ascontiguousarray(words).view(np.uint8)
-    return _POPCOUNT_TABLE[as_bytes].sum(axis=-1, dtype=np.int64)
-
-
-def _check_binary(arr: np.ndarray) -> None:
-    """Reject non-{0,1} content with a dtype-aware check.
-
-    Boolean and integer inputs are validated by a pair of allocation-free
-    min/max reductions (the hot path: quantiser outputs are uint8/bool);
-    float inputs keep the exact elementwise check so fractional values
-    cannot silently truncate to 0.
-    """
-    if arr.size == 0:
-        return
-    kind = arr.dtype.kind
-    if kind == "b":
-        return
-    if kind in "ui":
-        if arr.min() < 0 or arr.max() > 1:
-            raise ValueError("pack_bits requires a binary {0,1} array")
-        return
-    if kind == "f":
-        if not ((arr == 0) | (arr == 1)).all():
-            raise ValueError("pack_bits requires a binary {0,1} array")
-        return
-    raise ValueError(
-        f"pack_bits requires a boolean/integer/float {{0,1}} array, "
-        f"got dtype {arr.dtype}"
-    )
-
-
-def pack_bits(binary: ArrayLike) -> tuple[np.ndarray, int]:
-    """Pack {0,1} rows into uint8 words (8 bits per byte).
-
-    Returns ``(packed, dim)`` where ``packed`` has shape
-    ``(n, ceil(dim / 8))`` and ``dim`` is the original bit length (needed
-    to undo the zero padding on unpack).
-    """
-    arr = np.asarray(binary)
-    _check_binary(arr)
-    single = arr.ndim == 1
-    if single:
-        arr = arr[np.newaxis, :]
-    if arr.ndim != 2:
-        raise DimensionalityError(
-            f"pack_bits expects 1-D or 2-D input, got shape {arr.shape}"
-        )
-    dim = arr.shape[1]
-    packed = np.packbits(arr.astype(np.uint8), axis=1)
-    return (packed[0] if single else packed), dim
-
-
-def unpack_bits(packed: ArrayLike, dim: int) -> np.ndarray:
-    """Invert :func:`pack_bits`."""
-    arr = np.asarray(packed, dtype=np.uint8)
-    single = arr.ndim == 1
-    if single:
-        arr = arr[np.newaxis, :]
-    if dim <= 0 or dim > arr.shape[1] * 8:
-        raise DimensionalityError(
-            f"dim {dim} inconsistent with {arr.shape[1]} packed bytes"
-        )
-    bits = np.unpackbits(arr, axis=1)[:, :dim]
-    return bits[0] if single else bits
-
-
-def _as_words(packed: np.ndarray) -> np.ndarray:
-    """Reinterpret packed uint8 rows as uint64 words (zero-padded)."""
-    n, n_bytes = packed.shape
-    pad = (-n_bytes) % 8
-    if pad:
-        packed = np.concatenate(
-            [packed, np.zeros((n, pad), dtype=np.uint8)], axis=1
-        )
-    return np.ascontiguousarray(packed).view(np.uint64)
-
-
-def pack_sign_words(values: ArrayLike, *, out_bits: np.ndarray | None = None) -> np.ndarray:
-    """Pack the sign pattern of float rows into uint64 words.
-
-    The bit convention matches :func:`repro.ops.quantize.bipolarize`: bit
-    ``1`` where the value is ``>= 0`` (exact ties map to +1), bit ``0``
-    where negative.  ``out_bits`` may supply a preallocated boolean
-    ``(n, dim)`` scratch buffer so hot loops avoid the comparison
-    temporary.
-
-    Returns a ``(n, ceil(dim / 64))`` uint64 array whose padding bits are
-    zero (they cancel in XOR between two packed operands).
-    """
-    arr = np.asarray(values)
-    if arr.ndim != 2:
-        raise DimensionalityError(
-            f"pack_sign_words expects 2-D input, got shape {arr.shape}"
-        )
-    if out_bits is not None:
-        bits = np.greater_equal(arr, 0, out=out_bits[: arr.shape[0]])
-    else:
-        bits = arr >= 0
-    return _as_words(np.packbits(bits, axis=1))
-
-
-def _pairwise_popcount_xor(
-    a_words: np.ndarray, b_words: np.ndarray
-) -> np.ndarray:
-    """``out[i, j] = popcount(a_words[i] XOR b_words[j])`` with bounded memory.
-
-    Accumulates over column tiles of ``b_words`` so the XOR temporary
-    never exceeds ``_TILE_BUDGET_BYTES`` (one full column slab when a
-    single column already exceeds the budget).
-    """
-    n, words = a_words.shape
-    m = b_words.shape[0]
-    out = np.empty((n, m), dtype=np.int64)
-    per_column = max(1, n * words * a_words.itemsize)
-    tile = max(1, _TILE_BUDGET_BYTES // per_column)
-    for start in range(0, m, tile):
-        chunk = b_words[start : start + tile]
-        xor = np.bitwise_xor(
-            a_words[:, np.newaxis, :], chunk[np.newaxis, :, :]
-        )
-        out[:, start : start + tile] = _popcount_sum(xor)
-    return out
-
-
-def packed_hamming_distance(a: ArrayLike, b: ArrayLike) -> FloatArray | float:
-    """Hamming distance between packed rows: XOR + popcount.
-
-    Accepts single packed vectors or batches; returns the same shapes as
-    :func:`repro.ops.similarity.hamming_distance`.  Padding bits cancel in
-    the XOR (both operands pad with zeros), so no ``dim`` is needed.
-    """
-    a_arr = np.asarray(a, dtype=np.uint8)
-    b_arr = np.asarray(b, dtype=np.uint8)
-    a_single = a_arr.ndim == 1
-    b_single = b_arr.ndim == 1
-    if a_single:
-        a_arr = a_arr[np.newaxis, :]
-    if b_single:
-        b_arr = b_arr[np.newaxis, :]
-    if a_arr.shape[1] != b_arr.shape[1]:
-        raise DimensionalityError(
-            f"packed widths differ: {a_arr.shape[1]} vs {b_arr.shape[1]}"
-        )
-    # Widen the packed bytes to uint64 words so XOR + popcount touch 8x
-    # fewer elements, then reduce over bounded column tiles.
-    out = _pairwise_popcount_xor(_as_words(a_arr), _as_words(b_arr)).astype(
-        np.float64
-    )
-    if a_single and b_single:
-        return float(out[0, 0])
-    if a_single:
-        return out[0]
-    if b_single:
-        return out[:, 0]
-    return out
-
-
-def packed_sign_products(
-    a_words: np.ndarray, b_words: np.ndarray, dim: int
-) -> FloatArray:
-    """Pairwise bipolar dot products from packed sign words.
-
-    For ±1 sign patterns packed with :func:`pack_sign_words`,
-    ``signs_a @ signs_b.T == dim - 2 * hamming`` exactly, so the float
-    matmul of two sign matrices collapses to XOR + popcount on packed
-    words.  Returns a float64 ``(n, m)`` matrix of exact integers.
-    """
-    if dim <= 0:
-        raise DimensionalityError(f"dim must be > 0, got {dim}")
-    if a_words.shape[1] != b_words.shape[1]:
-        raise DimensionalityError(
-            f"packed widths differ: {a_words.shape[1]} vs {b_words.shape[1]}"
-        )
-    hamming = _pairwise_popcount_xor(a_words, b_words)
-    return (dim - 2 * hamming).astype(np.float64)
-
-
-def packed_hamming_similarity(
-    a: ArrayLike, b: ArrayLike, dim: int
-) -> FloatArray | float:
-    """Normalised Hamming similarity on packed operands, in [-1, 1].
-
-    ``dim`` is the original (unpacked) bit length used for normalisation.
-    """
-    if dim <= 0:
-        raise DimensionalityError(f"dim must be > 0, got {dim}")
-    return 1.0 - 2.0 * packed_hamming_distance(a, b) / float(dim)
+__all__ = [
+    "pack_bits",
+    "pack_sign_words",
+    "packed_hamming_distance",
+    "packed_hamming_similarity",
+    "packed_sign_products",
+    "unpack_bits",
+]

@@ -1,4 +1,4 @@
-"""Model and encoder type registries for the state protocol.
+"""Model, encoder and kernel-backend registries.
 
 Every serialisable estimator registers itself in :data:`MODEL_REGISTRY`
 and every serialisable encoder in :data:`ENCODER_REGISTRY`, keyed by a
@@ -6,6 +6,11 @@ stable string that is written into saved ``.npz`` files.  Persistence
 layers (:mod:`repro.serialization`, :mod:`repro.reliability.checkpoint`)
 dispatch purely through these tables — adding a new model or encoder
 type makes it saveable/loadable with no serializer changes.
+
+:data:`BACKEND_REGISTRY` plays the same role for the execution runtime
+(:mod:`repro.runtime`): kernel backends register under the name used in
+``RegHDConfig.backend`` / the ``REPRO_BACKEND`` environment variable,
+and :func:`repro.runtime.resolve_backend` dispatches through it.
 
 The registry names are a compatibility surface: they appear inside
 model files on disk, so renaming one breaks every file that was saved
@@ -26,6 +31,9 @@ MODEL_REGISTRY: dict[str, type] = {}
 
 #: registry name -> encoder class implementing ``get_state``/``from_state``
 ENCODER_REGISTRY: dict[str, type] = {}
+
+#: registry name -> :class:`repro.runtime.KernelBackend` subclass
+BACKEND_REGISTRY: dict[str, type] = {}
 
 
 def register_model(name: str) -> Callable[[T], T]:
@@ -62,6 +70,23 @@ def register_encoder(name: str) -> Callable[[T], T]:
     return decorate
 
 
+def register_backend(name: str) -> Callable[[T], T]:
+    """Class decorator adding a kernel backend to :data:`BACKEND_REGISTRY`."""
+
+    def decorate(cls: T) -> T:
+        existing = BACKEND_REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ConfigurationError(
+                f"backend registry name {name!r} already taken by "
+                f"{existing.__name__}"
+            )
+        BACKEND_REGISTRY[name] = cls
+        cls.state_name = name
+        return cls
+
+    return decorate
+
+
 def model_class(name: str) -> type:
     """Resolve a registry name to its model class."""
     try:
@@ -81,6 +106,17 @@ def encoder_class(name: str) -> type:
         raise ConfigurationError(
             f"unknown encoder_type {name!r}; registered: "
             f"{sorted(ENCODER_REGISTRY)}"
+        ) from None
+
+
+def backend_class(name: str) -> type:
+    """Resolve a registry name to its kernel-backend class."""
+    try:
+        return BACKEND_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; registered: "
+            f"{sorted(BACKEND_REGISTRY)}"
         ) from None
 
 

@@ -225,7 +225,11 @@ class ResilientStreamingRegHD(StreamingRegHD):
         learned state moves), keeping every external reference to
         ``self.model`` valid.
         """
-        self._plan = None  # restored weights invalidate the serving plan
+        # Restored weights make the serving plan stale; the restore below
+        # goes through DualCopy.replace → rebinarize, which advances the
+        # sign-version counters, so the next predict refreshes the plan's
+        # operands incrementally rather than recompiling it.
+        self._plan_stale = True
         # The state protocol applies learned arrays in place (DualCopy
         # .replace copies into the existing buffers), so scrubber shadows
         # and other references to self.model's arrays stay valid.

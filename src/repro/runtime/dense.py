@@ -1,0 +1,16 @@
+"""The dense (reference) kernel backend."""
+
+from __future__ import annotations
+
+from repro.registry import register_backend
+from repro.runtime.base import KernelBackend
+
+
+@register_backend("dense")
+class DenseBackend(KernelBackend):
+    """Exact float arithmetic — the default and golden-fixture reference.
+
+    Inherits every kernel from :class:`KernelBackend` unchanged: cosine /
+    sign-matmul similarities, dense dot products, and the scatter
+    primitives, all bit-identical to the pre-runtime inline hot loops.
+    """

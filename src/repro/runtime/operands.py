@@ -1,0 +1,330 @@
+"""Model-side operands: live training views and frozen serving snapshots.
+
+Backends are stateless; the *operands* carry the cluster / model
+hypervectors in whatever representation the selected kernels consume.
+Two flavours exist:
+
+* **live operands** (:class:`ClusterOperand`, :class:`ModelOperand`) wrap
+  an estimator's :class:`~repro.core.quantization.DualCopy` directly.
+  Integer-derived values (matrices, norms) are views or per-call
+  recomputations — bit-identical to reading the shadow copies inline,
+  and immune to out-of-band writes by fault injectors.  Sign-derived
+  values (packed words) are cached per row and keyed on
+  ``DualCopy.sign_versions`` via :class:`PackedWordsCache`, because the
+  sign pattern only moves at re-binarisation.
+* **frozen operands** (:class:`FrozenClusterOperand`,
+  :class:`FrozenModelOperand`) are the read-only snapshots a
+  :class:`~repro.engine.CompiledPlan` serves from.
+  :func:`refresh_cluster_operand` / :func:`refresh_model_operand` update
+  a snapshot in place from its source ``DualCopy``, re-packing **only**
+  the rows whose sign version moved — the incremental refresh that lets
+  streaming serve from one long-lived plan instead of recompiling after
+  every online batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.quantization import ClusterQuant, DualCopy, PredictQuant
+from repro.runtime.kernels import NORM_EPS
+from repro.runtime.packing import pack_sign_words
+from repro.types import FloatArray
+
+
+class PackedWordsCache:
+    """Per-row incrementally maintained packed sign words of a DualCopy.
+
+    ``words()`` compares the source's ``sign_versions`` against the last
+    snapshot and re-packs only the changed rows.  Counters record the
+    split for the refresh micro-benchmarks.
+    """
+
+    def __init__(self, dual: DualCopy):
+        self.dual = dual
+        self._words: np.ndarray | None = None
+        self._seen: np.ndarray | None = None
+        self.rows_repacked = 0
+        self.rows_reused = 0
+
+    def words(self) -> np.ndarray:
+        versions = self.dual.sign_versions
+        if self._words is None:
+            self._words = pack_sign_words(self.dual.signs)
+            self._seen = versions.copy()
+            self.rows_repacked += len(versions)
+            return self._words
+        changed = versions != self._seen
+        n_changed = int(np.count_nonzero(changed))
+        if n_changed:
+            self._words[changed] = pack_sign_words(self.dual.signs[changed])
+            self._seen[changed] = versions[changed]
+        self.rows_repacked += n_changed
+        self.rows_reused += len(versions) - n_changed
+        return self._words
+
+
+def cluster_norms(dual: DualCopy) -> FloatArray:
+    """Row norms of the integer clusters, floored at :data:`NORM_EPS`."""
+    return np.maximum(np.linalg.norm(dual.integer, axis=1), NORM_EPS)
+
+
+class ClusterOperand:
+    """Live view of the cluster hypervectors for the training hot loop."""
+
+    def __init__(self, dual: DualCopy, quant: ClusterQuant):
+        self.dual = dual
+        self.quant = quant
+        self._words_cache: PackedWordsCache | None = None
+
+    @property
+    def dim(self) -> int:
+        return self.dual.shape[1]
+
+    @property
+    def matT(self) -> FloatArray:
+        """Integer clusters, transposed (live view)."""
+        return self.dual.integer.T
+
+    @property
+    def norms(self) -> FloatArray:
+        """Recomputed per call: training updates move the norms every batch."""
+        return cluster_norms(self.dual)
+
+    @property
+    def signsT(self) -> FloatArray:
+        return self.dual.signs.T
+
+    @property
+    def words(self) -> np.ndarray:
+        if self._words_cache is None:
+            self._words_cache = PackedWordsCache(self.dual)
+        return self._words_cache.words()
+
+
+class ModelOperand:
+    """Live view of the model hypervectors for the training hot loop."""
+
+    def __init__(self, dual: DualCopy, quant: PredictQuant):
+        self.dual = dual
+        self.quant = quant
+        self._words_cache: PackedWordsCache | None = None
+
+    @property
+    def dim(self) -> int:
+        return self.dual.shape[1]
+
+    @property
+    def matT(self) -> FloatArray:
+        """The effective model matrix (Sec. 3.2 operand choice), transposed."""
+        base = self.dual.binary if self.quant.model_is_binary else self.dual.integer
+        return base.T
+
+    @property
+    def scales(self) -> FloatArray:
+        return self.dual.scales
+
+    @property
+    def words(self) -> np.ndarray:
+        if self._words_cache is None:
+            self._words_cache = PackedWordsCache(self.dual)
+        return self._words_cache.words()
+
+
+# -- frozen snapshots + incremental refresh --------------------------------
+
+
+def _frozen_copy(values: np.ndarray) -> np.ndarray:
+    """Contiguous read-only copy decoupled from the live model."""
+    out = np.ascontiguousarray(values).copy()
+    out.flags.writeable = False
+    return out
+
+
+def _overwrite(dst: np.ndarray, values: np.ndarray) -> None:
+    """Write into a read-only snapshot array, restoring the lock after."""
+    dst.flags.writeable = True
+    try:
+        dst[...] = values
+    finally:
+        dst.flags.writeable = False
+
+
+def _overwrite_rows(dst: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
+    dst.flags.writeable = True
+    try:
+        dst[mask] = values
+    finally:
+        dst.flags.writeable = False
+
+
+def _overwrite_cols(dst: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
+    dst.flags.writeable = True
+    try:
+        dst[:, mask] = values
+    finally:
+        dst.flags.writeable = False
+
+
+class FrozenClusterOperand:
+    """Read-only cluster operands snapshotted into a compiled plan."""
+
+    __slots__ = ("quant", "dim", "matT", "norms", "signsT", "words")
+
+    def __init__(
+        self,
+        quant: ClusterQuant,
+        dim: int,
+        *,
+        matT: np.ndarray | None = None,
+        norms: np.ndarray | None = None,
+        signsT: np.ndarray | None = None,
+        words: np.ndarray | None = None,
+    ):
+        self.quant = quant
+        self.dim = dim
+        self.matT = matT
+        self.norms = norms
+        self.signsT = signsT
+        self.words = words
+
+    @property
+    def arrays(self) -> tuple[np.ndarray, ...]:
+        return tuple(
+            a for a in (self.matT, self.norms, self.signsT, self.words)
+            if a is not None
+        )
+
+
+class FrozenModelOperand:
+    """Read-only model operands snapshotted into a compiled plan."""
+
+    __slots__ = ("quant", "dim", "matT", "words", "scales")
+
+    def __init__(
+        self,
+        quant: PredictQuant,
+        dim: int,
+        *,
+        matT: np.ndarray | None = None,
+        words: np.ndarray | None = None,
+        scales: np.ndarray | None = None,
+    ):
+        self.quant = quant
+        self.dim = dim
+        self.matT = matT
+        self.words = words
+        self.scales = scales
+
+    @property
+    def arrays(self) -> tuple[np.ndarray, ...]:
+        return tuple(
+            a for a in (self.matT, self.words, self.scales) if a is not None
+        )
+
+
+def freeze_cluster_operand(
+    dual: DualCopy, quant: ClusterQuant, *, packed: bool
+) -> tuple[FrozenClusterOperand, dict]:
+    """Snapshot cluster operands and return them with a refresh tracker."""
+    dim = dual.shape[1]
+    if quant is ClusterQuant.NONE:
+        op = FrozenClusterOperand(
+            quant,
+            dim,
+            matT=_frozen_copy(dual.integer.T),
+            norms=_frozen_copy(cluster_norms(dual)),
+        )
+    elif packed:
+        op = FrozenClusterOperand(
+            quant, dim, words=_frozen_copy(pack_sign_words(dual.signs))
+        )
+    else:
+        op = FrozenClusterOperand(
+            quant, dim, signsT=_frozen_copy(dual.signs.T)
+        )
+    tracker = {
+        "version": dual.version,
+        "sign_versions": dual.sign_versions.copy(),
+    }
+    return op, tracker
+
+
+def freeze_model_operand(
+    dual: DualCopy, quant: PredictQuant, *, packed: bool
+) -> tuple[FrozenModelOperand, dict]:
+    """Snapshot model operands and return them with a refresh tracker."""
+    dim = dual.shape[1]
+    if packed:
+        op = FrozenModelOperand(
+            quant,
+            dim,
+            words=_frozen_copy(pack_sign_words(dual.signs)),
+            scales=_frozen_copy(dual.scales),
+        )
+    else:
+        base = dual.binary if quant.model_is_binary else dual.integer
+        op = FrozenModelOperand(quant, dim, matT=_frozen_copy(base.T))
+    tracker = {
+        "version": dual.version,
+        "sign_versions": dual.sign_versions.copy(),
+    }
+    return op, tracker
+
+
+def refresh_cluster_operand(
+    op: FrozenClusterOperand, dual: DualCopy, tracker: dict
+) -> tuple[int, int]:
+    """Bring a snapshot up to date; returns ``(rows_refreshed, rows_reused)``.
+
+    Integer-derived operands (the full-precision path) key on the scalar
+    ``DualCopy.version``; sign-derived operands diff per-row
+    ``sign_versions`` so unchanged rows are neither re-packed nor copied.
+    """
+    k = dual.shape[0]
+    if op.quant is ClusterQuant.NONE:
+        if tracker["version"] == dual.version:
+            return 0, k
+        _overwrite(op.matT, dual.integer.T)
+        _overwrite(op.norms, cluster_norms(dual))
+        tracker["version"] = dual.version
+        return k, 0
+    changed = dual.sign_versions != tracker["sign_versions"]
+    n_changed = int(np.count_nonzero(changed))
+    if n_changed:
+        if op.words is not None:
+            _overwrite_rows(op.words, changed, pack_sign_words(dual.signs[changed]))
+        else:
+            _overwrite_cols(op.signsT, changed, dual.signs[changed].T)
+        tracker["sign_versions"][changed] = dual.sign_versions[changed]
+    return n_changed, k - n_changed
+
+
+def refresh_model_operand(
+    op: FrozenModelOperand, dual: DualCopy, tracker: dict
+) -> tuple[int, int]:
+    """Bring a snapshot up to date; returns ``(rows_refreshed, rows_reused)``.
+
+    For packed operands the per-row scales refresh on any version bump
+    (they are cheap, ``(k,)`` floats, and move under pure magnitude decay)
+    while the words re-pack only where the sign pattern changed — the
+    common streaming case of forgetting-decay plus small updates re-packs
+    nothing.
+    """
+    k = dual.shape[0]
+    if op.words is not None:
+        changed = dual.sign_versions != tracker["sign_versions"]
+        n_changed = int(np.count_nonzero(changed))
+        if n_changed:
+            _overwrite_rows(op.words, changed, pack_sign_words(dual.signs[changed]))
+            tracker["sign_versions"][changed] = dual.sign_versions[changed]
+        if tracker["version"] != dual.version:
+            _overwrite(op.scales, dual.scales)
+            tracker["version"] = dual.version
+        return n_changed, k - n_changed
+    if tracker["version"] == dual.version:
+        return 0, k
+    base = dual.binary if op.quant.model_is_binary else dual.integer
+    _overwrite(op.matT, base.T)
+    tracker["version"] = dual.version
+    return k, 0

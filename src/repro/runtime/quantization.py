@@ -1,0 +1,223 @@
+"""Quantisation schemes for RegHD (paper Section 3).
+
+Two independent axes are quantised:
+
+* **clusters** (:class:`ClusterQuant`, Sec. 3.1) — how the similarity
+  search between an encoded input and the cluster hypervectors is done;
+* **prediction** (:class:`PredictQuant`, Sec. 3.2) — which operands of the
+  model dot product are binarised.
+
+The paper's framework (Fig. 5) keeps *dual copies*: the integer copy
+receives all training updates (precision there "has an important impact on
+RegHD convergence"), and the binary working copy is re-derived from it by a
+single comparison per element after every pass over the training data.
+:class:`DualCopy` implements that pattern once, shared by the cluster and
+model paths.  It lives in the execution runtime because the runtime's
+kernel backends dispatch on these representations and its caches key on
+the change counters maintained here (``repro.core.quantization``
+re-exports everything for compatibility).
+
+A note on arithmetic conventions: the paper describes binary operands in
+{0, 1} with AND/Hamming hardware.  We store binary views in the bipolar
+{-1, +1} form for the *arithmetic*, because bipolar dot products are
+affinely equivalent to {0,1} AND-popcounts (``a.b = 2*popcount(AND) -
+...``) while keeping zero-mean algebra, and we additionally carry the
+least-information scale factor the hardware would fold into its output
+stage: a binarised operand is ``sign(v) * mean(|v|)`` so that predictions
+stay in target units.  The hardware cost model charges these operations at
+binary-op cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.ops.quantize import bipolarize
+from repro.types import FloatArray
+
+
+class ClusterQuant(enum.Enum):
+    """Cluster similarity-search quantisation (paper Sec. 3.1 / Fig. 6)."""
+
+    #: Full-precision cosine similarity against integer clusters.
+    NONE = "none"
+    #: The paper's framework: Hamming search on binary copies, integer
+    #: updates, per-epoch re-binarisation.
+    FRAMEWORK = "framework"
+    #: Naive binarisation: the cluster is *stored* binary and re-binarised
+    #: immediately after every single-sample update, destroying the
+    #: accumulated magnitude information ("binary vectors do not have the
+    #: capability for the model update").
+    NAIVE = "naive"
+
+
+class PredictQuant(enum.Enum):
+    """Model dot-product quantisation (paper Sec. 3.2 / Fig. 7)."""
+
+    #: Integer query, integer model — the full-precision reference.
+    FULL = "full"
+    #: Binary query, integer model — the paper's preferred trade-off
+    #: (multiply-free dot product, ≈1.5 % quality loss).
+    BINARY_QUERY = "binary_query"
+    #: Integer query, binary model (≈5.2 % quality loss in the paper).
+    BINARY_MODEL = "binary_model"
+    #: Binary query, binary model — fastest, largest quality loss.
+    BINARY_BOTH = "binary_both"
+
+    @property
+    def query_is_binary(self) -> bool:
+        """Whether this scheme binarises the encoded query."""
+        return self in (PredictQuant.BINARY_QUERY, PredictQuant.BINARY_BOTH)
+
+    @property
+    def model_is_binary(self) -> bool:
+        """Whether this scheme binarises the model hypervectors."""
+        return self in (PredictQuant.BINARY_MODEL, PredictQuant.BINARY_BOTH)
+
+
+def binarize_preserving_scale(vectors: FloatArray) -> FloatArray:
+    """Binarise row hypervectors to ``sign(v) * mean(|v|)``.
+
+    The sign pattern is the single-comparison binary copy of the paper's
+    framework; the per-row scalar is the output-stage scale a hardware
+    implementation folds into its accumulator so regression outputs keep
+    their magnitude.  All-zero rows stay all-zero.
+    """
+    arr = np.asarray(vectors, dtype=np.float64)
+    single = arr.ndim == 1
+    if single:
+        arr = arr[np.newaxis, :]
+    scales = np.mean(np.abs(arr), axis=1, keepdims=True)
+    signs = bipolarize(arr).astype(np.float64)
+    out = signs * scales
+    # Rows with zero scale (untrained models) binarise to zero so they
+    # contribute nothing, exactly like their integer originals.
+    out[scales[:, 0] == 0.0] = 0.0
+    return out[0] if single else out
+
+
+@dataclass
+class DualCopy:
+    """Integer working copy + binary derived copy of a hypervector set.
+
+    Implements the Fig. 5 pattern: :meth:`update` touches only the integer
+    copy; :meth:`rebinarize` re-derives the binary copy (one comparison per
+    element); readers choose which view to consume.
+
+    Change tracking: :attr:`version` increments on every mutation of the
+    integer copy and on every re-binarisation, and :attr:`sign_versions`
+    holds one counter per row that moves only when that row's ±1 pattern
+    actually changed during :meth:`rebinarize`.  Caches of integer-derived
+    values key on :attr:`version`; caches of packed/sign-derived values
+    (the runtime's word caches, a compiled plan's operands) key on
+    :attr:`sign_versions` so unchanged rows are never re-packed.
+    """
+
+    integer: FloatArray
+    binary: FloatArray = field(init=False)
+    #: per-row ``mean(|integer|)`` captured at the last :meth:`rebinarize`;
+    #: ``binary == signs * scales[:, None]`` (zero-scale rows are all-zero).
+    scales: FloatArray = field(init=False)
+    #: bumped on every integer mutation or re-binarisation.
+    version: int = field(init=False, default=0)
+    #: per-row ``int64`` counters; bumped only when the row's sign pattern
+    #: changed.
+    sign_versions: npt.NDArray[np.int64] = field(init=False, repr=False)
+    _signs: FloatArray | None = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.integer = np.asarray(self.integer, dtype=np.float64)
+        if self.integer.ndim != 2:
+            raise ValueError(
+                f"DualCopy expects a (k, D) matrix, got {self.integer.shape}"
+            )
+        self.sign_versions = np.zeros(self.integer.shape[0], dtype=np.int64)
+        self.rebinarize()
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """The ``(k, D)`` shape shared by both copies."""
+        return tuple(self.integer.shape)  # type: ignore[return-value]
+
+    def update(self, index: int, delta: FloatArray) -> None:
+        """Add ``delta`` into row ``index`` of the *integer* copy only."""
+        self.integer[index] += delta
+        self.version += 1
+
+    def update_all(self, delta: FloatArray) -> None:
+        """Add a ``(k, D)`` delta into the integer copy (batched updates)."""
+        self.integer += delta
+        self.version += 1
+
+    def touch(self) -> None:
+        """Record an out-of-band in-place write to :attr:`integer`.
+
+        Fault injectors and repair passes write :attr:`integer` directly;
+        calling this afterwards keeps :attr:`version`-keyed caches honest
+        (they all follow up with :meth:`rebinarize`, which also bumps, so
+        this is belt-and-braces for integer-only readers).
+        """
+        self.version += 1
+
+    def replace(self, values: FloatArray) -> None:
+        """Overwrite the integer copy wholesale and re-derive the binary copy.
+
+        Assigning ``dual.integer = ...`` directly would swap the array
+        without invalidating the derived binary copy or the sign cache,
+        silently serving stale values to the similarity search.  Every
+        wholesale overwrite (the NAIVE re-quantisation path, state
+        restoration) must go through here.  The write is in-place, so
+        external references to :attr:`integer` stay valid.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.integer.shape:
+            raise ValueError(
+                f"replace expects shape {self.integer.shape}, "
+                f"got {values.shape}"
+            )
+        self.integer[:] = values
+        self.rebinarize()
+
+    def rebinarize(self) -> None:
+        """Re-derive the binary copy from the integer copy.
+
+        Rows whose sign pattern is unchanged keep their
+        :attr:`sign_versions` entry, so packed-word caches skip them.
+        """
+        scales = np.mean(np.abs(self.integer), axis=1, keepdims=True)
+        signs = bipolarize(self.integer).astype(np.float64)
+        binary = signs * scales
+        # Rows with zero scale (untrained models) binarise to zero so they
+        # contribute nothing, exactly like their integer originals.
+        binary[scales[:, 0] == 0.0] = 0.0
+        if self._signs is None:
+            changed = np.ones(signs.shape[0], dtype=bool)
+        else:
+            changed = np.any(signs != self._signs, axis=1)
+        self.sign_versions[changed] += 1
+        signs.flags.writeable = False
+        self.binary = binary
+        self.scales = scales[:, 0].copy()
+        self._signs = signs
+        self.version += 1
+
+    @property
+    def signs(self) -> FloatArray:
+        """±1 sign pattern of the binary copy (ties map to +1).
+
+        Derived once per :meth:`rebinarize` (it is needed there anyway to
+        detect which rows changed) and served from cache between
+        re-binarisations — matching the binary copy, which also only moves
+        on :meth:`rebinarize`.  The returned array is read-only; callers
+        must not mutate it.
+        """
+        assert self._signs is not None  # established in __post_init__
+        return self._signs
+
+    def view(self, binary: bool) -> FloatArray:
+        """Return the requested copy (no defensive copy; callers read only)."""
+        return self.binary if binary else self.integer

@@ -1,0 +1,111 @@
+"""Query-side operand bundle handed to kernel backends.
+
+A :class:`Query` wraps one batch of encoded hypervectors ``S`` together
+with the derived representations the kernels may need — the ±1 sign
+pattern, the bit-packed uint64 words, the per-row binarisation scales and
+the scale-preserving binarised matrix.  Derivations are lazy and cached,
+so a dense backend that only reads ``S`` never pays for packing, while
+the packed backend computes words exactly once per batch.
+
+:class:`QueryCache` extends that reuse across a whole training run: the
+trainer presents the same encoded matrix ``S`` every epoch, so its packed
+words and scales are computed once up front and epoch batches are served
+as row slices of the cached arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.quantization import binarize_preserving_scale
+from repro.ops.quantize import bipolarize
+from repro.runtime.packing import pack_sign_words
+from repro.types import FloatArray
+
+
+class Query:
+    """One batch of encoded queries plus lazily derived representations.
+
+    Parameters
+    ----------
+    S:
+        The ``(n, D)`` encoded (and, in training, row-normalised) batch.
+    signs, words, scales, binarized:
+        Optional precomputed derivations.  The serving executor passes
+        these in (it derives them into scratch buffers with its own
+        normalisation pipeline); training queries derive them on demand.
+    """
+
+    __slots__ = ("S", "_signs", "_words", "_scales", "_binarized")
+
+    def __init__(
+        self,
+        S: FloatArray,
+        *,
+        signs: FloatArray | None = None,
+        words: np.ndarray | None = None,
+        scales: FloatArray | None = None,
+        binarized: FloatArray | None = None,
+    ):
+        self.S = S
+        self._signs = signs
+        self._words = words
+        self._scales = scales
+        self._binarized = binarized
+
+    @property
+    def signs(self) -> FloatArray:
+        """±1 sign pattern of ``S`` (zeros map to +1)."""
+        if self._signs is None:
+            self._signs = bipolarize(self.S).astype(np.float64)
+        return self._signs
+
+    @property
+    def words(self) -> np.ndarray:
+        """Bit-packed uint64 sign words of ``S``."""
+        if self._words is None:
+            self._words = pack_sign_words(self.S)
+        return self._words
+
+    @property
+    def scales(self) -> FloatArray:
+        """Per-row binarisation scale ``mean(|S_i|)``."""
+        if self._scales is None:
+            self._scales = np.mean(np.abs(self.S), axis=1)
+        return self._scales
+
+    @property
+    def binarized(self) -> FloatArray:
+        """Scale-preserving binarised queries, ``sign(S) * mean(|S|)``."""
+        if self._binarized is None:
+            self._binarized = binarize_preserving_scale(self.S)
+        return self._binarized
+
+
+class QueryCache:
+    """Epoch-spanning cache of packed query operands for one training set.
+
+    Built by :meth:`KernelBackend.make_training_cache` when a packed
+    kernel will run during training.  The full training matrix is packed
+    once; every epoch batch is then served as a slice, so the per-epoch
+    packing cost drops to zero after the first epoch.
+    """
+
+    def __init__(self, S: FloatArray):
+        self.S = S
+        self._words = pack_sign_words(S)
+        self._scales = np.mean(np.abs(S), axis=1)
+
+    def query(self) -> Query:
+        """A :class:`Query` over the full cached training matrix."""
+        return Query(self.S, words=self._words, scales=self._scales)
+
+    def slice(self, idx: np.ndarray, S_batch: FloatArray) -> Query:
+        """A :class:`Query` for the batch ``S[idx]`` with cached operands.
+
+        ``S_batch`` is the already-materialised row slice (the hot loop
+        needs it for the updates anyway), so the cache only contributes
+        the packed words and scales.
+        """
+        return Query(self.S[idx] if S_batch is None else S_batch,
+                     words=self._words[idx], scales=self._scales[idx])

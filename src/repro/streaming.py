@@ -184,8 +184,12 @@ class StreamingRegHD:
         self.drift_shrink = float(drift_shrink)
         self.history = StreamHistory(max_history)
         self._batch_counter = 0
-        # Compiled serving plan, rebuilt lazily after every model change.
+        # Long-lived compiled serving plan plus a staleness flag.  Model
+        # changes mark the plan stale; the next predict refreshes it
+        # incrementally (only sign-changed rows re-pack) instead of
+        # recompiling from scratch.
         self._plan = None
+        self._plan_stale = False
 
     @property
     def fitted(self) -> bool:
@@ -198,14 +202,20 @@ class StreamingRegHD:
         Pure-inference traffic between stream updates runs on a
         :class:`~repro.engine.CompiledPlan` — quantised configurations
         execute as packed XOR + popcount — compiled lazily on the first
-        predict after a batch is absorbed and reused until the model next
-        changes.
+        predict after a batch is absorbed.  The plan is long-lived: after
+        further stream updates it is *refreshed* in place
+        (:meth:`~repro.engine.CompiledPlan.refresh` re-packs only the
+        operand rows whose sign pattern moved) rather than recompiled.
         """
         if not self.fitted:
             # Defer to the model for the canonical NotFittedError.
             return self.model.predict(X)
         if self._plan is None:
             self._plan = self.model.compile()
+            self._plan_stale = False
+        elif self._plan_stale:
+            self._plan.refresh(self.model)
+            self._plan_stale = False
         return self._plan.predict(X)
 
     def update(self, X: ArrayLike, y: ArrayLike) -> StreamBatchReport:
@@ -237,7 +247,7 @@ class StreamingRegHD:
                 )
                 self.model.models.rebinarize()
         self.model.partial_fit(X_arr, y_arr)
-        self._plan = None  # model changed; next predict recompiles
+        self._plan_stale = True  # model changed; next predict refreshes
 
         report = StreamBatchReport(
             batch=self._batch_counter,

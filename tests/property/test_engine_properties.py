@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 from repro import MultiModelRegHD, RegHDConfig
 from repro.core import ClusterQuant, ConvergencePolicy, PredictQuant
 from repro.ops.packing import pack_sign_words, packed_sign_products
+from repro.runtime import Query
 
 CONV = ConvergencePolicy(max_epochs=2, patience=2)
 
@@ -102,7 +103,7 @@ class TestPackedSimilarityExactness:
             ClusterQuant.FRAMEWORK, PredictQuant.BINARY_BOTH, seed
         )
         S = np.random.default_rng(seed + 500).normal(size=(17, model.dim))
-        float_sims = model._cluster_similarities(S)
+        float_sims = model._cluster_similarities(Query(S))
         words = pack_sign_words(S)
         cluster_words = pack_sign_words(model.clusters.view(binary=True))
         packed_sims = packed_sign_products(

@@ -88,5 +88,5 @@ class TestDocsDirectory:
     def test_api_doc_mentions_every_subpackage(self):
         api = _read("docs/api.md")
         for sub in ("core", "encoding", "ops", "baselines", "datasets",
-                    "hardware", "noise", "evaluation", "rl"):
+                    "hardware", "noise", "evaluation", "rl", "runtime"):
             assert f"repro.{sub}" in api, sub

@@ -166,8 +166,64 @@ class TestTileScratch:
         assert scratch.nbytes == 64 * 1000 * (8 + 8 + 1)
 
 
+class TestPlanRefresh:
+    def test_refresh_tracks_further_training(self):
+        model = _fitted()
+        plan = model.compile()
+        X, y = _task(seed=3)
+        model.partial_fit(X, y)
+        plan.refresh(model)
+        np.testing.assert_allclose(
+            plan.predict(X), model.predict(X), rtol=1e-9, atol=1e-10
+        )
+
+    def test_refresh_without_change_touches_nothing(self):
+        model = _fitted()
+        plan = model.compile()
+        refreshed, reused = plan.refresh(model)
+        assert refreshed == 0 and reused > 0
+        stats = plan.refresh_stats
+        assert stats["refreshes"] == 1
+        assert stats["rows_refreshed"] == 0
+
+    def test_decay_only_update_repacks_no_model_words(self):
+        """Pure magnitude decay keeps every sign, so no word re-packs."""
+        model = _fitted()
+        plan = model.compile()
+        before = plan.refresh_stats
+        model.models.update_all(-0.5 * model.models.integer)
+        model.models.rebinarize()
+        plan.refresh(model)
+        after = plan.refresh_stats
+        # model words: sign patterns unchanged => zero rows re-packed;
+        # cluster operands untouched entirely.
+        assert after["rows_refreshed"] == before["rows_refreshed"]
+        # the decayed scales still reach the plan
+        np.testing.assert_allclose(
+            plan.model_scales, model.models.scales
+        )
+
+    def test_refresh_rejects_foreign_model(self):
+        plan = _fitted().compile()
+        other = _fitted(dim=128)
+        with pytest.raises(ConfigurationError):
+            plan.refresh(other)
+
+    def test_compile_backend_name_selects_kernels(self):
+        model = _fitted()
+        dense = model.compile(backend="dense")
+        packed = model.compile(backend="packed")
+        assert not dense.packed and packed.packed
+        assert dense.backend_name == "dense"
+        assert packed.backend_name == "packed"
+        X, _ = _task(seed=5, n=41)
+        np.testing.assert_allclose(
+            dense.predict(X), packed.predict(X), rtol=1e-9, atol=1e-10
+        )
+
+
 class TestServingIntegration:
-    def test_streaming_predict_uses_fresh_plan(self):
+    def test_streaming_predict_reuses_refreshed_plan(self):
         X, y = _task(n=96)
         stream = StreamingRegHD(
             5, RegHDConfig(dim=128, n_models=4, seed=0)
@@ -180,14 +236,17 @@ class TestServingIntegration:
         )
         plan_before = stream._plan
         stream.update(X[48:], y[48:])
-        assert stream._plan is None  # invalidated by the update
+        assert stream._plan_stale  # marked stale, not discarded
         second = stream.predict(X[:48])
-        assert stream._plan is not plan_before
+        # the plan object persists; its operands were refreshed in place
+        assert stream._plan is plan_before
+        assert not stream._plan_stale
+        assert stream._plan.refresh_stats["refreshes"] >= 1
         np.testing.assert_allclose(
             second, stream.model.predict(X[:48]), rtol=1e-9, atol=1e-10
         )
 
-    def test_resilient_restore_invalidates_plan(self, tmp_path):
+    def test_resilient_restore_marks_plan_stale(self, tmp_path):
         X, y = _task(n=128)
         stream = ResilientStreamingRegHD(
             5,
@@ -201,7 +260,7 @@ class TestServingIntegration:
         stream.update(X[64:], y[64:])
         stream.predict(X[:64])
         assert stream._rollback()  # restores the checkpointed weights
-        assert stream._plan is None
+        assert stream._plan is not None and stream._plan_stale
         np.testing.assert_allclose(
             stream.predict(X[:64]),
             stream.model.predict(X[:64]),

@@ -27,6 +27,11 @@ DIM = 96
 SEED = 1234
 CONV = ConvergencePolicy(max_epochs=4, patience=2)
 
+#: Both execution-runtime backends must reproduce the golden trajectories.
+#: Packed sign products are exact integers, so the packed backend is
+#: bit-identical everywhere except the BINARY_BOTH dots (scale rounding).
+BACKENDS = ("dense", "packed")
+
 
 @pytest.fixture(scope="module")
 def golden():
@@ -42,7 +47,9 @@ def data():
     return X, y, X_query
 
 
-def multi_config(cq: ClusterQuant, pq: PredictQuant) -> RegHDConfig:
+def multi_config(
+    cq: ClusterQuant, pq: PredictQuant, backend: str | None = None
+) -> RegHDConfig:
     return RegHDConfig(
         dim=DIM,
         n_models=3,
@@ -50,18 +57,25 @@ def multi_config(cq: ClusterQuant, pq: PredictQuant) -> RegHDConfig:
         convergence=CONV,
         cluster_quant=cq,
         predict_quant=pq,
+        backend=backend,
     )
 
 
-def test_single_model_bit_identical(golden, data):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_single_model_bit_identical(golden, data, backend):
     X, y, X_query = data
-    model = SingleModelRegHD(4, dim=DIM, seed=SEED, convergence=CONV)
+    model = SingleModelRegHD(
+        4, dim=DIM, seed=SEED, convergence=CONV, backend=backend
+    )
     model.fit(X, y)
     np.testing.assert_array_equal(model.predict(X_query), golden["single"])
 
 
-def test_baseline_hd_bit_identical(golden, data):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_baseline_hd_bit_identical(golden, data, backend, monkeypatch):
     X, y, X_query = data
+    # BaselineHD takes the backend from the environment default.
+    monkeypatch.setenv("REPRO_BACKEND", backend)
     model = BaselineHD(4, dim=DIM, n_bins=8, seed=SEED, convergence=CONV)
     model.fit(X, y)
     np.testing.assert_array_equal(
@@ -69,15 +83,24 @@ def test_baseline_hd_bit_identical(golden, data):
     )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("cq", list(ClusterQuant))
 @pytest.mark.parametrize("pq", list(PredictQuant))
-def test_multi_model_bit_identical_all_quant_combos(golden, data, cq, pq):
+def test_multi_model_bit_identical_all_quant_combos(
+    golden, data, cq, pq, backend
+):
     X, y, X_query = data
-    model = MultiModelRegHD(4, multi_config(cq, pq))
+    model = MultiModelRegHD(4, multi_config(cq, pq, backend))
     model.fit(X, y)
-    np.testing.assert_array_equal(
-        model.predict(X_query), golden[f"multi_{cq.value}_{pq.value}"]
-    )
+    expected = golden[f"multi_{cq.value}_{pq.value}"]
+    if backend == "packed" and pq is PredictQuant.BINARY_BOTH:
+        # The packed fully-binary dots apply the two scale factors in a
+        # different order than the dense matmul — float rounding only.
+        np.testing.assert_allclose(
+            model.predict(X_query), expected, rtol=1e-9, atol=1e-10
+        )
+    else:
+        np.testing.assert_array_equal(model.predict(X_query), expected)
 
 
 def test_projection_encoder_bit_identical(golden, data):
@@ -93,11 +116,15 @@ def test_projection_encoder_bit_identical(golden, data):
     )
 
 
-def test_partial_fit_stream_bit_identical(golden, data):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_partial_fit_stream_bit_identical(golden, data, backend):
     """The frozen-scaler streaming path produces the pre-refactor result."""
     X, y, X_query = data
     model = MultiModelRegHD(
-        4, multi_config(ClusterQuant.FRAMEWORK, PredictQuant.BINARY_QUERY)
+        4,
+        multi_config(
+            ClusterQuant.FRAMEWORK, PredictQuant.BINARY_QUERY, backend
+        ),
     )
     for start in (0, 24, 48):
         model.partial_fit(X[start : start + 24], y[start : start + 24])

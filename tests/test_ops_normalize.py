@@ -78,7 +78,7 @@ class TestSharedUsage:
     def test_engine_confidences_use_shared_softmax(self):
         """The serving path's confidences equal the training path's by
         construction (same function), not merely approximately."""
-        from repro.engine.kernels import softmax_confidences
+        from repro.runtime.kernels import confidences as softmax_confidences
 
         rng = np.random.default_rng(5)
         sims = rng.uniform(-1, 1, size=(10, 4))

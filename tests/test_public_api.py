@@ -12,6 +12,7 @@ PUBLIC_MODULES = [
     "repro.baselines",
     "repro.datasets",
     "repro.engine",
+    "repro.runtime",
     "repro.hardware",
     "repro.noise",
     "repro.evaluation",

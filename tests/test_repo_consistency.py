@@ -18,10 +18,18 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 SHARED_OPS = SRC / "repro" / "ops" / "normalize.py"
 #: the single allowed definition site of the target-scaling state machine
 SCALER_MODULE = SRC / "repro" / "core" / "estimator.py"
+#: the execution runtime — the only place kernel arithmetic may live
+RUNTIME_DIR = SRC / "repro" / "runtime"
+#: symbolic HD binding (uint8 XOR) — an ops primitive, not a packed kernel
+BINDING_OPS = SRC / "repro" / "ops" / "binding.py"
 
 
 def _python_sources():
     return sorted(SRC.rglob("*.py"))
+
+
+def _runtime_sources() -> set[pathlib.Path]:
+    return set(RUNTIME_DIR.rglob("*.py"))
 
 
 def _offending_lines(pattern: str, *, exclude: set[pathlib.Path] = frozenset()):
@@ -94,6 +102,62 @@ def test_no_isinstance_ladder_in_serialization():
     means a model type is being special-cased again."""
     serialization = SRC / "repro" / "serialization.py"
     assert "isinstance(model" not in serialization.read_text()
+
+
+def test_no_bit_packing_outside_runtime():
+    """XOR + popcount kernels live in repro/runtime only.  The uint8 XOR
+    in the symbolic binding op is an HD algebra primitive, not a packed
+    arithmetic kernel, and stays exempt."""
+    hits = _offending_lines(
+        r"np\.(packbits|unpackbits|bitwise_xor|bitwise_count)|_POPCOUNT_TABLE",
+        exclude=_runtime_sources() | {BINDING_OPS},
+    )
+    assert not hits, (
+        "bit-packing/popcount arithmetic outside repro/runtime — move it "
+        "into the kernel layer:\n" + "\n".join(hits)
+    )
+
+
+def test_no_unbuffered_scatter_outside_runtime():
+    """``np.add.at`` calls go through KernelBackend.scatter_add."""
+    hits = _offending_lines(
+        r"np\.add\.at", exclude=_runtime_sources()
+    )
+    assert not hits, (
+        "np.add.at outside repro/runtime — use the backend scatter/segment "
+        "kernels:\n" + "\n".join(hits)
+    )
+
+
+def test_no_sign_matmul_outside_runtime():
+    """The ±1 similarity matmul has one definition (runtime kernels)."""
+    hits = _offending_lines(
+        r"signs\s*@|@\s*\w*signsT", exclude=_runtime_sources()
+    )
+    assert not hits, (
+        "sign matmul outside repro/runtime — use "
+        "KernelBackend.cluster_similarities:\n" + "\n".join(hits)
+    )
+
+
+def test_no_softmax_calls_outside_runtime():
+    """Confidence computation dispatches through KernelBackend.confidences;
+    only the shared definition site and the runtime kernels may invoke
+    ``softmax(`` directly."""
+    hits = _offending_lines(
+        r"\bsoftmax\(", exclude=_runtime_sources() | {SHARED_OPS}
+    )
+    assert not hits, (
+        "direct softmax call outside repro/runtime — use "
+        "KernelBackend.confidences:\n" + "\n".join(hits)
+    )
+
+
+@pytest.mark.parametrize("name", ["dense", "packed"])
+def test_every_backend_registered(name):
+    from repro.registry import BACKEND_REGISTRY
+
+    assert name in BACKEND_REGISTRY
 
 
 @pytest.mark.parametrize(
