@@ -1,0 +1,111 @@
+"""Telemetry overhead guard: instrumented packed serving stays within 3 %.
+
+The acceptance criterion for the observability layer is that turning the
+metrics sink on costs less than 3 % of packed serving throughput — the
+hot path reads one module global and, when enabled, a handful of counter
+increments per *tile*, never per row.  This benchmark serves the same
+batch through the same compiled packed plan with telemetry off and on
+and compares min-of-N latencies (min is the standard noise-robust
+estimator for a fixed workload: every source of interference only adds
+time).
+
+Writes ``benchmarks/results/telemetry_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import save_result
+from repro import telemetry
+from repro.core.config import RegHDConfig
+from repro.core.multi import MultiModelRegHD
+from repro.core.quantization import ClusterQuant, PredictQuant
+from repro.telemetry.timing import monotonic
+
+#: acceptance bound from the ISSUE: < 3 % regression on packed serving.
+MAX_OVERHEAD = 0.03
+
+DIM = 4096
+ROWS = 2048
+FEATURES = 16
+REPEATS = 30
+
+
+@pytest.fixture(autouse=True)
+def _restore_sink():
+    previous = telemetry.active()
+    telemetry.disable()
+    yield
+    if previous is not None:
+        telemetry.enable(previous)
+    else:
+        telemetry.disable()
+
+
+def _serving_setup():
+    """A fitted quantised model, its compiled packed plan, and a batch."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(512, FEATURES))
+    y = np.sin(X[:, 0]) + 0.5 * X[:, 1]
+    model = MultiModelRegHD(
+        FEATURES,
+        RegHDConfig(
+            dim=DIM,
+            n_models=8,
+            seed=0,
+            backend="packed",
+            cluster_quant=ClusterQuant.FRAMEWORK,
+            predict_quant=PredictQuant.BINARY_BOTH,
+        ),
+    )
+    model.partial_fit(X, y)
+    plan = model.compile()
+    X_serve = rng.normal(size=(ROWS, FEATURES))
+    return plan, X_serve
+
+
+def _min_latency(plan, X, *, repeats: int = REPEATS) -> float:
+    plan.predict(X)  # warm-up: caches, allocator, branch predictors
+    best = np.inf
+    for _ in range(repeats):
+        start = monotonic()
+        plan.predict(X)
+        best = min(best, monotonic() - start)
+    return best
+
+
+def test_telemetry_overhead_under_three_percent():
+    plan, X = _serving_setup()
+
+    telemetry.disable()
+    baseline = _min_latency(plan, X)
+
+    registry = telemetry.enable()
+    instrumented = _min_latency(plan, X)
+    telemetry.disable()
+
+    overhead = instrumented / baseline - 1.0
+    lines = [
+        f"packed serving, D={DIM}, {ROWS} rows, min of {REPEATS}:",
+        f"  telemetry off : {baseline * 1e3:8.3f} ms",
+        f"  telemetry on  : {instrumented * 1e3:8.3f} ms",
+        f"  overhead      : {overhead * 100:+.2f} %  (bound {MAX_OVERHEAD:.0%})",
+        f"  metrics active: {len(registry)} series recorded while on",
+    ]
+    save_result("telemetry_overhead", "\n".join(lines))
+    print("\n" + "\n".join(lines))
+
+    # The serving pass must actually have been observed while enabled —
+    # a 0 % "overhead" from a dead sink would be a vacuous pass.
+    latency_series = [
+        m for m in registry.metrics()
+        if m.name == "reghd_serving_latency_seconds"
+    ]
+    assert latency_series, "instrumented run recorded no serving latency"
+
+    assert overhead < MAX_OVERHEAD, (
+        f"telemetry costs {overhead:.1%} of packed serving throughput "
+        f"(bound {MAX_OVERHEAD:.0%})"
+    )

@@ -22,6 +22,10 @@ Compare model families on one dataset (Table-1 style)::
 Query the Eq.-(4) capacity analysis::
 
     python -m repro.cli capacity --dim 100000 --patterns 10000 --threshold 0.5
+
+Run a streaming session and export its metrics for a Prometheus scrape::
+
+    python -m repro.cli stream --dataset airfoil --metrics-out metrics.prom
 """
 
 from __future__ import annotations
@@ -54,6 +58,35 @@ from repro.evaluation import render_table, run_on_split
 from repro.metrics import mean_squared_error, r2_score
 from repro.reliability import GuardPolicy, ResilientStreamingRegHD, Watchdog, retry_call
 from repro.streaming import PageHinkley
+from repro import telemetry
+
+
+def _metrics_session(args: argparse.Namespace):
+    """Enable the telemetry sink when the command asked for ``--metrics-out``.
+
+    Returns the live registry (or None).  Enabling *before* the model is
+    built matters: backend instrumentation is decided at resolve time.
+    """
+    if getattr(args, "metrics_out", None) is None:
+        return None
+    return telemetry.enable()
+
+
+def _write_metrics(registry, args: argparse.Namespace) -> None:
+    if registry is None:
+        return
+    path = telemetry.write_metrics(registry, args.metrics_out)
+    print(f"wrote metrics    : {path}")
+
+
+def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable telemetry and export metrics here after the run "
+        "(.json for JSON, anything else for Prometheus text)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -100,6 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execution-runtime backend for the compiled serving path "
         "(default: auto from the model's quantisation config)",
     )
+    _add_metrics_out(predict)
 
     compare = sub.add_parser(
         "compare", help="Table-1-style model comparison on one dataset"
@@ -184,6 +218,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recover from the newest valid checkpoint in --checkpoint-dir",
     )
+    _add_metrics_out(stream)
 
     bench = sub.add_parser(
         "bench",
@@ -226,6 +261,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output",
         default="BENCH_inference.json",
         help="where to write the JSON perf record",
+    )
+    _add_metrics_out(bench)
+
+    tele = sub.add_parser(
+        "telemetry",
+        help="exercise a small synthetic workload and export its metrics "
+        "(or print the metric catalogue)",
+    )
+    tele.add_argument(
+        "--catalog",
+        action="store_true",
+        help="print the metric catalogue (name, kind, help) and exit",
+    )
+    tele.add_argument("--dim", type=int, default=256, help="hypervector dimensionality")
+    tele.add_argument("--rows", type=int, default=256, help="synthetic rows")
+    tele.add_argument("--batches", type=int, default=8, help="stream batches")
+    tele.add_argument("--seed", type=int, default=0, help="master seed")
+    tele.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write metrics here (.json for JSON, else Prometheus text); "
+        "default prints Prometheus text to stdout",
     )
 
     report = sub.add_parser(
@@ -309,6 +367,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _cmd_predict(args: argparse.Namespace) -> int:
     import pathlib
 
+    registry = _metrics_session(args)
     model = load_model(args.model)
     # Feature files may arrive over flaky network mounts; absorb
     # transient I/O errors with a bounded, seeded-jitter retry.
@@ -332,6 +391,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         predictions = model.predict(X)
     for value in predictions:
         print(f"{value:.6f}")
+    _write_metrics(registry, args)
     return 0
 
 
@@ -438,6 +498,7 @@ def _cmd_hardware(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
+    registry = _metrics_session(args)
     dataset = load_dataset(args.dataset, seed=args.seed)
     scaler = StandardScaler().fit(dataset.X)
     X_all = scaler.transform(dataset.X)
@@ -502,12 +563,19 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if stream.checkpoints is not None:
         infos = stream.checkpoints.checkpoints()
         print(f"checkpoints kept  : {[i.path.name for i in infos]}")
+    if registry is not None and stream.fitted:
+        # One serving pass through the compiled engine so the exported
+        # metrics include the serving-latency histograms, not just the
+        # training-path counters.
+        stream.predict(X_all[: args.batch_size])
+    _write_metrics(registry, args)
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     import pathlib
 
+    registry = _metrics_session(args)
     try:
         dims = tuple(int(d) for d in args.dims.split(",") if d.strip())
     except ValueError:
@@ -555,6 +623,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     out_path = pathlib.Path(args.output)
     out_path.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {out_path}")
+    _write_metrics(registry, args)
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    if args.catalog:
+        for name, (kind, help_text) in sorted(telemetry.CATALOG.items()):
+            print(f"{name:42s} {kind:10s} {help_text}")
+        return 0
+    registry = telemetry.enable()
+    rng = np.random.default_rng(args.seed)
+    n_features = 8
+    X = rng.normal(size=(args.rows, n_features))
+    y = X @ rng.normal(size=n_features)
+    stream = ResilientStreamingRegHD(
+        n_features,
+        RegHDConfig(dim=args.dim, n_models=4, seed=args.seed),
+        detector=PageHinkley(),
+        guard=GuardPolicy.REPAIR,
+    )
+    batch = max(1, args.rows // max(1, args.batches))
+    for lo in range(0, len(X), batch):
+        stream.update(X[lo : lo + batch], y[lo : lo + batch])
+    stream.predict(X[:batch])  # serving pass: latency histograms
+    if args.output:
+        path = telemetry.write_metrics(registry, args.output)
+        print(f"wrote {path}")
+    else:
+        print(telemetry.to_prometheus(registry), end="")
     return 0
 
 
@@ -606,6 +703,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stream(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args)
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")

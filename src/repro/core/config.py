@@ -94,6 +94,14 @@ class RegHDConfig:
         reproducible across machines.  Affects *how* kernels execute, not
         what they compute — it is serialised for provenance but a loaded
         model may run under a different backend.
+    telemetry:
+        Observability pin (see :mod:`repro.telemetry`).  ``True`` enables
+        the process-wide metrics sink when the model is constructed,
+        ``False`` disables it, and ``None`` (the default) leaves the sink
+        as-is — governed by :func:`repro.telemetry.enable` and the
+        ``REPRO_TELEMETRY`` environment variable.  Like ``backend`` it
+        changes *measurement*, never results: predictions are
+        bit-identical either way.
     """
 
     dim: int = 4000
@@ -109,6 +117,7 @@ class RegHDConfig:
     convergence: ConvergencePolicy = field(default_factory=ConvergencePolicy)
     seed: int | None = 0
     backend: str | None = None
+    telemetry: bool | None = None
 
     def __post_init__(self) -> None:
         if self.dim < 2:
@@ -147,6 +156,13 @@ class RegHDConfig:
                 f"backend must be a registry name or None, got "
                 f"{self.backend!r}"
             )
+        if self.telemetry is not None and not isinstance(
+            self.telemetry, bool
+        ):
+            raise ConfigurationError(
+                f"telemetry must be True, False or None, got "
+                f"{self.telemetry!r}"
+            )
 
     def with_overrides(self, **changes: Any) -> "RegHDConfig":
         """Return a copy with the given fields replaced (frozen-safe)."""
@@ -173,6 +189,7 @@ class RegHDConfig:
             },
             "seed": self.seed,
             "backend": self.backend,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -206,5 +223,10 @@ class RegHDConfig:
             seed=None if meta.get("seed") is None else int(meta["seed"]),
             backend=(
                 None if meta.get("backend") is None else str(meta["backend"])
+            ),
+            telemetry=(
+                None
+                if meta.get("telemetry") is None
+                else bool(meta["telemetry"])
             ),
         )

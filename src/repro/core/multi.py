@@ -54,6 +54,7 @@ from repro.runtime import (
     Query,
     resolve_backend,
 )
+from repro.telemetry import metrics as _metrics
 from repro.types import ArrayLike, FloatArray
 from repro.utils.rng import derive_generator
 from repro.utils.validation import check_2d
@@ -101,6 +102,10 @@ class MultiModelRegHD(BaseRegHDEstimator):
         if overrides:
             base = base.with_overrides(**overrides)
         self.config = base
+        # A config telemetry pin flips the process-wide sink before the
+        # backend resolves, so the instrumentation decision below sees it.
+        if base.telemetry is not None:
+            _metrics.set_enabled(base.telemetry)
         # Kernel backend executing every similarity/dot/update below; the
         # config pin wins over the REPRO_BACKEND environment default.
         self.runtime = resolve_backend(base.backend)
@@ -156,8 +161,17 @@ class MultiModelRegHD(BaseRegHDEstimator):
         exactly when the caller passes that matrix itself.
         """
         cache = self._train_cache
+        registry = _metrics.active()
         if cache is not None and cache.S is S:
+            if registry is not None:
+                registry.counter(
+                    "reghd_cache_events_total", cache="query", event="hit"
+                ).inc()
             return cache.query()
+        if registry is not None and cache is not None:
+            registry.counter(
+                "reghd_cache_events_total", cache="query", event="miss"
+            ).inc()
         return Query(S)
 
     def _cluster_similarities(self, query: Query) -> FloatArray:
@@ -229,12 +243,19 @@ class MultiModelRegHD(BaseRegHDEstimator):
         cache = self._train_cache
         if cache is not None and cache.S is not S:
             cache = None  # partial_fit on new data; cache belongs to fit()
+        registry = _metrics.active()
         for start in range(0, len(order), batch):
             idx = order[start : start + batch]
             S_b = S[idx]
             query = (
                 cache.slice(idx, S_b) if cache is not None else Query(S_b)
             )
+            if registry is not None:
+                registry.counter(
+                    "reghd_cache_events_total",
+                    cache="query",
+                    event="hit" if cache is not None else "miss",
+                ).inc()
             sims = self._cluster_similarities(query)
             conf = self._confidences(sims)
             dots = self.runtime.model_dots(query, self._model_op)
@@ -251,6 +272,9 @@ class MultiModelRegHD(BaseRegHDEstimator):
 
     def begin_training(self, S: FloatArray) -> None:
         """Trainer hook: build the epoch-spanning packed query cache."""
+        registry = _metrics.active()
+        if registry is not None:
+            registry.gauge("reghd_train_lr").set(self.config.lr)
         self._train_cache = self.runtime.make_training_cache(
             S,
             cluster_quant=self.config.cluster_quant,

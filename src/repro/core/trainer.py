@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.core.config import ConvergencePolicy
 from repro.metrics import mean_squared_error
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.timing import monotonic
 from repro.types import FloatArray, SeedLike
 from repro.utils.rng import as_generator
 
@@ -146,8 +148,12 @@ class IterativeTrainer:
         finish = getattr(model, "finish_training", None)
         if begin is not None:
             begin(S_train)
+        registry = _metrics.active()
+        if registry is not None:
+            registry.counter("reghd_train_sessions_total").inc()
         try:
             for epoch in range(1, policy.max_epochs + 1):
+                epoch_start = monotonic() if registry is not None else 0.0
                 order = self._rng.permutation(n)
                 model.fit_epoch(S_train, y_train, order)
                 model.end_epoch()
@@ -161,6 +167,12 @@ class IterativeTrainer:
                     )
                 record = EpochRecord(epoch, train_mse, val_mse)
                 history.records.append(record)
+                if registry is not None:
+                    registry.counter("reghd_train_epochs_total").inc()
+                    registry.histogram(
+                        "reghd_train_epoch_seconds"
+                    ).observe(monotonic() - epoch_start)
+                    registry.gauge("reghd_train_last_mse").set(train_mse)
 
                 monitored = record.monitored
                 if first is None:

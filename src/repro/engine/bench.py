@@ -21,7 +21,6 @@ path — the regression baseline later PRs check against.
 from __future__ import annotations
 
 import os
-import time
 
 import numpy as np
 
@@ -29,6 +28,7 @@ from repro.core.config import RegHDConfig
 from repro.core.multi import MultiModelRegHD
 from repro.core.quantization import ClusterQuant, PredictQuant
 from repro.runtime import RUNTIME_VERSION, resolve_backend
+from repro.telemetry.timing import monotonic
 
 #: Dimensionalities swept by the full benchmark (paper Sec. 4 uses 4k-10k).
 DEFAULT_DIMS = (1000, 4096, 10000)
@@ -61,9 +61,9 @@ def _time_predictor(predict, X, repeats: int, warmup: int = 1) -> dict:
         predict(X)
     latencies = np.empty(repeats)
     for i in range(repeats):
-        start = time.perf_counter()
+        start = monotonic()
         predict(X)
-        latencies[i] = time.perf_counter() - start
+        latencies[i] = monotonic() - start
     return {
         "batch_rows": int(X.shape[0]),
         "repeats": int(repeats),

@@ -31,6 +31,8 @@ from repro.engine.kernels import (
     sign_matrix,
 )
 from repro.runtime import Query
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.timing import monotonic
 from repro.types import FloatArray
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -47,6 +49,10 @@ def _run_tile(
 ) -> None:
     """Run one row tile through the fused pipeline into ``out[lo:hi]``."""
     X_tile = X[lo:hi]
+    # Serving latency split by stage; `registry is None` is the entire
+    # cost of the disabled path (no clock reads, no metric lookups).
+    registry = _metrics.active()
+    t0 = monotonic() if registry is not None else 0.0
 
     # 1. Encode (Eq. 1), fused into the scratch buffers when the plan
     #    carries a projection snapshot.
@@ -70,6 +76,12 @@ def _run_tile(
     signs = sign_matrix(S, scratch) if plan.needs_signs else None
     if plan.needs_normalized:
         np.divide(S, norms[:, np.newaxis], out=S)
+    if registry is not None:
+        t1 = monotonic()
+        registry.histogram(
+            "reghd_serving_latency_seconds", stage="encode"
+        ).observe(t1 - t0)
+        t0 = t1
 
     # 3. Cluster similarities (Eq. 5) and softmax confidences, dispatched
     #    through the plan's kernel backend over the scratch-derived query.
@@ -77,6 +89,12 @@ def _run_tile(
     query = Query(S, signs=signs, words=words, scales=q_scales)
     sims = backend.cluster_similarities(query, plan.cluster_op)
     conf = backend.confidences(sims, plan.softmax_temp)
+    if registry is not None:
+        t1 = monotonic()
+        registry.histogram(
+            "reghd_serving_latency_seconds", stage="search"
+        ).observe(t1 - t0)
+        t0 = t1
 
     # 4. Model dot products (Eq. 6 under the Sec.-3.2 scheme).  The
     #    binarised queries are built in place in the sign buffer — only
@@ -92,6 +110,10 @@ def _run_tile(
     np.multiply(y, plan.y_scale, out=y)
     np.add(y, plan.y_mean, out=y)
     out[lo:hi] = y
+    if registry is not None:
+        registry.histogram(
+            "reghd_serving_latency_seconds", stage="accumulate"
+        ).observe(monotonic() - t0)
 
 
 def execute_plan(
@@ -106,6 +128,9 @@ def execute_plan(
     out = np.empty(n, dtype=np.float64)
     if n == 0:
         return out
+    registry = _metrics.active()
+    if registry is not None:
+        registry.counter("reghd_serving_rows_total").inc(n)
     tile_rows = max(1, int(tile_rows))
     spans = [
         (lo, min(lo + tile_rows, n)) for lo in range(0, n, tile_rows)

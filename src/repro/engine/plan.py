@@ -50,8 +50,39 @@ from repro.runtime import (
     refresh_model_operand,
     resolve_backend,
 )
+from repro.telemetry import metrics as _metrics
 from repro.types import ArrayLike, FloatArray
 from repro.utils.validation import check_2d
+
+
+class RefreshStats(dict):
+    """Snapshot/refresh counters of a plan, with dict compatibility.
+
+    Keys: ``compiles`` (full compilations — always 1 for a live plan),
+    ``rows_snapshotted`` (operand rows copied at compile time),
+    ``refreshes`` (incremental :meth:`CompiledPlan.refresh` calls),
+    ``rows_refreshed`` / ``rows_reused`` (per-row refresh split).  A full
+    ``compile()`` and an incremental ``refresh()`` are therefore
+    distinguishable: compiles touch ``compiles``/``rows_snapshotted``
+    only, refreshes touch the other three.
+
+    :meth:`reset` zeroes the *incremental* counters on the owning plan
+    (``refreshes``, ``rows_refreshed``, ``rows_reused``), so a caller can
+    measure one window of streaming refreshes; the compile-time
+    provenance keys are preserved.  The instance itself is a value copy —
+    mutating it does not touch the plan.
+    """
+
+    def __init__(self, data: dict, owner: "CompiledPlan"):
+        super().__init__(data)
+        self._owner = owner
+
+    def reset(self) -> None:
+        """Zero the owning plan's incremental refresh counters."""
+        stats = self._owner._refresh["stats"]
+        for key in ("refreshes", "rows_refreshed", "rows_reused"):
+            stats[key] = 0
+            self[key] = 0
 
 
 def _frozen(array: np.ndarray) -> np.ndarray:
@@ -230,12 +261,29 @@ class CompiledPlan:
         stats["refreshes"] += 1
         stats["rows_refreshed"] += c_new + m_new
         stats["rows_reused"] += c_old + m_old
+        registry = _metrics.active()
+        if registry is not None:
+            registry.counter("reghd_plan_refreshes_total").inc()
+            if c_new + m_new:
+                registry.counter(
+                    "reghd_plan_rows_total", event="refreshed"
+                ).inc(c_new + m_new)
+            if c_old + m_old:
+                registry.counter(
+                    "reghd_plan_rows_total", event="reused"
+                ).inc(c_old + m_old)
         return c_new + m_new, c_old + m_old
 
     @property
-    def refresh_stats(self) -> dict:
-        """Cumulative :meth:`refresh` counters (a copy)."""
-        return dict(self._refresh["stats"])
+    def refresh_stats(self) -> RefreshStats:
+        """Cumulative compile/refresh counters (a value copy).
+
+        Behaves as a plain dict (``stats["rows_refreshed"]`` etc.) and
+        additionally offers :meth:`RefreshStats.reset` to zero the
+        incremental refresh counters on this plan.  Exported registries
+        mirror these as the ``reghd_plan_*`` counters.
+        """
+        return RefreshStats(self._refresh["stats"], self)
 
     def predict(
         self,
@@ -413,10 +461,23 @@ def compile_model(
         enc_scale=enc_scale,
         encoder=encoder,
     )
+    rows_snapshotted = 2 * cfg.n_models  # one cluster + one model row each
     plan._refresh.update(
         source=weakref.ref(model),
         clusters=cluster_tracker,
         models=model_tracker,
-        stats={"refreshes": 0, "rows_refreshed": 0, "rows_reused": 0},
+        stats={
+            "compiles": 1,
+            "rows_snapshotted": rows_snapshotted,
+            "refreshes": 0,
+            "rows_refreshed": 0,
+            "rows_reused": 0,
+        },
     )
+    registry = _metrics.active()
+    if registry is not None:
+        registry.counter("reghd_plan_compiles_total").inc()
+        registry.counter(
+            "reghd_plan_rows_total", event="snapshotted"
+        ).inc(rows_snapshotted)
     return plan

@@ -6,7 +6,6 @@ all produced by identical train/evaluate plumbing.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
@@ -17,6 +16,7 @@ from repro.datasets.preprocessing import StandardScaler
 from repro.datasets.splits import Split, train_test_split
 from repro.exceptions import ConfigurationError
 from repro.metrics import mean_squared_error, r2_score, root_mean_squared_error
+from repro.telemetry.timing import monotonic
 from repro.types import FloatArray
 
 
@@ -78,13 +78,13 @@ def run_on_split(
         X_test = scaler.transform(split.X_test)
 
     model = factory(X_train.shape[1])
-    t0 = time.perf_counter()
+    t0 = monotonic()
     model.fit(X_train, split.y_train)
-    fit_seconds = time.perf_counter() - t0
+    fit_seconds = monotonic() - t0
 
-    t0 = time.perf_counter()
+    t0 = monotonic()
     predictions = model.predict(X_test)
-    predict_seconds = time.perf_counter() - t0
+    predict_seconds = monotonic() - t0
 
     n_epochs: int | None = None
     history = getattr(model, "history_", None)

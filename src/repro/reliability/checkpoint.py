@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from repro.exceptions import CheckpointCorruptError, RecoveryError
 from repro.reliability.retry import retry
 from repro.serialization import load_model, read_metadata, save_model
+from repro.telemetry import metrics as _metrics
 
 _NAME = re.compile(r"^ckpt-(?P<batch>\d{8})-(?P<crc>[0-9a-f]{8})\.npz$")
 
@@ -88,6 +89,15 @@ class CheckpointManager:
         final = self.directory / f"ckpt-{batch:08d}-{crc:08x}.npz"
         os.replace(tmp, final)
         self.prune()
+        registry = _metrics.active()
+        if registry is not None:
+            registry.counter("reghd_checkpoint_writes_total").inc()
+            registry.record_event(
+                "checkpoint_write",
+                batch=batch,
+                checkpoint_id=final.stem,
+                bytes=final.stat().st_size,
+            )
         return CheckpointInfo(path=final, batch=batch, crc=crc)
 
     def prune(self) -> list[pathlib.Path]:
@@ -156,6 +166,14 @@ class CheckpointManager:
             raise CheckpointCorruptError(
                 f"{info.path}: checkpoint failed to decode: {exc}"
             ) from exc
+        registry = _metrics.active()
+        if registry is not None:
+            registry.counter("reghd_checkpoint_restores_total").inc()
+            registry.record_event(
+                "checkpoint_restore",
+                batch=info.batch,
+                checkpoint_id=info.path.stem,
+            )
         return model, extra
 
     def load_latest(self):

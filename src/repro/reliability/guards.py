@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ConfigurationError, DataGuardError
+from repro.telemetry import metrics as _metrics
 from repro.types import ArrayLike, FloatArray
 
 
@@ -161,6 +162,7 @@ class InputGuard:
         n_bad = int(bad_X.sum() + out_of_range.sum() + bad_y.sum())
         if n_bad == 0:
             self._accumulate(report)
+            self._emit(report, "clean")
             return X_arr, y_arr, report
 
         if bad_X.any():
@@ -177,6 +179,7 @@ class InputGuard:
             )
 
         if self.policy is GuardPolicy.RAISE:
+            self._emit(report, "rejected")
             raise DataGuardError(
                 "input batch rejected: " + "; ".join(report.issues)
             )
@@ -198,6 +201,10 @@ class InputGuard:
             report.n_dropped_rows = int(n_rows - keep.sum())
         report.n_rows_out = len(X_arr)
         self._accumulate(report)
+        self._emit(
+            report,
+            "repaired" if self.policy is GuardPolicy.REPAIR else "dropped",
+        )
         return X_arr, y_arr, report
 
     def _accumulate(self, report: GuardReport) -> None:
@@ -206,3 +213,29 @@ class InputGuard:
         self.total.n_repaired_values += report.n_repaired_values
         self.total.n_dropped_rows += report.n_dropped_rows
         self.total.issues.extend(report.issues)
+
+    def _emit(self, report: GuardReport, outcome: str) -> None:
+        """Count the batch outcome; dirty batches also log a structured
+        event (issues joined into one string) for the audit trail."""
+        registry = _metrics.active()
+        if registry is None:
+            return
+        registry.counter(
+            "reghd_guard_batches_total", outcome=outcome
+        ).inc()
+        if report.n_repaired_values:
+            registry.counter("reghd_guard_values_repaired_total").inc(
+                report.n_repaired_values
+            )
+        if report.n_dropped_rows:
+            registry.counter("reghd_guard_rows_dropped_total").inc(
+                report.n_dropped_rows
+            )
+        if report.issues:
+            registry.record_event(
+                "guard_batch",
+                outcome=outcome,
+                n_rows_in=report.n_rows_in,
+                n_rows_out=report.n_rows_out,
+                issues="; ".join(report.issues),
+            )

@@ -35,12 +35,19 @@ from repro.reliability.guards import GuardPolicy, GuardReport, InputGuard
 from repro.reliability.scrub import ModelScrubber, ScrubReport
 from repro.reliability.watchdog import HealthState, Watchdog
 from repro.streaming import PageHinkley, StreamBatchReport, StreamingRegHD
+from repro.telemetry import metrics as _metrics
 from repro.types import ArrayLike, FloatArray
 
 
 @dataclass
 class ResilientBatchReport(StreamBatchReport):
-    """Per-batch report extended with reliability outcomes."""
+    """Per-batch report extended with reliability outcomes.
+
+    On a rolled-back batch, ``restored_checkpoint`` names the checkpoint
+    the model was restored from (the on-disk file stem) and
+    ``trigger_error`` records the prequential RMSE that breached the
+    watchdog's fail envelope.
+    """
 
     health: HealthState | None = None
     guard: GuardReport | None = None
@@ -48,15 +55,25 @@ class ResilientBatchReport(StreamBatchReport):
     rolled_back: bool = False
     checkpointed: bool = False
     skipped: bool = False  # guard dropped every row; nothing was learned
+    restored_checkpoint: str | None = None
+    trigger_error: float | None = None
 
 
 @dataclass
 class RollbackEvent:
-    """One watchdog-triggered restoration from a checkpoint."""
+    """One watchdog-triggered restoration from a checkpoint.
+
+    ``checkpoint_id`` is the restored checkpoint's file stem
+    (``ckpt-<batch>-<crc>``) and ``trigger_error`` the prequential RMSE
+    that fired the watchdog — together they answer "which state did we
+    return to, and how bad had it gotten" without consulting the disk.
+    """
 
     at_batch: int
     restored_batch: int
     checkpoint: pathlib.Path
+    checkpoint_id: str = ""
+    trigger_error: float = float("nan")
 
 
 class ResilientStreamingRegHD(StreamingRegHD):
@@ -164,11 +181,17 @@ class ResilientStreamingRegHD(StreamingRegHD):
         self.history.reports.append(report)
 
         if self.watchdog is not None and base.prequential_mse is not None:
-            report.health = self.watchdog.update(
-                float(np.sqrt(base.prequential_mse))
-            )
+            trigger = float(np.sqrt(base.prequential_mse))
+            report.health = self.watchdog.update(trigger)
             if report.health is HealthState.FAILED:
-                report.rolled_back = self._rollback()
+                report.rolled_back = self._rollback(trigger)
+                if report.rolled_back:
+                    event = self.rollbacks[-1]
+                    report.restored_checkpoint = event.checkpoint_id
+                    report.trigger_error = trigger
+                    # _restore rewound history to the checkpointed reports;
+                    # re-append this one so the rollback stays on record.
+                    self.history.reports.append(report)
 
         if (
             self.checkpoints is not None
@@ -203,6 +226,7 @@ class ResilientStreamingRegHD(StreamingRegHD):
             }
         if self.watchdog is not None:
             state["watchdog"] = self.watchdog.get_state()
+        state["history"] = self.history.get_state()
         return state
 
     def checkpoint(self) -> CheckpointInfo:
@@ -239,12 +263,19 @@ class ResilientStreamingRegHD(StreamingRegHD):
         detector_state = stream.get("detector")
         if self.detector is not None and detector_state is not None:
             self.detector.set_state(detector_state["state"])
+        history_state = stream.get("history")
+        if history_state is not None:
+            self.history.set_state(history_state)
         if self.scrubber is not None:
             self.scrubber.sync()
         return self._batch_counter
 
-    def _rollback(self) -> bool:
-        """Restore the newest valid checkpoint; False when none exists."""
+    def _rollback(self, trigger_error: float = float("nan")) -> bool:
+        """Restore the newest valid checkpoint; False when none exists.
+
+        ``trigger_error`` is the prequential RMSE that breached the fail
+        envelope — recorded on the :class:`RollbackEvent` for post-mortem.
+        """
         if self.checkpoints is None:
             return False
         info = self.checkpoints.latest_valid()
@@ -257,13 +288,24 @@ class ResilientStreamingRegHD(StreamingRegHD):
             # The window is full of the divergent errors that fired the
             # rollback; the baseline still describes a healthy model.
             self.watchdog.reset(keep_baseline=True)
-        self.rollbacks.append(
-            RollbackEvent(
+        event = RollbackEvent(
+            at_batch=failed_at,
+            restored_batch=restored,
+            checkpoint=info.path,
+            checkpoint_id=info.path.stem,
+            trigger_error=trigger_error,
+        )
+        self.rollbacks.append(event)
+        registry = _metrics.active()
+        if registry is not None:
+            registry.counter("reghd_watchdog_rollbacks_total").inc()
+            registry.record_event(
+                "watchdog_rollback",
                 at_batch=failed_at,
                 restored_batch=restored,
-                checkpoint=info.path,
+                checkpoint_id=event.checkpoint_id,
+                trigger_error=trigger_error,
             )
-        )
         return True
 
     @classmethod

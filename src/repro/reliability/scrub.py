@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.multi import MultiModelRegHD
 from repro.exceptions import ConfigurationError, ReliabilityError
+from repro.telemetry import metrics as _metrics
 from repro.types import FloatArray
 
 
@@ -151,6 +152,24 @@ class ModelScrubber:
         refreshed = rematerialize(
             self.model, include_clusters=self.include_clusters
         )
+        registry = _metrics.active()
+        if registry is not None:
+            registry.counter("reghd_scrub_passes_total").inc()
+            if repaired:
+                registry.counter(
+                    "reghd_scrub_corrections_total", kind="shadow"
+                ).inc(repaired)
+            if refreshed:
+                registry.counter(
+                    "reghd_scrub_corrections_total", kind="binary"
+                ).inc(refreshed)
+            if repaired or refreshed:
+                registry.record_event(
+                    "scrub_corrections",
+                    shadow_repaired=repaired,
+                    binary_refreshed=refreshed,
+                    replicas=self.replicas,
+                )
         return ScrubReport(
             shadow_elements_repaired=repaired,
             binary_elements_refreshed=refreshed,

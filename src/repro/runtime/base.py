@@ -22,9 +22,11 @@ import os
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.runtime.quantization import ClusterQuant, PredictQuant
 from repro.registry import backend_class
 from repro.runtime import kernels
+from repro.telemetry import metrics as _metrics
 from repro.runtime.operands import ClusterOperand, FrozenClusterOperand
 from repro.runtime.query import Query, QueryCache
 from repro.types import FloatArray
@@ -164,10 +166,34 @@ def resolve_backend(
     ``choice`` may be a backend instance (passed through), a registry
     name, or None — in which case the ``REPRO_BACKEND`` environment
     variable is consulted before falling back to ``default``.
+
+    An unknown name raises :class:`~repro.exceptions.ConfigurationError`
+    (a ``ValueError``) that lists the registered backend names and says
+    where the bad name came from — an explicit argument / config pin or
+    the environment variable.
+
+    When telemetry is enabled (:mod:`repro.telemetry`) the resolved
+    singleton is wrapped in an
+    :class:`~repro.runtime.instrumented.InstrumentedBackend` counting
+    kernel calls and bytes moved; with telemetry off the bare backend is
+    returned and no per-call checks exist anywhere on the kernel path.
     """
     if isinstance(choice, KernelBackend):
         return choice
+    source = "explicit backend choice"
     if choice is None:
-        choice = os.environ.get(BACKEND_ENV_VAR) or default
-    cls = backend_class(str(choice))
-    return cls.instance()
+        env = os.environ.get(BACKEND_ENV_VAR)
+        if env:
+            choice, source = env, f"{BACKEND_ENV_VAR} environment variable"
+        else:
+            choice, source = default, "default"
+    try:
+        cls = backend_class(str(choice))
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"{exc} (from {source})") from None
+    instance = cls.instance()
+    if _metrics.enabled():
+        from repro.runtime.instrumented import InstrumentedBackend
+
+        return InstrumentedBackend(instance)
+    return instance

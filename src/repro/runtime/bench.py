@@ -30,7 +30,6 @@ re-packs unchanged rows.
 from __future__ import annotations
 
 import os
-import time
 
 import numpy as np
 
@@ -38,6 +37,7 @@ from repro.core.config import RegHDConfig
 from repro.core.multi import MultiModelRegHD
 from repro.core.quantization import ClusterQuant, PredictQuant
 from repro.runtime.base import RUNTIME_VERSION
+from repro.telemetry.timing import monotonic
 
 #: Dimensionalities swept by the training benchmark (paper Sec. 4 scale).
 TRAIN_DIMS = (4096, 10000)
@@ -87,10 +87,10 @@ def _time_training(
             model.end_epoch()
         latencies = np.empty(epochs)
         for i in range(epochs):
-            start = time.perf_counter()
+            start = monotonic()
             model.fit_epoch(S, y_scaled, order)
             model.end_epoch()
-            latencies[i] = time.perf_counter() - start
+            latencies[i] = monotonic() - start
     finally:
         model.finish_training()
     return {

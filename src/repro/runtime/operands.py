@@ -29,6 +29,7 @@ import numpy as np
 from repro.runtime.quantization import ClusterQuant, DualCopy, PredictQuant
 from repro.runtime.kernels import NORM_EPS
 from repro.runtime.packing import pack_sign_words
+from repro.telemetry import metrics as _metrics
 from repro.types import FloatArray
 
 
@@ -52,16 +53,29 @@ class PackedWordsCache:
         if self._words is None:
             self._words = pack_sign_words(self.dual.signs)
             self._seen = versions.copy()
-            self.rows_repacked += len(versions)
+            self._count(len(versions), 0)
             return self._words
         changed = versions != self._seen
         n_changed = int(np.count_nonzero(changed))
         if n_changed:
             self._words[changed] = pack_sign_words(self.dual.signs[changed])
             self._seen[changed] = versions[changed]
-        self.rows_repacked += n_changed
-        self.rows_reused += len(versions) - n_changed
+        self._count(n_changed, len(versions) - n_changed)
         return self._words
+
+    def _count(self, repacked: int, reused: int) -> None:
+        self.rows_repacked += repacked
+        self.rows_reused += reused
+        registry = _metrics.active()
+        if registry is not None:
+            if repacked:
+                registry.counter(
+                    "reghd_packed_words_rows_total", event="repacked"
+                ).inc(repacked)
+            if reused:
+                registry.counter(
+                    "reghd_packed_words_rows_total", event="reused"
+                ).inc(reused)
 
 
 def cluster_norms(dual: DualCopy) -> FloatArray:

@@ -16,6 +16,9 @@ This module packages the pieces a deployed streaming learner needs around
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import pathlib
 from collections import deque
 from dataclasses import dataclass
 
@@ -26,6 +29,7 @@ from repro.core.multi import MultiModelRegHD
 from repro.encoding.base import Encoder
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.metrics import mean_squared_error
+from repro.telemetry import metrics as _metrics
 from repro.types import ArrayLike, FloatArray
 from repro.utils.validation import check_1d, check_2d, check_matching_lengths
 
@@ -100,6 +104,77 @@ class StreamBatchReport:
     drift_detected: bool
 
 
+_BASE_REPORT_FIELDS = ("batch", "prequential_mse", "drift_detected")
+
+
+def _encode_value(value: object) -> object:
+    """JSON-safe encoding of a report field (recursive, type-driven).
+
+    Dataclasses become plain dicts, enums their values, paths strings and
+    numpy scalars Python scalars — everything the reliability-extended
+    reports carry, without this module importing the reliability package.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _encode_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, pathlib.Path):
+        return str(value)
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    return value
+
+
+def _decode_report(data: dict) -> StreamBatchReport:
+    """Rebuild a report from :func:`_encode_value` output.
+
+    Plain prequential reports decode to :class:`StreamBatchReport`; any
+    extra keys mark a reliability-extended report, whose classes are
+    imported lazily (the reliability package imports this module, so the
+    import must not run at module level).
+    """
+    base = {
+        "batch": int(data["batch"]),
+        "prequential_mse": (
+            None
+            if data["prequential_mse"] is None
+            else float(data["prequential_mse"])
+        ),
+        "drift_detected": bool(data["drift_detected"]),
+    }
+    extra = {k: v for k, v in data.items() if k not in _BASE_REPORT_FIELDS}
+    if not extra:
+        return StreamBatchReport(**base)
+    from repro.reliability.guards import GuardReport
+    from repro.reliability.resilient import ResilientBatchReport
+    from repro.reliability.scrub import ScrubReport
+    from repro.reliability.watchdog import HealthState
+
+    health = extra.get("health")
+    guard = extra.get("guard")
+    scrub = extra.get("scrub")
+    return ResilientBatchReport(
+        **base,
+        health=None if health is None else HealthState(health),
+        guard=None if guard is None else GuardReport(**guard),
+        scrub=None if scrub is None else ScrubReport(**scrub),
+        rolled_back=bool(extra.get("rolled_back", False)),
+        checkpointed=bool(extra.get("checkpointed", False)),
+        skipped=bool(extra.get("skipped", False)),
+        restored_checkpoint=extra.get("restored_checkpoint"),
+        trigger_error=(
+            None
+            if extra.get("trigger_error") is None
+            else float(extra["trigger_error"])
+        ),
+    )
+
+
 class StreamHistory:
     """Accumulated reports of a streaming run.
 
@@ -134,6 +209,29 @@ class StreamHistory:
                 np.nan if r.prequential_mse is None else r.prequential_mse
                 for r in self.reports
             ]
+        )
+
+    # -- checkpointable state ----------------------------------------------
+
+    def get_state(self) -> dict:
+        """JSON-serialisable snapshot of the retained reports.
+
+        Reliability-extended reports (guard/scrub outcomes, rollback
+        records with their restored checkpoint id and triggering error)
+        serialise alongside the plain prequential fields, so a restored
+        stream keeps its full per-batch audit trail.
+        """
+        return {
+            "max_reports": self.max_reports,
+            "reports": [_encode_value(r) for r in self.reports],
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot captured by :meth:`get_state`."""
+        self.max_reports = state.get("max_reports")
+        self.reports = deque(
+            (_decode_report(r) for r in state.get("reports", [])),
+            maxlen=self.max_reports,
         )
 
 
@@ -255,4 +353,18 @@ class StreamingRegHD:
             drift_detected=drift,
         )
         self.history.reports.append(report)
+        registry = _metrics.active()
+        if registry is not None:
+            registry.counter("reghd_stream_batches_total").inc()
+            if drift:
+                registry.counter("reghd_stream_drift_total").inc()
+                registry.record_event(
+                    "stream_drift",
+                    batch=self._batch_counter,
+                    prequential_mse=prequential,
+                )
+            if prequential is not None:
+                registry.gauge("reghd_stream_prequential_mse").set(
+                    prequential
+                )
         return report

@@ -1,0 +1,70 @@
+"""Telemetry: the single observability layer of the library.
+
+RegHD's headline claims are *efficiency* claims — operation counts,
+memory traffic, latency — so measurement is part of the reproduction,
+not an afterthought.  This package provides:
+
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms (pure numpy, lock-free on the single-thread path,
+  thread-safe under the engine's thread pool) plus a structured event
+  log for discrete reliability occurrences;
+* :func:`span` — a nested context-manager tracer on the monotonic clock
+  (:func:`monotonic`), recording per-path duration histograms;
+* :func:`to_prometheus` / :func:`to_json` / :func:`write_metrics` —
+  exporters that stamp package/runtime versions and the resolved kernel
+  backend into every artifact.
+
+Collection is off by default and costs one ``None`` check per
+instrumentation site when off: :func:`enable` / :func:`disable` flip the
+module-level sink, ``REPRO_TELEMETRY=1`` flips it at import time, and
+``RegHDConfig.telemetry`` pins it per model.  Every metric the library
+emits is catalogued in :data:`~repro.telemetry.metrics.CATALOG`
+(reproduced in DESIGN.md §1.13).
+
+This package imports nothing from the rest of the library at module
+level, so any layer (runtime, engine, reliability) may instrument itself
+without creating an import cycle.
+"""
+
+from repro.telemetry.metrics import (
+    CATALOG,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TELEMETRY_ENV_VAR,
+    active,
+    disable,
+    enable,
+    enabled,
+    set_enabled,
+)
+from repro.telemetry.spans import Span, span
+from repro.telemetry.timing import monotonic
+from repro.telemetry.export import (
+    default_meta,
+    to_json,
+    to_prometheus,
+    write_metrics,
+)
+
+__all__ = [
+    "CATALOG",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TELEMETRY_ENV_VAR",
+    "active",
+    "default_meta",
+    "disable",
+    "enable",
+    "enabled",
+    "monotonic",
+    "set_enabled",
+    "span",
+    "to_json",
+    "to_prometheus",
+    "write_metrics",
+]

@@ -1,0 +1,164 @@
+"""Exporters: Prometheus text exposition and a JSON snapshot.
+
+Both exporters render a :class:`~repro.telemetry.metrics.MetricsRegistry`
+read-only — exporting never mutates or resets metrics — and stamp the
+package version, runtime version and resolved kernel backend into the
+output (``reghd_build_info`` in Prometheus, the ``meta`` object in
+JSON), so a scraped artifact always says what produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.telemetry.metrics import (
+    CATALOG,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = ["default_meta", "to_json", "to_prometheus", "write_metrics"]
+
+
+def default_meta() -> dict:
+    """Provenance stamped into every export.
+
+    Imported lazily: the telemetry package must stay importable from
+    inside :mod:`repro.runtime` without a cycle.
+    """
+    from repro import __version__
+    from repro.runtime import RUNTIME_VERSION, resolve_backend
+
+    return {
+        "package_version": __version__,
+        "runtime_version": RUNTIME_VERSION,
+        "backend": resolve_backend(None).name,
+    }
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _number(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _le(bound: float) -> str:
+    return _number(bound)
+
+
+def _header(lines: list[str], name: str, kind: str) -> None:
+    help_text = CATALOG.get(name, (kind, f"{name} (uncatalogued)"))[1]
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def to_prometheus(
+    registry: MetricsRegistry, *, meta: dict | None = None
+) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Histograms emit cumulative ``_bucket{le=...}`` series (including
+    ``+Inf``) plus ``_sum`` and ``_count``; the build/provenance stamp
+    appears as the constant ``reghd_build_info`` gauge.
+    """
+    if meta is None:
+        meta = default_meta()
+    lines: list[str] = []
+    _header(lines, "reghd_build_info", "gauge")
+    info_labels = tuple(sorted((str(k), str(v)) for k, v in meta.items()))
+    lines.append(f"reghd_build_info{_labels_text(info_labels)} 1")
+
+    last_name = None
+    for metric in registry.metrics():
+        if metric.name != last_name:
+            _header(lines, metric.name, metric.kind)
+            last_name = metric.name
+        labels = _labels_text(metric.labels)
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{metric.name}{labels} {_number(metric.value)}")
+        elif isinstance(metric, Histogram):
+            counts, total, n = metric.snapshot()
+            cumulative = 0
+            for bound, count in zip(metric.uppers, counts[:-1]):
+                cumulative += int(count)
+                bucket = _labels_text(
+                    metric.labels, f'le="{_le(bound)}"'
+                )
+                lines.append(f"{metric.name}_bucket{bucket} {cumulative}")
+            bucket = _labels_text(metric.labels, 'le="+Inf"')
+            lines.append(f"{metric.name}_bucket{bucket} {n}")
+            lines.append(f"{metric.name}_sum{labels} {_number(total)}")
+            lines.append(f"{metric.name}_count{labels} {n}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: MetricsRegistry, *, meta: dict | None = None) -> dict:
+    """Snapshot the registry as a JSON-serialisable dict.
+
+    The structure is ``{"meta", "metrics", "events"}``; each metric entry
+    carries its kind, labels and merged value(s).
+    """
+    if meta is None:
+        meta = default_meta()
+    entries: list[dict] = []
+    for metric in registry.metrics():
+        entry: dict = {
+            "name": metric.name,
+            "kind": metric.kind,
+            "labels": dict(metric.labels),
+        }
+        if isinstance(metric, (Counter, Gauge)):
+            entry["value"] = metric.value
+        elif isinstance(metric, Histogram):
+            counts, total, n = metric.snapshot()
+            entry["buckets"] = [
+                {"le": float(bound), "count": int(count)}
+                for bound, count in zip(metric.uppers, counts[:-1])
+            ]
+            entry["overflow"] = int(counts[-1])
+            entry["sum"] = float(total)
+            entry["count"] = int(n)
+        entries.append(entry)
+    return {"meta": dict(meta), "metrics": entries, "events": registry.events}
+
+
+def write_metrics(
+    registry: MetricsRegistry,
+    path: str | pathlib.Path,
+    *,
+    meta: dict | None = None,
+) -> pathlib.Path:
+    """Write the registry to ``path``; format chosen by extension.
+
+    ``.json`` writes the JSON snapshot; anything else writes Prometheus
+    text exposition.  Returns the path written.
+    """
+    path = pathlib.Path(path)
+    if path.suffix.lower() == ".json":
+        payload = json.dumps(
+            to_json(registry, meta=meta), indent=2, sort_keys=True
+        )
+        path.write_text(payload + "\n")
+    else:
+        path.write_text(to_prometheus(registry, meta=meta))
+    return path

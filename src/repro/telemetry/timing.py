@@ -1,0 +1,24 @@
+"""The single sanctioned monotonic clock of the library.
+
+Every duration measured anywhere in ``src/`` — span tracing, benchmark
+harnesses, evaluation timing — reads this clock.  Centralising the call
+has two payoffs: the repo-consistency guard can ban ad-hoc
+``time.perf_counter`` / ``time.time`` timing everywhere else (so wall
+time is never accidentally measured with a non-monotonic clock), and
+tests can monkeypatch one function to make timing deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic"]
+
+
+def monotonic() -> float:
+    """Seconds from a monotonic high-resolution clock.
+
+    The value is only meaningful as a difference between two calls; it is
+    unaffected by system clock adjustments.
+    """
+    return time.perf_counter()

@@ -320,3 +320,110 @@ class TestStream:
         )
         assert code == 0
         assert "batches processed : 5" in capsys.readouterr().out
+
+
+class TestTelemetry:
+    @pytest.fixture(autouse=True)
+    def _restore_sink(self):
+        from repro import telemetry
+
+        previous = telemetry.active()
+        yield
+        if previous is not None:
+            telemetry.enable(previous)
+        else:
+            telemetry.disable()
+
+    def test_catalog_lists_every_metric(self, capsys):
+        from repro.telemetry import CATALOG
+
+        assert main(["telemetry", "--catalog"]) == 0
+        out = capsys.readouterr().out
+        for name in CATALOG:
+            assert name in out
+
+    def test_workload_prints_prometheus_text(self, capsys):
+        code = main(
+            ["telemetry", "--dim", "128", "--rows", "64", "--batches", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE reghd_kernel_calls_total counter" in out
+        batches = next(
+            int(line.split()[-1])
+            for line in out.splitlines()
+            if line.startswith("reghd_stream_batches_total")
+        )
+        assert batches >= 3
+
+    def test_workload_writes_file(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "telemetry",
+                "--dim", "128",
+                "--rows", "64",
+                "--batches", "3",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert set(payload) == {"meta", "metrics", "events"}
+
+    def test_stream_metrics_out(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.prom"
+        code = main(
+            [
+                "stream",
+                "--dataset", "boston",
+                "--batch-size", "32",
+                "--max-batches", "6",
+                "--dim", "256",
+                "--k", "2",
+                "--checkpoint-dir", str(tmp_path / "ckpts"),
+                "--checkpoint-every", "3",
+                "--guard-policy", "repair",
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        assert "wrote metrics" in capsys.readouterr().out
+        text = metrics_path.read_text()
+        assert "reghd_kernel_calls_total{" in text
+        assert "reghd_serving_latency_seconds_bucket{" in text
+        assert "reghd_cache_events_total{" in text
+        # at least one reliability counter (acceptance criterion)
+        assert "reghd_checkpoint_writes_total" in text
+
+    def test_predict_metrics_out(self, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        assert main(
+            [
+                "train",
+                "--dataset", "boston",
+                "--k", "2",
+                "--dim", "256",
+                "--epochs", "2",
+                "--save", str(model_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        rng = np.random.default_rng(0)
+        features_path = tmp_path / "features.txt"
+        np.savetxt(features_path, rng.normal(size=(16, 13)))
+        metrics_path = tmp_path / "m.prom"
+        code = main(
+            [
+                "predict",
+                str(model_path),
+                str(features_path),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        text = metrics_path.read_text()
+        assert "reghd_build_info{" in text
+        assert "reghd_serving_rows_total 16" in text

@@ -22,6 +22,8 @@ SCALER_MODULE = SRC / "repro" / "core" / "estimator.py"
 RUNTIME_DIR = SRC / "repro" / "runtime"
 #: symbolic HD binding (uint8 XOR) — an ops primitive, not a packed kernel
 BINDING_OPS = SRC / "repro" / "ops" / "binding.py"
+#: the telemetry layer — the only sanctioned wall-clock site
+TELEMETRY_DIR = SRC / "repro" / "telemetry"
 
 
 def _python_sources():
@@ -150,6 +152,20 @@ def test_no_softmax_calls_outside_runtime():
     assert not hits, (
         "direct softmax call outside repro/runtime — use "
         "KernelBackend.confidences:\n" + "\n".join(hits)
+    )
+
+
+def test_no_ad_hoc_timing_outside_telemetry():
+    """Wall-clock reads go through ``repro.telemetry.timing.monotonic`` —
+    one sanctioned site keeps every duration a span/histogram can capture
+    on the same clock.  ``time.sleep`` (retry backoff) is unaffected."""
+    hits = _offending_lines(
+        r"time\.perf_counter|time\.monotonic|\btime\.time\(",
+        exclude=set(TELEMETRY_DIR.rglob("*.py")),
+    )
+    assert not hits, (
+        "ad-hoc wall-clock read outside repro/telemetry — use "
+        "repro.telemetry.timing.monotonic (or a span):\n" + "\n".join(hits)
     )
 
 
