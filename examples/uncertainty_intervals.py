@@ -1,9 +1,18 @@
-"""Prediction intervals for RegHD via split-conformal calibration.
+"""Prediction intervals under drift: batch vs streaming conformal.
 
-A power-plant operator needs guarantees, not just point estimates.  This
-example wraps RegHD-8 in a :class:`ConformalRegressor` on the CCPP
-surrogate and checks the empirical coverage of the resulting intervals on
-held-out data — distribution-free, finite-sample, no change to the model.
+A power-plant operator needs guarantees, not just point estimates — and
+the guarantee has to survive the plant aging.  This example compares the
+two conformal tools in the repo on a stream whose concept shifts midway:
+
+* **batch** — :class:`ConformalRegressor` wraps RegHD-4, calibrated once
+  on pre-drift data.  Its split-conformal guarantee is only as good as
+  exchangeability: after the concept shifts, the frozen quantile keeps
+  issuing pre-drift-width bands and coverage collapses.
+* **streaming** — :class:`StreamingRegHD` with an
+  :class:`AdaptiveConformal` calibrator riding its honest
+  predict-then-train residuals.  The rolling window tracks the current
+  concept and the ACI update (``gamma > 0``) nudges the working alpha
+  whenever coverage slips, so the intervals re-widen and recover.
 
     python examples/uncertainty_intervals.py
 """
@@ -11,56 +20,108 @@ held-out data — distribution-free, finite-sample, no change to the model.
 import numpy as np
 
 from repro import MultiModelRegHD, RegHDConfig
-from repro.datasets import StandardScaler, load_dataset, train_test_split
 from repro.evaluation import ConformalRegressor, render_table
+from repro.robust import AdaptiveConformal
+from repro.streaming import StreamingRegHD
+
+ALPHA = 0.1  # nominal 90 % intervals
+N_FEATURES = 5
+BATCH = 50
+N_BATCHES = 80  # drift hits at the halfway point
+
+
+def make_stream(seed: int = 0):
+    """A piecewise-stationary stream: the concept rotates halfway in."""
+    rng = np.random.default_rng(seed)
+    before = np.array([2.0, -1.0, 0.5, 1.5, -0.5])
+    after = np.array([-1.0, 2.0, 1.5, -0.5, 0.5])  # rotated coefficients
+    for b in range(N_BATCHES):
+        X = rng.normal(size=(BATCH, N_FEATURES))
+        coef = before if b < N_BATCHES // 2 else after
+        noise = 0.3 if b < N_BATCHES // 2 else 0.9  # noisier regime too
+        yield X, X @ coef + noise * rng.normal(size=BATCH)
 
 
 def main() -> None:
-    dataset = load_dataset("ccpp").subsample(2500, seed=0)
-    split = train_test_split(dataset, seed=0)
-    scaler = StandardScaler().fit(split.X_train)
-    X_train = scaler.transform(split.X_train)
-    X_test = scaler.transform(split.X_test)
+    config = RegHDConfig(dim=1000, n_models=4, seed=0)
+
+    # Batch conformal: train + calibrate once, on pre-drift data only —
+    # all a one-shot pipeline ever gets to see.
+    rng = np.random.default_rng(99)
+    X_hist = rng.normal(size=(1500, N_FEATURES))
+    y_hist = X_hist @ np.array([2.0, -1.0, 0.5, 1.5, -0.5])
+    y_hist += 0.3 * rng.normal(size=1500)
+    batch = ConformalRegressor(
+        MultiModelRegHD(N_FEATURES, config), alpha=ALPHA, seed=0
+    ).fit(X_hist, y_hist)
+
+    # Streaming conformal: calibrates prequentially as the data arrives.
+    stream = StreamingRegHD(
+        N_FEATURES,
+        config,
+        conformal=AdaptiveConformal(alpha=ALPHA, window=250, gamma=0.002),
+    )
+
+    segments = {}  # segment label -> coverage bookkeeping
+    for b, (X, y) in enumerate(make_stream()):
+        if b < N_BATCHES // 2:
+            seg = "pre-drift"
+        elif b < N_BATCHES // 2 + 10:
+            seg = "drift transient"  # the residual window is re-filling
+        else:
+            seg = "post-drift"
+        stats = segments.setdefault(
+            seg, {"n": 0, "n_rows": 0, "batch_hits": 0, "stream_hits": 0,
+                  "batch_width": 0.0, "stream_width": 0.0}
+        )
+        stats["n_rows"] += len(y)
+
+        # Batch: the frozen model + frozen quantile.
+        interval = batch.predict_interval(X)
+        stats["batch_hits"] += int(interval.covers(y).sum())
+        stats["batch_width"] += float(interval.width.sum())
+
+        # Streaming: record the calibrator's prequential score delta
+        # around the update (update() predicts, scores, then trains).
+        cal = stream.conformal
+        covered_before, width = cal.n_covered, 2.0 * cal.quantile()
+        scored_before = cal.n_scored
+        stream.update(X, y)
+        scored = cal.n_scored - scored_before
+        if scored:  # warm-up batches are not scored (infinite band)
+            stats["stream_hits"] += cal.n_covered - covered_before
+            stats["stream_width"] += width * scored
+            stats["n"] += scored
 
     rows = []
-    for alpha in (0.32, 0.1, 0.05):
-        conformal = ConformalRegressor(
-            MultiModelRegHD(
-                dataset.n_features, RegHDConfig(dim=1000, n_models=8, seed=0)
-            ),
-            alpha=alpha,
-            seed=0,
-        ).fit(X_train, split.y_train)
-        interval = conformal.predict_interval(X_test)
+    for seg, s in segments.items():
+        n = s["n"] or 1
         rows.append(
             {
-                "alpha": alpha,
-                "target_coverage": 1.0 - alpha,
-                "empirical_coverage": float(
-                    interval.covers(split.y_test).mean()
-                ),
-                "interval_width_MW": float(interval.width.mean()),
+                "segment": seg,
+                "target": 1.0 - ALPHA,
+                "batch_coverage": s["batch_hits"] / s["n_rows"],
+                "batch_width": s["batch_width"] / s["n_rows"],
+                "stream_coverage": s["stream_hits"] / n,
+                "stream_width": s["stream_width"] / n,
             }
         )
     print(
         render_table(
             rows,
             precision=3,
-            title=f"Conformal RegHD on '{dataset.name}' "
-            f"(targets in MW; {split.n_test} held-out plants-hours)",
+            title=(
+                "Nominal 90% intervals across a concept shift "
+                "(batch = frozen split-conformal, stream = AdaptiveConformal)"
+            ),
         )
     )
-
-    interval = conformal.predict_interval(X_test[:5])
-    print("\nfirst five test predictions (alpha = 0.05):")
-    for low, pred, up, truth in zip(
-        interval.lower, interval.prediction, interval.upper, split.y_test[:5]
-    ):
-        marker = "ok " if low <= truth <= up else "MISS"
-        print(
-            f"  [{low:7.1f}, {up:7.1f}]  point {pred:7.1f}  "
-            f"true {truth:7.1f}  {marker}"
-        )
+    print(
+        "\nThe frozen batch calibration under-covers once the concept\n"
+        "shifts; the streaming calibrator's rolling window + ACI update\n"
+        f"pulls coverage back toward {1.0 - ALPHA:.0%} "
+        f"(working alpha ended at {stream.conformal.alpha_t:.3f})."
+    )
 
 
 if __name__ == "__main__":

@@ -56,7 +56,9 @@ from repro.datasets.preprocessing import StandardScaler
 from repro.engine import run_inference_benchmark
 from repro.evaluation import render_table, run_on_split
 from repro.metrics import mean_squared_error, r2_score
+from repro.noise.injection import outlier_burst
 from repro.reliability import GuardPolicy, ResilientStreamingRegHD, Watchdog, retry_call
+from repro.robust import AdaptiveConformal
 from repro.streaming import PageHinkley
 from repro import telemetry
 
@@ -132,6 +134,18 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="execution-runtime backend for the compiled serving path "
         "(default: auto from the model's quantisation config)",
+    )
+    predict.add_argument(
+        "--intervals",
+        action="store_true",
+        help="print distributional predictions (mean, lower, upper from "
+        "the k-model mixture) instead of bare points",
+    )
+    predict.add_argument(
+        "--alpha",
+        type=float,
+        default=0.1,
+        help="miscoverage level for --intervals bands (default 0.1)",
     )
     _add_metrics_out(predict)
 
@@ -217,6 +231,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="recover from the newest valid checkpoint in --checkpoint-dir",
+    )
+    stream.add_argument(
+        "--intervals",
+        action="store_true",
+        help="attach a streaming conformal calibrator and report its "
+        "prequential coverage",
+    )
+    stream.add_argument(
+        "--alpha",
+        type=float,
+        default=0.1,
+        help="conformal miscoverage level for --intervals (default 0.1)",
+    )
+    stream.add_argument(
+        "--contaminate",
+        type=float,
+        default=0.0,
+        help="inject correlated heavy-tailed outliers into this fraction "
+        "of stream rows (outlier_burst; 0 disables)",
+    )
+    stream.add_argument(
+        "--contaminate-magnitude",
+        type=float,
+        default=10.0,
+        help="outlier magnitude in per-column RMS units",
     )
     _add_metrics_out(stream)
 
@@ -383,6 +422,20 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     if sidecar.exists():
         params = json.loads(sidecar.read_text())
         X = (X - np.asarray(params["mean"])) / np.asarray(params["scale"])
+    if args.intervals:
+        if not hasattr(model, "predict_dist"):
+            print(
+                f"{type(model).__name__} has no distributional output; "
+                "--intervals needs a multi-model (k-cluster) RegHD model",
+                file=sys.stderr,
+            )
+            return 1
+        dist = model.predict_dist(X, alpha=args.alpha)
+        print("prediction lower upper")
+        for mean, lo, hi in zip(dist.mean, dist.lower, dist.upper):
+            print(f"{mean:.6f} {lo:.6f} {hi:.6f}")
+        _write_metrics(registry, args)
+        return 0
     # Pure-inference workload: serve through the compiled engine (packed
     # popcount kernels on quantised configs) when the model supports it.
     if hasattr(model, "compile"):
@@ -503,6 +556,17 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     scaler = StandardScaler().fit(dataset.X)
     X_all = scaler.transform(dataset.X)
     y_all = dataset.y
+    if args.contaminate > 0.0:
+        # Joint [x, y] contamination: the burst direction correlates
+        # features and target, the workload the mahalanobis policy gates.
+        Z = np.hstack([X_all, y_all[:, np.newaxis]])
+        Z = outlier_burst(
+            Z,
+            args.contaminate,
+            seed=args.seed,
+            magnitude=args.contaminate_magnitude,
+        )
+        X_all, y_all = Z[:, :-1], Z[:, -1]
 
     watchdog = Watchdog() if args.watchdog else None
     common = dict(
@@ -513,6 +577,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         watchdog=watchdog,
         scrub_every=args.scrub_every,
     )
+    if args.intervals and not args.resume:
+        # On --resume the checkpointed calibrator (when present) is
+        # restored instead, keeping its window and coverage counters.
+        common["conformal"] = AdaptiveConformal(alpha=args.alpha)
     if args.resume:
         if not args.checkpoint_dir:
             print("--resume requires --checkpoint-dir", file=sys.stderr)
@@ -560,6 +628,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     print(f"final preq. MSE   : {float(np.nanmean(curve[-5:])):.4f}")
     print(f"drift events      : {stream.history.drift_events}")
     print(f"rollbacks         : {len(stream.rollbacks)}")
+    if stream.guard is not None and stream.guard.gate is not None:
+        print(f"rows gated        : {stream.guard.total.n_gated_rows}")
+    if stream.conformal is not None:
+        print(
+            f"conformal         : coverage "
+            f"{stream.conformal.coverage:.3f} @ alpha "
+            f"{stream.conformal.alpha}, half-width "
+            f"{stream.conformal.quantile():.4f}"
+        )
     if stream.checkpoints is not None:
         infos = stream.checkpoints.checkpoints()
         print(f"checkpoints kept  : {[i.path.name for i in infos]}")

@@ -48,6 +48,8 @@ from repro.encoding.nonlinear import NonlinearEncoder
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.ops.generate import random_bipolar
 from repro.registry import register_model
+from repro.robust.conformal import AdaptiveConformal
+from repro.robust.distribution import DistributionalPrediction, mixture_moments
 from repro.runtime import (
     ClusterOperand,
     ModelOperand,
@@ -342,6 +344,81 @@ class MultiModelRegHD(BaseRegHDEstimator):
             raise NotFittedError("confidences called before fit")
         S = self._encode_normalized(check_2d("X", X))
         return self._confidences(self._cluster_similarities(Query(S)))
+
+    def responsibilities(
+        self, X: ArrayLike, *, temperature: float | None = None
+    ) -> FloatArray:
+        """Soft-cluster responsibilities per input row: ``(n, k)``.
+
+        The same softmax confidences that weight Eq. (6), read as mixture
+        weights.  ``temperature`` overrides the config's ``softmax_temp``
+        (an *inverse* temperature β) for this call only — larger values
+        sharpen toward the argmax cluster, smaller values flatten toward
+        uniform — without touching the sharpness training uses.
+        """
+        if not self._fitted:
+            raise NotFittedError("responsibilities called before fit")
+        if temperature is None:
+            temperature = self.config.softmax_temp
+        elif temperature <= 0:
+            raise ConfigurationError(
+                f"temperature must be > 0, got {temperature}"
+            )
+        S = self._encode_normalized(check_2d("X", X))
+        sims = self._cluster_similarities(Query(S))
+        return self.runtime.confidences(sims, float(temperature))
+
+    def predict_dist(
+        self,
+        X: ArrayLike,
+        *,
+        alpha: float = 0.1,
+        temperature: float | None = None,
+        conformal: AdaptiveConformal | None = None,
+    ) -> DistributionalPrediction:
+        """Distributional prediction from the k-model mixture.
+
+        The responsibilities are mixture weights over the k per-model dot
+        products, so mean and between-model variance come directly from
+        :func:`~repro.robust.distribution.mixture_moments` (both mapped
+        back to original target units; the mean equals :meth:`predict`
+        output exactly when ``temperature`` is not overridden).  The
+        ``1 - alpha`` band is conformal when a calibrator is passed —
+        distribution-free, from its prequential residuals — otherwise
+        Gaussian from the mixture variance (a disagreement heuristic, not
+        a calibrated guarantee).
+        """
+        if not self._fitted:
+            raise NotFittedError("predict_dist called before fit")
+        if temperature is None:
+            temperature = self.config.softmax_temp
+        elif temperature <= 0:
+            raise ConfigurationError(
+                f"temperature must be > 0, got {temperature}"
+            )
+        S = self._encode_normalized(check_2d("X", X))
+        query = self._query(S)
+        sims = self._cluster_similarities(query)
+        resp = self.runtime.confidences(sims, float(temperature))
+        dots = self.runtime.model_dots(query, self._model_op)
+        mean_scaled, var_scaled = mixture_moments(resp, dots)
+        mean = self._finalize_predictions(mean_scaled)
+        # Variances transform with the square of the affine scale.
+        variance = var_scaled * self.scaler.scale**2
+        if conformal is not None:
+            band = conformal.interval(mean)
+            lower, upper = band.lower, band.upper
+        else:
+            lower, upper = DistributionalPrediction.gaussian_band(
+                mean, variance, alpha
+            )
+        return DistributionalPrediction(
+            mean=mean,
+            variance=variance,
+            lower=lower,
+            upper=upper,
+            responsibilities=resp,
+        )
 
     @property
     def n_models(self) -> int:

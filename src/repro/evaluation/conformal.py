@@ -5,38 +5,24 @@ calibration turns any fitted regressor — RegHD included — into one with
 distribution-free finite-sample coverage guarantees: with probability at
 least ``1 - alpha`` (over the calibration draw), the interval contains
 the true target of an exchangeable test point.
+
+The interval container and the finite-sample quantile rule are shared
+with the streaming calibrator and live canonically in
+:mod:`repro.robust.conformal`; this module re-exports
+:class:`PredictionInterval` for backward compatibility.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.robust.conformal import PredictionInterval, conformal_quantile
 from repro.types import ArrayLike, FloatArray, SeedLike
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_1d, check_2d, check_matching_lengths
 
-
-@dataclass(frozen=True)
-class PredictionInterval:
-    """Lower/centre/upper bands for a batch of predictions."""
-
-    lower: FloatArray
-    prediction: FloatArray
-    upper: FloatArray
-
-    @property
-    def width(self) -> FloatArray:
-        """Per-query interval width."""
-        return self.upper - self.lower
-
-    def covers(self, y_true: ArrayLike) -> FloatArray:
-        """Boolean per-query coverage indicator."""
-        y = np.asarray(y_true, dtype=np.float64).ravel()
-        return (self.lower <= y) & (y <= self.upper)
+__all__ = ["ConformalRegressor", "PredictionInterval", "conformal_quantile"]
 
 
 class ConformalRegressor:
@@ -100,14 +86,9 @@ class ConformalRegressor:
         residuals = np.abs(
             y_arr[cal_idx] - self.model.predict(X_arr[cal_idx])
         )
-        # Finite-sample-corrected quantile: ceil((n+1)(1-alpha)) / n.
-        rank = math.ceil((n_cal + 1) * (1.0 - self.alpha))
-        if rank > n_cal:
-            # Not enough calibration points for this alpha: the interval
-            # must be infinite to honour the guarantee.
-            self.quantile_ = float("inf")
-        else:
-            self.quantile_ = float(np.sort(residuals)[rank - 1])
+        # Shared finite-sample rank rule; inf when the calibration split
+        # is too small for this alpha (the guarantee forces it).
+        self.quantile_ = conformal_quantile(residuals, self.alpha)
         self.n_calibration_ = n_cal
         return self
 

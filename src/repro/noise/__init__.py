@@ -6,6 +6,7 @@ from repro.noise.injection import (
     bit_flip,
     flip_bits,
     flip_signs,
+    outlier_burst,
     stuck_at_zero,
 )
 from repro.noise.robustness import (
@@ -21,6 +22,7 @@ __all__ = [
     "bit_flip",
     "flip_bits",
     "flip_signs",
+    "outlier_burst",
     "stuck_at_zero",
     "RobustnessCurve",
     "RobustnessPoint",

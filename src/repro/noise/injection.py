@@ -109,9 +109,67 @@ def stuck_at_zero(
     return out
 
 
+def outlier_burst(
+    array: ArrayLike,
+    rate: float,
+    seed: SeedLike = None,
+    *,
+    magnitude: float = 10.0,
+    tail: float = 3.0,
+) -> FloatArray:
+    """Replace a random fraction of *rows* with correlated heavy-tailed
+    outliers (2-d input) or of elements (1-d input).
+
+    Unlike the element-wise injectors above, this models *data*-level
+    contamination — a sensor burst, a mislabelled shard — rather than a
+    memory fault: every affected row is shifted by one shared random
+    direction scaled by ``magnitude`` times the per-column RMS and a
+    heavy-tailed draw (Student-t with ``tail`` degrees of freedom), so
+    the outliers are correlated across features the way a common-cause
+    fault makes them.  This is the workload behind the Mahalanobis-gate
+    contamination benchmark.
+    """
+    _check_rate(rate)
+    if magnitude <= 0:
+        raise ConfigurationError(f"magnitude must be > 0, got {magnitude}")
+    if tail <= 1.0:
+        raise ConfigurationError(
+            f"tail must be > 1 (finite-mean Student-t), got {tail}"
+        )
+    rng = as_generator(seed)
+    out = np.array(array, dtype=np.float64, copy=True)
+    if out.ndim == 1:
+        mask = rng.random(len(out)) < rate
+        if mask.any():
+            rms = float(np.sqrt(np.mean(out**2))) or 1.0
+            out[mask] += (
+                magnitude * rms * rng.standard_t(tail, size=int(mask.sum()))
+            )
+        return out
+    if out.ndim != 2:
+        raise ConfigurationError(
+            f"outlier_burst expects a 1-d or 2-d array, got shape {out.shape}"
+        )
+    mask = rng.random(len(out)) < rate
+    if mask.any():
+        rms = np.sqrt(np.mean(out**2, axis=0))
+        rms[rms == 0] = 1.0
+        # One shared unit direction: the burst is correlated across
+        # features, exactly the structure marginal z-scores miss and a
+        # covariance-aware gate catches.
+        direction = rng.normal(size=out.shape[1])
+        direction /= np.linalg.norm(direction)
+        draws = rng.standard_t(tail, size=int(mask.sum()))
+        out[mask] += (
+            magnitude * draws[:, np.newaxis] * (direction * rms)[np.newaxis, :]
+        )
+    return out
+
+
 INJECTORS = {
     "sign_flip": flip_signs,
     "bit_flip": bit_flip,
     "gaussian": add_gaussian_noise,
     "stuck_at_zero": stuck_at_zero,
+    "outlier_burst": outlier_burst,
 }

@@ -11,7 +11,13 @@ and applies one of three policies per batch:
 * ``repair`` — replace non-finite / out-of-range feature values with a
   fill value (or clip to range) and drop rows whose *target* is bad — a
   label cannot be invented;
-* ``drop``   — drop every row containing any offending value.
+* ``drop``   — drop every row containing any offending value;
+* ``mahalanobis`` — drop structurally-bad rows like ``drop``, then pass
+  the survivors through a :class:`~repro.robust.gate.MahalanobisGate`:
+  rows whose leverage (``d_x``) or studentised residual (``d_r``)
+  Mahalanobis score falls outside its chi-square envelope are dropped
+  as *statistical* outliers — values that are perfectly finite but do
+  not belong to the distribution the model is learning.
 
 Structural problems (wrong rank, wrong feature count, non-numeric dtype)
 always raise: no per-row policy can repair a batch the encoder cannot
@@ -26,8 +32,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ConfigurationError, DataGuardError
+from repro.robust.gate import GateScores, MahalanobisGate
 from repro.telemetry import metrics as _metrics
 from repro.types import ArrayLike, FloatArray
+
+#: histogram bounds for Mahalanobis guard scores: the bulk of inlier
+#: distances lands below ~4 for moderate dimensionality; outliers tail
+#: off to the open-ended overflow bucket.
+GUARD_SCORE_BUCKETS = (
+    0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0,
+)
 
 
 class GuardPolicy(enum.Enum):
@@ -36,6 +50,18 @@ class GuardPolicy(enum.Enum):
     RAISE = "raise"
     REPAIR = "repair"
     DROP = "drop"
+    MAHALANOBIS = "mahalanobis"
+
+
+def coerce_policy(policy: "GuardPolicy | str") -> GuardPolicy:
+    """Resolve a policy name, listing the valid ones on a miss."""
+    try:
+        return GuardPolicy(policy)
+    except ValueError:
+        valid = ", ".join(repr(p.value) for p in GuardPolicy)
+        raise ConfigurationError(
+            f"unknown guard policy {policy!r}; valid policies: {valid}"
+        ) from None
 
 
 @dataclass
@@ -46,6 +72,7 @@ class GuardReport:
     n_rows_out: int
     n_repaired_values: int = 0
     n_dropped_rows: int = 0
+    n_gated_rows: int = 0  # statistical outliers removed by the gate
     issues: list[str] = field(default_factory=list)
 
     @property
@@ -69,6 +96,11 @@ class InputGuard:
         to the range instead of filling).
     fill_value:
         Replacement for non-finite feature values under ``repair``.
+    gate:
+        Statistical gate used by the ``mahalanobis`` policy.  Defaults
+        to a fresh :class:`~repro.robust.gate.MahalanobisGate` over
+        ``in_features``; pass one explicitly to tune envelopes/warmup or
+        to resume a checkpointed gate.
     """
 
     def __init__(
@@ -78,13 +110,14 @@ class InputGuard:
         policy: GuardPolicy | str = GuardPolicy.RAISE,
         value_range: tuple[float, float] | None = None,
         fill_value: float = 0.0,
+        gate: MahalanobisGate | None = None,
     ):
         if in_features < 1:
             raise ConfigurationError(
                 f"in_features must be >= 1, got {in_features}"
             )
         self.in_features = int(in_features)
-        self.policy = GuardPolicy(policy)
+        self.policy = coerce_policy(policy)
         if value_range is not None:
             low, high = float(value_range[0]), float(value_range[1])
             if not low < high:
@@ -94,6 +127,14 @@ class InputGuard:
             value_range = (low, high)
         self.value_range = value_range
         self.fill_value = float(fill_value)
+        if gate is not None and gate.in_features != self.in_features:
+            raise ConfigurationError(
+                f"gate expects {gate.in_features} features, guard expects "
+                f"{self.in_features}"
+            )
+        if gate is None and self.policy is GuardPolicy.MAHALANOBIS:
+            gate = MahalanobisGate(self.in_features)
+        self.gate = gate
         self.total = GuardReport(n_rows_in=0, n_rows_out=0)
 
     # -- structural checks: never repairable -------------------------------
@@ -160,7 +201,8 @@ class InputGuard:
         )
 
         n_bad = int(bad_X.sum() + out_of_range.sum() + bad_y.sum())
-        if n_bad == 0:
+        if n_bad == 0 and self.policy is not GuardPolicy.MAHALANOBIS:
+            # Value-clean batch and no statistical gate to consult.
             self._accumulate(report)
             self._emit(report, "clean")
             return X_arr, y_arr, report
@@ -192,19 +234,39 @@ class InputGuard:
                 X_arr = np.clip(X_arr, low, high)
             report.n_repaired_values = int(bad_X.sum() + out_of_range.sum())
             keep = ~bad_y  # a missing label cannot be repaired
-        else:  # DROP
+        else:  # DROP and MAHALANOBIS share row-drop value semantics
             keep = ~(bad_X.any(axis=1) | out_of_range.any(axis=1) | bad_y)
 
         if not keep.all():
             X_arr = X_arr[keep]
             y_arr = None if y_arr is None else y_arr[keep]
             report.n_dropped_rows = int(n_rows - keep.sum())
+
+        # Statistical gating runs on the value-clean survivors: finite
+        # rows whose leverage / residual score falls outside the gate's
+        # chi-square envelope are removed as distributional outliers.
+        scores = None
+        if self.policy is GuardPolicy.MAHALANOBIS and len(X_arr):
+            scores = self.gate.filter(X_arr, y_arr)
+            if scores.n_gated:
+                X_arr = X_arr[scores.keep]
+                y_arr = None if y_arr is None else y_arr[scores.keep]
+                report.n_gated_rows = scores.n_gated
+                report.issues.append(
+                    f"{scores.n_gated} statistical outlier row(s) gated"
+                )
+
         report.n_rows_out = len(X_arr)
         self._accumulate(report)
-        self._emit(
-            report,
-            "repaired" if self.policy is GuardPolicy.REPAIR else "dropped",
-        )
+        if self.policy is GuardPolicy.REPAIR:
+            outcome = "repaired"
+        elif report.n_gated_rows:
+            outcome = "gated"
+        elif report.n_dropped_rows:
+            outcome = "dropped"
+        else:
+            outcome = "clean"
+        self._emit(report, outcome, scores=scores)
         return X_arr, y_arr, report
 
     def _accumulate(self, report: GuardReport) -> None:
@@ -212,11 +274,20 @@ class InputGuard:
         self.total.n_rows_out += report.n_rows_out
         self.total.n_repaired_values += report.n_repaired_values
         self.total.n_dropped_rows += report.n_dropped_rows
+        self.total.n_gated_rows += report.n_gated_rows
         self.total.issues.extend(report.issues)
 
-    def _emit(self, report: GuardReport, outcome: str) -> None:
+    def _emit(
+        self,
+        report: GuardReport,
+        outcome: str,
+        scores: GateScores | None = None,
+    ) -> None:
         """Count the batch outcome; dirty batches also log a structured
-        event (issues joined into one string) for the audit trail."""
+        event (issues joined into one string) for the audit trail.  When
+        the statistical gate scored the batch, the per-row leverage /
+        residual distances land in the ``reghd_guard_score`` histograms
+        and gated contamination is logged as its own event."""
         registry = _metrics.active()
         if registry is None:
             return
@@ -231,6 +302,36 @@ class InputGuard:
             registry.counter("reghd_guard_rows_dropped_total").inc(
                 report.n_dropped_rows
             )
+        if report.n_gated_rows:
+            registry.counter("reghd_guard_rows_gated_total").inc(
+                report.n_gated_rows
+            )
+        if scores is not None:
+            hist = registry.histogram(
+                "reghd_guard_score",
+                buckets=GUARD_SCORE_BUCKETS,
+                kind="leverage",
+            )
+            for value in scores.leverage:
+                hist.observe(float(value))
+            if scores.residual is not None:
+                hist = registry.histogram(
+                    "reghd_guard_score",
+                    buckets=GUARD_SCORE_BUCKETS,
+                    kind="residual",
+                )
+                for value in scores.residual:
+                    hist.observe(float(value))
+            if report.n_gated_rows:
+                finite_lev = scores.leverage[np.isfinite(scores.leverage)]
+                registry.record_event(
+                    "guard_contamination",
+                    n_rows_in=report.n_rows_in,
+                    n_gated=report.n_gated_rows,
+                    max_leverage=(
+                        float(finite_lev.max()) if len(finite_lev) else None
+                    ),
+                )
         if report.issues:
             registry.record_event(
                 "guard_batch",

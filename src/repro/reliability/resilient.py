@@ -34,6 +34,7 @@ from repro.reliability.checkpoint import CheckpointInfo, CheckpointManager
 from repro.reliability.guards import GuardPolicy, GuardReport, InputGuard
 from repro.reliability.scrub import ModelScrubber, ScrubReport
 from repro.reliability.watchdog import HealthState, Watchdog
+from repro.robust.conformal import AdaptiveConformal
 from repro.streaming import PageHinkley, StreamBatchReport, StreamingRegHD
 from repro.telemetry import metrics as _metrics
 from repro.types import ArrayLike, FloatArray
@@ -226,6 +227,10 @@ class ResilientStreamingRegHD(StreamingRegHD):
             }
         if self.watchdog is not None:
             state["watchdog"] = self.watchdog.get_state()
+        if self.conformal is not None:
+            state["conformal"] = self.conformal.get_state()
+        if self.guard is not None and self.guard.gate is not None:
+            state["guard_gate"] = self.guard.gate.get_state()
         state["history"] = self.history.get_state()
         return state
 
@@ -266,6 +271,19 @@ class ResilientStreamingRegHD(StreamingRegHD):
         history_state = stream.get("history")
         if history_state is not None:
             self.history.set_state(history_state)
+        conformal_state = stream.get("conformal")
+        if self.conformal is not None and conformal_state is not None:
+            # Rolling back the model without rolling back the calibration
+            # window would score the restored model against residuals of
+            # the diverged one; restore them together.
+            self.conformal.set_state(conformal_state)
+        gate_state = stream.get("guard_gate")
+        if (
+            gate_state is not None
+            and self.guard is not None
+            and self.guard.gate is not None
+        ):
+            self.guard.gate.set_state(gate_state)
         if self.scrubber is not None:
             self.scrubber.sync()
         return self._batch_counter
@@ -341,6 +359,13 @@ class ResilientStreamingRegHD(StreamingRegHD):
             )
         if watchdog is not None and "watchdog" in stream:
             watchdog.set_state(stream["watchdog"])
+        if "conformal" not in kwargs and "conformal" in stream:
+            # The calibrator's hyper-parameters live in its own snapshot,
+            # so recovery rebuilds it wholesale unless the caller passed
+            # a replacement.
+            kwargs["conformal"] = AdaptiveConformal.from_state(
+                stream["conformal"]
+            )
         instance = cls(
             model.in_features,
             model.config,

@@ -1,0 +1,244 @@
+"""Streaming conformal calibration over prequential residuals.
+
+The batch :class:`~repro.evaluation.conformal.ConformalRegressor` splits
+a dataset once and calibrates once; a streaming learner instead sees an
+unbounded sequence of honest (predict-then-train) residuals.
+:class:`AdaptiveConformal` turns that sequence into always-current
+prediction intervals:
+
+* a **rolling window** of the newest absolute residuals, so the
+  calibration set tracks the current concept instead of averaging over
+  every regime the stream ever visited;
+* the **finite-sample-corrected quantile** ``ceil((n+1)(1-alpha))/n`` on
+  the window — the same rank rule as the split-conformal wrapper, shared
+  through :func:`conformal_quantile`;
+* optional **adaptive alpha** (Gibbs & Candès-style ACI): each scored
+  observation nudges the working miscoverage level toward the target, so
+  sustained under-/over-coverage self-corrects even under drift.
+
+Coverage is scored *prequentially* — each incoming truth is checked
+against the interval the calibrator would have issued **before** seeing
+it — so :attr:`AdaptiveConformal.coverage` is an honest online estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry import metrics as _metrics
+from repro.types import ArrayLike, FloatArray
+
+__all__ = [
+    "AdaptiveConformal",
+    "PredictionInterval",
+    "conformal_quantile",
+]
+
+
+@dataclass(frozen=True)
+class PredictionInterval:
+    """Lower/centre/upper bands for a batch of predictions."""
+
+    lower: FloatArray
+    prediction: FloatArray
+    upper: FloatArray
+
+    @property
+    def width(self) -> FloatArray:
+        """Per-query interval width."""
+        return self.upper - self.lower
+
+    def covers(self, y_true: ArrayLike) -> FloatArray:
+        """Boolean per-query coverage indicator."""
+        y = np.asarray(y_true, dtype=np.float64).ravel()
+        return (self.lower <= y) & (y <= self.upper)
+
+
+def conformal_quantile(residuals: ArrayLike, alpha: float) -> float:
+    """Finite-sample-corrected conformal quantile of absolute residuals.
+
+    The rank rule ``ceil((n+1)(1-alpha))`` guarantees at least
+    ``1 - alpha`` marginal coverage for exchangeable data; when the
+    calibration set is too small for the requested ``alpha`` the result
+    is ``inf`` (the guarantee forces an infinite band — no silent
+    under-coverage).
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+    r = np.asarray(residuals, dtype=np.float64).ravel()
+    n = len(r)
+    if n == 0:
+        return float("inf")
+    rank = math.ceil((n + 1) * (1.0 - alpha))
+    if rank > n:
+        return float("inf")
+    return float(np.sort(r)[rank - 1])
+
+
+class AdaptiveConformal:
+    """Rolling-quantile conformal calibrator for streaming regression.
+
+    Parameters
+    ----------
+    alpha:
+        Target miscoverage; intervals aim for ``1 - alpha`` coverage.
+    window:
+        Number of newest absolute residuals retained for calibration.
+    gamma:
+        Adaptive-alpha step size (0 disables adaptation).  Each scored
+        observation moves the working level by ``gamma * (alpha - err)``
+        where ``err`` is 1 on a miss — persistent under-coverage widens
+        the next intervals, persistent over-coverage narrows them.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.1,
+        window: int = 512,
+        gamma: float = 0.0,
+    ):
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+        if window < 8:
+            raise ConfigurationError(f"window must be >= 8, got {window}")
+        if gamma < 0.0:
+            raise ConfigurationError(f"gamma must be >= 0, got {gamma}")
+        self.alpha = float(alpha)
+        self.window = int(window)
+        self.gamma = float(gamma)
+        self.alpha_t = float(alpha)  # working (possibly adapted) level
+        self._residuals: deque[float] = deque(maxlen=self.window)
+        self.n_scored = 0
+        self.n_covered = 0
+
+    # -- calibration state ---------------------------------------------------
+
+    @property
+    def n_calibration(self) -> int:
+        """Residuals currently in the rolling window."""
+        return len(self._residuals)
+
+    @property
+    def coverage(self) -> float:
+        """Prequential empirical coverage over everything scored so far.
+
+        NaN until at least one observation has been scored against a
+        finite interval.
+        """
+        if self.n_scored == 0:
+            return float("nan")
+        return self.n_covered / self.n_scored
+
+    def quantile(self) -> float:
+        """Current half-width of the interval (``inf`` while warming up)."""
+        return conformal_quantile(self._residuals, self.alpha_t)
+
+    def interval(self, prediction: ArrayLike) -> PredictionInterval:
+        """Symmetric conformal bands around point predictions."""
+        center = np.asarray(prediction, dtype=np.float64).ravel()
+        q = self.quantile()
+        return PredictionInterval(
+            lower=center - q, prediction=center, upper=center + q
+        )
+
+    # -- streaming update ----------------------------------------------------
+
+    def observe(self, y_true: ArrayLike, y_pred: ArrayLike) -> FloatArray:
+        """Score coverage of one prequential batch, then absorb residuals.
+
+        Returns the per-row coverage indicators against the interval
+        that was in force *before* this batch arrived (honest online
+        coverage).  While the quantile is still infinite the batch
+        counts as covered but is not scored — an infinite band carries
+        no information about calibration quality.
+        """
+        y_arr = np.asarray(y_true, dtype=np.float64).ravel()
+        p_arr = np.asarray(y_pred, dtype=np.float64).ravel()
+        if len(y_arr) != len(p_arr):
+            raise ConfigurationError(
+                f"y_true has {len(y_arr)} rows but y_pred has {len(p_arr)}"
+            )
+        q = self.quantile()
+        residuals = np.abs(y_arr - p_arr)
+        if math.isinf(q):
+            covered = np.ones(len(y_arr), dtype=bool)
+        else:
+            covered = residuals <= q
+            self.n_scored += len(covered)
+            self.n_covered += int(covered.sum())
+            if self.gamma > 0.0:
+                # ACI: one step per observation, in arrival order.
+                for hit in covered:
+                    err = 0.0 if hit else 1.0
+                    self.alpha_t += self.gamma * (self.alpha - err)
+                self.alpha_t = float(
+                    np.clip(self.alpha_t, 1e-4, 1.0 - 1e-4)
+                )
+            self._emit(covered, q)
+        self._residuals.extend(float(r) for r in residuals)
+        return covered
+
+    def _emit(self, covered: np.ndarray, q: float) -> None:
+        registry = _metrics.active()
+        if registry is None:
+            return
+        n_hit = int(covered.sum())
+        if n_hit:
+            registry.counter(
+                "reghd_conformal_coverage_total", outcome="covered"
+            ).inc(n_hit)
+        if len(covered) - n_hit:
+            registry.counter(
+                "reghd_conformal_coverage_total", outcome="missed"
+            ).inc(len(covered) - n_hit)
+        registry.gauge("reghd_conformal_interval_width").set(2.0 * q)
+
+    # -- state protocol ------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """JSON-serialisable snapshot (checkpoint/restore support)."""
+        return {
+            "alpha": self.alpha,
+            "window": self.window,
+            "gamma": self.gamma,
+            "alpha_t": self.alpha_t,
+            "n_scored": self.n_scored,
+            "n_covered": self.n_covered,
+            "residuals": list(self._residuals),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot (bit-exact quantiles)."""
+        self.alpha = float(state["alpha"])
+        self.window = int(state["window"])
+        self.gamma = float(state["gamma"])
+        self.alpha_t = float(state["alpha_t"])
+        self.n_scored = int(state["n_scored"])
+        self.n_covered = int(state["n_covered"])
+        self._residuals = deque(
+            (float(r) for r in state["residuals"]), maxlen=self.window
+        )
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AdaptiveConformal":
+        """Rebuild a calibrator from a :meth:`get_state` snapshot."""
+        calibrator = cls(
+            alpha=float(state["alpha"]),
+            window=int(state["window"]),
+            gamma=float(state["gamma"]),
+        )
+        calibrator.set_state(state)
+        return calibrator
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveConformal(alpha={self.alpha}, window={self.window}, "
+            f"n_calibration={self.n_calibration}, "
+            f"coverage={self.coverage:.3f})"
+        )

@@ -1,0 +1,95 @@
+"""Soft-cluster distributional outputs for multi-model RegHD.
+
+RegHD-k's point prediction is already a responsibility-weighted mixture
+(Eq. 6): softmax confidences over the k cluster similarities weight the
+k per-model dot products.  Taking the mixture seriously — in the spirit
+of Dewulf et al.'s hyperdimensional distributional regression — the same
+two arrays also yield a *predictive distribution*: the responsibilities
+are mixture weights and the per-model dots are component means, so the
+first two moments come for free.
+
+:func:`mixture_moments` computes those moments; the model packages them
+(plus an interval) as a :class:`DistributionalPrediction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.robust.conformal import PredictionInterval
+from repro.robust.moments import normal_quantile
+from repro.types import ArrayLike, FloatArray
+
+__all__ = ["DistributionalPrediction", "mixture_moments"]
+
+
+def mixture_moments(
+    responsibilities: FloatArray, components: FloatArray
+) -> tuple[FloatArray, FloatArray]:
+    """Mean and variance of a per-row discrete mixture.
+
+    ``responsibilities`` is ``(n, k)`` (rows sum to 1) and ``components``
+    the matching ``(n, k)`` component values.  The variance is the
+    between-component spread ``E[c^2] - E[c]^2`` — how much the k
+    specialised models disagree about this row — clipped at zero against
+    floating-point cancellation.
+    """
+    resp = np.asarray(responsibilities, dtype=np.float64)
+    comp = np.asarray(components, dtype=np.float64)
+    if resp.shape != comp.shape or resp.ndim != 2:
+        raise ConfigurationError(
+            "responsibilities and components must share an (n, k) shape, "
+            f"got {resp.shape} and {comp.shape}"
+        )
+    mean = (resp * comp).sum(axis=1)
+    second = (resp * comp**2).sum(axis=1)
+    return mean, np.maximum(second - mean**2, 0.0)
+
+
+@dataclass(frozen=True)
+class DistributionalPrediction:
+    """Mixture predictive distribution for a batch of queries.
+
+    ``mean``/``variance`` are the mixture moments in original target
+    units; ``lower``/``upper`` the interval band (conformal when a
+    calibrator supplied it, otherwise Gaussian from the mixture
+    variance); ``responsibilities`` the ``(n, k)`` soft-cluster weights
+    that produced them.
+    """
+
+    mean: FloatArray
+    variance: FloatArray
+    lower: FloatArray
+    upper: FloatArray
+    responsibilities: FloatArray
+
+    @property
+    def std(self) -> FloatArray:
+        """Mixture standard deviation per query."""
+        return np.sqrt(self.variance)
+
+    @property
+    def interval(self) -> PredictionInterval:
+        """The band as a :class:`PredictionInterval`."""
+        return PredictionInterval(
+            lower=self.lower, prediction=self.mean, upper=self.upper
+        )
+
+    def covers(self, y_true: ArrayLike) -> FloatArray:
+        """Boolean per-query coverage indicator of the band."""
+        return self.interval.covers(y_true)
+
+    @staticmethod
+    def gaussian_band(
+        mean: FloatArray, variance: FloatArray, alpha: float
+    ) -> tuple[FloatArray, FloatArray]:
+        """Symmetric ``1 - alpha`` Gaussian band from mixture moments."""
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError(
+                f"alpha must be in (0, 1), got {alpha}"
+            )
+        half = normal_quantile(1.0 - alpha / 2.0) * np.sqrt(variance)
+        return mean - half, mean + half

@@ -29,6 +29,7 @@ from repro.core.multi import MultiModelRegHD
 from repro.encoding.base import Encoder
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.metrics import mean_squared_error
+from repro.robust.conformal import AdaptiveConformal, PredictionInterval
 from repro.telemetry import metrics as _metrics
 from repro.types import ArrayLike, FloatArray
 from repro.utils.validation import check_1d, check_2d, check_matching_lengths
@@ -255,6 +256,11 @@ class StreamingRegHD:
         Optional bound on the number of retained
         :class:`StreamBatchReport` entries (see :class:`StreamHistory`);
         ``None`` retains the full run.
+    conformal:
+        Optional :class:`~repro.robust.conformal.AdaptiveConformal`
+        calibrator.  When present, every prequential batch feeds its
+        honest residuals into the calibrator and
+        :meth:`predict_interval` issues always-current conformal bands.
     """
 
     def __init__(
@@ -267,6 +273,7 @@ class StreamingRegHD:
         drift_shrink: float = 0.1,
         encoder: Encoder | None = None,
         max_history: int | None = None,
+        conformal: AdaptiveConformal | None = None,
     ):
         if not 0 < forgetting <= 1:
             raise ConfigurationError(
@@ -281,6 +288,7 @@ class StreamingRegHD:
         self.detector = detector
         self.drift_shrink = float(drift_shrink)
         self.history = StreamHistory(max_history)
+        self.conformal = conformal
         self._batch_counter = 0
         # Long-lived compiled serving plan plus a staleness flag.  Model
         # changes mark the plan stale; the next predict refreshes it
@@ -316,6 +324,20 @@ class StreamingRegHD:
             self._plan_stale = False
         return self._plan.predict(X)
 
+    def predict_interval(self, X: ArrayLike) -> PredictionInterval:
+        """Predict with conformal bands from the streaming calibrator.
+
+        Requires a ``conformal`` calibrator; the bands reflect every
+        prequential residual observed so far (``±inf`` while the
+        calibration window is still too small for the target coverage).
+        """
+        if self.conformal is None:
+            raise ConfigurationError(
+                "predict_interval requires a conformal calibrator; "
+                "construct the stream with conformal=AdaptiveConformal(...)"
+            )
+        return self.conformal.interval(self.predict(X))
+
     def update(self, X: ArrayLike, y: ArrayLike) -> StreamBatchReport:
         """Absorb one arriving batch (predict-then-train).
 
@@ -332,6 +354,10 @@ class StreamingRegHD:
         if self.fitted:
             predictions = self.model.predict(X_arr)
             prequential = mean_squared_error(y_arr, predictions)
+            if self.conformal is not None:
+                # Same honest predict-then-train residuals feed the
+                # conformal window, so interval coverage is prequential.
+                self.conformal.observe(y_arr, predictions)
             if self.detector is not None:
                 drift = self.detector.update(float(np.sqrt(prequential)))
             if drift:

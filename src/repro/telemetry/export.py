@@ -10,6 +10,7 @@ JSON), so a scraped artifact always says what produced it.
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 
 from repro.telemetry.metrics import (
@@ -57,6 +58,12 @@ def _labels_text(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
 
 def _number(value: float) -> str:
     as_float = float(value)
+    # Prometheus text format spells non-finite values +Inf/-Inf/NaN
+    # (histograms over unbounded scores can legitimately sum to +Inf).
+    if math.isinf(as_float):
+        return "+Inf" if as_float > 0 else "-Inf"
+    if math.isnan(as_float):
+        return "NaN"
     if as_float == int(as_float) and abs(as_float) < 1e15:
         return str(int(as_float))
     return repr(as_float)
@@ -136,7 +143,9 @@ def to_json(registry: MetricsRegistry, *, meta: dict | None = None) -> dict:
                 for bound, count in zip(metric.uppers, counts[:-1])
             ]
             entry["overflow"] = int(counts[-1])
-            entry["sum"] = float(total)
+            # Strict-JSON safety: an unbounded-score histogram can sum
+            # to inf, which json.dumps would emit as invalid `Infinity`.
+            entry["sum"] = float(total) if math.isfinite(total) else str(total)
             entry["count"] = int(n)
         entries.append(entry)
     return {"meta": dict(meta), "metrics": entries, "events": registry.events}

@@ -151,7 +151,7 @@ CATALOG: dict[str, tuple[str, str]] = {
     "reghd_guard_batches_total": (
         "counter",
         "Guarded input batches, by outcome "
-        "(clean / repaired / dropped / rejected).",
+        "(clean / repaired / dropped / gated / rejected).",
     ),
     "reghd_guard_values_repaired_total": (
         "counter",
@@ -159,7 +159,25 @@ CATALOG: dict[str, tuple[str, str]] = {
     ),
     "reghd_guard_rows_dropped_total": (
         "counter",
-        "Rows dropped by the input guard.",
+        "Rows dropped by the input guard for non-finite or "
+        "out-of-range values.",
+    ),
+    "reghd_guard_rows_gated_total": (
+        "counter",
+        "Rows removed by the Mahalanobis gate as statistical outliers.",
+    ),
+    "reghd_guard_score": (
+        "histogram",
+        "Per-row Mahalanobis guard scores, by kind (leverage / residual).",
+    ),
+    "reghd_conformal_coverage_total": (
+        "counter",
+        "Prequentially scored conformal observations, by outcome "
+        "(covered / missed).",
+    ),
+    "reghd_conformal_interval_width": (
+        "gauge",
+        "Width of the most recent conformal prediction interval.",
     ),
     "reghd_scrub_passes_total": (
         "counter",

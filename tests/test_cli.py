@@ -322,6 +322,91 @@ class TestStream:
         assert "batches processed : 5" in capsys.readouterr().out
 
 
+class TestStreamRobustness:
+    def test_mahalanobis_guard_over_contaminated_stream(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--dataset", "airfoil",
+                "--batch-size", "50",
+                "--max-batches", "20",
+                "--dim", "256",
+                "--k", "2",
+                "--guard-policy", "mahalanobis",
+                "--contaminate", "0.1",
+                "--contaminate-magnitude", "10.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rows gated" in out
+        gated = int(out.split("rows gated")[1].split(":")[1].split()[0])
+        assert gated > 0  # the burst must not sail through
+
+    def test_stream_intervals_summary(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--dataset", "boston",
+                "--batch-size", "50",
+                "--max-batches", "8",
+                "--dim", "256",
+                "--k", "2",
+                "--intervals",
+                "--alpha", "0.2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "conformal" in out
+        assert "@ alpha 0.2" in out
+
+    def test_unknown_guard_policy_lists_valid(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "stream",
+                    "--dataset", "boston",
+                    "--max-batches", "2",
+                    "--guard-policy", "bogus",
+                ]
+            )
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "mahalanobis" in err
+
+
+class TestPredictIntervals:
+    def test_predict_with_intervals(self, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        main(
+            [
+                "train",
+                "--dataset", "boston",
+                "--k", "2",
+                "--dim", "128",
+                "--epochs", "3",
+                "--max-samples", "200",
+                "--save", str(model_path),
+            ]
+        )
+        capsys.readouterr()
+
+        features = tmp_path / "features.csv"
+        rng = np.random.default_rng(0)
+        np.savetxt(features, rng.normal(size=(5, 13)), delimiter=",")
+        code = main(
+            ["predict", str(model_path), str(features), "--intervals"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].split() == ["prediction", "lower", "upper"]
+        assert len(lines) == 6  # header + 5 rows
+        for line in lines[1:]:
+            pred, lo, hi = map(float, line.split())
+            assert lo <= pred <= hi
+
+
 class TestTelemetry:
     @pytest.fixture(autouse=True)
     def _restore_sink(self):

@@ -9,9 +9,11 @@ from repro.core.multi import MultiModelRegHD
 from repro.core.single import SingleModelRegHD
 from repro.exceptions import ConfigurationError
 from repro.noise.injection import (
+    INJECTORS,
     add_gaussian_noise,
     flip_bits,
     flip_signs,
+    outlier_burst,
     stuck_at_zero,
 )
 from repro.noise.robustness import sweep_mlp, sweep_reghd
@@ -212,3 +214,61 @@ class TestBitFlipInjector:
 
         with pytest.raises(ConfigurationError):
             bit_flip(np.ones(4), rate)
+
+
+class TestOutlierBurst:
+    def test_registered_in_injectors(self):
+        assert INJECTORS["outlier_burst"] is outlier_burst
+
+    def test_rate_zero_identity(self, rng):
+        X = rng.normal(size=(20, 4))
+        np.testing.assert_array_equal(outlier_burst(X, 0.0, seed=0), X)
+
+    def test_contaminates_expected_fraction(self, rng):
+        X = rng.normal(size=(2000, 5))
+        dirty = outlier_burst(X, 0.1, seed=0)
+        changed = (dirty != X).any(axis=1).mean()
+        assert 0.07 <= changed <= 0.13
+
+    def test_rows_shift_along_shared_direction(self, rng):
+        """Every contaminated row moves along one common direction —
+        the correlated structure marginal checks cannot see."""
+        X = rng.normal(size=(500, 4))
+        dirty = outlier_burst(X, 0.2, seed=0, magnitude=20.0)
+        delta = dirty - X
+        moved = delta[(delta != 0).any(axis=1)]
+        units = moved / np.linalg.norm(moved, axis=1, keepdims=True)
+        cosines = np.abs(units @ units[0])
+        np.testing.assert_allclose(cosines, 1.0, atol=1e-10)
+
+    def test_magnitude_scales_shift(self, rng):
+        X = rng.normal(size=(500, 3))
+        small = outlier_burst(X, 0.2, seed=0, magnitude=2.0)
+        large = outlier_burst(X, 0.2, seed=0, magnitude=20.0)
+        np.testing.assert_allclose(large - X, 10.0 * (small - X))
+
+    def test_one_dimensional_input(self, rng):
+        v = rng.normal(size=500)
+        dirty = outlier_burst(v, 0.1, seed=0, magnitude=10.0)
+        changed = dirty != v
+        assert 0.05 <= changed.mean() <= 0.16
+        assert np.abs(dirty[changed] - v[changed]).min() > 0.0
+
+    def test_deterministic_and_pure(self, rng):
+        X = rng.normal(size=(100, 3))
+        X_copy = X.copy()
+        a = outlier_burst(X, 0.3, seed=7)
+        b = outlier_burst(X, 0.3, seed=7)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(X, X_copy)  # input not mutated
+
+    def test_invalid_arguments(self, rng):
+        X = rng.normal(size=(10, 3))
+        with pytest.raises(ConfigurationError):
+            outlier_burst(X, 1.5)
+        with pytest.raises(ConfigurationError):
+            outlier_burst(X, 0.1, magnitude=0.0)
+        with pytest.raises(ConfigurationError):
+            outlier_burst(X, 0.1, tail=1.0)
+        with pytest.raises(ConfigurationError):
+            outlier_burst(np.zeros((2, 2, 2)), 0.1)

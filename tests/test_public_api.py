@@ -17,6 +17,7 @@ PUBLIC_MODULES = [
     "repro.noise",
     "repro.evaluation",
     "repro.rl",
+    "repro.robust",
     "repro.telemetry",
 ]
 

@@ -24,6 +24,8 @@ RUNTIME_DIR = SRC / "repro" / "runtime"
 BINDING_OPS = SRC / "repro" / "ops" / "binding.py"
 #: the telemetry layer — the only sanctioned wall-clock site
 TELEMETRY_DIR = SRC / "repro" / "telemetry"
+#: robust statistics — the only sanctioned covariance/Mahalanobis site
+ROBUST_DIR = SRC / "repro" / "robust"
 
 
 def _python_sources():
@@ -166,6 +168,22 @@ def test_no_ad_hoc_timing_outside_telemetry():
     assert not hits, (
         "ad-hoc wall-clock read outside repro/telemetry — use "
         "repro.telemetry.timing.monotonic (or a span):\n" + "\n".join(hits)
+    )
+
+
+def test_no_ad_hoc_covariance_outside_robust():
+    """Covariance estimation, matrix (pseudo-)inversion and Mahalanobis
+    scoring live in repro/robust only.  ``np.linalg.solve`` (ridge normal
+    equations), ``lstsq`` and ``norm`` are ordinary linear algebra and
+    stay unaffected; *mentioning* the mahalanobis guard policy is fine,
+    re-implementing the scoring is not."""
+    hits = _offending_lines(
+        r"np\.cov\(|np\.linalg\.(pinvh?|inv|eigh?|cholesky)\(|def\s+\w*mahalanobis",
+        exclude=set(ROBUST_DIR.rglob("*.py")),
+    )
+    assert not hits, (
+        "ad-hoc covariance/Mahalanobis code outside repro/robust — use "
+        "RobustMomentTracker / MahalanobisGate:\n" + "\n".join(hits)
     )
 
 

@@ -1,0 +1,121 @@
+"""Tests for soft-cluster distributional outputs."""
+
+import numpy as np
+import pytest
+
+from repro import MultiModelRegHD, RegHDConfig
+from repro.core import ConvergencePolicy
+from repro.exceptions import ConfigurationError
+from repro.robust import (
+    AdaptiveConformal,
+    DistributionalPrediction,
+    mixture_moments,
+)
+
+
+class TestMixtureMoments:
+    def test_known_mixture(self):
+        resp = np.array([[0.5, 0.5], [1.0, 0.0]])
+        comp = np.array([[1.0, 3.0], [2.0, 99.0]])
+        mean, var = mixture_moments(resp, comp)
+        np.testing.assert_allclose(mean, [2.0, 2.0])
+        np.testing.assert_allclose(var, [1.0, 0.0])
+
+    def test_variance_never_negative(self, rng):
+        resp = rng.dirichlet(np.ones(4), size=50)
+        comp = rng.normal(size=(50, 4)) * 1e-9  # cancellation territory
+        _, var = mixture_moments(resp, comp)
+        assert (var >= 0.0).all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            mixture_moments(np.ones((3, 2)), np.ones((3, 3)))
+        with pytest.raises(ConfigurationError):
+            mixture_moments(np.ones(3), np.ones(3))
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(400, 4))
+    y = X @ np.array([1.0, -0.5, 0.3, 0.8]) + 0.2 * rng.normal(size=400)
+    model = MultiModelRegHD(
+        4,
+        RegHDConfig(
+            dim=512, n_models=4, seed=0,
+            convergence=ConvergencePolicy(max_epochs=8, patience=3),
+        ),
+    ).fit(X, y)
+    return model, X, y
+
+
+class TestResponsibilities:
+    def test_rows_sum_to_one(self, fitted_model):
+        model, X, _ = fitted_model
+        resp = model.responsibilities(X[:20])
+        assert resp.shape == (20, 4)
+        np.testing.assert_allclose(resp.sum(axis=1), 1.0)
+        assert (resp >= 0.0).all()
+
+    def test_larger_temperature_sharpens(self, fitted_model):
+        """softmax_temp is an inverse temperature: larger values push
+        responsibilities toward the argmax cluster."""
+        model, X, _ = fitted_model
+        soft = model.responsibilities(X[:20], temperature=1.0)
+        sharp = model.responsibilities(X[:20], temperature=100.0)
+        assert sharp.max(axis=1).mean() > soft.max(axis=1).mean()
+
+    def test_invalid_temperature(self, fitted_model):
+        model, X, _ = fitted_model
+        with pytest.raises(ConfigurationError):
+            model.responsibilities(X[:5], temperature=0.0)
+        with pytest.raises(ConfigurationError):
+            model.responsibilities(X[:5], temperature=-1.0)
+
+
+class TestPredictDist:
+    def test_mean_matches_point_prediction(self, fitted_model):
+        model, X, _ = fitted_model
+        dist = model.predict_dist(X[:50])
+        np.testing.assert_array_equal(dist.mean, model.predict(X[:50]))
+
+    def test_structure(self, fitted_model):
+        model, X, _ = fitted_model
+        dist = model.predict_dist(X[:10], alpha=0.1)
+        assert isinstance(dist, DistributionalPrediction)
+        assert dist.responsibilities.shape == (10, 4)
+        assert (dist.variance >= 0.0).all()
+        assert (dist.lower <= dist.mean).all()
+        assert (dist.mean <= dist.upper).all()
+        np.testing.assert_allclose(dist.std, np.sqrt(dist.variance))
+
+    def test_gaussian_band_width_scales_with_alpha(self, fitted_model):
+        model, X, _ = fitted_model
+        strict = model.predict_dist(X[:20], alpha=0.05)
+        loose = model.predict_dist(X[:20], alpha=0.5)
+        assert (strict.interval.width >= loose.interval.width).all()
+
+    def test_conformal_band_overrides_gaussian(self, fitted_model):
+        model, X, y = fitted_model
+        calibrator = AdaptiveConformal(alpha=0.1, window=256)
+        preds = model.predict(X)
+        calibrator.observe(y, preds)
+        dist = model.predict_dist(X[:20], conformal=calibrator)
+        q = calibrator.quantile()
+        np.testing.assert_allclose(dist.interval.width, 2.0 * q)
+
+    def test_coverage_of_conformal_band(self, fitted_model):
+        model, X, y = fitted_model
+        calibrator = AdaptiveConformal(alpha=0.1, window=256)
+        calibrator.observe(y[:300], model.predict(X[:300]))
+        dist = model.predict_dist(X[300:], conformal=calibrator)
+        assert dist.covers(y[300:]).mean() >= 0.8
+
+    def test_gaussian_band_static(self):
+        mean = np.array([0.0, 10.0])
+        var = np.array([1.0, 4.0])
+        lower, upper = DistributionalPrediction.gaussian_band(mean, var, 0.05)
+        np.testing.assert_allclose(upper - mean, 1.96 * np.sqrt(var), rtol=1e-3)
+        np.testing.assert_allclose(mean - lower, upper - mean)
+        with pytest.raises(ConfigurationError):
+            DistributionalPrediction.gaussian_band(mean, var, 0.0)

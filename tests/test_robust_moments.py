@@ -1,0 +1,235 @@
+"""Tests for streaming robust moments and Mahalanobis gating."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.robust import (
+    MahalanobisGate,
+    RobustMomentTracker,
+    chi2_quantile,
+    normal_quantile,
+)
+from repro.robust.moments import clipped_eigh, mahalanobis2_from
+
+
+class TestQuantileApproximations:
+    @pytest.mark.parametrize(
+        "p, expected",
+        [
+            (0.5, 0.0),
+            (0.975, 1.959964),
+            (0.995, 2.575829),
+            (0.001, -3.090232),
+        ],
+    )
+    def test_normal_quantile(self, p, expected):
+        assert normal_quantile(p) == pytest.approx(expected, abs=1e-6)
+
+    def test_normal_quantile_endpoints(self):
+        assert normal_quantile(0.0) == float("-inf")
+        assert normal_quantile(1.0) == float("inf")
+        with pytest.raises(ConfigurationError):
+            normal_quantile(1.5)
+
+    @pytest.mark.parametrize(
+        "p, k, expected",
+        [
+            # Reference values from scipy.stats.chi2.ppf; Wilson-Hilferty
+            # is only good to a few parts in a thousand, hence rel=0.03.
+            (0.95, 1, 3.8415),
+            (0.975, 4, 11.1433),
+            (0.995, 8, 21.9550),
+            (0.9, 2, 4.6052),
+        ],
+    )
+    def test_chi2_quantile(self, p, k, expected):
+        assert chi2_quantile(p, k) == pytest.approx(expected, rel=0.03)
+
+    def test_chi2_invalid(self):
+        with pytest.raises(ConfigurationError):
+            chi2_quantile(0.95, 0)
+        with pytest.raises(ConfigurationError):
+            chi2_quantile(0.0, 2)
+
+
+class TestClippedEigh:
+    def test_full_rank(self, rng):
+        A = rng.normal(size=(4, 4))
+        cov = A @ A.T + 0.1 * np.eye(4)
+        eigvals, eigvecs, kept = clipped_eigh(cov)
+        assert kept.all()
+        d2 = mahalanobis2_from(eigvals, eigvecs, kept, np.zeros((1, 4)))
+        assert d2[0] == 0.0
+
+    def test_null_space_scores_inf(self):
+        cov = np.diag([1.0, 0.0])  # second direction never moved
+        eigvals, eigvecs, kept = clipped_eigh(cov)
+        assert kept.sum() == 1
+        delta = np.array([[0.0, 1.0], [1.0, 0.0]])
+        d2 = mahalanobis2_from(eigvals, eigvecs, kept, delta)
+        assert np.isinf(d2[0])  # movement along the dead direction
+        assert d2[1] == pytest.approx(1.0)  # ordinary direction unaffected
+
+
+class TestRobustMomentTracker:
+    def test_converges_to_true_moments(self, rng):
+        true_mean = np.array([1.0, -2.0, 0.5])
+        L = np.array([[1.0, 0, 0], [0.5, 1.2, 0], [-0.3, 0.1, 0.8]])
+        X = true_mean + rng.normal(size=(5000, 3)) @ L.T
+        tracker = RobustMomentTracker(3)
+        tracker.update(X)
+        np.testing.assert_allclose(tracker.mean, true_mean, atol=0.1)
+        np.testing.assert_allclose(tracker.covariance, L @ L.T, atol=0.15)
+
+    def test_batch_vs_incremental_merge(self, rng):
+        """Chan merges over many small batches match one big update."""
+        X = rng.normal(size=(1000, 4)) * [1.0, 2.0, 0.5, 3.0]
+        whole = RobustMomentTracker(4)
+        whole.update(X)
+        pieces = RobustMomentTracker(4)
+        for start in range(0, 1000, 37):  # deliberately ragged batches
+            pieces.update(X[start : start + 37])
+        np.testing.assert_allclose(pieces.mean, whole.mean, atol=1e-10)
+        np.testing.assert_allclose(
+            pieces.covariance, whole.covariance, atol=1e-10
+        )
+
+    def test_reweighting_excludes_outliers(self, rng):
+        tracker = RobustMomentTracker(2, warmup=32)
+        tracker.update(rng.normal(size=(200, 2)))
+        assert tracker.warm
+        mean_before = tracker.mean.copy()
+        X_bad = np.full((20, 2), 100.0)
+        tracker.score_and_update(X_bad)
+        assert tracker.n_rejected == 20
+        np.testing.assert_allclose(tracker.mean, mean_before)
+
+    def test_warmup_absorbs_everything(self, rng):
+        tracker = RobustMomentTracker(2, warmup=100)
+        tracker.score_and_update(rng.normal(size=(10, 2)))
+        assert not tracker.warm
+        assert tracker.n_rejected == 0
+        assert tracker.weight == 10.0
+
+    def test_constant_feature_inf_scoring(self, rng):
+        X = rng.normal(size=(100, 3))
+        X[:, 1] = 7.0
+        tracker = RobustMomentTracker(3)
+        tracker.update(X)
+        probe = X[:1].copy()
+        probe[0, 1] = 8.0  # moves the frozen coordinate
+        assert np.isinf(tracker.mahalanobis2(probe))[0]
+        assert np.isfinite(tracker.mahalanobis2(X[:1]))[0]
+
+    def test_decay_forgets_old_regime(self, rng):
+        tracker = RobustMomentTracker(2, decay=0.5)
+        for _ in range(20):
+            tracker.update(np.zeros((10, 2)) + [10.0, 10.0])
+        for _ in range(20):
+            tracker.update(rng.normal(size=(10, 2)))
+        np.testing.assert_allclose(tracker.mean, [0.0, 0.0], atol=0.5)
+
+    def test_zero_weight_batch_is_noop(self, rng):
+        tracker = RobustMomentTracker(2)
+        tracker.update(rng.normal(size=(50, 2)))
+        mean = tracker.mean.copy()
+        tracker.update(np.full((5, 2), 1e6), weights=np.zeros(5))
+        np.testing.assert_array_equal(tracker.mean, mean)
+
+    def test_state_roundtrip(self, rng):
+        tracker = RobustMomentTracker(3, reweight_p=0.99, decay=0.999)
+        tracker.score_and_update(rng.normal(size=(100, 3)))
+        clone = RobustMomentTracker.from_state(tracker.get_state())
+        np.testing.assert_array_equal(clone.mean, tracker.mean)
+        np.testing.assert_array_equal(clone.covariance, tracker.covariance)
+        probe = rng.normal(size=(5, 3))
+        np.testing.assert_array_equal(
+            clone.mahalanobis2(probe), tracker.mahalanobis2(probe)
+        )
+
+    def test_state_dim_mismatch(self, rng):
+        tracker = RobustMomentTracker(3)
+        with pytest.raises(ConfigurationError, match="dim"):
+            RobustMomentTracker(2).set_state(tracker.get_state())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dim": 0},
+            {"dim": 2, "reweight_p": 1.0},
+            {"dim": 2, "warmup": 0},
+            {"dim": 2, "decay": 0.0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        dim = kwargs.pop("dim")
+        with pytest.raises(ConfigurationError):
+            RobustMomentTracker(dim, **kwargs)
+
+
+def _joint_task(rng, n=400, d=3):
+    X = rng.normal(size=(n, d))
+    y = X @ np.arange(1, d + 1, dtype=float) + 0.1 * rng.normal(size=n)
+    return X, y
+
+
+class TestMahalanobisGate:
+    def test_warm_gate_admits_clean_rows(self, rng):
+        gate = MahalanobisGate(3)
+        X, y = _joint_task(rng)
+        gate.filter(X, y)
+        X2, y2 = _joint_task(rng, 50)
+        scores = gate.score(X2, y2)
+        assert scores.active
+        assert scores.keep.mean() > 0.9
+
+    def test_leverage_and_residual_channels(self, rng):
+        gate = MahalanobisGate(3)
+        X, y = _joint_task(rng)
+        gate.filter(X, y)
+        X2, y2 = _joint_task(rng, 10)
+        X2[0] += 30.0  # leverage outlier
+        y2[1] += 50.0  # residual outlier
+        scores = gate.score(X2, y2)
+        assert not scores.keep[0] and scores.leverage[0] > scores.leverage[2]
+        assert not scores.keep[1] and scores.residual[1] > scores.residual[2]
+        assert scores.keep[2:].all()
+
+    def test_inference_scoring_skips_residual(self, rng):
+        gate = MahalanobisGate(3)
+        X, y = _joint_task(rng)
+        gate.filter(X, y)
+        scores = gate.score(X[:5])
+        assert scores.residual is None
+        assert scores.keep.all()
+
+    def test_filter_counts_gated(self, rng):
+        gate = MahalanobisGate(3, warmup=32)
+        X, y = _joint_task(rng)
+        gate.filter(X, y)
+        X2, y2 = _joint_task(rng, 20)
+        X2[:3] += 30.0
+        scores = gate.filter(X2, y2)
+        assert scores.n_gated >= 3
+        assert gate.n_gated >= 3
+
+    def test_state_roundtrip(self, rng):
+        gate = MahalanobisGate(3, leverage_p=0.99, warmup=32)
+        X, y = _joint_task(rng)
+        gate.filter(X, y)
+        clone = MahalanobisGate.from_state(gate.get_state())
+        assert clone.n_gated == gate.n_gated
+        X2, y2 = _joint_task(rng, 20)
+        X2[0] += 30.0
+        np.testing.assert_array_equal(
+            clone.score(X2, y2).keep, gate.score(X2, y2).keep
+        )
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            MahalanobisGate(0)
+        with pytest.raises(ConfigurationError):
+            MahalanobisGate(3, leverage_p=0.0)
+        with pytest.raises(ConfigurationError):
+            MahalanobisGate(3, residual_p=1.0)
