@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Standalone benchmark regression gate.
+
+Compares two ``BENCH_inference.json`` records and exits non-zero when the
+newer one regresses throughput beyond the threshold::
+
+    python benchmarks/compare.py BENCH_inference.json new.json
+
+Same-machine, same-parameter records diff raw ``rows_per_s`` per
+``(dim, variant)`` cell; the same workload on a different machine falls
+back to comparing the machine-independent speedup ratios with doubled
+slack; records with different benchmark parameters (quick vs full
+sweep) are incomparable and pass with a warning.  ``repro bench
+--compare BASELINE`` runs the identical check in-process right after a
+benchmark finishes (see
+:func:`repro.engine.bench.compare_inference_records`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.engine.bench import compare_inference_records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="reference BENCH_inference.json")
+    parser.add_argument("current", help="newly produced benchmark record")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="fractional rows/s drop that counts as a regression "
+        "(default 0.10; cross-machine or quick-mode records double it)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+    report = compare_inference_records(
+        baseline, current, threshold=args.threshold
+    )
+
+    mode = "rows/s (same machine+params)" if report["strict"] else (
+        "speedup ratios (machine-independent)"
+    )
+    print(f"benchmark compare: {mode}, {report['compared']} cells")
+    if report["note"]:
+        print(f"note: {report['note']}")
+    for line in report["lines"]:
+        marker = "  REGRESSION " if line in report["regressions"] else "  "
+        print(marker + line)
+    if not report["compared"]:
+        print("warning: no comparable cells between the two records")
+        return 0
+    if report["regressions"]:
+        print(
+            f"{len(report['regressions'])} regression(s) beyond "
+            f"{report['threshold']:.0%}"
+        )
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

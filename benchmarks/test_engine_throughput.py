@@ -52,17 +52,23 @@ def test_engine_throughput_sweep(record):
     for dim, ratios in record["speedups"].items():
         lines.append(
             f"D={dim:>6}: packed {ratios['packed_vs_float']:.2f}x, "
+            f"packed_v2 {ratios['packed_v2_vs_float']:.2f}x, "
             f"packed+threads {ratios['packed_mt_vs_float']:.2f}x vs float"
         )
     save_result("engine_throughput", "\n".join(lines))
     print("\n" + "\n".join(lines))
 
-    # Acceptance shape: packed wins for the quantised config at D >= 4096.
+    # Acceptance shape: packed wins for the quantised config at D >= 4096,
+    # and the second-generation backend supersedes it.
     for dim, ratios in record["speedups"].items():
         if int(dim) >= 4096:
             assert ratios["packed_vs_float"] > 1.0, (
                 f"packed slower than float at D={dim}: "
                 f"{ratios['packed_vs_float']:.2f}x"
+            )
+            assert ratios["packed_v2_vs_float"] > 1.0, (
+                f"packed_v2 slower than float at D={dim}: "
+                f"{ratios['packed_v2_vs_float']:.2f}x"
             )
 
 
@@ -83,3 +89,9 @@ def test_variants_agree_numerically():
         atol=1e-10,
     )
     np.testing.assert_allclose(unpacked.predict(X), ref, rtol=1e-9, atol=1e-10)
+    v2 = model.compile(backend="packed_v2")
+    np.testing.assert_allclose(
+        v2.predict(X, n_workers=1), ref, rtol=1e-9, atol=1e-10
+    )
+    v2_remat = model.compile(backend="packed_v2", rematerialize=True)
+    np.testing.assert_array_equal(v2_remat.predict(X), v2.predict(X))

@@ -53,7 +53,7 @@ from repro.datasets import (
     train_test_split,
 )
 from repro.datasets.preprocessing import StandardScaler
-from repro.engine import run_inference_benchmark
+from repro.engine import compare_inference_records, run_inference_benchmark
 from repro.evaluation import render_table, run_on_split
 from repro.metrics import mean_squared_error, r2_score
 from repro.noise.injection import outlier_burst
@@ -130,7 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     predict.add_argument(
         "--backend",
-        choices=["dense", "packed"],
+        choices=["dense", "packed", "packed_v2"],
         default=None,
         help="execution-runtime backend for the compiled serving path "
         "(default: auto from the model's quantisation config)",
@@ -287,9 +287,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0, help="master seed")
     bench.add_argument(
         "--backend",
-        choices=["dense", "packed"],
+        choices=["dense", "packed", "packed_v2"],
         default="packed",
-        help="execution-runtime backend for the compiled variants",
+        help="execution-runtime backend for the `packed` variant "
+        "(packed_v2/packed_mt cells always run the v2 backend)",
     )
     bench.add_argument(
         "--quick",
@@ -300,6 +301,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output",
         default="BENCH_inference.json",
         help="where to write the JSON perf record",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="diff rows/s against a reference record and exit non-zero "
+        "on a >10%% throughput regression (speedup-ratio fallback when "
+        "machines/params differ)",
     )
     _add_metrics_out(bench)
 
@@ -661,6 +670,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not dims:
         print("--dims selected no dimensionalities", file=sys.stderr)
         return 1
+    baseline = None
+    if args.compare is not None:
+        # Read before the run: the baseline may be the output path itself.
+        try:
+            baseline = json.loads(pathlib.Path(args.compare).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"--compare: cannot read {args.compare}: {exc}", file=sys.stderr)
+            return 1
     record = run_inference_benchmark(
         dims=dims,
         batch_rows=args.rows,
@@ -693,6 +710,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for dim, ratios in record["speedups"].items():
         print(
             f"D={dim:>6}: packed {ratios['packed_vs_float']:.2f}x, "
+            f"packed_v2 {ratios['packed_v2_vs_float']:.2f}x, "
             f"packed+threads {ratios['packed_mt_vs_float']:.2f}x vs float"
         )
     runtime = record["runtime"]
@@ -701,6 +719,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     out_path.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {out_path}")
     _write_metrics(registry, args)
+    if baseline is not None:
+        report = compare_inference_records(baseline, record)
+        mode = "rows/s" if report["strict"] else "speedup ratios"
+        print(f"compare vs {args.compare} ({mode}, {report['compared']} cells):")
+        if report["note"]:
+            print(f"  note: {report['note']}")
+        for line in report["lines"]:
+            marker = "  REGRESSION " if line in report["regressions"] else "  "
+            print(marker + line)
+        if report["regressions"]:
+            print(
+                f"{len(report['regressions'])} regression(s) beyond "
+                f"{report['threshold']:.0%}",
+                file=sys.stderr,
+            )
+            return 1
+        print("no regressions")
     return 0
 
 

@@ -310,6 +310,7 @@ class MultiModelRegHD(BaseRegHDEstimator):
         packed: bool | None = None,
         tile_rows: int | None = None,
         n_workers: int = 1,
+        rematerialize: bool = False,
     ) -> "CompiledPlan":
         """Freeze the fitted model into an immutable inference plan.
 
@@ -319,7 +320,8 @@ class MultiModelRegHD(BaseRegHDEstimator):
         products run as XOR + popcount — and executes batches through the
         tiled, optionally multi-threaded engine.  See
         :func:`repro.engine.compile_model` for the knobs, including the
-        ``backend``/``packed`` serving-backend selection.
+        ``backend``/``packed`` serving-backend selection and the
+        ``rematerialize`` seed-provenance memory trade.
         """
         from repro.engine import compile_model
 
@@ -329,6 +331,7 @@ class MultiModelRegHD(BaseRegHDEstimator):
             packed=packed,
             tile_rows=tile_rows,
             n_workers=n_workers,
+            rematerialize=rematerialize,
         )
 
     def cluster_assignments(self, X: ArrayLike) -> np.ndarray:

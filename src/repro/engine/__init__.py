@@ -15,12 +15,16 @@ float sign arithmetic they replace; ``repro.engine.bench`` measures the
 resulting speedup and seeds ``BENCH_inference.json``.
 """
 
-from repro.engine.bench import run_inference_benchmark
+from repro.engine.bench import (
+    compare_inference_records,
+    run_inference_benchmark,
+)
 from repro.engine.plan import CompiledPlan, auto_tile_rows, compile_model
 
 __all__ = [
     "CompiledPlan",
     "auto_tile_rows",
     "compile_model",
+    "compare_inference_records",
     "run_inference_benchmark",
 ]

@@ -7,16 +7,25 @@ so peak memory is ``n_workers`` scratch sets plus the output vector — a
 million-row batch costs no more transient memory than one tile per
 worker.
 
+Plans whose backend fuses encode→pack (``plan.fused_encode``) skip the
+float pipeline entirely: raw feature rows become packed ``uint64`` sign
+words plus per-row scales in one kernel, and the ``(tile, D)`` float
+encoding is never materialised.
+
 Tiles write disjoint slices of the shared output array, so fanning them
-out over a :class:`~concurrent.futures.ThreadPoolExecutor` needs no
-locking; BLAS, the trig ufuncs and the packed popcount kernels all
-release the GIL on tile-sized arrays.  ``n_workers=1`` bypasses the pool
-entirely (the single-threaded fallback).
+out over a thread pool needs no locking; BLAS, the trig ufuncs and the
+packed popcount kernels all release the GIL on tile-sized arrays.  The
+pool is a persistent process-wide singleton (spawning threads per
+predict call made small batches *slower* than the sequential loop), and
+batches below a measured rows×words cutoff bypass it entirely — the
+multi-threaded path is never dispatched where it cannot win.
 """
 
 from __future__ import annotations
 
+import os
 import queue
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
@@ -30,13 +39,59 @@ from repro.engine.kernels import (
     row_norms,
     sign_matrix,
 )
-from repro.runtime import Query
+from repro.runtime import EncoderOperands, Query
 from repro.telemetry import metrics as _metrics
 from repro.telemetry.timing import monotonic
 from repro.types import FloatArray
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.plan import CompiledPlan
+
+#: below this many rows × uint64 words per batch, thread fan-out costs
+#: more than it saves and the sequential loop runs instead (measured on
+#: the benchmark config: dispatch+sync overhead crosses kernel time
+#: around 2M word-elements).
+MT_MIN_ROWS_X_WORDS = 1 << 21
+
+_pool: ThreadPoolExecutor | None = None
+_pool_lock = threading.Lock()
+
+
+def _worker_pool() -> ThreadPoolExecutor:
+    """The persistent serving pool, created once per process.
+
+    Sized at ``os.cpu_count()`` threads; per-call concurrency is bounded
+    by the scratch queue, not the pool size, so one pool serves every
+    plan regardless of its ``n_workers``.
+    """
+    global _pool
+    if _pool is None:
+        with _pool_lock:
+            if _pool is None:
+                _pool = ThreadPoolExecutor(
+                    max_workers=max(2, os.cpu_count() or 1),
+                    thread_name_prefix="repro-serve",
+                )
+    return _pool
+
+
+def _effective_workers(n_workers: int, n_tiles: int, n: int, dim: int) -> int:
+    """Thread count actually worth using for this batch.
+
+    Falls back to the sequential loop when the host has one core, the
+    batch has one tile, or the total work is below the measured
+    :data:`MT_MIN_ROWS_X_WORDS` cutoff — the fix for the ``packed_mt``
+    regression, where per-call thread dispatch made small batches slower
+    than single-threaded execution.
+    """
+    workers = min(max(1, int(n_workers)), n_tiles)
+    if workers <= 1:
+        return 1
+    if (os.cpu_count() or 1) <= 1:
+        return 1
+    if n * max(1, (dim + 63) // 64) < MT_MIN_ROWS_X_WORDS:
+        return 1
+    return workers
 
 
 def _run_tile(
@@ -46,6 +101,7 @@ def _run_tile(
     hi: int,
     out: FloatArray,
     scratch: TileScratch,
+    enc: EncoderOperands | None,
 ) -> None:
     """Run one row tile through the fused pipeline into ``out[lo:hi]``."""
     X_tile = X[lo:hi]
@@ -54,28 +110,37 @@ def _run_tile(
     registry = _metrics.active()
     t0 = monotonic() if registry is not None else 0.0
 
-    # 1. Encode (Eq. 1), fused into the scratch buffers when the plan
-    #    carries a projection snapshot.
-    if plan.enc_bases is not None:
-        S = encode_tile(
-            X_tile, plan.enc_bases, plan.enc_phases, plan.enc_scale, scratch
-        )
+    if plan.fused_encode:
+        # Fused encode→pack: raw rows straight to packed words + scales,
+        # no float hypervector batch.  Exactly the stages a fully-packed
+        # plan consumes (needs_normalized and needs_signs are False).
+        words, q_scales = plan.backend.encode_pack(X_tile, enc, scratch.fused)
+        query = Query(None, words=words, scales=q_scales)
+        signs = None
     else:
-        S = np.asarray(plan.encoder.encode_batch(X_tile), dtype=np.float64)
-    norms = row_norms(S)
+        # 1. Encode (Eq. 1), fused into the scratch buffers when the plan
+        #    carries a projection snapshot.
+        if enc is not None:
+            S = encode_tile(
+                X_tile, enc.bases, enc.phases, enc.scale, scratch
+            )
+        else:
+            S = np.asarray(plan.encoder.encode_batch(X_tile), dtype=np.float64)
+        norms = row_norms(S)
 
-    # 2. Raw-encoding derivatives, before S is normalised in place:
-    #    sign bits / words and the binary-query scale are all invariant
-    #    to the positive row normalisation.
-    q_scales = (
-        query_scales(S, norms, scratch)
-        if plan.predict_quant.query_is_binary
-        else None
-    )
-    words = packed_query_words(S, scratch) if plan.needs_words else None
-    signs = sign_matrix(S, scratch) if plan.needs_signs else None
-    if plan.needs_normalized:
-        np.divide(S, norms[:, np.newaxis], out=S)
+        # 2. Raw-encoding derivatives, before S is normalised in place:
+        #    sign bits / words and the binary-query scale are all invariant
+        #    to the positive row normalisation.
+        q_scales = (
+            query_scales(S, norms, scratch)
+            if plan.predict_quant.query_is_binary
+            else None
+        )
+        words = packed_query_words(S, scratch) if plan.needs_words else None
+        signs = sign_matrix(S, scratch) if plan.needs_signs else None
+        if plan.needs_normalized:
+            np.divide(S, norms[:, np.newaxis], out=S)
+        query = Query(S, signs=signs, words=words, scales=q_scales)
     if registry is not None:
         t1 = monotonic()
         registry.histogram(
@@ -86,7 +151,6 @@ def _run_tile(
     # 3. Cluster similarities (Eq. 5) and softmax confidences, dispatched
     #    through the plan's kernel backend over the scratch-derived query.
     backend = plan.backend
-    query = Query(S, signs=signs, words=words, scales=q_scales)
     sims = backend.cluster_similarities(query, plan.cluster_op)
     conf = backend.confidences(sims, plan.softmax_temp)
     if registry is not None:
@@ -135,28 +199,34 @@ def execute_plan(
     spans = [
         (lo, min(lo + tile_rows, n)) for lo in range(0, n, tile_rows)
     ]
-    workers = min(max(1, int(n_workers)), len(spans))
+    # Rematerialised plans regenerate the projection here — once per
+    # call, shared read-only by every tile.
+    enc = plan.encoder_operands()
+    workers = _effective_workers(n_workers, len(spans), n, plan.dim)
 
     if workers == 1:
-        scratch = TileScratch(min(tile_rows, n), plan.dim)
+        scratch = TileScratch(
+            min(tile_rows, n), plan.dim, fused=plan.fused_encode
+        )
         for lo, hi in spans:
-            _run_tile(plan, X, lo, hi, out, scratch)
+            _run_tile(plan, X, lo, hi, out, scratch, enc)
         return out
 
     # One scratch set per worker, recycled through a queue; tiles write
     # disjoint output slices so no further synchronisation is needed.
     scratch_pool: queue.SimpleQueue[TileScratch] = queue.SimpleQueue()
     for _ in range(workers):
-        scratch_pool.put(TileScratch(tile_rows, plan.dim))
+        scratch_pool.put(
+            TileScratch(tile_rows, plan.dim, fused=plan.fused_encode)
+        )
 
     def _job(span: tuple[int, int]) -> None:
         scratch = scratch_pool.get()
         try:
-            _run_tile(plan, X, span[0], span[1], out, scratch)
+            _run_tile(plan, X, span[0], span[1], out, scratch, enc)
         finally:
             scratch_pool.put(scratch)
 
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        # list() drains the iterator so worker exceptions propagate.
-        list(pool.map(_job, spans))
+    # list() drains the iterator so worker exceptions propagate.
+    list(_worker_pool().map(_job, spans))
     return out

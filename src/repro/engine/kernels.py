@@ -19,16 +19,28 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.runtime.fused import FusedScratch
 from repro.runtime.packing import pack_sign_words
 from repro.types import FloatArray
 
 
 class TileScratch:
-    """Preallocated buffers for one in-flight tile (one set per worker)."""
+    """Preallocated buffers for one in-flight tile (one set per worker).
 
-    def __init__(self, tile_rows: int, dim: int):
+    ``fused=True`` builds the block-sized buffers of the fused
+    encode→pack pipeline *instead of* the full ``(tile_rows, dim)`` float
+    slabs — a fused tile never materialises the float encoding, so its
+    scratch is a fraction of the unfused set.
+    """
+
+    def __init__(self, tile_rows: int, dim: int, *, fused: bool = False):
         self.tile_rows = int(tile_rows)
         self.dim = int(dim)
+        if fused:
+            self.main = self.aux = self.bits = None
+            self.fused = FusedScratch(tile_rows, dim)
+            return
+        self.fused = None
         #: primary float buffer: raw encoding, then normalised encoding
         self.main = np.empty((tile_rows, dim), dtype=np.float64)
         #: secondary float buffer: trig temporary, |S|, then sign matrix
@@ -39,6 +51,8 @@ class TileScratch:
     @property
     def nbytes(self) -> int:
         """Total scratch footprint in bytes."""
+        if self.fused is not None:
+            return self.fused.nbytes
         return self.main.nbytes + self.aux.nbytes + self.bits.nbytes
 
 

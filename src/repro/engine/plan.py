@@ -41,6 +41,7 @@ from repro.exceptions import (
 )
 from repro.runtime import (
     BACKEND_ENV_VAR,
+    EncoderOperands,
     FrozenClusterOperand,
     FrozenModelOperand,
     KernelBackend,
@@ -52,7 +53,37 @@ from repro.runtime import (
 )
 from repro.telemetry import metrics as _metrics
 from repro.types import ArrayLike, FloatArray
+from repro.utils.rng import derive_generator
 from repro.utils.validation import check_2d
+
+
+@dataclass(frozen=True)
+class EncoderSpec:
+    """Seed provenance of a :class:`NonlinearEncoder`, in place of its arrays.
+
+    A rematerialised plan (``compile_model(..., rematerialize=True)``)
+    stores this spec instead of the frozen ``(in_features, dim)``
+    projection matrix; :meth:`materialize` re-draws bit-identical bases
+    and phases from the seeded RNG at execution time — trading a cheap
+    regeneration per predict call for most of the plan's memory (the
+    Schmuck et al. rematerialisation trade, PAPERS.md).
+    """
+
+    in_features: int
+    dim: int
+    seed: int
+    base: str
+    scale: float | None
+
+    def materialize(self) -> NonlinearEncoder:
+        """Re-draw the encoder exactly as the model constructor did."""
+        return NonlinearEncoder(
+            self.in_features,
+            self.dim,
+            derive_generator(self.seed, 0),
+            base=self.base,
+            scale=self.scale,
+        )
 
 
 class RefreshStats(dict):
@@ -137,6 +168,12 @@ class CompiledPlan:
     enc_phases: FloatArray | None = field(default=None)
     enc_scale: float = 1.0
     encoder: Encoder | None = field(default=None)
+    #: precomputed ``sin(phases)`` for the fused single-trig encode
+    enc_sin_phases: FloatArray | None = field(default=None)
+    #: seed provenance replacing the stored projection (rematerialize=True)
+    enc_spec: "EncoderSpec | None" = field(default=None)
+    #: whether serving runs the fused encode→pack pipeline
+    fused_encode: bool = field(default=False)
     #: refresh machinery: source-model weakref, operand trackers, stats
     _refresh: dict = field(init=False, default_factory=dict)
 
@@ -218,15 +255,51 @@ class CompiledPlan:
         return self.packed_sims or self.packed_dots
 
     @property
+    def rematerialized(self) -> bool:
+        """Whether the encoder operands regenerate from the seeded RNG."""
+        return self.enc_spec is not None
+
+    @property
     def nbytes(self) -> int:
-        """Total bytes held by the plan's operand arrays."""
+        """Total bytes held by the plan's operand arrays.
+
+        A rematerialised plan stores no projection matrix, so its count
+        drops to the cluster/model operands plus scalars — the memory
+        the ``rematerialize=True`` trade actually saves.
+        """
         total = 0
-        for arr in (self.enc_bases, self.enc_phases):
+        for arr in (self.enc_bases, self.enc_phases, self.enc_sin_phases):
             if arr is not None:
                 total += arr.nbytes
         for arr in self.cluster_op.arrays + self.model_op.arrays:
             total += arr.nbytes
         return total
+
+    def encoder_operands(self) -> EncoderOperands | None:
+        """Projection operands for this predict call, stored or re-drawn.
+
+        Returns ``None`` for plans serving an opaque fallback encoder.
+        Rematerialised plans regenerate bases/phases from
+        :class:`EncoderSpec` here — once per :func:`execute_plan` call,
+        shared by every tile, dropped afterwards.
+        """
+        if self.enc_bases is not None:
+            return EncoderOperands(
+                self.enc_bases,
+                self.enc_phases,
+                self.enc_scale,
+                self.enc_sin_phases,
+            )
+        if self.enc_spec is None:
+            return None
+        encoder = self.enc_spec.materialize()
+        registry = _metrics.active()
+        if registry is not None:
+            registry.counter("reghd_plan_rematerializations_total").inc()
+        bases = np.asarray(encoder.bases)
+        phases = np.asarray(encoder.phases)
+        sin_phases = np.sin(phases) if self.fused_encode else None
+        return EncoderOperands(bases, phases, self.enc_scale, sin_phases)
 
     # -- incremental refresh ------------------------------------------------
 
@@ -327,9 +400,23 @@ class CompiledPlan:
         )
 
 
-def auto_tile_rows(dim: int, budget_bytes: int = 24 << 20) -> int:
-    """Tile height whose scratch set (~17 bytes/element) fits the budget."""
-    rows = budget_bytes // (17 * max(1, dim))
+def auto_tile_rows(
+    dim: int, budget_bytes: int = 24 << 20, *, fused: bool = False
+) -> int:
+    """Tile height whose scratch set fits the budget.
+
+    Unfused tiles hold ~17 bytes per element of the full ``(rows, dim)``
+    slab set.  Fused tiles only hold block-wide slabs plus the packed
+    words, so the same budget buys far taller tiles — fewer per-tile
+    dispatches for the same peak memory.
+    """
+    if fused:
+        from repro.runtime import fused_block_cols
+
+        per_row = 17 * fused_block_cols(dim) + max(8, dim // 8)
+    else:
+        per_row = 17 * max(1, dim)
+    rows = budget_bytes // per_row
     return int(min(4096, max(64, rows)))
 
 
@@ -357,7 +444,7 @@ def _resolve_compile_backend(
         cfg.cluster_quant is not ClusterQuant.NONE
         or cfg.predict_quant is PredictQuant.BINARY_BOTH
     )
-    return resolve_backend("packed" if beneficial else "dense")
+    return resolve_backend("packed_v2" if beneficial else "dense")
 
 
 def compile_model(
@@ -367,6 +454,7 @@ def compile_model(
     packed: bool | None = None,
     tile_rows: int | None = None,
     n_workers: int = 1,
+    rematerialize: bool = False,
 ) -> CompiledPlan:
     """Compile a fitted :class:`MultiModelRegHD` into a :class:`CompiledPlan`.
 
@@ -393,6 +481,14 @@ def compile_model(
     n_workers:
         Default thread count for :meth:`CompiledPlan.predict`.  ``1``
         runs the single-threaded fallback loop with one scratch set.
+    rematerialize:
+        Store the encoder's *seed provenance* instead of its projection
+        matrix: :meth:`CompiledPlan.encoder_operands` then re-draws
+        bit-identical bases/phases from the seeded RNG per predict call,
+        shrinking the resident plan by the ``(in_features, D)`` + two
+        ``(D,)`` arrays.  Requires a :class:`NonlinearEncoder` built from
+        a configured integer seed; the regenerated arrays are verified
+        against the live encoder at compile time.
 
     Raises
     ------
@@ -412,10 +508,6 @@ def compile_model(
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
     cfg = model.config
-    if tile_rows is None:
-        tile_rows = auto_tile_rows(cfg.dim)
-    elif tile_rows < 1:
-        raise ConfigurationError(f"tile_rows must be >= 1, got {tile_rows}")
 
     runtime = _resolve_compile_backend(model, packed, backend)
     packed_sims = runtime.packs_similarities(cfg.cluster_quant)
@@ -423,15 +515,56 @@ def compile_model(
 
     # Encoder snapshot: the fused tile kernel needs the projection
     # operands; other encoder types fall back to their encode_batch.
-    enc_bases = enc_phases = None
+    enc_bases = enc_phases = enc_sin_phases = None
     enc_scale = 1.0
     encoder: Encoder | None = None
+    enc_spec: EncoderSpec | None = None
+    fused_encode = False
     if type(model.encoder) is NonlinearEncoder:
-        enc_bases = _frozen(model.encoder.bases)
-        enc_phases = _frozen(model.encoder.phases)
         enc_scale = float(model.encoder.scale)
+        fused_encode = runtime.fuses_encode(cfg.cluster_quant, cfg.predict_quant)
+        if rematerialize:
+            if cfg.seed is None:
+                raise ConfigurationError(
+                    "rematerialize=True requires a configured integer seed; "
+                    "an unseeded encoder cannot be re-drawn"
+                )
+            enc_spec = EncoderSpec(
+                in_features=model.in_features,
+                dim=cfg.dim,
+                seed=int(cfg.seed),
+                base=cfg.encoder_base,
+                scale=cfg.encoder_scale,
+            )
+            regenerated = enc_spec.materialize()
+            if not (
+                np.array_equal(regenerated.bases, model.encoder.bases)
+                and np.array_equal(regenerated.phases, model.encoder.phases)
+                and float(regenerated.scale) == enc_scale
+            ):
+                raise ConfigurationError(
+                    "rematerialize=True: regenerating the encoder from "
+                    "the configured seed did not reproduce the live "
+                    "projection (the encoder was not built by this "
+                    "model's constructor)"
+                )
+        else:
+            enc_bases = _frozen(model.encoder.bases)
+            enc_phases = _frozen(model.encoder.phases)
+            if fused_encode:
+                enc_sin_phases = _frozen(np.sin(model.encoder.phases))
     else:
+        if rematerialize:
+            raise ConfigurationError(
+                "rematerialize=True requires a NonlinearEncoder, got "
+                f"{type(model.encoder).__name__}"
+            )
         encoder = model.encoder
+
+    if tile_rows is None:
+        tile_rows = auto_tile_rows(cfg.dim, fused=fused_encode)
+    elif tile_rows < 1:
+        raise ConfigurationError(f"tile_rows must be >= 1, got {tile_rows}")
 
     cluster_op, cluster_tracker = freeze_cluster_operand(
         model.clusters, cfg.cluster_quant, packed=packed_sims
@@ -460,6 +593,9 @@ def compile_model(
         enc_phases=enc_phases,
         enc_scale=enc_scale,
         encoder=encoder,
+        enc_sin_phases=enc_sin_phases,
+        enc_spec=enc_spec,
+        fused_encode=fused_encode,
     )
     rows_snapshotted = 2 * cfg.n_models  # one cluster + one model row each
     plan._refresh.update(

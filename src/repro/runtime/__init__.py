@@ -37,7 +37,16 @@ from repro.runtime.packing import (
     packed_hamming_distance,
     packed_hamming_similarity,
     packed_sign_products,
+    popcount_block_bytes,
+    set_popcount_block_kib,
     unpack_bits,
+)
+from repro.runtime.fused import (
+    EncoderOperands,
+    FusedScratch,
+    encode_pack_tile,
+    fused_block_cols,
+    set_fused_block_cols,
 )
 from repro.runtime.query import Query, QueryCache
 from repro.runtime.operands import (
@@ -60,6 +69,7 @@ from repro.runtime.base import (
 )
 from repro.runtime.dense import DenseBackend
 from repro.runtime.packed import PackedBackend
+from repro.runtime.packed_v2 import PackedV2Backend
 
 __all__ = [
     "BACKEND_ENV_VAR",
@@ -68,7 +78,15 @@ __all__ = [
     "KernelBackend",
     "DenseBackend",
     "PackedBackend",
+    "PackedV2Backend",
     "resolve_backend",
+    "EncoderOperands",
+    "FusedScratch",
+    "encode_pack_tile",
+    "fused_block_cols",
+    "set_fused_block_cols",
+    "popcount_block_bytes",
+    "set_popcount_block_kib",
     "ClusterQuant",
     "PredictQuant",
     "DualCopy",

@@ -38,7 +38,9 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 DEFAULT_BACKEND = "dense"
 
 #: bumped when kernel semantics change; recorded in benchmark artifacts.
-RUNTIME_VERSION = "1.0"
+#: 2.0: cache-blocked pairwise popcount kernels + the PackedV2 fused
+#: encode→pack serving pipeline.
+RUNTIME_VERSION = "2.0"
 
 
 class KernelBackend:
@@ -77,6 +79,14 @@ class KernelBackend:
 
     def packs_dots(self, predict_quant: PredictQuant) -> bool:
         """Whether the model dots run on packed words for this quant."""
+        return False
+
+    def fuses_encode(
+        self, cluster_quant: ClusterQuant, predict_quant: PredictQuant
+    ) -> bool:
+        """Whether compiled serving may fuse encode→pack for this quant
+        pair (raw rows straight to packed words, no float tile).  Only
+        backends that also implement ``encode_pack`` return True."""
         return False
 
     # -- query plumbing ----------------------------------------------------

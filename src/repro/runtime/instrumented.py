@@ -46,6 +46,17 @@ def operand_nbytes(operand: object) -> int:
     return 0
 
 
+def _query_nbytes(query) -> int:
+    """Resident bytes of a query's base matrix, without forcing lazy
+    derivations.  Fused serving queries carry no float batch — their
+    packed words are the base representation."""
+    if query.S is not None:
+        return int(query.S.nbytes)
+    if query._words is not None:
+        return int(query._words.nbytes)
+    return 0
+
+
 class InstrumentedBackend(KernelBackend):
     """Counting proxy for a kernel backend; math delegates untouched.
 
@@ -89,6 +100,10 @@ class InstrumentedBackend(KernelBackend):
         """Delegate the packed-dots capability probe."""
         return self.inner.packs_dots(predict_quant)
 
+    def fuses_encode(self, cluster_quant, predict_quant) -> bool:
+        """Delegate the fused encode→pack capability probe."""
+        return self.inner.fuses_encode(cluster_quant, predict_quant)
+
     def make_training_cache(self, S, *, cluster_quant, predict_quant):
         """Delegate cache construction; emits a cache ``build`` event."""
         cache = self.inner.make_training_cache(
@@ -103,12 +118,20 @@ class InstrumentedBackend(KernelBackend):
 
     # -- forward kernels -----------------------------------------------------
 
+    def encode_pack(self, X, enc, scratch):
+        """Count + delegate the fused encode→pack serving kernel."""
+        words, scales = self.inner.encode_pack(X, enc, scratch)
+        self._record(
+            "encode_pack", X.nbytes + words.nbytes + scales.nbytes
+        )
+        return words, scales
+
     def cluster_similarities(self, query, clusters):
         """Count + delegate the Eq.-5 similarity kernel."""
         sims = self.inner.cluster_similarities(query, clusters)
         self._record(
             "cluster_similarities",
-            query.S.nbytes + operand_nbytes(clusters) + sims.nbytes,
+            _query_nbytes(query) + operand_nbytes(clusters) + sims.nbytes,
         )
         return sims
 
@@ -123,7 +146,7 @@ class InstrumentedBackend(KernelBackend):
         dots = self.inner.model_dots(query, models)
         self._record(
             "model_dots",
-            query.S.nbytes + operand_nbytes(models) + dots.nbytes,
+            _query_nbytes(query) + operand_nbytes(models) + dots.nbytes,
         )
         return dots
 

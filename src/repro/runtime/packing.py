@@ -15,17 +15,26 @@ of it, and both the training hot loops and the inference engine
 the runtime.  ``repro.ops.packing`` re-exports the public names for
 backwards compatibility.
 
-All pairwise kernels accumulate over *column tiles* of the second operand
-so that peak temporary memory stays bounded (``_TILE_BUDGET_BYTES``)
-regardless of batch size — a ``(n, m, words)`` XOR broadcast is never
-materialised in full.
+All pairwise kernels run over *cache blocks* of both operands so that
+the operand tiles and the XOR temporary stay L2-resident regardless of
+batch size — a ``(n, m, words)`` XOR broadcast is never materialised in
+full.  The block shape is derived from the operand word width against a
+byte budget (:func:`popcount_block_bytes`), overridable through
+:func:`set_popcount_block_kib` or the ``REPRO_POPCOUNT_BLOCK_KIB``
+environment variable; the chosen shape is exported as the
+``reghd_popcount_block_rows`` / ``reghd_popcount_block_cols`` telemetry
+gauges.
 """
 
 from __future__ import annotations
 
+import math
+import os
+
 import numpy as np
 
 from repro.exceptions import DimensionalityError
+from repro.telemetry import metrics as _metrics
 from repro.types import ArrayLike, FloatArray
 
 #: popcount of every byte value; fallback when numpy lacks bitwise_count.
@@ -33,10 +42,55 @@ _POPCOUNT_TABLE = np.array(
     [bin(i).count("1") for i in range(256)], dtype=np.uint8
 )
 
+#: ``np.bitwise_count`` (numpy >= 2.0) is the only popcount path when
+#: available; the byte-table lookup exists solely as a fallback.
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 
-#: Upper bound on the XOR temporary a pairwise kernel may materialise.
-_TILE_BUDGET_BYTES = 1 << 24  # 16 MiB
+#: environment override for the pairwise-kernel block budget (KiB).
+POPCOUNT_BLOCK_ENV_VAR = "REPRO_POPCOUNT_BLOCK_KIB"
+
+#: default XOR-temporary budget: half a typical per-core L2 slice, so the
+#: two operand tiles and the popcount scratch fit alongside it.
+_DEFAULT_POPCOUNT_BLOCK_KIB = 512
+
+_popcount_block_kib: int | None = None
+
+
+def set_popcount_block_kib(kib: int | None) -> None:
+    """Pin the pairwise-kernel block budget (KiB); ``None`` restores the
+    default / environment-variable resolution."""
+    if kib is not None and int(kib) < 1:
+        raise ValueError(f"block budget must be >= 1 KiB, got {kib}")
+    global _popcount_block_kib
+    _popcount_block_kib = None if kib is None else int(kib)
+
+
+def popcount_block_bytes() -> int:
+    """Resolved XOR-temporary budget: explicit pin > env var > default."""
+    if _popcount_block_kib is not None:
+        return _popcount_block_kib << 10
+    env = os.environ.get(POPCOUNT_BLOCK_ENV_VAR)
+    if env:
+        try:
+            kib = int(env)
+        except ValueError:
+            kib = 0
+        if kib >= 1:
+            return kib << 10
+    return _DEFAULT_POPCOUNT_BLOCK_KIB << 10
+
+
+def _block_shape(n: int, m: int, words: int, itemsize: int) -> tuple[int, int]:
+    """Cache-block shape ``(rows, cols)`` for an ``(n, m, words)`` XOR.
+
+    Derived from the operand word width: the widest near-square block
+    whose temporary fits the byte budget, so both operand tiles and the
+    XOR scratch stay resident while each block is reduced.
+    """
+    budget = max(1, popcount_block_bytes() // max(1, words * itemsize))
+    cols = min(m, max(1, int(math.sqrt(budget))))
+    rows = min(n, max(1, budget // cols))
+    return rows, cols
 
 
 def _popcount_sum(words: np.ndarray) -> np.ndarray:
@@ -151,23 +205,40 @@ def pack_sign_words(values: ArrayLike, *, out_bits: np.ndarray | None = None) ->
 def _pairwise_popcount_xor(
     a_words: np.ndarray, b_words: np.ndarray
 ) -> np.ndarray:
-    """``out[i, j] = popcount(a_words[i] XOR b_words[j])`` with bounded memory.
+    """``out[i, j] = popcount(a_words[i] XOR b_words[j])``, cache-blocked.
 
-    Accumulates over column tiles of ``b_words`` so the XOR temporary
-    never exceeds ``_TILE_BUDGET_BYTES`` (one full column slab when a
-    single column already exceeds the budget).
+    Both operands are cut into ``(rows, cols)`` blocks sized by
+    :func:`_block_shape` so the XOR temporary and the per-element
+    popcounts are reduced while still L2-resident; the scratch buffers
+    are allocated once per call and reused across blocks.  On numpy with
+    ``np.bitwise_count`` the popcount is a single vectorised ufunc into a
+    uint8 scratch; the byte-table lookup runs only as a fallback.
     """
     n, words = a_words.shape
     m = b_words.shape[0]
     out = np.empty((n, m), dtype=np.int64)
-    per_column = max(1, n * words * a_words.itemsize)
-    tile = max(1, _TILE_BUDGET_BYTES // per_column)
-    for start in range(0, m, tile):
-        chunk = b_words[start : start + tile]
-        xor = np.bitwise_xor(
-            a_words[:, np.newaxis, :], chunk[np.newaxis, :, :]
-        )
-        out[:, start : start + tile] = _popcount_sum(xor)
+    if n == 0 or m == 0:
+        return out
+    rows, cols = _block_shape(n, m, words, a_words.itemsize)
+    registry = _metrics.active()
+    if registry is not None:
+        registry.gauge("reghd_popcount_block_rows").set(rows)
+        registry.gauge("reghd_popcount_block_cols").set(cols)
+    xor = np.empty((rows, cols, words), dtype=a_words.dtype)
+    counts = np.empty((rows, cols, words), dtype=np.uint8)
+    for i0 in range(0, n, rows):
+        i1 = min(i0 + rows, n)
+        a_blk = a_words[i0:i1, np.newaxis, :]
+        for j0 in range(0, m, cols):
+            j1 = min(j0 + cols, m)
+            x = xor[: i1 - i0, : j1 - j0]
+            np.bitwise_xor(a_blk, b_words[np.newaxis, j0:j1, :], out=x)
+            if _HAS_BITWISE_COUNT:
+                c = counts[: i1 - i0, : j1 - j0]
+                np.bitwise_count(x, out=c)
+                c.sum(axis=-1, dtype=np.int64, out=out[i0:i1, j0:j1])
+            else:
+                out[i0:i1, j0:j1] = _popcount_sum(x)
     return out
 
 

@@ -30,6 +30,9 @@ class Query:
     ----------
     S:
         The ``(n, D)`` encoded (and, in training, row-normalised) batch.
+        May be ``None`` for fully-packed serving queries built by the
+        fused encode→pack pipeline — those carry ``words``/``scales``
+        directly and no kernel on that path reads the float batch.
     signs, words, scales, binarized:
         Optional precomputed derivations.  The serving executor passes
         these in (it derives them into scratch buffers with its own
@@ -40,7 +43,7 @@ class Query:
 
     def __init__(
         self,
-        S: FloatArray,
+        S: FloatArray | None,
         *,
         signs: FloatArray | None = None,
         words: np.ndarray | None = None,
@@ -53,32 +56,43 @@ class Query:
         self._scales = scales
         self._binarized = binarized
 
+    def _require_S(self, derived: str) -> FloatArray:
+        if self.S is None:
+            raise ValueError(
+                f"Query built without a float batch cannot derive {derived}"
+            )
+        return self.S
+
     @property
     def signs(self) -> FloatArray:
         """±1 sign pattern of ``S`` (zeros map to +1)."""
         if self._signs is None:
-            self._signs = bipolarize(self.S).astype(np.float64)
+            self._signs = bipolarize(self._require_S("signs")).astype(
+                np.float64
+            )
         return self._signs
 
     @property
     def words(self) -> np.ndarray:
         """Bit-packed uint64 sign words of ``S``."""
         if self._words is None:
-            self._words = pack_sign_words(self.S)
+            self._words = pack_sign_words(self._require_S("words"))
         return self._words
 
     @property
     def scales(self) -> FloatArray:
         """Per-row binarisation scale ``mean(|S_i|)``."""
         if self._scales is None:
-            self._scales = np.mean(np.abs(self.S), axis=1)
+            self._scales = np.mean(np.abs(self._require_S("scales")), axis=1)
         return self._scales
 
     @property
     def binarized(self) -> FloatArray:
         """Scale-preserving binarised queries, ``sign(S) * mean(|S|)``."""
         if self._binarized is None:
-            self._binarized = binarize_preserving_scale(self.S)
+            self._binarized = binarize_preserving_scale(
+                self._require_S("binarized")
+            )
         return self._binarized
 
 

@@ -90,6 +90,25 @@ CATALOG: dict[str, tuple[str, str]] = {
         "counter",
         "Incremental CompiledPlan.refresh calls.",
     ),
+    "reghd_plan_rematerializations_total": (
+        "counter",
+        "Encoder operand regenerations by rematerialised plans "
+        "(one per predict call on a rematerialize=True plan).",
+    ),
+    "reghd_popcount_block_rows": (
+        "gauge",
+        "Row count of the cache block chosen by the pairwise popcount "
+        "kernel on its most recent call.",
+    ),
+    "reghd_popcount_block_cols": (
+        "gauge",
+        "Column count of the cache block chosen by the pairwise "
+        "popcount kernel on its most recent call.",
+    ),
+    "reghd_fused_block_cols": (
+        "gauge",
+        "Column-block width used by the fused encode-pack pipeline.",
+    ),
     "reghd_plan_rows_total": (
         "counter",
         "Plan operand rows, by event: snapshotted at compile, "

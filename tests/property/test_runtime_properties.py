@@ -167,3 +167,102 @@ class TestQueryConsistency:
         np.testing.assert_array_equal(
             lazy.binarized, lazy.signs * lazy.scales[:, np.newaxis]
         )
+
+class TestCacheBlockedPopcount:
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        n=st.integers(min_value=1, max_value=40),
+        k=st.integers(min_value=1, max_value=12),
+        dim=st.integers(min_value=1, max_value=300),
+        block_kib=st.sampled_from([1, 2, 16, 4096]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_block_size_never_changes_results(
+        self, seed, n, k, dim, block_kib
+    ):
+        """Any block budget yields the exact naive popcount counts."""
+        from repro.runtime import packing
+
+        rng = np.random.default_rng(seed)
+        A = rng.normal(size=(n, dim))
+        B = rng.normal(size=(k, dim))
+        signs_a = np.where(A >= 0, 1, -1)
+        signs_b = np.where(B >= 0, 1, -1)
+        naive = (dim - signs_a @ signs_b.T) // 2  # exact Hamming counts
+        packing.set_popcount_block_kib(block_kib)
+        try:
+            got = packing._pairwise_popcount_xor(
+                pack_sign_words(A), pack_sign_words(B)
+            )
+        finally:
+            packing.set_popcount_block_kib(None)
+        np.testing.assert_array_equal(got, naive)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        n=st.integers(min_value=1, max_value=30),
+        dim=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_lut_fallback_matches_bitwise_count(self, seed, n, dim):
+        """The numpy<2 byte-table path agrees with np.bitwise_count."""
+        from repro.runtime import packing
+
+        rng = np.random.default_rng(seed)
+        pa = pack_sign_words(rng.normal(size=(n, dim)))
+        pb = pack_sign_words(rng.normal(size=(5, dim)))
+        fast = packing._pairwise_popcount_xor(pa, pb)
+        had = packing._HAS_BITWISE_COUNT
+        packing._HAS_BITWISE_COUNT = False
+        try:
+            table = packing._pairwise_popcount_xor(pa, pb)
+        finally:
+            packing._HAS_BITWISE_COUNT = had
+        np.testing.assert_array_equal(table, fast)
+
+
+class TestFusedEncodePack:
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        n=st.integers(min_value=1, max_value=30),
+        features=st.integers(min_value=1, max_value=8),
+        dim=st.integers(min_value=1, max_value=300),
+        block_cols=st.sampled_from([64, 128, 1024]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_words_bit_identical_to_unfused_pipeline(
+        self, seed, n, features, dim, block_cols
+    ):
+        """Fused encode→pack emits the same sign words as encoding then
+        packing, and scales matching mean(|S|)/norm to float rounding —
+        under every column-block size."""
+        from repro.encoding.nonlinear import NonlinearEncoder
+        from repro.runtime import (
+            EncoderOperands,
+            FusedScratch,
+            encode_pack_tile,
+            set_fused_block_cols,
+        )
+
+        rng = np.random.default_rng(seed)
+        enc = NonlinearEncoder(features, dim, seed + 1)
+        operands = EncoderOperands(
+            np.asarray(enc.bases),
+            np.asarray(enc.phases),
+            float(enc.scale),
+            np.sin(enc.phases),
+        )
+        X = rng.normal(size=(n, features))
+        set_fused_block_cols(block_cols)
+        try:
+            words, scales = encode_pack_tile(
+                X, operands, FusedScratch(n, dim)
+            )
+        finally:
+            set_fused_block_cols(None)
+        S = enc.encode_batch(X)
+        np.testing.assert_array_equal(words, pack_sign_words(S))
+        norms = np.maximum(np.linalg.norm(S, axis=1), 1e-12)
+        np.testing.assert_allclose(
+            scales, np.mean(np.abs(S), axis=1) / norms, rtol=1e-12
+        )

@@ -201,6 +201,7 @@ class TestBench:
         assert {r["variant"] for r in record["results"]} == {
             "float",
             "packed",
+            "packed_v2",
             "packed_mt",
         }
         assert set(record["speedups"]) == {"64", "96"}
@@ -226,6 +227,49 @@ class TestBench:
     def test_bench_rejects_bad_dims(self, capsys):
         assert main(["bench", "--dims", "abc"]) == 1
         assert "--dims" in capsys.readouterr().err
+
+    def test_bench_compare_gate(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "bench.json"
+        args = [
+            "bench",
+            "--dims", "64",
+            "--rows", "32",
+            "--repeats", "2",
+            "--features", "4",
+            "--output", str(out_file),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Same machine + params: the rows/s diff mode runs; a doctored
+        # baseline claiming 100x the throughput must trip the gate.
+        record = json.loads(out_file.read_text())
+        fast = json.loads(out_file.read_text())
+        for row in fast["results"]:
+            row["rows_per_s"] *= 100.0
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(fast))
+        assert main(args + ["--compare", str(baseline)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # A baseline far *slower* than any rerun passes the gate.
+        slow = record
+        for row in slow["results"]:
+            row["rows_per_s"] /= 100.0
+        baseline.write_text(json.dumps(slow))
+        assert main(args + ["--compare", str(baseline)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_bench_compare_missing_baseline(self, tmp_path, capsys):
+        assert main(
+            [
+                "bench", "--dims", "64", "--rows", "32", "--repeats", "1",
+                "--features", "4",
+                "--output", str(tmp_path / "b.json"),
+                "--compare", str(tmp_path / "nope.json"),
+            ]
+        ) == 1
+        assert "--compare" in capsys.readouterr().err
 
 
 class TestReport:

@@ -11,7 +11,11 @@ from repro import (
     compile_model,
 )
 from repro.core import ClusterQuant, ConvergencePolicy, PredictQuant
-from repro.engine import auto_tile_rows, run_inference_benchmark
+from repro.engine import (
+    auto_tile_rows,
+    compare_inference_records,
+    run_inference_benchmark,
+)
 from repro.engine.kernels import TileScratch
 from repro.exceptions import (
     ConfigurationError,
@@ -278,9 +282,10 @@ class TestBenchHarness:
         assert {r["variant"] for r in record["results"]} == {
             "float",
             "packed",
+            "packed_v2",
             "packed_mt",
         }
-        assert len(record["results"]) == 6
+        assert len(record["results"]) == 8
         for stats in record["results"]:
             assert stats["rows_per_s"] > 0
             assert stats["p50_ms"] <= stats["p99_ms"] + 1e-9
@@ -293,3 +298,93 @@ class TestBenchHarness:
         assert record["params"]["dims"] == [64]
         assert record["params"]["batch_rows"] <= 512
         assert record["params"]["repeats"] <= 3
+
+
+class TestCompareGate:
+    @staticmethod
+    def _record(**overrides):
+        record = {
+            "params": {
+                "batch_rows": 32,
+                "repeats": 2,
+                "features": 4,
+                "n_workers": 2,
+            },
+            "machine": {"cpu_count": 4},
+            "runtime": {"backend": "packed"},
+            "results": [
+                {"dim": 64, "variant": v, "rows_per_s": r}
+                for v, r in (
+                    ("float", 100.0),
+                    ("packed", 200.0),
+                    ("packed_v2", 300.0),
+                    ("packed_mt", 310.0),
+                )
+            ],
+            "speedups": {
+                "64": {
+                    "packed_vs_float": 2.0,
+                    "packed_v2_vs_float": 3.0,
+                    "packed_v2_vs_packed": 1.5,
+                    "packed_mt_vs_float": 3.1,
+                }
+            },
+        }
+        for key, val in overrides.items():
+            record[key] = {**record[key], **val}
+        return record
+
+    def test_strict_mode_flags_rows_per_s_drop(self):
+        import copy
+
+        current = copy.deepcopy(self._record())
+        for row in current["results"]:
+            row["rows_per_s"] *= 0.5
+        report = compare_inference_records(self._record(), current)
+        assert report["strict"] and report["note"] is None
+        assert len(report["regressions"]) == 4
+
+    def test_quick_records_get_doubled_slack(self):
+        import copy
+
+        baseline = self._record()
+        baseline["quick"] = True
+        current = copy.deepcopy(baseline)
+        for row in current["results"]:
+            row["rows_per_s"] *= 0.85  # -15%: noise at smoke scale
+        report = compare_inference_records(baseline, current)
+        assert report["strict"] and not report["regressions"]
+        for row in current["results"]:
+            row["rows_per_s"] *= 0.85  # -28% compounded: real regression
+        report = compare_inference_records(baseline, current)
+        assert len(report["regressions"]) == 4
+
+    def test_params_mismatch_is_incomparable(self):
+        current = self._record(params={"batch_rows": 2048})
+        report = compare_inference_records(self._record(), current)
+        assert report["compared"] == 0 and not report["regressions"]
+        assert "workload-dependent" in report["note"]
+
+    def test_cross_machine_falls_back_to_ratios_with_doubled_slack(self):
+        current = self._record(machine={"cpu_count": 8})
+        current["speedups"]["64"]["packed_v2_vs_packed"] = 1.3  # -13% < 20%
+        current["speedups"]["64"]["packed_vs_float"] = 1.0  # -50%
+        report = compare_inference_records(self._record(), current)
+        assert not report["strict"]
+        assert len(report["regressions"]) == 1
+        assert "packed_vs_float" in report["regressions"][0]
+
+    def test_backend_mismatch_skips_packed_cells(self):
+        current = self._record(runtime={"backend": "dense"})
+        current["speedups"]["64"]["packed_vs_float"] = 0.1
+        current["speedups"]["64"]["packed_v2_vs_packed"] = 30.0
+        for row in current["results"]:
+            if row["variant"] == "packed":
+                row["rows_per_s"] = 1.0
+        strict = compare_inference_records(self._record(), current)
+        assert strict["strict"] and not strict["regressions"]
+        assert strict["compared"] == 3 and "skipped" in strict["note"]
+        cross = self._record(machine={"cpu_count": 8})
+        ratio = compare_inference_records(cross, current)
+        assert not ratio["strict"] and not ratio["regressions"]
+        assert ratio["compared"] == 2  # packed_v2/packed_mt vs float only

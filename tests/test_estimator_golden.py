@@ -27,10 +27,10 @@ DIM = 96
 SEED = 1234
 CONV = ConvergencePolicy(max_epochs=4, patience=2)
 
-#: Both execution-runtime backends must reproduce the golden trajectories.
-#: Packed sign products are exact integers, so the packed backend is
+#: Every execution-runtime backend must reproduce the golden trajectories.
+#: Packed sign products are exact integers, so the packed backends are
 #: bit-identical everywhere except the BINARY_BOTH dots (scale rounding).
-BACKENDS = ("dense", "packed")
+BACKENDS = ("dense", "packed", "packed_v2")
 
 
 @pytest.fixture(scope="module")
@@ -93,7 +93,7 @@ def test_multi_model_bit_identical_all_quant_combos(
     model = MultiModelRegHD(4, multi_config(cq, pq, backend))
     model.fit(X, y)
     expected = golden[f"multi_{cq.value}_{pq.value}"]
-    if backend == "packed" and pq is PredictQuant.BINARY_BOTH:
+    if backend != "dense" and pq is PredictQuant.BINARY_BOTH:
         # The packed fully-binary dots apply the two scale factors in a
         # different order than the dense matmul — float rounding only.
         np.testing.assert_allclose(
@@ -131,3 +131,28 @@ def test_partial_fit_stream_bit_identical(golden, data, backend):
     np.testing.assert_array_equal(
         model.predict(X_query), golden["multi_partial_fit"]
     )
+
+
+@pytest.mark.parametrize("rematerialize", (False, True))
+@pytest.mark.parametrize("cq", list(ClusterQuant))
+@pytest.mark.parametrize("pq", list(PredictQuant))
+def test_packed_v2_plan_matches_golden(golden, data, cq, pq, rematerialize):
+    """Compiled packed_v2 plans (stored and rematerialised) stay on the
+    golden trajectory: plan predictions match the dense-reference golden
+    to float rounding, and the rematerialised plan is bit-identical to
+    the stored-operand plan."""
+    X, y, X_query = data
+    model = MultiModelRegHD(4, multi_config(cq, pq))
+    model.fit(X, y)
+    plan = model.compile(backend="packed_v2", rematerialize=rematerialize)
+    assert plan.rematerialized is rematerialize
+    expected = golden[f"multi_{cq.value}_{pq.value}"]
+    np.testing.assert_allclose(
+        plan.predict(X_query), expected, rtol=1e-9, atol=1e-10
+    )
+    if rematerialize:
+        stored = model.compile(backend="packed_v2")
+        np.testing.assert_array_equal(
+            plan.predict(X_query), stored.predict(X_query)
+        )
+        assert plan.nbytes < stored.nbytes

@@ -133,15 +133,18 @@ class TestPackedHamming:
         with pytest.raises(DimensionalityError):
             packed_hamming_similarity(pa, pa, 0)
 
-    def test_column_tiling_matches_untiled(self, monkeypatch):
-        """A tiny tile budget forces many tiles yet changes nothing."""
+    def test_column_tiling_matches_untiled(self):
+        """A tiny cache-block budget forces many blocks yet changes nothing."""
         a = random_binary(7, 300, seed=10)
         b = random_binary(31, 300, seed=11)
         pa, _ = pack_bits(a)
         pb, _ = pack_bits(b)
         whole = packed_hamming_distance(pa, pb)
-        monkeypatch.setattr(packing, "_TILE_BUDGET_BYTES", 1)
-        np.testing.assert_array_equal(packed_hamming_distance(pa, pb), whole)
+        packing.set_popcount_block_kib(1)
+        try:
+            np.testing.assert_array_equal(packed_hamming_distance(pa, pb), whole)
+        finally:
+            packing.set_popcount_block_kib(None)
         np.testing.assert_array_equal(whole, hamming_distance(a, b))
 
     def test_table_fallback_matches_bitwise_count(self, monkeypatch):

@@ -113,7 +113,8 @@ def test_no_bit_packing_outside_runtime():
     in the symbolic binding op is an HD algebra primitive, not a packed
     arithmetic kernel, and stays exempt."""
     hits = _offending_lines(
-        r"np\.(packbits|unpackbits|bitwise_xor|bitwise_count)|_POPCOUNT_TABLE",
+        r"np\.(packbits|unpackbits|bitwise_xor|bitwise_count)"
+        r"|_POPCOUNT_TABLE|\.bit_count\(|_popcount\w*\(",
         exclude=_runtime_sources() | {BINDING_OPS},
     )
     assert not hits, (
@@ -187,7 +188,7 @@ def test_no_ad_hoc_covariance_outside_robust():
     )
 
 
-@pytest.mark.parametrize("name", ["dense", "packed"])
+@pytest.mark.parametrize("name", ["dense", "packed", "packed_v2"])
 def test_every_backend_registered(name):
     from repro.registry import BACKEND_REGISTRY
 
