@@ -1,19 +1,22 @@
 #!/usr/bin/env python
 """Standalone benchmark regression gate.
 
-Compares two ``BENCH_inference.json`` records and exits non-zero when the
-newer one regresses throughput beyond the threshold::
+Compares two benchmark JSON records and exits non-zero when the newer
+one regresses throughput beyond the threshold::
 
     python benchmarks/compare.py BENCH_inference.json new.json
+    python benchmarks/compare.py BENCH_distributed.json new.json
 
-Same-machine, same-parameter records diff raw ``rows_per_s`` per
-``(dim, variant)`` cell; the same workload on a different machine falls
-back to comparing the machine-independent speedup ratios with doubled
-slack; records with different benchmark parameters (quick vs full
-sweep) are incomparable and pass with a warning.  ``repro bench
---compare BASELINE`` runs the identical check in-process right after a
-benchmark finishes (see
-:func:`repro.engine.bench.compare_inference_records`).
+The record kind is dispatched on the ``benchmark`` field:
+``BENCH_inference.json`` records diff raw ``rows_per_s`` per
+``(dim, variant)`` cell (:func:`repro.engine.bench.compare_inference_records`),
+``BENCH_distributed.json`` records per worker count
+(:func:`repro.distributed.bench.compare_distributed_records`).  In both
+cases the same workload on a different machine falls back to comparing
+machine-independent speedup ratios with doubled slack, and records with
+different benchmark parameters (quick vs full sweep) are incomparable
+and pass with a warning.  ``repro bench --compare BASELINE`` runs the
+inference check in-process right after a benchmark finishes.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.distributed.bench import compare_distributed_records
 from repro.engine.bench import compare_inference_records
 
 
@@ -41,9 +45,14 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = json.loads(Path(args.baseline).read_text())
     current = json.loads(Path(args.current).read_text())
-    report = compare_inference_records(
-        baseline, current, threshold=args.threshold
-    )
+    if current.get("benchmark") == "reghd-distributed-scaling":
+        report = compare_distributed_records(
+            baseline, current, threshold=args.threshold
+        )
+    else:
+        report = compare_inference_records(
+            baseline, current, threshold=args.threshold
+        )
 
     mode = "rows/s (same machine+params)" if report["strict"] else (
         "speedup ratios (machine-independent)"

@@ -54,7 +54,12 @@ from repro.encoding import (
     SequenceEncoder,
 )
 from repro.engine import CompiledPlan, compile_model
-from repro.serialization import load_model, save_model
+from repro.serialization import (
+    load_delta,
+    load_model,
+    save_delta,
+    save_model,
+)
 from repro.metrics import (
     mean_absolute_error,
     mean_squared_error,
@@ -81,7 +86,9 @@ __all__ = [
     "SequenceEncoder",
     "CompiledPlan",
     "compile_model",
+    "load_delta",
     "load_model",
+    "save_delta",
     "save_model",
     "mean_absolute_error",
     "mean_squared_error",

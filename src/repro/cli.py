@@ -41,7 +41,9 @@ from repro import (
     MultiModelRegHD,
     RegHDConfig,
     SingleModelRegHD,
+    load_delta,
     load_model,
+    save_delta,
     save_model,
 )
 from repro.baselines import DecisionTreeRegressor, MLPRegressor, RidgeRegression, SVR
@@ -121,6 +123,78 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument("--max-samples", type=int, default=None, help="cap dataset size")
     train.add_argument("--save", default=None, help="path to save the trained model (.npz)")
+    train.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="train via shard map-reduce over N data shards instead of "
+        "the sequential fit (0 = sequential; see repro.distributed)",
+    )
+    train.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for --shards (0 = train shards inline; "
+        "both modes produce identical bits)",
+    )
+    train.add_argument(
+        "--shard-reduction",
+        choices=["mean", "sum"],
+        default="mean",
+        help="delta merge mode for --shards: 'mean' is the safe "
+        "counts-weighted average; 'sum' bundles disjoint shards "
+        "(sequential-quality parity at small shard counts, but can "
+        "overshoot the LMS step when many large shards merge at once)",
+    )
+    train.add_argument(
+        "--shard-rounds",
+        type=int,
+        default=3,
+        help="map-reduce rounds for --shards (each round re-broadcasts "
+        "the merged model, like an iterative-retraining epoch)",
+    )
+    train.add_argument(
+        "--save-shard-deltas",
+        default=None,
+        metavar="DIR",
+        help="with --shards: also write each final-round shard delta to "
+        "DIR/shard_<i>.npz (mergeable later with `repro merge`)",
+    )
+
+    merge = sub.add_parser(
+        "merge",
+        help="merge shard delta files into a base model "
+        "(counts-weighted ordered reduction)",
+    )
+    merge.add_argument(
+        "deltas",
+        nargs="+",
+        help="delta .npz files from `train --save-shard-deltas` "
+        "(merged in the given order)",
+    )
+    merge.add_argument(
+        "--base",
+        required=True,
+        help="model file the deltas are folded into",
+    )
+    merge.add_argument(
+        "--output",
+        required=True,
+        help="where to save the merged model (.npz)",
+    )
+    merge.add_argument(
+        "--reduction",
+        choices=["mean", "sum"],
+        default="mean",
+        help="delta merge mode: 'mean' is the safe counts-weighted "
+        "average; 'sum' bundles disjoint shards (sequential-quality "
+        "parity at small shard counts)",
+    )
+    merge.add_argument(
+        "--delta-out",
+        default=None,
+        help="optionally also save the merged delta itself (.npz)",
+    )
 
     predict = sub.add_parser("predict", help="predict with a saved model")
     predict.add_argument("model", help="model file from `train --save`")
@@ -387,11 +461,35 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 predict_quant=PredictQuant(args.predict_quant),
             ),
         )
-    model.fit(X_train, split.y_train)
+    if args.shards >= 1:
+        from repro.distributed import ShardTrainer
+
+        trainer = ShardTrainer(
+            model,
+            n_shards=args.shards,
+            n_workers=args.workers,
+            reduction=args.shard_reduction,
+        )
+        for _ in range(args.shard_rounds):
+            deltas = trainer.map(X_train, split.y_train)
+            merged = trainer.reduce(deltas)
+            model.apply_delta(merged)
+        if args.save_shard_deltas:
+            import pathlib
+
+            out_dir = pathlib.Path(args.save_shard_deltas)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            for shard_id, delta in enumerate(deltas):
+                save_delta(delta, out_dir / f"shard_{shard_id}.npz")
+            print(f"shard deltas: {out_dir}/shard_0..{len(deltas) - 1}.npz")
+        iterations = f"{args.shard_rounds} shard rounds x {args.shards} shards"
+    else:
+        model.fit(X_train, split.y_train)
+        iterations = str(model.history_.n_epochs)
     pred = model.predict(X_test)
     print(f"dataset     : {dataset.name} ({split.n_train} train / {split.n_test} test)")
     print(f"model       : {model!r}")
-    print(f"iterations  : {model.history_.n_epochs}")
+    print(f"iterations  : {iterations}")
     print(f"test MSE    : {mean_squared_error(split.y_test, pred):.4f}")
     print(f"test R^2    : {r2_score(split.y_test, pred):.4f}")
     if args.save:
@@ -409,6 +507,26 @@ def _cmd_train(args: argparse.Namespace) -> int:
         )
         print(f"saved model : {path}")
         print(f"saved scaler: {sidecar}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.core.delta import merge_deltas
+
+    model = load_model(args.base)
+    deltas = [load_delta(path) for path in args.deltas]
+    merged = merge_deltas(deltas, reduction=args.reduction)
+    model.apply_delta(merged)
+    path = save_model(model, args.output)
+    print(
+        f"merged      : {len(deltas)} delta(s), "
+        f"{sum(d.n_samples for d in deltas)} samples, "
+        f"{merged.nbytes} payload bytes"
+    )
+    print(f"saved model : {path}")
+    if args.delta_out:
+        delta_path = save_delta(merged, args.delta_out)
+        print(f"saved delta : {delta_path}")
     return 0
 
 
@@ -803,6 +921,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_datasets()
     if args.command == "train":
         return _cmd_train(args)
+    if args.command == "merge":
+        return _cmd_merge(args)
     if args.command == "predict":
         return _cmd_predict(args)
     if args.command == "compare":

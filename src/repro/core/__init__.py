@@ -14,7 +14,18 @@ from repro.core.capacity import (
     false_positive_probability,
     true_positive_probability,
 )
-from repro.core.config import ConvergencePolicy, RegHDConfig
+from repro.core.config import (
+    ConvergencePolicy,
+    RegHDConfig,
+    derive_shard_seed,
+)
+from repro.core.delta import (
+    DeltaRecorder,
+    ModelDelta,
+    TargetMoments,
+    merge_deltas,
+    merge_moments,
+)
 from repro.core.ensemble import RegHDEnsemble
 from repro.core.estimator import (
     BaseEstimator,
@@ -52,6 +63,12 @@ __all__ = [
     "true_positive_probability",
     "ConvergencePolicy",
     "RegHDConfig",
+    "derive_shard_seed",
+    "DeltaRecorder",
+    "ModelDelta",
+    "TargetMoments",
+    "merge_deltas",
+    "merge_moments",
     "RegHDEnsemble",
     "BaseEstimator",
     "BaseRegHDEstimator",

@@ -121,11 +121,14 @@ class BaselineHD(BaseRegHDEstimator):
             if not np.any(wrong):
                 continue
             S_w = S_b[wrong]
-            self.runtime.scatter_add(
-                self.class_vectors, truth[wrong], self.lr * S_w
+            # Both halves of the update land through the delta sink; only
+            # the reward scatter counts samples (one sample, one row of
+            # evidence — the punish half targets the mispredicted bin).
+            self._push_scatter(
+                "class_vectors", truth[wrong], self.lr * S_w
             )
-            self.runtime.scatter_add(
-                self.class_vectors, pred[wrong], -self.lr * S_w
+            self._push_scatter(
+                "class_vectors", pred[wrong], -self.lr * S_w, count=False
             )
 
     def predict_encoded(self, S: FloatArray) -> FloatArray:
@@ -163,6 +166,30 @@ class BaselineHD(BaseRegHDEstimator):
 
     def _finalize_predictions(self, y: FloatArray) -> FloatArray:
         return y
+
+    # -- delta hooks --------------------------------------------------------
+
+    def _delta_spec(self) -> tuple[dict[str, tuple[int, ...]], tuple[str, ...]]:
+        return {"class_vectors": (self.n_bins, self.dim)}, ("class_vectors",)
+
+    def _delta_fingerprint(self) -> dict:
+        # Class-vector deltas only combine over identical binnings: the
+        # bin edges are part of the structural identity, so shards whose
+        # fits froze different output ranges refuse to merge.
+        fingerprint = super()._delta_fingerprint()
+        fingerprint["n_bins"] = self.n_bins
+        fingerprint["y_low"] = self._y_low
+        fingerprint["y_high"] = self._y_high
+        return fingerprint
+
+    def _array_view(self, name: str) -> np.ndarray:
+        return self.class_vectors
+
+    def _apply_array_delta(self, name: str, update) -> None:
+        self.class_vectors += update
+
+    def _replace_array(self, name: str, values) -> None:
+        self.class_vectors[:] = values
 
     # -- state protocol -----------------------------------------------------
 

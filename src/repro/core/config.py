@@ -11,8 +11,42 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+import numpy as np
+
 from repro.core.quantization import ClusterQuant, PredictQuant
 from repro.exceptions import ConfigurationError
+
+#: spawn-key namespace for per-shard seed derivation, disjoint from the
+#: small per-purpose keys models pass to ``derive_generator`` (0 encoder
+#: bases, 1 epoch shuffling, ...), so shard streams can never collide
+#: with a model's own derived streams.
+_SHARD_SPAWN_KEY = 0x5348
+
+
+def derive_shard_seed(base_seed: int | None, shard_id: int) -> int | None:
+    """Deterministic per-shard child seed for distributed training.
+
+    Every worker that needs shard-local randomness — building an
+    encoder for an independent per-shard model, shuffling its local
+    rows, generating shard-local synthetic data — derives its seed here
+    instead of offsetting ``base_seed + shard_id`` (offset schemes
+    collide across experiments that also increment seeds).  The
+    derivation is a :class:`numpy.random.SeedSequence` spawn keyed on
+    ``(namespace, shard_id)``: the same ``(base_seed, shard_id)`` pair
+    always yields the same child seed, different shards yield
+    statistically independent streams, and ``None`` (OS entropy)
+    passes through unchanged.
+    """
+    if shard_id < 0:
+        raise ConfigurationError(
+            f"shard_id must be >= 0, got {shard_id}"
+        )
+    if base_seed is None:
+        return None
+    seq = np.random.SeedSequence(
+        int(base_seed), spawn_key=(_SHARD_SPAWN_KEY, int(shard_id))
+    )
+    return int(seq.generate_state(1, dtype=np.uint32)[0])
 
 
 @dataclass(frozen=True)

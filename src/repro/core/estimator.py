@@ -29,8 +29,17 @@ Composite estimators (:class:`~repro.core.multioutput.MultiOutputRegHD`,
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
+from repro.core.delta import (
+    DeltaRecorder,
+    ModelDelta,
+    TargetMoments,
+    merge_deltas,
+    merge_moments,
+)
 from repro.core.trainer import IterativeTrainer, TrainingHistory
 from repro.encoding.base import Encoder
 from repro.exceptions import ConfigurationError, NotFittedError
@@ -55,12 +64,21 @@ class TargetScaler:
     every later call is a no-op, so online updates keep a stable target
     space.  ``transform``/``inverse`` map between original target units
     and the standardised space the hypervector arithmetic works in.
+
+    Alongside the affine parameters the scaler keeps the *exact* moments
+    it was estimated from (``count``, ``m2`` — the sum of squared
+    deviations), so two scalers frozen on different data shards merge to
+    the exact pooled statistics via Chan's parallel algorithm
+    (:meth:`merge`) instead of an ad-hoc average.  A zero-count operand
+    is the merge identity, so empty shards never perturb the result.
     """
 
     def __init__(self) -> None:
         self.mean = 0.0
         self.scale = 1.0
         self.fitted = False
+        self.count = 0
+        self.m2 = 0.0
 
     def fit(self, y: FloatArray) -> "TargetScaler":
         """Estimate mean/scale from ``y`` (unconditionally)."""
@@ -68,7 +86,47 @@ class TargetScaler:
         scale = float(np.std(y))
         self.scale = scale if scale > 0 else 1.0
         self.fitted = True
+        arr = np.asarray(y, dtype=np.float64).ravel()
+        self.count = int(arr.size)
+        self.m2 = float(np.sum((arr - self.mean) ** 2))
         return self
+
+    @property
+    def moments(self) -> TargetMoments:
+        """The exact moments this scaler was estimated from."""
+        return TargetMoments(count=self.count, mean=self.mean, m2=self.m2)
+
+    def adopt_moments(self, moments: TargetMoments) -> "TargetScaler":
+        """Freeze this scaler from externally pooled moments.
+
+        Used when a coordinator derives the target statistics from
+        merged shard deltas rather than a local batch; the constant-
+        target fallback (scale 1) matches :meth:`fit`.
+        """
+        self.mean = float(moments.mean)
+        std = moments.std
+        self.scale = std if std > 0 else 1.0
+        self.count = int(moments.count)
+        self.m2 = float(moments.m2)
+        self.fitted = True
+        return self
+
+    @classmethod
+    def merge(cls, scalers: Sequence["TargetScaler"]) -> "TargetScaler":
+        """Exact weighted merge of fitted scalers (Chan's algorithm).
+
+        The result is frozen on the pooled moments of every input —
+        merging two scalers frozen on disjoint shards equals (to float
+        rounding) a single scaler fitted on the concatenated targets,
+        for any count split.  Zero-count scalers (including legacy state
+        restored from files that predate moment tracking) are merge
+        identities: they contribute nothing, and merging against one
+        returns the other's moments bit-exactly.
+        """
+        pooled = merge_moments(s.moments for s in scalers)
+        if pooled.count == 0:
+            return cls()  # nothing to estimate from: identity mapping
+        return cls().adopt_moments(pooled)
 
     def freeze_once(self, y: FloatArray) -> None:
         """Estimate from the first batch only; later calls change nothing."""
@@ -88,16 +146,31 @@ class TargetScaler:
         self.mean = 0.0
         self.scale = 1.0
         self.fitted = False
+        self.count = 0
+        self.m2 = 0.0
 
     def get_state(self) -> dict:
         """JSON-serialisable snapshot."""
-        return {"mean": self.mean, "scale": self.scale, "fitted": self.fitted}
+        return {
+            "mean": self.mean,
+            "scale": self.scale,
+            "fitted": self.fitted,
+            "count": self.count,
+            "m2": self.m2,
+        }
 
     def set_state(self, state: dict) -> None:
-        """Restore a :meth:`get_state` snapshot."""
+        """Restore a :meth:`get_state` snapshot.
+
+        Snapshots written before moment tracking carry no
+        ``count``/``m2``; they restore with zero count, which the merge
+        algebra treats as an identity operand.
+        """
         self.mean = float(state["mean"])
         self.scale = float(state["scale"])
         self.fitted = bool(state["fitted"])
+        self.count = int(state.get("count", 0))
+        self.m2 = float(state.get("m2", 0.0))
 
     def __repr__(self) -> str:
         return (
@@ -255,6 +328,7 @@ class BaseRegHDEstimator(BaseEstimator):
         self.scaler = TargetScaler()
         self.history_: TrainingHistory | None = None
         self._fitted = False
+        self._delta_rec: DeltaRecorder | None = None
 
     @staticmethod
     def resolve_encoder(
@@ -316,6 +390,191 @@ class BaseRegHDEstimator(BaseEstimator):
     def _after_partial_fit(self) -> None:
         """Hook after each online pass (e.g. re-binarise dual copies)."""
 
+    # -- mergeable updates: the ModelDelta protocol ------------------------
+    #
+    # Every hot-loop update flows through the _push_* sinks below: they
+    # apply the update to the live learned state (bit-identical to the
+    # historical in-place mutation) and, when a recording span is open,
+    # fold the same update into a DeltaRecorder.  A captured ModelDelta
+    # is the mergeable unit of shard-parallel training — see
+    # repro.core.delta for the weighting algebra and repro.distributed
+    # for the map-reduce trainer built on top.
+
+    @property
+    def recording_delta(self) -> bool:
+        """Whether a :meth:`begin_delta` span is currently open."""
+        return self._delta_rec is not None
+
+    def begin_delta(self) -> None:
+        """Open a recording span: subsequent training accumulates a delta.
+
+        Training continues to mutate the live model exactly as before;
+        the recorder additionally captures the sum of every update so
+        :meth:`capture_delta` can snapshot the span.  Spans do not nest.
+        """
+        if self._delta_rec is not None:
+            raise ConfigurationError(
+                "begin_delta called while a recording span is already "
+                "open — capture_delta first (spans do not nest)"
+            )
+        shapes, counted = self._delta_spec()
+        self._delta_rec = DeltaRecorder(
+            self.state_name, self._delta_fingerprint(), shapes, counted
+        )
+
+    def capture_delta(self) -> ModelDelta:
+        """Close the recording span and return the accumulated delta."""
+        if self._delta_rec is None:
+            raise ConfigurationError(
+                "capture_delta called without an open begin_delta span"
+            )
+        delta = self._delta_rec.finish()
+        self._delta_rec = None
+        # Re-stamp: a full fit() may have updated structural scalars the
+        # fingerprint covers (e.g. BaselineHD bin edges) during the span.
+        delta.fingerprint = self._delta_fingerprint()
+        return delta
+
+    def apply_delta(self, delta: ModelDelta) -> "BaseRegHDEstimator":
+        """Fold a (possibly merged) delta into the live learned state.
+
+        Refuses deltas from a different model type or structural
+        fingerprint.  An unfitted target scaler adopts the delta's pooled
+        target moments, so a coordinator that never saw raw targets
+        still lands in the shards' shared target space; a fitted scaler
+        is left untouched (its frozen space is what the shards trained
+        in).
+        """
+        if self._delta_rec is not None:
+            raise ConfigurationError(
+                "apply_delta called during an open recording span"
+            )
+        if delta.model_type != self.state_name:
+            raise ConfigurationError(
+                f"delta was recorded by model type {delta.model_type!r}, "
+                f"cannot apply to {self.state_name!r}"
+            )
+        fingerprint = self._delta_fingerprint()
+        if delta.fingerprint != fingerprint:
+            raise ConfigurationError(
+                "delta fingerprint does not match this model "
+                f"({delta.fingerprint} vs {fingerprint})"
+            )
+        if not self.scaler.fitted and delta.moments.count > 0:
+            self.scaler.adopt_moments(delta.moments)
+        for name, update in delta.arrays.items():
+            self._apply_array_delta(name, update)
+        self._fitted = True
+        self._finish_apply_delta(delta)
+        return self
+
+    #: the counts-weighted ordered reduction (see repro.core.delta)
+    merge_deltas = staticmethod(merge_deltas)
+
+    # -- delta hooks (implemented by concrete models) ----------------------
+
+    def _delta_spec(self) -> tuple[dict[str, tuple[int, ...]], tuple[str, ...]]:
+        """``(array shapes, per-row-counted names)`` of the delta arrays.
+
+        Covers exactly the learned arrays the update sinks touch (not
+        auxiliary state like bin centres or encoder bases).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a delta spec"
+        )
+
+    def _delta_fingerprint(self) -> dict:
+        """Structural identity validated on merge and apply."""
+        shapes, counted = self._delta_spec()
+        return {
+            "in_features": self.in_features,
+            "dim": self.dim,
+            "arrays": {
+                name: list(shape) for name, shape in sorted(shapes.items())
+            },
+            "counted": sorted(counted),
+        }
+
+    def _array_view(self, name: str) -> np.ndarray:
+        """Current full-precision values of a learned delta array."""
+        raise NotImplementedError
+
+    def _apply_array_delta(self, name: str, update: FloatArray) -> None:
+        """Add a dense update onto the live learned array."""
+        raise NotImplementedError
+
+    def _replace_array(self, name: str, values: FloatArray) -> None:
+        """Overwrite the live learned array (replace-style updates)."""
+        raise NotImplementedError
+
+    def _finish_apply_delta(self, delta: ModelDelta) -> None:
+        """Restore model invariants after :meth:`apply_delta` (default:
+        none) — e.g. re-binarise dual copies."""
+
+    # -- update sinks (called from the hot loops) --------------------------
+
+    def _push_update(
+        self,
+        name: str,
+        update: FloatArray,
+        row_counts: np.ndarray | None = None,
+    ) -> None:
+        """Apply a dense additive update and record it when recording."""
+        self._apply_array_delta(name, update)
+        rec = self._delta_rec
+        if rec is not None:
+            rec.accumulate(name, update, row_counts)
+
+    def _push_replace(
+        self,
+        name: str,
+        values: FloatArray,
+        row_counts: np.ndarray | None = None,
+    ) -> None:
+        """Overwrite a learned array, recording the effective diff.
+
+        Replace-style updates (the NAIVE cluster re-binarisation) record
+        ``new - old``; consecutive replaces telescope, so the captured
+        delta moves a compatible base to the recorded end state.
+        """
+        rec = self._delta_rec
+        if rec is not None:
+            rec.accumulate(
+                name,
+                np.asarray(values, dtype=np.float64) - self._array_view(name),
+                row_counts,
+            )
+        self._replace_array(name, values)
+
+    def _push_scatter(
+        self,
+        name: str,
+        indices: np.ndarray,
+        rows: FloatArray,
+        *,
+        count: bool = True,
+    ) -> None:
+        """Scatter rows into a learned array and mirror into the recorder.
+
+        Both the live target and the recorder's accumulator go through
+        the backend's ``scatter_add`` kernel.  ``count=False`` suppresses
+        the per-row sample counting for secondary scatters (e.g. the
+        punish half of a classification update) so a sample is counted
+        once per row it evidences.
+        """
+        self.runtime.scatter_add(self._array_view(name), indices, rows)
+        rec = self._delta_rec
+        if rec is not None:
+            self.runtime.scatter_add(rec.arrays[name], indices, rows)
+            if count:
+                rec.count_rows(name, indices)
+
+    def _record_targets(self, y: FloatArray) -> None:
+        """Feed one absorbed batch's raw targets to the open recorder."""
+        rec = self._delta_rec
+        if rec is not None:
+            rec.observe_targets(y)
+
     # -- the fit / partial_fit / predict skeleton --------------------------
 
     def fit(
@@ -335,6 +594,7 @@ class BaseRegHDEstimator(BaseEstimator):
         y_arr = check_1d("y", y)
         check_matching_lengths("X", X_arr, "y", y_arr)
 
+        self._record_targets(y_arr)
         y_train = self._prepare_fit_targets(y_arr)
         S = self._encode_normalized(X_arr)
         S_val = None
@@ -367,6 +627,7 @@ class BaseRegHDEstimator(BaseEstimator):
         X_arr = check_2d("X", X)
         y_arr = check_1d("y", y)
         check_matching_lengths("X", X_arr, "y", y_arr)
+        self._record_targets(y_arr)
         self.scaler.freeze_once(y_arr)
         self._fitted = True
         y_train = self.scaler.transform(y_arr)

@@ -220,7 +220,12 @@ class MultiModelRegHD(BaseRegHDEstimator):
             )
         # Mean over the batch keeps the step size independent of
         # batch_size; batch_size 1 reduces exactly to the online Eq. (7).
-        self.runtime.weighted_model_update(self.models, weights, S, lr)
+        # The step lands through the delta sink so a recording span
+        # captures it.
+        self._push_update(
+            "models_integer",
+            self.runtime.weighted_model_step(weights, S, lr),
+        )
 
     def _cluster_update(self, S: FloatArray, sims: FloatArray) -> None:
         """Eq. (8): pull the most similar centre toward the input."""
@@ -229,15 +234,22 @@ class MultiModelRegHD(BaseRegHDEstimator):
         delta = self.runtime.segment_delta(
             top, weights[:, np.newaxis] * S, self.config.n_models
         )
+        # Per-cluster sample counts drive the counts-weighted merge: a
+        # shard that saw most of cluster c's traffic dominates centre c.
+        counts = np.bincount(top, minlength=self.config.n_models)
         if self.config.cluster_quant is ClusterQuant.NAIVE:
             # Naive binarisation: the stored cluster *is* binary, so every
             # update is immediately re-quantised and the accumulated
             # magnitude information is lost (paper Sec. 3.1's failure mode).
             signs = np.sign(self.clusters.integer + delta)
             signs[signs == 0] = 1.0
-            self.clusters.replace(signs / np.sqrt(self.config.dim))
+            self._push_replace(
+                "clusters_integer",
+                signs / np.sqrt(self.config.dim),
+                row_counts=counts,
+            )
         else:
-            self.clusters.update_all(delta)
+            self._push_update("clusters_integer", delta, row_counts=counts)
 
     def fit_epoch(self, S: FloatArray, y: FloatArray, order: np.ndarray) -> None:
         """One pass of mini-batch updates over pre-encoded data."""
@@ -299,6 +311,45 @@ class MultiModelRegHD(BaseRegHDEstimator):
         self._init_state()
 
     def _after_partial_fit(self) -> None:
+        self.end_epoch()
+
+    # -- delta hooks ---------------------------------------------------------
+
+    def _delta_spec(self) -> tuple[dict[str, tuple[int, ...]], tuple[str, ...]]:
+        shape = (self.config.n_models, self.config.dim)
+        return (
+            {"clusters_integer": shape, "models_integer": shape},
+            ("clusters_integer",),
+        )
+
+    def _delta_fingerprint(self) -> dict:
+        fingerprint = super()._delta_fingerprint()
+        fingerprint["cluster_quant"] = self.config.cluster_quant.value
+        fingerprint["predict_quant"] = self.config.predict_quant.value
+        return fingerprint
+
+    def _array_view(self, name: str) -> np.ndarray:
+        dual = self.clusters if name == "clusters_integer" else self.models
+        return dual.integer
+
+    def _apply_array_delta(self, name: str, update) -> None:
+        dual = self.clusters if name == "clusters_integer" else self.models
+        dual.update_all(update)
+
+    def _replace_array(self, name: str, values) -> None:
+        dual = self.clusters if name == "clusters_integer" else self.models
+        dual.replace(values)
+
+    def _finish_apply_delta(self, delta) -> None:
+        if self.config.cluster_quant is ClusterQuant.NAIVE:
+            # Merged NAIVE deltas average binary diffs, so the applied
+            # centres drift off the binary lattice; re-project onto the
+            # stored-is-binary invariant (same sign convention as the
+            # training update).
+            signs = np.sign(self.clusters.integer)
+            signs[signs == 0] = 1.0
+            self.clusters.replace(signs / np.sqrt(self.config.dim))
+        # Same re-binarisation a training epoch would end on.
         self.end_epoch()
 
     # -- public API -----------------------------------------------------------

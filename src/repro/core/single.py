@@ -111,8 +111,11 @@ class SingleModelRegHD(BaseRegHDEstimator):
             errors = y[idx] - self.runtime.linear_dots(S_b, self.model)
             # Mean over the batch keeps the step size (and hence the LMS
             # stability bound lr < 2) independent of batch_size; batch_size
-            # 1 reduces exactly to the paper's online Eq. (2).
-            self.runtime.lms_update(self.model, errors, S_b, self.lr)
+            # 1 reduces exactly to the paper's online Eq. (2).  The step
+            # lands through the delta sink so a recording span captures it.
+            self._push_update(
+                "model_vector", self.runtime.lms_step(errors, S_b, self.lr)
+            )
 
     def predict_encoded(self, S: FloatArray) -> FloatArray:
         """Predict (normalised-unit) targets for encoded hypervectors."""
@@ -129,6 +132,20 @@ class SingleModelRegHD(BaseRegHDEstimator):
 
     def _reset_learned_state(self) -> None:
         self.model[:] = 0.0
+
+    # -- delta hooks -------------------------------------------------------
+
+    def _delta_spec(self) -> tuple[dict[str, tuple[int, ...]], tuple[str, ...]]:
+        return {"model_vector": (self.dim,)}, ()
+
+    def _array_view(self, name: str) -> np.ndarray:
+        return self.model
+
+    def _apply_array_delta(self, name: str, update) -> None:
+        self.model += update
+
+    def _replace_array(self, name: str, values) -> None:
+        self.model[:] = values
 
     # -- state protocol ----------------------------------------------------
 

@@ -1,0 +1,242 @@
+"""Distributed-training scaling benchmark (``BENCH_distributed.json``).
+
+Times one shard map-reduce round of :class:`ShardTrainer` at each
+worker count over the same Friedman-1 workload and reports rows/s plus
+the speedup relative to the 1-worker run, next to a sequential
+``partial_fit`` reference over the identical stream.
+
+Honesty notes, baked into the record rather than the prose:
+
+* ``host_cpus`` stamps ``os.cpu_count()`` — scaling curves are only
+  meaningful relative to the cores that actually existed.  On a 1-CPU
+  host every worker count time-slices one core and the curve is flat
+  (process-pool overhead typically makes it *worse* than 1 worker);
+  the record states that instead of hiding it.
+* per-worker times include the full round trip — state broadcast,
+  worker construction, training, delta pickling, ordered merge, apply
+  — because that is what a deployment pays.
+
+Shared by ``python -m repro.distributed.bench`` (the CI distributed
+smoke leg) and ``benchmarks/test_distributed_bench.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.config import RegHDConfig, derive_shard_seed
+from repro.core.multi import MultiModelRegHD
+from repro.datasets import friedman1
+from repro.distributed.shard import ShardTrainer
+from repro.metrics import root_mean_squared_error
+from repro.telemetry.timing import monotonic
+
+
+def _fresh_model(config: RegHDConfig, n_features: int) -> MultiModelRegHD:
+    return MultiModelRegHD(n_features, config)
+
+
+def run_distributed_benchmark(
+    *,
+    workers: tuple[int, ...] = (1, 2, 4, 8),
+    n_rows: int = 8000,
+    n_test: int = 1000,
+    features: int = 8,
+    dim: int = 4096,
+    n_models: int = 8,
+    batch_rows: int = 256,
+    seed: int = 0,
+    quick: bool = False,
+) -> dict:
+    """Run the scaling sweep; returns the JSON-serialisable record.
+
+    ``quick=True`` shrinks rows, dimensionality and the worker sweep to
+    a CI smoke run that still exercises the process pool, the ordered
+    reduction and the quality parity check.
+    """
+    if quick:
+        n_rows, n_test, dim = 2000, 500, 1024
+        if workers == (1, 2, 4, 8):  # shrink only the default sweep
+            workers = (1, 2)
+
+    data = friedman1(n_rows + n_test, n_features=features, seed=seed)
+    X, y = data.X[:n_rows], data.y[:n_rows]
+    X_test, y_test = data.X[n_rows:], data.y[n_rows:]
+    config = RegHDConfig(dim=dim, n_models=n_models, seed=seed)
+
+    # Sequential reference: the same stream absorbed batch by batch.
+    seq_model = _fresh_model(config, features)
+    start = monotonic()
+    for lo in range(0, n_rows, batch_rows):
+        seq_model.partial_fit(X[lo : lo + batch_rows], y[lo : lo + batch_rows])
+    seq_seconds = monotonic() - start
+    seq_rmse = root_mean_squared_error(y_test, seq_model.predict(X_test))
+
+    curves = []
+    base_seconds = None
+    for n_workers in workers:
+        model = _fresh_model(config, features)
+        trainer = ShardTrainer(
+            model,
+            n_shards=n_workers,
+            n_workers=n_workers,
+            batch_rows=batch_rows,
+            reduction="mean",
+        )
+        start = monotonic()
+        report = trainer.train(X, y)
+        seconds = monotonic() - start
+        if base_seconds is None:
+            base_seconds = seconds
+        rmse = root_mean_squared_error(y_test, model.predict(X_test))
+        curves.append(
+            {
+                "workers": int(n_workers),
+                "seconds": float(seconds),
+                "rows_per_s": float(n_rows / seconds),
+                "speedup_vs_1": float(base_seconds / seconds),
+                "rmse": float(rmse),
+                "rmse_vs_sequential": float(rmse / seq_rmse),
+                "shard_samples": report.shard_samples,
+                "shard_bytes": report.shard_bytes,
+                "merged_bytes": report.merged_bytes,
+            }
+        )
+
+    host_cpus = os.cpu_count() or 1
+    return {
+        "schema": 1,
+        "benchmark": "reghd-distributed-scaling",
+        "quick": bool(quick),
+        "host_cpus": int(host_cpus),
+        "scaling_note": (
+            "speedups are bounded by host_cpus; on a single-core host the "
+            "curve measures process-pool overhead, not parallel speedup"
+        ),
+        "params": {
+            "n_rows": int(n_rows),
+            "n_test": int(n_test),
+            "features": int(features),
+            "dim": int(dim),
+            "n_models": int(n_models),
+            "batch_rows": int(batch_rows),
+            "reduction": "mean",
+            "seed": int(seed),
+            "shard_seeds": [
+                derive_shard_seed(seed, shard) for shard in range(max(workers))
+            ],
+        },
+        "sequential": {
+            "seconds": float(seq_seconds),
+            "rows_per_s": float(n_rows / seq_seconds),
+            "rmse": float(seq_rmse),
+        },
+        "curves": curves,
+    }
+
+
+def compare_distributed_records(
+    baseline: dict, current: dict, *, threshold: float = 0.10
+) -> dict:
+    """Regression-gate two ``BENCH_distributed.json`` records.
+
+    Same-host (equal ``host_cpus``) same-parameter records diff raw
+    ``rows_per_s`` per worker count; different hosts fall back to the
+    machine-independent ``speedup_vs_1`` ratios with doubled slack;
+    records with different workload parameters are incomparable and
+    pass with a note.  The report shape mirrors
+    :func:`repro.engine.bench.compare_inference_records` so
+    ``benchmarks/compare.py`` renders both identically.
+    """
+    report: dict = {
+        "strict": False,
+        "threshold": threshold,
+        "compared": 0,
+        "lines": [],
+        "regressions": [],
+        "note": "",
+    }
+    if baseline.get("benchmark") != current.get("benchmark"):
+        report["note"] = "different benchmark kinds; nothing to compare"
+        return report
+    if baseline.get("params") != current.get("params"):
+        report["note"] = (
+            "different benchmark parameters (quick vs full sweep?); "
+            "records are incomparable"
+        )
+        return report
+    strict = baseline.get("host_cpus") == current.get("host_cpus")
+    if strict:
+        metric, slack = "rows_per_s", threshold
+    else:
+        metric, slack = "speedup_vs_1", 2 * threshold
+        report["note"] = (
+            "different host_cpus; comparing machine-independent speedup "
+            "ratios with doubled slack"
+        )
+    report["strict"] = strict
+    report["threshold"] = slack
+    base_curves = {c["workers"]: c for c in baseline.get("curves", [])}
+    for cur in current.get("curves", []):
+        base = base_curves.get(cur["workers"])
+        if base is None:
+            continue
+        report["compared"] += 1
+        old, new = float(base[metric]), float(cur[metric])
+        change = (new - old) / old if old else 0.0
+        line = (
+            f"{cur['workers']}w {metric}: {old:.3f} -> {new:.3f} "
+            f"({change:+.1%})"
+        )
+        report["lines"].append(line)
+        if change < -slack:
+            report["regressions"].append(line)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: run the sweep and write the JSON record."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="RegHD distributed-training scaling benchmark"
+    )
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        help="worker counts to sweep (default 1 2 4 8; quick mode 1 2)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_distributed.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+    kwargs: dict = {"quick": args.quick, "seed": args.seed}
+    if args.workers is not None:
+        kwargs["workers"] = tuple(args.workers)
+    record = run_distributed_benchmark(**kwargs)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    lines = [
+        f"{c['workers']}w: {c['rows_per_s']:.0f} rows/s "
+        f"(x{c['speedup_vs_1']:.2f}, rmse ratio "
+        f"{c['rmse_vs_sequential']:.3f})"
+        for c in record["curves"]
+    ]
+    print(
+        f"host_cpus={record['host_cpus']} | "
+        + " | ".join(lines)
+        + f" (wrote {args.output})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -303,7 +303,9 @@ class CompiledPlan:
 
     # -- incremental refresh ------------------------------------------------
 
-    def refresh(self, model: MultiModelRegHD) -> tuple[int, int]:
+    def refresh(
+        self, model: MultiModelRegHD, delta=None
+    ) -> tuple[int, int]:
         """Re-snapshot the operands from the (further-trained) source model.
 
         Only rows whose sign pattern moved since the last snapshot are
@@ -311,6 +313,16 @@ class CompiledPlan:
         :attr:`repro.runtime.DualCopy.sign_versions`); full-precision
         operands refresh wholesale but only when the model actually
         changed.  Returns ``(rows_refreshed, rows_reused)`` for this call.
+
+        ``delta`` may carry the :class:`~repro.core.delta.ModelDelta`
+        that was just applied to the model (a merged shard fold, say):
+        its :meth:`~repro.core.delta.ModelDelta.touched_rows` masks then
+        narrow the *full-precision* operand refreshes to the rows the
+        delta actually moved, instead of re-copying every row on any
+        version bump.  Sign-derived operands already diff per-row and
+        ignore the hint.  Passing a delta that does not describe the
+        model's latest changes serves stale rows — callers hand in only
+        the delta they just applied.
 
         ``model`` must be the instance this plan was compiled from —
         refreshing from an unrelated model would silently mix two models'
@@ -324,11 +336,23 @@ class CompiledPlan:
             )
         object.__setattr__(self, "y_mean", float(model.scaler.mean))
         object.__setattr__(self, "y_scale", float(model.scaler.scale))
+        cluster_rows = model_rows = None
+        if delta is not None:
+            if "clusters_integer" in delta.arrays:
+                cluster_rows = delta.touched_rows("clusters_integer")
+            if "models_integer" in delta.arrays:
+                model_rows = delta.touched_rows("models_integer")
         c_new, c_old = refresh_cluster_operand(
-            self.cluster_op, model.clusters, self._refresh["clusters"]
+            self.cluster_op,
+            model.clusters,
+            self._refresh["clusters"],
+            rows=cluster_rows,
         )
         m_new, m_old = refresh_model_operand(
-            self.model_op, model.models, self._refresh["models"]
+            self.model_op,
+            model.models,
+            self._refresh["models"],
+            rows=model_rows,
         )
         stats = self._refresh["stats"]
         stats["refreshes"] += 1

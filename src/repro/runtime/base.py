@@ -141,17 +141,40 @@ class KernelBackend:
 
     # -- update kernels (Eqs. 7-8) -----------------------------------------
 
+    def lms_step(
+        self, errors: FloatArray, S: FloatArray, lr: float
+    ) -> FloatArray:
+        """The Eq.-4 LMS update term, returned rather than applied.
+
+        ``lms_update`` adds exactly this array in place, so callers that
+        route updates through the mergeable-delta sinks
+        (:meth:`repro.core.estimator.BaseRegHDEstimator._push_update`)
+        produce bit-identical models to the historical in-place path.
+        """
+        return lr * (errors @ S) / len(S)
+
     def lms_update(
         self, model: FloatArray, errors: FloatArray, S: FloatArray, lr: float
     ) -> None:
         """In-place LMS step on a single model vector (Eq. 4)."""
-        model += lr * (errors @ S) / len(S)
+        model += self.lms_step(errors, S, lr)
+
+    def weighted_model_step(
+        self, weights: FloatArray, S: FloatArray, lr: float
+    ) -> FloatArray:
+        """The Eq.-7 batched update term, returned rather than applied.
+
+        ``weighted_model_update`` lands exactly this array on the dual
+        copy, so delta-sink callers stay bit-identical to the in-place
+        path.
+        """
+        return lr * (weights.T @ S) / S.shape[0]
 
     def weighted_model_update(
         self, models, weights: FloatArray, S: FloatArray, lr: float
     ) -> None:
         """Confidence-weighted batched model update (Eq. 7) into a DualCopy."""
-        models.update_all(lr * (weights.T @ S) / S.shape[0])
+        models.update_all(self.weighted_model_step(weights, S, lr))
 
     def segment_delta(
         self, indices: np.ndarray, rows: FloatArray, k: int

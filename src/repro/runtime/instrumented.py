@@ -169,12 +169,27 @@ class InstrumentedBackend(KernelBackend):
 
     # -- update kernels ------------------------------------------------------
 
+    def lms_step(self, errors, S, lr):
+        """Count + delegate the returned LMS update term."""
+        step = self.inner.lms_step(errors, S, lr)
+        self._record("lms_step", errors.nbytes + S.nbytes + step.nbytes)
+        return step
+
     def lms_update(self, model, errors, S, lr):
         """Count + delegate the in-place LMS step."""
         self.inner.lms_update(model, errors, S, lr)
         self._record(
             "lms_update", model.nbytes + errors.nbytes + S.nbytes
         )
+
+    def weighted_model_step(self, weights, S, lr):
+        """Count + delegate the returned Eq.-7 update term."""
+        step = self.inner.weighted_model_step(weights, S, lr)
+        self._record(
+            "weighted_model_step",
+            weights.nbytes + S.nbytes + step.nbytes,
+        )
+        return step
 
     def weighted_model_update(self, models, weights, S, lr):
         """Count + delegate the batched Eq.-7 model update."""

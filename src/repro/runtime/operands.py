@@ -287,18 +287,40 @@ def freeze_model_operand(
 
 
 def refresh_cluster_operand(
-    op: FrozenClusterOperand, dual: DualCopy, tracker: dict
+    op: FrozenClusterOperand,
+    dual: DualCopy,
+    tracker: dict,
+    rows: np.ndarray | None = None,
 ) -> tuple[int, int]:
     """Bring a snapshot up to date; returns ``(rows_refreshed, rows_reused)``.
 
     Integer-derived operands (the full-precision path) key on the scalar
     ``DualCopy.version``; sign-derived operands diff per-row
     ``sign_versions`` so unchanged rows are neither re-packed nor copied.
+
+    ``rows`` is an optional boolean mask of rows known to have moved
+    (e.g. :meth:`repro.core.delta.ModelDelta.touched_rows` after an
+    ``apply_delta``): the full-precision path then re-copies only those
+    rows instead of the whole matrix.  The caller asserts the mask is
+    complete — rows outside it are served stale if they did change.
     """
     k = dual.shape[0]
     if op.quant is ClusterQuant.NONE:
         if tracker["version"] == dual.version:
             return 0, k
+        if rows is not None:
+            n_rows = int(np.count_nonzero(rows))
+            if n_rows:
+                _overwrite_cols(op.matT, rows, dual.integer[rows].T)
+                _overwrite_rows(
+                    op.norms,
+                    rows,
+                    np.maximum(
+                        np.linalg.norm(dual.integer[rows], axis=1), NORM_EPS
+                    ),
+                )
+            tracker["version"] = dual.version
+            return n_rows, k - n_rows
         _overwrite(op.matT, dual.integer.T)
         _overwrite(op.norms, cluster_norms(dual))
         tracker["version"] = dual.version
@@ -315,7 +337,10 @@ def refresh_cluster_operand(
 
 
 def refresh_model_operand(
-    op: FrozenModelOperand, dual: DualCopy, tracker: dict
+    op: FrozenModelOperand,
+    dual: DualCopy,
+    tracker: dict,
+    rows: np.ndarray | None = None,
 ) -> tuple[int, int]:
     """Bring a snapshot up to date; returns ``(rows_refreshed, rows_reused)``.
 
@@ -324,6 +349,9 @@ def refresh_model_operand(
     while the words re-pack only where the sign pattern changed — the
     common streaming case of forgetting-decay plus small updates re-packs
     nothing.
+
+    ``rows`` narrows the full-precision path to a known-moved row mask,
+    exactly as in :func:`refresh_cluster_operand`.
     """
     k = dual.shape[0]
     if op.words is not None:
@@ -339,6 +367,12 @@ def refresh_model_operand(
     if tracker["version"] == dual.version:
         return 0, k
     base = dual.binary if op.quant.model_is_binary else dual.integer
+    if rows is not None:
+        n_rows = int(np.count_nonzero(rows))
+        if n_rows:
+            _overwrite_cols(op.matT, rows, base[rows].T)
+        tracker["version"] = dual.version
+        return n_rows, k - n_rows
     _overwrite(op.matT, base.T)
     tracker["version"] = dual.version
     return k, 0

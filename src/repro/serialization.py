@@ -32,11 +32,15 @@ import zipfile
 
 import numpy as np
 
+from repro.core.delta import ModelDelta, TargetMoments
 from repro.exceptions import ConfigurationError
 from repro.registry import model_class, model_type_of
 
 _FORMAT_VERSION = 2
 _SUPPORTED_VERSIONS = (1, 2)
+
+#: array-name prefix namespacing per-row counts inside a delta file
+_ROWCOUNT_PREFIX = "rowcount_"
 
 
 def _read_array(
@@ -297,6 +301,77 @@ def _upgrade_v1(
     )
 
 
+def save_delta(
+    delta: ModelDelta, path: str | pathlib.Path
+) -> pathlib.Path:
+    """Serialise a :class:`~repro.core.delta.ModelDelta` to ``path``.
+
+    Deltas are the wire unit of distributed training: a shard worker
+    saves its captured delta, the coordinator loads and merges.  The
+    file shares the model-file container (one ``.npz``, a ``_meta``
+    JSON blob, shape/dtype-validated arrays) but is marked with
+    ``kind: "delta"`` so :func:`load_model` refuses it with a pointed
+    error instead of a registry failure.
+    """
+    path = pathlib.Path(path)
+    arrays: dict[str, np.ndarray] = dict(delta.arrays)
+    for name, counts in delta.row_counts.items():
+        arrays[f"{_ROWCOUNT_PREFIX}{name}"] = np.asarray(counts)
+    if not arrays:
+        raise ConfigurationError("cannot save a delta with no arrays")
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "delta",
+        "model_type": delta.model_type,
+        "fingerprint": delta.fingerprint,
+        "n_samples": int(delta.n_samples),
+        "moments": delta.moments.to_meta(),
+        "counted": sorted(delta.row_counts),
+        "shapes": {
+            name: list(np.asarray(value).shape)
+            for name, value in arrays.items()
+        },
+        "dtypes": {
+            name: str(np.asarray(value).dtype)
+            for name, value in arrays.items()
+        },
+    }
+    np.savez(path, _meta=np.array(json.dumps(meta)), **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def load_delta(path: str | pathlib.Path) -> ModelDelta:
+    """Restore a delta saved with :func:`save_delta` (bit-exact)."""
+    path = pathlib.Path(path)
+    data, meta = _load_npz_and_meta(path)
+    if meta.get("kind") != "delta":
+        raise ConfigurationError(
+            f"{path} is a model file, not a delta file — use load_model"
+        )
+    arrays = _read_arrays_v2(data, meta, path)
+    row_counts = {
+        name[len(_ROWCOUNT_PREFIX) :]: arrays.pop(name)
+        for name in list(arrays)
+        if name.startswith(_ROWCOUNT_PREFIX)
+    }
+    recorded = set(meta.get("counted", []))
+    if recorded != set(row_counts):
+        raise ConfigurationError(
+            f"{path}: counted arrays {sorted(recorded)} do not match the "
+            f"stored row counts {sorted(row_counts)}"
+        )
+    return ModelDelta(
+        model_type=str(meta["model_type"]),
+        fingerprint=dict(meta["fingerprint"]),
+        n_samples=int(meta["n_samples"]),
+        arrays=arrays,
+        row_counts=row_counts,
+        moments=TargetMoments.from_meta(meta["moments"]),
+    )
+
+
 def load_model(path: str | pathlib.Path) -> object:
     """Restore a model saved with :func:`save_model` (bit-exact).
 
@@ -308,6 +383,10 @@ def load_model(path: str | pathlib.Path) -> object:
     """
     path = pathlib.Path(path)
     data, meta = _load_npz_and_meta(path)
+    if meta.get("kind") == "delta":
+        raise ConfigurationError(
+            f"{path} is a delta file, not a model file — use load_delta"
+        )
     if meta["format_version"] == 1:
         meta, arrays = _upgrade_v1(data, meta, path)
     else:

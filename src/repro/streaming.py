@@ -338,6 +338,29 @@ class StreamingRegHD:
             )
         return self.conformal.interval(self.predict(X))
 
+    def absorb_delta(self, delta) -> None:
+        """Fold a merged shard delta into the live model between batches.
+
+        The distributed coordinator's entry point: applies the
+        (usually merged) :class:`~repro.core.delta.ModelDelta` through
+        the model's delta protocol, then refreshes the long-lived
+        serving plan *with the delta's row hint* — only the operand
+        rows the delta actually touched are re-copied/re-packed, so a
+        shard round that moved two cluster centres costs a two-row
+        refresh, not a recompile.
+        """
+        self.model.apply_delta(delta)
+        if self._plan is not None:
+            self._plan.refresh(self.model, delta=delta)
+            self._plan_stale = False
+        else:
+            self._plan_stale = True
+        registry = _metrics.active()
+        if registry is not None:
+            # Samples were already counted shard-side by the trainer's
+            # map phase; here only the fold events are interesting.
+            registry.counter("reghd_distributed_absorbs_total").inc()
+
     def update(self, X: ArrayLike, y: ArrayLike) -> StreamBatchReport:
         """Absorb one arriving batch (predict-then-train).
 

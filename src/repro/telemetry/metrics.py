@@ -210,6 +210,27 @@ CATALOG: dict[str, tuple[str, str]] = {
         "histogram",
         "Nested span durations, labelled with the full span path.",
     ),
+    "reghd_distributed_rounds_total": (
+        "counter",
+        "Shard map-reduce rounds completed (map + ordered merge + apply).",
+    ),
+    "reghd_distributed_shards_total": (
+        "counter",
+        "Shard training tasks executed, by mode (inline / process).",
+    ),
+    "reghd_distributed_samples_total": (
+        "counter",
+        "Training samples absorbed through shard deltas.",
+    ),
+    "reghd_distributed_delta_bytes_total": (
+        "counter",
+        "ModelDelta payload bytes, by direction (shard / merged).",
+    ),
+    "reghd_distributed_absorbs_total": (
+        "counter",
+        "Merged deltas folded into a live stream "
+        "(StreamingRegHD.absorb_delta calls).",
+    ),
 }
 
 

@@ -1,0 +1,161 @@
+"""Property-based tests for the ModelDelta merge algebra.
+
+The merge is an ordered left-fold, so it is only *expected* to be
+associative and commutative in exact arithmetic — the properties here
+assert equality in counts-weighted expectation (allclose), not bitwise,
+plus the exactly-held invariants: moment merges match pooled moments,
+sum reduction is exactly order-free in expectation, and singleton
+merges copy.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta import (
+    DeltaRecorder,
+    TargetMoments,
+    merge_deltas,
+)
+
+N_ROWS, WIDTH = 3, 4
+
+
+@st.composite
+def deltas(draw, min_count=0):
+    """One shard delta over a fixed (3, 4) counted + plain array pair."""
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=min_count, max_value=50))
+    rng = np.random.default_rng(seed)
+    rec = DeltaRecorder(
+        "multi",
+        {"fp": 0},
+        {"counted": (N_ROWS, WIDTH), "plain": (N_ROWS, WIDTH)},
+        counted=("counted",),
+    )
+    if n:
+        rec.observe_targets(rng.normal(size=n))
+        rec.accumulate("plain", rng.normal(size=(N_ROWS, WIDTH)))
+        counts = rng.multinomial(n, np.ones(N_ROWS) / N_ROWS)
+        update = rng.normal(size=(N_ROWS, WIDTH))
+        # Recorder invariant: a row nobody visited accumulates nothing.
+        update[counts == 0] = 0.0
+        rec.accumulate("counted", update, counts)
+    return rec.finish()
+
+
+def _assert_delta_close(a, b):
+    assert a.n_samples == b.n_samples
+    assert a.moments.count == b.moments.count
+    np.testing.assert_allclose(a.moments.mean, b.moments.mean, atol=1e-9)
+    np.testing.assert_allclose(a.moments.m2, b.moments.m2, rtol=1e-9, atol=1e-9)
+    for name in a.arrays:
+        np.testing.assert_allclose(
+            a.arrays[name], b.arrays[name], rtol=1e-9, atol=1e-12
+        )
+    for name in a.row_counts:
+        np.testing.assert_array_equal(a.row_counts[name], b.row_counts[name])
+
+
+class TestMergeAlgebra:
+    @given(deltas(), deltas(), deltas())
+    @settings(max_examples=50, deadline=None)
+    def test_mean_merge_is_associative_in_expectation(self, a, b, c):
+        left = merge_deltas([merge_deltas([a, b]), c])
+        right = merge_deltas([a, merge_deltas([b, c])])
+        flat = merge_deltas([a, b, c])
+        _assert_delta_close(left, flat)
+        _assert_delta_close(right, flat)
+
+    @given(deltas(), deltas())
+    @settings(max_examples=50, deadline=None)
+    def test_mean_merge_is_commutative_in_expectation(self, a, b):
+        _assert_delta_close(merge_deltas([a, b]), merge_deltas([b, a]))
+
+    @given(deltas(), deltas(), deltas())
+    @settings(max_examples=50, deadline=None)
+    def test_sum_merge_is_associative_and_commutative(self, a, b, c):
+        flat = merge_deltas([a, b, c], reduction="sum")
+        nested = merge_deltas(
+            [merge_deltas([c, a], reduction="sum"), b], reduction="sum"
+        )
+        _assert_delta_close(nested, flat)
+
+    @given(deltas())
+    @settings(max_examples=25, deadline=None)
+    def test_singleton_merge_copies(self, d):
+        for reduction in ("mean", "sum"):
+            merged = merge_deltas([d], reduction=reduction)
+            assert merged is not d
+            for name in d.arrays:
+                np.testing.assert_array_equal(
+                    merged.arrays[name], d.arrays[name]
+                )
+
+    @given(deltas(min_count=1), deltas())
+    @settings(max_examples=50, deadline=None)
+    def test_zero_sample_shard_is_mean_identity(self, a, empty_src):
+        """Merging in a shard that saw nothing changes no array."""
+        rec = DeltaRecorder(
+            "multi",
+            {"fp": 0},
+            {"counted": (N_ROWS, WIDTH), "plain": (N_ROWS, WIDTH)},
+            counted=("counted",),
+        )
+        empty = rec.finish()
+        merged = merge_deltas([a, empty])
+        for name in a.arrays:
+            np.testing.assert_allclose(
+                merged.arrays[name], a.arrays[name], rtol=1e-12, atol=0
+            )
+        assert merged.moments == a.moments
+
+
+class TestMomentProperties:
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=0,
+                max_size=40,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_chan_merge_matches_pooled(self, chunks):
+        pooled = np.concatenate([np.asarray(c) for c in chunks]) if any(
+            chunks
+        ) else np.array([])
+        merged = TargetMoments()
+        for chunk in chunks:
+            merged = merged.merge(TargetMoments.from_values(np.asarray(chunk)))
+        assert merged.count == len(pooled)
+        if len(pooled):
+            np.testing.assert_allclose(
+                merged.mean, np.mean(pooled), rtol=1e-9, atol=1e-9
+            )
+            np.testing.assert_allclose(
+                merged.variance, np.var(pooled), rtol=1e-6, atol=1e-6
+            )
+
+    @given(st.permutations(list(range(4))))
+    @settings(max_examples=24, deadline=None)
+    def test_moment_merge_order_free(self, order):
+        rng = np.random.default_rng(0)
+        parts = [
+            TargetMoments.from_values(rng.normal(size=n))
+            for n in (5, 17, 0, 31)
+        ]
+        merged = TargetMoments()
+        for i in order:
+            merged = merged.merge(parts[i])
+        reference = TargetMoments()
+        for part in parts:
+            reference = reference.merge(part)
+        assert merged.count == reference.count
+        np.testing.assert_allclose(merged.mean, reference.mean, atol=1e-12)
+        np.testing.assert_allclose(
+            merged.m2, reference.m2, rtol=1e-9, atol=1e-9
+        )

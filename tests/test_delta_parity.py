@@ -1,0 +1,187 @@
+"""Merge-vs-sequential golden parity suite (ISSUE acceptance criteria).
+
+Three escalating guarantees, proven on a Table-1 dataset (boston)
+across every quantisation combination:
+
+1. **1-shard replay** — ``ShardTrainer(n_shards=1)`` reproduces
+   sequential ``partial_fit`` within 1e-9 for every one of the 12
+   cluster × predict quant combos (single-model is bit-exact; the
+   clustered recorder accumulates batch sums where the live path
+   scatters per sample, so its bits may differ in the last ulp).
+2. **Bit stability** — repeating a multi-shard run from a fresh model
+   produces identical bits (the ordered reduction leaves scheduling no
+   way in), again across all 12 combos.
+3. **Quality parity** — shard-parallel training with the ``sum``
+   (bundling) reduction lands within 1% of the sequential reference
+   RMSE for the clustered model, and within 1e-9 for the single model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClusterQuant,
+    MultiModelRegHD,
+    PredictQuant,
+    RegHDConfig,
+    SingleModelRegHD,
+)
+from repro.datasets import load_dataset, train_test_split
+from repro.datasets.preprocessing import StandardScaler
+from repro.distributed import ShardTrainer
+from repro.metrics import root_mean_squared_error
+
+DIM = 256
+SEED = 7
+BATCH = 64
+
+QUANT_COMBOS = [
+    pytest.param(cq, pq, id=f"{cq.value}-{pq.value}")
+    for cq in ClusterQuant
+    for pq in PredictQuant
+]
+
+
+@pytest.fixture(scope="module")
+def boston():
+    dataset = load_dataset("boston")
+    split = train_test_split(dataset, seed=SEED)
+    scaler = StandardScaler().fit(split.X_train)
+    return (
+        scaler.transform(split.X_train),
+        split.y_train,
+        scaler.transform(split.X_test),
+        split.y_test,
+    )
+
+
+def _config(cq: ClusterQuant, pq: PredictQuant) -> RegHDConfig:
+    return RegHDConfig(
+        dim=DIM,
+        n_models=4,
+        seed=SEED,
+        cluster_quant=cq,
+        predict_quant=pq,
+    )
+
+
+def _sequential(model, X, y, *, passes=1, batch=BATCH):
+    for _ in range(passes):
+        for lo in range(0, len(y), batch):
+            model.partial_fit(X[lo : lo + batch], y[lo : lo + batch])
+    return model
+
+
+# -- 1. one-shard replay, all 12 combos --------------------------------------
+
+
+@pytest.mark.parametrize("cq,pq", QUANT_COMBOS)
+def test_one_shard_replay_all_quant_combos(boston, cq, pq):
+    X, y, X_test, _ = boston
+    seq = _sequential(MultiModelRegHD(X.shape[1], _config(cq, pq)), X, y)
+
+    sharded = MultiModelRegHD(X.shape[1], _config(cq, pq))
+    ShardTrainer(sharded, n_shards=1, batch_rows=BATCH).train(X, y)
+
+    np.testing.assert_allclose(
+        sharded.models.integer, seq.models.integer, rtol=1e-9, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        sharded.clusters.integer, seq.clusters.integer, rtol=1e-9, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        sharded.predict(X_test), seq.predict(X_test), rtol=1e-9, atol=1e-9
+    )
+
+
+def test_one_shard_replay_single_model_is_bitexact(boston):
+    X, y, X_test, _ = boston
+    seq = _sequential(SingleModelRegHD(X.shape[1], dim=DIM, seed=SEED), X, y)
+
+    sharded = SingleModelRegHD(X.shape[1], dim=DIM, seed=SEED)
+    ShardTrainer(sharded, n_shards=1, batch_rows=BATCH).train(X, y)
+
+    np.testing.assert_array_equal(sharded.model, seq.model)
+    np.testing.assert_array_equal(sharded.predict(X_test), seq.predict(X_test))
+
+
+# -- 2. multi-shard bit stability, all 12 combos -----------------------------
+
+
+@pytest.mark.parametrize("cq,pq", QUANT_COMBOS)
+def test_four_shard_runs_are_bit_stable(boston, cq, pq):
+    """Two fresh 4-shard runs produce identical bits: the ordered
+    reduction (sort by shard id before merging) removes every scheduling
+    degree of freedom, and shard seeding is derived deterministically."""
+    X, y, _, _ = boston
+
+    def run():
+        model = MultiModelRegHD(X.shape[1], _config(cq, pq))
+        ShardTrainer(model, n_shards=4, batch_rows=BATCH).train(X, y)
+        return model
+
+    a, b = run(), run()
+    np.testing.assert_array_equal(a.models.integer, b.models.integer)
+    np.testing.assert_array_equal(a.clusters.integer, b.clusters.integer)
+
+
+def test_merge_order_cannot_change_bits(boston):
+    """merge_deltas folds in list order; the trainer always hands it the
+    shard-id order, so a permuted delta list re-sorted by shard id must
+    reduce to the same bits as the original order."""
+    X, y, _, _ = boston
+    model = MultiModelRegHD(X.shape[1], _config(ClusterQuant.NONE, PredictQuant.FULL))
+    trainer = ShardTrainer(model, n_shards=4, batch_rows=BATCH)
+    deltas = trainer.map(X, y)
+    merged = trainer.reduce(deltas)
+    shuffled = [deltas[i] for i in (3, 1, 0, 2)]
+    order = {id(d): i for i, d in enumerate(deltas)}
+    shuffled.sort(key=lambda d: order[id(d)])
+    again = trainer.reduce(shuffled)
+    for name in merged.arrays:
+        np.testing.assert_array_equal(merged.arrays[name], again.arrays[name])
+
+
+# -- 3. quality parity -------------------------------------------------------
+
+
+def test_clustered_quality_within_one_percent_of_sequential(boston):
+    """Shard-parallel training with the bundling (sum) reduction merges
+    after every super-batch — the coordinator cadence — and must land
+    within 1% of the sequential RMSE on the Table-1 dataset."""
+    X, y, X_test, y_test = boston
+    passes = 5
+    config = RegHDConfig(dim=1024, n_models=4, seed=SEED)
+
+    seq = _sequential(
+        MultiModelRegHD(X.shape[1], config), X, y, passes=passes
+    )
+    seq_rmse = root_mean_squared_error(y_test, seq.predict(X_test))
+
+    sharded = MultiModelRegHD(X.shape[1], config)
+    trainer = ShardTrainer(sharded, n_shards=4, reduction="sum")
+    for _ in range(passes):
+        for lo in range(0, len(y), BATCH):
+            trainer.train(X[lo : lo + BATCH], y[lo : lo + BATCH])
+    sharded_rmse = root_mean_squared_error(y_test, sharded.predict(X_test))
+
+    assert sharded_rmse <= 1.01 * seq_rmse, (
+        f"sharded RMSE {sharded_rmse:.4f} vs sequential {seq_rmse:.4f} "
+        f"(ratio {sharded_rmse / seq_rmse:.4f})"
+    )
+
+
+def test_single_model_quality_within_1e9_of_sequential(boston):
+    """For the single model the 1-shard map-reduce *is* the sequential
+    run — RMSE agrees to 1e-9 (bit-stable ordered reduction)."""
+    X, y, X_test, y_test = boston
+    seq = _sequential(
+        SingleModelRegHD(X.shape[1], dim=1024, seed=SEED), X, y, passes=3
+    )
+    sharded = SingleModelRegHD(X.shape[1], dim=1024, seed=SEED)
+    trainer = ShardTrainer(sharded, n_shards=1, batch_rows=BATCH)
+    for _ in range(3):
+        trainer.train(X, y)
+    seq_rmse = root_mean_squared_error(y_test, seq.predict(X_test))
+    sharded_rmse = root_mean_squared_error(y_test, sharded.predict(X_test))
+    assert abs(sharded_rmse - seq_rmse) < 1e-9

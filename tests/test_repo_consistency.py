@@ -26,6 +26,10 @@ BINDING_OPS = SRC / "repro" / "ops" / "binding.py"
 TELEMETRY_DIR = SRC / "repro" / "telemetry"
 #: robust statistics — the only sanctioned covariance/Mahalanobis site
 ROBUST_DIR = SRC / "repro" / "robust"
+#: the core estimators — delta hooks/sinks are the mutation protocol
+CORE_DIR = SRC / "repro" / "core"
+#: fault injection — *deliberately* out-of-band hypervector writes
+NOISE_DIR = SRC / "repro" / "noise"
 
 
 def _python_sources():
@@ -185,6 +189,30 @@ def test_no_ad_hoc_covariance_outside_robust():
     assert not hits, (
         "ad-hoc covariance/Mahalanobis code outside repro/robust — use "
         "RobustMomentTracker / MahalanobisGate:\n" + "\n".join(hits)
+    )
+
+
+def test_no_hypervector_mutation_outside_delta_protocol():
+    """Learned hypervector arrays mutate only through the ModelDelta
+    protocol: the ``_push_*`` sinks and delta hooks in ``repro/core``
+    (which both apply the live update and feed the recorder) and the
+    ``DualCopy`` mutators in ``repro/runtime``.  Direct ``+=`` /
+    slice-assignment into ``.model`` / ``.class_vectors`` /
+    ``.integer`` / ``.signs`` / ``.binary`` anywhere else would train
+    invisibly to a recording span, so shard deltas would silently drop
+    those updates.  ``repro/noise`` stays exempt: fault injection
+    *deliberately* writes out of band to simulate memory corruption."""
+    hits = _offending_lines(
+        r"(\.model|\.class_vectors|\.integer|\.signs|\.binary)"
+        r"((\[[^\]]*\])?\s*[-+*/]=|\[[^\]]*\]\s*=[^=])",
+        exclude=set(CORE_DIR.rglob("*.py"))
+        | _runtime_sources()
+        | set(NOISE_DIR.rglob("*.py")),
+    )
+    assert not hits, (
+        "direct hypervector mutation outside the ModelDelta protocol — "
+        "route it through the estimator's _push_update/_push_replace/"
+        "_push_scatter sinks (or a DualCopy mutator):\n" + "\n".join(hits)
     )
 
 

@@ -394,7 +394,7 @@ class TestInstrumentedBackend:
             "cluster_similarities",
             "model_dots",
             "weighted_prediction",
-            "weighted_model_update",
+            "weighted_model_step",
         ):
             assert calls.get(kernel, 0) > 0, kernel
         nbytes = {
