@@ -11,12 +11,16 @@ The record kind is dispatched on the ``benchmark`` field:
 ``BENCH_inference.json`` records diff raw ``rows_per_s`` per
 ``(dim, variant)`` cell (:func:`repro.engine.bench.compare_inference_records`),
 ``BENCH_distributed.json`` records per worker count
-(:func:`repro.distributed.bench.compare_distributed_records`).  In both
-cases the same workload on a different machine falls back to comparing
-machine-independent speedup ratios with doubled slack, and records with
-different benchmark parameters (quick vs full sweep) are incomparable
-and pass with a warning.  ``repro bench --compare BASELINE`` runs the
-inference check in-process right after a benchmark finishes.
+(:func:`repro.distributed.bench.compare_distributed_records`), and
+``BENCH_workloads.json`` SLO records per workload
+(:func:`repro.workloads.compare_workload_records` — tail RMSE plus
+pass→fail gate flips; latency is machine-bound and never diffed).  For
+the throughput records, the same workload on a different machine falls
+back to comparing machine-independent speedup ratios with doubled
+slack, and records with different benchmark parameters (quick vs full
+sweep) are incomparable and pass with a warning.  ``repro bench
+--compare BASELINE`` runs the inference check in-process right after a
+benchmark finishes.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from pathlib import Path
 
 from repro.distributed.bench import compare_distributed_records
 from repro.engine.bench import compare_inference_records
+from repro.workloads import compare_workload_records
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,6 +52,10 @@ def main(argv: list[str] | None = None) -> int:
     current = json.loads(Path(args.current).read_text())
     if current.get("benchmark") == "reghd-distributed-scaling":
         report = compare_distributed_records(
+            baseline, current, threshold=args.threshold
+        )
+    elif current.get("benchmark") == "reghd-workload-replay":
+        report = compare_workload_records(
             baseline, current, threshold=args.threshold
         )
     else:

@@ -14,7 +14,7 @@ import pytest
 from _common import save_result, standardized_split
 from repro import MultiModelRegHD, RegHDConfig, SingleModelRegHD
 from repro.core import ConvergencePolicy
-from repro.datasets import regime_mixture, train_test_split
+from repro.datasets import load_dataset, train_test_split
 from repro.datasets.preprocessing import StandardScaler
 from repro.evaluation import render_table
 from repro.metrics import mean_squared_error
@@ -54,7 +54,9 @@ def test_fig3a_iterative_learning(benchmark):
 
 def test_fig3b_single_vs_multi(benchmark):
     """Fig. 3b: multi-model wins on a complex task."""
-    ds = regime_mixture(1200, 6, n_regimes=8, seed=3, noise=0.1)
+    ds = load_dataset(
+        "regime", n_samples=1200, n_features=6, n_regimes=8, noise=0.1, seed=3
+    )
     split = train_test_split(ds, seed=0)
     scaler = StandardScaler().fit(split.X_train)
     X, Xte = scaler.transform(split.X_train), scaler.transform(split.X_test)

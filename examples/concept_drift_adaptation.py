@@ -1,10 +1,12 @@
 """Concept-drift adaptation with streaming RegHD.
 
-A sensor-calibration scenario: the device learns the mapping from raw
-sensor readings to a physical quantity, then the sensor is recalibrated
-mid-stream (an abrupt concept change).  A drift-aware streaming learner
-(Page-Hinkley detection + exponential forgetting) recovers quickly; a
-frozen-memory learner keeps averaging the two incompatible concepts.
+A sensor-calibration scenario, declared once in the workload registry:
+the ``sensor_recalibration`` workload pairs the ``sensor_forecast``
+dataset with an abrupt drift profile (mid-stream the target is inverted
+and offset — a recalibrated sensor).  This example replays that declared
+stream through two learners: a drift-aware one (Page-Hinkley detection +
+exponential forgetting) recovers quickly; a frozen-memory learner keeps
+averaging the two incompatible concepts.
 
     python examples/concept_drift_adaptation.py
 """
@@ -12,56 +14,61 @@ frozen-memory learner keeps averaging the two incompatible concepts.
 import numpy as np
 
 from repro import RegHDConfig
+from repro.datasets import StandardScaler
 from repro.streaming import PageHinkley, StreamingRegHD
+from repro.workloads import get_workload
 
-N_BATCHES_PER_CONCEPT = 30
 BATCH = 64
 CONFIG = RegHDConfig(dim=1000, n_models=4, seed=0)
 
+WORKLOAD = get_workload("sensor_recalibration")
+DATASET = WORKLOAD.load(quick=False, seed=0)
 
-def batches(concept: int, n_batches: int, seed: int):
-    rng = np.random.default_rng(seed)
-    for _ in range(n_batches):
-        X = rng.normal(size=(BATCH, 4))
-        if concept == 0:
-            y = np.sin(2 * X[:, 0]) + X[:, 1]
-        else:  # recalibration flips the response and adds an offset
-            y = -np.sin(2 * X[:, 0]) - X[:, 1] + 2.0
-        yield X, y
+
+def batches():
+    """The workload's stream: standardized windows, drift applied."""
+    X = StandardScaler().fit(DATASET.X).transform(DATASET.X)
+    y, n = DATASET.y, len(DATASET.y)
+    for lo in range(0, n - BATCH + 1, BATCH):
+        yield X[lo : lo + BATCH], WORKLOAD.drifted_targets(
+            y[lo : lo + BATCH], lo / n
+        )
 
 
 def run(label: str, stream: StreamingRegHD) -> None:
-    for X, y in batches(0, N_BATCHES_PER_CONCEPT, seed=0):
-        stream.update(X, y)
-    for X, y in batches(1, N_BATCHES_PER_CONCEPT, seed=1):
+    for X, y in batches():
         stream.update(X, y)
 
     curve = stream.history.mse_curve()
+    n_batches = len(curve)
+    # First batch whose targets the workload's abrupt drift rewrites.
+    drift_batch = int(np.ceil(WORKLOAD.drift.at * n_batches))
     drift_events = stream.history.drift_events
     print(f"--- {label} ---")
     print(f"  pre-drift MSE (last 5 batches of concept A): "
-          f"{np.nanmean(curve[25:30]):.3f}")
-    print(f"  right after the drift (batches 31-35):       "
-          f"{np.nanmean(curve[30:35]):.3f}")
+          f"{np.nanmean(curve[drift_batch - 5 : drift_batch]):.3f}")
+    print(f"  right after the drift (next 5 batches):      "
+          f"{np.nanmean(curve[drift_batch : drift_batch + 5]):.3f}")
     print(f"  recovered (last 5 batches of concept B):     "
           f"{np.nanmean(curve[-5:]):.3f}")
     if drift_events:
         print(f"  drift detected at batch(es): {drift_events} "
-              f"(change was at batch {N_BATCHES_PER_CONCEPT + 1})")
+              f"(change was at batch {drift_batch + 1})")
     else:
         print("  drift detected: never")
     print()
 
 
 def main() -> None:
+    in_features = DATASET.n_features
     run(
         "frozen memory (no detector, no forgetting)",
-        StreamingRegHD(4, CONFIG, forgetting=1.0),
+        StreamingRegHD(in_features, CONFIG, forgetting=1.0),
     )
     run(
         "drift-aware (Page-Hinkley + forgetting)",
         StreamingRegHD(
-            4,
+            in_features,
             CONFIG,
             forgetting=0.99,
             detector=PageHinkley(threshold=1.0),

@@ -20,10 +20,9 @@ This example walks the three layers:
 import os
 import tempfile
 
-import numpy as np
-
 from repro import RegHDConfig, load_delta, save_delta
 from repro.core import MultiModelRegHD, SingleModelRegHD, derive_shard_seed
+from repro.datasets import load_dataset
 from repro.distributed import DeltaCoordinator, ShardTrainer
 from repro.metrics import root_mean_squared_error
 from repro.streaming import StreamingRegHD
@@ -33,10 +32,10 @@ CONFIG = RegHDConfig(dim=1024, n_models=4, seed=0)
 
 
 def make_data(n: int, seed: int):
-    rng = np.random.default_rng(seed)
-    X = rng.normal(size=(n, FEATURES))
-    y = np.sin(2 * X[:, 0]) + 0.5 * X[:, 1] * X[:, 2] - X[:, 3]
-    return X, y
+    ds = load_dataset(
+        "interaction", n_samples=n, n_features=FEATURES, seed=seed
+    )
+    return ds.X, ds.y
 
 
 def raw_protocol() -> None:

@@ -12,16 +12,16 @@ uses only features 0-4, with three pure distractors appended — and shows:
     python examples/explain_predictions.py
 """
 
-import numpy as np
-
 from repro import MultiModelRegHD, RegHDConfig
-from repro.datasets import friedman1
+from repro.datasets import load_dataset
 from repro.evaluation import render_table
 from repro.interpret import cluster_profile, feature_importance, prediction_breakdown
 
 
 def main() -> None:
-    dataset = friedman1(800, n_features=8, noise=0.3, seed=0)
+    dataset = load_dataset(
+        "friedman1", n_samples=800, n_features=8, noise=0.3, seed=0
+    )
     model = MultiModelRegHD(
         8, RegHDConfig(dim=2000, n_models=4, seed=0)
     ).fit(dataset.X, dataset.y)

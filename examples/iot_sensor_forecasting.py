@@ -11,10 +11,8 @@ streams in real time.  This example:
     python examples/iot_sensor_forecasting.py
 """
 
-import numpy as np
-
 from repro import MultiModelRegHD, RegHDConfig, SequenceEncoder, r2_score
-from repro.datasets import sensor_signal, windowed_forecasting_dataset
+from repro.datasets import load_dataset
 
 WINDOW = 12
 DIM = 2000
@@ -23,8 +21,7 @@ CHUNK = 100  # samples per arriving batch
 
 
 def main() -> None:
-    series = sensor_signal(STREAM_LEN, seed=0)
-    dataset = windowed_forecasting_dataset(series, window=WINDOW)
+    dataset = load_dataset("sensor_forecast", n=STREAM_LEN, window=WINDOW, seed=0)
     X, y = dataset.X, dataset.y
 
     encoder = SequenceEncoder(

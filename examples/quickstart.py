@@ -5,8 +5,6 @@ Runs in a few seconds on a laptop:
     python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro import (
     MultiModelRegHD,
     RegHDConfig,
@@ -14,19 +12,16 @@ from repro import (
     mean_squared_error,
     r2_score,
 )
+from repro.datasets import load_dataset, train_test_split
 
 
 def main() -> None:
-    # A nonlinear synthetic task: y = sin(2 x0) + 0.5 x1 x2 + 0.3 x3.
-    rng = np.random.default_rng(0)
-
-    def target(X: np.ndarray) -> np.ndarray:
-        return np.sin(2 * X[:, 0]) + 0.5 * X[:, 1] * X[:, 2] + 0.3 * X[:, 3]
-
-    X_train = rng.normal(size=(600, 5))
-    y_train = target(X_train)
-    X_test = rng.normal(size=(300, 5))
-    y_test = target(X_test)
+    # A nonlinear synthetic task from the dataset registry:
+    # y = sin(2 x0) + 0.5 x1 x2 + 0.3 x3 (+ noise).
+    dataset = load_dataset("interaction", n_samples=900, n_features=5, seed=0)
+    split = train_test_split(dataset, test_fraction=1 / 3, seed=0)
+    X_train, y_train = split.X_train, split.y_train
+    X_test, y_test = split.X_test, split.y_test
 
     # --- single-model RegHD (paper Sec. 2.3) -----------------------------
     single = SingleModelRegHD(in_features=5, dim=2000, seed=0)

@@ -17,9 +17,8 @@ two conformal tools in the repo on a stream whose concept shifts midway:
     python examples/uncertainty_intervals.py
 """
 
-import numpy as np
-
 from repro import MultiModelRegHD, RegHDConfig
+from repro.datasets import load_dataset
 from repro.evaluation import ConformalRegressor, render_table
 from repro.robust import AdaptiveConformal
 from repro.streaming import StreamingRegHD
@@ -28,18 +27,34 @@ ALPHA = 0.1  # nominal 90 % intervals
 N_FEATURES = 5
 BATCH = 50
 N_BATCHES = 80  # drift hits at the halfway point
+N_HISTORY = 1500  # pre-drift rows the batch pipeline calibrates on
+
+# Two linear concepts from the registry: different seeds draw different
+# random coefficients, and the post-drift regime is three times noisier.
+_HALF_ROWS = (N_BATCHES // 2) * BATCH
+_PRE = load_dataset(
+    "linear",
+    n_samples=N_HISTORY + _HALF_ROWS,
+    n_features=N_FEATURES,
+    noise=0.3,
+    seed=0,
+)
+_POST = load_dataset(
+    "linear", n_samples=_HALF_ROWS, n_features=N_FEATURES, noise=0.9, seed=7
+)
 
 
-def make_stream(seed: int = 0):
-    """A piecewise-stationary stream: the concept rotates halfway in."""
-    rng = np.random.default_rng(seed)
-    before = np.array([2.0, -1.0, 0.5, 1.5, -0.5])
-    after = np.array([-1.0, 2.0, 1.5, -0.5, 0.5])  # rotated coefficients
+def make_stream():
+    """A piecewise-stationary stream: the concept switches halfway in."""
+    X_pre, y_pre = _PRE.X[N_HISTORY:], _PRE.y[N_HISTORY:]
+    half = N_BATCHES // 2
     for b in range(N_BATCHES):
-        X = rng.normal(size=(BATCH, N_FEATURES))
-        coef = before if b < N_BATCHES // 2 else after
-        noise = 0.3 if b < N_BATCHES // 2 else 0.9  # noisier regime too
-        yield X, X @ coef + noise * rng.normal(size=BATCH)
+        lo = (b if b < half else b - half) * BATCH
+        sl = slice(lo, lo + BATCH)
+        if b < half:
+            yield X_pre[sl], y_pre[sl]
+        else:
+            yield _POST.X[sl], _POST.y[sl]
 
 
 def main() -> None:
@@ -47,10 +62,7 @@ def main() -> None:
 
     # Batch conformal: train + calibrate once, on pre-drift data only —
     # all a one-shot pipeline ever gets to see.
-    rng = np.random.default_rng(99)
-    X_hist = rng.normal(size=(1500, N_FEATURES))
-    y_hist = X_hist @ np.array([2.0, -1.0, 0.5, 1.5, -0.5])
-    y_hist += 0.3 * rng.normal(size=1500)
+    X_hist, y_hist = _PRE.X[:N_HISTORY], _PRE.y[:N_HISTORY]
     batch = ConformalRegressor(
         MultiModelRegHD(N_FEATURES, config), alpha=ALPHA, seed=0
     ).fit(X_hist, y_hist)

@@ -100,7 +100,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("datasets", help="list registered datasets")
+    datasets = sub.add_parser("datasets", help="list registered datasets")
+    datasets.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable listing (name/params/tags/shape)",
+    )
+
+    workloads = sub.add_parser(
+        "workloads", help="list registered replay workloads"
+    )
+    workloads.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable listing (name/params/tags)",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="stream a workload through the resilient path and score its SLOs",
+    )
+    replay.add_argument(
+        "workload",
+        nargs="*",
+        help="registered workload name(s); default replays the full catalogue",
+    )
+    replay.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: shrunken datasets and model dimensionality",
+    )
+    replay.add_argument("--seed", type=int, default=0, help="replay seed")
+    replay.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the BENCH_workloads.json record here",
+    )
+    _add_metrics_out(replay)
 
     train = sub.add_parser("train", help="train a RegHD model on a dataset")
     train.add_argument("--dataset", required=True, help="registered dataset name")
@@ -423,11 +460,112 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_datasets() -> int:
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.datasets import dataset_params, dataset_tags
+
+    if args.json:
+        listing = []
+        for name in available_datasets():
+            ds = load_dataset(name)
+            listing.append(
+                {
+                    "name": name,
+                    "params": list(dataset_params(name)),
+                    "tags": list(dataset_tags(name)),
+                    "n_samples": ds.n_samples,
+                    "n_features": ds.n_features,
+                    "description": ds.description,
+                }
+            )
+        print(json.dumps(listing, indent=2))
+        return 0
     for name in available_datasets():
         ds = load_dataset(name)
-        print(f"{name:12s} {ds.n_samples:6d} x {ds.n_features:3d}  {ds.description}")
+        tags = ",".join(dataset_tags(name))
+        print(
+            f"{name:16s} {ds.n_samples:6d} x {ds.n_features:3d}  "
+            f"[{tags}]  {ds.description}"
+        )
     return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import WORKLOAD_REGISTRY, available_workloads
+
+    if args.json:
+        listing = []
+        for name in available_workloads():
+            w = WORKLOAD_REGISTRY[name]
+            listing.append(
+                {
+                    "name": name,
+                    "dataset": w.dataset,
+                    "dataset_kwargs": dict(w.dataset_kwargs),
+                    "encoder": w.encoder,
+                    "drift": w.drift.kind,
+                    "traffic": w.traffic.kind,
+                    "faults": [
+                        {
+                            "injector": f.injector,
+                            "rate": f.rate,
+                            "target": f.target,
+                        }
+                        for f in w.faults
+                    ],
+                    "guard_policy": w.guard_policy,
+                    "tags": list(w.tags),
+                    "description": w.description,
+                }
+            )
+        print(json.dumps(listing, indent=2))
+        return 0
+    for name in available_workloads():
+        w = WORKLOAD_REGISTRY[name]
+        faults = ",".join(f"{f.injector}@{f.target}" for f in w.faults) or "-"
+        print(
+            f"{name:24s} data={w.dataset:16s} traffic={w.traffic.kind:12s} "
+            f"drift={w.drift.kind:8s} faults={faults}"
+        )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.workloads import (
+        ReplayEngine,
+        available_workloads,
+        workload_bench_record,
+    )
+
+    registry = _metrics_session(args)
+    names = tuple(args.workload) or available_workloads()
+    engine = ReplayEngine(quick=args.quick, seed=args.seed)
+    reports = []
+    for name in names:
+        report = engine.run(name)
+        reports.append(report)
+        verdict = "PASS" if report.passed else "FAIL"
+        failed = ", ".join(
+            f"{c.gate} {c.value:.4g} vs {c.limit:.4g}"
+            for c in report.checks
+            if not c.passed
+        )
+        print(
+            f"{verdict}  {report.workload:24s} "
+            f"rmse={report.tail_rmse:8.4f}  "
+            f"cov={'--' if report.coverage is None else f'{report.coverage:.3f}'}  "
+            f"p99={report.p99_latency_ms:7.1f}ms  "
+            f"batches={report.n_batches:4d}  faults={report.faults_injected:3d}"
+            + (f"  [{failed}]" if failed else "")
+        )
+    if args.output is not None:
+        record = workload_bench_record(
+            reports, quick=args.quick, seed=args.seed
+        )
+        with open(args.output, "w") as fh:
+            json.dump(record, fh, indent=2)
+        print(f"wrote SLO report : {args.output}")
+    _write_metrics(registry, args)
+    return 0 if all(r.passed for r in reports) else 1
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -918,7 +1056,11 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "datasets":
-        return _cmd_datasets()
+        return _cmd_datasets(args)
+    if args.command == "workloads":
+        return _cmd_workloads(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "train":
         return _cmd_train(args)
     if args.command == "merge":

@@ -8,19 +8,26 @@ from repro.datasets.preprocessing import MinMaxScaler, StandardScaler, TargetSca
 from repro.datasets.registry import (
     PAPER_DATASETS,
     available_datasets,
+    dataset_params,
+    dataset_tags,
     load_dataset,
     register_dataset,
+    unregister_dataset,
 )
 from repro.datasets.splits import Split, k_fold_splits, train_test_split
 from repro.datasets.synthetic import (
     friedman1,
     friedman2,
     friedman3,
+    high_cardinality,
+    linear,
+    nonlinear_interaction,
     piecewise,
     regime_mixture,
     sinusoid,
 )
 from repro.datasets.timeseries import (
+    multihorizon_forecasting_dataset,
     regime_switching_signal,
     sensor_signal,
     windowed_forecasting_dataset,
@@ -34,20 +41,27 @@ __all__ = [
     "TargetScaler",
     "PAPER_DATASETS",
     "available_datasets",
+    "dataset_params",
+    "dataset_tags",
     "load_dataset",
     "register_dataset",
+    "unregister_dataset",
     "Split",
     "k_fold_splits",
     "train_test_split",
     "friedman1",
     "friedman2",
     "friedman3",
+    "high_cardinality",
+    "linear",
+    "nonlinear_interaction",
     "piecewise",
     "regime_mixture",
     "sinusoid",
     "SPECS",
     "SurrogateSpec",
     "build_surrogate",
+    "multihorizon_forecasting_dataset",
     "regime_switching_signal",
     "sensor_signal",
     "windowed_forecasting_dataset",

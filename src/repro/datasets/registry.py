@@ -1,15 +1,20 @@
 """Name → loader registry for all datasets.
 
 ``load_dataset("airfoil")`` is the single entry point the harness,
-examples and benchmarks use; new datasets register themselves with
-:func:`register_dataset`.
+examples, benchmarks and the workload layer use; new datasets register
+themselves with :func:`register_dataset`.  Each registration records its
+call site, so a duplicate-name error can point at the code that took the
+name first; ``replace=True`` and :func:`unregister_dataset` let notebooks
+and tests re-register a loader without restarting the process.
 """
 
 from __future__ import annotations
 
+import inspect
+import traceback
 from typing import Callable
 
-from repro.datasets import synthetic, uci_like
+from repro.datasets import synthetic, timeseries, uci_like
 from repro.datasets.base import Dataset
 from repro.exceptions import DatasetError
 from repro.types import SeedLike
@@ -18,17 +23,89 @@ DatasetLoader = Callable[..., Dataset]
 
 _REGISTRY: dict[str, DatasetLoader] = {}
 
+#: name -> "file:lineno" of the register_dataset call that took the name
+_SITES: dict[str, str] = {}
 
-def register_dataset(name: str, loader: DatasetLoader) -> None:
-    """Register a loader under ``name`` (errors on duplicates)."""
-    if name in _REGISTRY:
-        raise DatasetError(f"dataset {name!r} is already registered")
+#: name -> descriptive tags ("paper", "synthetic", "timeseries", ...)
+_TAGS: dict[str, tuple[str, ...]] = {}
+
+
+def _call_site() -> str:
+    """``file:lineno`` of the frame that called ``register_dataset``."""
+    stack = traceback.extract_stack(limit=10)[:-2]
+    for frame in reversed(stack):
+        if "importlib" not in frame.filename:
+            return f"{frame.filename}:{frame.lineno}"
+    return "unknown site"
+
+
+def register_dataset(
+    name: str,
+    loader: DatasetLoader,
+    *,
+    replace: bool = False,
+    tags: tuple[str, ...] = (),
+) -> None:
+    """Register a loader under ``name``.
+
+    Duplicate names error unless ``replace=True``; the error names the
+    file and line of the registration that holds the name, so the fix
+    (rename, or unregister first) is one jump away.
+    """
+    if name in _REGISTRY and not replace:
+        raise DatasetError(
+            f"dataset {name!r} is already registered "
+            f"(at {_SITES.get(name, 'unknown site')}); pass replace=True "
+            "to overwrite it or call unregister_dataset first"
+        )
     _REGISTRY[name] = loader
+    _SITES[name] = _call_site()
+    _TAGS[name] = tuple(tags)
+
+
+def unregister_dataset(name: str) -> None:
+    """Remove ``name`` from the registry (for notebook/test re-registration)."""
+    if name not in _REGISTRY:
+        raise DatasetError(
+            f"cannot unregister unknown dataset {name!r}; "
+            f"available: {available_datasets()}"
+        )
+    del _REGISTRY[name]
+    _SITES.pop(name, None)
+    _TAGS.pop(name, None)
 
 
 def available_datasets() -> tuple[str, ...]:
     """Sorted names of every registered dataset."""
     return tuple(sorted(_REGISTRY))
+
+
+def dataset_tags(name: str) -> tuple[str, ...]:
+    """Descriptive tags recorded at registration (may be empty)."""
+    return _TAGS.get(name, ())
+
+
+def dataset_params(name: str) -> tuple[str, ...]:
+    """Keyword parameters the registered loader accepts (for tooling).
+
+    Loaders whose signature cannot be introspected report no parameters
+    rather than failing the listing.
+    """
+    loader = _REGISTRY.get(name)
+    if loader is None:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        )
+    try:
+        signature = inspect.signature(loader)
+    except (TypeError, ValueError):
+        return ()
+    return tuple(
+        p.name
+        for p in signature.parameters.values()
+        if p.kind
+        in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+    )
 
 
 def load_dataset(name: str, seed: SeedLike = 0, **kwargs: object) -> Dataset:
@@ -57,15 +134,40 @@ PAPER_DATASETS: tuple[str, ...] = (
     "forest",
 )
 
-register_dataset("diabetes", uci_like.load_diabetes)
-register_dataset("boston", uci_like.load_boston)
-register_dataset("airfoil", uci_like.load_airfoil)
-register_dataset("wine", uci_like.load_wine)
-register_dataset("facebook", uci_like.load_facebook)
-register_dataset("ccpp", uci_like.load_ccpp)
-register_dataset("forest", uci_like.load_forest)
-register_dataset("friedman1", synthetic.friedman1)
-register_dataset("friedman2", synthetic.friedman2)
-register_dataset("friedman3", synthetic.friedman3)
-register_dataset("sinusoid", synthetic.sinusoid)
-register_dataset("piecewise", synthetic.piecewise)
+register_dataset("diabetes", uci_like.load_diabetes, tags=("paper",))
+register_dataset("boston", uci_like.load_boston, tags=("paper",))
+register_dataset("airfoil", uci_like.load_airfoil, tags=("paper",))
+register_dataset("wine", uci_like.load_wine, tags=("paper",))
+register_dataset("facebook", uci_like.load_facebook, tags=("paper",))
+register_dataset("ccpp", uci_like.load_ccpp, tags=("paper",))
+register_dataset("forest", uci_like.load_forest, tags=("paper",))
+register_dataset("friedman1", synthetic.friedman1, tags=("synthetic",))
+register_dataset("friedman2", synthetic.friedman2, tags=("synthetic",))
+register_dataset("friedman3", synthetic.friedman3, tags=("synthetic",))
+register_dataset("sinusoid", synthetic.sinusoid, tags=("synthetic",))
+register_dataset("piecewise", synthetic.piecewise, tags=("synthetic",))
+register_dataset("linear", synthetic.linear, tags=("synthetic",))
+register_dataset(
+    "interaction", synthetic.nonlinear_interaction, tags=("synthetic",)
+)
+register_dataset("regime", synthetic.regime_mixture, tags=("synthetic",))
+register_dataset(
+    "highcard",
+    synthetic.high_cardinality,
+    tags=("synthetic", "sparse", "workload"),
+)
+register_dataset(
+    "sensor_forecast",
+    timeseries.load_sensor_forecast,
+    tags=("timeseries", "workload"),
+)
+register_dataset(
+    "regime_forecast",
+    timeseries.load_regime_forecast,
+    tags=("timeseries", "workload"),
+)
+register_dataset(
+    "forecast_multi",
+    timeseries.load_multihorizon_forecast,
+    tags=("timeseries", "multioutput", "workload"),
+)

@@ -163,9 +163,133 @@ def piecewise(
     )
 
 
+def linear(
+    n_samples: int = 500,
+    *,
+    n_features: int = 4,
+    noise: float = 0.1,
+    seed: SeedLike = 0,
+) -> Dataset:
+    """Seeded linear map ``y = X w + b + e`` on standard-normal inputs.
+
+    The easiest target in the suite — a single linear-in-HD-space model
+    should fit it nearly perfectly, which makes it the right substrate
+    for calibration demos where interval width, not model error, is the
+    object of study.
+    """
+    _check_n(n_samples)
+    if n_features < 1:
+        raise DatasetError(f"n_features must be >= 1, got {n_features}")
+    rng = as_generator(seed)
+    X = rng.normal(size=(n_samples, n_features))
+    coefs = rng.normal(size=n_features)
+    intercept = rng.normal() * 0.5
+    y = X @ coefs + intercept + noise * rng.normal(size=n_samples)
+    return Dataset(
+        name="linear",
+        X=X,
+        y=y,
+        feature_names=tuple(f"x{i}" for i in range(n_features)),
+        description="Seeded linear map with Gaussian noise",
+    )
+
+
+def nonlinear_interaction(
+    n_samples: int = 600,
+    *,
+    n_features: int = 5,
+    noise: float = 0.1,
+    seed: SeedLike = 0,
+) -> Dataset:
+    """``sin(2 x0) + 0.5 x1 x2 + 0.3 x3 + e`` on standard-normal inputs.
+
+    The smooth-nonlinearity-plus-interaction target the quickstart and
+    distributed examples train on: hard enough that the nonlinear
+    encoder matters, small enough to run in seconds.
+    """
+    _check_n(n_samples)
+    if n_features < 4:
+        raise DatasetError(
+            f"nonlinear_interaction needs >= 4 features, got {n_features}"
+        )
+    rng = as_generator(seed)
+    X = rng.normal(size=(n_samples, n_features))
+    y = (
+        np.sin(2.0 * X[:, 0])
+        + 0.5 * X[:, 1] * X[:, 2]
+        + 0.3 * X[:, 3]
+        + noise * rng.normal(size=n_samples)
+    )
+    return Dataset(
+        name="interaction",
+        X=X,
+        y=y,
+        feature_names=tuple(f"x{i}" for i in range(n_features)),
+        description="Sinusoid + pairwise interaction + linear term",
+    )
+
+
+def high_cardinality(
+    n_samples: int = 800,
+    *,
+    n_categories: int = 64,
+    n_active: int = 4,
+    n_dense: int = 4,
+    noise: float = 0.2,
+    seed: SeedLike = 0,
+) -> Dataset:
+    """High-cardinality sparse features: multi-hot categories + dense tail.
+
+    Each row activates ``n_active`` of ``n_categories`` indicator columns
+    (a long-tailed Zipf-like draw, so a few categories dominate) and
+    carries ``n_dense`` standard-normal dense features.  The target sums
+    per-category effects with a dense linear term — the wide-and-sparse
+    shape of CTR/load-forecasting workloads, where HD encoders must
+    spread thousands of mostly-zero columns across the hypervector.
+    """
+    _check_n(n_samples)
+    if n_categories < 2:
+        raise DatasetError(f"n_categories must be >= 2, got {n_categories}")
+    if not 1 <= n_active <= n_categories:
+        raise DatasetError(
+            f"n_active must be in [1, {n_categories}], got {n_active}"
+        )
+    if n_dense < 0:
+        raise DatasetError(f"n_dense must be >= 0, got {n_dense}")
+    rng = as_generator(seed)
+    # Long-tailed category popularity: p(k) ∝ 1 / (k + 2).
+    popularity = 1.0 / (np.arange(n_categories) + 2.0)
+    popularity /= popularity.sum()
+    sparse = np.zeros((n_samples, n_categories), dtype=np.float64)
+    for row in sparse:
+        active = rng.choice(
+            n_categories, size=n_active, replace=False, p=popularity
+        )
+        row[active] = 1.0
+    dense = rng.normal(size=(n_samples, n_dense))
+    effects = rng.normal(size=n_categories) * 1.5
+    dense_coefs = rng.normal(size=n_dense)
+    y = sparse @ effects + dense @ dense_coefs
+    y = y + noise * rng.normal(size=n_samples)
+    X = np.concatenate([sparse, dense], axis=1)
+    names = tuple(f"cat{i}" for i in range(n_categories)) + tuple(
+        f"x{i}" for i in range(n_dense)
+    )
+    return Dataset(
+        name="highcard",
+        X=X,
+        y=y,
+        feature_names=names,
+        description=(
+            f"Multi-hot sparse features ({n_categories} categories, "
+            f"{n_active} active) with a dense tail"
+        ),
+    )
+
+
 def regime_mixture(
-    n_samples: int,
-    n_features: int,
+    n_samples: int = 1200,
+    n_features: int = 6,
     *,
     n_regimes: int = 8,
     regime_spread: float = 2.5,

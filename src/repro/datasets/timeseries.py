@@ -97,3 +97,116 @@ def windowed_forecasting_dataset(
             f"horizon={horizon})"
         ),
     )
+
+
+def multihorizon_forecasting_dataset(
+    series: FloatArray,
+    *,
+    window: int,
+    horizons: tuple[int, ...] = (1, 2, 4),
+    name: str = "forecast_multi",
+) -> Dataset:
+    """Multi-output forecasting flattened into single-target rows.
+
+    Each anchor window emits one row *per horizon*, with the requested
+    horizon encoded as a trailing feature (scaled by the largest horizon
+    so it sits in the same numeric range as the lags).  This keeps
+    ``Dataset.y`` 1-D — the shape every streaming/reliability component
+    consumes — while a single model learns the full forecast fan; rows
+    stay in anchor order so prequential evaluation remains causal.
+    """
+    arr = np.asarray(series, dtype=np.float64).ravel()
+    if window < 1:
+        raise DatasetError(f"window must be >= 1, got {window}")
+    if not horizons:
+        raise DatasetError("horizons must be non-empty")
+    ordered = tuple(sorted(set(int(h) for h in horizons)))
+    if ordered[0] < 1:
+        raise DatasetError(f"horizons must be >= 1, got {ordered[0]}")
+    h_max = ordered[-1]
+    usable = len(arr) - window - h_max + 1
+    if usable < 1:
+        raise DatasetError(
+            f"series of length {len(arr)} too short for window {window} "
+            f"and max horizon {h_max}"
+        )
+    lags = np.stack([arr[i : i + window] for i in range(usable)])
+    rows, targets = [], []
+    for i in range(usable):
+        for h in ordered:
+            rows.append(np.append(lags[i], h / h_max))
+            targets.append(arr[i + window + h - 1])
+    X = np.stack(rows)
+    y = np.asarray(targets, dtype=np.float64)
+    names = tuple(f"lag{window - i}" for i in range(window)) + ("horizon",)
+    return Dataset(
+        name=name,
+        X=X,
+        y=y,
+        feature_names=names,
+        target_name=f"t+h, h in {ordered}",
+        description=(
+            f"multi-horizon forecasting dataset (window={window}, "
+            f"horizons={ordered}) flattened to one row per horizon"
+        ),
+    )
+
+
+def load_sensor_forecast(
+    seed: SeedLike = 0,
+    *,
+    n: int = 1500,
+    window: int = 16,
+    horizon: int = 1,
+    drift_per_step: float = 0.0005,
+    noise: float = 0.08,
+) -> Dataset:
+    """Registry loader: periodic sensor trace → one-step-ahead windows."""
+    series = sensor_signal(
+        n, drift_per_step=drift_per_step, noise=noise, seed=seed
+    )
+    return windowed_forecasting_dataset(
+        series, window=window, horizon=horizon, name="sensor_forecast"
+    )
+
+
+def load_regime_forecast(
+    seed: SeedLike = 0,
+    *,
+    n: int = 1600,
+    window: int = 16,
+    horizon: int = 1,
+    switch_every: int = 400,
+    n_regimes: int = 3,
+    noise: float = 0.1,
+) -> Dataset:
+    """Registry loader: regime-switching trace → forecasting windows.
+
+    The regime switches land mid-stream, so prequential replay of this
+    dataset exercises drift detection without any synthetic relabelling.
+    """
+    series = regime_switching_signal(
+        n,
+        switch_every=switch_every,
+        n_regimes=n_regimes,
+        noise=noise,
+        seed=seed,
+    )
+    return windowed_forecasting_dataset(
+        series, window=window, horizon=horizon, name="regime_forecast"
+    )
+
+
+def load_multihorizon_forecast(
+    seed: SeedLike = 0,
+    *,
+    n: int = 1200,
+    window: int = 12,
+    horizons: tuple[int, ...] = (1, 2, 4),
+    noise: float = 0.08,
+) -> Dataset:
+    """Registry loader: sensor trace → flattened multi-horizon windows."""
+    series = sensor_signal(n, noise=noise, seed=seed)
+    return multihorizon_forecasting_dataset(
+        series, window=window, horizons=horizons, name="forecast_multi"
+    )

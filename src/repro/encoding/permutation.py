@@ -15,10 +15,12 @@ import numpy as np
 from repro.encoding.base import Encoder
 from repro.exceptions import EncodingError
 from repro.ops.generate import random_level_set
+from repro.registry import register_encoder
 from repro.types import FloatArray, SeedLike
 from repro.utils.rng import derive_generator
 
 
+@register_encoder("sequence")
 class SequenceEncoder(Encoder):
     """Encode a length-``window`` sequence of scalars into HD space.
 
@@ -81,3 +83,37 @@ class SequenceEncoder(Encoder):
             level_vecs = self._level_set[idx[:, t]]
             out += np.roll(level_vecs, t, axis=1)
         return out
+
+    def get_state(self) -> tuple[dict, "dict[str, np.ndarray]"]:
+        """State-protocol snapshot: hyper-parameters plus the level set."""
+        meta = {
+            "in_features": self.in_features,
+            "dim": self.dim,
+            "levels": self._levels,
+            "low": self._low,
+            "high": self._high,
+        }
+        return meta, {"level_set": np.asarray(self._level_set)}
+
+    @classmethod
+    def from_state(
+        cls, meta: dict, arrays: "dict[str, np.ndarray]"
+    ) -> "SequenceEncoder":
+        """Rebuild a bit-exact encoder from a :meth:`get_state` snapshot."""
+        window, dim = int(meta["in_features"]), int(meta["dim"])
+        levels = int(meta["levels"])
+        encoder = cls(
+            window,
+            dim,
+            seed=0,
+            levels=levels,
+            value_range=(float(meta["low"]), float(meta["high"])),
+        )
+        level_set = np.asarray(arrays["level_set"], dtype=np.float64)
+        if level_set.shape != (levels, dim):
+            raise EncodingError(
+                f"encoder state array 'level_set' has shape "
+                f"{level_set.shape}, expected {(levels, dim)}"
+            )
+        encoder._level_set = level_set
+        return encoder

@@ -4,6 +4,7 @@ from repro.noise.injection import (
     INJECTORS,
     add_gaussian_noise,
     bit_flip,
+    corrupt_model,
     flip_bits,
     flip_signs,
     outlier_burst,
@@ -20,6 +21,7 @@ __all__ = [
     "INJECTORS",
     "add_gaussian_noise",
     "bit_flip",
+    "corrupt_model",
     "flip_bits",
     "flip_signs",
     "outlier_burst",

@@ -173,3 +173,38 @@ INJECTORS = {
     "stuck_at_zero": stuck_at_zero,
     "outlier_burst": outlier_burst,
 }
+
+
+def corrupt_model(
+    model: object, injector: str, rate: float, seed: SeedLike = None
+) -> None:
+    """Corrupt a live model's hypervectors in place (no restore).
+
+    Unlike :func:`repro.noise.robustness.sweep_reghd`, which corrupts a
+    *copy* of a trained model's clean state and restores it after each
+    measurement, this hits the running model mid-stream and leaves the
+    damage in — the memory-fault shape the replay engine injects so the
+    scrubber/watchdog pair has something real to repair.  Works on any
+    estimator exposing either ``models.integer`` + ``models.rebinarize``
+    (MultiModelRegHD) or a float ``model`` hypervector bundle
+    (SingleModelRegHD).
+    """
+    _check_rate(rate)
+    try:
+        inject = INJECTORS[injector]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown injector {injector!r}; available: {sorted(INJECTORS)}"
+        ) from None
+    bank = getattr(model, "models", None)
+    if bank is not None and hasattr(bank, "integer"):
+        bank.integer[:] = inject(bank.integer, rate, seed)
+        bank.rebinarize()
+        return
+    vector = getattr(model, "model", None)
+    if vector is not None:
+        vector[:] = inject(vector, rate, seed)
+        return
+    raise ConfigurationError(
+        f"cannot corrupt {type(model).__name__}: no hypervector state found"
+    )

@@ -338,6 +338,12 @@ class StreamingRegHD:
             )
         return self.conformal.interval(self.predict(X))
 
+    def invalidate_plan(self) -> None:
+        """Mark the compiled serving plan stale after an out-of-band model
+        mutation (injected memory faults, manual state surgery); the next
+        predict refreshes the sign-changed operand rows."""
+        self._plan_stale = True
+
     def absorb_delta(self, delta) -> None:
         """Fold a merged shard delta into the live model between batches.
 

@@ -231,6 +231,24 @@ CATALOG: dict[str, tuple[str, str]] = {
         "Merged deltas folded into a live stream "
         "(StreamingRegHD.absorb_delta calls).",
     ),
+    "reghd_replay_batch_seconds": (
+        "histogram",
+        "Wall time of one replay batch through the resilient stream "
+        "(guard + predict-then-train + watchdog + checkpoint).",
+    ),
+    "reghd_replay_rows_total": (
+        "counter",
+        "Rows replayed through the workload engine, by workload.",
+    ),
+    "reghd_replay_faults_total": (
+        "counter",
+        "Fault injections applied during replay, by injector and target "
+        "(x / y / model).",
+    ),
+    "reghd_replay_gate_failures_total": (
+        "counter",
+        "Quality-gate checks failed during replay, by workload and gate.",
+    ),
 }
 
 
@@ -371,6 +389,36 @@ class Histogram:
             total += cell.sum
             n += cell.count
         return counts, total, n
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation in buckets.
+
+        Standard Prometheus ``histogram_quantile`` semantics: find the
+        bucket where the cumulative count crosses ``q * count``, then
+        interpolate linearly between the bucket's bounds (the first
+        bucket's lower bound is 0, appropriate for the latency metrics
+        these histograms hold).  Observations in the overflow bucket clamp
+        to the last finite bound — the estimate is a lower bound there.
+        Returns NaN when the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        counts, _, n = self.snapshot()
+        if n == 0:
+            return float("nan")
+        target = q * n
+        cumulative = np.cumsum(counts)
+        idx = int(np.searchsorted(cumulative, target, side="left"))
+        if idx >= len(self.uppers):
+            return float(self.uppers[-1])
+        lower = 0.0 if idx == 0 else float(self.uppers[idx - 1])
+        upper = float(self.uppers[idx])
+        in_bucket = int(counts[idx])
+        if in_bucket == 0:
+            return upper
+        below = int(cumulative[idx]) - in_bucket
+        fraction = (target - below) / in_bucket
+        return lower + fraction * (upper - lower)
 
 
 class MetricsRegistry:

@@ -1,0 +1,240 @@
+"""Workload declarations: data + drift + traffic + faults + quality gate.
+
+A :class:`Workload` is the declarative unit of the scenario layer: it
+names a dataset from :mod:`repro.datasets.registry`, a concept-drift
+profile applied to the targets as the stream progresses, a traffic shape
+(:class:`~repro.workloads.traffic.TrafficShape`), a fault plan of named
+injectors from :data:`repro.noise.INJECTORS`, and the SLOs the replay
+must meet.  Everything is data — the replay engine
+(:mod:`repro.workloads.replay`) is the only executor, so one workload
+definition serves examples, benchmarks and CI identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.datasets.registry import load_dataset
+from repro.exceptions import ConfigurationError
+from repro.noise.injection import INJECTORS
+from repro.types import FloatArray, SeedLike
+from repro.workloads.traffic import TrafficShape
+
+DRIFT_KINDS = ("none", "abrupt", "gradual")
+FAULT_TARGETS = ("x", "y", "model")
+
+
+@dataclass(frozen=True)
+class DriftProfile:
+    """Concept drift injected into the target as the stream progresses.
+
+    ``severity(p)`` ramps from 0 to 1 over stream progress ``p ∈ [0, 1]``:
+    ``none`` stays at 0, ``abrupt`` steps to 1 at ``at``, ``gradual``
+    ramps linearly from ``at`` over ``width``.  At severity ``s`` the
+    targets become ``y * (1 + s*(target_scale - 1)) + s*target_offset`` —
+    the same relabel-the-concept shape the drift-adaptation example used
+    to hand-roll, now declared once and reused.
+    """
+
+    kind: str = "none"
+    at: float = 0.5
+    width: float = 0.25
+    target_scale: float = 1.0
+    target_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in DRIFT_KINDS:
+            raise ConfigurationError(
+                f"unknown drift kind {self.kind!r}; available: {DRIFT_KINDS}"
+            )
+        if not 0.0 <= self.at <= 1.0:
+            raise ConfigurationError(f"at must be in [0, 1], got {self.at}")
+        if self.width <= 0:
+            raise ConfigurationError(f"width must be > 0, got {self.width}")
+
+    def severity(self, progress: float) -> float:
+        """Drift severity in [0, 1] at stream progress ``progress``."""
+        if self.kind == "none" or progress < self.at:
+            return 0.0
+        if self.kind == "abrupt":
+            return 1.0
+        return float(min(1.0, (progress - self.at) / self.width))
+
+    def apply(self, y: FloatArray, progress: float) -> FloatArray:
+        """Targets after drift at stream progress ``progress``."""
+        s = self.severity(progress)
+        if s == 0.0:
+            return y
+        return y * (1.0 + s * (self.target_scale - 1.0)) + s * self.target_offset
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: a named injector aimed at a replay target.
+
+    ``target`` selects what gets corrupted: ``"x"`` / ``"y"`` hit the
+    arriving batch (data-level contamination the guard should absorb),
+    ``"model"`` hits the live hypervectors through
+    :func:`repro.noise.corrupt_model` (memory faults the scrubber and
+    watchdog exist for).  The fault fires on every ``every``-th batch
+    whose stream progress lies in ``[start, stop)``.
+    """
+
+    injector: str
+    rate: float
+    target: str = "x"
+    start: float = 0.0
+    stop: float = 1.0
+    every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.injector not in INJECTORS:
+            raise ConfigurationError(
+                f"unknown injector {self.injector!r}; "
+                f"available: {sorted(INJECTORS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(
+                f"rate must be in [0, 1], got {self.rate}"
+            )
+        if self.target not in FAULT_TARGETS:
+            raise ConfigurationError(
+                f"unknown fault target {self.target!r}; "
+                f"available: {FAULT_TARGETS}"
+            )
+        if not 0.0 <= self.start < self.stop <= 1.0:
+            raise ConfigurationError(
+                f"need 0 <= start < stop <= 1, got [{self.start}, {self.stop})"
+            )
+        if self.every < 1:
+            raise ConfigurationError(
+                f"every must be >= 1, got {self.every}"
+            )
+
+    def active(self, progress: float, batch_index: int) -> bool:
+        """Whether this fault fires on the batch at ``progress``."""
+        return (
+            self.start <= progress < self.stop
+            and batch_index % self.every == 0
+        )
+
+
+@dataclass(frozen=True)
+class QualityGate:
+    """The SLOs a replay must meet; ``None`` disables a check.
+
+    RMSE is scored over the tail of the prequential stream (the model has
+    converged and any declared drift has landed), coverage over the whole
+    run from the streaming conformal calibrator, and the latency SLO from
+    the replay batch-latency histogram's p99.
+    """
+
+    rmse_ceiling: float | None = None
+    coverage_floor: float | None = None
+    p99_latency_ms: float | None = None
+    tail_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tail_fraction <= 1.0:
+            raise ConfigurationError(
+                f"tail_fraction must be in (0, 1], got {self.tail_fraction}"
+            )
+        if self.coverage_floor is not None and not 0.0 <= self.coverage_floor <= 1.0:
+            raise ConfigurationError(
+                f"coverage_floor must be in [0, 1], got {self.coverage_floor}"
+            )
+        for name in ("rmse_ceiling", "p99_latency_ms"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigurationError(
+                    f"{name} must be > 0, got {value}"
+                )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete replayable scenario, declared as data.
+
+    Parameters
+    ----------
+    name / description / tags:
+        Identity and listing metadata.
+    dataset / dataset_kwargs / quick_kwargs:
+        The data source, by registry name; ``quick_kwargs`` override
+        ``dataset_kwargs`` in quick (CI) mode, typically shrinking the
+        row budget.
+    encoder:
+        ``None`` for the model's default nonlinear encoder, or
+        ``"sequence"`` for the permutation
+        :class:`~repro.encoding.permutation.SequenceEncoder` (the dataset
+        rows must be pure lag windows).
+    drift / traffic / faults / gate:
+        The scenario: concept drift on the targets, the arrival process,
+        scheduled fault injections, and the SLOs to score.
+    max_rows / quick_max_rows:
+        Row caps applied by uniform subsampling after load — the lever
+        for the fixed-size UCI surrogates, whose loaders take no row
+        budget.  Time-series workloads should cap through ``n`` in their
+        dataset kwargs instead, preserving window order.
+    guard_policy:
+        Input-guard policy for the resilient stream
+        (``raise``/``repair``/``drop``/``mahalanobis``).
+    dim / n_models:
+        Model sizing for the replay (quick mode may shrink ``dim``).
+    """
+
+    name: str
+    description: str
+    dataset: str
+    dataset_kwargs: dict = field(default_factory=dict)
+    quick_kwargs: dict = field(default_factory=dict)
+    max_rows: int | None = None
+    quick_max_rows: int | None = None
+    encoder: str | None = None
+    drift: DriftProfile = field(default_factory=DriftProfile)
+    traffic: TrafficShape = field(default_factory=TrafficShape)
+    faults: tuple[FaultSpec, ...] = ()
+    gate: QualityGate = field(default_factory=QualityGate)
+    guard_policy: str = "repair"
+    dim: int = 2048
+    n_models: int = 4
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("workload name must be non-empty")
+        if self.encoder not in (None, "sequence"):
+            raise ConfigurationError(
+                f"unknown encoder {self.encoder!r}; use None or 'sequence'"
+            )
+        if self.dim < 16:
+            raise ConfigurationError(f"dim must be >= 16, got {self.dim}")
+        if self.n_models < 1:
+            raise ConfigurationError(
+                f"n_models must be >= 1, got {self.n_models}"
+            )
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+
+    def load(self, *, quick: bool = False, seed: SeedLike = 0) -> Dataset:
+        """Materialise the workload's dataset through the registry."""
+        kwargs = dict(self.dataset_kwargs)
+        if quick:
+            kwargs.update(self.quick_kwargs)
+        dataset = load_dataset(self.dataset, seed=seed, **kwargs)
+        cap = self.quick_max_rows if quick else self.max_rows
+        if cap is not None:
+            dataset = dataset.subsample(cap, seed=0)
+        return dataset
+
+    def drifted_targets(self, y: FloatArray, progress: float) -> FloatArray:
+        """Batch targets after the declared drift at ``progress``."""
+        return self.drift.apply(np.asarray(y, dtype=np.float64), progress)
+
+    @property
+    def has_model_faults(self) -> bool:
+        """Whether any fault in the plan corrupts live model memory."""
+        return any(f.target == "model" for f in self.faults)

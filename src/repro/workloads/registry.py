@@ -1,0 +1,69 @@
+"""Name → :class:`Workload` registry, mirroring the model/backend pattern.
+
+``@register_workload`` decorates a zero-argument factory returning a
+:class:`~repro.workloads.base.Workload`; the factory is invoked at
+decoration time and the instance stored under its declared name, so the
+catalogue module registers its scenarios just by being imported — the
+same registration-on-import idiom as ``MODEL_REGISTRY``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.base import Workload
+
+WORKLOAD_REGISTRY: dict[str, Workload] = {}
+
+WorkloadFactory = Callable[[], Workload]
+
+
+def register_workload(
+    factory: WorkloadFactory | None = None, *, replace: bool = False
+):
+    """Register the factory's workload; usable bare or with arguments."""
+
+    def decorate(fn: WorkloadFactory) -> WorkloadFactory:
+        workload = fn()
+        if not isinstance(workload, Workload):
+            raise ConfigurationError(
+                f"workload factory {fn.__name__!r} must return a Workload, "
+                f"got {type(workload).__name__}"
+            )
+        if workload.name in WORKLOAD_REGISTRY and not replace:
+            raise ConfigurationError(
+                f"workload {workload.name!r} is already registered; "
+                "pass replace=True to overwrite it"
+            )
+        WORKLOAD_REGISTRY[workload.name] = workload
+        return fn
+
+    if factory is not None:
+        return decorate(factory)
+    return decorate
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a workload registration (test/notebook ergonomics)."""
+    if name not in WORKLOAD_REGISTRY:
+        raise ConfigurationError(
+            f"cannot unregister unknown workload {name!r}; "
+            f"available: {available_workloads()}"
+        )
+    del WORKLOAD_REGISTRY[name]
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a registered workload by name."""
+    try:
+        return WORKLOAD_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {available_workloads()}"
+        ) from None
+
+
+def available_workloads() -> tuple[str, ...]:
+    """Sorted names of every registered workload."""
+    return tuple(sorted(WORKLOAD_REGISTRY))

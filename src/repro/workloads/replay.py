@@ -1,0 +1,430 @@
+"""The replay engine: drive any workload through the resilient stream.
+
+``ReplayEngine.run`` materialises a workload's dataset, schedules its
+traffic, and feeds the batches through a fully-armed
+:class:`~repro.reliability.resilient.ResilientStreamingRegHD` — input
+guard, Page-Hinkley drift detection, watchdog with checkpoint rollback,
+memory scrubbing when the fault plan targets the model, and streaming
+conformal intervals — while injecting the declared drift and faults.
+Per-batch latency lands in the ``reghd_replay_batch_seconds`` telemetry
+histogram; the SLO report scores the workload's quality gate from those
+histograms plus the prequential tail error and conformal coverage.
+
+All data-side randomness (traffic schedule, fault draws) derives from
+the run seed, so two replays of the same workload at the same seed score
+identical quality numbers; only the wall-clock latencies vary.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.core.config import RegHDConfig
+from repro.datasets.preprocessing import StandardScaler
+from repro.encoding.permutation import SequenceEncoder
+from repro.noise.injection import INJECTORS, corrupt_model
+from repro.reliability.resilient import ResilientStreamingRegHD
+from repro.reliability.watchdog import Watchdog
+from repro.robust.conformal import AdaptiveConformal
+from repro.streaming import PageHinkley
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.timing import monotonic
+from repro.utils.rng import derive_generator
+from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload
+
+#: model dimensionality cap applied in quick (CI smoke) mode.
+QUICK_DIM = 512
+
+#: record tag dispatched on by ``benchmarks/compare.py``.
+BENCHMARK_NAME = "reghd-workload-replay"
+
+
+@dataclass(frozen=True)
+class GateCheck:
+    """One scored SLO: the measured value against its declared limit."""
+
+    gate: str
+    value: float
+    limit: float
+    passed: bool
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Structured outcome of one workload replay.
+
+    Quality fields (``tail_rmse``, ``coverage``) are deterministic under
+    a fixed seed; the latency percentiles come from the telemetry
+    histogram and reflect the machine the replay ran on.
+    """
+
+    workload: str
+    dataset: str
+    seed: int
+    quick: bool
+    n_rows: int
+    n_batches: int
+    sim_seconds: float  # simulated arrival span of the traffic schedule
+    tail_rmse: float
+    coverage: float | None
+    p50_latency_ms: float
+    p99_latency_ms: float
+    drift_detections: int
+    rollbacks: int
+    skipped_batches: int
+    guard_repaired_values: int
+    guard_dropped_rows: int
+    guard_gated_rows: int
+    faults_injected: int
+    checks: tuple[GateCheck, ...]
+    passed: bool
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the BENCH record entry)."""
+        d = asdict(self)
+        d["checks"] = list(d["checks"])  # tuples do not survive JSON
+        return d
+
+
+class ReplayEngine:
+    """Replays registered workloads and scores their quality gates.
+
+    Parameters
+    ----------
+    quick:
+        CI smoke mode: quick dataset kwargs, capped model dimensionality.
+    seed:
+        Base seed for model init, traffic schedule and fault draws.
+    """
+
+    def __init__(self, *, quick: bool = False, seed: int = 0):
+        self.quick = bool(quick)
+        self.seed = int(seed)
+
+    # -- stream construction -------------------------------------------------
+
+    def _build_stream(
+        self,
+        workload: Workload,
+        in_features: int,
+        n_batches: int,
+        checkpoint_dir: str,
+    ) -> ResilientStreamingRegHD:
+        dim = min(workload.dim, QUICK_DIM) if self.quick else workload.dim
+        config = RegHDConfig(dim=dim, n_models=workload.n_models, seed=self.seed)
+        encoder = None
+        if workload.encoder == "sequence":
+            encoder = SequenceEncoder(in_features, dim, seed=self.seed)
+        conformal = AdaptiveConformal(
+            alpha=0.1, window=max(32, min(512, n_batches * 8)), gamma=0.005
+        )
+        watchdog = Watchdog(
+            baseline_batches=max(3, n_batches // 6),
+            window=4,
+            warn_factor=3.0,
+            fail_factor=8.0,
+        )
+        return ResilientStreamingRegHD(
+            in_features,
+            config,
+            encoder=encoder,
+            guard=workload.guard_policy,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=max(5, n_batches // 8),
+            watchdog=watchdog,
+            scrub_every=5 if workload.has_model_faults else 0,
+            detector=PageHinkley(delta=0.005, threshold=3.0),
+            conformal=conformal,
+            forgetting=0.997,
+        )
+
+    # -- fault application ---------------------------------------------------
+
+    def _apply_faults(
+        self,
+        workload: Workload,
+        stream: ResilientStreamingRegHD,
+        X_batch: np.ndarray,
+        y_batch: np.ndarray,
+        progress: float,
+        batch_index: int,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        injected = 0
+        registry = _metrics.active()
+        for fault_index, fault in enumerate(workload.faults):
+            if not fault.active(progress, batch_index):
+                continue
+            rng = derive_generator(self.seed, batch_index, fault_index)
+            if fault.target == "x":
+                X_batch = INJECTORS[fault.injector](X_batch, fault.rate, rng)
+            elif fault.target == "y":
+                y_batch = INJECTORS[fault.injector](y_batch, fault.rate, rng)
+            else:  # model: out-of-band memory corruption
+                corrupt_model(stream.model, fault.injector, fault.rate, rng)
+                stream.invalidate_plan()
+            injected += 1
+            if registry is not None:
+                registry.counter(
+                    "reghd_replay_faults_total",
+                    injector=fault.injector,
+                    target=fault.target,
+                ).inc()
+        return X_batch, y_batch, injected
+
+    # -- the replay loop -----------------------------------------------------
+
+    def run(self, workload: Workload | str) -> SLOReport:
+        """Replay one workload end-to-end and score its quality gate."""
+        if isinstance(workload, str):
+            workload = get_workload(workload)
+        previous = _metrics.active()
+        registry = previous if previous is not None else _metrics.MetricsRegistry()
+        _metrics.enable(registry)
+        try:
+            with tempfile.TemporaryDirectory(prefix="reghd-replay-") as tmp:
+                return self._run(workload, registry, tmp)
+        finally:
+            if previous is None:
+                _metrics.disable()
+
+    def _run(
+        self, workload: Workload, registry: _metrics.MetricsRegistry, tmp: str
+    ) -> SLOReport:
+        dataset = workload.load(quick=self.quick, seed=self.seed)
+        scaler = StandardScaler().fit(dataset.X)
+        X = scaler.transform(dataset.X)
+        y = dataset.y
+        n_rows = len(y)
+        schedule = workload.traffic.schedule(n_rows, seed=self.seed)
+        stream = self._build_stream(
+            workload, X.shape[1], len(schedule), tmp
+        )
+
+        latency = registry.histogram(
+            "reghd_replay_batch_seconds", workload=workload.name
+        )
+        rows_counter = registry.counter(
+            "reghd_replay_rows_total", workload=workload.name
+        )
+        faults_injected = 0
+        batch_quality: list[tuple[int, float]] = []  # (rows, prequential mse)
+        skipped = 0
+        for batch in schedule:
+            progress = batch.start / n_rows
+            X_batch = X[batch.rows]
+            y_batch = workload.drifted_targets(y[batch.rows], progress)
+            X_batch, y_batch, injected = self._apply_faults(
+                workload, stream, X_batch, y_batch, progress, batch.index
+            )
+            faults_injected += injected
+            t0 = monotonic()
+            report = stream.update(X_batch, y_batch)
+            latency.observe(monotonic() - t0)
+            rows_counter.inc(batch.size)
+            if report.skipped:
+                skipped += 1
+            if report.prequential_mse is not None:
+                batch_quality.append((batch.size, report.prequential_mse))
+
+        tail_rmse = self._tail_rmse(batch_quality, workload.gate.tail_fraction)
+        coverage = (
+            stream.conformal.coverage if stream.conformal.n_scored else None
+        )
+        p50_ms = latency.quantile(0.5) * 1e3
+        p99_ms = latency.quantile(0.99) * 1e3
+        checks = self._score_gate(
+            workload, registry, tail_rmse, coverage, p99_ms
+        )
+        return SLOReport(
+            workload=workload.name,
+            dataset=dataset.name,
+            seed=self.seed,
+            quick=self.quick,
+            n_rows=n_rows,
+            n_batches=len(schedule),
+            sim_seconds=float(schedule[-1].arrivals[-1]),
+            tail_rmse=tail_rmse,
+            coverage=coverage,
+            p50_latency_ms=float(p50_ms),
+            p99_latency_ms=float(p99_ms),
+            drift_detections=len(stream.history.drift_events),
+            rollbacks=len(stream.rollbacks),
+            skipped_batches=skipped,
+            guard_repaired_values=self._guard_total(stream, "n_repaired_values"),
+            guard_dropped_rows=self._guard_total(stream, "n_dropped_rows"),
+            guard_gated_rows=self._guard_total(stream, "n_gated_rows"),
+            faults_injected=faults_injected,
+            checks=checks,
+            passed=all(c.passed for c in checks),
+        )
+
+    def run_all(
+        self, names: tuple[str, ...] | list[str]
+    ) -> list[SLOReport]:
+        """Replay several workloads in name order."""
+        return [self.run(name) for name in names]
+
+    # -- scoring -------------------------------------------------------------
+
+    @staticmethod
+    def _tail_rmse(
+        batch_quality: list[tuple[int, float]], tail_fraction: float
+    ) -> float:
+        """Row-weighted RMSE over the trailing fraction of scored rows."""
+        if not batch_quality:
+            return float("nan")
+        total = sum(rows for rows, _ in batch_quality)
+        target = max(1, int(round(tail_fraction * total)))
+        rows_seen = 0
+        weighted = 0.0
+        for rows, mse in reversed(batch_quality):
+            take = min(rows, target - rows_seen)
+            weighted += take * mse
+            rows_seen += take
+            if rows_seen >= target:
+                break
+        return float(np.sqrt(weighted / rows_seen))
+
+    @staticmethod
+    def _score_gate(
+        workload: Workload,
+        registry: _metrics.MetricsRegistry,
+        tail_rmse: float,
+        coverage: float | None,
+        p99_ms: float,
+    ) -> tuple[GateCheck, ...]:
+        gate = workload.gate
+        checks: list[GateCheck] = []
+        if gate.rmse_ceiling is not None:
+            checks.append(
+                GateCheck(
+                    gate="rmse_ceiling",
+                    value=tail_rmse,
+                    limit=gate.rmse_ceiling,
+                    passed=bool(np.isfinite(tail_rmse))
+                    and tail_rmse <= gate.rmse_ceiling,
+                )
+            )
+        if gate.coverage_floor is not None:
+            measured = -1.0 if coverage is None else float(coverage)
+            checks.append(
+                GateCheck(
+                    gate="coverage_floor",
+                    value=measured,
+                    limit=gate.coverage_floor,
+                    passed=measured >= gate.coverage_floor,
+                )
+            )
+        if gate.p99_latency_ms is not None:
+            checks.append(
+                GateCheck(
+                    gate="p99_latency_ms",
+                    value=float(p99_ms),
+                    limit=gate.p99_latency_ms,
+                    passed=bool(np.isfinite(p99_ms))
+                    and p99_ms <= gate.p99_latency_ms,
+                )
+            )
+        for check in checks:
+            if not check.passed:
+                registry.counter(
+                    "reghd_replay_gate_failures_total",
+                    workload=workload.name,
+                    gate=check.gate,
+                ).inc()
+        return tuple(checks)
+
+    @staticmethod
+    def _guard_total(stream: ResilientStreamingRegHD, field_name: str) -> int:
+        return int(
+            sum(
+                getattr(r.guard, field_name)
+                for r in stream.history.reports
+                if getattr(r, "guard", None) is not None
+            )
+        )
+
+
+def compare_workload_records(
+    baseline: dict, current: dict, *, threshold: float = 0.10
+) -> dict:
+    """Regression-gate two ``BENCH_workloads.json`` records.
+
+    Per shared workload, a regression is a tail-RMSE increase beyond the
+    slack or a gate that flipped from pass to fail.  Latency percentiles
+    are machine-bound and never compared; quality numbers are seeded and
+    deterministic, so records only compare when ``quick`` and ``seed``
+    match — anything else is incomparable and passes with a note.  The
+    report shape mirrors
+    :func:`repro.engine.bench.compare_inference_records` so
+    ``benchmarks/compare.py`` renders all record kinds identically.
+    """
+    report: dict = {
+        "strict": False,
+        "threshold": threshold,
+        "compared": 0,
+        "lines": [],
+        "regressions": [],
+        "note": "",
+    }
+    if baseline.get("benchmark") != current.get("benchmark"):
+        report["note"] = "different benchmark kinds; nothing to compare"
+        return report
+    same_mode = (baseline.get("quick"), baseline.get("seed")) == (
+        current.get("quick"),
+        current.get("seed"),
+    )
+    if not same_mode:
+        report["note"] = (
+            "different quick/seed settings; replay quality numbers are "
+            "only comparable at matching parameters"
+        )
+        return report
+    report["strict"] = True
+    base_by_name = {r["workload"]: r for r in baseline.get("results", [])}
+    for result in current.get("results", []):
+        ref = base_by_name.get(result["workload"])
+        if ref is None:
+            continue
+        report["compared"] += 1
+        ref_rmse = float(ref["tail_rmse"])
+        cur_rmse = float(result["tail_rmse"])
+        line = (
+            f"{result['workload']}: rmse {ref_rmse:.4f} -> {cur_rmse:.4f}, "
+            f"gate {'PASS' if ref['passed'] else 'FAIL'} -> "
+            f"{'PASS' if result['passed'] else 'FAIL'}"
+        )
+        report["lines"].append(line)
+        rmse_worse = (
+            np.isfinite(ref_rmse)
+            and np.isfinite(cur_rmse)
+            and cur_rmse > ref_rmse * (1.0 + threshold) + 1e-9
+        )
+        newly_failing = bool(ref["passed"]) and not bool(result["passed"])
+        if rmse_worse or newly_failing:
+            report["regressions"].append(line)
+    return report
+
+
+def workload_bench_record(
+    reports: list[SLOReport], *, quick: bool, seed: int
+) -> dict:
+    """The ``BENCH_workloads.json`` record for a set of replay reports.
+
+    Tagged with :data:`BENCHMARK_NAME` so ``benchmarks/compare.py`` can
+    dispatch it into the regression gate alongside the other BENCH files.
+    """
+    return {
+        "benchmark": BENCHMARK_NAME,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "params": {
+            "n_workloads": len(reports),
+            "quick_dim": QUICK_DIM,
+        },
+        "results": [r.to_dict() for r in reports],
+    }

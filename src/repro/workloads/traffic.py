@@ -1,0 +1,169 @@
+"""Arrival processes: how a workload's rows reach the stream.
+
+A :class:`TrafficShape` turns "N rows of data" into a seeded sequence of
+:class:`TrafficBatch` slices with per-row arrival timestamps — the load
+profile the replay engine drives through the resilient stream.  Four
+processes cover the deployment stories the paper motivates:
+
+* ``steady`` — fixed-size batches at a constant arrival rate (a polled
+  sensor bus);
+* ``bursty`` — a base trickle interrupted by compressed high-rate bursts
+  (event-triggered telemetry, store-and-forward uplinks);
+* ``diurnal`` — batch sizes and arrival rate modulated on a sinusoidal
+  cycle (human-driven load: traffic, power, web);
+* ``adversarial`` — alternating single-row and oversized batches with
+  near-zero inter-arrival gaps, built to stress per-batch overheads,
+  guard vectorisation and the latency SLO.
+
+Timestamps are simulated arrival times (seconds since stream start), not
+wall clock — replay is deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import derive_generator
+
+TRAFFIC_KINDS = ("steady", "bursty", "diurnal", "adversarial")
+
+
+@dataclass(frozen=True)
+class TrafficBatch:
+    """One scheduled batch: which rows arrive, and when."""
+
+    index: int
+    start: int
+    size: int
+    arrivals: FloatArray  # per-row simulated arrival times, seconds
+
+    @property
+    def rows(self) -> slice:
+        """Slice selecting this batch's rows from the workload arrays."""
+        return slice(self.start, self.start + self.size)
+
+
+@dataclass(frozen=True)
+class TrafficShape:
+    """A seeded arrival process over a finite row budget.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`TRAFFIC_KINDS`.
+    batch_size:
+        Base rows per batch.
+    rate_hz:
+        Base row arrival rate; inter-arrival gaps are ``1 / rate_hz``
+        scaled by the process (bursts compress them, diurnal troughs
+        stretch them).
+    burst_size / burst_prob:
+        Bursty only: rows per burst batch and the per-batch probability
+        of a burst.
+    period / amplitude:
+        Diurnal only: cycle length in batches and the relative size
+        swing in [0, 1).
+    """
+
+    kind: str = "steady"
+    batch_size: int = 32
+    rate_hz: float = 200.0
+    burst_size: int = 256
+    burst_prob: float = 0.15
+    period: int = 24
+    amplitude: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRAFFIC_KINDS:
+            raise ConfigurationError(
+                f"unknown traffic kind {self.kind!r}; "
+                f"available: {TRAFFIC_KINDS}"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.rate_hz <= 0:
+            raise ConfigurationError(
+                f"rate_hz must be > 0, got {self.rate_hz}"
+            )
+        if self.burst_size < 1:
+            raise ConfigurationError(
+                f"burst_size must be >= 1, got {self.burst_size}"
+            )
+        if not 0.0 <= self.burst_prob <= 1.0:
+            raise ConfigurationError(
+                f"burst_prob must be in [0, 1], got {self.burst_prob}"
+            )
+        if self.period < 2:
+            raise ConfigurationError(
+                f"period must be >= 2, got {self.period}"
+            )
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ConfigurationError(
+                f"amplitude must be in [0, 1), got {self.amplitude}"
+            )
+
+    # -- size sequence -----------------------------------------------------
+
+    def _sizes(self, n_rows: int, rng: np.random.Generator) -> list[int]:
+        sizes: list[int] = []
+        remaining = n_rows
+        while remaining > 0:
+            index = len(sizes)
+            if self.kind == "steady":
+                size = self.batch_size
+            elif self.kind == "bursty":
+                burst = rng.random() < self.burst_prob
+                size = self.burst_size if burst else self.batch_size
+            elif self.kind == "diurnal":
+                phase = 2.0 * np.pi * index / self.period
+                swing = 1.0 + self.amplitude * np.sin(phase)
+                size = max(1, int(round(self.batch_size * swing)))
+            else:  # adversarial: starve, then flood
+                size = 1 if index % 2 == 0 else self.batch_size * 8
+            sizes.append(min(size, remaining))
+            remaining -= sizes[-1]
+        return sizes
+
+    def _gap_scale(self, index: int, burst: bool) -> float:
+        """Multiplier on the base inter-arrival gap for batch ``index``."""
+        if self.kind == "bursty" and burst:
+            return 0.1  # bursts arrive compressed
+        if self.kind == "diurnal":
+            phase = 2.0 * np.pi * index / self.period
+            # Busy phase (large batches) = fast arrivals, trough = slow.
+            return 1.0 / (1.0 + self.amplitude * np.sin(phase))
+        if self.kind == "adversarial":
+            return 0.01  # back-to-back, no breathing room
+        return 1.0
+
+    def schedule(self, n_rows: int, seed: SeedLike = 0) -> list[TrafficBatch]:
+        """Materialise the arrival schedule for ``n_rows`` rows."""
+        if n_rows < 1:
+            raise ConfigurationError(f"n_rows must be >= 1, got {n_rows}")
+        rng = derive_generator(seed, 0)
+        sizes = self._sizes(n_rows, rng)
+        base_gap = 1.0 / self.rate_hz
+        batches: list[TrafficBatch] = []
+        start = 0
+        clock = 0.0
+        for index, size in enumerate(sizes):
+            burst = self.kind == "bursty" and size == self.burst_size
+            gap = base_gap * self._gap_scale(index, burst)
+            # Exponential jitter keeps arrivals a point process rather
+            # than a metronome; the mean matches the declared rate.
+            gaps = rng.exponential(gap, size=size)
+            arrivals = clock + np.cumsum(gaps)
+            clock = float(arrivals[-1])
+            batches.append(
+                TrafficBatch(
+                    index=index, start=start, size=size, arrivals=arrivals
+                )
+            )
+            start += size
+        return batches

@@ -13,6 +13,58 @@ class TestDatasets:
         for name in ("diabetes", "boston", "airfoil", "ccpp"):
             assert name in out
 
+    def test_json_listing_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["datasets", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in listing}
+        assert "airfoil" in by_name
+        assert "paper" in by_name["airfoil"]["tags"]
+        assert "n_samples" in by_name["friedman1"]["params"]
+
+
+class TestWorkloads:
+    def test_lists_the_catalogue(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "airfoil_steady" in out
+        assert "adversarial_burst" in out
+
+    def test_json_listing_declares_the_scenario(self, capsys):
+        import json
+
+        assert main(["workloads", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in listing}
+        burst = by_name["adversarial_burst"]
+        assert burst["traffic"] == "adversarial"
+        assert burst["guard_policy"] == "mahalanobis"
+        assert burst["faults"][0]["injector"] == "outlier_burst"
+
+
+class TestReplay:
+    def test_replay_one_workload_writes_the_record(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_workloads.json"
+        code = main(
+            ["replay", "airfoil_steady", "--quick", "--output", str(out_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out and "airfoil_steady" in out
+        record = json.loads(out_path.read_text())
+        assert record["benchmark"] == "reghd-workload-replay"
+        assert record["quick"] is True
+        assert record["results"][0]["workload"] == "airfoil_steady"
+
+    def test_replay_unknown_workload_raises(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["replay", "no_such_workload", "--quick"])
+
 
 class TestTrain:
     def test_train_multi_model(self, capsys):

@@ -179,6 +179,45 @@ class TestRegistry:
         with pytest.raises(DatasetError):
             register_dataset("boston", lambda seed=0: None)  # type: ignore[arg-type]
 
+    def test_duplicate_error_names_the_registration_site(self):
+        """The error points at the file:line that holds the name."""
+        with pytest.raises(DatasetError, match=r"registry\.py:\d+"):
+            register_dataset("boston", lambda seed=0: None)  # type: ignore[arg-type]
+
+    def test_replace_overwrites_and_unregister_frees_the_name(self):
+        from repro.datasets import unregister_dataset
+
+        marker = friedman1(10, seed=0)
+        register_dataset("registry-test-temp", lambda seed=0: marker)
+        try:
+            with pytest.raises(DatasetError):
+                register_dataset("registry-test-temp", lambda seed=0: marker)
+            register_dataset(
+                "registry-test-temp", lambda seed=0: marker, replace=True
+            )
+            assert load_dataset("registry-test-temp") is marker
+        finally:
+            unregister_dataset("registry-test-temp")
+        assert "registry-test-temp" not in available_datasets()
+        with pytest.raises(DatasetError):
+            unregister_dataset("registry-test-temp")
+
+    def test_dataset_params_reports_loader_signature(self):
+        from repro.datasets import dataset_params
+
+        params = dataset_params("friedman1")
+        assert "n_samples" in params
+        assert "seed" in params
+        with pytest.raises(DatasetError):
+            dataset_params("not-a-dataset")
+
+    def test_dataset_tags(self):
+        from repro.datasets import dataset_tags
+
+        assert "paper" in dataset_tags("boston")
+        assert "workload" in dataset_tags("sensor_forecast")
+        assert dataset_tags("never-registered") == ()
+
     def test_loader_kwargs_forwarded(self):
         ds = load_dataset("friedman1", seed=0, n_samples=37)
         assert ds.n_samples == 37

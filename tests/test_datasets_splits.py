@@ -1,0 +1,88 @@
+"""Edge cases for seeded train/test and k-fold splitting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, k_fold_splits, train_test_split
+from repro.exceptions import DatasetError
+
+
+def _dataset(n: int) -> Dataset:
+    X = np.arange(n * 2, dtype=np.float64).reshape(n, 2)
+    return Dataset(name="toy", X=X, y=X[:, 0].copy())
+
+
+class TestTrainTestSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        ds = _dataset(40)
+        split = train_test_split(ds, test_fraction=0.25, seed=0)
+        assert split.n_train == 30
+        assert split.n_test == 10
+        ids = np.concatenate([split.y_train, split.y_test])
+        np.testing.assert_array_equal(np.sort(ids), ds.y)
+
+    def test_single_row_test_split(self):
+        """Tiny fractions round up to one test row, never zero."""
+        split = train_test_split(_dataset(10), test_fraction=0.01, seed=0)
+        assert split.n_test == 1
+        assert split.n_train == 9
+
+    def test_two_row_dataset_splits_one_and_one(self):
+        split = train_test_split(_dataset(2), test_fraction=0.5, seed=0)
+        assert split.n_test == 1
+        assert split.n_train == 1
+
+    def test_fraction_leaving_no_training_data_raises(self):
+        with pytest.raises(DatasetError):
+            train_test_split(_dataset(2), test_fraction=0.9, seed=0)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.1, 1.5])
+    def test_invalid_fraction_rejected(self, fraction):
+        with pytest.raises(DatasetError):
+            train_test_split(_dataset(10), test_fraction=fraction)
+
+    def test_same_seed_reproduces_the_split(self):
+        ds = _dataset(50)
+        a = train_test_split(ds, seed=7)
+        b = train_test_split(ds, seed=7)
+        np.testing.assert_array_equal(a.y_test, b.y_test)
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+
+    def test_different_seeds_shuffle_differently(self):
+        ds = _dataset(50)
+        a = train_test_split(ds, seed=0)
+        b = train_test_split(ds, seed=1)
+        assert not np.array_equal(a.y_test, b.y_test)
+
+
+class TestKFoldSplits:
+    def test_every_row_tested_exactly_once(self):
+        ds = _dataset(23)  # deliberately not divisible by k
+        tested = np.concatenate(
+            [fold.y_test for fold in k_fold_splits(ds, k=5, seed=0)]
+        )
+        np.testing.assert_array_equal(np.sort(tested), ds.y)
+
+    def test_train_and_test_disjoint_per_fold(self):
+        for fold in k_fold_splits(_dataset(20), k=4, seed=1):
+            assert not set(fold.y_train) & set(fold.y_test)
+
+    def test_k_equal_to_n_gives_leave_one_out(self):
+        folds = list(k_fold_splits(_dataset(5), k=5, seed=0))
+        assert len(folds) == 5
+        assert all(fold.n_test == 1 for fold in folds)
+
+    def test_k_larger_than_n_raises(self):
+        with pytest.raises(DatasetError):
+            list(k_fold_splits(_dataset(3), k=4))
+
+    def test_k_below_two_raises(self):
+        with pytest.raises(DatasetError):
+            list(k_fold_splits(_dataset(10), k=1))
+
+    def test_same_seed_reproduces_the_folds(self):
+        ds = _dataset(30)
+        a = [f.y_test for f in k_fold_splits(ds, k=3, seed=9)]
+        b = [f.y_test for f in k_fold_splits(ds, k=3, seed=9)]
+        for fa, fb in zip(a, b):
+            np.testing.assert_array_equal(fa, fb)

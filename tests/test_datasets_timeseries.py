@@ -4,6 +4,10 @@ import numpy as np
 import pytest
 
 from repro.datasets.timeseries import (
+    load_multihorizon_forecast,
+    load_regime_forecast,
+    load_sensor_forecast,
+    multihorizon_forecasting_dataset,
     regime_switching_signal,
     sensor_signal,
     windowed_forecasting_dataset,
@@ -95,3 +99,88 @@ class TestWindowedDataset:
     def test_feature_names(self):
         ds = windowed_forecasting_dataset(np.arange(10.0), window=3)
         assert ds.feature_names == ("lag3", "lag2", "lag1")
+
+    def test_window_longer_than_series_raises(self):
+        with pytest.raises(DatasetError):
+            windowed_forecasting_dataset(np.arange(5.0), window=10)
+
+    def test_window_filling_the_whole_series_leaves_no_target(self):
+        """window == len(series) leaves no row even at horizon 1."""
+        with pytest.raises(DatasetError):
+            windowed_forecasting_dataset(np.arange(6.0), window=6)
+
+    def test_single_usable_row(self):
+        """The minimal series yields exactly one (window, target) pair."""
+        ds = windowed_forecasting_dataset(np.arange(4.0), window=3)
+        assert ds.X.shape == (1, 3)
+        assert ds.y[0] == 3.0
+
+
+class TestMultihorizonDataset:
+    def test_one_row_per_anchor_per_horizon(self):
+        series = np.arange(20.0)
+        ds = multihorizon_forecasting_dataset(
+            series, window=4, horizons=(1, 2, 4)
+        )
+        usable = 20 - 4 - 4 + 1  # anchors limited by the largest horizon
+        assert ds.X.shape == (usable * 3, 5)  # lags + horizon feature
+        assert ds.feature_names[-1] == "horizon"
+
+    def test_targets_align_per_horizon(self):
+        series = np.arange(12.0)
+        ds = multihorizon_forecasting_dataset(
+            series, window=3, horizons=(1, 2)
+        )
+        # First anchor is rows 0-1: lags [0,1,2], horizons 1 then 2.
+        np.testing.assert_array_equal(ds.X[0][:3], [0.0, 1.0, 2.0])
+        assert ds.y[0] == 3.0  # t+1
+        assert ds.y[1] == 4.0  # t+2
+        assert ds.X[0][3] == 0.5  # h / h_max
+        assert ds.X[1][3] == 1.0
+
+    def test_horizons_deduplicated_and_sorted(self):
+        ds = multihorizon_forecasting_dataset(
+            np.arange(20.0), window=4, horizons=(4, 1, 4, 2)
+        )
+        assert ds.y[0] < ds.y[1] < ds.y[2]  # horizons applied as 1, 2, 4
+
+    def test_window_longer_than_series_raises(self):
+        with pytest.raises(DatasetError):
+            multihorizon_forecasting_dataset(np.arange(5.0), window=10)
+
+    def test_invalid_horizons_rejected(self):
+        with pytest.raises(DatasetError):
+            multihorizon_forecasting_dataset(
+                np.arange(20.0), window=4, horizons=()
+            )
+        with pytest.raises(DatasetError):
+            multihorizon_forecasting_dataset(
+                np.arange(20.0), window=4, horizons=(0, 1)
+            )
+
+
+class TestRegistryLoaders:
+    @pytest.mark.parametrize(
+        "loader,name",
+        [
+            (load_sensor_forecast, "sensor_forecast"),
+            (load_regime_forecast, "regime_forecast"),
+            (load_multihorizon_forecast, "forecast_multi"),
+        ],
+    )
+    def test_loader_named_and_deterministic(self, loader, name):
+        a = loader(seed=3, n=400)
+        b = loader(seed=3, n=400)
+        assert a.name == name
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = load_sensor_forecast(seed=0, n=400)
+        b = load_sensor_forecast(seed=1, n=400)
+        assert not np.array_equal(a.y, b.y)
+
+    def test_row_budget_flows_through_n(self):
+        ds = load_sensor_forecast(seed=0, n=300, window=10)
+        assert ds.n_samples == 300 - 10  # horizon 1
+        assert ds.n_features == 10

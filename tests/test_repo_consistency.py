@@ -232,8 +232,83 @@ def test_every_model_registered(name):
     assert name in MODEL_REGISTRY
 
 
-@pytest.mark.parametrize("name", ["nonlinear", "projection"])
+@pytest.mark.parametrize("name", ["nonlinear", "projection", "sequence"])
 def test_every_encoder_registered(name):
     from repro.registry import ENCODER_REGISTRY
 
     assert name in ENCODER_REGISTRY
+
+
+# --- scenario-layer guards: data flows through the registry ----------------
+
+ROOT = SRC.parent
+EXAMPLES_DIR = ROOT / "examples"
+BENCHMARKS_DIR = ROOT / "benchmarks"
+
+#: non-regression demos whose data is symbolic (text n-grams, RL episodes)
+#: rather than a regression dataset — nothing for the registry to serve.
+DATA_GUARD_EXEMPT = {"language_identification.py", "hd_reinforcement_learning.py"}
+
+#: every dataset-producing callable in repro.datasets; calling one
+#: directly bypasses the registry (and the workload layer built on it).
+_GENERATOR_CALL = re.compile(
+    r"\b(friedman[123]|sinusoid|piecewise|linear|nonlinear_interaction"
+    r"|high_cardinality|regime_mixture|sensor_signal"
+    r"|regime_switching_signal|windowed_forecasting_dataset"
+    r"|multihorizon_forecasting_dataset|load_(?:diabetes|boston|airfoil"
+    r"|wine|facebook|ccpp|forest|sensor_forecast|regime_forecast"
+    r"|multihorizon_forecast)|Dataset)\s*\("
+)
+
+
+def _scenario_sources(directory):
+    return [
+        p for p in sorted(directory.glob("*.py"))
+        if p.name not in DATA_GUARD_EXEMPT
+    ]
+
+
+def _generator_hits(paths):
+    hits = []
+    for path in paths:
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if _GENERATOR_CALL.search(line):
+                hits.append(f"{path.relative_to(ROOT)}:{lineno}: {line.strip()}")
+    return hits
+
+
+def test_examples_resolve_data_through_registry():
+    """Examples call ``load_dataset``/workloads, never a generator directly,
+    so every scenario an example demonstrates is discoverable by name."""
+    hits = _generator_hits(_scenario_sources(EXAMPLES_DIR))
+    assert not hits, (
+        "direct dataset construction in examples/ — resolve it through "
+        "repro.datasets.load_dataset or the workload registry:\n"
+        + "\n".join(hits)
+    )
+
+
+def test_examples_do_not_hand_roll_datasets():
+    """``np.random.default_rng`` in an example is a hand-rolled dataset the
+    registry cannot name; register a generator instead."""
+    hits = []
+    for path in _scenario_sources(EXAMPLES_DIR):
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if "default_rng" in line:
+                hits.append(f"{path.relative_to(ROOT)}:{lineno}: {line.strip()}")
+    assert not hits, (
+        "hand-rolled data in examples/ — load it via "
+        "repro.datasets.load_dataset so the scenario has a name:\n"
+        + "\n".join(hits)
+    )
+
+
+def test_benchmarks_resolve_data_through_registry():
+    """Benchmark *datasets* come from the registry.  Raw ``default_rng``
+    operands for kernel micro-benchmarks (throughput matrices, packed
+    words) are not datasets and stay unaffected."""
+    hits = _generator_hits(_scenario_sources(BENCHMARKS_DIR))
+    assert not hits, (
+        "direct dataset construction in benchmarks/ — resolve it through "
+        "repro.datasets.load_dataset:\n" + "\n".join(hits)
+    )

@@ -161,6 +161,50 @@ class TestHistogramEdges:
         assert "reghd_train_epoch_seconds_count 5" in text
 
 
+class TestHistogramQuantile:
+    """Prometheus histogram_quantile semantics on the bucket counts."""
+
+    def _hist(self, buckets=(1.0, 2.0, 4.0)):
+        return MetricsRegistry().histogram("h", buckets=buckets)
+
+    def test_empty_histogram_is_nan(self):
+        import math
+
+        assert math.isnan(self._hist().quantile(0.5))
+
+    def test_interpolates_within_a_bucket(self):
+        hist = self._hist()
+        for v in (0.5, 1.5, 1.6, 3.0):
+            hist.observe(v)
+        # Median target = 2 of 4; cumulative crosses in bucket (1, 2].
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        hist = self._hist()
+        hist.observe(0.5)
+        hist.observe(0.5)
+        assert 0.0 < hist.quantile(0.5) <= 1.0
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        hist = self._hist()
+        for _ in range(10):
+            hist.observe(100.0)
+        assert hist.quantile(0.99) == 4.0
+
+    def test_quantiles_are_monotone(self):
+        hist = self._hist()
+        for v in (0.2, 0.7, 1.3, 1.9, 2.5, 3.8):
+            hist.observe(v)
+        qs = [hist.quantile(q) for q in (0.1, 0.5, 0.9, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_invalid_q_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            self._hist().quantile(1.5)
+
+
 class TestThreadSafety:
     def test_concurrent_counter_is_exact(self):
         reg = MetricsRegistry()
