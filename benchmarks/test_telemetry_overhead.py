@@ -27,6 +27,10 @@ from repro.telemetry.timing import monotonic
 #: acceptance bound from the ISSUE: < 3 % regression on packed serving.
 MAX_OVERHEAD = 0.03
 
+#: bound with full tracing armed (per-predict trace contexts + span
+#: records + exemplars): < 5 % on the same packed serving path.
+MAX_TRACED_OVERHEAD = 0.05
+
 DIM = 4096
 ROWS = 2048
 FEATURES = 16
@@ -66,25 +70,29 @@ def _serving_setup():
     return plan, X_serve
 
 
-def _min_latency(plan, X, *, repeats: int = REPEATS) -> float:
-    plan.predict(X)  # warm-up: caches, allocator, branch predictors
-    best = np.inf
-    for _ in range(repeats):
-        start = monotonic()
-        plan.predict(X)
-        best = min(best, monotonic() - start)
-    return best
-
-
 def test_telemetry_overhead_under_three_percent():
     plan, X = _serving_setup()
+    registry = telemetry.enable(telemetry.MetricsRegistry())
 
+    # Interleave the off/on measurements: thermal and scheduler drift
+    # over the ~20 s run lands on both sides equally instead of biasing
+    # whichever side ran second.
     telemetry.disable()
-    baseline = _min_latency(plan, X)
+    plan.predict(X)  # warm-up: caches, allocator, branch predictors
+    baseline = instrumented = np.inf
+    try:
+        for _ in range(REPEATS):
+            telemetry.disable()
+            start = monotonic()
+            plan.predict(X)
+            baseline = min(baseline, monotonic() - start)
 
-    registry = telemetry.enable()
-    instrumented = _min_latency(plan, X)
-    telemetry.disable()
+            telemetry.enable(registry)
+            start = monotonic()
+            plan.predict(X)
+            instrumented = min(instrumented, monotonic() - start)
+    finally:
+        telemetry.disable()
 
     overhead = instrumented / baseline - 1.0
     lines = [
@@ -108,4 +116,58 @@ def test_telemetry_overhead_under_three_percent():
     assert overhead < MAX_OVERHEAD, (
         f"telemetry costs {overhead:.1%} of packed serving throughput "
         f"(bound {MAX_OVERHEAD:.0%})"
+    )
+
+
+def test_tracing_overhead_under_five_percent():
+    from repro.telemetry import tracing
+
+    plan, X = _serving_setup()
+    tracer = tracing.Tracer()
+
+    # Interleave the off/on measurements: thermal and scheduler drift
+    # over the ~20 s run then lands on both sides equally instead of
+    # biasing whichever side ran second.  One request = one trace, the
+    # serving pattern.
+    telemetry.disable()
+    tracing.disable_tracing()
+    plan.predict(X)  # warm-up: caches, allocator, branch predictors
+    baseline = traced = np.inf
+    try:
+        for i in range(REPEATS):
+            tracing.disable_tracing()
+            telemetry.disable()
+            start = monotonic()
+            plan.predict(X)
+            baseline = min(baseline, monotonic() - start)
+
+            telemetry.enable_tracing(tracer)
+            start = monotonic()
+            with telemetry.trace("serve", batch=i):
+                plan.predict(X)
+            traced = min(traced, monotonic() - start)
+    finally:
+        tracing.disable_tracing()
+        telemetry.disable()
+
+    overhead = traced / baseline - 1.0
+    lines = [
+        f"packed serving, D={DIM}, {ROWS} rows, min of {REPEATS}:",
+        f"  tracing off : {baseline * 1e3:8.3f} ms",
+        f"  tracing on  : {traced * 1e3:8.3f} ms",
+        f"  overhead    : {overhead * 100:+.2f} %"
+        f"  (bound {MAX_TRACED_OVERHEAD:.0%})",
+        f"  traces      : {tracer.n_traces}, spans {tracer.n_spans}",
+    ]
+    save_result("tracing_overhead", "\n".join(lines))
+    print("\n" + "\n".join(lines))
+
+    # Vacuous-pass guard: the traced runs must have produced real trace
+    # structure (root spans plus the executor's per-tile stage records).
+    assert tracer.n_traces == REPEATS
+    assert tracer.n_spans > tracer.n_traces
+
+    assert overhead < MAX_TRACED_OVERHEAD, (
+        f"tracing costs {overhead:.1%} of packed serving throughput "
+        f"(bound {MAX_TRACED_OVERHEAD:.0%})"
     )

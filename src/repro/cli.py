@@ -137,7 +137,94 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the BENCH_workloads.json record here",
     )
+    replay.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="arm the tracer and export Chrome trace-event JSON here",
+    )
+    replay.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="arm the flight recorder; rollback/breach post-mortem "
+        "bundles are dumped into this directory",
+    )
+    replay.add_argument(
+        "--live-out",
+        default=None,
+        metavar="PATH",
+        help="write an atomic SLO snapshot here every --live-every "
+        "batches (attach with `repro top PATH`)",
+    )
+    replay.add_argument(
+        "--live-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="snapshot cadence in batches (default every batch)",
+    )
+    replay.add_argument(
+        "--force-breach",
+        action="store_true",
+        help="substitute an unmeetable RMSE gate and watchdog envelope, "
+        "guaranteeing a breach + rollback (exercises the post-mortem "
+        "path; the run exits non-zero)",
+    )
     _add_metrics_out(replay)
+
+    top = sub.add_parser(
+        "top",
+        help="live SLO console: render a replay's snapshot file "
+        "(burn rates, percentiles, caches, kernel counters)",
+    )
+    top.add_argument(
+        "snapshot",
+        metavar="PATH",
+        help="snapshot file a replay writes via --live-out",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh period (default 1s)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame without clearing the screen and exit",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: until Ctrl-C)",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="replay workload(s) with tracing armed and export the "
+        "Chrome trace-event JSON (chrome://tracing / Perfetto)",
+    )
+    trace_cmd.add_argument(
+        "workload",
+        nargs="*",
+        help="registered workload name(s); default traces the full catalogue",
+    )
+    trace_cmd.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="write the Chrome trace-event JSON here",
+    )
+    trace_cmd.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: shrunken datasets and model dimensionality",
+    )
+    trace_cmd.add_argument("--seed", type=int, default=0, help="replay seed")
 
     train = sub.add_parser("train", help="train a RegHD model on a dataset")
     train.add_argument("--dataset", required=True, help="registered dataset name")
@@ -538,25 +625,57 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
     registry = _metrics_session(args)
     names = tuple(args.workload) or available_workloads()
-    engine = ReplayEngine(quick=args.quick, seed=args.seed)
+    tracing_on = getattr(args, "trace_out", None) is not None
+    flight_dir = getattr(args, "flight_dir", None)
+    # Session-level sinks: one tracer / flight recorder shared by every
+    # workload in this invocation, so dump sequence numbers and trace
+    # ids stay globally unique across the run.
+    tracer = telemetry.enable_tracing() if tracing_on else None
+    if flight_dir is not None:
+        telemetry.enable_flight(dump_dir=flight_dir)
+    engine = ReplayEngine(
+        quick=args.quick,
+        seed=args.seed,
+        trace=tracing_on,
+        flight_dir=flight_dir,
+        live_out=getattr(args, "live_out", None),
+        live_every=getattr(args, "live_every", 1),
+        force_breach=getattr(args, "force_breach", False),
+    )
     reports = []
-    for name in names:
-        report = engine.run(name)
-        reports.append(report)
-        verdict = "PASS" if report.passed else "FAIL"
-        failed = ", ".join(
-            f"{c.gate} {c.value:.4g} vs {c.limit:.4g}"
-            for c in report.checks
-            if not c.passed
-        )
-        print(
-            f"{verdict}  {report.workload:24s} "
-            f"rmse={report.tail_rmse:8.4f}  "
-            f"cov={'--' if report.coverage is None else f'{report.coverage:.3f}'}  "
-            f"p99={report.p99_latency_ms:7.1f}ms  "
-            f"batches={report.n_batches:4d}  faults={report.faults_injected:3d}"
-            + (f"  [{failed}]" if failed else "")
-        )
+    try:
+        for name in names:
+            report = engine.run(name)
+            reports.append(report)
+            verdict = "PASS" if report.passed else "FAIL"
+            failed = ", ".join(
+                f"{c.gate} {c.value:.4g} vs {c.limit:.4g}"
+                for c in report.checks
+                if not c.passed
+            )
+            p99 = (
+                "     --"
+                if report.p99_latency_ms is None
+                else f"{report.p99_latency_ms:7.1f}"
+            )
+            print(
+                f"{verdict}  {report.workload:24s} "
+                f"rmse={report.tail_rmse:8.4f}  "
+                f"cov={'--' if report.coverage is None else f'{report.coverage:.3f}'}  "
+                f"p99={p99}ms  "
+                f"batches={report.n_batches:4d}  faults={report.faults_injected:3d}"
+                + (f"  [{failed}]" if failed else "")
+            )
+    finally:
+        if flight_dir is not None:
+            recorder = telemetry.active_recorder()
+            if recorder is not None and recorder.dumps:
+                print(f"flight dumps     : {len(recorder.dumps)} in {flight_dir}")
+            telemetry.disable_flight()
+        if tracer is not None:
+            path = telemetry.write_chrome_trace(tracer, args.trace_out)
+            print(f"wrote trace      : {path}")
+            telemetry.disable_tracing()
     if args.output is not None:
         record = workload_bench_record(
             reports, quick=args.quick, seed=args.seed
@@ -566,6 +685,37 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(f"wrote SLO report : {args.output}")
     _write_metrics(registry, args)
     return 0 if all(r.passed for r in reports) else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    iterations = 1 if args.once else args.iterations
+    telemetry.run_top(
+        args.snapshot,
+        interval=args.interval,
+        iterations=iterations,
+        clear=not args.once,
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads import ReplayEngine, available_workloads
+
+    names = tuple(args.workload) or available_workloads()
+    tracer = telemetry.enable_tracing()
+    try:
+        engine = ReplayEngine(quick=args.quick, seed=args.seed, trace=True)
+        for name in names:
+            report = engine.run(name)
+            print(
+                f"traced  {report.workload:24s} "
+                f"batches={report.n_batches:4d}"
+            )
+        path = telemetry.write_chrome_trace(tracer, args.out)
+    finally:
+        telemetry.disable_tracing()
+    print(f"wrote trace      : {path} ({len(tracer.records)} spans)")
+    return 0
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -1061,6 +1211,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_workloads(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "train":
         return _cmd_train(args)
     if args.command == "merge":

@@ -45,6 +45,7 @@ from repro.encoding.base import Encoder
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.ops.normalize import normalize_rows
 from repro.registry import encoder_class, encoder_type_of
+from repro.telemetry.spans import span
 from repro.types import ArrayLike, FloatArray
 from repro.utils.validation import check_1d, check_2d, check_matching_lengths
 
@@ -642,8 +643,10 @@ class BaseRegHDEstimator(BaseEstimator):
             raise NotFittedError(
                 f"{type(self).__name__}.predict called before fit"
             )
-        S = self._encode_normalized(check_2d("X", X))
-        return self._finalize_predictions(self.predict_encoded(S))
+        with span("encode"):
+            S = self._encode_normalized(check_2d("X", X))
+        with span("search"):
+            return self._finalize_predictions(self.predict_encoded(S))
 
     # -- trainer protocol (implemented by concrete models) -----------------
 

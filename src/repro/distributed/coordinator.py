@@ -29,6 +29,7 @@ import numpy as np
 from repro.distributed.shard import ShardTrainer
 from repro.exceptions import ConfigurationError
 from repro.metrics import mean_squared_error
+from repro.telemetry import tracing as _tracing
 from repro.telemetry.spans import span
 from repro.types import ArrayLike
 from repro.utils.validation import check_1d, check_2d, check_matching_lengths
@@ -105,15 +106,20 @@ class DeltaCoordinator:
         y_arr = check_1d("y", y)
         check_matching_lengths("X", X_arr, "y", y_arr)
 
-        prequential: float | None = None
-        if self.stream.fitted:
-            predictions = self.stream.predict(X_arr)
-            prequential = mean_squared_error(y_arr, predictions)
+        # Each distributed round is one traced unit of work: the
+        # prequential predict and the map→reduce→absorb phase share the
+        # round's trace id.
+        with _tracing.trace("distributed/round", round=self.n_rounds + 1):
+            prequential = None
+            if self.stream.fitted:
+                with span("predict"):
+                    predictions = self.stream.predict(X_arr)
+                prequential = mean_squared_error(y_arr, predictions)
 
-        with span("distributed/coordinate"):
-            deltas = self.trainer.map(X_arr, y_arr)
-            merged = self.trainer.reduce(deltas)
-            self.stream.absorb_delta(merged)
+            with span("distributed/coordinate"):
+                deltas = self.trainer.map(X_arr, y_arr)
+                merged = self.trainer.reduce(deltas)
+                self.stream.absorb_delta(merged)
 
         checkpointed = False
         if (

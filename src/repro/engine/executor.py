@@ -41,7 +41,8 @@ from repro.engine.kernels import (
 )
 from repro.runtime import EncoderOperands, Query
 from repro.telemetry import metrics as _metrics
-from repro.telemetry.timing import monotonic
+from repro.telemetry import timing as _timing
+from repro.telemetry import tracing as _tracing
 from repro.types import FloatArray
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -102,13 +103,21 @@ def _run_tile(
     out: FloatArray,
     scratch: TileScratch,
     enc: EncoderOperands | None,
+    trace: "tuple | None" = None,
 ) -> None:
-    """Run one row tile through the fused pipeline into ``out[lo:hi]``."""
+    """Run one row tile through the fused pipeline into ``out[lo:hi]``.
+
+    ``trace`` is a captured ``(tracer, ctx)`` pair: contextvars do not
+    propagate into the serving pool's threads, so :func:`execute_plan`
+    snapshots the open trace context once and each tile attaches its
+    stage records explicitly.  The clock is read through the timing
+    module so a single monkeypatch pins every span timestamp.
+    """
     X_tile = X[lo:hi]
     # Serving latency split by stage; `registry is None` is the entire
     # cost of the disabled path (no clock reads, no metric lookups).
     registry = _metrics.active()
-    t0 = monotonic() if registry is not None else 0.0
+    t0 = _timing.monotonic() if registry is not None else 0.0
 
     if plan.fused_encode:
         # Fused encode→pack: raw rows straight to packed words + scales,
@@ -142,10 +151,12 @@ def _run_tile(
             np.divide(S, norms[:, np.newaxis], out=S)
         query = Query(S, signs=signs, words=words, scales=q_scales)
     if registry is not None:
-        t1 = monotonic()
+        t1 = _timing.monotonic()
         registry.histogram(
             "reghd_serving_latency_seconds", stage="encode"
         ).observe(t1 - t0)
+        if trace is not None:
+            trace[0].record_stage(trace[1], "tile/encode", t0, t1, rows=hi - lo)
         t0 = t1
 
     # 3. Cluster similarities (Eq. 5) and softmax confidences, dispatched
@@ -154,10 +165,12 @@ def _run_tile(
     sims = backend.cluster_similarities(query, plan.cluster_op)
     conf = backend.confidences(sims, plan.softmax_temp)
     if registry is not None:
-        t1 = monotonic()
+        t1 = _timing.monotonic()
         registry.histogram(
             "reghd_serving_latency_seconds", stage="search"
         ).observe(t1 - t0)
+        if trace is not None:
+            trace[0].record_stage(trace[1], "tile/search", t0, t1, rows=hi - lo)
         t0 = t1
 
     # 4. Model dot products (Eq. 6 under the Sec.-3.2 scheme).  The
@@ -175,9 +188,14 @@ def _run_tile(
     np.add(y, plan.y_mean, out=y)
     out[lo:hi] = y
     if registry is not None:
+        t1 = _timing.monotonic()
         registry.histogram(
             "reghd_serving_latency_seconds", stage="accumulate"
-        ).observe(monotonic() - t0)
+        ).observe(t1 - t0)
+        if trace is not None:
+            trace[0].record_stage(
+                trace[1], "tile/accumulate", t0, t1, rows=hi - lo
+            )
 
 
 def execute_plan(
@@ -204,12 +222,18 @@ def execute_plan(
     enc = plan.encoder_operands()
     workers = _effective_workers(n_workers, len(spans), n, plan.dim)
 
+    # Snapshot the open trace once; worker threads receive it by value
+    # (contextvars do not cross the persistent pool's threads).
+    tracer = _tracing.active_tracer()
+    ctx = _tracing.current() if tracer is not None else None
+    trace = (tracer, ctx) if ctx is not None else None
+
     if workers == 1:
         scratch = TileScratch(
             min(tile_rows, n), plan.dim, fused=plan.fused_encode
         )
         for lo, hi in spans:
-            _run_tile(plan, X, lo, hi, out, scratch, enc)
+            _run_tile(plan, X, lo, hi, out, scratch, enc, trace)
         return out
 
     # One scratch set per worker, recycled through a queue; tiles write
@@ -223,7 +247,7 @@ def execute_plan(
     def _job(span: tuple[int, int]) -> None:
         scratch = scratch_pool.get()
         try:
-            _run_tile(plan, X, span[0], span[1], out, scratch, enc)
+            _run_tile(plan, X, span[0], span[1], out, scratch, enc, trace)
         finally:
             scratch_pool.put(scratch)
 

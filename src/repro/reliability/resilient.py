@@ -36,7 +36,10 @@ from repro.reliability.scrub import ModelScrubber, ScrubReport
 from repro.reliability.watchdog import HealthState, Watchdog
 from repro.robust.conformal import AdaptiveConformal
 from repro.streaming import PageHinkley, StreamBatchReport, StreamingRegHD
+from repro.telemetry import flight as _flight
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import tracing as _tracing
+from repro.telemetry.spans import span
 from repro.types import ArrayLike, FloatArray
 
 
@@ -140,7 +143,27 @@ class ResilientStreamingRegHD(StreamingRegHD):
     # -- the per-batch pipeline --------------------------------------------
 
     def update(self, X: ArrayLike, y: ArrayLike) -> ResilientBatchReport:
-        """Absorb one batch through the full reliability pipeline."""
+        """Absorb one batch through the full reliability pipeline.
+
+        Under an armed tracer the whole pipeline shares one trace (or
+        joins the replay engine's, when it opened one); an uncaught
+        exception dumps a flight-recorder post-mortem before
+        propagating, stamped with the failing batch's trace id.
+        """
+        with _tracing.trace("batch", batch=self._batch_counter + 1):
+            try:
+                return self._update_pipeline(X, y)
+            except Exception as exc:
+                _flight.auto_dump(
+                    "exception",
+                    at_batch=self._batch_counter,
+                    error=repr(exc),
+                )
+                raise
+
+    def _update_pipeline(
+        self, X: ArrayLike, y: ArrayLike
+    ) -> ResilientBatchReport:
         scrub_report = None
         if (
             self.scrubber is not None
@@ -151,7 +174,8 @@ class ResilientStreamingRegHD(StreamingRegHD):
 
         guard_report = None
         if self.guard is not None:
-            X, y, guard_report = self.guard.check(X, y)
+            with span("guard"):
+                X, y, guard_report = self.guard.check(X, y)
             if len(X) == 0:
                 report = ResilientBatchReport(
                     batch=self._batch_counter,
@@ -185,7 +209,8 @@ class ResilientStreamingRegHD(StreamingRegHD):
             trigger = float(np.sqrt(base.prequential_mse))
             report.health = self.watchdog.update(trigger)
             if report.health is HealthState.FAILED:
-                report.rolled_back = self._rollback(trigger)
+                with span("rollback"):
+                    report.rolled_back = self._rollback(trigger)
                 if report.rolled_back:
                     event = self.rollbacks[-1]
                     report.restored_checkpoint = event.checkpoint_id
@@ -193,6 +218,17 @@ class ResilientStreamingRegHD(StreamingRegHD):
                     # _restore rewound history to the checkpointed reports;
                     # re-append this one so the rollback stays on record.
                     self.history.reports.append(report)
+                    # The rollback span has landed in the tracer ring and
+                    # the batch trace is still open, so the post-mortem
+                    # bundle carries both the guard→…→rollback spans and
+                    # the breaching batch's trace id.
+                    _flight.auto_dump(
+                        "watchdog_rollback",
+                        at_batch=event.at_batch,
+                        restored_batch=event.restored_batch,
+                        checkpoint_id=event.checkpoint_id,
+                        trigger_error=trigger,
+                    )
 
         if (
             self.checkpoints is not None

@@ -31,6 +31,8 @@ from repro.exceptions import ConfigurationError, NotFittedError
 from repro.metrics import mean_squared_error
 from repro.robust.conformal import AdaptiveConformal, PredictionInterval
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import tracing as _tracing
+from repro.telemetry.spans import span
 from repro.types import ArrayLike, FloatArray
 from repro.utils.validation import check_1d, check_2d, check_matching_lengths
 
@@ -380,26 +382,32 @@ class StreamingRegHD:
 
         prequential: float | None = None
         drift = False
-        if self.fitted:
-            predictions = self.model.predict(X_arr)
-            prequential = mean_squared_error(y_arr, predictions)
-            if self.conformal is not None:
-                # Same honest predict-then-train residuals feed the
-                # conformal window, so interval coverage is prequential.
-                self.conformal.observe(y_arr, predictions)
-            if self.detector is not None:
-                drift = self.detector.update(float(np.sqrt(prequential)))
-            if drift:
-                self.model.models.update_all(
-                    (self.drift_shrink - 1.0) * self.model.models.integer
-                )
-                self.model.models.rebinarize()
-            elif self.forgetting < 1.0:
-                self.model.models.update_all(
-                    (self.forgetting - 1.0) * self.model.models.integer
-                )
-                self.model.models.rebinarize()
-        self.model.partial_fit(X_arr, y_arr)
+        with _tracing.trace("stream/batch", batch=self._batch_counter):
+            if self.fitted:
+                with span("predict"):
+                    predictions = self.model.predict(X_arr)
+                prequential = mean_squared_error(y_arr, predictions)
+                if self.conformal is not None:
+                    # Same honest predict-then-train residuals feed the
+                    # conformal window, so interval coverage is
+                    # prequential.
+                    self.conformal.observe(y_arr, predictions)
+                if self.detector is not None:
+                    drift = self.detector.update(
+                        float(np.sqrt(prequential))
+                    )
+                if drift:
+                    self.model.models.update_all(
+                        (self.drift_shrink - 1.0) * self.model.models.integer
+                    )
+                    self.model.models.rebinarize()
+                elif self.forgetting < 1.0:
+                    self.model.models.update_all(
+                        (self.forgetting - 1.0) * self.model.models.integer
+                    )
+                    self.model.models.rebinarize()
+            with span("train"):
+                self.model.partial_fit(X_arr, y_arr)
         self._plan_stale = True  # model changed; next predict refreshes
 
         report = StreamBatchReport(

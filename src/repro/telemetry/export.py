@@ -122,8 +122,10 @@ def to_prometheus(
 def to_json(registry: MetricsRegistry, *, meta: dict | None = None) -> dict:
     """Snapshot the registry as a JSON-serialisable dict.
 
-    The structure is ``{"meta", "metrics", "events"}``; each metric entry
-    carries its kind, labels and merged value(s).
+    The structure is ``{"meta", "metrics", "events", "events_dropped"}``;
+    each metric entry carries its kind, labels and merged value(s), and
+    histograms with recorded exemplars list the slowest observation's
+    trace id per bucket.
     """
     if meta is None:
         meta = default_meta()
@@ -147,8 +149,23 @@ def to_json(registry: MetricsRegistry, *, meta: dict | None = None) -> dict:
             # to inf, which json.dumps would emit as invalid `Infinity`.
             entry["sum"] = float(total) if math.isfinite(total) else str(total)
             entry["count"] = int(n)
+            exemplars = metric.exemplars()
+            if exemplars:
+                entry["exemplars"] = [
+                    {
+                        "bucket": int(idx),
+                        "value": float(value),
+                        "trace_id": trace_id,
+                    }
+                    for idx, (value, trace_id) in sorted(exemplars.items())
+                ]
         entries.append(entry)
-    return {"meta": dict(meta), "metrics": entries, "events": registry.events}
+    return {
+        "meta": dict(meta),
+        "metrics": entries,
+        "events": registry.events,
+        "events_dropped": registry.events_dropped,
+    }
 
 
 def write_metrics(

@@ -1,0 +1,275 @@
+"""Flight recorder: bounded in-memory black box with post-mortem dumps.
+
+A :class:`FlightRecorder` keeps three bounded rings — recent span
+records (fed by the tracer), recent structured events (subscribed to
+:func:`repro.telemetry.metrics.add_event_hook`), and explicit metric
+samples (:meth:`FlightRecorder.record_sample`, the "metric deltas" the
+instrumented loops push per batch).  When something goes wrong — a
+watchdog rollback, a :class:`QualityGate` breach in the replay engine,
+an uncaught exception in the resilient stream — :func:`auto_dump`
+freezes the rings into a post-mortem bundle: the reconstructed trace
+tree, the last-N events, the caller's context (gate values, checkpoint
+id, trigger error) and a counter/gauge snapshot of the live registry.
+
+Design rules:
+
+* **Zero allocation when off.**  The module sink is a ``None`` check
+  (:func:`active_recorder`); with no recorder armed, :func:`auto_dump`
+  returns immediately and nothing subscribes to spans or events.
+* **Deterministic bundles.**  Ring entries carry the deterministic
+  sequence numbers they were recorded with; dump files are numbered by
+  a dump sequence, thread idents are normalised to first-seen small
+  integers, and no absolute paths or wall-clock times enter the bundle
+  — so a seeded run with a pinned monotonic clock dumps byte-identical
+  JSON.
+* **Arming the recorder arms the tracer** (span records are the trace
+  tree's raw material); disabling detaches both subscriptions.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from collections import deque
+
+from repro.telemetry import metrics, tracing
+from repro.telemetry.tracing import SpanRecord
+
+__all__ = [
+    "FlightRecorder",
+    "active_recorder",
+    "auto_dump",
+    "disable_flight",
+    "enable_flight",
+    "trace_tree",
+]
+
+
+def trace_tree(records: list[SpanRecord]) -> list[dict]:
+    """Reconstruct per-trace span trees from flat records.
+
+    Returns one entry per trace id (first-seen order): ``{"trace_id",
+    "roots"}`` where each node carries its span ids, path, timings and
+    ``children`` sorted by span id.  Records whose parent fell out of
+    the ring (or is still open, like the batch root at dump time)
+    surface as roots — a truncated tree is still a tree.
+    """
+    by_trace: dict[str, list[SpanRecord]] = {}
+    for rec in records:
+        by_trace.setdefault(rec.trace_id, []).append(rec)
+    trees = []
+    for trace_id, recs in by_trace.items():
+        nodes: dict[int, dict] = {}
+        for rec in recs:
+            node = rec.to_dict()
+            node["children"] = []
+            nodes[rec.span_id] = node
+        roots = []
+        for rec in sorted(recs, key=lambda r: r.span_id):
+            node = nodes[rec.span_id]
+            parent = (
+                nodes.get(rec.parent_id)
+                if rec.parent_id is not None
+                else None
+            )
+            if parent is None:
+                roots.append(node)
+            else:
+                parent["children"].append(node)
+        trees.append({"trace_id": trace_id, "roots": roots})
+    return trees
+
+
+class FlightRecorder:
+    """Bounded rings of recent spans / events / samples, dumpable.
+
+    Parameters
+    ----------
+    capacity / event_capacity / sample_capacity:
+        Ring sizes (newest entries win).
+    dump_dir:
+        When set, :meth:`dump` also writes the bundle to
+        ``<dump_dir>/flight-<seq>-<reason>.json``; the written paths
+        accumulate on :attr:`dumps`.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 256,
+        event_capacity: int = 128,
+        sample_capacity: int = 256,
+        dump_dir: str | pathlib.Path | None = None,
+    ):
+        self._lock = threading.Lock()
+        self._spans: deque[SpanRecord] = deque(maxlen=int(capacity))
+        self._events: deque[dict] = deque(maxlen=int(event_capacity))
+        self._samples: deque[dict] = deque(maxlen=int(sample_capacity))
+        self._sample_seq = 0
+        self._dump_seq = 0
+        self.dump_dir = (
+            pathlib.Path(dump_dir) if dump_dir is not None else None
+        )
+        self.dumps: list[pathlib.Path] = []
+        self.last_bundle: dict | None = None
+
+    # -- feeds ---------------------------------------------------------------
+
+    def record_span(self, record: SpanRecord) -> None:
+        """Tracer sink: retain one completed span record."""
+        self._spans.append(record)
+
+    def record_event(self, event: dict) -> None:
+        """Metrics event hook: retain one structured event (a copy)."""
+        self._events.append(dict(event))
+
+    def record_sample(self, name: str, value: float, **labels: object) -> None:
+        """Retain one metric delta (e.g. a per-batch burn rate)."""
+        with self._lock:
+            self._sample_seq += 1
+            sample = {"seq": self._sample_seq, "name": name, "value": value}
+            sample.update(labels)
+            self._samples.append(sample)
+
+    # -- dumping -------------------------------------------------------------
+
+    def _metrics_snapshot(self) -> dict:
+        """Counters and gauges of the live registry, sorted by name.
+
+        Histograms are deliberately skipped: their bucket state lives in
+        the regular exporters, and the scalar series are what a
+        post-mortem reader scans first.
+        """
+        registry = metrics.active()
+        if registry is None:
+            return {}
+        snapshot: dict = {}
+        for metric in registry.metrics():
+            if metric.kind == "histogram":
+                continue
+            key = metric.name
+            if metric.labels:
+                label_text = ",".join(f"{k}={v}" for k, v in metric.labels)
+                key = f"{metric.name}{{{label_text}}}"
+            snapshot[key] = metric.value
+        snapshot["events_dropped"] = registry.events_dropped
+        return snapshot
+
+    def bundle(self, reason: str, **context: object) -> dict:
+        """Freeze the rings into a post-mortem bundle (no file I/O).
+
+        The open trace's id (if any) is stamped into the context
+        automatically, tying the bundle to the breaching batch.
+        """
+        with self._lock:
+            spans = list(self._spans)
+            events = list(self._events)
+            samples = list(self._samples)
+            self._dump_seq += 1
+            dump_seq = self._dump_seq
+        ctx = dict(context)
+        trace_id = tracing.current_trace_id()
+        if trace_id is not None and "trace_id" not in ctx:
+            ctx["trace_id"] = trace_id
+        # Normalise thread idents to first-seen small integers so the
+        # bundle is machine-independent (and run-to-run deterministic).
+        tids: dict[int, int] = {}
+        span_dicts = []
+        for rec in spans:
+            d = rec.to_dict()
+            d["tid"] = tids.setdefault(rec.thread, len(tids))
+            span_dicts.append(d)
+        bundle = {
+            "kind": "reghd-flight-dump",
+            "reason": str(reason),
+            "dump_seq": dump_seq,
+            "context": {k: ctx[k] for k in sorted(ctx)},
+            "trace": trace_tree(spans),
+            "spans": span_dicts,
+            "events": events,
+            "samples": samples,
+            "metrics": self._metrics_snapshot(),
+        }
+        self.last_bundle = bundle
+        return bundle
+
+    def dump(self, reason: str, **context: object) -> dict:
+        """Build a bundle and, when a dump directory is set, persist it."""
+        bundle = self.bundle(reason, **context)
+        if self.dump_dir is not None:
+            self.dump_dir.mkdir(parents=True, exist_ok=True)
+            slug = "".join(
+                c if c.isalnum() else "-" for c in str(reason)
+            ).strip("-")
+            path = self.dump_dir / f"flight-{bundle['dump_seq']:04d}-{slug}.json"
+            path.write_text(
+                json.dumps(bundle, indent=2, sort_keys=True, default=str)
+                + "\n"
+            )
+            self.dumps.append(path)
+        return bundle
+
+
+# -- the module-level sink ---------------------------------------------------
+
+_recorder: FlightRecorder | None = None
+
+
+def active_recorder() -> FlightRecorder | None:
+    """The armed recorder, or None when the flight recorder is off."""
+    return _recorder
+
+
+def enable_flight(
+    recorder: FlightRecorder | None = None,
+    *,
+    dump_dir: str | pathlib.Path | None = None,
+) -> FlightRecorder:
+    """Arm the flight recorder; returns it.
+
+    Builds a recorder when none is passed (honouring ``dump_dir``),
+    arms the tracer (span records feed the trace tree) and subscribes
+    to the metrics event stream.  Idempotent: arming while armed keeps
+    the existing recorder unless a new one is passed explicitly.
+    """
+    global _recorder
+    if recorder is not None:
+        _recorder = recorder
+    elif _recorder is None:
+        _recorder = FlightRecorder(dump_dir=dump_dir)
+    tracing.enable_tracing()
+    tracing.add_span_sink(_recorder.record_span)
+    metrics.add_event_hook(_recorder.record_event)
+    return _recorder
+
+
+def disable_flight() -> None:
+    """Disarm the flight recorder and detach its subscriptions.
+
+    Leaves the tracer and metrics sinks as-is — callers that armed them
+    independently keep collecting.
+    """
+    global _recorder
+    if _recorder is not None:
+        tracing.remove_span_sink(_recorder.record_span)
+        metrics.remove_event_hook(_recorder.record_event)
+    _recorder = None
+
+
+def auto_dump(reason: str, **context: object) -> dict | None:
+    """Dump a post-mortem bundle if a recorder is armed; else a no-op.
+
+    The call sites (watchdog rollback, replay gate breach, uncaught
+    stream exception) call this unconditionally — the disabled path is
+    one module-global check.  Counts ``reghd_flight_dumps_total`` by
+    reason when a registry is live.
+    """
+    recorder = _recorder
+    if recorder is None:
+        return None
+    bundle = recorder.dump(reason, **context)
+    registry = metrics.active()
+    if registry is not None:
+        registry.counter("reghd_flight_dumps_total", reason=str(reason)).inc()
+    return bundle

@@ -43,10 +43,13 @@ __all__ = [
     "MetricsRegistry",
     "TELEMETRY_ENV_VAR",
     "active",
+    "add_event_hook",
     "disable",
     "enable",
     "enabled",
+    "remove_event_hook",
     "set_enabled",
+    "set_exemplar_provider",
 ]
 
 #: environment variable that switches telemetry on at import time.
@@ -249,11 +252,52 @@ CATALOG: dict[str, tuple[str, str]] = {
         "counter",
         "Quality-gate checks failed during replay, by workload and gate.",
     ),
+    "reghd_events_dropped_total": (
+        "counter",
+        "Structured events evicted from the registry's bounded ring "
+        "(oldest-first, past max_events).",
+    ),
+    "reghd_trace_traces_total": (
+        "counter",
+        "Traces opened (one per stream batch / replay batch / "
+        "distributed round while tracing is on).",
+    ),
+    "reghd_trace_spans_total": (
+        "counter",
+        "Span records captured into the tracer ring.",
+    ),
+    "reghd_slo_burn_rate": (
+        "gauge",
+        "Rolling error-budget burn rate per gate (1.0 = burning exactly "
+        "the declared budget), by gate and workload.",
+    ),
+    "reghd_slo_breaches_total": (
+        "counter",
+        "SLO windows that transitioned into breach (burn rate crossed "
+        "1.0), by gate and workload.",
+    ),
+    "reghd_flight_dumps_total": (
+        "counter",
+        "Flight-recorder post-mortem bundles dumped, by reason "
+        "(watchdog_rollback / gate_breach / exception / manual).",
+    ),
 }
 
 
 def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+#: when set (by :func:`repro.telemetry.tracing.enable_tracing`), a
+#: zero-arg callable returning the open trace id or None — histograms
+#: use it to attach exemplars without importing the tracing layer.
+_EXEMPLAR_PROVIDER = None
+
+
+def set_exemplar_provider(provider) -> None:
+    """Install (or clear, with None) the histogram exemplar provider."""
+    global _EXEMPLAR_PROVIDER
+    _EXEMPLAR_PROVIDER = provider
 
 
 class Counter:
@@ -332,7 +376,9 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "labels", "uppers", "_lock", "_local", "_cells")
+    __slots__ = (
+        "name", "labels", "uppers", "_lock", "_local", "_cells", "_exemplars"
+    )
 
     def __init__(
         self,
@@ -357,9 +403,15 @@ class Histogram:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._cells: list[_HistCell] = []
+        self._exemplars: dict[int, tuple[float, str]] = {}
 
     def observe(self, value: float) -> None:
-        """Record one observation into this thread's cell."""
+        """Record one observation into this thread's cell.
+
+        While tracing is on and a trace is open, the observation may
+        also update the bucket's *exemplar*: the trace id of the
+        slowest observation seen in that bucket.
+        """
         cell = getattr(self._local, "cell", None)
         if cell is None:
             cell = _HistCell(len(self.uppers) + 1)
@@ -372,6 +424,21 @@ class Histogram:
         cell.counts[idx] += 1
         cell.sum += value
         cell.count += 1
+        provider = _EXEMPLAR_PROVIDER
+        if provider is not None:
+            trace_id = provider()
+            if trace_id is not None:
+                with self._lock:
+                    current = self._exemplars.get(idx)
+                    if current is None or value > current[0]:
+                        self._exemplars[idx] = (float(value), trace_id)
+
+    def exemplars(self) -> dict[int, tuple[float, str]]:
+        """Per-bucket ``(value, trace_id)`` of the slowest traced
+        observation, keyed by bucket index (the last index is the
+        overflow bucket).  Empty unless tracing was on."""
+        with self._lock:
+            return dict(self._exemplars)
 
     def snapshot(self) -> tuple[np.ndarray, float, int]:
         """Merged ``(bucket_counts, sum, count)`` across all threads.
@@ -397,14 +464,18 @@ class Histogram:
         bucket where the cumulative count crosses ``q * count``, then
         interpolate linearly between the bucket's bounds (the first
         bucket's lower bound is 0, appropriate for the latency metrics
-        these histograms hold).  Observations in the overflow bucket clamp
-        to the last finite bound — the estimate is a lower bound there.
-        Returns NaN when the histogram is empty.
+        these histograms hold).  Returns NaN when the histogram is empty
+        *and* when every observation landed in the overflow (``+Inf``)
+        bucket — no finite bound brackets the data, so any number would
+        be fabricated; callers must treat NaN as "unknown", not 0.
+        When the quantile merely falls past the last finite bound but
+        finite-bucket data exists, the estimate clamps to that bound (a
+        lower bound on the true quantile).
         """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
         counts, _, n = self.snapshot()
-        if n == 0:
+        if n == 0 or int(counts[:-1].sum()) == 0:
             return float("nan")
         target = q * n
         cumulative = np.cumsum(counts)
@@ -436,6 +507,7 @@ class MetricsRegistry:
         self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
         self._events: deque[dict] = deque(maxlen=int(max_events))
         self._event_seq = 0
+        self._events_dropped = 0
 
     def _get(self, factory, name: str, labels: dict[str, str]):
         key = (name, _label_key(labels))
@@ -490,16 +562,43 @@ class MetricsRegistry:
         return metric
 
     def record_event(self, kind: str, **fields: object) -> None:
-        """Append one structured event (bounded ring buffer)."""
+        """Append one structured event (bounded ring buffer).
+
+        Evicting the oldest event past ``max_events`` is *counted*:
+        :attr:`events_dropped` and ``reghd_events_dropped_total`` record
+        how much of the story the ring lost.  Registered event hooks
+        (:func:`add_event_hook`) receive a copy of every event, dropped
+        from the ring or not.
+        """
         with self._lock:
             self._event_seq += 1
-            self._events.append({"seq": self._event_seq, "kind": kind, **fields})
+            dropped = (
+                self._events.maxlen is not None
+                and len(self._events) == self._events.maxlen
+            )
+            if dropped:
+                self._events_dropped += 1
+            event = {"seq": self._event_seq, "kind": kind, **fields}
+            self._events.append(event)
+        if dropped:
+            # Outside the lock: counter creation re-enters self._lock.
+            self.counter("reghd_events_dropped_total").inc()
+        if _EVENT_HOOKS:
+            payload = dict(event)
+            for hook in _EVENT_HOOKS:
+                hook(payload)
 
     @property
     def events(self) -> list[dict]:
         """The retained structured events, oldest first (copies)."""
         with self._lock:
             return [dict(e) for e in self._events]
+
+    @property
+    def events_dropped(self) -> int:
+        """Events evicted from the bounded ring since construction."""
+        with self._lock:
+            return self._events_dropped
 
     def metrics(self) -> list[Counter | Gauge | Histogram]:
         """All registered metrics, sorted by name then labels."""
@@ -514,6 +613,25 @@ class MetricsRegistry:
 # -- the module-level sink --------------------------------------------------
 
 _active: MetricsRegistry | None = None
+
+#: callables receiving a copy of every recorded event, regardless of
+#: which registry recorded it — the flight recorder's subscription.
+_EVENT_HOOKS: tuple = ()
+
+
+def add_event_hook(hook) -> None:
+    """Register a callable receiving every ``record_event`` payload."""
+    global _EVENT_HOOKS
+    if hook not in _EVENT_HOOKS:
+        _EVENT_HOOKS = _EVENT_HOOKS + (hook,)
+
+
+def remove_event_hook(hook) -> None:
+    """Unregister a hook previously added with :func:`add_event_hook`."""
+    global _EVENT_HOOKS
+    # Equality, not identity: bound methods (the flight recorder's
+    # ``record_event``) are fresh objects on every attribute access.
+    _EVENT_HOOKS = tuple(h for h in _EVENT_HOOKS if h != hook)
 
 
 def enabled() -> bool:

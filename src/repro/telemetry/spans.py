@@ -6,16 +6,25 @@ the path, so concurrently serving threads trace independently.  Each
 completed span lands as one observation in the ``reghd_span_seconds``
 histogram, labelled with its path.
 
+When a tracer is armed (:func:`repro.telemetry.tracing.enable_tracing`),
+completed spans additionally become :class:`~repro.telemetry.tracing
+.SpanRecord` entries with parent/child structure under the open
+:class:`~repro.telemetry.tracing.TraceContext` — the raw material for
+Chrome trace exports and flight-recorder dumps.  Spans completed while
+no trace is open still record, with an empty trace id.
+
 When telemetry is disabled, :func:`span` returns a shared stateless
-no-op context manager: no allocation, no clock read, no stack.
+no-op context manager: no allocation, no clock read, no stack.  The
+clock is always read through :mod:`repro.telemetry.timing` as a module
+attribute, so monkeypatching ``timing.monotonic`` pins span timestamps
+everywhere at once.
 """
 
 from __future__ import annotations
 
 import threading
 
-from repro.telemetry import metrics
-from repro.telemetry.timing import monotonic
+from repro.telemetry import metrics, timing, tracing
 
 __all__ = ["SPAN_METRIC", "Span", "span"]
 
@@ -45,16 +54,22 @@ class Span:
 
     The duration is observed into ``reghd_span_seconds{span=<path>}`` on
     exit, including when the body raises (the exception still
-    propagates).
+    propagates).  Under an armed tracer the span also claims a
+    deterministic span id, parents itself into the open trace context,
+    and emits a :class:`~repro.telemetry.tracing.SpanRecord` on exit.
     """
 
-    __slots__ = ("name", "path", "_registry", "_start")
+    __slots__ = (
+        "name", "path", "_registry", "_start", "_trace", "_span_id",
+        "_parent_id",
+    )
 
     def __init__(self, name: str, registry: metrics.MetricsRegistry):
         self.name = str(name)
         self.path = self.name
         self._registry = registry
         self._start = 0.0
+        self._trace = None
 
     def __enter__(self) -> "Span":
         names = getattr(_stack, "names", None)
@@ -63,17 +78,41 @@ class Span:
             _stack.names = names
         names.append(self.name)
         self.path = "/".join(names)
-        self._start = monotonic()
+        tracer = tracing.active_tracer()
+        if tracer is not None:
+            ctx = tracing.current()
+            self._trace = (tracer, ctx)
+            self._span_id = tracer.next_span_id()
+            self._parent_id = (
+                ctx.enter_span(self._span_id) if ctx is not None else None
+            )
+        self._start = timing.monotonic()
         return self
 
     def __exit__(self, *exc: object) -> bool:
-        duration = monotonic() - self._start
+        end = timing.monotonic()
         names = _stack.names
         if names and names[-1] == self.name:
             names.pop()
         self._registry.histogram(SPAN_METRIC, span=self.path).observe(
-            duration
+            end - self._start
         )
+        if self._trace is not None:
+            tracer, ctx = self._trace
+            if ctx is not None:
+                ctx.exit_span(self._span_id)
+            tracer.record(
+                tracing.SpanRecord(
+                    trace_id="" if ctx is None else ctx.trace_id,
+                    span_id=self._span_id,
+                    parent_id=self._parent_id,
+                    name=self.name,
+                    path=self.path,
+                    start=self._start,
+                    end=end,
+                    thread=threading.get_ident(),
+                )
+            )
         return False
 
 

@@ -13,10 +13,19 @@ histograms plus the prequential tail error and conformal coverage.
 All data-side randomness (traffic schedule, fault draws) derives from
 the run seed, so two replays of the same workload at the same seed score
 identical quality numbers; only the wall-clock latencies vary.
+
+Observability hooks (all opt-in, zero-cost when unused): every batch
+runs under a :func:`repro.telemetry.tracing.trace` context, the
+workload's gate feeds an :class:`~repro.telemetry.slo.SLOTracker`
+(rolling burn rates, exported for ``repro top`` via ``live_out``
+snapshots), and a gate breach or watchdog rollback dumps the armed
+flight recorder's post-mortem bundle.  ``force_breach`` substitutes an
+impossible RMSE ceiling so CI can exercise the breach path on demand.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import tempfile
 from dataclasses import asdict, dataclass
 
@@ -30,8 +39,11 @@ from repro.reliability.resilient import ResilientStreamingRegHD
 from repro.reliability.watchdog import Watchdog
 from repro.robust.conformal import AdaptiveConformal
 from repro.streaming import PageHinkley
+from repro.telemetry import flight as _flight
 from repro.telemetry import metrics as _metrics
-from repro.telemetry.timing import monotonic
+from repro.telemetry import slo as _slo
+from repro.telemetry import timing as _timing
+from repro.telemetry import tracing as _tracing
 from repro.utils.rng import derive_generator
 from repro.workloads.base import Workload
 from repro.workloads.registry import get_workload
@@ -59,7 +71,12 @@ class SLOReport:
 
     Quality fields (``tail_rmse``, ``coverage``) are deterministic under
     a fixed seed; the latency percentiles come from the telemetry
-    histogram and reflect the machine the replay ran on.
+    histogram and reflect the machine the replay ran on.  They are
+    ``None`` when the histogram holds no finite-bucket data — a
+    zero-batch workload or one whose every batch overflowed the bucket
+    range reports ``null`` percentiles rather than a misleading number
+    (:meth:`~repro.telemetry.metrics.Histogram.quantile` returns NaN in
+    both cases).
     """
 
     workload: str
@@ -71,8 +88,8 @@ class SLOReport:
     sim_seconds: float  # simulated arrival span of the traffic schedule
     tail_rmse: float
     coverage: float | None
-    p50_latency_ms: float
-    p99_latency_ms: float
+    p50_latency_ms: float | None
+    p99_latency_ms: float | None
     drift_detections: int
     rollbacks: int
     skipped_batches: int
@@ -99,11 +116,46 @@ class ReplayEngine:
         CI smoke mode: quick dataset kwargs, capped model dimensionality.
     seed:
         Base seed for model init, traffic schedule and fault draws.
+    trace:
+        Arm the tracer for the run (joins an already-armed one); span
+        records accumulate on :attr:`tracer` for Chrome-trace export.
+    flight_dir:
+        Arm the flight recorder with this dump directory — watchdog
+        rollbacks and gate breaches leave post-mortem bundles there.
+    live_out / live_every:
+        Write an atomic ``repro top`` snapshot file every N batches.
+    force_breach:
+        Substitute an unmeetable RMSE ceiling (keeping the workload's
+        other limits), guaranteeing a gate breach — the CI lever for
+        exercising the breach/dump path on demand.
     """
 
-    def __init__(self, *, quick: bool = False, seed: int = 0):
+    def __init__(
+        self,
+        *,
+        quick: bool = False,
+        seed: int = 0,
+        trace: bool = False,
+        flight_dir: str | None = None,
+        live_out: str | None = None,
+        live_every: int = 1,
+        force_breach: bool = False,
+    ):
         self.quick = bool(quick)
         self.seed = int(seed)
+        self.trace = bool(trace)
+        self.flight_dir = flight_dir
+        self.live_out = live_out
+        self.live_every = int(live_every)
+        self.force_breach = bool(force_breach)
+        #: the tracer that collected this engine's runs (set by `run`).
+        self.tracer: _tracing.Tracer | None = None
+
+    def _effective_gate(self, workload: Workload):
+        """The gate actually scored; ``force_breach`` makes it unmeetable."""
+        if not self.force_breach:
+            return workload.gate
+        return dataclasses.replace(workload.gate, rmse_ceiling=1e-9)
 
     # -- stream construction -------------------------------------------------
 
@@ -122,12 +174,24 @@ class ReplayEngine:
         conformal = AdaptiveConformal(
             alpha=0.1, window=max(32, min(512, n_batches * 8)), gamma=0.005
         )
-        watchdog = Watchdog(
-            baseline_batches=max(3, n_batches // 6),
-            window=4,
-            warn_factor=3.0,
-            fail_factor=8.0,
-        )
+        if self.force_breach:
+            # An unsatisfiable envelope: any post-baseline error trips
+            # FAILED, so the first checkpointed batch onward rolls back
+            # — the deterministic lever for exercising the rollback /
+            # post-mortem path on demand (CI's forced-breach leg).
+            watchdog = Watchdog(
+                baseline_batches=2,
+                window=1,
+                warn_factor=1.0,
+                fail_factor=1.0,
+            )
+        else:
+            watchdog = Watchdog(
+                baseline_batches=max(3, n_batches // 6),
+                window=4,
+                warn_factor=3.0,
+                fail_factor=8.0,
+            )
         return ResilientStreamingRegHD(
             in_features,
             config,
@@ -184,10 +248,23 @@ class ReplayEngine:
         previous = _metrics.active()
         registry = previous if previous is not None else _metrics.MetricsRegistry()
         _metrics.enable(registry)
+        # Arm the optional observability sinks; pre-armed sinks (e.g. a
+        # CLI-level session shared across several workloads) are reused
+        # and left in place on exit.
+        previous_tracer = _tracing.active_tracer()
+        if self.trace or self.flight_dir is not None:
+            self.tracer = _tracing.enable_tracing()
+        previous_recorder = _flight.active_recorder()
+        if self.flight_dir is not None and previous_recorder is None:
+            _flight.enable_flight(dump_dir=self.flight_dir)
         try:
             with tempfile.TemporaryDirectory(prefix="reghd-replay-") as tmp:
                 return self._run(workload, registry, tmp)
         finally:
+            if self.flight_dir is not None and previous_recorder is None:
+                _flight.disable_flight()
+            if previous_tracer is None and self.tracer is not None:
+                _tracing.disable_tracing()
             if previous is None:
                 _metrics.disable()
 
@@ -204,6 +281,18 @@ class ReplayEngine:
             workload, X.shape[1], len(schedule), tmp
         )
 
+        gate = self._effective_gate(workload)
+        slo_tracker = _slo.SLOTracker.from_gate(
+            gate,
+            workload=workload.name,
+            window=max(8, min(_slo.DEFAULT_WINDOW, len(schedule))),
+        )
+        snapshot_writer = (
+            _slo.SnapshotWriter(self.live_out, every=self.live_every)
+            if self.live_out is not None
+            else None
+        )
+
         latency = registry.histogram(
             "reghd_replay_batch_seconds", workload=workload.name
         )
@@ -213,6 +302,8 @@ class ReplayEngine:
         faults_injected = 0
         batch_quality: list[tuple[int, float]] = []  # (rows, prequential mse)
         skipped = 0
+        rows_done = 0
+        run_start = _timing.monotonic()
         for batch in schedule:
             progress = batch.start / n_rows
             X_batch = X[batch.rows]
@@ -221,24 +312,62 @@ class ReplayEngine:
                 workload, stream, X_batch, y_batch, progress, batch.index
             )
             faults_injected += injected
-            t0 = monotonic()
-            report = stream.update(X_batch, y_batch)
-            latency.observe(monotonic() - t0)
+            with _tracing.trace(
+                "replay/batch", workload=workload.name, batch=batch.index
+            ):
+                t0 = _timing.monotonic()
+                report = stream.update(X_batch, y_batch)
+                batch_seconds = _timing.monotonic() - t0
+            latency.observe(batch_seconds)
             rows_counter.inc(batch.size)
+            rows_done += batch.size
             if report.skipped:
                 skipped += 1
             if report.prequential_mse is not None:
                 batch_quality.append((batch.size, report.prequential_mse))
 
-        tail_rmse = self._tail_rmse(batch_quality, workload.gate.tail_fraction)
+            # Continuous SLO evaluation: every scored batch updates the
+            # rolling burn rates the live console renders.
+            observed: dict = {"latency_ms": batch_seconds * 1e3}
+            if report.prequential_mse is not None:
+                observed["rmse"] = float(np.sqrt(report.prequential_mse))
+            if stream.conformal is not None and stream.conformal.n_scored:
+                observed["coverage"] = float(stream.conformal.coverage)
+            slo_tracker.observe(**observed)
+            if snapshot_writer is not None:
+                snapshot_writer.write(
+                    self._console_snapshot(
+                        workload.name,
+                        slo_tracker,
+                        registry,
+                        latency,
+                        batches=batch.index + 1,
+                        rows=rows_done,
+                        elapsed=_timing.monotonic() - run_start,
+                    ),
+                    force=batch.index + 1 == len(schedule),
+                )
+
+        tail_rmse = self._tail_rmse(batch_quality, gate.tail_fraction)
         coverage = (
             stream.conformal.coverage if stream.conformal.n_scored else None
         )
-        p50_ms = latency.quantile(0.5) * 1e3
-        p99_ms = latency.quantile(0.99) * 1e3
+        p50_ms = self._quantile_ms(latency, 0.5)
+        p99_ms = self._quantile_ms(latency, 0.99)
         checks = self._score_gate(
-            workload, registry, tail_rmse, coverage, p99_ms
+            workload.name, gate, registry, tail_rmse, coverage, p99_ms
         )
+        if not all(c.passed for c in checks):
+            _flight.auto_dump(
+                "gate_breach",
+                workload=workload.name,
+                failed_gates=[c.gate for c in checks if not c.passed],
+                tail_rmse=tail_rmse,
+                burn_rates={
+                    w.name: round(w.burn_rate, 6)
+                    for w in slo_tracker.windows.values()
+                },
+            )
         return SLOReport(
             workload=workload.name,
             dataset=dataset.name,
@@ -249,8 +378,8 @@ class ReplayEngine:
             sim_seconds=float(schedule[-1].arrivals[-1]),
             tail_rmse=tail_rmse,
             coverage=coverage,
-            p50_latency_ms=float(p50_ms),
-            p99_latency_ms=float(p99_ms),
+            p50_latency_ms=p50_ms,
+            p99_latency_ms=p99_ms,
             drift_detections=len(stream.history.drift_events),
             rollbacks=len(stream.rollbacks),
             skipped_batches=skipped,
@@ -267,6 +396,44 @@ class ReplayEngine:
     ) -> list[SLOReport]:
         """Replay several workloads in name order."""
         return [self.run(name) for name in names]
+
+    # -- console snapshots ---------------------------------------------------
+
+    @staticmethod
+    def _quantile_ms(latency, q: float) -> float | None:
+        """A latency percentile in ms, or None with no finite-bucket data.
+
+        ``Histogram.quantile`` returns NaN on empty and overflow-only
+        histograms; surfacing that as None keeps JSON reports honest
+        (``null``, not a fabricated 0 or a clamp)."""
+        value = latency.quantile(q)
+        return None if not np.isfinite(value) else float(value) * 1e3
+
+    @classmethod
+    def _console_snapshot(
+        cls,
+        workload_name: str,
+        slo_tracker: "_slo.SLOTracker",
+        registry: _metrics.MetricsRegistry,
+        latency,
+        *,
+        batches: int,
+        rows: int,
+        elapsed: float,
+    ) -> dict:
+        """One `repro top` frame's worth of state, JSON-ready."""
+        snapshot = {
+            "kind": _slo.SNAPSHOT_KIND,
+            "workload": workload_name,
+            "batches": batches,
+            "rows": rows,
+            "qps": round(rows / elapsed, 3) if elapsed > 0 else None,
+            "p50_ms": cls._quantile_ms(latency, 0.5),
+            "p99_ms": cls._quantile_ms(latency, 0.99),
+            "slo": slo_tracker.state(),
+        }
+        snapshot.update(_slo.registry_console_stats(registry))
+        return snapshot
 
     # -- scoring -------------------------------------------------------------
 
@@ -291,13 +458,13 @@ class ReplayEngine:
 
     @staticmethod
     def _score_gate(
-        workload: Workload,
+        workload_name: str,
+        gate,
         registry: _metrics.MetricsRegistry,
         tail_rmse: float,
         coverage: float | None,
-        p99_ms: float,
+        p99_ms: float | None,
     ) -> tuple[GateCheck, ...]:
-        gate = workload.gate
         checks: list[GateCheck] = []
         if gate.rmse_ceiling is not None:
             checks.append(
@@ -320,20 +487,23 @@ class ReplayEngine:
                 )
             )
         if gate.p99_latency_ms is not None:
+            # p99_ms is None when the latency histogram had no
+            # finite-bucket data; an unmeasurable latency SLO fails.
+            measured = float("nan") if p99_ms is None else float(p99_ms)
             checks.append(
                 GateCheck(
                     gate="p99_latency_ms",
-                    value=float(p99_ms),
+                    value=measured,
                     limit=gate.p99_latency_ms,
-                    passed=bool(np.isfinite(p99_ms))
-                    and p99_ms <= gate.p99_latency_ms,
+                    passed=bool(np.isfinite(measured))
+                    and measured <= gate.p99_latency_ms,
                 )
             )
         for check in checks:
             if not check.passed:
                 registry.counter(
                     "reghd_replay_gate_failures_total",
-                    workload=workload.name,
+                    workload=workload_name,
                     gate=check.gate,
                 ).inc()
         return tuple(checks)

@@ -552,7 +552,9 @@ class TestTelemetry:
         import json
 
         payload = json.loads(out_path.read_text())
-        assert set(payload) == {"meta", "metrics", "events"}
+        assert set(payload) == {
+            "meta", "metrics", "events", "events_dropped"
+        }
 
     def test_stream_metrics_out(self, tmp_path, capsys):
         metrics_path = tmp_path / "m.prom"
@@ -608,3 +610,84 @@ class TestTelemetry:
         text = metrics_path.read_text()
         assert "reghd_build_info{" in text
         assert "reghd_serving_rows_total 16" in text
+
+
+class TestObservabilityCLI:
+    @pytest.fixture(autouse=True)
+    def _isolated_sinks(self):
+        from repro.telemetry import flight as flight_mod
+        from repro.telemetry import metrics as metrics_mod
+        from repro.telemetry import tracing as tracing_mod
+
+        flight_mod.disable_flight()
+        tracing_mod.disable_tracing()
+        metrics_mod.disable()
+        yield
+        flight_mod.disable_flight()
+        tracing_mod.disable_tracing()
+        metrics_mod.disable()
+
+    def test_trace_command_exports_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code = main(
+            ["trace", "airfoil_steady", "--quick", "--out", str(out_path)]
+        )
+        assert code == 0
+        assert "wrote trace" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "replay/batch" in names
+        assert "encode" in names and "search" in names
+
+    def test_top_once_renders_a_snapshot(self, tmp_path, capsys):
+        from repro.telemetry import slo as slo_mod
+
+        path = tmp_path / "live.json"
+        slo_mod.SnapshotWriter(path).write(
+            {
+                "kind": slo_mod.SNAPSHOT_KIND,
+                "workload": "wine",
+                "batches": 3,
+                "rows": 96,
+                "qps": 10.0,
+                "p50_ms": 1.0,
+                "p99_ms": 2.0,
+                "slo": [],
+            }
+        )
+        assert main(["top", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "reghd top" in out
+        assert "workload wine" in out
+        assert "\x1b[2J" not in out  # --once never clears the screen
+
+    def test_forced_breach_replay_dumps_flight_bundles(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        flight_dir = tmp_path / "flight"
+        live_path = tmp_path / "live.json"
+        code = main(
+            [
+                "replay", "airfoil_steady", "--quick",
+                "--force-breach",
+                "--flight-dir", str(flight_dir),
+                "--live-out", str(live_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # the forced gate must fail the run
+        assert "FAIL" in out
+        assert "flight dumps" in out
+        dumps = sorted(flight_dir.glob("flight-*.json"))
+        assert any("gate-breach" in d.name for d in dumps)
+        assert any("watchdog-rollback" in d.name for d in dumps)
+        bundle = json.loads(dumps[0].read_text())
+        assert bundle["kind"] == "reghd-flight-dump"
+        # the live snapshot is attachable with `repro top`
+        assert main(["top", str(live_path), "--once"]) == 0
+        assert "airfoil_steady" in capsys.readouterr().out

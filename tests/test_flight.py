@@ -1,0 +1,276 @@
+"""Flight recorder: bounded rings, post-mortem dumps, determinism.
+
+Covers the flight-recorder acceptance criteria:
+
+* rings are bounded and feeds are zero-cost when the recorder is off;
+* a forced watchdog rollback during a replay dumps a bundle whose trace
+  tree contains the guard→encode→search→rollback spans under the
+  breaching batch's trace id;
+* an uncaught exception in ``ResilientStreamingRegHD.update`` dumps
+  before propagating;
+* the same seed + workload produce byte-identical dump files once the
+  sanctioned monotonic clock is pinned.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.config import RegHDConfig
+from repro.reliability.resilient import ResilientStreamingRegHD
+from repro.telemetry import flight as flight_mod
+from repro.telemetry import metrics as metrics_mod
+from repro.telemetry import timing as timing_mod
+from repro.telemetry import tracing as tracing_mod
+from repro.telemetry.tracing import SpanRecord
+from repro.workloads.replay import ReplayEngine
+
+
+@pytest.fixture(autouse=True)
+def _isolated_sinks():
+    flight_mod.disable_flight()
+    tracing_mod.disable_tracing()
+    metrics_mod.disable()
+    yield
+    flight_mod.disable_flight()
+    tracing_mod.disable_tracing()
+    metrics_mod.disable()
+
+
+def _record(span_id, parent_id, name, trace_id="t00000001", thread=1):
+    return SpanRecord(
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+        name=name,
+        path=name,
+        start=0.0,
+        end=1.0,
+        thread=thread,
+    )
+
+
+class TestRings:
+    def test_span_ring_is_bounded(self):
+        recorder = flight_mod.FlightRecorder(capacity=3)
+        for i in range(10):
+            recorder.record_span(_record(i, None, f"s{i}"))
+        bundle = recorder.bundle("test")
+        assert [s["name"] for s in bundle["spans"]] == ["s7", "s8", "s9"]
+
+    def test_event_ring_is_bounded_and_copies(self):
+        recorder = flight_mod.FlightRecorder(event_capacity=2)
+        event = {"seq": 1, "kind": "a"}
+        recorder.record_event(event)
+        event["kind"] = "mutated"
+        recorder.record_event({"seq": 2, "kind": "b"})
+        recorder.record_event({"seq": 3, "kind": "c"})
+        bundle = recorder.bundle("test")
+        assert [e["kind"] for e in bundle["events"]] == ["b", "c"]
+
+    def test_samples_get_deterministic_sequence_numbers(self):
+        recorder = flight_mod.FlightRecorder()
+        recorder.record_sample("burn_rate", 0.5, gate="rmse")
+        recorder.record_sample("burn_rate", 1.5, gate="rmse")
+        bundle = recorder.bundle("test")
+        assert [s["seq"] for s in bundle["samples"]] == [1, 2]
+        assert bundle["samples"][1]["value"] == 1.5
+
+    def test_auto_dump_is_noop_when_off(self):
+        assert flight_mod.active_recorder() is None
+        assert flight_mod.auto_dump("anything") is None
+
+
+class TestTraceTree:
+    def test_children_nest_under_parents(self):
+        records = [
+            _record(1, None, "batch"),
+            _record(2, 1, "predict"),
+            _record(3, 2, "encode"),
+            _record(4, 1, "train"),
+        ]
+        (tree,) = flight_mod.trace_tree(records)
+        (root,) = tree["roots"]
+        assert root["name"] == "batch"
+        names = [c["name"] for c in root["children"]]
+        assert names == ["predict", "train"]
+        assert root["children"][0]["children"][0]["name"] == "encode"
+
+    def test_orphaned_parents_surface_as_roots(self):
+        # parent 1 fell off the ring (or is the still-open batch root)
+        records = [_record(2, 1, "predict"), _record(3, 2, "encode")]
+        (tree,) = flight_mod.trace_tree(records)
+        (root,) = tree["roots"]
+        assert root["name"] == "predict"
+        assert root["children"][0]["name"] == "encode"
+
+    def test_traces_are_separated(self):
+        records = [
+            _record(1, None, "a", trace_id="t00000001"),
+            _record(2, None, "b", trace_id="t00000002"),
+        ]
+        trees = flight_mod.trace_tree(records)
+        assert [t["trace_id"] for t in trees] == ["t00000001", "t00000002"]
+
+
+class TestBundle:
+    def test_bundle_shape_and_thread_normalisation(self):
+        recorder = flight_mod.FlightRecorder()
+        recorder.record_span(_record(1, None, "a", thread=987654))
+        recorder.record_span(_record(2, 1, "b", thread=123456))
+        bundle = recorder.bundle("unit_test", gate="rmse")
+        assert bundle["kind"] == "reghd-flight-dump"
+        assert bundle["reason"] == "unit_test"
+        assert bundle["dump_seq"] == 1
+        assert bundle["context"] == {"gate": "rmse"}
+        assert [s["tid"] for s in bundle["spans"]] == [0, 1]
+
+    def test_bundle_stamps_open_trace_id(self):
+        telemetry.enable_tracing()
+        recorder = flight_mod.enable_flight()
+        with telemetry.trace("batch") as ctx:
+            bundle = recorder.bundle("mid_batch")
+        assert bundle["context"]["trace_id"] == ctx.trace_id
+
+    def test_dump_writes_numbered_files(self, tmp_path):
+        recorder = flight_mod.FlightRecorder(dump_dir=tmp_path)
+        recorder.dump("first reason")
+        recorder.dump("second")
+        names = sorted(p.name for p in tmp_path.glob("*.json"))
+        assert names == [
+            "flight-0001-first-reason.json",
+            "flight-0002-second.json",
+        ]
+
+    def test_metrics_snapshot_has_counters_not_histograms(self):
+        reg = telemetry.enable()
+        reg.counter("reghd_serving_rows_total").inc(5)
+        reg.histogram("reghd_replay_batch_seconds", workload="w").observe(0.1)
+        recorder = flight_mod.FlightRecorder()
+        snapshot = recorder.bundle("t")["metrics"]
+        assert snapshot["reghd_serving_rows_total"] == 5
+        assert not any("batch_seconds" in k for k in snapshot)
+        assert snapshot["events_dropped"] == 0
+
+
+class TestEnableDisable:
+    def test_enable_subscribes_events_and_spans(self):
+        recorder = flight_mod.enable_flight()
+        reg = metrics_mod.active()
+        assert reg is not None  # arming flight arms metrics+tracing
+        reg.record_event("stream_drift", batch=1)
+        with telemetry.trace("batch"):
+            pass
+        bundle = recorder.bundle("t")
+        assert [e["kind"] for e in bundle["events"]] == ["stream_drift"]
+        assert [s["name"] for s in bundle["spans"]] == ["batch"]
+
+    def test_disable_detaches(self):
+        recorder = flight_mod.enable_flight()
+        flight_mod.disable_flight()
+        reg = metrics_mod.active()
+        reg.record_event("stream_drift", batch=1)
+        assert recorder.bundle("t")["events"] == []
+
+    def test_auto_dump_counts_by_reason(self):
+        flight_mod.enable_flight()
+        flight_mod.auto_dump("gate_breach")
+        flight_mod.auto_dump("gate_breach")
+        reg = metrics_mod.active()
+        counter = reg.counter("reghd_flight_dumps_total", reason="gate_breach")
+        assert counter.value == 2
+
+
+class TestExceptionDump:
+    def test_uncaught_update_exception_dumps_post_mortem(self, tmp_path):
+        recorder = flight_mod.enable_flight(dump_dir=tmp_path)
+        stream = ResilientStreamingRegHD(
+            4, RegHDConfig(dim=64, n_models=2, seed=0)
+        )
+        rng = np.random.default_rng(0)
+        stream.update(rng.normal(size=(8, 4)), rng.normal(size=8))
+        with pytest.raises(Exception):
+            # wrong feature width blows up inside the traced pipeline
+            stream.update(rng.normal(size=(8, 7)), rng.normal(size=8))
+        (dump,) = recorder.dumps
+        bundle = json.loads(dump.read_text())
+        assert bundle["reason"] == "exception"
+        assert "error" in bundle["context"]
+        assert bundle["context"]["trace_id"]  # the failing batch's trace
+
+
+def _forced_breach_run(tmp: pathlib.Path, *, workload: str = "airfoil_steady"):
+    """One forced-breach replay with armed flight recorder; returns dumps."""
+    flight_dir = tmp / "flight"
+    engine = ReplayEngine(
+        quick=True, seed=0, force_breach=True, flight_dir=str(flight_dir)
+    )
+    report = engine.run(workload)
+    return report, sorted(flight_dir.glob("*.json"))
+
+
+class TestRollbackDump:
+    def test_forced_rollback_dump_contains_pipeline_spans(self, tmp_path):
+        report, dumps = _forced_breach_run(tmp_path)
+        assert report.rollbacks > 0
+        rollback_dumps = [
+            d for d in dumps if "watchdog-rollback" in d.name
+        ]
+        assert rollback_dumps
+        bundle = json.loads(rollback_dumps[0].read_text())
+        # gate values / checkpoint id context
+        assert bundle["context"]["checkpoint_id"].startswith("ckpt-")
+        assert np.isfinite(bundle["context"]["trigger_error"])
+        trace_id = bundle["context"]["trace_id"]
+        assert trace_id
+        # the breaching batch's spans: guard -> encode -> search -> rollback
+        names = {
+            s["name"] for s in bundle["spans"] if s["trace_id"] == trace_id
+        }
+        assert {"guard", "encode", "search", "rollback"} <= names
+        # and the trace tree carries that trace
+        assert any(t["trace_id"] == trace_id for t in bundle["trace"])
+
+    def test_gate_breach_dump_written_at_scoring(self, tmp_path):
+        report, dumps = _forced_breach_run(tmp_path)
+        assert not report.passed
+        breach = [d for d in dumps if "gate-breach" in d.name]
+        assert len(breach) == 1
+        bundle = json.loads(breach[0].read_text())
+        assert bundle["context"]["failed_gates"] == ["rmse_ceiling"]
+        assert "burn_rates" in bundle["context"]
+
+
+class TestDeterminism:
+    def _run_pinned(self, tmp: pathlib.Path) -> list[bytes]:
+        """A forced-breach replay under a pinned clock; returns dump bytes."""
+        state = {"t": 0.0}
+
+        def fake_monotonic() -> float:
+            value = state["t"]
+            state["t"] += 0.001
+            return value
+
+        real = timing_mod.monotonic
+        timing_mod.monotonic = fake_monotonic
+        try:
+            _, dumps = _forced_breach_run(tmp)
+        finally:
+            timing_mod.monotonic = real
+        return [d.read_bytes() for d in dumps]
+
+    def test_same_seed_same_workload_byte_identical_dumps(self, tmp_path):
+        first = self._run_pinned(tmp_path / "a")
+        # full sink reset between runs: fresh tracer/recorder sequences
+        flight_mod.disable_flight()
+        tracing_mod.disable_tracing()
+        metrics_mod.disable()
+        second = self._run_pinned(tmp_path / "b")
+        assert len(first) == len(second) > 0
+        for a, b in zip(first, second):
+            assert a == b

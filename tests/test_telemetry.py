@@ -185,8 +185,22 @@ class TestHistogramQuantile:
         hist.observe(0.5)
         assert 0.0 < hist.quantile(0.5) <= 1.0
 
-    def test_overflow_clamps_to_last_finite_bound(self):
+    def test_overflow_only_data_is_nan(self):
+        # Every observation landed past the last finite bound: the
+        # quantile is unknowable from the buckets, and clamping to the
+        # last bound would fabricate a misleadingly small number.
+        import math
+
         hist = self._hist()
+        for _ in range(10):
+            hist.observe(100.0)
+        assert math.isnan(hist.quantile(0.99))
+
+    def test_overflow_clamps_when_finite_data_exists(self):
+        # With finite-bucket data present the tail quantile still clamps
+        # to the last finite bound (standard histogram_quantile).
+        hist = self._hist()
+        hist.observe(0.5)
         for _ in range(10):
             hist.observe(100.0)
         assert hist.quantile(0.99) == 4.0
